@@ -1,0 +1,35 @@
+//! Baseline query-evaluation strategies the thesis compares against.
+//!
+//! * [`TableScan`] — sequential scan + top-k heap (`TS` in Chapter 5).
+//! * [`BooleanFirst`] — non-clustered B+-tree per selection dimension;
+//!   filter first, rank later (the "Boolean" method of Section 4.4 and the
+//!   DBMS *baseline* of Section 3.5: the server resolves the predicates
+//!   through single-column indexes, then random-accesses the rows).
+//! * [`RankingFirst`] — progressive R-tree search with tuple-at-a-time
+//!   Boolean verification by random access ("Ranking", Section 4.4.1).
+//! * [`RankMapping`] — the top-k → range-query transformation of [14] with
+//!   *optimal* bound values (the thesis feeds the true kth score), executed
+//!   over a clustered composite index (Section 3.5.1).
+
+pub mod boolean_first;
+pub mod rank_mapping;
+pub mod ranking_first;
+pub mod scan;
+
+pub use boolean_first::BooleanFirst;
+pub use rank_mapping::RankMapping;
+pub use ranking_first::RankingFirst;
+pub use scan::TableScan;
+
+use rcube_table::Relation;
+
+/// Bytes of one row in the paper's storage model: 4 bytes per categorical
+/// value, 8 per numeric.
+pub(crate) fn row_bytes(rel: &Relation) -> usize {
+    4 * rel.schema().num_selection() + 8 * rel.schema().num_ranking() + 4
+}
+
+/// Rows per simulated page for sequential-scan charging.
+pub(crate) fn rows_per_page(rel: &Relation, page_size: usize) -> usize {
+    (page_size / row_bytes(rel)).max(1)
+}

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the ranking-cube core: cube
+//! construction, grid-cube queries, signature-cube queries, signature
+//! coding and incremental maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcube_baseline::{BooleanFirst, RankMapping, TableScan};
+use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
+use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
+use rcube_core::sigquery::topk_signature;
+use rcube_core::TopKQuery;
+use rcube_func::Linear;
+use rcube_index::rtree::{RTree, RTreeConfig};
+use rcube_storage::DiskSim;
+use rcube_table::gen::SyntheticSpec;
+use rcube_table::Selection;
+
+const T: usize = 20_000;
+
+fn bench_construction(c: &mut Criterion) {
+    let rel = SyntheticSpec { tuples: T, ..Default::default() }.generate();
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.bench_function("grid_cube_build", |b| {
+        b.iter(|| {
+            let disk = DiskSim::with_defaults();
+            GridRankingCube::build(&rel, &disk, GridCubeConfig::default())
+        })
+    });
+    g.bench_function("signature_cube_build", |b| {
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 2));
+        b.iter(|| SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_topk_query(c: &mut Criterion) {
+    let rel = SyntheticSpec { tuples: T, ..Default::default() }.generate();
+    let disk = DiskSim::with_defaults();
+    let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig::default());
+    let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 2));
+    let sig = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+    let scan = TableScan::new(&rel, &disk);
+    let bf = BooleanFirst::build(&rel, &disk);
+    let rm = RankMapping::build(&rel, &disk);
+    let sel = Selection::new(vec![(0, 1), (1, 2)]);
+    let f = Linear::new(vec![1.0, 2.0]);
+
+    let mut g = c.benchmark_group("topk_query");
+    for k in [10usize, 100] {
+        g.bench_with_input(BenchmarkId::new("grid_cube", k), &k, |b, &k| {
+            let q = TopKQuery::new(sel.conds().to_vec(), f.clone(), k);
+            b.iter(|| cube.query(&q, &disk))
+        });
+        g.bench_with_input(BenchmarkId::new("signature_cube", k), &k, |b, &k| {
+            let q = TopKQuery::new(sel.conds().to_vec(), f.clone(), k);
+            b.iter(|| topk_signature(&rtree, &sig, &q, &disk))
+        });
+        g.bench_with_input(BenchmarkId::new("table_scan", k), &k, |b, &k| {
+            b.iter(|| scan.topk(&rel, &disk, &sel, &f, &[0, 1], k))
+        });
+        g.bench_with_input(BenchmarkId::new("boolean_first", k), &k, |b, &k| {
+            b.iter(|| bf.topk(&rel, &disk, &sel, &f, &[0, 1], k))
+        });
+        g.bench_with_input(BenchmarkId::new("rank_mapping", k), &k, |b, &k| {
+            b.iter(|| rm.topk(&rel, &disk, &sel, &f, &[0, 1], k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_coding(c: &mut Criterion) {
+    use rcube_core::coding::{decode_node, encode_best};
+    use rcube_storage::{BitReader, BitWriter};
+    let mut sparse = vec![false; 204];
+    for i in (0..204).step_by(17) {
+        sparse[i] = true;
+    }
+    c.bench_function("signature_node_encode_decode", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            encode_best(&sparse, 204, &mut w);
+            let mut r = BitReader::new(w.as_bytes(), w.len());
+            decode_node(&mut r, 204)
+        })
+    });
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    use rcube_core::maintain::apply_path_updates;
+    let pool = 4096;
+    let full = SyntheticSpec { tuples: T + pool, ..Default::default() }.generate();
+    let rel = full.prefix(T);
+    c.bench_function("incremental_insert_one", |b| {
+        let disk = DiskSim::with_defaults();
+        let mut rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 2));
+        let mut cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        let mut next = T as u32;
+        b.iter(|| {
+            if next >= (T + pool) as u32 {
+                return; // pre-generated pool exhausted; later iters no-op
+            }
+            let ups = rtree.insert(&disk, next, full.ranking_point(next));
+            apply_path_updates(
+                &mut cube,
+                &ups,
+                |t| (0..3).map(|d| full.selection_value(t, d)).collect(),
+                &disk,
+            );
+            next += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_topk_query, bench_coding, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Reproduces the Chapter 6 evaluation (Table 6.1 trace, Figures 6.3/6.4):
+//! SPJR ranked queries over multiple relations — rank join driven by
+//! per-relation ranking cubes against the join-then-rank baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcube_bench::{base_tuples, cost_ms, print_figure, synthetic, time_ms, Series};
+use rcube_join::{full_join_topk, optimize, JoinRelation, RankJoin, RelQuery, SpjrQuery};
+use rcube_storage::DiskSim;
+use rcube_table::gen::DataDist;
+use rcube_table::{Relation, Selection};
+
+fn join_relation(rel: Relation, key_card: u32, seed: u64, disk: &DiskSim) -> JoinRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<u32> = (0..rel.len()).map(|_| rng.gen_range(0..key_card)).collect();
+    JoinRelation::build(rel, keys, disk)
+}
+
+fn two_way_query(k: usize) -> SpjrQuery {
+    SpjrQuery {
+        relations: vec![
+            RelQuery { selection: Selection::new(vec![(0, 1)]), weights: vec![1.0, 0.5] },
+            RelQuery { selection: Selection::new(vec![(1, 2)]), weights: vec![0.8, 1.2] },
+        ],
+        k,
+    }
+}
+
+fn table6_1() {
+    // A Figure 6.2-style trace: processing a top-2 query over two tiny
+    // relations, showing the rank join's pull/emit sequence.
+    println!();
+    println!("== Table 6.1 / Figure 6.2: top-2 query over two relations ==");
+    let disk = DiskSim::with_defaults();
+    let mut b1 = rcube_table::RelationBuilder::new(rcube_table::Schema::synthetic(1, 2, 2));
+    for (sel, n1, n2) in [
+        (0u32, 0.10, 0.20),
+        (0, 0.30, 0.10),
+        (1, 0.05, 0.05),
+        (0, 0.70, 0.60),
+        (0, 0.45, 0.50),
+    ] {
+        b1.push(&[sel], &[n1, n2]);
+    }
+    let r1 = JoinRelation::build(b1.finish(), vec![1, 2, 1, 2, 1], &disk);
+    let mut b2 = rcube_table::RelationBuilder::new(rcube_table::Schema::synthetic(1, 2, 2));
+    for (sel, n1, n2) in [
+        (0u32, 0.15, 0.25),
+        (0, 0.40, 0.30),
+        (0, 0.20, 0.10),
+        (1, 0.90, 0.80),
+    ] {
+        b2.push(&[sel], &[n1, n2]);
+    }
+    let r2 = JoinRelation::build(b2.finish(), vec![2, 1, 2, 1], &disk);
+    let q = SpjrQuery {
+        relations: vec![
+            RelQuery { selection: Selection::new(vec![(0, 0)]), weights: vec![1.0, 1.0] },
+            RelQuery { selection: Selection::new(vec![(0, 0)]), weights: vec![1.0, 1.0] },
+        ],
+        k: 2,
+    };
+    let rels = [&r1, &r2];
+    let plan = optimize(&rels, &q);
+    println!("plan: access = {:?}, pull order = {:?}", plan.access, plan.pull_order);
+    let res = RankJoin::run(&rels, &q, &plan, &disk);
+    for item in &res.items {
+        println!(
+            "result: R1.t{} ⋈ R2.t{}  (key {}, score {:.2})",
+            item.tids[0],
+            item.tids[1],
+            r1.key_of(item.tids[0]),
+            item.score
+        );
+    }
+    println!(
+        "pulled {} tuples, generated {} candidates",
+        res.stats.tuples_scored, res.stats.states_generated
+    );
+}
+
+fn fig6_3() {
+    // Time vs join-key cardinality.
+    let cards = [10u32, 50, 100, 500];
+    let t = base_tuples() / 4;
+    let mut series = Series::default();
+    for &c in &cards {
+        let disk = DiskSim::with_defaults();
+        let r1 = join_relation(synthetic(t, 3, 10, 2, DataDist::Uniform, 61), c, 611, &disk);
+        let r2 = join_relation(synthetic(t, 3, 10, 2, DataDist::Uniform, 62), c, 622, &disk);
+        let q = two_way_query(10);
+        let rels = [&r1, &r2];
+        let plan = optimize(&rels, &q);
+        disk.clear_buffer();
+        let (res, cpu) = time_ms(|| RankJoin::run(&rels, &q, &plan, &disk));
+        series.push("rank join", cost_ms(cpu, res.stats.io));
+        disk.clear_buffer();
+        let (res, cpu) = time_ms(|| full_join_topk(&rels, &q, &disk));
+        series.push("join-then-rank", cost_ms(cpu, res.stats.io));
+    }
+    print_figure(
+        "Fig 6.3",
+        "execution time (ms) w.r.t. join-key cardinality",
+        "cardinality",
+        &cards.map(|c| c.to_string()),
+        &series,
+    );
+}
+
+fn fig6_4() {
+    let base = base_tuples() / 4;
+    let ts = [base / 2, base, 2 * base, 4 * base];
+    let mut series = Series::default();
+    for &t in &ts {
+        let disk = DiskSim::with_defaults();
+        let r1 = join_relation(synthetic(t, 3, 10, 2, DataDist::Uniform, 63), 100, 631, &disk);
+        let r2 = join_relation(synthetic(t, 3, 10, 2, DataDist::Uniform, 64), 100, 641, &disk);
+        let q = two_way_query(10);
+        let rels = [&r1, &r2];
+        let plan = optimize(&rels, &q);
+        disk.clear_buffer();
+        let (res, cpu) = time_ms(|| RankJoin::run(&rels, &q, &plan, &disk));
+        series.push("rank join", cost_ms(cpu, res.stats.io));
+        disk.clear_buffer();
+        let (res, cpu) = time_ms(|| full_join_topk(&rels, &q, &disk));
+        series.push("join-then-rank", cost_ms(cpu, res.stats.io));
+    }
+    print_figure(
+        "Fig 6.4",
+        "execution time (ms) w.r.t. database size (per relation)",
+        "T",
+        &ts.map(|t| t.to_string()),
+        &series,
+    );
+}
+
+fn main() {
+    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+        ("table6_1", Box::new(table6_1)),
+        ("fig6_3", Box::new(fig6_3)),
+        ("fig6_4", Box::new(fig6_4)),
+    ];
+    rcube_bench::run_selected(&mut figures);
+}

@@ -1,0 +1,429 @@
+//! Node-level adaptive signature coding (Section 4.2.2, Table 4.2).
+//!
+//! Every signature node is serialized as `[CS: 3][Len: L][coding region]`:
+//!
+//! * `CS` selects the scheme — `000` baseline (`BL`), `01x` position index
+//!   (`PI`), `10x` run-length (`RL`), `11x` prefix compression (`PC`);
+//!   the last bit distinguishes the *sparse* (encode 1s) and *dense*
+//!   (encode 0s) variants.
+//! * `Len` holds the region length − 1 (the thesis' one-less principle).
+//! * Every region starts with the original bit-array length − 1 in
+//!   `w = ⌈log2 M⌉` bits so trailing-bit truncation is reversible.
+//!
+//! [`encode_best`] tries every applicable scheme and keeps the smallest —
+//! the adaptive choice that Figure 4.10 measures against `BL`-only coding.
+
+use rcube_storage::bits::{bits_for, BitReader, BitWriter};
+
+/// Coding schemes (values match the CS field layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Baseline: raw bit array (with trailing-zero truncation).
+    Bl,
+    /// Position index over 1s (sparse) or 0s (dense).
+    Pi { dense: bool },
+    /// Run-length over 0-runs (sparse) or 1-runs (dense).
+    Rl { dense: bool },
+    /// Prefix compression of position lists.
+    Pc { dense: bool },
+}
+
+impl Scheme {
+    fn cs_bits(self) -> u64 {
+        match self {
+            Scheme::Bl => 0b000,
+            Scheme::Pi { dense } => 0b010 | u64::from(dense),
+            Scheme::Rl { dense } => 0b100 | u64::from(dense),
+            Scheme::Pc { dense } => 0b110 | u64::from(dense),
+        }
+    }
+
+    fn from_cs(cs: u64) -> Scheme {
+        match cs {
+            0b000 => Scheme::Bl,
+            0b010 | 0b011 => Scheme::Pi { dense: cs & 1 == 1 },
+            0b100 | 0b101 => Scheme::Rl { dense: cs & 1 == 1 },
+            0b110 | 0b111 => Scheme::Pc { dense: cs & 1 == 1 },
+            _ => panic!("invalid CS value {cs:#b}"),
+        }
+    }
+
+    /// Every scheme variant, for exhaustive tests.
+    pub fn all() -> Vec<Scheme> {
+        vec![
+            Scheme::Bl,
+            Scheme::Pi { dense: false },
+            Scheme::Pi { dense: true },
+            Scheme::Rl { dense: false },
+            Scheme::Rl { dense: true },
+            Scheme::Pc { dense: false },
+            Scheme::Pc { dense: true },
+        ]
+    }
+}
+
+/// Width of position/length fields for fanout `m`.
+fn w_of(m: usize) -> usize {
+    bits_for(m).max(1)
+}
+
+/// Width of the `Len` header: enough for the worst-case region of *any*
+/// scheme (position lists and run codes can exceed the BL region; RL's
+/// worst case is `2w + 2` bits per set bit).
+fn len_width(m: usize) -> usize {
+    let w = w_of(m);
+    bits_for(w + m * (2 * w + 2) + 1).max(1)
+}
+
+/// Effective array: `bits` padded/truncated bookkeeping — returns
+/// `(len, ones, zeros)` position lists.
+fn analyze(bits: &[bool]) -> (usize, Vec<usize>, Vec<usize>) {
+    let ones: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+    let zeros: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| !b).map(|(i, _)| i).collect();
+    (bits.len(), ones, zeros)
+}
+
+/// Encodes the region for `scheme`; returns `None` when inapplicable.
+fn encode_region(scheme: Scheme, bits: &[bool], m: usize) -> Option<BitWriter> {
+    let (len, ones, zeros) = analyze(bits);
+    if len == 0 || len > m {
+        return None;
+    }
+    let w = w_of(m);
+    let mut out = BitWriter::new();
+    out.push_bits((len - 1) as u64, w); // original length, one-less
+    match scheme {
+        Scheme::Bl => {
+            // Raw array with trailing zeros truncated.
+            let last_one = ones.last().map_or(0, |&i| i + 1);
+            for &b in &bits[..last_one] {
+                out.push(b);
+            }
+        }
+        Scheme::Pi { dense } => {
+            let positions = if dense { &zeros } else { &ones };
+            for &p in positions {
+                out.push_bits(p as u64, w);
+            }
+        }
+        Scheme::Rl { dense } => {
+            // Sparse: runs of `i` zeros followed by a 1, per set bit.
+            // Dense: runs of `i` ones followed by a 0, per clear bit.
+            let positions = if dense { &zeros } else { &ones };
+            let mut prev = 0usize;
+            for &p in positions {
+                let run = p - prev;
+                push_run(&mut out, run as u64);
+                prev = p + 1;
+            }
+        }
+        Scheme::Pc { dense } => {
+            let n = w;
+            if n < 2 {
+                return None; // no prefix/suffix split possible
+            }
+            // Optimal prefix width p = log2(2^n / (n ln 2)), clamped.
+            let p = (((1u64 << n) as f64) / (n as f64 * std::f64::consts::LN_2))
+                .log2()
+                .round()
+                .clamp(1.0, (n - 1) as f64) as usize;
+            let s = n - p;
+            let positions = if dense { &zeros } else { &ones };
+            let mut i = 0;
+            while i < positions.len() {
+                let prefix = positions[i] >> s;
+                let mut j = i;
+                while j < positions.len() && (positions[j] >> s) == prefix {
+                    j += 1;
+                }
+                let count = j - i;
+                if count > (1 << s) {
+                    return None; // cannot express the group size
+                }
+                out.push_bits(prefix as u64, p);
+                out.push_bits((count - 1) as u64, s);
+                for &q in &positions[i..j] {
+                    out.push_bits((q & ((1 << s) - 1)) as u64, s);
+                }
+                i = j;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Gamma-style run code: `max(1, ⌈log2(i+1)⌉) − 1` ones, a zero, then `i`
+/// (Section 4.2.2's run-length rule; `i = 1` encodes as `01`).
+fn push_run(out: &mut BitWriter, i: u64) {
+    let bits = bits_for((i + 1) as usize).max(1);
+    out.push_repeat(true, bits - 1);
+    out.push(false);
+    out.push_bits(i, bits);
+}
+
+fn read_run(r: &mut BitReader) -> Option<u64> {
+    let mut count = 0usize;
+    loop {
+        match r.next_bit()? {
+            true => count += 1,
+            false => break,
+        }
+    }
+    r.read_bits(count + 1)
+}
+
+/// Encodes `bits` with a specific scheme (testing / Table 4.2 repro).
+/// Returns the total coded size in bits, or `None` if inapplicable.
+pub fn encode_with(scheme: Scheme, bits: &[bool], m: usize, out: &mut BitWriter) -> Option<usize> {
+    let region = encode_region(scheme, bits, m)?;
+    out.push_bits(scheme.cs_bits(), 3);
+    out.push_bits((region.len().max(1) - 1) as u64, len_width(m));
+    out.extend(&region);
+    Some(3 + len_width(m) + region.len())
+}
+
+/// Encodes `bits` with the smallest applicable scheme; returns the winner.
+pub fn encode_best(bits: &[bool], m: usize, out: &mut BitWriter) -> Scheme {
+    let mut best: Option<(Scheme, BitWriter)> = None;
+    for scheme in Scheme::all() {
+        if let Some(region) = encode_region(scheme, bits, m) {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => region.len() < b.len(),
+            };
+            if better {
+                best = Some((scheme, region));
+            }
+        }
+    }
+    let (scheme, region) = best.expect("BL always applies");
+    out.push_bits(scheme.cs_bits(), 3);
+    out.push_bits((region.len().max(1) - 1) as u64, len_width(m));
+    out.extend(&region);
+    scheme
+}
+
+/// Decodes one node coding, returning the reconstructed bit array.
+pub fn decode_node(r: &mut BitReader, m: usize) -> Option<Vec<bool>> {
+    let cs = r.read_bits(3)?;
+    let scheme = Scheme::from_cs(cs);
+    let region_len = r.read_bits(len_width(m))? as usize + 1;
+    let start = r.position();
+    let w = w_of(m);
+    let len = r.read_bits(w)? as usize + 1;
+    let mut bits = vec![false; len];
+    match scheme {
+        Scheme::Bl => {
+            let payload = region_len - w;
+            for slot in bits.iter_mut().take(payload) {
+                *slot = r.next_bit()?;
+            }
+        }
+        Scheme::Pi { dense } => {
+            if dense {
+                bits.fill(true);
+            }
+            let count = (region_len - w) / w;
+            for _ in 0..count {
+                let p = r.read_bits(w)? as usize;
+                bits[p] = !dense;
+            }
+        }
+        Scheme::Rl { dense } => {
+            if dense {
+                bits.fill(true);
+            }
+            let mut pos = 0usize;
+            while r.position() - start < region_len {
+                let run = read_run(r)? as usize;
+                pos += run;
+                if pos >= len {
+                    break;
+                }
+                bits[pos] = !dense;
+                pos += 1;
+            }
+        }
+        Scheme::Pc { dense } => {
+            if dense {
+                bits.fill(true);
+            }
+            let n = w;
+            let p = (((1u64 << n) as f64) / (n as f64 * std::f64::consts::LN_2))
+                .log2()
+                .round()
+                .clamp(1.0, (n - 1) as f64) as usize;
+            let s = n - p;
+            while r.position() - start < region_len {
+                let prefix = r.read_bits(p)? as usize;
+                let count = r.read_bits(s)? as usize + 1;
+                for _ in 0..count {
+                    let suffix = r.read_bits(s)? as usize;
+                    let q = (prefix << s) | suffix;
+                    if q < len {
+                        bits[q] = !dense;
+                    }
+                }
+            }
+        }
+    }
+    // Skip any remaining region bits (schemes may finish early).
+    let consumed = r.position() - start;
+    if consumed < region_len {
+        r.skip(region_len - consumed);
+    }
+    Some(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(scheme: Scheme, bits: &[bool], m: usize) -> Option<Vec<bool>> {
+        let mut w = BitWriter::new();
+        encode_with(scheme, bits, m, &mut w)?;
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        decode_node(&mut r, m)
+    }
+
+    /// Table 4.2's running example: a 28-bit array with M = 32 and 1s at
+    /// positions 1, 2, 10, 11, 27 (0-based reading of
+    /// `0110000000110000000000000001`).
+    fn table_4_2_bits() -> Vec<bool> {
+        let s = "0110000000110000000000000001";
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn all_schemes_round_trip_table_4_2() {
+        let bits = table_4_2_bits();
+        for scheme in Scheme::all() {
+            if let Some(got) = round_trip(scheme, &bits, 32) {
+                assert_eq!(got, bits, "scheme {scheme:?} corrupted the array");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_schemes_beat_baseline_on_table_4_2() {
+        let bits = table_4_2_bits();
+        let size = |s| {
+            let mut w = BitWriter::new();
+            encode_with(s, &bits, 32, &mut w).map(|_| w.len())
+        };
+        let bl = size(Scheme::Bl).unwrap();
+        let rl = size(Scheme::Rl { dense: false }).unwrap();
+        let pi = size(Scheme::Pi { dense: false }).unwrap();
+        assert!(rl < bl, "RL {rl} should beat BL {bl} on a sparse array");
+        assert!(pi < bl, "PI {pi} should beat BL {bl} on a sparse array");
+    }
+
+    #[test]
+    fn dense_arrays_prefer_dense_variants() {
+        // 30 ones with two zeros.
+        let mut bits = vec![true; 32];
+        bits[5] = false;
+        bits[20] = false;
+        let mut w = BitWriter::new();
+        let winner = encode_best(&bits, 32, &mut w);
+        assert!(
+            matches!(winner, Scheme::Pi { dense: true } | Scheme::Rl { dense: true } | Scheme::Pc { dense: true }),
+            "expected a dense variant, got {winner:?}"
+        );
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(decode_node(&mut r, 32).unwrap(), bits);
+    }
+
+    #[test]
+    fn best_encoding_round_trips_exhaustively() {
+        // All 2^10 arrays of length 10 with m = 16.
+        for mask in 0u32..1024 {
+            let bits: Vec<bool> = (0..10).map(|i| mask >> i & 1 == 1).collect();
+            let mut w = BitWriter::new();
+            encode_best(&bits, 16, &mut w);
+            let mut r = BitReader::new(w.as_bytes(), w.len());
+            assert_eq!(decode_node(&mut r, 16).unwrap(), bits, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn concatenated_nodes_decode_in_sequence() {
+        let arrays = [
+            vec![true, false, true],
+            vec![false, false, false, true],
+            vec![true; 7],
+        ];
+        let mut w = BitWriter::new();
+        for a in &arrays {
+            encode_best(a, 8, &mut w);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        for a in &arrays {
+            assert_eq!(decode_node(&mut r, 8).unwrap(), *a);
+        }
+    }
+
+    #[test]
+    fn run_code_matches_paper_example() {
+        // i = 1 encodes as "01" (Section 4.2.2).
+        let mut w = BitWriter::new();
+        push_run(&mut w, 1);
+        assert_eq!(w.len(), 2);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(r.read_bits(2), Some(0b01));
+        // Round trip a spread of run lengths.
+        for i in [0u64, 1, 2, 3, 4, 7, 8, 100, 1023] {
+            let mut w = BitWriter::new();
+            push_run(&mut w, i);
+            let mut r = BitReader::new(w.as_bytes(), w.len());
+            assert_eq!(read_run(&mut r), Some(i), "run {i}");
+        }
+    }
+
+    #[test]
+    fn single_bit_arrays_work() {
+        for bit in [true, false] {
+            let bits = vec![bit];
+            let mut w = BitWriter::new();
+            encode_best(&bits, 4, &mut w);
+            let mut r = BitReader::new(w.as_bytes(), w.len());
+            assert_eq!(decode_node(&mut r, 4).unwrap(), bits);
+        }
+    }
+
+    #[test]
+    fn large_fanout_round_trips() {
+        // Thesis-scale fanout M = 204.
+        let mut bits = vec![false; 204];
+        for i in [0usize, 7, 63, 128, 203] {
+            bits[i] = true;
+        }
+        for scheme in Scheme::all() {
+            if let Some(got) = round_trip(scheme, &bits, 204) {
+                assert_eq!(got, bits, "scheme {scheme:?}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn proptest_best_roundtrip(raw in proptest::collection::vec(proptest::bool::ANY, 1..64)) {
+            let m = 64;
+            let mut w = BitWriter::new();
+            encode_best(&raw, m, &mut w);
+            let mut r = BitReader::new(w.as_bytes(), w.len());
+            let got = decode_node(&mut r, m).unwrap();
+            proptest::prop_assert_eq!(got, raw);
+        }
+
+        #[test]
+        fn proptest_every_scheme_roundtrip(raw in proptest::collection::vec(proptest::bool::ANY, 1..32)) {
+            let m = 32;
+            for scheme in Scheme::all() {
+                if let Some(got) = round_trip(scheme, &raw, m) {
+                    proptest::prop_assert_eq!(&got, &raw, "scheme {:?}", scheme);
+                }
+            }
+        }
+    }
+}

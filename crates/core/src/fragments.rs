@@ -1,0 +1,165 @@
+//! Ranking fragments — the high-selection-dimensionality mode (Section 3.4).
+//!
+//! Full materialization needs `2^S − 1` cuboids; fragments of size `F` need
+//! only `⌈S/F⌉ · (2^F − 1)`, so the space grows **linearly** with `S`
+//! (Lemma 2). Queries spanning several fragments are answered by
+//! intersecting the tid lists retrieved from a covering cuboid per fragment.
+
+use rcube_func::RankFn;
+use rcube_storage::DiskSim;
+use rcube_table::{Relation, Selection};
+
+use crate::gridcube::{CuboidSpec, GridCubeConfig, GridRankingCube};
+use crate::{TopKQuery, TopKResult};
+
+/// Fragment parameters.
+#[derive(Debug, Clone)]
+pub struct FragmentConfig {
+    /// Fragment size `F` (number of selection dimensions per group;
+    /// default 2, per Section 3.5.1).
+    pub fragment_size: usize,
+    /// Base block size `P`.
+    pub block_size: usize,
+}
+
+impl Default for FragmentConfig {
+    fn default() -> Self {
+        Self { fragment_size: 2, block_size: 300 }
+    }
+}
+
+/// Semi-materialized ranking fragments over a relation.
+#[derive(Debug)]
+pub struct RankingFragments {
+    cube: GridRankingCube,
+    fragment_size: usize,
+    num_selection: usize,
+}
+
+impl RankingFragments {
+    /// Materializes the fragments, charging construction I/O to `disk`.
+    pub fn build(rel: &Relation, disk: &DiskSim, config: FragmentConfig) -> Self {
+        let cube = GridRankingCube::build(
+            rel,
+            disk,
+            GridCubeConfig {
+                block_size: config.block_size,
+                ranking_dims: Vec::new(),
+                cuboids: CuboidSpec::Fragments(config.fragment_size),
+            },
+        );
+        Self { cube, fragment_size: config.fragment_size, num_selection: rel.schema().num_selection() }
+    }
+
+    /// Fragment size `F`.
+    pub fn fragment_size(&self) -> usize {
+        self.fragment_size
+    }
+
+    /// Number of fragments `⌈S/F⌉`.
+    pub fn num_fragments(&self) -> usize {
+        self.num_selection.div_ceil(self.fragment_size)
+    }
+
+    /// Materialized bytes (Figure 3.11's space metric).
+    pub fn materialized_bytes(&self) -> usize {
+        self.cube.materialized_bytes()
+    }
+
+    /// Number of fragments a query's selection touches (Figure 3.12's
+    /// x-axis): the size of the covering cuboid set.
+    pub fn covering_fragments(&self, selection: &Selection) -> usize {
+        self.cube.covering_cuboids(selection).map_or(0, |c| c.len())
+    }
+
+    /// Answers a top-k query by assembling covering fragments online.
+    pub fn query<F: RankFn>(&self, query: &TopKQuery<F>, disk: &DiskSim) -> TopKResult {
+        self.cube.query(query, disk)
+    }
+
+    /// The underlying grid cube (shared base block table + partition).
+    pub fn cube(&self) -> &GridRankingCube {
+        &self.cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_func::Linear;
+    use rcube_table::gen::SyntheticSpec;
+
+    fn build(s: usize, f: usize, t: usize) -> (Relation, DiskSim, RankingFragments) {
+        let rel = SyntheticSpec {
+            tuples: t,
+            selection_dims: s,
+            cardinality: 5,
+            ..Default::default()
+        }
+        .generate();
+        let disk = DiskSim::with_defaults();
+        let frags = RankingFragments::build(
+            &rel,
+            &disk,
+            FragmentConfig { fragment_size: f, block_size: 64 },
+        );
+        (rel, disk, frags)
+    }
+
+    #[test]
+    fn fragment_count() {
+        let (_, _, f) = build(12, 2, 200);
+        assert_eq!(f.num_fragments(), 6);
+        let (_, _, f) = build(12, 3, 200);
+        assert_eq!(f.num_fragments(), 4);
+        let (_, _, f) = build(5, 2, 200);
+        assert_eq!(f.num_fragments(), 3);
+    }
+
+    #[test]
+    fn covering_fragment_counts() {
+        let (_, _, f) = build(6, 2, 300);
+        // Dims 0,1 share a fragment: 1 covering cuboid.
+        assert_eq!(f.covering_fragments(&Selection::new(vec![(0, 1), (1, 2)])), 1);
+        // Dims 0,2 span two fragments.
+        assert_eq!(f.covering_fragments(&Selection::new(vec![(0, 1), (2, 2)])), 2);
+        // Dims 1,2,4 span three fragments.
+        assert_eq!(
+            f.covering_fragments(&Selection::new(vec![(1, 0), (2, 2), (4, 1)])),
+            3
+        );
+    }
+
+    #[test]
+    fn space_grows_linearly_with_dimensions() {
+        // Lemma 2: fixed F ⇒ space linear in S.
+        let sizes: Vec<usize> = [3usize, 6, 9, 12]
+            .iter()
+            .map(|&s| build(s, 2, 1_000).2.materialized_bytes())
+            .collect();
+        // Consecutive increments should be roughly equal (within 2×), far
+        // from the exponential growth of a full cube.
+        let d1 = sizes[1] as f64 - sizes[0] as f64;
+        let d3 = sizes[3] as f64 - sizes[2] as f64;
+        assert!(d1 > 0.0 && d3 > 0.0);
+        assert!(d3 / d1 < 2.0, "increments {d1} vs {d3} suggest super-linear growth");
+    }
+
+    #[test]
+    fn cross_fragment_query_matches_naive() {
+        let (rel, disk, frags) = build(6, 2, 2_000);
+        let q = TopKQuery::new(vec![(0, 1), (3, 2), (5, 0)], Linear::uniform(2), 10);
+        let got = frags.query(&q, &disk);
+        let mut want: Vec<f64> = rel
+            .tids()
+            .filter(|&t| q.selection.matches(&rel, t))
+            .map(|t| rel.ranking_value(t, 0) + rel.ranking_value(t, 1))
+            .collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(10);
+        assert_eq!(got.items.len(), want.len());
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

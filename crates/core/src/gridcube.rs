@@ -1,0 +1,600 @@
+//! The grid-partition ranking cube (Chapter 3).
+//!
+//! Offline: decompose the relation into a *selection table* and a *base
+//! block table* via equi-depth partitioning (Section 3.2.2); for every
+//! materialized cuboid, store per cell the tid(bid) list under pseudo-block
+//! coarsening (Section 3.2.3). Online: the four-step query algorithm of
+//! Section 3.3 — pre-process, neighborhood search (Lemma 1), buffered
+//! pseudo-block retrieval, block-level evaluation — with the stop condition
+//! `S_k ≤ S_unseen`.
+//!
+//! Queries whose selection dimensions are not materialized as a single
+//! cuboid are answered by a *covering set* of cuboids whose tid lists are
+//! intersected online (Section 3.4.2) — the fragments mechanism.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rcube_func::RankFn;
+use rcube_index::grid::{Bid, GridPartition};
+use rcube_storage::{DiskSim, PageId, PageStore};
+use rcube_table::{Relation, Selection, Tid};
+
+use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
+
+/// Which cuboids to materialize.
+#[derive(Debug, Clone)]
+pub enum CuboidSpec {
+    /// All `2^S − 1` non-empty subsets (full ranking cube; small `S` only).
+    AllSubsets,
+    /// Fragments of the given size: selection dimensions are grouped into
+    /// `⌈S/F⌉` disjoint chunks and each chunk gets its full local cube
+    /// (Section 3.4.1).
+    Fragments(usize),
+    /// Explicit cuboid dimension sets.
+    Explicit(Vec<Vec<usize>>),
+}
+
+/// Construction parameters (defaults from Section 3.5.1).
+#[derive(Debug, Clone)]
+pub struct GridCubeConfig {
+    /// Expected tuples per base block (`P`; default 300).
+    pub block_size: usize,
+    /// Ranking dimensions covered by the partition (empty = all).
+    pub ranking_dims: Vec<usize>,
+    /// Cuboid choice.
+    pub cuboids: CuboidSpec,
+}
+
+impl Default for GridCubeConfig {
+    fn default() -> Self {
+        Self { block_size: 300, ranking_dims: Vec::new(), cuboids: CuboidSpec::AllSubsets }
+    }
+}
+
+#[derive(Debug)]
+struct Cuboid {
+    /// Pseudo-block scale factor for this cuboid.
+    sf: usize,
+    /// `(cell values over dims, pid) → stored tid(bid) list`.
+    cells: HashMap<(Vec<u32>, u32), PageId>,
+}
+
+/// The materialized grid ranking cube.
+#[derive(Debug)]
+pub struct GridRankingCube {
+    partition: GridPartition,
+    store: PageStore,
+    /// bid → base block page (tid + ranking values records).
+    base_pages: Vec<Option<PageId>>,
+    cuboids: BTreeMap<Vec<usize>, Cuboid>,
+    /// Relation ranking dimensions covered, in partition order.
+    ranking_dims: Vec<usize>,
+    config: GridCubeConfig,
+}
+
+impl GridRankingCube {
+    /// Builds the cube over `rel`, charging construction I/O to `disk`.
+    pub fn build(rel: &Relation, disk: &DiskSim, config: GridCubeConfig) -> Self {
+        let ranking_dims: Vec<usize> = if config.ranking_dims.is_empty() {
+            (0..rel.schema().num_ranking()).collect()
+        } else {
+            config.ranking_dims.clone()
+        };
+        let partition = GridPartition::build(rel, &ranking_dims, config.block_size);
+        let store = PageStore::new();
+
+        // Base block table: bid → [(tid, values…)].
+        let mut base_pages = vec![None; partition.num_blocks()];
+        for bid in 0..partition.num_blocks() as Bid {
+            let tids = partition.block_tids(bid);
+            if tids.is_empty() {
+                continue;
+            }
+            let mut bytes = Vec::with_capacity(tids.len() * (4 + 8 * ranking_dims.len()));
+            for &tid in tids {
+                bytes.extend_from_slice(&tid.to_le_bytes());
+                for &d in &ranking_dims {
+                    bytes.extend_from_slice(&rel.ranking_value(tid, d).to_le_bytes());
+                }
+            }
+            base_pages[bid as usize] = Some(store.put(disk, bytes));
+        }
+
+        // Cuboid dimension sets.
+        let dim_sets = match &config.cuboids {
+            CuboidSpec::AllSubsets => all_subsets(&(0..rel.schema().num_selection()).collect::<Vec<_>>()),
+            CuboidSpec::Fragments(f) => fragment_subsets(rel.schema().num_selection(), *f),
+            CuboidSpec::Explicit(sets) => sets.clone(),
+        };
+
+        let mut cuboids = BTreeMap::new();
+        for dims in dim_sets {
+            let cards: Vec<u32> =
+                dims.iter().map(|&d| rel.schema().selection_dim(d).cardinality()).collect();
+            let sf = GridPartition::scale_factor(&cards);
+            // Group (cell values, pid) → [(tid, bid)].
+            let mut groups: HashMap<(Vec<u32>, u32), Vec<(Tid, Bid)>> = HashMap::new();
+            for tid in rel.tids() {
+                let vals: Vec<u32> = dims.iter().map(|&d| rel.selection_value(tid, d)).collect();
+                let bid = partition.bid_of(tid);
+                let pid = partition.pid_of(bid, sf);
+                groups.entry((vals, pid)).or_default().push((tid, bid));
+            }
+            let mut cells = HashMap::with_capacity(groups.len());
+            for (key, entries) in groups {
+                let mut bytes = Vec::with_capacity(entries.len() * 8);
+                for (tid, bid) in entries {
+                    bytes.extend_from_slice(&tid.to_le_bytes());
+                    bytes.extend_from_slice(&bid.to_le_bytes());
+                }
+                cells.insert(key, store.put(disk, bytes));
+            }
+            cuboids.insert(dims, Cuboid { sf, cells });
+        }
+
+        Self { partition, store, base_pages, cuboids, ranking_dims, config }
+    }
+
+    /// The geometry partition (meta information).
+    pub fn partition(&self) -> &GridPartition {
+        &self.partition
+    }
+
+    /// Ranking dimensions covered by the cube.
+    pub fn ranking_dims(&self) -> &[usize] {
+        &self.ranking_dims
+    }
+
+    /// Materialized size in bytes (cuboid cells + base block table).
+    pub fn materialized_bytes(&self) -> usize {
+        self.store.total_bytes()
+    }
+
+    /// Dimension sets of the materialized cuboids.
+    pub fn cuboid_dims(&self) -> Vec<Vec<usize>> {
+        self.cuboids.keys().cloned().collect()
+    }
+
+    /// The covering cuboid set for a selection (Section 3.4.2): maximal
+    /// materialized cuboids with `Dim(C) ⊆ Q`, then a greedy minimum cover.
+    /// `None` when the materialized cuboids cannot cover the query.
+    pub fn covering_cuboids(&self, selection: &Selection) -> Option<Vec<Vec<usize>>> {
+        let q: HashSet<usize> = selection.dims().into_iter().collect();
+        if q.is_empty() {
+            return Some(Vec::new());
+        }
+        // Candidates: cuboids whose dims ⊆ Q.
+        let candidates: Vec<&Vec<usize>> = self
+            .cuboids
+            .keys()
+            .filter(|dims| dims.iter().all(|d| q.contains(d)))
+            .collect();
+        // Maximal step: drop candidates strictly contained in another.
+        let maximal: Vec<&Vec<usize>> = candidates
+            .iter()
+            .filter(|&&c| {
+                !candidates.iter().any(|&other| {
+                    other.len() > c.len() && c.iter().all(|d| other.contains(d))
+                })
+            })
+            .copied()
+            .collect();
+        // Greedy minimum cover.
+        let mut uncovered = q.clone();
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let best = maximal
+                .iter()
+                .max_by_key(|c| c.iter().filter(|d| uncovered.contains(d)).count())?;
+            let gain = best.iter().filter(|d| uncovered.contains(d)).count();
+            if gain == 0 {
+                return None;
+            }
+            for d in best.iter() {
+                uncovered.remove(d);
+            }
+            chosen.push((*best).clone());
+        }
+        Some(chosen)
+    }
+
+    /// Answers a top-k query (Section 3.3 / 3.4.2).
+    pub fn query<F: RankFn>(&self, query: &TopKQuery<F>, disk: &DiskSim) -> TopKResult {
+        let covering = self
+            .covering_cuboids(&query.selection)
+            .expect("materialized cuboids cannot cover the query's selection dimensions");
+        self.query_with_cuboids(query, &covering, disk)
+    }
+
+    /// Answers a top-k query through an explicit covering cuboid set.
+    pub fn query_with_cuboids<F: RankFn>(
+        &self,
+        query: &TopKQuery<F>,
+        covering: &[Vec<usize>],
+        disk: &DiskSim,
+    ) -> TopKResult {
+        let before = disk.stats().snapshot();
+        let mut stats = QueryStats::default();
+
+        // Positions of the query's ranking dimensions inside the partition.
+        let proj: Vec<usize> = query
+            .ranking_dims
+            .iter()
+            .map(|d| {
+                self.ranking_dims
+                    .iter()
+                    .position(|rd| rd == d)
+                    .expect("query ranking dimension not covered by the cube")
+            })
+            .collect();
+
+        let block_lb = |bid: Bid| {
+            let rect = self.partition.block_rect(bid).project(&proj);
+            query.func.lower_bound(&rect)
+        };
+
+        // Search state: candidate list H (Lemma 1), visited set, topk heap,
+        // and a buffer of retrieved pseudo blocks keyed by (cuboid, pid).
+        let mut topk = TopKHeap::new(query.k);
+        let mut h: std::collections::BinaryHeap<HeapBlock> = std::collections::BinaryHeap::new();
+        let mut inserted: HashSet<Bid> = HashSet::new();
+        let mut pid_buffer: HashMap<(usize, u32), Vec<(Tid, Bid)>> = HashMap::new();
+
+        // Seed with the block containing the function's minimum — computed
+        // from meta information only (bin boundaries), no I/O.
+        let num_blocks = self.partition.num_blocks() as Bid;
+        let seed = (0..num_blocks).min_by(|&a, &b| block_lb(a).total_cmp(&block_lb(b)));
+        if let Some(seed) = seed {
+            h.push(HeapBlock(block_lb(seed), seed));
+            inserted.insert(seed);
+        }
+
+        loop {
+            let Some(HeapBlock(s_unseen, bid)) = h.pop() else {
+                // Correctness guard for non-convex functions: re-seed with
+                // the best block not yet considered (Section 3.6.1 fallback).
+                match (0..num_blocks)
+                    .filter(|b| !inserted.contains(b))
+                    .min_by(|&a, &b| block_lb(a).total_cmp(&block_lb(b)))
+                {
+                    Some(next) if block_lb(next) < topk.kth_score() => {
+                        inserted.insert(next);
+                        h.push(HeapBlock(block_lb(next), next));
+                        continue;
+                    }
+                    _ => break,
+                }
+            };
+            if topk.kth_score() <= s_unseen {
+                break; // S_k ≤ S_unseen: answers are final.
+            }
+            stats.states_generated += 1;
+
+            // Retrieve: tid list of this base block, intersected across the
+            // covering cuboids (get_pseudo_block per cuboid, buffered).
+            let tids = self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats);
+
+            // Evaluate: fetch real values from the base block table.
+            if !tids.is_empty() {
+                if let Some(page) = self.base_pages[bid as usize] {
+                    let bytes = self.store.get(disk, page);
+                    stats.blocks_read += 1;
+                    let rec = 4 + 8 * self.ranking_dims.len();
+                    let want: HashSet<Tid> = tids.iter().copied().collect();
+                    for chunk in bytes.chunks_exact(rec) {
+                        let tid = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+                        if !want.contains(&tid) {
+                            continue;
+                        }
+                        let point: Vec<f64> = proj
+                            .iter()
+                            .map(|&p| {
+                                let off = 4 + 8 * p;
+                                f64::from_le_bytes(chunk[off..off + 8].try_into().unwrap())
+                            })
+                            .collect();
+                        topk.offer(tid, query.func.score(&point));
+                        stats.tuples_scored += 1;
+                    }
+                }
+            }
+
+            // Expand: neighboring blocks join H (Lemma 1).
+            for nb in self.partition.neighbors(bid) {
+                if inserted.insert(nb) {
+                    h.push(HeapBlock(block_lb(nb), nb));
+                }
+            }
+            stats.peak_heap = stats.peak_heap.max(h.len() as u64);
+        }
+
+        stats.io = before.delta(&disk.stats().snapshot());
+        TopKResult { items: topk.into_sorted(), stats }
+    }
+
+    /// The retrieve step: tid list for `bid` under the query's selection,
+    /// intersected across covering cuboids, with pid-level buffering.
+    fn retrieve_block_tids<F: RankFn>(
+        &self,
+        query: &TopKQuery<F>,
+        covering: &[Vec<usize>],
+        bid: Bid,
+        pid_buffer: &mut HashMap<(usize, u32), Vec<(Tid, Bid)>>,
+        disk: &DiskSim,
+        stats: &mut QueryStats,
+    ) -> Vec<Tid> {
+        if covering.is_empty() {
+            // No selection: the whole base block qualifies.
+            return self.partition.block_tids(bid).to_vec();
+        }
+        let mut acc: Option<HashSet<Tid>> = None;
+        for (ci, dims) in covering.iter().enumerate() {
+            let cuboid = &self.cuboids[dims];
+            let pid = self.partition.pid_of(bid, cuboid.sf);
+            let key = (ci, pid);
+            if let std::collections::hash_map::Entry::Vacant(e) = pid_buffer.entry(key) {
+                let vals: Vec<u32> = dims
+                    .iter()
+                    .map(|d| query.selection.value_on(*d).expect("covering cuboid dim not in query"))
+                    .collect();
+                let entries = match cuboid.cells.get(&(vals, pid)) {
+                    Some(&page) => {
+                        let bytes = self.store.get(disk, page);
+                        stats.blocks_read += 1;
+                        bytes
+                            .chunks_exact(8)
+                            .map(|c| {
+                                (
+                                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                                )
+                            })
+                            .collect()
+                    }
+                    None => Vec::new(),
+                };
+                e.insert(entries);
+            }
+            let set: HashSet<Tid> = pid_buffer[&key]
+                .iter()
+                .filter(|&&(_, b)| b == bid)
+                .map(|&(t, _)| t)
+                .collect();
+            acc = Some(match acc {
+                None => set,
+                Some(prev) => prev.intersection(&set).copied().collect(),
+            });
+            if acc.as_ref().is_some_and(|s| s.is_empty()) {
+                return Vec::new();
+            }
+        }
+        let mut v: Vec<Tid> = acc.unwrap_or_default().into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Block size parameter `P`.
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+}
+
+/// Min-heap entry ordered by block lower bound.
+#[derive(Debug, PartialEq)]
+struct HeapBlock(f64, Bid);
+
+impl Eq for HeapBlock {}
+
+impl Ord for HeapBlock {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the minimum bound.
+        other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for HeapBlock {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All non-empty subsets of `dims` (ascending by size then lexicographic).
+pub(crate) fn all_subsets(dims: &[usize]) -> Vec<Vec<usize>> {
+    assert!(dims.len() <= 16, "full cube limited to 16 selection dimensions");
+    let mut out = Vec::with_capacity((1usize << dims.len()) - 1);
+    for mask in 1u32..(1u32 << dims.len()) {
+        let set: Vec<usize> =
+            (0..dims.len()).filter(|&i| mask >> i & 1 == 1).map(|i| dims[i]).collect();
+        out.push(set);
+    }
+    out.sort_by_key(|s| (s.len(), s.clone()));
+    out
+}
+
+/// Cuboid sets for fragments of size `f` over `s` dimensions
+/// (Example 5: dimensions are chunked evenly; each chunk contributes its
+/// full subset lattice).
+pub(crate) fn fragment_subsets(s: usize, f: usize) -> Vec<Vec<usize>> {
+    let f = f.max(1);
+    let mut out = Vec::new();
+    let dims: Vec<usize> = (0..s).collect();
+    for chunk in dims.chunks(f) {
+        out.extend(all_subsets(chunk));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_func::{Linear, SqDist};
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::workload::{QueryGen, WorkloadParams};
+
+    fn naive_topk(
+        rel: &Relation,
+        sel: &Selection,
+        f: &impl RankFn,
+        dims: &[usize],
+        k: usize,
+    ) -> Vec<f64> {
+        let mut scores: Vec<f64> = rel
+            .tids()
+            .filter(|&t| sel.matches(rel, t))
+            .map(|t| f.score(&rel.ranking_point_proj(t, dims)))
+            .collect();
+        scores.sort_by(f64::total_cmp);
+        scores.truncate(k);
+        scores
+    }
+
+    #[test]
+    fn matches_naive_scan_on_random_workload() {
+        let rel = SyntheticSpec { tuples: 3_000, cardinality: 5, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 64, ..Default::default() });
+        let mut qg = QueryGen::new(WorkloadParams { num_conditions: 2, k: 10, ..Default::default() });
+        for spec in qg.batch(&rel, 10) {
+            let f = Linear::new(spec.weights.clone());
+            let q = TopKQuery::with_ranking_dims(
+                spec.selection.conds().to_vec(),
+                f,
+                spec.ranking_dims.clone(),
+                spec.k,
+            );
+            let got = cube.query(&q, &disk);
+            let want = naive_topk(
+                &rel,
+                &spec.selection,
+                &Linear::new(spec.weights.clone()),
+                &spec.ranking_dims,
+                spec.k,
+            );
+            assert_eq!(got.scores().len(), want.len());
+            for (g, w) in got.scores().iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "score mismatch: {g} vs {w}");
+            }
+            // Every answer satisfies the selection.
+            for t in got.tids() {
+                assert!(spec.selection.matches(&rel, t));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_queries_match_naive() {
+        let rel = SyntheticSpec { tuples: 2_000, cardinality: 4, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 50, ..Default::default() });
+        let f = SqDist::new(vec![0.3, 0.7]);
+        let q = TopKQuery::new(vec![(0, 1)], f, 5);
+        let got = cube.query(&q, &disk);
+        let want = naive_topk(&rel, &q.selection, &SqDist::new(vec![0.3, 0.7]), &[0, 1], 5);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_weights_supported() {
+        // Convex but non-monotone: the thesis' selling point vs TA.
+        let rel = SyntheticSpec { tuples: 1_500, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 50, ..Default::default() });
+        let f = Linear::new(vec![1.0, -2.0]);
+        let q = TopKQuery::new(vec![(1, 0)], f, 8);
+        let got = cube.query(&q, &disk);
+        let want = naive_topk(&rel, &q.selection, &Linear::new(vec![1.0, -2.0]), &[0, 1], 8);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_selection_ranks_everything() {
+        let rel = SyntheticSpec { tuples: 500, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig::default());
+        let q = TopKQuery::new(vec![], Linear::uniform(2), 3);
+        let got = cube.query(&q, &disk);
+        let want = naive_topk(&rel, &Selection::all(), &Linear::uniform(2), &[0, 1], 3);
+        assert_eq!(got.scores().len(), 3);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn selective_query_returns_fewer_than_k() {
+        let rel = SyntheticSpec { tuples: 200, cardinality: 50, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 20, ..Default::default() });
+        let q = TopKQuery::new(vec![(0, 0), (1, 1), (2, 2)], Linear::uniform(2), 10);
+        let got = cube.query(&q, &disk);
+        let matching = rel.tids().filter(|&t| q.selection.matches(&rel, t)).count();
+        assert_eq!(got.items.len(), matching.min(10));
+    }
+
+    #[test]
+    fn covering_prefers_largest_cuboid() {
+        let rel = SyntheticSpec { tuples: 300, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig::default());
+        let sel = Selection::new(vec![(0, 1), (2, 3)]);
+        let cover = cube.covering_cuboids(&sel).unwrap();
+        // Full cube materializes {0,2}: one cuboid covers the query.
+        assert_eq!(cover, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn fragments_cover_via_intersection() {
+        let rel = SyntheticSpec { tuples: 2_000, selection_dims: 4, cardinality: 5, ..Default::default() }
+            .generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, cuboids: CuboidSpec::Fragments(2), ..Default::default() },
+        );
+        // Query spanning both fragments: dims {1, 3}.
+        let sel = Selection::new(vec![(1, 2), (3, 4)]);
+        let cover = cube.covering_cuboids(&sel).unwrap();
+        assert_eq!(cover.len(), 2, "dims 1 and 3 live in different fragments");
+        let q = TopKQuery::new(vec![(1, 2), (3, 4)], Linear::uniform(2), 10);
+        let got = cube.query(&q, &disk);
+        let want = naive_topk(&rel, &q.selection, &Linear::uniform(2), &[0, 1], 10);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_subsets_enumerates_lattice() {
+        let s = all_subsets(&[0, 1, 2]);
+        assert_eq!(s.len(), 7);
+        assert!(s.contains(&vec![0, 1, 2]));
+        assert!(s.contains(&vec![1]));
+    }
+
+    #[test]
+    fn fragment_subsets_stay_within_chunks() {
+        let s = fragment_subsets(4, 2);
+        // Chunks {0,1} and {2,3}: 3 subsets each.
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(&vec![0, 1]));
+        assert!(s.contains(&vec![2, 3]));
+        assert!(!s.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn query_charges_io() {
+        let rel = SyntheticSpec { tuples: 5_000, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig::default());
+        disk.clear_buffer();
+        let q = TopKQuery::new(vec![(0, 1)], Linear::uniform(2), 10);
+        let res = cube.query(&q, &disk);
+        assert!(res.stats.io.logical_reads > 0, "query must touch the store");
+        assert!(res.stats.blocks_read > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Tid-list compression (Section 3.6.3).
+//!
+//! The grid cube's cell measures are ascending tid lists. Two compression
+//! schemes from the discussion section:
+//!
+//! * **Delta–varint** (the information-retrieval scheme): store gaps
+//!   between consecutive tids as LEB128 varints — ascending lists compress
+//!   to a byte or two per entry.
+//! * **Bitmap**: one bit per tuple over a known universe — best for dense
+//!   cells (low-cardinality dimensions), and intersections become bitwise
+//!   AND, accelerating the fragments' merge-intersect step.
+//!
+//! [`encode_auto`] picks whichever is smaller for the list at hand.
+
+use rcube_table::Tid;
+
+/// Encoded representation tag (first byte of the buffer).
+const TAG_DELTA: u8 = 0;
+const TAG_BITMAP: u8 = 1;
+
+/// Delta–varint encodes an ascending tid list.
+pub fn encode_delta(tids: &[Tid]) -> Vec<u8> {
+    debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tid list must be strictly ascending");
+    let mut out = vec![TAG_DELTA];
+    let mut prev = 0u32;
+    for (i, &t) in tids.iter().enumerate() {
+        let gap = if i == 0 { t } else { t - prev - 1 };
+        push_leb(&mut out, gap);
+        prev = t;
+    }
+    out
+}
+
+/// Bitmap encodes a tid list over the universe `0..universe`.
+pub fn encode_bitmap(tids: &[Tid], universe: u32) -> Vec<u8> {
+    let mut out = vec![TAG_BITMAP];
+    out.extend_from_slice(&universe.to_le_bytes());
+    let mut bits = vec![0u8; (universe as usize).div_ceil(8)];
+    for &t in tids {
+        debug_assert!(t < universe);
+        bits[(t / 8) as usize] |= 1 << (t % 8);
+    }
+    out.extend_from_slice(&bits);
+    out
+}
+
+/// Picks the smaller encoding for this list.
+pub fn encode_auto(tids: &[Tid], universe: u32) -> Vec<u8> {
+    let delta = encode_delta(tids);
+    // Bitmap size is known without building it: 5 + ⌈universe/8⌉.
+    if delta.len() <= 5 + (universe as usize).div_ceil(8) {
+        delta
+    } else {
+        encode_bitmap(tids, universe)
+    }
+}
+
+/// Decodes either representation back to an ascending tid list.
+pub fn decode(buf: &[u8]) -> Vec<Tid> {
+    match buf.first() {
+        Some(&TAG_DELTA) => {
+            let mut out = Vec::new();
+            let mut pos = 1;
+            let mut prev = 0u32;
+            let mut first = true;
+            while pos < buf.len() {
+                let (gap, next) = read_leb(buf, pos);
+                pos = next;
+                let t = if first { gap } else { prev + gap + 1 };
+                first = false;
+                out.push(t);
+                prev = t;
+            }
+            out
+        }
+        Some(&TAG_BITMAP) => {
+            let universe = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+            let mut out = Vec::new();
+            for t in 0..universe {
+                if buf[5 + (t / 8) as usize] >> (t % 8) & 1 == 1 {
+                    out.push(t);
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Intersects two encoded lists; bitmap∩bitmap uses bitwise AND (the
+/// fast-merge claim of Section 3.6.3), everything else merge-intersects.
+pub fn intersect(a: &[u8], b: &[u8]) -> Vec<Tid> {
+    if a.first() == Some(&TAG_BITMAP) && b.first() == Some(&TAG_BITMAP) {
+        let ua = u32::from_le_bytes(a[1..5].try_into().unwrap());
+        let ub = u32::from_le_bytes(b[1..5].try_into().unwrap());
+        let universe = ua.min(ub);
+        let mut out = Vec::new();
+        for t in 0..universe {
+            let byte = 5 + (t / 8) as usize;
+            if (a[byte] & b[byte]) >> (t % 8) & 1 == 1 {
+                out.push(t);
+            }
+        }
+        return out;
+    }
+    let (xa, xb) = (decode(a), decode(b));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < xa.len() && j < xb.len() {
+        match xa[i].cmp(&xb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(xa[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn push_leb(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_leb(buf: &[u8], mut pos: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = buf[pos];
+        pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_round_trips() {
+        let tids = vec![0, 1, 5, 100, 101, 100_000, 3_000_000];
+        assert_eq!(decode(&encode_delta(&tids)), tids);
+        assert_eq!(decode(&encode_delta(&[])), Vec::<Tid>::new());
+        assert_eq!(decode(&encode_delta(&[7])), vec![7]);
+    }
+
+    #[test]
+    fn bitmap_round_trips() {
+        let tids = vec![0, 3, 8, 62, 63];
+        assert_eq!(decode(&encode_bitmap(&tids, 64)), tids);
+    }
+
+    #[test]
+    fn dense_lists_compress_better_as_bitmaps() {
+        let dense: Vec<Tid> = (0..1000).filter(|t| t % 2 == 0).collect();
+        let auto = encode_auto(&dense, 1000);
+        assert_eq!(auto[0], TAG_BITMAP);
+        assert!(auto.len() < encode_delta(&dense).len());
+        assert_eq!(decode(&auto), dense);
+    }
+
+    #[test]
+    fn sparse_lists_compress_better_as_deltas() {
+        let sparse = vec![10, 5_000, 90_000];
+        let auto = encode_auto(&sparse, 100_000);
+        assert_eq!(auto[0], TAG_DELTA);
+        assert!(auto.len() < 5 + 100_000 / 8);
+        assert_eq!(decode(&auto), sparse);
+    }
+
+    #[test]
+    fn intersection_matches_set_semantics() {
+        let a = vec![1, 3, 5, 7, 9, 50];
+        let b = vec![3, 4, 5, 50, 80];
+        let want = vec![3, 5, 50];
+        // All four representation pairings.
+        for ea in [encode_delta(&a), encode_bitmap(&a, 128)] {
+            for eb in [encode_delta(&b), encode_bitmap(&b, 128)] {
+                assert_eq!(intersect(&ea, &eb), want);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_beats_raw_u32_on_ascending_lists() {
+        let tids: Vec<Tid> = (0..10_000).map(|i| i * 3).collect();
+        let encoded = encode_delta(&tids);
+        assert!(encoded.len() * 2 < tids.len() * 4, "{} vs {}", encoded.len(), tids.len() * 4);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn proptest_round_trip(mut raw in proptest::collection::vec(0u32..50_000, 0..300)) {
+            raw.sort_unstable();
+            raw.dedup();
+            let universe = raw.last().map_or(1, |&m| m + 1);
+            proptest::prop_assert_eq!(&decode(&encode_delta(&raw)), &raw);
+            proptest::prop_assert_eq!(&decode(&encode_bitmap(&raw, universe)), &raw);
+            proptest::prop_assert_eq!(&decode(&encode_auto(&raw, universe)), &raw);
+        }
+    }
+}

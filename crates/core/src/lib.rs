@@ -1,0 +1,229 @@
+//! The ranking cube: rank-aware semi-offline materialization plus
+//! semi-online top-k computation (Chapters 3 and 4 of the thesis).
+//!
+//! Two interchangeable implementations of the same framework
+//! (Section 4.1.2):
+//!
+//! * **Grid partition + neighborhood search** — [`gridcube::GridRankingCube`]
+//!   materializes tid/bid lists per cuboid cell over an equi-depth grid
+//!   (Chapter 3); [`fragments::RankingFragments`] extends it to high
+//!   selection dimensionality with linear-space semi-materialization.
+//! * **Hierarchical partition + top-down search** —
+//!   [`sigcube::SignatureCube`] materializes compressed bit-tree
+//!   *signatures* over an R-tree (Chapter 4) and answers queries with
+//!   branch-and-bound search under simultaneous ranking and Boolean
+//!   pruning.
+
+pub mod coding;
+pub mod fragments;
+pub mod idlist;
+pub mod gridcube;
+pub mod maintain;
+pub mod sigcube;
+pub mod signature;
+pub mod sigquery;
+
+pub use gridcube::{GridCubeConfig, GridRankingCube};
+pub use sigcube::{SignatureCube, SignatureCubeConfig};
+
+use rcube_func::RankFn;
+use rcube_storage::IoSnapshot;
+use rcube_table::{Selection, Tid};
+
+/// A top-k query: multi-dimensional selection + ad-hoc ranking function.
+///
+/// `ranking_dims` names the relation ranking dimensions the function reads,
+/// in argument order; it defaults to `0..f.arity()`.
+#[derive(Debug)]
+pub struct TopKQuery<F> {
+    pub selection: Selection,
+    pub func: F,
+    pub ranking_dims: Vec<usize>,
+    pub k: usize,
+}
+
+impl<F: RankFn> TopKQuery<F> {
+    /// Query with selection conditions given as `(dimension, value)` pairs.
+    pub fn new(conds: Vec<(usize, u32)>, func: F, k: usize) -> Self {
+        let ranking_dims = (0..func.arity()).collect();
+        Self { selection: Selection::new(conds), func, ranking_dims, k }
+    }
+
+    /// Query reading an explicit subset of ranking dimensions.
+    pub fn with_ranking_dims(
+        conds: Vec<(usize, u32)>,
+        func: F,
+        ranking_dims: Vec<usize>,
+        k: usize,
+    ) -> Self {
+        assert_eq!(func.arity(), ranking_dims.len(), "function arity must match ranking dims");
+        Self { selection: Selection::new(conds), func, ranking_dims, k }
+    }
+}
+
+/// Execution counters every engine reports alongside its answers, mirroring
+/// the cost metrics plotted in the evaluation chapters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// I/O charged during the query (delta snapshot).
+    pub io: IoSnapshot,
+    /// Blocks / index nodes retrieved.
+    pub blocks_read: u64,
+    /// Tuples whose exact score was evaluated.
+    pub tuples_scored: u64,
+    /// Peak size of the candidate heap (Chapters 5/7 plots).
+    pub peak_heap: u64,
+    /// Search states generated (Chapter 5 plots).
+    pub states_generated: u64,
+    /// Partial-signature loads (Figure 7.12's loading-time breakdown).
+    pub sig_loads: u64,
+}
+
+/// An answered top-k query: `(tid, score)` pairs in ascending score order.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    pub items: Vec<(Tid, f64)>,
+    pub stats: QueryStats,
+}
+
+impl TopKResult {
+    /// The answer tids in rank order.
+    pub fn tids(&self) -> Vec<Tid> {
+        self.items.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// The answer scores in ascending order.
+    pub fn scores(&self) -> Vec<f64> {
+        self.items.iter().map(|&(_, s)| s).collect()
+    }
+}
+
+/// Bounded max-heap that keeps the best (lowest-score) `k` tuples; the
+/// `TopK` list of Algorithms 3–5.
+#[derive(Debug)]
+pub struct TopKHeap {
+    k: usize,
+    // Max-heap on score: the worst retained tuple sits at the root.
+    heap: std::collections::BinaryHeap<ScoredTid>,
+}
+
+#[derive(Debug, PartialEq)]
+struct ScoredTid(f64, Tid);
+
+impl Eq for ScoredTid {}
+
+impl Ord for ScoredTid {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for ScoredTid {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopKHeap {
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a scored tuple; keeps only the best `k`.
+    pub fn offer(&mut self, tid: Tid, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(ScoredTid(score, tid));
+        } else if score < self.heap.peek().unwrap().0 {
+            self.heap.pop();
+            self.heap.push(ScoredTid(score, tid));
+        }
+    }
+
+    /// The current kth-best score (`S_k`), or `+∞` while under-filled —
+    /// the threshold against `S_unseen` in the stop condition.
+    pub fn kth_score(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |s| s.0)
+        }
+    }
+
+    /// Number of retained tuples.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no tuple has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Extracts the answers in ascending score order.
+    pub fn into_sorted(self) -> Vec<(Tid, f64)> {
+        let mut v: Vec<(Tid, f64)> = self.heap.into_iter().map(|s| (s.1, s.0)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_func::Linear;
+
+    #[test]
+    fn topk_heap_keeps_best_k() {
+        let mut h = TopKHeap::new(3);
+        for (tid, s) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            h.offer(tid, s);
+        }
+        assert_eq!(h.kth_score(), 3.0);
+        let sorted = h.into_sorted();
+        assert_eq!(sorted, vec![(3, 0.5), (1, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn underfilled_heap_reports_infinite_threshold() {
+        let mut h = TopKHeap::new(5);
+        h.offer(0, 1.0);
+        assert!(h.kth_score().is_infinite());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn ties_keep_first_seen() {
+        // Equal scores do not evict retained tuples: any k of the ties is a
+        // valid top-k, and we keep the earliest offers.
+        let mut h = TopKHeap::new(2);
+        h.offer(5, 1.0);
+        h.offer(3, 1.0);
+        h.offer(4, 1.0);
+        let sorted = h.into_sorted();
+        assert_eq!(sorted, vec![(3, 1.0), (5, 1.0)]);
+    }
+
+    #[test]
+    fn zero_k_heap_accepts_nothing() {
+        let mut h = TopKHeap::new(0);
+        h.offer(0, 1.0);
+        assert!(h.is_empty());
+        assert_eq!(h.kth_score(), f64::INFINITY);
+    }
+
+    #[test]
+    fn query_defaults_ranking_dims_from_arity() {
+        let q = TopKQuery::new(vec![(0, 1)], Linear::uniform(3), 10);
+        assert_eq!(q.ranking_dims, vec![0, 1, 2]);
+        assert_eq!(q.k, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must match")]
+    fn mismatched_ranking_dims_panics() {
+        let _ = TopKQuery::with_ranking_dims(vec![], Linear::uniform(2), vec![0], 5);
+    }
+}

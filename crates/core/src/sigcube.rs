@@ -1,0 +1,571 @@
+//! The signature-based ranking cube (Sections 4.2.3–4.2.4).
+//!
+//! Signatures are compressed node-by-node ([`crate::coding`]), decomposed
+//! into *partial signatures* of roughly `α · page` bytes, and stored as
+//! paged objects. Queries load partials on demand through a [`SigCursor`];
+//! the cursor charges I/O only for the partials actually requested.
+//!
+//! Each stored node is prefixed with its SID (Section 4.2.1), making
+//! partials self-describing and order-independent to load — a small space
+//! overhead relative to the thesis' BFS-implicit addressing, recorded in
+//! EXPERIMENTS.md.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rcube_index::rtree::RTree;
+use rcube_index::HierIndex;
+use rcube_storage::{BitReader, BitWriter, DiskSim, PageId, PageStore};
+use rcube_table::{Relation, Selection};
+
+use crate::coding;
+use crate::signature::{SigNode, Signature};
+
+/// Construction parameters for the signature cube.
+#[derive(Debug, Clone)]
+pub struct SignatureCubeConfig {
+    /// Partial-signature fill target as a fraction of the page size
+    /// (`α < 1`, Section 4.2.3).
+    pub alpha: f64,
+    /// Cuboids to materialize; `None` = all atomic (one-dimensional)
+    /// cuboids, the default of Section 4.4.1.
+    pub cuboids: Option<Vec<Vec<usize>>>,
+}
+
+impl Default for SignatureCubeConfig {
+    fn default() -> Self {
+        Self { alpha: 0.75, cuboids: None }
+    }
+}
+
+/// A compressed, decomposed, paged signature.
+#[derive(Debug)]
+pub struct StoredSignature {
+    /// Fanout of the mirrored partition.
+    m: usize,
+    /// Partial-signature objects in creation (BFS) order.
+    partials: Vec<PageId>,
+    /// node SID → partial index.
+    node_partial: HashMap<u64, u32>,
+    /// Total compressed bits (space accounting).
+    pub total_bits: usize,
+}
+
+impl StoredSignature {
+    /// Serializes, compresses, decomposes and stores `sig`.
+    pub fn write(
+        sig: &Signature,
+        disk: &DiskSim,
+        store: &PageStore,
+        alpha: f64,
+    ) -> StoredSignature {
+        let m = sig.fanout();
+        let target_bits = ((disk.page_size() as f64) * alpha * 8.0).max(64.0) as usize;
+
+        // BFS over the signature tree, emitting (sid, node) codings.
+        let mut node_partial = HashMap::new();
+        let mut partials = Vec::new();
+        let mut cur = BitWriter::new();
+        let mut total_bits = 0usize;
+        let mut queue: std::collections::VecDeque<(u64, &SigNode)> = std::collections::VecDeque::new();
+        if let Some(root) = sig.root() {
+            queue.push_back((0, root));
+        }
+        while let Some((sid, node)) = queue.pop_front() {
+            node_partial.insert(sid, partials.len() as u32);
+            push_varint(&mut cur, sid);
+            coding::encode_best(&node.bits, m, &mut cur);
+            for &(pos, ref child) in &node.children {
+                let child_sid = sid * (m as u64 + 1) + pos as u64 + 1;
+                queue.push_back((child_sid, child));
+            }
+            if cur.len() >= target_bits {
+                total_bits += cur.len();
+                partials.push(flush_partial(&mut cur, disk, store));
+            }
+        }
+        if !cur.is_empty() {
+            total_bits += cur.len();
+            partials.push(flush_partial(&mut cur, disk, store));
+        }
+        StoredSignature { m, partials, node_partial, total_bits }
+    }
+
+    /// Number of partial signatures.
+    pub fn num_partials(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Loads and decodes every partial, reconstructing the full signature
+    /// (used by incremental maintenance and tests).
+    pub fn load_full(&self, disk: &DiskSim, store: &PageStore) -> Signature {
+        let mut nodes: HashMap<u64, Vec<bool>> = HashMap::new();
+        for &page in &self.partials {
+            decode_partial(&store.get(disk, page), self.m, &mut nodes);
+        }
+        rebuild_signature(self.m, &nodes)
+    }
+}
+
+fn flush_partial(cur: &mut BitWriter, disk: &DiskSim, store: &PageStore) -> PageId {
+    let taken = std::mem::take(cur);
+    let (bytes, bit_len) = taken.into_parts();
+    let mut payload = Vec::with_capacity(4 + bytes.len());
+    payload.extend_from_slice(&(bit_len as u32).to_le_bytes());
+    payload.extend_from_slice(&bytes);
+    store.put(disk, payload)
+}
+
+/// SID varint: 7 value bits per group, MSB-first, high continuation bit.
+fn push_varint(w: &mut BitWriter, mut v: u64) {
+    let mut groups = Vec::new();
+    loop {
+        groups.push((v & 0x7f) as u8);
+        v >>= 7;
+        if v == 0 {
+            break;
+        }
+    }
+    while let Some(g) = groups.pop() {
+        let cont = !groups.is_empty();
+        w.push(cont);
+        w.push_bits(g as u64, 7);
+    }
+}
+
+fn read_varint(r: &mut BitReader) -> Option<u64> {
+    let mut v = 0u64;
+    loop {
+        let cont = r.next_bit()?;
+        v = (v << 7) | r.read_bits(7)?;
+        if !cont {
+            return Some(v);
+        }
+    }
+}
+
+fn decode_partial(payload: &[u8], m: usize, nodes: &mut HashMap<u64, Vec<bool>>) {
+    let bit_len = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    let mut r = BitReader::new(&payload[4..], bit_len);
+    while r.remaining() > 0 {
+        let sid = read_varint(&mut r).expect("corrupt partial signature (sid)");
+        let bits = coding::decode_node(&mut r, m).expect("corrupt partial signature");
+        nodes.insert(sid, bits);
+    }
+}
+
+/// Rebuilds a [`Signature`] from a flat sid → bits map.
+fn rebuild_signature(m: usize, nodes: &HashMap<u64, Vec<bool>>) -> Signature {
+    fn build(m: usize, sid: u64, nodes: &HashMap<u64, Vec<bool>>) -> SigNode {
+        let bits = nodes.get(&sid).cloned().unwrap_or_default();
+        let mut children = Vec::new();
+        for (pos, &b) in bits.iter().enumerate() {
+            if !b {
+                continue;
+            }
+            let child_sid = sid * (m as u64 + 1) + pos as u64 + 1;
+            if nodes.contains_key(&child_sid) {
+                children.push((pos as u16, build(m, child_sid, nodes)));
+            }
+        }
+        SigNode { bits, children }
+    }
+    if nodes.is_empty() {
+        return Signature::empty(m);
+    }
+    let root = build(m, 0, nodes);
+    Signature::from_node(m, root)
+}
+
+/// Lazily-loading view of a [`StoredSignature`] used during query
+/// processing: partials are fetched (and charged) only when a requested
+/// node lives in a not-yet-loaded partial.
+#[derive(Debug)]
+pub struct SigCursor<'a> {
+    stored: &'a StoredSignature,
+    store: &'a PageStore,
+    nodes: HashMap<u64, Vec<bool>>,
+    loaded: HashSet<u32>,
+    /// Partial loads performed (the `C_sig` cost of Section 4.3.3).
+    pub loads: u64,
+}
+
+impl<'a> SigCursor<'a> {
+    pub fn new(stored: &'a StoredSignature, store: &'a PageStore) -> Self {
+        Self { stored, store, nodes: HashMap::new(), loaded: HashSet::new(), loads: 0 }
+    }
+
+    /// True when every bit along `path` is set, loading partials on demand.
+    pub fn check_path(&mut self, disk: &DiskSim, path: &[u16]) -> bool {
+        let m = self.stored.m as u64;
+        let mut sid = 0u64;
+        for &p in path {
+            let Some(bits) = self.node_bits(disk, sid) else {
+                return false;
+            };
+            if !bits.get(p as usize).copied().unwrap_or(false) {
+                return false;
+            }
+            sid = sid * (m + 1) + p as u64 + 1;
+        }
+        true
+    }
+
+    fn node_bits(&mut self, disk: &DiskSim, sid: u64) -> Option<&Vec<bool>> {
+        if !self.nodes.contains_key(&sid) {
+            let &partial = self.stored.node_partial.get(&sid)?;
+            if self.loaded.insert(partial) {
+                let page = self.stored.partials[partial as usize];
+                let payload = self.store.get(disk, page);
+                decode_partial(&payload, self.stored.m, &mut self.nodes);
+                self.loads += 1;
+            }
+        }
+        self.nodes.get(&sid)
+    }
+}
+
+/// A query-time Boolean pruner (see [`SignatureCube::pruner_for`]).
+#[derive(Debug)]
+pub struct Pruner<'a> {
+    kind: PrunerKind<'a>,
+    assembled_loads: u64,
+}
+
+#[derive(Debug)]
+enum PrunerKind<'a> {
+    /// No predicates: everything passes.
+    None,
+    /// One stored signature decides the predicate (lazy partial loading).
+    Single(SigCursor<'a>),
+    /// Assembled in-memory intersection of atomic signatures.
+    Assembled(Signature),
+}
+
+impl<'a> Pruner<'a> {
+    fn none() -> Self {
+        Self { kind: PrunerKind::None, assembled_loads: 0 }
+    }
+
+    fn single(cursor: SigCursor<'a>) -> Self {
+        Self { kind: PrunerKind::Single(cursor), assembled_loads: 0 }
+    }
+
+    fn assembled(sig: Signature, loads: u64) -> Self {
+        Self { kind: PrunerKind::Assembled(sig), assembled_loads: loads }
+    }
+
+    /// True when the entry at `path` may contain qualifying tuples.
+    pub fn check_path(&mut self, disk: &DiskSim, path: &[u16]) -> bool {
+        match &mut self.kind {
+            PrunerKind::None => true,
+            PrunerKind::Single(c) => c.check_path(disk, path),
+            PrunerKind::Assembled(sig) => sig.contains_path(path),
+        }
+    }
+
+    /// Partial-signature loads performed (lazy + assembly).
+    pub fn loads(&self) -> u64 {
+        match &self.kind {
+            PrunerKind::None => 0,
+            PrunerKind::Single(c) => c.loads + self.assembled_loads,
+            PrunerKind::Assembled(_) => self.assembled_loads,
+        }
+    }
+}
+
+/// The signature-based ranking cube over an R-tree partition.
+#[derive(Debug)]
+pub struct SignatureCube {
+    store: PageStore,
+    /// cuboid dims → (cell values → stored signature).
+    cuboids: BTreeMap<Vec<usize>, HashMap<Vec<u32>, StoredSignature>>,
+    m: usize,
+    alpha: f64,
+}
+
+impl SignatureCube {
+    /// Algorithm 1: partition (already done by `rtree`), generate per-cell
+    /// signatures from tuple paths, compress, decompose, store.
+    pub fn build(
+        rel: &Relation,
+        rtree: &RTree,
+        disk: &DiskSim,
+        config: SignatureCubeConfig,
+    ) -> Self {
+        let m = rtree.max_fanout();
+        let store = PageStore::new();
+        let dim_sets: Vec<Vec<usize>> = config
+            .cuboids
+            .clone()
+            .unwrap_or_else(|| (0..rel.schema().num_selection()).map(|d| vec![d]).collect());
+
+        let paths = rtree.tuple_paths();
+        let mut cuboids = BTreeMap::new();
+        for dims in dim_sets {
+            // Group tuple paths by cell value vector (the recursive sort of
+            // Section 4.2.1, realised as a hash group-by).
+            let mut cells: HashMap<Vec<u32>, Vec<&[u16]>> = HashMap::new();
+            for (tid, path) in &paths {
+                let vals: Vec<u32> = dims.iter().map(|&d| rel.selection_value(*tid, d)).collect();
+                cells.entry(vals).or_default().push(path.as_slice());
+            }
+            let mut stored = HashMap::with_capacity(cells.len());
+            for (vals, cell_paths) in cells {
+                let sig = Signature::from_paths(m, cell_paths.iter().copied());
+                stored.insert(vals, StoredSignature::write(&sig, disk, &store, config.alpha));
+            }
+            cuboids.insert(dims, stored);
+        }
+        Self { store, cuboids, m, alpha: config.alpha }
+    }
+
+    /// Partition fanout `M`.
+    pub fn fanout(&self) -> usize {
+        self.m
+    }
+
+    /// Partial-signature fill target.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total compressed bytes across all signatures (Figure 4.9 metric).
+    pub fn materialized_bytes(&self) -> usize {
+        self.store.total_bytes()
+    }
+
+    /// The page store backing the signatures.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Materialized cuboid dimension sets.
+    pub fn cuboid_dims(&self) -> Vec<Vec<usize>> {
+        self.cuboids.keys().cloned().collect()
+    }
+
+    /// The stored signature of a cell, if that cell has any tuple.
+    pub fn cell_signature(&self, dims: &[usize], vals: &[u32]) -> Option<&StoredSignature> {
+        self.cuboids.get(dims)?.get(vals)
+    }
+
+    /// Cursors whose conjunction decides a selection: prefers an exactly
+    /// matching materialized cuboid, otherwise one atomic cursor per
+    /// predicate (lazy intersection, Section 4.3.3). Returns `None` when a
+    /// predicate's cell is empty — no tuple can satisfy the query.
+    pub fn cursors_for(&self, selection: &Selection) -> Option<Vec<SigCursor<'_>>> {
+        if selection.is_empty() {
+            return Some(Vec::new());
+        }
+        let dims = selection.dims();
+        if let Some(cells) = self.cuboids.get(&dims) {
+            let vals: Vec<u32> = selection.conds().iter().map(|&(_, v)| v).collect();
+            let stored = cells.get(&vals)?;
+            return Some(vec![SigCursor::new(stored, &self.store)]);
+        }
+        let mut cursors = Vec::with_capacity(selection.len());
+        for &(d, v) in selection.conds() {
+            let stored = self.cell_signature(&[d], &[v])?;
+            cursors.push(SigCursor::new(stored, &self.store));
+        }
+        Some(cursors)
+    }
+
+    /// The Boolean pruner for a selection: a lazy cursor when one stored
+    /// signature decides the predicate, or an **assembled** signature
+    /// (recursive intersection of the atomic signatures, Section 4.3.3)
+    /// for multi-dimensional predicates. The assembled form prunes nodes
+    /// whose per-predicate subtrees only intersect at different tuples —
+    /// exactly the cases the lazy conjunction cannot see. Returns `None`
+    /// when some predicate's cell is empty.
+    pub fn pruner_for(&self, selection: &Selection, disk: &DiskSim) -> Option<Pruner<'_>> {
+        if selection.is_empty() {
+            return Some(Pruner::none());
+        }
+        let dims = selection.dims();
+        if let Some(cells) = self.cuboids.get(&dims) {
+            let vals: Vec<u32> = selection.conds().iter().map(|&(_, v)| v).collect();
+            let stored = cells.get(&vals)?;
+            return Some(Pruner::single(SigCursor::new(stored, &self.store)));
+        }
+        if selection.len() == 1 {
+            let &(d, v) = &selection.conds()[0];
+            let stored = self.cell_signature(&[d], &[v])?;
+            return Some(Pruner::single(SigCursor::new(stored, &self.store)));
+        }
+        // Multi-dimensional predicate without an exact cuboid: assemble.
+        let mut loads = 0u64;
+        let mut acc: Option<Signature> = None;
+        for &(d, v) in selection.conds() {
+            let stored = self.cell_signature(&[d], &[v])?;
+            loads += stored.num_partials() as u64;
+            let sig = stored.load_full(disk, &self.store);
+            acc = Some(match acc {
+                None => sig,
+                Some(prev) => prev.intersect(&sig),
+            });
+        }
+        let assembled = acc.expect("non-empty selection");
+        if assembled.is_empty() {
+            return None;
+        }
+        Some(Pruner::assembled(assembled, loads))
+    }
+
+    /// Fully assembles the signature of an arbitrary Boolean predicate by
+    /// intersecting atomic signatures (Figure 4.7's offline counterpart).
+    pub fn assemble(&self, selection: &Selection, disk: &DiskSim) -> Option<Signature> {
+        let mut acc: Option<Signature> = None;
+        for &(d, v) in selection.conds() {
+            let stored = self.cell_signature(&[d], &[v])?;
+            let sig = stored.load_full(disk, &self.store);
+            acc = Some(match acc {
+                None => sig,
+                Some(prev) => prev.intersect(&sig),
+            });
+        }
+        acc
+    }
+
+    /// Replaces (or inserts) a cell signature — the write-back step of
+    /// incremental maintenance.
+    pub(crate) fn replace_cell(
+        &mut self,
+        dims: &[usize],
+        vals: Vec<u32>,
+        sig: &Signature,
+        disk: &DiskSim,
+    ) {
+        let cells = self.cuboids.get_mut(dims).expect("cuboid not materialized");
+        if sig.is_empty() {
+            cells.remove(&vals);
+        } else {
+            cells.insert(vals, StoredSignature::write(sig, disk, &self.store, self.alpha));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_index::rtree::RTreeConfig;
+    use rcube_table::gen::SyntheticSpec;
+
+    fn setup(tuples: usize) -> (Relation, DiskSim, RTree, SignatureCube) {
+        let rel = SyntheticSpec { tuples, cardinality: 4, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(8));
+        let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        (rel, disk, rtree, cube)
+    }
+
+    #[test]
+    fn stored_signature_round_trips() {
+        let (rel, disk, rtree, cube) = setup(800);
+        for d in 0..rel.schema().num_selection() {
+            for v in 0..4u32 {
+                let Some(stored) = cube.cell_signature(&[d], &[v]) else {
+                    continue;
+                };
+                let sig = stored.load_full(&disk, cube.store());
+                // The reloaded signature must contain exactly the tuples of
+                // the cell.
+                for tid in rel.tids() {
+                    let path = rtree.tuple_path(tid).unwrap();
+                    let expect = rel.selection_value(tid, d) == v;
+                    assert_eq!(sig.contains_path(&path), expect, "tid {tid} dim {d} val {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_answers_match_full_load() {
+        let (rel, disk, rtree, cube) = setup(600);
+        let stored = cube.cell_signature(&[0], &[1]).expect("cell exists");
+        let full = stored.load_full(&disk, cube.store());
+        let mut cursor = SigCursor::new(stored, cube.store());
+        for tid in rel.tids() {
+            let path = rtree.tuple_path(tid).unwrap();
+            assert_eq!(cursor.check_path(&disk, &path), full.contains_path(&path));
+        }
+    }
+
+    #[test]
+    fn cursor_loads_lazily() {
+        let (_rel, disk, rtree, cube) = setup(4_000);
+        let stored = cube.cell_signature(&[0], &[0]).expect("cell exists");
+        if stored.num_partials() < 2 {
+            // Not enough data to decompose — force smaller partials instead.
+            return;
+        }
+        let mut cursor = SigCursor::new(stored, cube.store());
+        // Checking only the root bit should load exactly one partial.
+        let root_child = 0u16;
+        let _ = cursor.check_path(&disk, &[root_child]);
+        assert_eq!(cursor.loads, 1);
+        let _ = rtree;
+    }
+
+    #[test]
+    fn empty_cell_reports_none() {
+        let rel = SyntheticSpec { tuples: 50, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(8));
+        let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        // Value 2 may exist; an out-of-range value certainly has no cell.
+        assert!(cube.cell_signature(&[0], &[99]).is_none());
+        let sel = Selection::new(vec![(0, 99)]);
+        assert!(cube.cursors_for(&sel).is_none());
+    }
+
+    #[test]
+    fn assembled_signature_equals_conjunction() {
+        let (rel, disk, rtree, cube) = setup(500);
+        let sel = Selection::new(vec![(0, 1), (1, 2)]);
+        let Some(sig) = cube.assemble(&sel, &disk) else {
+            panic!("assembly failed");
+        };
+        for tid in rel.tids() {
+            let path = rtree.tuple_path(tid).unwrap();
+            assert_eq!(sig.contains_path(&path), sel.matches(&rel, tid), "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn multi_dim_cuboid_used_when_materialized() {
+        let rel = SyntheticSpec { tuples: 300, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(8));
+        let cube = SignatureCube::build(
+            &rel,
+            &rtree,
+            &disk,
+            SignatureCubeConfig { cuboids: Some(vec![vec![0], vec![1], vec![0, 1]]), ..Default::default() },
+        );
+        let sel = Selection::new(vec![(0, 1), (1, 1)]);
+        let cursors = cube.cursors_for(&sel).unwrap();
+        assert_eq!(cursors.len(), 1, "exact cuboid match should yield one cursor");
+    }
+
+    #[test]
+    fn compression_beats_raw_bitmaps() {
+        // Thesis-scale fanout: per-node arrays are long enough for the
+        // sparse codings to pay off against full bitmaps.
+        let rel = SyntheticSpec { tuples: 5_000, cardinality: 20, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 2));
+        let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        let raw_bits_per_sig = rtree.node_count() * rtree.max_fanout();
+        let cells: usize = (0..rel.schema().num_selection())
+            .map(|d| (0..20u32).filter(|&v| cube.cell_signature(&[d], &[v]).is_some()).count())
+            .sum();
+        let raw_bytes = raw_bits_per_sig * cells / 8;
+        assert!(
+            cube.materialized_bytes() < raw_bytes,
+            "compressed {} should undercut raw {}",
+            cube.materialized_bytes(),
+            raw_bytes
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Branch-and-bound top-k with simultaneous ranking and Boolean pruning —
+//! Algorithm 3 (Section 4.3).
+//!
+//! The candidate heap orders entries by the ranking function's lower bound
+//! over their region; a popped entry is first checked against the
+//! signature cursors (Boolean pruning) and then either reported (tuple) or
+//! expanded (node). The search halts when the best remaining bound cannot
+//! beat the current kth score — at which point Lemma 3's I/O optimality
+//! holds: only R-tree blocks passing both prunes were retrieved.
+
+use rcube_func::RankFn;
+use rcube_index::rtree::RTree;
+use rcube_index::{HierIndex, NodeHandle};
+use rcube_storage::DiskSim;
+use rcube_table::Tid;
+
+use crate::sigcube::SignatureCube;
+use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
+
+#[derive(Debug)]
+enum Entry {
+    Node(NodeHandle, Vec<u16>),
+    Tuple(Tid, Vec<u16>, f64),
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    bound: f64,
+    entry: Entry,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by bound; tuples before nodes at equal bound so exact
+        // results surface as early as possible.
+        other.bound.total_cmp(&self.bound).then_with(|| {
+            let rank = |e: &Entry| match e {
+                Entry::Tuple(..) => 0,
+                Entry::Node(..) => 1,
+            };
+            rank(&other.entry).cmp(&rank(&self.entry))
+        })
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Answers a top-k query over `rtree` with Boolean pruning from `cube`.
+///
+/// `query.ranking_dims` indexes into the *relation's* ranking dimensions;
+/// they must be covered by the R-tree (which is built over all of them by
+/// default).
+pub fn topk_signature<F: RankFn>(
+    rtree: &RTree,
+    cube: &SignatureCube,
+    query: &TopKQuery<F>,
+    disk: &DiskSim,
+) -> TopKResult {
+    let before = disk.stats().snapshot();
+    let mut stats = QueryStats::default();
+
+    let Some(mut pruner) = cube.pruner_for(&query.selection, disk) else {
+        // Some predicate selects an empty cell (or the assembled
+        // intersection is empty): no tuple qualifies.
+        stats.io = before.delta(&disk.stats().snapshot());
+        return TopKResult { items: Vec::new(), stats };
+    };
+
+    // Projection of R-tree dimensions onto the query's ranking dimensions.
+    let proj: Vec<usize> = query.ranking_dims.clone();
+    assert!(
+        proj.iter().all(|&d| d < rtree.point_dims()),
+        "query ranking dimension outside the R-tree"
+    );
+
+    let node_bound = |n: NodeHandle| {
+        let r = rtree.region(n).project(&proj);
+        query.func.lower_bound(&r)
+    };
+
+    let mut topk = TopKHeap::new(query.k);
+    let mut heap = std::collections::BinaryHeap::new();
+    let root = rtree.root();
+    heap.push(HeapItem { bound: node_bound(root), entry: Entry::Node(root, Vec::new()) });
+
+    while let Some(HeapItem { bound, entry }) = heap.pop() {
+        if topk.kth_score() <= bound {
+            break;
+        }
+        // Boolean pruning: the entry's path must pass every cursor.
+        let path = match &entry {
+            Entry::Node(_, p) => p,
+            Entry::Tuple(_, p, _) => p,
+        };
+        if !path.is_empty() && !pruner.check_path(disk, path) {
+            continue;
+        }
+        match entry {
+            Entry::Tuple(tid, _, score) => {
+                topk.offer(tid, score);
+                stats.tuples_scored += 1;
+            }
+            Entry::Node(n, path) => {
+                rtree.read_node(disk, n);
+                stats.blocks_read += 1;
+                if rtree.is_leaf(n) {
+                    for (slot, (tid, point)) in rtree.leaf_entries(n).into_iter().enumerate() {
+                        let values: Vec<f64> = proj.iter().map(|&d| point[d]).collect();
+                        let score = query.func.score(&values);
+                        let mut tpath = path.clone();
+                        tpath.push(slot as u16);
+                        heap.push(HeapItem { bound: score, entry: Entry::Tuple(tid, tpath, score) });
+                        stats.states_generated += 1;
+                    }
+                } else {
+                    for (pos, child) in rtree.children(n).into_iter().enumerate() {
+                        let mut cpath = path.clone();
+                        cpath.push(pos as u16);
+                        heap.push(HeapItem {
+                            bound: node_bound(child),
+                            entry: Entry::Node(child, cpath),
+                        });
+                        stats.states_generated += 1;
+                    }
+                }
+            }
+        }
+        stats.peak_heap = stats.peak_heap.max(heap.len() as u64);
+    }
+
+    stats.sig_loads = pruner.loads();
+    stats.io = before.delta(&disk.stats().snapshot());
+    TopKResult { items: topk.into_sorted(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_func::{GeneralSq, Linear, RankFn, SqDist};
+    use rcube_index::rtree::RTreeConfig;
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::workload::{QueryGen, WorkloadParams};
+    use rcube_table::{Relation, Selection};
+
+    use crate::sigcube::SignatureCubeConfig;
+
+    fn setup(tuples: usize) -> (Relation, DiskSim, RTree, SignatureCube) {
+        let rel = SyntheticSpec { tuples, cardinality: 5, ranking_dims: 3, ..Default::default() }
+            .generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+        let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        (rel, disk, rtree, cube)
+    }
+
+    fn naive(rel: &Relation, sel: &Selection, f: &impl RankFn, dims: &[usize], k: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = rel
+            .tids()
+            .filter(|&t| sel.matches(rel, t))
+            .map(|t| f.score(&rel.ranking_point_proj(t, dims)))
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn linear_queries_match_naive() {
+        let (rel, disk, rtree, cube) = setup(2_000);
+        let mut qg = QueryGen::new(WorkloadParams { num_ranking: 3, ..Default::default() });
+        for spec in qg.batch(&rel, 8) {
+            let f = Linear::new(spec.weights.clone());
+            let q = TopKQuery::with_ranking_dims(
+                spec.selection.conds().to_vec(),
+                f,
+                spec.ranking_dims.clone(),
+                10,
+            );
+            let got = topk_signature(&rtree, &cube, &q, &disk);
+            let want = naive(&rel, &spec.selection, &Linear::new(spec.weights.clone()), &spec.ranking_dims, 10);
+            assert_eq!(got.items.len(), want.len());
+            for (g, w) in got.scores().iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+            for t in got.tids() {
+                assert!(spec.selection.matches(&rel, t));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_and_general_functions_match_naive() {
+        let (rel, disk, rtree, cube) = setup(1_500);
+        let sel = vec![(0usize, 2u32)];
+        // fd: nearest neighbour.
+        let fd = SqDist::new(vec![0.4, 0.6, 0.1]);
+        let q = TopKQuery::new(sel.clone(), fd, 10);
+        let got = topk_signature(&rtree, &cube, &q, &disk);
+        let want = naive(&rel, &q.selection, &SqDist::new(vec![0.4, 0.6, 0.1]), &[0, 1, 2], 10);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        // fg: (2X − Y − Z)² — non-monotone, non-convex.
+        let fg = GeneralSq::mse3();
+        let q = TopKQuery::new(sel, fg, 10);
+        let got = topk_signature(&rtree, &cube, &q, &disk);
+        let want = naive(&rel, &q.selection, &GeneralSq::mse3(), &[0, 1, 2], 10);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_predicate_cell_returns_no_answers() {
+        let (_, disk, rtree, cube) = setup(200);
+        let q = TopKQuery::new(vec![(0, 99)], Linear::uniform(3), 10);
+        let got = topk_signature(&rtree, &cube, &q, &disk);
+        assert!(got.items.is_empty());
+        assert_eq!(got.stats.blocks_read, 0, "nothing should be fetched");
+    }
+
+    #[test]
+    fn boolean_pruning_reduces_block_reads() {
+        let (rel, disk, rtree, cube) = setup(3_000);
+        // Highly selective conjunction.
+        let q = TopKQuery::new(vec![(0, 1), (1, 2), (2, 3)], Linear::uniform(3), 10);
+        let with_sig = topk_signature(&rtree, &cube, &q, &disk);
+        // Same search without Boolean pruning: empty selection, then filter.
+        let q_nosel = TopKQuery::new(vec![], Linear::uniform(3), rel.len());
+        let all = topk_signature(&rtree, &cube, &q_nosel, &disk);
+        assert!(with_sig.stats.blocks_read < all.stats.blocks_read);
+    }
+
+    #[test]
+    fn multidim_selection_via_lazy_intersection() {
+        let (rel, disk, rtree, cube) = setup(1_000);
+        let q = TopKQuery::new(vec![(0, 0), (2, 1)], Linear::uniform(3), 5);
+        let got = topk_signature(&rtree, &cube, &q, &disk);
+        let want = naive(&rel, &q.selection, &Linear::uniform(3), &[0, 1, 2], 5);
+        assert_eq!(got.items.len(), want.len());
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projected_ranking_dims_work() {
+        let (rel, disk, rtree, cube) = setup(800);
+        // Rank on dimension 2 only.
+        let q = TopKQuery::with_ranking_dims(vec![(1, 1)], Linear::uniform(1), vec![2], 5);
+        let got = topk_signature(&rtree, &cube, &q, &disk);
+        let want = naive(&rel, &q.selection, &Linear::uniform(1), &[2], 5);
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

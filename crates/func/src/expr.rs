@@ -1,0 +1,228 @@
+//! Ad-hoc ranking expressions.
+//!
+//! Section 3.6.1 argues the framework extends to arbitrary ("ad hoc")
+//! functions as long as a lower bound over a sub-domain can be derived.
+//! [`Expr`] is a small expression AST whose interval evaluation supplies
+//! exactly that: any expression built from the constructors below is a
+//! valid [`RankFn`], with conservative (always sound, not always tight)
+//! box bounds.
+
+use crate::{Interval, RankFn, Rect};
+
+/// An ad-hoc ranking expression over ranking dimensions `N0, N1, …`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of ranking dimension `i`.
+    Var(usize),
+    /// A constant.
+    Const(f64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// `x²` (tighter than `Mul(x, x)` because the interval square knows the
+    /// two occurrences are correlated).
+    Square(Box<Expr>),
+    /// `|x|`.
+    Abs(Box<Expr>),
+    /// `min(x, y)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `max(x, y)`.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods mirror the math, not operator traits
+impl Expr {
+    pub fn var(i: usize) -> Expr {
+        Expr::Var(i)
+    }
+
+    pub fn constant(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn square(self) -> Expr {
+        Expr::Square(Box::new(self))
+    }
+
+    pub fn abs(self) -> Expr {
+        Expr::Abs(Box::new(self))
+    }
+
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(rhs))
+    }
+
+    /// Scales by a constant.
+    pub fn scale(self, k: f64) -> Expr {
+        Expr::Const(k).mul(self)
+    }
+
+    /// Exact evaluation at a point.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        match self {
+            Expr::Var(i) => point[*i],
+            Expr::Const(v) => *v,
+            Expr::Add(a, b) => a.eval(point) + b.eval(point),
+            Expr::Sub(a, b) => a.eval(point) - b.eval(point),
+            Expr::Mul(a, b) => a.eval(point) * b.eval(point),
+            Expr::Square(a) => {
+                let v = a.eval(point);
+                v * v
+            }
+            Expr::Abs(a) => a.eval(point).abs(),
+            Expr::Min(a, b) => a.eval(point).min(b.eval(point)),
+            Expr::Max(a, b) => a.eval(point).max(b.eval(point)),
+        }
+    }
+
+    /// Interval enclosure of the expression image over `region`.
+    pub fn eval_interval(&self, region: &Rect) -> Interval {
+        match self {
+            Expr::Var(i) => region.interval(*i),
+            Expr::Const(v) => Interval::point(*v),
+            Expr::Add(a, b) => a.eval_interval(region).add(b.eval_interval(region)),
+            Expr::Sub(a, b) => a.eval_interval(region).sub(b.eval_interval(region)),
+            Expr::Mul(a, b) => a.eval_interval(region).mul(b.eval_interval(region)),
+            Expr::Square(a) => a.eval_interval(region).square(),
+            Expr::Abs(a) => a.eval_interval(region).abs(),
+            Expr::Min(a, b) => {
+                let (x, y) = (a.eval_interval(region), b.eval_interval(region));
+                Interval::new(x.lo.min(y.lo), x.hi.min(y.hi))
+            }
+            Expr::Max(a, b) => {
+                let (x, y) = (a.eval_interval(region), b.eval_interval(region));
+                Interval::new(x.lo.max(y.lo), x.hi.max(y.hi))
+            }
+        }
+    }
+
+    /// Highest dimension index referenced, plus one.
+    pub fn max_var(&self) -> usize {
+        match self {
+            Expr::Var(i) => i + 1,
+            Expr::Const(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+                a.max_var().max(b.max_var())
+            }
+            Expr::Square(a) | Expr::Abs(a) => a.max_var(),
+        }
+    }
+}
+
+impl RankFn for Expr {
+    fn score(&self, point: &[f64]) -> f64 {
+        self.eval(point)
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        self.eval_interval(region).lo
+    }
+
+    fn arity(&self) -> usize {
+        self.max_var()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `price + mileage` (query Q1 of Example 1).
+    fn q1() -> Expr {
+        Expr::var(0).add(Expr::var(1))
+    }
+
+    /// `(price − 20k)² + (mileage − 10k)²` (query Q2 of Example 1).
+    fn q2() -> Expr {
+        Expr::var(0)
+            .sub(Expr::constant(20_000.0))
+            .square()
+            .add(Expr::var(1).sub(Expr::constant(10_000.0)).square())
+    }
+
+    #[test]
+    fn evaluates_paper_intro_queries() {
+        assert_eq!(q1().eval(&[12_000.0, 45_000.0]), 57_000.0);
+        let v = q2().eval(&[21_000.0, 9_000.0]);
+        assert_eq!(v, 1_000.0 * 1_000.0 * 2.0);
+    }
+
+    #[test]
+    fn interval_bound_is_sound_for_q2() {
+        let r = Rect::new(vec![15_000.0, 5_000.0], vec![25_000.0, 15_000.0]);
+        // Target point (20k, 10k) lies inside, so minimum is 0.
+        assert_eq!(q2().lower_bound(&r), 0.0);
+        let far = Rect::new(vec![30_000.0, 20_000.0], vec![40_000.0, 30_000.0]);
+        let lb = q2().lower_bound(&far);
+        assert!(lb > 0.0);
+        assert!(lb <= q2().eval(&[30_000.0, 20_000.0]));
+    }
+
+    #[test]
+    fn max_var_counts_arity() {
+        assert_eq!(q1().max_var(), 2);
+        assert_eq!(Expr::constant(3.0).max_var(), 0);
+        assert_eq!(Expr::var(4).abs().max_var(), 5);
+    }
+
+    #[test]
+    fn min_max_intervals() {
+        let e = Expr::var(0).min(Expr::var(1));
+        let r = Rect::new(vec![0.0, 2.0], vec![1.0, 3.0]);
+        let i = e.eval_interval(&r);
+        assert_eq!(i.lo, 0.0);
+        assert_eq!(i.hi, 1.0);
+        let e = Expr::var(0).max(Expr::var(1));
+        let i = e.eval_interval(&r);
+        assert_eq!(i.lo, 2.0);
+        assert_eq!(i.hi, 3.0);
+    }
+
+    #[test]
+    fn square_tighter_than_mul() {
+        // x in [-1, 1]: Square knows x² ≥ 0, Mul(x,x) does not.
+        let r = Rect::new(vec![-1.0], vec![1.0]);
+        let sq = Expr::var(0).square().eval_interval(&r);
+        let mul = Expr::var(0).mul(Expr::var(0)).eval_interval(&r);
+        assert_eq!(sq.lo, 0.0);
+        assert_eq!(mul.lo, -1.0); // conservative but sound
+        assert!(sq.lo >= mul.lo);
+    }
+
+    #[test]
+    fn bound_soundness_on_lattice() {
+        // Random-ish ad-hoc function: |x·y − 0.3| + max(x, y²).
+        let f = Expr::var(0)
+            .mul(Expr::var(1))
+            .sub(Expr::constant(0.3))
+            .abs()
+            .add(Expr::var(0).max(Expr::var(1).square()));
+        let r = Rect::new(vec![0.1, 0.2], vec![0.8, 0.9]);
+        let lb = f.lower_bound(&r);
+        for i in 0..=8 {
+            for j in 0..=8 {
+                let p = [
+                    0.1 + 0.7 * i as f64 / 8.0,
+                    0.2 + 0.7 * j as f64 / 8.0,
+                ];
+                assert!(f.score(&p) >= lb - 1e-9);
+            }
+        }
+    }
+}

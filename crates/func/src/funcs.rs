@@ -1,0 +1,367 @@
+//! Closed-form ranking-function families used in the evaluation.
+//!
+//! * [`Linear`] — `Σ wi·Ni`, weights of any sign (the thesis stresses that
+//!   convex covers negative weights, unlike TA's monotone-only class).
+//!   Query skewness `u = max w / min w` (Table 3.9) is a property of the
+//!   weight vector.
+//! * [`SqDist`] — `Σ wi·(Ni − vi)²`, the nearest-neighbour style query `fs`.
+//! * [`L1Dist`] — `Σ wi·|Ni − vi|`.
+//! * [`GeneralSq`] — `(Σ ai·Ni − Σ bj·Nj²)²`, covering `fg = (A − B²)²` and
+//!   the min-square-error query `(2X − Y − Z)²` of Section 4.4.
+//! * [`Constrained`] — `fc = inner / η(N_d)` with `η = 1` inside `[lo, hi]`
+//!   and `0` outside, i.e. a hard range constraint folded into ranking
+//!   (Section 5.4.2).
+
+use crate::{Interval, RankFn, Rect, Shape};
+
+/// Linear ranking function `f(N) = Σ wi·Ni`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weights: Vec<f64>,
+}
+
+impl Linear {
+    pub fn new(weights: Vec<f64>) -> Self {
+        Self { weights }
+    }
+
+    /// Uniform-weight function of the given arity (`N1 + … + Nr`).
+    pub fn uniform(arity: usize) -> Self {
+        Self::new(vec![1.0; arity])
+    }
+
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Query skewness `u = max |wi| / min |wi|` (Table 3.9).
+    pub fn skewness(&self) -> f64 {
+        let mx = self.weights.iter().cloned().map(f64::abs).fold(f64::NEG_INFINITY, f64::max);
+        let mn = self.weights.iter().cloned().map(f64::abs).fold(f64::INFINITY, f64::min);
+        mx / mn
+    }
+}
+
+impl RankFn for Linear {
+    fn score(&self, point: &[f64]) -> f64 {
+        self.weights.iter().zip(point).map(|(w, x)| w * x).sum()
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(d, &w)| if w >= 0.0 { w * region.lo(d) } else { w * region.hi(d) })
+            .sum()
+    }
+
+    fn shape(&self) -> Shape {
+        if self.weights.iter().all(|&w| w >= 0.0) {
+            Shape::Monotone
+        } else {
+            Shape::General
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Weighted squared distance `f(N) = Σ wi·(Ni − vi)²` to a target `v`.
+#[derive(Debug, Clone)]
+pub struct SqDist {
+    target: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl SqDist {
+    /// Unweighted squared distance to `target`.
+    pub fn new(target: Vec<f64>) -> Self {
+        let weights = vec![1.0; target.len()];
+        Self { target, weights }
+    }
+
+    /// Weighted squared distance; `weights` must be non-negative.
+    pub fn weighted(target: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(target.len(), weights.len());
+        assert!(weights.iter().all(|&w| w >= 0.0), "SqDist weights must be non-negative");
+        Self { target, weights }
+    }
+
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+}
+
+impl RankFn for SqDist {
+    fn score(&self, point: &[f64]) -> f64 {
+        self.target
+            .iter()
+            .zip(point)
+            .zip(&self.weights)
+            .map(|((t, x), w)| w * (x - t) * (x - t))
+            .sum()
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        // Distance to the clamped (closest) point of the box — exact minimum.
+        let closest = region.closest_point(&self.target);
+        self.score(&closest)
+    }
+
+    fn shape(&self) -> Shape {
+        Shape::SemiMonotone(self.target.clone())
+    }
+
+    fn arity(&self) -> usize {
+        self.target.len()
+    }
+}
+
+/// Weighted L1 distance `f(N) = Σ wi·|Ni − vi|`.
+#[derive(Debug, Clone)]
+pub struct L1Dist {
+    target: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl L1Dist {
+    pub fn new(target: Vec<f64>) -> Self {
+        let weights = vec![1.0; target.len()];
+        Self { target, weights }
+    }
+
+    pub fn weighted(target: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(target.len(), weights.len());
+        assert!(weights.iter().all(|&w| w >= 0.0), "L1Dist weights must be non-negative");
+        Self { target, weights }
+    }
+}
+
+impl RankFn for L1Dist {
+    fn score(&self, point: &[f64]) -> f64 {
+        self.target
+            .iter()
+            .zip(point)
+            .zip(&self.weights)
+            .map(|((t, x), w)| w * (x - t).abs())
+            .sum()
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        let closest = region.closest_point(&self.target);
+        self.score(&closest)
+    }
+
+    fn shape(&self) -> Shape {
+        Shape::SemiMonotone(self.target.clone())
+    }
+
+    fn arity(&self) -> usize {
+        self.target.len()
+    }
+}
+
+/// `f(N) = (Σ ai·N_{di} − Σ bj·N_{ej}²)²` — the "general" controlled
+/// function family (`fg = (A − B²)²`, `(2X − Y − Z)²`, …).
+///
+/// The lower bound evaluates the inner affine-minus-squares expression with
+/// interval arithmetic and squares the result with the zero-crossing rule.
+#[derive(Debug, Clone)]
+pub struct GeneralSq {
+    /// `(dimension, coefficient)` linear terms.
+    linear: Vec<(usize, f64)>,
+    /// `(dimension, coefficient)` squared terms (subtracted).
+    squared: Vec<(usize, f64)>,
+    arity: usize,
+}
+
+impl GeneralSq {
+    pub fn new(linear: Vec<(usize, f64)>, squared: Vec<(usize, f64)>) -> Self {
+        let arity = linear
+            .iter()
+            .chain(&squared)
+            .map(|&(d, _)| d + 1)
+            .max()
+            .expect("GeneralSq needs at least one term");
+        Self { linear, squared, arity }
+    }
+
+    /// The thesis' `fg = (N0 − N1²)²`.
+    pub fn fg() -> Self {
+        Self::new(vec![(0, 1.0)], vec![(1, 1.0)])
+    }
+
+    /// The min-square-error query `(2X − Y − Z)²` of Section 4.4.
+    pub fn mse3() -> Self {
+        Self::new(vec![(0, 2.0), (1, -1.0), (2, -1.0)], vec![])
+    }
+
+    fn inner(&self, point: &[f64]) -> f64 {
+        let lin: f64 = self.linear.iter().map(|&(d, a)| a * point[d]).sum();
+        let sq: f64 = self.squared.iter().map(|&(d, b)| b * point[d] * point[d]).sum();
+        lin - sq
+    }
+
+    fn inner_interval(&self, region: &Rect) -> Interval {
+        let mut acc = Interval::point(0.0);
+        for &(d, a) in &self.linear {
+            acc = acc.add(region.interval(d).scale(a));
+        }
+        for &(d, b) in &self.squared {
+            acc = acc.sub(region.interval(d).square().scale(b));
+        }
+        acc
+    }
+}
+
+impl RankFn for GeneralSq {
+    fn score(&self, point: &[f64]) -> f64 {
+        let v = self.inner(point);
+        v * v
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        self.inner_interval(region).square().lo
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// Constrained function `fc = inner(N) / η(N_d)` with `η(N_d) = 1` for
+/// `N_d ∈ [lo, hi]`, else `0` (score becomes `+∞` outside the band).
+#[derive(Debug, Clone)]
+pub struct Constrained<F> {
+    inner: F,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl<F: RankFn> Constrained<F> {
+    pub fn new(inner: F, dim: usize, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Constrained band must be non-empty");
+        Self { inner, dim, lo, hi }
+    }
+}
+
+impl<F: RankFn> RankFn for Constrained<F> {
+    fn score(&self, point: &[f64]) -> f64 {
+        if point[self.dim] < self.lo || point[self.dim] > self.hi {
+            f64::INFINITY
+        } else {
+            self.inner.score(point)
+        }
+    }
+
+    fn lower_bound(&self, region: &Rect) -> f64 {
+        let band = Interval::new(self.lo, self.hi);
+        if !region.interval(self.dim).intersects(&band) {
+            return f64::INFINITY;
+        }
+        self.inner.lower_bound(region)
+    }
+
+    fn arity(&self) -> usize {
+        self.inner.arity().max(self.dim + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_lb_uses_signed_corners() {
+        let f = Linear::new(vec![2.0, -1.0]);
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // min = 2*0 - 1*1 = -1 at (0, 1).
+        assert_eq!(f.lower_bound(&r), -1.0);
+        assert_eq!(f.score(&[0.0, 1.0]), -1.0);
+    }
+
+    #[test]
+    fn linear_shape_depends_on_signs() {
+        assert_eq!(Linear::new(vec![1.0, 0.5]).shape(), Shape::Monotone);
+        assert_eq!(Linear::new(vec![1.0, -0.5]).shape(), Shape::General);
+    }
+
+    #[test]
+    fn linear_skewness() {
+        let f = Linear::new(vec![1.0, 3.0]);
+        assert!((f.skewness() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqdist_lb_is_exact_minimum() {
+        let f = SqDist::new(vec![0.5, 0.5]);
+        let r = Rect::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        // Closest point is (1,1): (0.5)^2 * 2 = 0.5.
+        assert!((f.lower_bound(&r) - 0.5).abs() < 1e-12);
+        // Target inside the box -> bound 0.
+        let r2 = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert_eq!(f.lower_bound(&r2), 0.0);
+    }
+
+    #[test]
+    fn l1_scores_and_bounds() {
+        let f = L1Dist::new(vec![0.0, 0.0]);
+        assert_eq!(f.score(&[0.3, -0.2]), 0.5);
+        let r = Rect::new(vec![0.1, 0.2], vec![0.5, 0.9]);
+        assert!((f.lower_bound(&r) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalsq_fg_matches_formula() {
+        let f = GeneralSq::fg();
+        let v = f.score(&[0.9, 0.5]); // (0.9 - 0.25)^2
+        assert!((v - 0.4225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalsq_lb_zero_when_root_inside() {
+        // (A - B^2)^2 has roots along A = B^2; a box straddling the curve
+        // must get bound 0.
+        let f = GeneralSq::fg();
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert_eq!(f.lower_bound(&r), 0.0);
+        // Box far from the curve gets a positive bound.
+        let r2 = Rect::new(vec![0.9, 0.0], vec![1.0, 0.1]);
+        assert!(f.lower_bound(&r2) > 0.0);
+    }
+
+    #[test]
+    fn mse3_matches_paper_query() {
+        let f = GeneralSq::mse3();
+        assert_eq!(f.arity(), 3);
+        let v = f.score(&[0.5, 0.2, 0.3]); // (1.0 - 0.2 - 0.3)^2
+        assert!((v - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_scores_infinite_outside_band() {
+        let f = Constrained::new(Linear::uniform(2), 1, 0.2, 0.4);
+        assert!(f.score(&[0.1, 0.5]).is_infinite());
+        assert_eq!(f.score(&[0.1, 0.3]), 0.4);
+    }
+
+    #[test]
+    fn constrained_lb_prunes_disjoint_regions() {
+        let f = Constrained::new(Linear::uniform(2), 1, 0.2, 0.4);
+        let out = Rect::new(vec![0.0, 0.5], vec![1.0, 1.0]);
+        assert!(f.lower_bound(&out).is_infinite());
+        let overlapping = Rect::new(vec![0.0, 0.3], vec![1.0, 1.0]);
+        assert_eq!(f.lower_bound(&overlapping), 0.3);
+    }
+
+    #[test]
+    fn boxed_dyn_rankfn_delegates() {
+        let f: Box<dyn RankFn> = Box::new(Linear::uniform(2));
+        assert_eq!(f.score(&[0.25, 0.25]), 0.5);
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.shape(), Shape::Monotone);
+    }
+}

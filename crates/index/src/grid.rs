@@ -1,0 +1,324 @@
+//! Equi-depth grid partition with pseudo blocks (Section 3.2).
+//!
+//! Each ranking dimension is cut into `b = (T/P)^(1/R)` equi-depth bins;
+//! their cross product forms the *base blocks* (block dimension `B`). For a
+//! cuboid with selection cardinalities `c1…cs`, base blocks are coarsened by
+//! the *scale factor* `sf = ⌊(Π cj)^(1/s)⌋` into *pseudo blocks* so that one
+//! cuboid cell again fills a physical page (Section 3.2.3, Example 4).
+//!
+//! Neighborhood search (Lemma 1) needs block adjacency and per-block
+//! regions; both come from the bin boundaries kept as meta information.
+
+use rcube_func::Rect;
+use rcube_table::{Relation, Tid};
+
+/// Block identifier within a [`GridPartition`] (row-major over bins).
+pub type Bid = u32;
+
+/// The equi-depth grid partition over a relation's ranking dimensions.
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    /// Bin boundaries per dimension: `bins + 1` ascending edges covering
+    /// `[0, 1]` (the meta information of Table 3.5).
+    boundaries: Vec<Vec<f64>>,
+    /// Bins per dimension (`b`).
+    bins: usize,
+    /// Ranking dimensions covered, in relation order.
+    dims: Vec<usize>,
+    /// tid → bid.
+    tuple_bid: Vec<Bid>,
+    /// bid → tids (base block contents).
+    blocks: Vec<Vec<Tid>>,
+}
+
+impl GridPartition {
+    /// Partitions `rel`'s ranking dimensions `dims` (all when empty) into
+    /// equi-depth blocks of expected size `block_size` (`P`).
+    pub fn build(rel: &Relation, dims: &[usize], block_size: usize) -> Self {
+        let dims: Vec<usize> = if dims.is_empty() {
+            (0..rel.schema().num_ranking()).collect()
+        } else {
+            dims.to_vec()
+        };
+        let r = dims.len();
+        let t = rel.len().max(1);
+        let bins = ((t as f64 / block_size.max(1) as f64).powf(1.0 / r as f64).ceil() as usize).max(1);
+
+        // Equi-depth boundaries: empirical quantiles per dimension.
+        let mut boundaries = Vec::with_capacity(r);
+        for &d in &dims {
+            let mut col: Vec<f64> = rel.ranking_column(d).to_vec();
+            col.sort_unstable_by(f64::total_cmp);
+            let mut edges = Vec::with_capacity(bins + 1);
+            edges.push(0.0_f64.min(*col.first().unwrap_or(&0.0)));
+            for b in 1..bins {
+                let idx = (b * col.len()) / bins;
+                edges.push(col[idx.min(col.len() - 1)]);
+            }
+            edges.push(1.0_f64.max(*col.last().unwrap_or(&1.0)));
+            // Enforce strict monotonicity where duplicates collapse bins.
+            for i in 1..edges.len() {
+                if edges[i] <= edges[i - 1] {
+                    edges[i] = edges[i - 1] + f64::EPSILON * (i as f64 + 1.0);
+                }
+            }
+            boundaries.push(edges);
+        }
+
+        let mut part = Self {
+            boundaries,
+            bins,
+            dims,
+            tuple_bid: Vec::with_capacity(rel.len()),
+            blocks: vec![Vec::new(); bins.pow(r as u32)],
+        };
+        for tid in rel.tids() {
+            let p = rel.ranking_point_proj(tid, &part.dims);
+            let bid = part.locate(&p);
+            part.tuple_bid.push(bid);
+            part.blocks[bid as usize].push(tid);
+        }
+        part
+    }
+
+    /// Bins per dimension (`b`).
+    pub fn bins_per_dim(&self) -> usize {
+        self.bins
+    }
+
+    /// Ranking dimensions covered.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of base blocks (`b^R`).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bin boundaries for dimension index `i` (position within `dims`).
+    pub fn boundaries(&self, i: usize) -> &[f64] {
+        &self.boundaries[i]
+    }
+
+    /// The base block of tuple `tid`.
+    pub fn bid_of(&self, tid: Tid) -> Bid {
+        self.tuple_bid[tid as usize]
+    }
+
+    /// Tids inside base block `bid`.
+    pub fn block_tids(&self, bid: Bid) -> &[Tid] {
+        &self.blocks[bid as usize]
+    }
+
+    /// Base block containing `point` (projected coordinates).
+    pub fn locate(&self, point: &[f64]) -> Bid {
+        let mut bid = 0usize;
+        for (i, &v) in point.iter().enumerate() {
+            bid = bid * self.bins + self.bin_of(i, v);
+        }
+        bid as Bid
+    }
+
+    fn bin_of(&self, dim_i: usize, v: f64) -> usize {
+        let edges = &self.boundaries[dim_i];
+        // partition_point: first edge > v, minus one; clamp into range.
+        let idx = edges.partition_point(|&e| e <= v);
+        idx.saturating_sub(1).min(self.bins - 1)
+    }
+
+    /// Row-major coordinates of a block.
+    pub fn bid_coords(&self, bid: Bid) -> Vec<usize> {
+        let r = self.dims.len();
+        let mut c = vec![0usize; r];
+        let mut rest = bid as usize;
+        for i in (0..r).rev() {
+            c[i] = rest % self.bins;
+            rest /= self.bins;
+        }
+        c
+    }
+
+    /// Block id from coordinates.
+    pub fn coords_bid(&self, coords: &[usize]) -> Bid {
+        let mut bid = 0usize;
+        for &c in coords {
+            bid = bid * self.bins + c;
+        }
+        bid as Bid
+    }
+
+    /// Geometric region of base block `bid` over the partition dimensions.
+    pub fn block_rect(&self, bid: Bid) -> Rect {
+        let coords = self.bid_coords(bid);
+        let lo = coords.iter().enumerate().map(|(i, &c)| self.boundaries[i][c]).collect();
+        let hi = coords.iter().enumerate().map(|(i, &c)| self.boundaries[i][c + 1]).collect();
+        Rect::new(lo, hi)
+    }
+
+    /// Axis-neighbours of `bid` (±1 per dimension) — the `neighbor(b, c)`
+    /// relation of Lemma 1.
+    pub fn neighbors(&self, bid: Bid) -> Vec<Bid> {
+        let coords = self.bid_coords(bid);
+        let mut out = Vec::with_capacity(2 * coords.len());
+        for i in 0..coords.len() {
+            if coords[i] > 0 {
+                let mut c = coords.clone();
+                c[i] -= 1;
+                out.push(self.coords_bid(&c));
+            }
+            if coords[i] + 1 < self.bins {
+                let mut c = coords.clone();
+                c[i] += 1;
+                out.push(self.coords_bid(&c));
+            }
+        }
+        out
+    }
+
+    /// Scale factor for a cuboid over selection cardinalities `cards`
+    /// (Section 3.2.3): `sf = ⌊(Π cj)^(1/s)⌋`, at least 1.
+    pub fn scale_factor(cards: &[u32]) -> usize {
+        if cards.is_empty() {
+            return 1;
+        }
+        let prod: f64 = cards.iter().map(|&c| c as f64).product();
+        // Nudge before flooring: powf(1/s) of an exact power must not land
+        // a hair under the integer (e.g. 20^(1/1) = 19.999…).
+        ((prod.powf(1.0 / cards.len() as f64) + 1e-9).floor() as usize).max(1)
+    }
+
+    /// Pseudo-block id of a base block under scale factor `sf` (merging
+    /// every `sf` consecutive bins per dimension).
+    pub fn pid_of(&self, bid: Bid, sf: usize) -> u32 {
+        let coords = self.bid_coords(bid);
+        let pbins = self.bins.div_ceil(sf);
+        let mut pid = 0usize;
+        for &c in &coords {
+            pid = pid * pbins + c / sf;
+        }
+        pid as u32
+    }
+
+    /// Number of pseudo blocks under scale factor `sf`.
+    pub fn num_pseudo_blocks(&self, sf: usize) -> usize {
+        self.bins.div_ceil(sf).pow(self.dims.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::{RelationBuilder, Schema};
+
+    fn thesis_example() -> Relation {
+        // Table 3.1 extended with enough tuples to be partitionable.
+        let schema = Schema::synthetic(2, 2, 2);
+        let mut b = RelationBuilder::new(schema);
+        b.push(&[0, 0], &[0.05, 0.05]);
+        b.push(&[0, 1], &[0.65, 0.70]);
+        b.push(&[0, 0], &[0.05, 0.25]);
+        b.push(&[0, 0], &[0.35, 0.15]);
+        b.finish()
+    }
+
+    #[test]
+    fn every_tuple_lands_in_its_block() {
+        let rel = SyntheticSpec { tuples: 2000, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[], 100);
+        for tid in rel.tids() {
+            let bid = g.bid_of(tid);
+            let rect = g.block_rect(bid);
+            let p = rel.ranking_point(tid);
+            assert!(rect.contains(&p), "tuple {tid} at {p:?} not in block rect {rect:?}");
+            assert!(g.block_tids(bid).contains(&tid));
+        }
+    }
+
+    #[test]
+    fn equi_depth_blocks_balanced() {
+        let rel = SyntheticSpec { tuples: 10_000, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[], 250);
+        // b = ceil(sqrt(40)) = 7 bins per dim, 49 blocks.
+        assert_eq!(g.bins_per_dim(), 7);
+        let sizes: Vec<usize> = (0..g.num_blocks()).map(|b| g.block_tids(b as Bid).len()).collect();
+        let avg = 10_000.0 / sizes.len() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(max < avg * 2.0, "equi-depth should balance: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let rel = SyntheticSpec { tuples: 1000, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[], 50);
+        for bid in 0..g.num_blocks() as Bid {
+            assert_eq!(g.coords_bid(&g.bid_coords(bid)), bid);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let rel = SyntheticSpec { tuples: 1000, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[], 50);
+        let bins = g.bins_per_dim();
+        let mid = g.coords_bid(&[bins / 2, bins / 2]);
+        let n = g.neighbors(mid);
+        assert_eq!(n.len(), 4);
+        for nb in n {
+            let a = g.bid_coords(mid);
+            let b = g.bid_coords(nb);
+            let dist: usize = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            assert_eq!(dist, 1);
+        }
+        // Corner block has only R neighbours.
+        assert_eq!(g.neighbors(g.coords_bid(&[0, 0])).len(), 2);
+    }
+
+    #[test]
+    fn scale_factor_matches_example_4() {
+        // Cardinalities 2 and 2 -> sf = floor(sqrt(4)) = 2 (Example 4).
+        assert_eq!(GridPartition::scale_factor(&[2, 2]), 2);
+        assert_eq!(GridPartition::scale_factor(&[20]), 20);
+        assert_eq!(GridPartition::scale_factor(&[]), 1);
+        assert_eq!(GridPartition::scale_factor(&[20, 20, 20]), 20);
+    }
+
+    #[test]
+    fn pseudo_blocks_group_base_blocks() {
+        let rel = thesis_example();
+        let g = GridPartition::build(&rel, &[], 1);
+        let sf = 2;
+        // Pseudo blocks must form a coarser, consistent mapping.
+        let pbins = g.bins_per_dim().div_ceil(sf);
+        for bid in 0..g.num_blocks() as Bid {
+            let pid = g.pid_of(bid, sf);
+            let c = g.bid_coords(bid);
+            let expect = (c[0] / sf) * pbins + c[1] / sf;
+            assert_eq!(pid as usize, expect);
+        }
+        assert_eq!(g.num_pseudo_blocks(sf), pbins * pbins);
+    }
+
+    #[test]
+    fn locate_handles_out_of_range_values() {
+        let rel = thesis_example();
+        let g = GridPartition::build(&rel, &[], 1);
+        // Values at/over the domain edge clamp into valid bins.
+        let bid = g.locate(&[1.0, 1.0]);
+        assert!((bid as usize) < g.num_blocks());
+        let bid = g.locate(&[0.0, 0.0]);
+        assert!((bid as usize) < g.num_blocks());
+    }
+
+    #[test]
+    fn projected_dims_partition() {
+        let rel = SyntheticSpec { tuples: 500, ranking_dims: 4, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[1, 3], 50);
+        assert_eq!(g.dims(), &[1, 3]);
+        for tid in rel.tids() {
+            let p = rel.ranking_point_proj(tid, &[1, 3]);
+            assert_eq!(g.locate(&p), g.bid_of(tid));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Index substrates: B+-tree, R-tree and equi-depth grid partition.
+//!
+//! Chapter 3 partitions data with an equi-depth grid; Chapter 4 switches to
+//! a hierarchical partition (R-tree); Chapter 5 merges multiple hierarchical
+//! indices (B+-trees over single attributes, R-trees over attribute groups).
+//! All three live here, built on the simulated paged storage so queries can
+//! report the paper's disk-access counts.
+//!
+//! The [`HierIndex`] trait is the uniform view the index-merge framework
+//! (Chapter 5) takes of any hierarchical index: nodes with bounding regions,
+//! children, and leaf entries carrying `(tid, values)`.
+
+pub mod bptree;
+pub mod grid;
+pub mod rtree;
+
+use rcube_func::Rect;
+use rcube_storage::DiskSim;
+use rcube_table::Tid;
+
+/// Handle to a node inside a hierarchical index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeHandle(pub u32);
+
+/// Uniform read-only view of a hierarchical index (Section 5.1.1).
+///
+/// Each node occupies one page; [`HierIndex::read_node`] charges the I/O.
+/// Node *paths* are the entry-position sequences `⟨p0, p1, …⟩` used to key
+/// signatures and join-signatures (Sections 4.2.1, 5.3.1).
+pub trait HierIndex {
+    /// Number of ranking dimensions the index covers (1 for a B+-tree).
+    fn dims(&self) -> usize;
+
+    /// The root node.
+    fn root(&self) -> NodeHandle;
+
+    /// True when `n` is a leaf.
+    fn is_leaf(&self, n: NodeHandle) -> bool;
+
+    /// Bounding region of `n` over the index's dimensions.
+    fn region(&self, n: NodeHandle) -> Rect;
+
+    /// Child nodes of an internal node (empty for leaves).
+    fn children(&self, n: NodeHandle) -> Vec<NodeHandle>;
+
+    /// Entries of a leaf node: `(tid, values on the index's dimensions)`.
+    fn leaf_entries(&self, n: NodeHandle) -> Vec<(Tid, Vec<f64>)>;
+
+    /// Charges the I/O of fetching `n` from disk.
+    fn read_node(&self, disk: &DiskSim, n: NodeHandle);
+
+    /// Entry-position path from the root to `n` (root has the empty path).
+    fn node_path(&self, n: NodeHandle) -> Vec<u16>;
+
+    /// Number of levels (root level = 1).
+    fn height(&self) -> usize;
+
+    /// Maximum node fanout `M`.
+    fn max_fanout(&self) -> usize;
+
+    /// Total node count (size/space experiments).
+    fn node_count(&self) -> usize;
+}
+
+pub use bptree::BPlusTree;
+pub use grid::GridPartition;
+pub use rtree::{RTree, RTreeConfig};

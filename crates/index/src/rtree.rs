@@ -1,0 +1,893 @@
+//! A paged R-tree over the ranking dimensions.
+//!
+//! The hierarchical partition of Chapter 4: nested, possibly overlapping
+//! boxes with `m..=M` entries per node (Guttman's structure). Supports
+//!
+//! * STR bulk-loading (how the cubes are built offline),
+//! * single-tuple insertion with quadratic split, reporting the **update
+//!   set** of tuples whose root-to-slot paths changed — exactly what the
+//!   incremental signature maintenance of Section 4.2.5 consumes
+//!   (Figures 4.5/4.6), and
+//! * deletion with Guttman's condense-tree + re-insertion.
+//!
+//! Tuple paths are `⟨p0, …, p_{d−1}, slot⟩`: entry positions from the root
+//! down to the tuple's slot inside its leaf (Section 4.2.1).
+
+use std::collections::HashMap;
+
+use rcube_func::Rect;
+use rcube_storage::{DiskSim, PageId};
+use rcube_table::{Relation, Tid};
+
+use crate::{HierIndex, NodeHandle};
+
+/// R-tree sizing parameters.
+#[derive(Debug, Clone)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per node (`m`), for splits/condensing.
+    pub min_entries: usize,
+    /// Bulk-load fill fraction of `M` (default 0.7): packing nodes full
+    /// would make the very first insertion split all the way to the root.
+    pub bulk_fill: f64,
+}
+
+impl RTreeConfig {
+    /// Page-derived fanout: `M = page / (8·dims + 4)` — yields the thesis'
+    /// 204 (2-d) … 93 (5-d) figures for 4 KB pages. `m = 0.4·M`.
+    pub fn for_page(page_size: usize, dims: usize) -> Self {
+        let max_entries = (page_size / (8 * dims + 4)).max(4);
+        Self { max_entries, min_entries: (max_entries * 2 / 5).max(2), bulk_fill: 0.7 }
+    }
+
+    /// Small fanout handy for unit tests mirroring the thesis' toy figures.
+    pub fn small(max_entries: usize) -> Self {
+        Self { max_entries, min_entries: (max_entries * 2 / 5).max(1), bulk_fill: 0.7 }
+    }
+}
+
+/// A path update produced by incremental maintenance: `old_path == None`
+/// for freshly inserted tuples; `new_path == None` for deleted ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathUpdate {
+    pub tid: Tid,
+    pub old_path: Option<Vec<u16>>,
+    pub new_path: Option<Vec<u16>>,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Internal(Vec<u32>),
+    Leaf(Vec<(Tid, Vec<f64>)>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Rect,
+    kind: NodeKind,
+    parent: Option<u32>,
+    page: PageId,
+}
+
+/// The R-tree.
+#[derive(Debug)]
+pub struct RTree {
+    dims: usize,
+    nodes: Vec<Node>,
+    root: u32,
+    height: usize,
+    config: RTreeConfig,
+    /// tid → leaf node (answers "which leaf holds this tuple" in O(1)).
+    tid_leaf: HashMap<Tid, u32>,
+}
+
+impl RTree {
+    /// Bulk-loads `points` with Sort-Tile-Recursive packing.
+    pub fn bulk_load(disk: &DiskSim, points: Vec<(Tid, Vec<f64>)>, config: RTreeConfig) -> Self {
+        assert!(!points.is_empty(), "cannot bulk-load an empty R-tree");
+        let dims = points[0].1.len();
+        let mut tree = Self {
+            dims,
+            nodes: Vec::new(),
+            root: 0,
+            height: 1,
+            config,
+            tid_leaf: HashMap::with_capacity(points.len()),
+        };
+        // Pack to the fill fraction, not to capacity, so subsequent
+        // insertions do not cascade splits from the first tuple on. Keeping
+        // `cap ≥ 2·min` lets a short trailing chunk be split into two
+        // halves that both satisfy the minimum fill.
+        let min = tree.config.min_entries.max(1);
+        let cap = ((tree.config.max_entries as f64 * tree.config.bulk_fill) as usize)
+            .max(2 * min)
+            .clamp(min, tree.config.max_entries);
+
+        // STR: recursively sort/tile the points, then chunk into leaves.
+        let mut pts = points;
+        str_order(&mut pts, 0, dims, cap);
+        let mut level: Vec<u32> = Vec::new();
+        let mut start = 0;
+        for size in pack_sizes(pts.len(), cap, min) {
+            let id = tree.alloc_leaf(disk, pts[start..start + size].to_vec());
+            level.push(id);
+            start += size;
+        }
+        // Pack upper levels from consecutive (spatially coherent) runs.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut start = 0;
+            for size in pack_sizes(level.len(), cap, min) {
+                let id = tree.alloc_internal(disk, level[start..start + size].to_vec());
+                next.push(id);
+                start += size;
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Bulk-loads over a relation's ranking dimensions `dims` (all of them
+    /// when `dims` is empty).
+    pub fn over_relation(disk: &DiskSim, rel: &Relation, dims: &[usize], config: RTreeConfig) -> Self {
+        let use_dims: Vec<usize> = if dims.is_empty() {
+            (0..rel.schema().num_ranking()).collect()
+        } else {
+            dims.to_vec()
+        };
+        let points = rel
+            .tids()
+            .map(|t| (t, rel.ranking_point_proj(t, &use_dims)))
+            .collect();
+        Self::bulk_load(disk, points, config)
+    }
+
+    /// Number of spatial dimensions.
+    pub fn point_dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Sizing configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Approximate materialized size in bytes (entry-count model, matching
+    /// the fanout math: `8·dims + 4` per entry).
+    pub fn byte_size(&self) -> usize {
+        let entry = 8 * self.dims + 4;
+        self.live_nodes()
+            .map(|n| match &self.nodes[n as usize].kind {
+                NodeKind::Leaf(e) => e.len() * entry,
+                NodeKind::Internal(c) => c.len() * (16 * self.dims + 4),
+            })
+            .sum()
+    }
+
+    /// The tuple path `⟨p0, …, slot⟩` of `tid`.
+    pub fn tuple_path(&self, tid: Tid) -> Option<Vec<u16>> {
+        let leaf = *self.tid_leaf.get(&tid)?;
+        let mut path = self.path_of_node(leaf);
+        let slot = match &self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => entries.iter().position(|&(t, _)| t == tid)?,
+            NodeKind::Internal(_) => unreachable!("tid_leaf maps to a leaf"),
+        };
+        path.push(slot as u16);
+        Some(path)
+    }
+
+    /// Paths for every stored tuple (cube construction input).
+    pub fn tuple_paths(&self) -> Vec<(Tid, Vec<u16>)> {
+        let mut out = Vec::with_capacity(self.tid_leaf.len());
+        let mut path = Vec::new();
+        self.collect_paths(self.root, &mut path, &mut out);
+        out
+    }
+
+    fn collect_paths(&self, node: u32, path: &mut Vec<u16>, out: &mut Vec<(Tid, Vec<u16>)>) {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(entries) => {
+                for (slot, &(tid, _)) in entries.iter().enumerate() {
+                    path.push(slot as u16);
+                    out.push((tid, path.clone()));
+                    path.pop();
+                }
+            }
+            NodeKind::Internal(children) => {
+                for (i, &c) in children.iter().enumerate() {
+                    path.push(i as u16);
+                    self.collect_paths(c, path, out);
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    /// Inserts a tuple, returning the path updates the signature cube must
+    /// apply (Algorithm 2's update set `U`).
+    pub fn insert(&mut self, disk: &DiskSim, tid: Tid, point: Vec<f64>) -> Vec<PathUpdate> {
+        assert_eq!(point.len(), self.dims, "point arity mismatch");
+        assert!(!self.tid_leaf.contains_key(&tid), "duplicate tid {tid}");
+
+        // Walk the choose-leaf path.
+        let mut path_nodes = vec![self.root];
+        while let NodeKind::Internal(children) = &self.nodes[*path_nodes.last().unwrap() as usize].kind {
+            let best = children
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let (ea, eb) = (self.enlargement(a, &point), self.enlargement(b, &point));
+                    ea.total_cmp(&eb).then(
+                        self.nodes[a as usize].mbr.volume().total_cmp(&self.nodes[b as usize].mbr.volume()),
+                    )
+                })
+                .expect("internal node has children");
+            path_nodes.push(best);
+        }
+        let leaf = *path_nodes.last().unwrap();
+
+        // Determine the highest node that will split: walking up from the
+        // leaf, a node splits while it is at capacity.
+        let mut split_top: Option<u32> = None;
+        for &n in path_nodes.iter().rev() {
+            if self.node_len(n) >= self.config.max_entries {
+                split_top = Some(n);
+            } else {
+                break;
+            }
+        }
+
+        // Capture old paths for every tuple whose position may change.
+        let mut old_paths: HashMap<Tid, Vec<u16>> = HashMap::new();
+        let mut touched: Vec<Tid> = Vec::new();
+        if let Some(top) = split_top {
+            let scope = if top == self.root { self.root } else { top };
+            let mut prefix = self.path_of_node(scope);
+            let mut collected = Vec::new();
+            // Re-root collection at `scope` by temporarily extending prefix.
+            self.collect_paths(scope, &mut prefix, &mut collected);
+            for (t, p) in collected {
+                touched.push(t);
+                old_paths.insert(t, p);
+            }
+        }
+
+        // Perform the insertion with cascading quadratic splits.
+        self.insert_entry(disk, leaf, tid, point);
+
+        // Assemble the update set.
+        let mut updates = Vec::with_capacity(touched.len() + 1);
+        updates.push(PathUpdate { tid, old_path: None, new_path: self.tuple_path(tid) });
+        for t in touched {
+            let new_path = self.tuple_path(t);
+            let old_path = old_paths.remove(&t);
+            if new_path.as_ref() != old_path.as_ref() {
+                updates.push(PathUpdate { tid: t, old_path, new_path });
+            }
+        }
+        updates
+    }
+
+    /// Deletes a tuple (condense-tree with re-insertion), returning path
+    /// updates. Conservatively recomputes all paths — deletion is not on
+    /// the benchmarked fast path (the thesis benchmarks insertion only).
+    pub fn delete(&mut self, disk: &DiskSim, tid: Tid) -> Vec<PathUpdate> {
+        let Some(&leaf) = self.tid_leaf.get(&tid) else {
+            return Vec::new();
+        };
+        let before: HashMap<Tid, Vec<u16>> = self.tuple_paths().into_iter().collect();
+
+        // Remove the entry.
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            entries.retain(|&(t, _)| t != tid);
+        }
+        self.tid_leaf.remove(&tid);
+        self.recompute_mbrs_upward(leaf);
+
+        // Condense: collect orphaned entries from underflowing nodes.
+        let mut orphans: Vec<(Tid, Vec<f64>)> = Vec::new();
+        let mut cur = leaf;
+        while cur != self.root {
+            let parent = self.nodes[cur as usize].parent.expect("non-root has parent");
+            if self.node_len(cur) < self.config.min_entries {
+                // Detach `cur` from its parent and stash its tuples.
+                if let NodeKind::Internal(children) = &mut self.nodes[parent as usize].kind {
+                    children.retain(|&c| c != cur);
+                }
+                let mut stash = Vec::new();
+                self.collect_leaf_entries(cur, &mut stash);
+                for &(t, _) in &stash {
+                    self.tid_leaf.remove(&t);
+                }
+                orphans.extend(stash);
+                self.recompute_mbrs_upward(parent);
+            }
+            cur = parent;
+        }
+        // Shrink the root if it lost all but one child.
+        loop {
+            let next = match &self.nodes[self.root as usize].kind {
+                NodeKind::Internal(children) if children.len() == 1 && self.height > 1 => children[0],
+                _ => break,
+            };
+            self.root = next;
+            self.nodes[next as usize].parent = None;
+            self.height -= 1;
+        }
+        for (t, p) in orphans {
+            self.reinsert_point(disk, t, p);
+        }
+
+        // Diff against the snapshot.
+        let after: HashMap<Tid, Vec<u16>> = self.tuple_paths().into_iter().collect();
+        let mut updates = vec![PathUpdate {
+            tid,
+            old_path: Some(before[&tid].clone()),
+            new_path: None,
+        }];
+        for (t, old) in &before {
+            if *t == tid {
+                continue;
+            }
+            let new = after.get(t);
+            if new != Some(old) {
+                updates.push(PathUpdate {
+                    tid: *t,
+                    old_path: Some(old.clone()),
+                    new_path: new.cloned(),
+                });
+            }
+        }
+        updates
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn alloc_leaf(&mut self, disk: &DiskSim, entries: Vec<(Tid, Vec<f64>)>) -> u32 {
+        let id = self.nodes.len() as u32;
+        let mut mbr = Rect::empty(self.dims);
+        for (tid, p) in &entries {
+            mbr.expand(p);
+            self.tid_leaf.insert(*tid, id);
+        }
+        let page = disk.alloc_page();
+        disk.write(page);
+        self.nodes.push(Node { mbr, kind: NodeKind::Leaf(entries), parent: None, page });
+        id
+    }
+
+    fn alloc_internal(&mut self, disk: &DiskSim, children: Vec<u32>) -> u32 {
+        let id = self.nodes.len() as u32;
+        let mut mbr = Rect::empty(self.dims);
+        for &c in &children {
+            mbr.expand_rect(&self.nodes[c as usize].mbr.clone());
+            self.nodes[c as usize].parent = Some(id);
+        }
+        let page = disk.alloc_page();
+        disk.write(page);
+        self.nodes.push(Node { mbr, kind: NodeKind::Internal(children), parent: None, page });
+        id
+    }
+
+    fn node_len(&self, n: u32) -> usize {
+        match &self.nodes[n as usize].kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+
+    fn enlargement(&self, n: u32, p: &[f64]) -> f64 {
+        let mbr = &self.nodes[n as usize].mbr;
+        let mut grown = mbr.clone();
+        grown.expand(p);
+        grown.volume() - mbr.volume()
+    }
+
+    fn path_of_node(&self, n: u32) -> Vec<u16> {
+        let mut path = Vec::new();
+        let mut cur = n;
+        while let Some(parent) = self.nodes[cur as usize].parent {
+            let pos = match &self.nodes[parent as usize].kind {
+                NodeKind::Internal(c) => c.iter().position(|&x| x == cur).unwrap(),
+                NodeKind::Leaf(_) => unreachable!(),
+            };
+            path.push(pos as u16);
+            cur = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    fn collect_leaf_entries(&self, n: u32, out: &mut Vec<(Tid, Vec<f64>)>) {
+        match &self.nodes[n as usize].kind {
+            NodeKind::Leaf(e) => out.extend(e.iter().cloned()),
+            NodeKind::Internal(c) => {
+                for &child in c {
+                    self.collect_leaf_entries(child, out);
+                }
+            }
+        }
+    }
+
+    fn insert_entry(&mut self, disk: &DiskSim, leaf: u32, tid: Tid, point: Vec<f64>) {
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            entries.push((tid, point.clone()));
+        }
+        self.tid_leaf.insert(tid, leaf);
+        self.nodes[leaf as usize].mbr.expand(&point);
+        disk.write(self.nodes[leaf as usize].page);
+        self.recompute_mbrs_upward(leaf);
+        if self.node_len(leaf) > self.config.max_entries {
+            self.split_node(disk, leaf);
+        }
+    }
+
+    /// Quadratic split of an overfull node, propagating upward.
+    fn split_node(&mut self, disk: &DiskSim, n: u32) {
+        // Collect entry rects for seed picking.
+        let rects: Vec<Rect> = match &self.nodes[n as usize].kind {
+            NodeKind::Leaf(e) => e.iter().map(|(_, p)| Rect::point(p)).collect(),
+            NodeKind::Internal(c) => c.iter().map(|&c| self.nodes[c as usize].mbr.clone()).collect(),
+        };
+        let (g1, g2) = quadratic_partition(&rects, self.config.min_entries);
+
+        // Materialize the two groups.
+        let sibling = match self.nodes[n as usize].kind.clone() {
+            NodeKind::Leaf(entries) => {
+                let keep: Vec<_> = g1.iter().map(|&i| entries[i].clone()).collect();
+                let give: Vec<_> = g2.iter().map(|&i| entries[i].clone()).collect();
+                self.replace_leaf_entries(n, keep);
+                self.alloc_leaf(disk, give)
+            }
+            NodeKind::Internal(children) => {
+                let keep: Vec<u32> = g1.iter().map(|&i| children[i]).collect();
+                let give: Vec<u32> = g2.iter().map(|&i| children[i]).collect();
+                self.replace_internal_children(n, keep);
+                self.alloc_internal(disk, give)
+            }
+        };
+        disk.write(self.nodes[n as usize].page);
+
+        match self.nodes[n as usize].parent {
+            Some(parent) => {
+                if let NodeKind::Internal(children) = &mut self.nodes[parent as usize].kind {
+                    children.push(sibling);
+                }
+                self.nodes[sibling as usize].parent = Some(parent);
+                self.recompute_mbrs_upward(parent);
+                disk.write(self.nodes[parent as usize].page);
+                if self.node_len(parent) > self.config.max_entries {
+                    self.split_node(disk, parent);
+                }
+            }
+            None => {
+                // Root split: grow the tree.
+                let new_root = self.alloc_internal(disk, vec![n, sibling]);
+                self.root = new_root;
+                self.height += 1;
+            }
+        }
+    }
+
+    fn replace_leaf_entries(&mut self, n: u32, entries: Vec<(Tid, Vec<f64>)>) {
+        let mut mbr = Rect::empty(self.dims);
+        for (tid, p) in &entries {
+            mbr.expand(p);
+            self.tid_leaf.insert(*tid, n);
+        }
+        self.nodes[n as usize].mbr = mbr;
+        self.nodes[n as usize].kind = NodeKind::Leaf(entries);
+    }
+
+    fn replace_internal_children(&mut self, n: u32, children: Vec<u32>) {
+        let mut mbr = Rect::empty(self.dims);
+        for &c in &children {
+            mbr.expand_rect(&self.nodes[c as usize].mbr.clone());
+            self.nodes[c as usize].parent = Some(n);
+        }
+        self.nodes[n as usize].mbr = mbr;
+        self.nodes[n as usize].kind = NodeKind::Internal(children);
+    }
+
+    fn recompute_mbrs_upward(&mut self, from: u32) {
+        let mut cur = Some(from);
+        while let Some(n) = cur {
+            let mbr = match &self.nodes[n as usize].kind {
+                NodeKind::Leaf(e) => {
+                    let mut r = Rect::empty(self.dims);
+                    for (_, p) in e {
+                        r.expand(p);
+                    }
+                    r
+                }
+                NodeKind::Internal(c) => {
+                    let mut r = Rect::empty(self.dims);
+                    for &child in c {
+                        r.expand_rect(&self.nodes[child as usize].mbr.clone());
+                    }
+                    r
+                }
+            };
+            self.nodes[n as usize].mbr = mbr;
+            cur = self.nodes[n as usize].parent;
+        }
+    }
+
+    fn reinsert_point(&mut self, disk: &DiskSim, tid: Tid, point: Vec<f64>) {
+        // Choose-leaf descent, then plain entry insertion.
+        let mut cur = self.root;
+        while let NodeKind::Internal(children) = &self.nodes[cur as usize].kind {
+            cur = children
+                .iter()
+                .copied()
+                .min_by(|&a, &b| self.enlargement(a, &point).total_cmp(&self.enlargement(b, &point)))
+                .unwrap();
+        }
+        self.insert_entry(disk, cur, tid, point);
+    }
+
+    fn live_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        // Nodes reachable from the root.
+        let mut stack = vec![self.root];
+        let mut seen = Vec::new();
+        while let Some(n) = stack.pop() {
+            seen.push(n);
+            if let NodeKind::Internal(c) = &self.nodes[n as usize].kind {
+                stack.extend_from_slice(c);
+            }
+        }
+        seen.into_iter()
+    }
+}
+
+/// Guttman's quadratic split: pick the two seeds wasting the most area,
+/// then greedily assign by least enlargement, honouring `min_entries`.
+fn quadratic_partition(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union_volume(&rects[j]) - rects[i].volume() - rects[j].volume();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut r1 = rects[s1].clone();
+    let mut r2 = rects[s2].clone();
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while let Some(pos) = pick_next(&rest, &r1, &r2, rects) {
+        let i = rest.swap_remove(pos);
+        let remaining = rest.len();
+        // Force-assign to honour the minimum fill.
+        if g1.len() + remaining < min_entries {
+            r1.expand_rect(&rects[i]);
+            g1.push(i);
+            continue;
+        }
+        if g2.len() + remaining < min_entries {
+            r2.expand_rect(&rects[i]);
+            g2.push(i);
+            continue;
+        }
+        let e1 = r1.union_volume(&rects[i]) - r1.volume();
+        let e2 = r2.union_volume(&rects[i]) - r2.volume();
+        if e1 < e2 || (e1 == e2 && g1.len() <= g2.len()) {
+            r1.expand_rect(&rects[i]);
+            g1.push(i);
+        } else {
+            r2.expand_rect(&rects[i]);
+            g2.push(i);
+        }
+    }
+    (g1, g2)
+}
+
+/// PickNext: the entry with the largest preference gap between groups.
+fn pick_next(rest: &[usize], r1: &Rect, r2: &Rect, rects: &[Rect]) -> Option<usize> {
+    rest.iter()
+        .enumerate()
+        .max_by(|(_, &a), (_, &b)| {
+            let da = (r1.union_volume(&rects[a]) - r2.union_volume(&rects[a])).abs();
+            let db = (r1.union_volume(&rects[b]) - r2.union_volume(&rects[b])).abs();
+            da.total_cmp(&db)
+        })
+        .map(|(pos, _)| pos)
+}
+
+impl HierIndex for RTree {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn root(&self) -> NodeHandle {
+        NodeHandle(self.root)
+    }
+
+    fn is_leaf(&self, n: NodeHandle) -> bool {
+        matches!(self.nodes[n.0 as usize].kind, NodeKind::Leaf(_))
+    }
+
+    fn region(&self, n: NodeHandle) -> Rect {
+        self.nodes[n.0 as usize].mbr.clone()
+    }
+
+    fn children(&self, n: NodeHandle) -> Vec<NodeHandle> {
+        match &self.nodes[n.0 as usize].kind {
+            NodeKind::Internal(c) => c.iter().map(|&i| NodeHandle(i)).collect(),
+            NodeKind::Leaf(_) => Vec::new(),
+        }
+    }
+
+    fn leaf_entries(&self, n: NodeHandle) -> Vec<(Tid, Vec<f64>)> {
+        match &self.nodes[n.0 as usize].kind {
+            NodeKind::Leaf(e) => e.clone(),
+            NodeKind::Internal(_) => Vec::new(),
+        }
+    }
+
+    fn read_node(&self, disk: &DiskSim, n: NodeHandle) {
+        disk.read(self.nodes[n.0 as usize].page);
+    }
+
+    fn node_path(&self, n: NodeHandle) -> Vec<u16> {
+        self.path_of_node(n.0)
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    fn max_fanout(&self) -> usize {
+        self.config.max_entries
+    }
+
+    fn node_count(&self) -> usize {
+        self.live_nodes().count()
+    }
+}
+
+/// Chunk sizes covering `n` entries with every chunk in `[min, cap]`
+/// (except a lone root-level chunk smaller than `min` when `n < min`).
+/// Requires `cap ≥ 2·min` so a short trailing chunk can be rebalanced.
+fn pack_sizes(n: usize, cap: usize, min: usize) -> Vec<usize> {
+    debug_assert!(cap >= 2 * min || n <= cap);
+    let mut sizes = Vec::with_capacity(n.div_ceil(cap));
+    let mut rem = n;
+    while rem > 0 {
+        if rem <= cap {
+            sizes.push(rem);
+            break;
+        }
+        if rem - cap < min {
+            // Split the remainder into two balanced halves, both ≥ min.
+            let half = rem / 2;
+            sizes.push(rem - half);
+            sizes.push(half);
+            break;
+        }
+        sizes.push(cap);
+        rem -= cap;
+    }
+    sizes
+}
+
+/// Orders points Sort-Tile-Recursively in place.
+fn str_order(pts: &mut [(Tid, Vec<f64>)], dim: usize, dims: usize, leaf_cap: usize) {
+    if pts.len() <= leaf_cap || dim >= dims {
+        return;
+    }
+    pts.sort_unstable_by(|a, b| a.1[dim].total_cmp(&b.1[dim]));
+    let pages = pts.len().div_ceil(leaf_cap);
+    let slabs = (pages as f64).powf(1.0 / (dims - dim) as f64).ceil() as usize;
+    let slab_size = pts.len().div_ceil(slabs);
+    for chunk in pts.chunks_mut(slab_size) {
+        str_order(chunk, dim + 1, dims, leaf_cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<(Tid, Vec<f64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (i as Tid, (0..dims).map(|_| rng.gen::<f64>()).collect()))
+            .collect()
+    }
+
+    /// Structural invariants: MBR containment, fill factors, parent links,
+    /// tid_leaf consistency.
+    fn check_invariants(t: &RTree) {
+        let mut stack = vec![t.root];
+        let mut tuple_count = 0;
+        while let Some(n) = stack.pop() {
+            let node = &t.nodes[n as usize];
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    assert!(
+                        n == t.root || entries.len() >= t.config.min_entries,
+                        "leaf underflow: {}",
+                        entries.len()
+                    );
+                    assert!(entries.len() <= t.config.max_entries);
+                    for (tid, p) in entries {
+                        assert!(node.mbr.contains(p), "leaf MBR misses point");
+                        assert_eq!(t.tid_leaf[tid], n, "tid_leaf out of date");
+                        tuple_count += 1;
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    assert!(
+                        n == t.root || children.len() >= t.config.min_entries,
+                        "internal underflow"
+                    );
+                    assert!(children.len() <= t.config.max_entries);
+                    for &c in children {
+                        assert_eq!(t.nodes[c as usize].parent, Some(n), "parent link broken");
+                        assert!(
+                            node.mbr.covers(&t.nodes[c as usize].mbr),
+                            "child MBR escapes parent"
+                        );
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        assert_eq!(tuple_count, t.tid_leaf.len());
+    }
+
+    #[test]
+    fn bulk_load_preserves_all_points() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(500, 2, 1);
+        let t = RTree::bulk_load(&disk, pts.clone(), RTreeConfig::small(8));
+        check_invariants(&t);
+        let mut seen: Vec<Tid> = t.tuple_paths().into_iter().map(|(t, _)| t).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn page_fanout_matches_thesis_numbers() {
+        assert_eq!(RTreeConfig::for_page(4096, 2).max_entries, 204);
+        assert_eq!(RTreeConfig::for_page(4096, 5).max_entries, 93);
+    }
+
+    #[test]
+    fn tuple_path_navigates_to_tuple() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(300, 2, 2);
+        let t = RTree::bulk_load(&disk, pts.clone(), RTreeConfig::small(4));
+        for (tid, point) in &pts {
+            let path = t.tuple_path(*tid).unwrap();
+            // Walk the path through children; the final component is the slot.
+            let mut cur = t.root();
+            for &p in &path[..path.len() - 1] {
+                cur = t.children(cur)[p as usize];
+            }
+            let entries = t.leaf_entries(cur);
+            let (found, pnt) = &entries[*path.last().unwrap() as usize];
+            assert_eq!(found, tid);
+            assert_eq!(pnt, point);
+        }
+    }
+
+    #[test]
+    fn insert_without_split_updates_only_new_tuple() {
+        let disk = DiskSim::with_defaults();
+        // Room in the leaves: fanout 8, 4 points.
+        let pts = random_points(4, 2, 3);
+        let mut t = RTree::bulk_load(&disk, pts, RTreeConfig::small(8));
+        let ups = t.insert(&disk, 100, vec![0.5, 0.5]);
+        check_invariants(&t);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].tid, 100);
+        assert!(ups[0].old_path.is_none());
+        assert!(ups[0].new_path.is_some());
+    }
+
+    #[test]
+    fn insert_with_split_reports_moved_tuples() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(4, 2, 4);
+        // Full packing (fill = 1.0) so the next insert must split.
+        let cfg = RTreeConfig { max_entries: 4, min_entries: 1, bulk_fill: 1.0 };
+        let mut t = RTree::bulk_load(&disk, pts, cfg);
+        // 5th point into a full leaf forces a split.
+        let ups = t.insert(&disk, 50, vec![0.9, 0.9]);
+        check_invariants(&t);
+        assert!(ups.len() > 1, "split must move at least one tuple");
+        // All updates must reflect current reality.
+        for u in &ups {
+            assert_eq!(t.tuple_path(u.tid), u.new_path);
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_match_full_rebuild_paths() {
+        // Apply update sets to a shadow map and compare with fresh paths.
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(64, 2, 5);
+        let mut t = RTree::bulk_load(&disk, pts, RTreeConfig::small(4));
+        let mut shadow: HashMap<Tid, Vec<u16>> = t.tuple_paths().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..64u32 {
+            let tid = 1000 + i;
+            let p = vec![rng.gen(), rng.gen()];
+            for u in t.insert(&disk, tid, p) {
+                match &u.new_path {
+                    Some(np) => {
+                        shadow.insert(u.tid, np.clone());
+                    }
+                    None => {
+                        shadow.remove(&u.tid);
+                    }
+                }
+            }
+            check_invariants(&t);
+        }
+        let truth: HashMap<Tid, Vec<u16>> = t.tuple_paths().into_iter().collect();
+        assert_eq!(shadow, truth, "update sets must reconstruct the exact paths");
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(40, 2, 6);
+        let mut t = RTree::bulk_load(&disk, pts, RTreeConfig::small(4));
+        let ups = t.delete(&disk, 7);
+        check_invariants(&t);
+        assert!(t.tuple_path(7).is_none());
+        assert_eq!(ups[0].tid, 7);
+        assert!(ups[0].new_path.is_none());
+        // Remaining paths reported correctly.
+        for u in &ups[1..] {
+            assert_eq!(t.tuple_path(u.tid), u.new_path);
+        }
+    }
+
+    #[test]
+    fn deep_delete_chain_stays_consistent() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(128, 2, 7);
+        let mut t = RTree::bulk_load(&disk, pts, RTreeConfig::small(4));
+        for tid in 0..100u32 {
+            t.delete(&disk, tid);
+            check_invariants(&t);
+        }
+        assert_eq!(t.tid_leaf.len(), 28);
+    }
+
+    #[test]
+    fn three_dimensional_points_work() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(200, 3, 8);
+        let t = RTree::bulk_load(&disk, pts, RTreeConfig::small(6));
+        check_invariants(&t);
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.region(t.root()).dims(), 3);
+    }
+
+    #[test]
+    fn node_count_and_height_reasonable() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(1000, 2, 9);
+        let t = RTree::bulk_load(&disk, pts, RTreeConfig::small(10));
+        // Fill 0.7 -> chunks of 7: 1000/7 = 143 leaves, /7 = 21, /7 = 3,
+        // /7 = 1 -> height 4.
+        assert_eq!(t.height(), 4);
+        assert!(t.node_count() >= 143);
+    }
+}

@@ -1,0 +1,42 @@
+//! SPJR queries: select–project–join–rank over multiple relations
+//! (Chapter 6).
+//!
+//! Each relation carries its own ranking cube (R-tree partition +
+//! signature cuboids); the system of Figure 6.1 is
+//!
+//! * a **query optimizer** ([`optimizer`]) choosing, per relation, between
+//!   rank-aware selection (progressive, cube-driven) and Boolean-first
+//!   materialization, plus a pull order;
+//! * a **query executer** ([`executor`]) running rank-aware selection
+//!   streams ([`stream`]) through a multi-way rank join (HRJN-style
+//!   threshold join, Section 6.3.2) with **list pruning** of join keys that
+//!   cannot match (Section 6.3.3).
+
+pub mod executor;
+pub mod optimizer;
+pub mod relation;
+pub mod stream;
+
+pub use executor::{full_join_topk, JoinResult, RankJoin};
+pub use optimizer::{optimize, Access, Plan};
+pub use relation::JoinRelation;
+pub use stream::RankedStream;
+
+use rcube_table::Selection;
+
+/// The per-relation part of an SPJR query: a Boolean selection plus linear
+/// ranking weights over that relation's ranking dimensions.
+#[derive(Debug, Clone)]
+pub struct RelQuery {
+    pub selection: Selection,
+    /// One weight per ranking dimension of the relation (0 = unused).
+    pub weights: Vec<f64>,
+}
+
+/// A multi-relational top-k query: natural join on the shared key, ranked
+/// by the sum of per-relation linear scores.
+#[derive(Debug, Clone)]
+pub struct SpjrQuery {
+    pub relations: Vec<RelQuery>,
+    pub k: usize,
+}

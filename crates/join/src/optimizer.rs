@@ -1,0 +1,113 @@
+//! The SPJR query optimizer (Section 6.2).
+//!
+//! Per relation it chooses between **rank-aware selection** (progressive,
+//! good when many tuples qualify and only a few top answers are needed)
+//! and **Boolean-first materialization** (good when the predicates are very
+//! selective, Section 6.2.1); across relations it orders the pulls by
+//! estimated qualifying cardinality (Section 6.2.2) so the most selective
+//! stream drives the join threshold down fastest.
+
+use crate::relation::JoinRelation;
+use crate::SpjrQuery;
+
+/// Access method per relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Progressive cube-driven stream.
+    RankAware,
+    /// Materialize qualifying tuples, sort, stream.
+    BooleanFirst,
+}
+
+/// An execution plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Access method per relation (aligned with the query's relations).
+    pub access: Vec<Access>,
+    /// Pull order (relation indices, most selective first).
+    pub pull_order: Vec<usize>,
+    /// Estimated qualifying tuples per relation.
+    pub estimates: Vec<f64>,
+}
+
+/// Materialization pays off below this many estimated matches.
+const MATERIALIZE_THRESHOLD: f64 = 48.0;
+
+/// Produces a plan from uniform-independence selectivity estimates.
+pub fn optimize(relations: &[&JoinRelation], query: &SpjrQuery) -> Plan {
+    assert_eq!(relations.len(), query.relations.len(), "plan arity mismatch");
+    let estimates: Vec<f64> = relations
+        .iter()
+        .zip(&query.relations)
+        .map(|(jr, rq)| {
+            rq.selection.estimated_selectivity(jr.relation()) * jr.relation().len() as f64
+        })
+        .collect();
+    let access = estimates
+        .iter()
+        .map(|&e| if e < MATERIALIZE_THRESHOLD { Access::BooleanFirst } else { Access::RankAware })
+        .collect();
+    let mut pull_order: Vec<usize> = (0..relations.len()).collect();
+    pull_order.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
+    Plan { access, pull_order, estimates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelQuery;
+    use rcube_storage::DiskSim;
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::Selection;
+
+    fn setup(card: u32) -> JoinRelation {
+        let rel = SyntheticSpec { tuples: 1_000, cardinality: card, ..Default::default() }.generate();
+        let keys: Vec<u32> = (0..1_000).map(|i| i % 20).collect();
+        let disk = DiskSim::with_defaults();
+        JoinRelation::build(rel, keys, &disk)
+    }
+
+    #[test]
+    fn selective_predicates_get_materialized() {
+        let jr = setup(100);
+        let q = SpjrQuery {
+            relations: vec![RelQuery {
+                // 1000 / (100·100) = 0.1 expected matches.
+                selection: Selection::new(vec![(0, 1), (1, 2)]),
+                weights: vec![1.0, 1.0],
+            }],
+            k: 5,
+        };
+        let plan = optimize(&[&jr], &q);
+        assert_eq!(plan.access[0], Access::BooleanFirst);
+    }
+
+    #[test]
+    fn loose_predicates_stay_rank_aware() {
+        let jr = setup(2);
+        let q = SpjrQuery {
+            relations: vec![RelQuery {
+                selection: Selection::new(vec![(0, 1)]),
+                weights: vec![1.0, 1.0],
+            }],
+            k: 5,
+        };
+        let plan = optimize(&[&jr], &q);
+        assert_eq!(plan.access[0], Access::RankAware);
+    }
+
+    #[test]
+    fn pull_order_sorts_by_selectivity() {
+        let a = setup(2); // ~500 matches with one predicate
+        let b = setup(50); // ~20 matches
+        let q = SpjrQuery {
+            relations: vec![
+                RelQuery { selection: Selection::new(vec![(0, 1)]), weights: vec![1.0, 0.0] },
+                RelQuery { selection: Selection::new(vec![(0, 1)]), weights: vec![1.0, 0.0] },
+            ],
+            k: 5,
+        };
+        let plan = optimize(&[&a, &b], &q);
+        assert_eq!(plan.pull_order, vec![1, 0], "more selective relation pulls first");
+    }
+}

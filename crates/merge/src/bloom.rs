@@ -1,0 +1,108 @@
+//! Bloom filter for join-signature compression (Section 5.3.1).
+//!
+//! When a state's child-combination space `card(S) = Π Mi` exceeds a page,
+//! the state-signature stores a bloom filter over the non-empty child
+//! combinations instead of an exact set: false positives are possible
+//! (a falsely "non-empty" state is discovered and discarded one level
+//! down, Section 5.3.3), false negatives are not.
+
+/// A classic k-hash bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected` insertions within `max_bits`:
+    /// `b = min(max_bits, k̄·n/ln 2)` and `k = b/n·ln 2` capped at `k̄ = 8`
+    /// (the thesis caps the hash count to bound CPU cost).
+    pub fn new(expected: usize, max_bits: usize) -> Self {
+        const K_MAX: f64 = 8.0;
+        let n = expected.max(1) as f64;
+        let b = ((K_MAX * n / std::f64::consts::LN_2).ceil() as usize).min(max_bits).max(64);
+        let k = ((b as f64 / n) * std::f64::consts::LN_2).round().clamp(1.0, K_MAX) as u32;
+        Self { bits: vec![0; b.div_ceil(64)], num_bits: b, num_hashes: k }
+    }
+
+    /// Number of bits in the array.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.num_hashes {
+            let h = Self::hash(key, i) % self.num_bits as u64;
+            self.bits[(h / 64) as usize] |= 1 << (h % 64);
+        }
+    }
+
+    /// True when the key *may* have been inserted (no false negatives).
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.num_hashes).all(|i| {
+            let h = Self::hash(key, i) % self.num_bits as u64;
+            self.bits[(h / 64) as usize] >> (h % 64) & 1 == 1
+        })
+    }
+
+    /// SplitMix64-style double hashing.
+    fn hash(key: u64, i: u32) -> u64 {
+        let mut z = key.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(i) + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1_000, 1 << 16);
+        for k in 0..1_000u64 {
+            f.insert(k * 7919);
+        }
+        for k in 0..1_000u64 {
+            assert!(f.contains(k * 7919));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::new(1_000, 1 << 16);
+        for k in 0..1_000u64 {
+            f.insert(k);
+        }
+        let fp = (1_000u64..101_000).filter(|&k| f.contains(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.05, "false-positive rate {rate} too high");
+    }
+
+    #[test]
+    fn respects_max_bits() {
+        let f = BloomFilter::new(1_000_000, 4096 * 8);
+        assert!(f.num_bits() <= 4096 * 8);
+        assert!(f.num_hashes() >= 1);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_probably() {
+        let f = BloomFilter::new(10, 1024);
+        assert!(!f.contains(42));
+        assert!(!f.contains(0));
+    }
+}

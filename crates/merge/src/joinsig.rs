@@ -1,0 +1,422 @@
+//! Join-signatures: materialized empty-state pruning (Section 5.3).
+//!
+//! For every non-leaf, non-empty joint state `S`, the join-signature stores
+//! which child combinations are non-empty. Small states keep an exact set;
+//! states whose combination space exceeds a page use a bloom filter
+//! (false positives are corrected one level down, Lemma 8). Signatures are
+//! computed tuple-orientedly from per-index node paths (Section 5.3.2) and
+//! stored paged so lookups charge I/O.
+
+use std::collections::{HashMap, HashSet};
+
+use rcube_index::HierIndex;
+use rcube_storage::{DiskSim, PageId, PageStore};
+use rcube_table::Tid;
+
+use crate::bloom::BloomFilter;
+
+/// Sentinel child position meaning "the (leaf) node itself".
+pub const SELF_POS: u16 = u16::MAX;
+
+/// One state's signature: the set of non-empty child combinations —
+/// stored as a `card(S)`-bit array when the combination space fits a page,
+/// as a bloom filter otherwise (Section 5.3.1).
+#[derive(Debug)]
+enum StateSig {
+    Exact { set: HashSet<u64>, card: usize },
+    Bloom(BloomFilter),
+}
+
+impl StateSig {
+    fn contains(&self, combo: u64) -> bool {
+        match self {
+            StateSig::Exact { set, .. } => set.contains(&combo),
+            StateSig::Bloom(b) => b.contains(combo),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        match self {
+            // The exact form is an m-way bit array over the combination
+            // space.
+            StateSig::Exact { card, .. } => card.div_ceil(8),
+            StateSig::Bloom(b) => b.byte_size(),
+        }
+    }
+}
+
+/// A state key: the concatenated node paths of the joint state.
+pub type StateKey = Vec<Vec<u16>>;
+
+/// The join-signature over `m` indices (or a pair, in pairwise mode).
+#[derive(Debug)]
+pub struct JoinSignature {
+    /// Which original indices this signature covers (identity for full
+    /// signatures; the pair for pairwise ones).
+    members: Vec<usize>,
+    /// Per-index combination base (`Mi + 2`, reserving the SELF sentinel).
+    bases: Vec<u64>,
+    states: HashMap<StateKey, StateSig>,
+    pages: HashMap<StateKey, PageId>,
+    store: PageStore,
+    total_bytes: usize,
+}
+
+impl JoinSignature {
+    /// Builds the full `m`-way join-signature from per-index tuple paths
+    /// (`tuple_paths[i]` maps tid → node path in index `i`, *without* the
+    /// leaf slot).
+    pub fn build(
+        indices: &[&dyn HierIndex],
+        tuple_paths: &[HashMap<Tid, Vec<u16>>],
+        disk: &DiskSim,
+    ) -> Self {
+        let members = (0..indices.len()).collect();
+        Self::build_over(indices, tuple_paths, members, disk)
+    }
+
+    /// Builds a pairwise join-signature for indices `(a, b)`.
+    pub fn build_pair(
+        indices: &[&dyn HierIndex],
+        tuple_paths: &[HashMap<Tid, Vec<u16>>],
+        a: usize,
+        b: usize,
+        disk: &DiskSim,
+    ) -> Self {
+        Self::build_over(indices, tuple_paths, vec![a, b], disk)
+    }
+
+    fn build_over(
+        indices: &[&dyn HierIndex],
+        tuple_paths: &[HashMap<Tid, Vec<u16>>],
+        members: Vec<usize>,
+        disk: &DiskSim,
+    ) -> Self {
+        let bases: Vec<u64> = members.iter().map(|&i| indices[i].max_fanout() as u64 + 2).collect();
+        let max_depth = members
+            .iter()
+            .map(|&i| indices[i].height().saturating_sub(1))
+            .max()
+            .unwrap_or(0);
+
+        // Recursive-sort equivalent: group tuples by state key per level
+        // and record child combinations.
+        let mut combos: HashMap<StateKey, HashSet<u64>> = HashMap::new();
+        let some_member = members[0];
+        for tid in tuple_paths[some_member].keys() {
+            let paths: Vec<&Vec<u16>> =
+                members.iter().map(|&i| &tuple_paths[i][tid]).collect();
+            for level in 0..max_depth {
+                // Skip levels where every member is already at its leaf.
+                if paths.iter().all(|p| level >= p.len()) {
+                    break;
+                }
+                let key: StateKey = paths
+                    .iter()
+                    .map(|p| p[..level.min(p.len())].to_vec())
+                    .collect();
+                let combo = encode_combo(
+                    &bases,
+                    &paths
+                        .iter()
+                        .map(|p| p.get(level).copied().unwrap_or(SELF_POS))
+                        .collect::<Vec<u16>>(),
+                );
+                combos.entry(key).or_default().insert(combo);
+            }
+        }
+
+        // Materialize: exact set or bloom filter, paged.
+        let store = PageStore::new();
+        let mut states = HashMap::with_capacity(combos.len());
+        let mut pages = HashMap::with_capacity(combos.len());
+        let mut total_bytes = 0usize;
+        let page_bits = disk.page_size() * 8;
+        for (key, set) in combos {
+            let card: u64 = bases.iter().product();
+            let sig = if card as usize > page_bits {
+                let mut bloom = BloomFilter::new(set.len(), page_bits);
+                for &c in &set {
+                    bloom.insert(c);
+                }
+                StateSig::Bloom(bloom)
+            } else {
+                StateSig::Exact { set, card: card as usize }
+            };
+            total_bytes += sig.byte_size();
+            // One paged object per state signature (lookups charge a read).
+            let page = store.put(disk, vec![0u8; sig.byte_size().max(1)]);
+            pages.insert(key.clone(), page);
+            states.insert(key, sig);
+        }
+        Self { members, bases, states, pages, store, total_bytes }
+    }
+
+    /// Indices covered by this signature.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Total signature bytes (Figure 5.22 metric).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Number of materialized state signatures.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the state keyed `key` is non-empty (exists at all).
+    pub fn contains_state(&self, key: &StateKey) -> bool {
+        self.states.contains_key(key)
+    }
+
+    fn check(&self, key: &StateKey, combo: &[u16]) -> bool {
+        match self.states.get(key) {
+            Some(sig) => sig.contains(encode_combo(&self.bases, combo)),
+            None => false,
+        }
+    }
+
+    fn page_of(&self, key: &StateKey) -> Option<PageId> {
+        self.pages.get(key).copied()
+    }
+}
+
+fn encode_combo(bases: &[u64], combo: &[u16]) -> u64 {
+    debug_assert_eq!(bases.len(), combo.len());
+    combo.iter().zip(bases).fold(0u64, |acc, (&c, &b)| {
+        let v = if c == SELF_POS { 0 } else { c as u64 + 1 };
+        acc * b + v
+    })
+}
+
+/// Per-query cursor over one or more join-signatures: caches loaded state
+/// signatures and charges I/O on first access.
+#[derive(Debug)]
+pub struct JoinSigCursor<'a> {
+    sigs: Vec<&'a JoinSignature>,
+    loaded: HashSet<(usize, StateKey)>,
+    /// Signature page loads performed (the `PE+SIG(SIG)` bar of Fig 5.10).
+    pub loads: u64,
+}
+
+impl<'a> JoinSigCursor<'a> {
+    pub fn new(sigs: Vec<&'a JoinSignature>) -> Self {
+        Self { sigs, loaded: HashSet::new(), loads: 0 }
+    }
+
+    /// True when the child `combo` of the state `key` (full, over all `m`
+    /// indices) may be non-empty according to every signature.
+    pub fn check_child(&mut self, disk: &DiskSim, key: &StateKey, combo: &[u16]) -> bool {
+        for si in 0..self.sigs.len() {
+            let sig = self.sigs[si];
+            let sub_key: StateKey = sig.members.iter().map(|&i| key[i].clone()).collect();
+            let sub_combo: Vec<u16> = sig.members.iter().map(|&i| combo[i]).collect();
+            self.touch(disk, si, &sub_key);
+            if !sig.check(&sub_key, &sub_combo) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when the state itself exists in every signature (corrects bloom
+    /// false positives one level down, Section 5.3.3).
+    pub fn check_state(&mut self, disk: &DiskSim, key: &StateKey) -> bool {
+        for si in 0..self.sigs.len() {
+            let sig = self.sigs[si];
+            let sub_key: StateKey = sig.members.iter().map(|&i| key[i].clone()).collect();
+            if sub_key.iter().all(|p| p.is_empty()) {
+                continue; // root always exists
+            }
+            self.touch(disk, si, &sub_key);
+            if !sig.contains_state(&sub_key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn touch(&mut self, disk: &DiskSim, si: usize, key: &StateKey) {
+        if self.loaded.insert((si, key.clone())) {
+            let sig = self.sigs[si];
+            if let Some(page) = sig.page_of(key) {
+                sig.store.get(disk, page);
+                self.loads += 1;
+            }
+        }
+    }
+
+    /// True when no signatures are attached (pruning disabled).
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+}
+
+/// Collects per-index tuple node paths (leaf slot stripped for R-trees).
+pub fn collect_tuple_paths(indices: &[&dyn HierIndex]) -> Vec<HashMap<Tid, Vec<u16>>> {
+    indices
+        .iter()
+        .map(|idx| {
+            let mut map = HashMap::new();
+            collect_rec(*idx, idx.root(), &mut Vec::new(), &mut map);
+            map
+        })
+        .collect()
+}
+
+fn collect_rec(
+    idx: &dyn HierIndex,
+    node: rcube_index::NodeHandle,
+    path: &mut Vec<u16>,
+    out: &mut HashMap<Tid, Vec<u16>>,
+) {
+    if idx.is_leaf(node) {
+        for (tid, _) in idx.leaf_entries(node) {
+            out.insert(tid, path.clone());
+        }
+    } else {
+        for (i, c) in idx.children(node).into_iter().enumerate() {
+            path.push(i as u16);
+            collect_rec(idx, c, path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_index::BPlusTree;
+
+    /// Table 5.2's sample relation over indices of Figure 5.1.
+    fn setup() -> (DiskSim, BPlusTree, BPlusTree) {
+        let disk = DiskSim::with_defaults();
+        let a = [10.0, 20.0, 30.0, 50.0, 54.0, 72.0, 75.0, 85.0];
+        let b = [40.0, 60.0, 65.0, 45.0, 10.0, 30.0, 36.0, 62.0];
+        let ta = BPlusTree::bulk_load_with_fanout(
+            &disk,
+            a.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            3,
+        );
+        let tb = BPlusTree::bulk_load_with_fanout(
+            &disk,
+            b.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            3,
+        );
+        (disk, ta, tb)
+    }
+
+    #[test]
+    fn root_signature_marks_exactly_nonempty_combos() {
+        let (disk, ta, tb) = setup();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let paths = collect_tuple_paths(&idx);
+        let sig = JoinSignature::build(&idx, &paths, &disk);
+        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let root_key: StateKey = vec![vec![], vec![]];
+        // Compute the ground truth: combos of (leaf-in-A, leaf-in-B).
+        let mut truth = HashSet::new();
+        for t in 0..8u32 {
+            truth.insert((paths[0][&t][0], paths[1][&t][0]));
+        }
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                assert_eq!(
+                    cursor.check_child(&disk, &root_key, &[a, b]),
+                    truth.contains(&(a, b)),
+                    "combo ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_figure_5_6_emptiness() {
+        // Figure 5.2: (a1, b1) is empty, (a2, b2) is non-empty for the
+        // sample data — a1 covers A∈[10,30] (t1..t3), b1 covers B∈[10,36]
+        // (t5..t7): no common tuple.
+        let (disk, ta, tb) = setup();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let paths = collect_tuple_paths(&idx);
+        let sig = JoinSignature::build(&idx, &paths, &disk);
+        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let root_key: StateKey = vec![vec![], vec![]];
+        assert!(!cursor.check_child(&disk, &root_key, &[0, 0]), "(a1,b1) must be empty");
+        // t4 (A=50 in a2, B=45 in b2) makes (a2,b2) non-empty.
+        assert!(cursor.check_child(&disk, &root_key, &[1, 1]), "(a2,b2) must be non-empty");
+    }
+
+    #[test]
+    fn pairwise_signatures_cover_three_way_merge() {
+        let disk = DiskSim::with_defaults();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|d| (0..30).map(|i| ((i * (d + 7)) % 30) as f64 / 30.0).collect())
+            .collect();
+        let trees: Vec<BPlusTree> = cols
+            .iter()
+            .map(|c| {
+                BPlusTree::bulk_load_with_fanout(
+                    &disk,
+                    c.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+                    3,
+                )
+            })
+            .collect();
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let paths = collect_tuple_paths(&idx);
+        let pairs = [
+            JoinSignature::build_pair(&idx, &paths, 0, 1, &disk),
+            JoinSignature::build_pair(&idx, &paths, 0, 2, &disk),
+            JoinSignature::build_pair(&idx, &paths, 1, 2, &disk),
+        ];
+        let full = JoinSignature::build(&idx, &paths, &disk);
+        let mut pc = JoinSigCursor::new(pairs.iter().collect());
+        let mut fc = JoinSigCursor::new(vec![&full]);
+        // Pairwise pruning is a relaxation: everything the full signature
+        // keeps, the pairwise one must keep too.
+        let root_key: StateKey = vec![vec![], vec![], vec![]];
+        let n0 = idx[0].children(idx[0].root()).len() as u16;
+        for a in 0..n0.min(4) {
+            for b in 0..n0.min(4) {
+                for c in 0..n0.min(4) {
+                    let combo = [a, b, c];
+                    if fc.check_child(&disk, &root_key, &combo) {
+                        assert!(pc.check_child(&disk, &root_key, &combo));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_charge_io_once_per_state() {
+        let (disk, ta, tb) = setup();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let paths = collect_tuple_paths(&idx);
+        let sig = JoinSignature::build(&idx, &paths, &disk);
+        disk.reset_stats();
+        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let root_key: StateKey = vec![vec![], vec![]];
+        cursor.check_child(&disk, &root_key, &[0, 0]);
+        cursor.check_child(&disk, &root_key, &[1, 1]);
+        cursor.check_child(&disk, &root_key, &[2, 2]);
+        assert_eq!(cursor.loads, 1, "same state signature loads once");
+    }
+
+    #[test]
+    fn missing_state_means_empty() {
+        let (disk, ta, tb) = setup();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let paths = collect_tuple_paths(&idx);
+        let sig = JoinSignature::build(&idx, &paths, &disk);
+        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        // (a1, b1) is empty, so its state key is absent.
+        let key: StateKey = vec![vec![0], vec![0]];
+        assert!(!cursor.check_state(&disk, &key));
+        // Root key always passes.
+        assert!(cursor.check_state(&disk, &vec![vec![], vec![]]));
+    }
+}

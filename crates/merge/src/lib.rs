@@ -1,0 +1,534 @@
+//! Index-merge: top-k with ad-hoc ranking functions over multiple
+//! hierarchical indices (Chapter 5).
+//!
+//! High ranking dimensionality defeats any single partition; instead, each
+//! attribute (or attribute group) keeps its own index and queries search
+//! the space of **joint states** — Cartesian combinations of one node per
+//! index. This crate provides
+//!
+//! * the basic index-merge of Algorithm 4 ([`MergeAlgo::Basic`]): full
+//!   child expansion, type-I optimal in examined states but generating up
+//!   to `Π Mi` candidates per expansion;
+//! * the progressive double-heap of Algorithm 5
+//!   ([`MergeAlgo::Progressive`]): lazy `get_next` generation via
+//!   neighborhood or threshold expansion ([`expand`]);
+//! * join-signatures ([`joinsig`]) pruning provably empty joint states
+//!   toward type-II optimality (Lemma 8).
+
+pub mod bloom;
+pub mod expand;
+pub mod joinsig;
+pub mod state;
+
+pub use bloom::BloomFilter;
+pub use joinsig::{JoinSigCursor, JoinSignature};
+pub use state::JointState;
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rcube_core::{QueryStats, TopKHeap, TopKResult};
+use rcube_func::RankFn;
+use rcube_index::{HierIndex, NodeHandle};
+use rcube_storage::DiskSim;
+use rcube_table::Tid;
+
+use expand::{ExpandCounters, Machine, NeighborhoodMachine, ThresholdMachine};
+use state::StateItem;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeAlgo {
+    /// Algorithm 4: full expansion (`BL` in the evaluation).
+    Basic,
+    /// Algorithm 5: double-heap progressive expansion (`PE`).
+    Progressive,
+}
+
+/// Which expansion strategy `Progressive` uses per state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// Neighborhood for monotone/semi-monotone over 1-d indices, threshold
+    /// otherwise.
+    Auto,
+    /// Always threshold expansion.
+    Threshold,
+    /// Always neighborhood expansion (caller must ensure applicability).
+    Neighborhood,
+}
+
+/// Query configuration.
+#[derive(Debug, Clone)]
+pub struct MergeConfig {
+    pub algo: MergeAlgo,
+    pub expansion: Expansion,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        Self { algo: MergeAlgo::Progressive, expansion: Expansion::Auto }
+    }
+}
+
+/// An index-merge engine over `m` hierarchical indices.
+///
+/// The ranking function's argument order is the concatenation of the
+/// indices' dimensions (index 0's dims first, then index 1's, …).
+pub struct IndexMerge<'a> {
+    indices: Vec<&'a dyn HierIndex>,
+    signatures: Vec<JoinSignature>,
+}
+
+impl<'a> std::fmt::Debug for IndexMerge<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexMerge")
+            .field("num_indices", &self.indices.len())
+            .field("num_signatures", &self.signatures.len())
+            .finish()
+    }
+}
+
+impl<'a> IndexMerge<'a> {
+    /// An engine without join-signatures (`BL`/`PE`).
+    pub fn new(indices: Vec<&'a dyn HierIndex>) -> Self {
+        assert!(!indices.is_empty(), "need at least one index");
+        assert!(indices.len() <= 32, "combination masks limited to 32 indices");
+        Self { indices, signatures: Vec::new() }
+    }
+
+    /// Materializes the full `m`-way join-signature (`PE+SIG`).
+    pub fn with_full_signature(mut self, disk: &DiskSim) -> Self {
+        let paths = joinsig::collect_tuple_paths(&self.indices);
+        self.signatures = vec![JoinSignature::build(&self.indices, &paths, disk)];
+        self
+    }
+
+    /// Materializes all pairwise join-signatures (`PE+2dSIG`).
+    pub fn with_pairwise_signatures(mut self, disk: &DiskSim) -> Self {
+        let paths = joinsig::collect_tuple_paths(&self.indices);
+        let mut sigs = Vec::new();
+        for a in 0..self.indices.len() {
+            for b in (a + 1)..self.indices.len() {
+                sigs.push(JoinSignature::build_pair(&self.indices, &paths, a, b, disk));
+            }
+        }
+        self.signatures = sigs;
+        self
+    }
+
+    /// The merged indices.
+    pub fn indices(&self) -> &[&'a dyn HierIndex] {
+        &self.indices
+    }
+
+    /// Attached join-signatures.
+    pub fn signatures(&self) -> &[JoinSignature] {
+        &self.signatures
+    }
+
+    /// Total signature bytes (Figure 5.22).
+    pub fn signature_bytes(&self) -> usize {
+        self.signatures.iter().map(|s| s.total_bytes()).sum()
+    }
+
+    /// Per-index dimension offsets into the joint point.
+    pub fn dim_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.indices.len());
+        let mut acc = 0;
+        for i in &self.indices {
+            offsets.push(acc);
+            acc += i.dims();
+        }
+        offsets
+    }
+
+    /// Total joint dimensionality.
+    pub fn total_dims(&self) -> usize {
+        self.indices.iter().map(|i| i.dims()).sum()
+    }
+
+    /// Answers a top-k query.
+    pub fn topk(&self, f: &dyn RankFn, k: usize, config: &MergeConfig, disk: &DiskSim) -> TopKResult {
+        assert_eq!(f.arity(), self.total_dims(), "function arity must cover all merged dims");
+        let before = disk.stats().snapshot();
+        let mut run = Run::new(&self.indices, f, k);
+        let mut sig = JoinSigCursor::new(self.signatures.iter().collect());
+        match config.algo {
+            MergeAlgo::Basic => self.run_basic(&mut run, disk),
+            MergeAlgo::Progressive => self.run_progressive(&mut run, &mut sig, config.expansion, disk),
+        }
+        let mut stats = run.stats;
+        stats.sig_loads = sig.loads;
+        stats.io = before.delta(&disk.stats().snapshot());
+        TopKResult { items: run.topk.into_sorted(), stats }
+    }
+
+    /// Algorithm 4: full expansion.
+    fn run_basic(&self, run: &mut Run<'_>, disk: &DiskSim) {
+        let mut heap: BinaryHeap<StateItem<JointState>> = BinaryHeap::new();
+        let root = JointState::root(&self.indices);
+        let mut seq = 0u64;
+        heap.push(StateItem { bound: root.lower_bound(&self.indices, run.f), seq, payload: root });
+        while let Some(StateItem { bound, payload: s, .. }) = heap.pop() {
+            if run.topk.kth_score() <= bound {
+                break;
+            }
+            if s.is_leaf(&self.indices) {
+                run.retrieve_leaf_state(&s, disk);
+            } else {
+                let entries = s.child_entries(&self.indices);
+                let mut picks = vec![0usize; entries.len()];
+                loop {
+                    let child = JointState {
+                        nodes: picks.iter().zip(&entries).map(|(&p, e)| e[p]).collect(),
+                    };
+                    seq += 1;
+                    heap.push(StateItem {
+                        bound: child.lower_bound(&self.indices, run.f),
+                        seq,
+                        payload: child,
+                    });
+                    run.stats.states_generated += 1;
+                    // Odometer.
+                    let mut j = 0;
+                    while j < picks.len() {
+                        picks[j] += 1;
+                        if picks[j] < entries[j].len() {
+                            break;
+                        }
+                        picks[j] = 0;
+                        j += 1;
+                    }
+                    if j == picks.len() {
+                        break;
+                    }
+                }
+            }
+            run.stats.peak_heap = run.stats.peak_heap.max(heap.len() as u64);
+        }
+    }
+
+    /// Algorithm 5: double-heap progressive expansion.
+    fn run_progressive(
+        &self,
+        run: &mut Run<'_>,
+        sig: &mut JoinSigCursor<'_>,
+        expansion: Expansion,
+        disk: &DiskSim,
+    ) {
+        enum GEntry {
+            Leaf(JointState),
+            Expand(JointState, Option<Machine>),
+        }
+        let mut heap: BinaryHeap<StateItem<GEntry>> = BinaryHeap::new();
+        let mut counters = ExpandCounters::default();
+        let mut seq = 0u64;
+        let root = JointState::root(&self.indices);
+        let root_bound = root.lower_bound(&self.indices, run.f);
+        let entry = if root.is_leaf(&self.indices) {
+            GEntry::Leaf(root)
+        } else {
+            GEntry::Expand(root, None)
+        };
+        heap.push(StateItem { bound: root_bound, seq, payload: entry });
+
+        while let Some(StateItem { bound, payload, .. }) = heap.pop() {
+            if run.topk.kth_score() <= bound {
+                break;
+            }
+            match payload {
+                GEntry::Leaf(s) => run.retrieve_leaf_state(&s, disk),
+                GEntry::Expand(s, machine) => {
+                    let mut machine = match machine {
+                        Some(m) => m,
+                        None => {
+                            // First expansion: bloom false positives are
+                            // corrected here — a state absent from the
+                            // signature is empty (Section 5.3.3).
+                            if !sig.is_empty() && !sig.check_state(disk, &s.key(&self.indices)) {
+                                continue;
+                            }
+                            self.make_machine(&s, run.f, expansion, sig, disk, &mut counters)
+                        }
+                    };
+                    if let Some(child) = machine.get_next(&self.indices, run.f, sig, disk, &mut counters) {
+                        let cb = child.lower_bound(&self.indices, run.f);
+                        seq += 1;
+                        let centry = if child.is_leaf(&self.indices) {
+                            GEntry::Leaf(child)
+                        } else {
+                            GEntry::Expand(child, None)
+                        };
+                        heap.push(StateItem { bound: cb.max(bound), seq, payload: centry });
+                        let rb = machine.remaining_bound();
+                        if rb.is_finite() {
+                            seq += 1;
+                            heap.push(StateItem { bound: rb, seq, payload: GEntry::Expand(s, Some(machine)) });
+                        }
+                    }
+                }
+            }
+            run.stats.states_generated = counters.states_generated;
+            let live = heap.len() as i64 + counters.local_items;
+            run.stats.peak_heap = run.stats.peak_heap.max(live.max(0) as u64);
+        }
+        run.stats.states_generated = counters.states_generated;
+    }
+
+    fn make_machine(
+        &self,
+        s: &JointState,
+        f: &dyn RankFn,
+        expansion: Expansion,
+        sig: &mut JoinSigCursor<'_>,
+        disk: &DiskSim,
+        counters: &mut ExpandCounters,
+    ) -> Machine {
+        let use_neighborhood = match expansion {
+            Expansion::Neighborhood => true,
+            Expansion::Threshold => false,
+            Expansion::Auto => NeighborhoodMachine::applicable(&self.indices, f),
+        };
+        if use_neighborhood {
+            Machine::Neighborhood(NeighborhoodMachine::new(&self.indices, s, f, counters))
+        } else {
+            Machine::Threshold(ThresholdMachine::new(&self.indices, s, f, sig, disk, counters))
+        }
+    }
+}
+
+/// Shared query-run state: leaf retrieval with redundancy tracking and the
+/// hash-merge of partially seen tuples.
+struct Run<'q> {
+    indices: &'q [&'q dyn HierIndex],
+    offsets: Vec<usize>,
+    total_dims: usize,
+    f: &'q dyn RankFn,
+    read_leaves: HashSet<(usize, NodeHandle)>,
+    partial: HashMap<Tid, (u32, Vec<f64>)>,
+    topk: TopKHeap,
+    stats: QueryStats,
+    full_mask: u32,
+}
+
+impl<'q> Run<'q> {
+    fn new(indices: &'q [&'q dyn HierIndex], f: &'q dyn RankFn, k: usize) -> Self {
+        let mut offsets = Vec::with_capacity(indices.len());
+        let mut acc = 0;
+        for i in indices {
+            offsets.push(acc);
+            acc += i.dims();
+        }
+        Self {
+            indices,
+            offsets,
+            total_dims: acc,
+            f,
+            read_leaves: HashSet::new(),
+            partial: HashMap::new(),
+            topk: TopKHeap::new(k),
+            stats: QueryStats::default(),
+            full_mask: (1u32 << indices.len()) - 1,
+        }
+    }
+
+    /// Reads the leaf nodes of a leaf state (skipping redundant nodes) and
+    /// merges their tuples; fully merged tuples are scored and offered.
+    fn retrieve_leaf_state(&mut self, s: &JointState, disk: &DiskSim) {
+        for (i, &node) in s.nodes.iter().enumerate() {
+            if !self.read_leaves.insert((i, node)) {
+                continue; // redundant node
+            }
+            self.indices[i].read_node(disk, node);
+            self.stats.blocks_read += 1;
+            for (tid, values) in self.indices[i].leaf_entries(node) {
+                let (mask, point) = self
+                    .partial
+                    .entry(tid)
+                    .or_insert_with(|| (0, vec![0.0; self.total_dims]));
+                for (d, v) in values.iter().enumerate() {
+                    point[self.offsets[i] + d] = *v;
+                }
+                *mask |= 1 << i;
+                if *mask == self.full_mask {
+                    let score = self.f.score(point);
+                    self.topk.offer(tid, score);
+                    self.stats.tuples_scored += 1;
+                    self.partial.remove(&tid);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_func::{Constrained, Expr, GeneralSq, Linear, SqDist};
+    use rcube_index::BPlusTree;
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::Relation;
+
+    fn build_trees(rel: &Relation, disk: &DiskSim, fanout: usize) -> Vec<BPlusTree> {
+        (0..rel.schema().num_ranking())
+            .map(|d| {
+                BPlusTree::bulk_load_with_fanout(
+                    disk,
+                    rel.ranking_column(d).iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+                    fanout,
+                )
+            })
+            .collect()
+    }
+
+    fn naive(rel: &Relation, f: &dyn RankFn, k: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = rel.tids().map(|t| f.score(&rel.ranking_point(t))).collect();
+        v.sort_by(f64::total_cmp);
+        v.truncate(k);
+        v
+    }
+
+    fn check_config(rel: &Relation, merge: &IndexMerge<'_>, disk: &DiskSim, f: &dyn RankFn, cfg: &MergeConfig) {
+        let got = merge.topk(f, 10, cfg, disk);
+        let want = naive(rel, f, 10);
+        assert_eq!(got.items.len(), want.len(), "{cfg:?}");
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{cfg:?}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_naive_scan() {
+        let rel = SyntheticSpec { tuples: 800, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 8);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let plain = IndexMerge::new(idx.clone());
+        let with_sig = IndexMerge::new(idx).with_full_signature(&disk);
+
+        let functions: Vec<Box<dyn RankFn>> = vec![
+            Box::new(Linear::new(vec![1.0, 2.0])),
+            Box::new(SqDist::new(vec![0.3, 0.7])),
+            Box::new(GeneralSq::fg()),
+            Box::new(Constrained::new(Linear::uniform(2), 1, 0.2, 0.6)),
+            Box::new(Expr::var(0).sub(Expr::var(1).square()).square()),
+        ];
+        for f in &functions {
+            for algo in [MergeAlgo::Basic, MergeAlgo::Progressive] {
+                let cfg = MergeConfig { algo, expansion: Expansion::Auto };
+                check_config(&rel, &plain, &disk, f.as_ref(), &cfg);
+                check_config(&rel, &with_sig, &disk, f.as_ref(), &cfg);
+            }
+            // Forced threshold expansion.
+            let cfg = MergeConfig { algo: MergeAlgo::Progressive, expansion: Expansion::Threshold };
+            check_config(&rel, &plain, &disk, f.as_ref(), &cfg);
+            check_config(&rel, &with_sig, &disk, f.as_ref(), &cfg);
+        }
+    }
+
+    #[test]
+    fn neighborhood_applies_to_monotone_over_btrees() {
+        let rel = SyntheticSpec { tuples: 600, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 8);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let f = Linear::new(vec![1.0, 3.0]);
+        assert!(NeighborhoodMachine::applicable(&idx, &f));
+        let merge = IndexMerge::new(idx);
+        let cfg = MergeConfig { algo: MergeAlgo::Progressive, expansion: Expansion::Neighborhood };
+        check_config(&rel, &merge, &disk, &f, &cfg);
+    }
+
+    #[test]
+    fn progressive_generates_far_fewer_states_than_basic() {
+        // Table 5.1's headline claim.
+        let rel = SyntheticSpec { tuples: 3_000, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 16);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let merge = IndexMerge::new(idx);
+        let f = GeneralSq::fg();
+        let basic = merge.topk(&f, 50, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &disk);
+        let prog = merge.topk(&f, 50, &MergeConfig::default(), &disk);
+        assert!(
+            prog.stats.states_generated * 2 < basic.stats.states_generated,
+            "progressive {} vs basic {}",
+            prog.stats.states_generated,
+            basic.stats.states_generated
+        );
+        assert!(prog.stats.peak_heap < basic.stats.peak_heap);
+    }
+
+    #[test]
+    fn signature_pruning_reduces_disk_access_on_general_functions() {
+        let rel = SyntheticSpec { tuples: 3_000, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 16);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let plain = IndexMerge::new(idx.clone());
+        let with_sig = IndexMerge::new(idx).with_full_signature(&disk);
+        let f = GeneralSq::fg();
+        let cfg = MergeConfig::default();
+        let pe = plain.topk(&f, 100, &cfg, &disk);
+        let sig = with_sig.topk(&f, 100, &cfg, &disk);
+        assert!(
+            sig.stats.blocks_read < pe.stats.blocks_read,
+            "PE+SIG {} vs PE {} leaf reads",
+            sig.stats.blocks_read,
+            pe.stats.blocks_read
+        );
+    }
+
+    #[test]
+    fn three_way_merge_with_pairwise_signatures() {
+        let rel = SyntheticSpec { tuples: 500, ranking_dims: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 8);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let merge2d = IndexMerge::new(idx.clone()).with_pairwise_signatures(&disk);
+        let merge3d = IndexMerge::new(idx).with_full_signature(&disk);
+        let f = SqDist::new(vec![0.2, 0.5, 0.8]);
+        let cfg = MergeConfig::default();
+        check_config(&rel, &merge2d, &disk, &f, &cfg);
+        check_config(&rel, &merge3d, &disk, &f, &cfg);
+        assert_eq!(merge2d.signatures().len(), 3);
+    }
+
+    #[test]
+    fn rtree_and_btree_mix_merges() {
+        // One 2-d R-tree + one B+-tree: 3 joint dims (Section 5.4.2's
+        // grouped-attribute setting).
+        use rcube_index::rtree::{RTree, RTreeConfig};
+        let rel = SyntheticSpec { tuples: 600, ranking_dims: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rt = RTree::over_relation(&disk, &rel, &[0, 1], RTreeConfig::small(8));
+        let bt = BPlusTree::bulk_load_with_fanout(
+            &disk,
+            rel.ranking_column(2).iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            8,
+        );
+        let idx: Vec<&dyn HierIndex> = vec![&rt, &bt];
+        let merge = IndexMerge::new(idx).with_full_signature(&disk);
+        let f = SqDist::new(vec![0.5, 0.5, 0.5]);
+        check_config(&rel, &merge, &disk, &f, &MergeConfig::default());
+    }
+
+    #[test]
+    fn table_5_1_shape_holds() {
+        // Improved (PE+SIG) must dominate basic on states, I/O and heap for
+        // f = (A − B²)² (the thesis' Table 5.1 setting, scaled down; the
+        // full-scale ratios are regenerated by `repro_ch5 table5_1`).
+        let rel = SyntheticSpec { tuples: 20_000, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let trees = build_trees(&rel, &disk, 64);
+        let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+        let basic_engine = IndexMerge::new(idx.clone());
+        let improved = IndexMerge::new(idx).with_full_signature(&disk);
+        let f = GeneralSq::fg();
+        let b = basic_engine.topk(&f, 100, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &disk);
+        let i = improved.topk(&f, 100, &MergeConfig::default(), &disk);
+        assert!(i.stats.states_generated < b.stats.states_generated / 2);
+        assert!(i.stats.blocks_read < b.stats.blocks_read);
+        assert!(i.stats.peak_heap * 4 < b.stats.peak_heap);
+    }
+}
+

@@ -1,0 +1,154 @@
+//! Joint states over multiple hierarchical indices (Section 5.1.1).
+//!
+//! A joint state `S = (I1.n1, …, Im.nm)` pairs one node from every merged
+//! index. Its region is the Cartesian product of the node regions; child
+//! states are the Cartesian product of child nodes, with leaf nodes
+//! standing in for themselves. A state is a *leaf state* when every
+//! component is a leaf.
+
+use rcube_func::{RankFn, Rect};
+use rcube_index::{HierIndex, NodeHandle};
+
+/// A joint state: one node per merged index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JointState {
+    pub nodes: Vec<NodeHandle>,
+}
+
+impl JointState {
+    /// The root state `(I1.root, …, Im.root)`.
+    pub fn root(indices: &[&dyn HierIndex]) -> Self {
+        Self { nodes: indices.iter().map(|i| i.root()).collect() }
+    }
+
+    /// True when every component node is a leaf.
+    pub fn is_leaf(&self, indices: &[&dyn HierIndex]) -> bool {
+        self.nodes.iter().zip(indices).all(|(&n, i)| i.is_leaf(n))
+    }
+
+    /// The joint region `Ω(S)` (dimension order = index order).
+    pub fn region(&self, indices: &[&dyn HierIndex]) -> Rect {
+        let mut r = indices[0].region(self.nodes[0]);
+        for (i, &n) in self.nodes.iter().enumerate().skip(1) {
+            r = r.concat(&indices[i].region(n));
+        }
+        r
+    }
+
+    /// Lower bound `f(S)` of the ranking function over the joint region.
+    pub fn lower_bound(&self, indices: &[&dyn HierIndex], f: &dyn RankFn) -> f64 {
+        f.lower_bound(&self.region(indices))
+    }
+
+    /// Per-index child entries: the node's children, or the node itself if
+    /// it is a leaf (Section 5.1.1's recursive child-state definition).
+    pub fn child_entries(&self, indices: &[&dyn HierIndex]) -> Vec<Vec<NodeHandle>> {
+        self.nodes
+            .iter()
+            .zip(indices)
+            .map(|(&n, i)| if i.is_leaf(n) { vec![n] } else { i.children(n) })
+            .collect()
+    }
+
+    /// The join-signature key of this state: the concatenated node paths
+    /// (Section 5.3.1).
+    pub fn key(&self, indices: &[&dyn HierIndex]) -> Vec<Vec<u16>> {
+        self.nodes.iter().zip(indices).map(|(&n, i)| i.node_path(n)).collect()
+    }
+}
+
+/// Min-heap item ordered by state lower bound.
+#[derive(Debug)]
+pub struct StateItem<T> {
+    pub bound: f64,
+    pub seq: u64,
+    pub payload: T,
+}
+
+impl<T> PartialEq for StateItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl<T> Eq for StateItem<T> {}
+impl<T> Ord for StateItem<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.bound.total_cmp(&self.bound).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for StateItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_index::BPlusTree;
+    use rcube_storage::DiskSim;
+
+    fn two_trees() -> (DiskSim, BPlusTree, BPlusTree) {
+        let disk = DiskSim::with_defaults();
+        // Table 5.2's sample database: A and B columns over 8 tuples.
+        let a = [10.0, 20.0, 30.0, 50.0, 54.0, 72.0, 75.0, 85.0];
+        let b = [40.0, 60.0, 65.0, 45.0, 10.0, 30.0, 36.0, 62.0];
+        let ta = BPlusTree::bulk_load_with_fanout(
+            &disk,
+            a.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            3,
+        );
+        let tb = BPlusTree::bulk_load_with_fanout(
+            &disk,
+            b.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            3,
+        );
+        (disk, ta, tb)
+    }
+
+    #[test]
+    fn root_state_spans_both_domains() {
+        let (_d, ta, tb) = two_trees();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let root = JointState::root(&idx);
+        let r = root.region(&idx);
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.lo(0), 10.0);
+        assert_eq!(r.hi(0), 85.0);
+        assert_eq!(r.lo(1), 10.0);
+        assert_eq!(r.hi(1), 65.0);
+        assert!(!root.is_leaf(&idx));
+    }
+
+    #[test]
+    fn child_entries_cartesian_dimensions() {
+        let (_d, ta, tb) = two_trees();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let root = JointState::root(&idx);
+        let entries = root.child_entries(&idx);
+        assert_eq!(entries.len(), 2);
+        // 8 entries / fanout 3 = 3 leaves per tree.
+        assert_eq!(entries[0].len(), 3);
+        assert_eq!(entries[1].len(), 3);
+    }
+
+    #[test]
+    fn leaf_states_detected() {
+        let (_d, ta, tb) = two_trees();
+        let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
+        let root = JointState::root(&idx);
+        let entries = root.child_entries(&idx);
+        let s = JointState { nodes: vec![entries[0][0], entries[1][0]] };
+        assert!(s.is_leaf(&idx));
+    }
+
+    #[test]
+    fn state_item_orders_min_first() {
+        let mut h = std::collections::BinaryHeap::new();
+        h.push(StateItem { bound: 2.0, seq: 0, payload: "b" });
+        h.push(StateItem { bound: 1.0, seq: 1, payload: "a" });
+        h.push(StateItem { bound: 3.0, seq: 2, payload: "c" });
+        assert_eq!(h.pop().unwrap().payload, "a");
+        assert_eq!(h.pop().unwrap().payload, "b");
+    }
+}

@@ -1,0 +1,366 @@
+//! Branch-and-bound skyline with signature Boolean pruning (Section 7.2).
+//!
+//! The candidate heap orders entries by `mindist` in preference space; a
+//! popped entry is Boolean-checked against the signature cursors and
+//! dominance-checked against the accepted skyline (a node is pruned when
+//! its transformed minimum corner is dominated — Figure 7.1). Every
+//! discarded entry is logged into a [`SkylineSession`] so drill-down and
+//! roll-up queries can re-construct the candidate heap (Section 7.2.4)
+//! instead of restarting from the root.
+
+use std::collections::BinaryHeap;
+
+use rcube_core::sigcube::SignatureCube;
+use rcube_core::QueryStats;
+use rcube_index::rtree::RTree;
+use rcube_index::{HierIndex, NodeHandle};
+use rcube_storage::DiskSim;
+use rcube_table::{Relation, Tid};
+
+use crate::dominance::{dominates, mindist, transform_point, transform_rect_min};
+use crate::{SkylineQuery, SkylineResult};
+
+/// A replayable heap entry.
+#[derive(Debug, Clone)]
+pub(crate) enum SEntry {
+    /// R-tree node + its entry path.
+    Node(NodeHandle, Vec<u16>),
+    /// Tuple: tid, full path, transformed preference coordinates.
+    Tuple(Tid, Vec<u16>, Vec<f64>),
+}
+
+#[derive(Debug)]
+struct Item {
+    key: f64,
+    seq: u64,
+    entry: SEntry,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.total_cmp(&self.key).then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The frontier left behind by a finished skyline query: everything the
+/// search discarded (Boolean- or dominance-pruned) plus the accepted
+/// skyline. Together these cover the whole data set, which is what makes
+/// heap re-construction sound for both drill-down and roll-up.
+#[derive(Debug)]
+pub struct SkylineSession {
+    pub(crate) pruned: Vec<(f64, SEntry)>,
+    pub(crate) accepted: Vec<(f64, SEntry)>,
+    pub(crate) query: SkylineQuery,
+}
+
+impl SkylineSession {
+    /// The query that produced this session.
+    pub fn query(&self) -> &SkylineQuery {
+        &self.query
+    }
+
+    /// Number of logged (pruned) frontier entries.
+    pub fn frontier_len(&self) -> usize {
+        self.pruned.len()
+    }
+}
+
+/// The signature-based skyline engine over an R-tree partition.
+#[derive(Debug)]
+pub struct SkylineEngine<'a> {
+    rtree: &'a RTree,
+    cube: &'a SignatureCube,
+}
+
+impl<'a> SkylineEngine<'a> {
+    pub fn new(rtree: &'a RTree, cube: &'a SignatureCube) -> Self {
+        Self { rtree, cube }
+    }
+
+    /// Answers a skyline query from scratch.
+    pub fn skyline(&self, query: &SkylineQuery, disk: &DiskSim) -> (SkylineResult, SkylineSession) {
+        let root = self.rtree.root();
+        let root_key = mindist(&transform_rect_min(
+            &self.rtree.region(root).project(&query.pref_dims),
+            query.dynamic_point.as_deref(),
+        ));
+        self.run(query, vec![(root_key, SEntry::Node(root, Vec::new()))], disk)
+    }
+
+    /// Resumes from a previous session's frontier with a modified Boolean
+    /// selection (drill-down / roll-up). Preference dimensions and the
+    /// dynamic point must match the original query.
+    pub fn resume(
+        &self,
+        session: &SkylineSession,
+        query: &SkylineQuery,
+        disk: &DiskSim,
+    ) -> (SkylineResult, SkylineSession) {
+        assert_eq!(session.query.pref_dims, query.pref_dims, "preference dims must match");
+        assert_eq!(session.query.dynamic_point, query.dynamic_point, "dynamic point must match");
+        let mut seeds = session.pruned.clone();
+        seeds.extend(session.accepted.iter().cloned());
+        self.run(query, seeds, disk)
+    }
+
+    fn run(
+        &self,
+        query: &SkylineQuery,
+        seeds: Vec<(f64, SEntry)>,
+        disk: &DiskSim,
+    ) -> (SkylineResult, SkylineSession) {
+        let before = disk.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let dynp = query.dynamic_point.as_deref();
+
+        let mut session = SkylineSession {
+            pruned: Vec::new(),
+            accepted: Vec::new(),
+            query: query.clone(),
+        };
+
+        let Some(mut pruner) = self.cube.pruner_for(&query.selection, disk) else {
+            // Some predicate selects an empty cell: no answers; keep the
+            // seeds so a later roll-up can still resume.
+            session.pruned = seeds;
+            stats.io = before.delta(&disk.stats().snapshot());
+            return (SkylineResult { tids: Vec::new(), stats }, session);
+        };
+
+        let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (key, entry) in seeds {
+            seq += 1;
+            heap.push(Item { key, seq, entry });
+        }
+        let mut skyline: Vec<(Tid, Vec<f64>)> = Vec::new();
+
+        while let Some(Item { key, entry, .. }) = heap.pop() {
+            // Boolean pruning.
+            let path = match &entry {
+                SEntry::Node(_, p) => p,
+                SEntry::Tuple(_, p, _) => p,
+            };
+            if !path.is_empty() && !pruner.check_path(disk, path) {
+                session.pruned.push((key, entry));
+                continue;
+            }
+            match entry {
+                SEntry::Tuple(tid, path, coords) => {
+                    if skyline.iter().any(|(_, s)| dominates(s, &coords)) {
+                        session.pruned.push((key, SEntry::Tuple(tid, path, coords)));
+                        continue;
+                    }
+                    skyline.push((tid, coords.clone()));
+                    session.accepted.push((key, SEntry::Tuple(tid, path, coords)));
+                    stats.tuples_scored += 1;
+                }
+                SEntry::Node(n, path) => {
+                    // Dominance pruning on the transformed min corner.
+                    let corner = transform_rect_min(&self.rtree.region(n).project(&query.pref_dims), dynp);
+                    if skyline.iter().any(|(_, s)| dominates(s, &corner)) {
+                        session.pruned.push((key, SEntry::Node(n, path)));
+                        continue;
+                    }
+                    self.rtree.read_node(disk, n);
+                    stats.blocks_read += 1;
+                    if self.rtree.is_leaf(n) {
+                        for (slot, (tid, point)) in self.rtree.leaf_entries(n).into_iter().enumerate() {
+                            let raw: Vec<f64> = query.pref_dims.iter().map(|&d| point[d]).collect();
+                            let coords = transform_point(&raw, dynp);
+                            let mut tpath = path.clone();
+                            tpath.push(slot as u16);
+                            seq += 1;
+                            heap.push(Item {
+                                key: mindist(&coords),
+                                seq,
+                                entry: SEntry::Tuple(tid, tpath, coords),
+                            });
+                            stats.states_generated += 1;
+                        }
+                    } else {
+                        for (pos, child) in self.rtree.children(n).into_iter().enumerate() {
+                            let ccorner = transform_rect_min(
+                                &self.rtree.region(child).project(&query.pref_dims),
+                                dynp,
+                            );
+                            let mut cpath = path.clone();
+                            cpath.push(pos as u16);
+                            seq += 1;
+                            heap.push(Item {
+                                key: mindist(&ccorner),
+                                seq,
+                                entry: SEntry::Node(child, cpath),
+                            });
+                            stats.states_generated += 1;
+                        }
+                    }
+                }
+            }
+            stats.peak_heap = stats.peak_heap.max(heap.len() as u64);
+        }
+
+        stats.sig_loads = pruner.loads();
+        stats.io = before.delta(&disk.stats().snapshot());
+        let tids = skyline.into_iter().map(|(t, _)| t).collect();
+        (SkylineResult { tids, stats }, session)
+    }
+}
+
+/// Ranking-first skyline baseline: BBS without Boolean pruning; popped
+/// tuples are verified against the predicates by random access.
+pub fn skyline_ranking_first(
+    rtree: &RTree,
+    rel: &Relation,
+    query: &SkylineQuery,
+    disk: &DiskSim,
+) -> SkylineResult {
+    let before = disk.stats().snapshot();
+    let mut stats = QueryStats::default();
+    let dynp = query.dynamic_point.as_deref();
+    let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+    let root = rtree.root();
+    let mut seq = 0u64;
+    heap.push(Item {
+        key: mindist(&transform_rect_min(&rtree.region(root).project(&query.pref_dims), dynp)),
+        seq,
+        entry: SEntry::Node(root, Vec::new()),
+    });
+    let mut skyline: Vec<(Tid, Vec<f64>)> = Vec::new();
+
+    while let Some(Item { entry, .. }) = heap.pop() {
+        match entry {
+            SEntry::Tuple(tid, _, coords) => {
+                if skyline.iter().any(|(_, s)| dominates(s, &coords)) {
+                    continue;
+                }
+                disk.random_access();
+                if query.selection.matches(rel, tid) {
+                    skyline.push((tid, coords));
+                    stats.tuples_scored += 1;
+                }
+            }
+            SEntry::Node(n, path) => {
+                let corner = transform_rect_min(&rtree.region(n).project(&query.pref_dims), dynp);
+                if skyline.iter().any(|(_, s)| dominates(s, &corner)) {
+                    continue;
+                }
+                rtree.read_node(disk, n);
+                stats.blocks_read += 1;
+                if rtree.is_leaf(n) {
+                    for (tid, point) in rtree.leaf_entries(n) {
+                        let raw: Vec<f64> = query.pref_dims.iter().map(|&d| point[d]).collect();
+                        let coords = transform_point(&raw, dynp);
+                        seq += 1;
+                        heap.push(Item {
+                            key: mindist(&coords),
+                            seq,
+                            entry: SEntry::Tuple(tid, Vec::new(), coords),
+                        });
+                    }
+                } else {
+                    for child in rtree.children(n) {
+                        let c = transform_rect_min(&rtree.region(child).project(&query.pref_dims), dynp);
+                        seq += 1;
+                        heap.push(Item {
+                            key: mindist(&c),
+                            seq,
+                            entry: SEntry::Node(child, path.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        stats.peak_heap = stats.peak_heap.max(heap.len() as u64);
+    }
+    stats.io = before.delta(&disk.stats().snapshot());
+    let tids = skyline.into_iter().map(|(t, _)| t).collect();
+    SkylineResult { tids, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_core::sigcube::SignatureCubeConfig;
+    use rcube_index::rtree::RTreeConfig;
+    use rcube_table::gen::SyntheticSpec;
+
+    fn setup(tuples: usize) -> (Relation, DiskSim, RTree, SignatureCube) {
+        let rel = SyntheticSpec { tuples, cardinality: 4, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(12));
+        let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        (rel, disk, rtree, cube)
+    }
+
+    fn sorted(mut v: Vec<Tid>) -> Vec<Tid> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn signature_skyline_matches_bnl() {
+        let (rel, disk, rtree, cube) = setup(1_200);
+        let engine = SkylineEngine::new(&rtree, &cube);
+        for conds in [vec![], vec![(0usize, 1u32)], vec![(0, 2), (1, 3)]] {
+            let q = SkylineQuery::new(conds, vec![0, 1]);
+            let (res, _) = engine.skyline(&q, &disk);
+            assert_eq!(sorted(res.tids), crate::bnl_skyline(&rel, &q), "query {:?}", q.selection);
+        }
+    }
+
+    #[test]
+    fn dynamic_skyline_matches_bnl() {
+        let (rel, disk, rtree, cube) = setup(1_000);
+        let engine = SkylineEngine::new(&rtree, &cube);
+        let q = SkylineQuery::dynamic(vec![(1, 1)], vec![0, 1], vec![0.4, 0.6]);
+        let (res, _) = engine.skyline(&q, &disk);
+        assert_eq!(sorted(res.tids), crate::bnl_skyline(&rel, &q));
+    }
+
+    #[test]
+    fn ranking_first_matches_bnl() {
+        let (rel, disk, rtree, _) = setup(900);
+        let q = SkylineQuery::new(vec![(0, 1)], vec![0, 1]);
+        let res = skyline_ranking_first(&rtree, &rel, &q, &disk);
+        assert_eq!(sorted(res.tids), crate::bnl_skyline(&rel, &q));
+        assert!(res.stats.io.random_accesses > 0);
+    }
+
+    #[test]
+    fn signature_reads_fewer_blocks_than_ranking_first() {
+        let (rel, disk, rtree, cube) = setup(3_000);
+        let engine = SkylineEngine::new(&rtree, &cube);
+        let q = SkylineQuery::new(vec![(0, 1), (1, 2)], vec![0, 1]);
+        let (sig, _) = engine.skyline(&q, &disk);
+        let rf = skyline_ranking_first(&rtree, &rel, &q, &disk);
+        assert_eq!(sorted(sig.tids.clone()), sorted(rf.tids));
+        assert!(
+            sig.stats.blocks_read <= rf.stats.blocks_read,
+            "signature {} vs ranking-first {}",
+            sig.stats.blocks_read,
+            rf.stats.blocks_read
+        );
+    }
+
+    #[test]
+    fn empty_cell_yields_empty_skyline_with_resumable_session() {
+        let (_rel, disk, rtree, cube) = setup(300);
+        let engine = SkylineEngine::new(&rtree, &cube);
+        let q = SkylineQuery::new(vec![(0, 99)], vec![0, 1]);
+        let (res, session) = engine.skyline(&q, &disk);
+        assert!(res.tids.is_empty());
+        assert!(session.frontier_len() > 0, "session must keep the seeds");
+    }
+}

@@ -1,0 +1,104 @@
+//! Dominance tests and coordinate transforms.
+//!
+//! Static skylines minimize raw coordinates; dynamic skylines minimize
+//! `|xi − qi|` (Section 7.2.3). Both reduce to the same dominance test
+//! after transforming points (and node rectangles) into preference space.
+
+use rcube_func::Rect;
+
+/// True when `a` dominates `b`: `a ≤ b` on every dimension and `a < b` on
+/// at least one (minimization).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Transforms a raw point into preference space: identity for static
+/// skylines, `|xi − qi|` for dynamic ones.
+pub fn transform_point(raw: &[f64], dynamic_point: Option<&[f64]>) -> Vec<f64> {
+    match dynamic_point {
+        None => raw.to_vec(),
+        Some(q) => raw.iter().zip(q).map(|(x, qi)| (x - qi).abs()).collect(),
+    }
+}
+
+/// The minimum corner of a rectangle in preference space: the smallest
+/// achievable value per dimension. Every point inside the rect is
+/// dominated-or-equalled by this corner, which makes it a sound pruning
+/// proxy for the whole node (Figure 7.1).
+pub fn transform_rect_min(rect: &Rect, dynamic_point: Option<&[f64]>) -> Vec<f64> {
+    match dynamic_point {
+        None => (0..rect.dims()).map(|d| rect.lo(d)).collect(),
+        Some(q) => (0..rect.dims())
+            .map(|d| {
+                let (lo, hi) = (rect.lo(d), rect.hi(d));
+                if q[d] >= lo && q[d] <= hi {
+                    0.0
+                } else {
+                    (lo - q[d]).abs().min((hi - q[d]).abs())
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Sum of preference-space coordinates — the BBS `mindist` ordering key.
+pub fn mindist(coords: &[f64]) -> f64 {
+    coords.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strictness() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no dominance
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0])); // incomparable
+        assert!(dominates(&[0.0, 0.0], &[0.1, 0.1]));
+    }
+
+    #[test]
+    fn dynamic_transform_folds_around_point() {
+        let q = [0.5, 0.5];
+        assert_eq!(transform_point(&[0.3, 0.8], Some(&q)), vec![0.2, 0.30000000000000004]);
+        assert_eq!(transform_point(&[0.3, 0.8], None), vec![0.3, 0.8]);
+    }
+
+    #[test]
+    fn rect_min_corner_static_and_dynamic() {
+        let r = Rect::new(vec![0.2, 0.6], vec![0.4, 0.9]);
+        assert_eq!(transform_rect_min(&r, None), vec![0.2, 0.6]);
+        // q inside dim 0's range → 0 there; outside dim 1's → distance.
+        let q = [0.3, 0.5];
+        let m = transform_rect_min(&r, Some(&q));
+        assert_eq!(m[0], 0.0);
+        assert!((m[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_corner_weakly_dominates_all_inside() {
+        let r = Rect::new(vec![0.2, 0.6], vec![0.4, 0.9]);
+        let q = [0.35, 0.1];
+        let corner = transform_rect_min(&r, Some(&q));
+        for i in 0..=4 {
+            for j in 0..=4 {
+                let p = [
+                    0.2 + 0.05 * i as f64,
+                    0.6 + 0.075 * j as f64,
+                ];
+                let tp = transform_point(&p, Some(&q));
+                assert!(corner.iter().zip(&tp).all(|(c, t)| c <= t));
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Skyline and general preference queries with Boolean predicates
+//! (Chapter 7).
+//!
+//! The ranking-cube framework generalizes beyond top-k: the same
+//! branch-and-bound search over the hierarchical partition, with signature
+//! Boolean pruning, answers **skyline** queries (points not dominated in
+//! any preference dimension) and **dynamic skylines** (dominance measured
+//! relative to a query point, Section 7.2.3). Drill-down and roll-up
+//! queries reuse the previous search's candidate heap (Section 7.2.4,
+//! Figure 7.2) instead of restarting from the root.
+
+pub mod bbs;
+pub mod bnl;
+pub mod dominance;
+pub mod olap;
+
+pub use bbs::{SkylineEngine, SkylineSession};
+pub use bnl::bnl_skyline;
+pub use dominance::{dominates, transform_point, transform_rect_min};
+
+use rcube_core::QueryStats;
+use rcube_table::{Selection, Tid};
+
+/// A skyline query: Boolean selection + preference dimensions, optionally
+/// dynamic (relative to a query point).
+#[derive(Debug, Clone)]
+pub struct SkylineQuery {
+    /// The multi-dimensional Boolean selection.
+    pub selection: Selection,
+    /// Relation ranking dimensions acting as preference dimensions
+    /// (minimized).
+    pub pref_dims: Vec<usize>,
+    /// `Some(q)` for a dynamic skyline around `q` (|xi − qi| space).
+    pub dynamic_point: Option<Vec<f64>>,
+}
+
+impl SkylineQuery {
+    /// Static skyline over the given preference dimensions.
+    pub fn new(conds: Vec<(usize, u32)>, pref_dims: Vec<usize>) -> Self {
+        Self { selection: Selection::new(conds), pref_dims, dynamic_point: None }
+    }
+
+    /// Dynamic skyline around `point` (one coordinate per preference dim).
+    pub fn dynamic(conds: Vec<(usize, u32)>, pref_dims: Vec<usize>, point: Vec<f64>) -> Self {
+        assert_eq!(pref_dims.len(), point.len(), "query point arity mismatch");
+        Self { selection: Selection::new(conds), pref_dims, dynamic_point: Some(point) }
+    }
+}
+
+/// An answered skyline query.
+#[derive(Debug, Clone)]
+pub struct SkylineResult {
+    /// Skyline tuples (ascending mindist order).
+    pub tids: Vec<Tid>,
+    pub stats: QueryStats,
+}

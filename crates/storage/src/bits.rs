@@ -1,0 +1,231 @@
+//! Bit-level serialization used by the Chapter 4 signature codings.
+//!
+//! The thesis' coding schemes (`BL`, `RL`, `PI`, `PC`) are defined on raw
+//! binary strings — e.g. the run-length code writes `⌈log2(i+1)⌉-1` ones, a
+//! zero, then `i` in binary. [`BitWriter`] and [`BitReader`] implement the
+//! MSB-first bit stream those definitions assume.
+
+/// Append-only MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the stream.
+    len: usize,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let byte_idx = self.len / 8;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << (7 - (self.len % 8));
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `n` copies of `bit`.
+    pub fn push_repeat(&mut self, bit: bool, n: usize) {
+        for _ in 0..n {
+            self.push(bit);
+        }
+    }
+
+    /// Appends every bit produced by another writer.
+    pub fn extend(&mut self, other: &BitWriter) {
+        let reader = BitReader::new(other.as_bytes(), other.len());
+        let mut r = reader;
+        while let Some(b) = r.next_bit() {
+            self.push(b);
+        }
+    }
+
+    /// The underlying byte buffer (final partial byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning `(bytes, bit_len)`.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.len)
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads up to `bit_len` bits from `bytes`.
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        debug_assert!(bit_len <= bytes.len() * 8);
+        Self { bytes, len: bit_len, pos: 0 }
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    #[inline]
+    pub fn next_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `width` bits as an MSB-first integer; `None` if fewer remain.
+    pub fn read_bits(&mut self, width: usize) -> Option<u64> {
+        debug_assert!(width <= 64);
+        if self.remaining() < width {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.next_bit().unwrap());
+        }
+        Some(v)
+    }
+
+    /// Advances past `n` bits without decoding them.
+    pub fn skip(&mut self, n: usize) -> bool {
+        if self.remaining() < n {
+            return false;
+        }
+        self.pos += n;
+        true
+    }
+}
+
+/// Number of bits needed to represent values `0..m` (i.e. `⌈log2 m⌉`, with
+/// the convention that one value still needs one bit slot in the thesis'
+/// node headers: `bits_for(1) == 0`, `bits_for(2) == 1`, `bits_for(32) == 5`).
+pub fn bits_for(m: usize) -> usize {
+    if m <= 1 {
+        0
+    } else {
+        (usize::BITS - (m - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.push(b);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        for &b in &pattern {
+            assert_eq!(r.next_bit(), Some(b));
+        }
+        assert_eq!(r.next_bit(), None);
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b10110, 5);
+        w.push_bits(1023, 10);
+        w.push_bits(0, 3);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(r.read_bits(5), Some(0b10110));
+        assert_eq!(r.read_bits(10), Some(1023));
+        assert_eq!(r.read_bits(3), Some(0));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn extend_concatenates_streams() {
+        let mut a = BitWriter::new();
+        a.push_bits(0b101, 3);
+        let mut b = BitWriter::new();
+        b.push_bits(0b0110, 4);
+        a.extend(&b);
+        let mut r = BitReader::new(a.as_bytes(), a.len());
+        assert_eq!(r.read_bits(7), Some(0b1010110));
+    }
+
+    #[test]
+    fn skip_and_position() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xFF, 8);
+        w.push_bits(0b01, 2);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(r.skip(8));
+        assert_eq!(r.position(), 8);
+        assert_eq!(r.read_bits(2), Some(0b01));
+        assert!(!r.skip(1));
+    }
+
+    #[test]
+    fn bits_for_matches_log2_ceiling() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(32), 5);
+        assert_eq!(bits_for(33), 6);
+        assert_eq!(bits_for(204), 8);
+    }
+
+    #[test]
+    fn push_repeat_writes_runs() {
+        let mut w = BitWriter::new();
+        w.push_repeat(true, 9);
+        w.push_repeat(false, 3);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        for _ in 0..9 {
+            assert_eq!(r.next_bit(), Some(true));
+        }
+        for _ in 0..3 {
+            assert_eq!(r.next_bit(), Some(false));
+        }
+        assert_eq!(r.next_bit(), None);
+    }
+}

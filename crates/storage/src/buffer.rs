@@ -1,0 +1,213 @@
+//! A small O(1) LRU buffer pool over page identifiers.
+//!
+//! The simulated device does not move bytes on hit/miss; the buffer only
+//! decides whether a logical read is charged as a physical one. Capacity is
+//! expressed in pages, mirroring the fixed-size buffer pool of the database
+//! server used in the thesis experiments.
+
+use std::collections::HashMap;
+
+use crate::disk::PageId;
+
+/// Intrusive doubly-linked LRU list backed by a slab of nodes.
+#[derive(Debug)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    nodes: Vec<Node>,
+    head: usize, // most-recently used
+    tail: usize, // least-recently used
+    free: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` pages. A capacity of zero
+    /// disables caching entirely (every read is a physical read).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Touches `page`; returns `true` on a hit. On a miss the page is
+    /// admitted, evicting the least-recently-used page if at capacity.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let victim_page = self.nodes[victim].page;
+            self.unlink(victim);
+            self.map.remove(&victim_page);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { page, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { page, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        false
+    }
+
+    /// True when `page` is cached (without promoting it).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Drops `page` from the buffer (e.g. after a structural delete).
+    pub fn invalidate(&mut self, page: PageId) {
+        if let Some(idx) = self.map.remove(&page) {
+            self.unlink(idx);
+            self.free.push(idx);
+        }
+    }
+
+    /// Empties the buffer (used between metered query runs for cold-cache
+    /// measurements).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut lru = LruBuffer::new(2);
+        assert!(!lru.touch(p(1)));
+        assert!(lru.touch(p(1)));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruBuffer::new(2);
+        lru.touch(p(1));
+        lru.touch(p(2));
+        lru.touch(p(1)); // 2 is now LRU
+        lru.touch(p(3)); // evicts 2
+        assert!(lru.contains(p(1)));
+        assert!(!lru.contains(p(2)));
+        assert!(lru.contains(p(3)));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut lru = LruBuffer::new(0);
+        assert!(!lru.touch(p(7)));
+        assert!(!lru.touch(p(7)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn invalidate_frees_slot() {
+        let mut lru = LruBuffer::new(1);
+        lru.touch(p(1));
+        lru.invalidate(p(1));
+        assert!(lru.is_empty());
+        assert!(!lru.touch(p(2)));
+        assert!(lru.contains(p(2)));
+    }
+
+    #[test]
+    fn heavy_churn_preserves_capacity_invariant() {
+        let mut lru = LruBuffer::new(8);
+        for i in 0..1000u64 {
+            lru.touch(p(i % 13));
+            assert!(lru.len() <= 8);
+        }
+        assert_eq!(lru.len(), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruBuffer::new(4);
+        for i in 0..4 {
+            lru.touch(p(i));
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.touch(p(0)));
+    }
+}

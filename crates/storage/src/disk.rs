@@ -1,0 +1,256 @@
+//! The simulated block device and a byte-addressed page store.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::buffer::LruBuffer;
+use crate::stats::IoStats;
+use crate::DEFAULT_PAGE_SIZE;
+
+/// Identifier of a 4 KB (by default) page on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// A simulated block device with an LRU buffer pool.
+///
+/// Components (indexes, cuboid stores, signature stores) allocate page ids
+/// from the device and *charge* reads/writes against it; the shared
+/// [`IoStats`] then report the paper's "number of disk accesses" metric.
+///
+/// Interior mutability keeps the call sites ergonomic: query processors hold
+/// `&DiskSim` and charge I/O without threading `&mut` through every search
+/// routine.
+#[derive(Debug)]
+pub struct DiskSim {
+    page_size: usize,
+    stats: Arc<IoStats>,
+    buffer: RefCell<LruBuffer>,
+    next_page: RefCell<u64>,
+}
+
+impl DiskSim {
+    /// Creates a device with the given page size (bytes) and buffer pool
+    /// capacity (pages).
+    pub fn new(page_size: usize, buffer_pages: usize) -> Self {
+        Self {
+            page_size,
+            stats: IoStats::new_shared(),
+            buffer: RefCell::new(LruBuffer::new(buffer_pages)),
+            next_page: RefCell::new(0),
+        }
+    }
+
+    /// Device with the thesis defaults: 4 KB pages, 256-page buffer (1 MB).
+    pub fn with_defaults() -> Self {
+        Self::new(DEFAULT_PAGE_SIZE, 256)
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Allocates a fresh page id.
+    pub fn alloc_page(&self) -> PageId {
+        let mut next = self.next_page.borrow_mut();
+        let id = PageId(*next);
+        *next += 1;
+        id
+    }
+
+    /// Allocates `n` consecutive page ids (for multi-page objects).
+    pub fn alloc_pages(&self, n: usize) -> Vec<PageId> {
+        (0..n).map(|_| self.alloc_page()).collect()
+    }
+
+    /// Charges a read of `page`; returns `true` if the buffer absorbed it.
+    pub fn read(&self, page: PageId) -> bool {
+        let hit = self.buffer.borrow_mut().touch(page);
+        self.stats.record_read(hit);
+        hit
+    }
+
+    /// Charges a read of every page covering `bytes` of payload starting at
+    /// `first` (objects larger than one page occupy consecutive ids).
+    pub fn read_span(&self, first: PageId, bytes: usize) {
+        let pages = self.pages_for(bytes);
+        for i in 0..pages as u64 {
+            self.read(PageId(first.0 + i));
+        }
+    }
+
+    /// Charges a write of `page` (write-through; also populates the buffer).
+    pub fn write(&self, page: PageId) {
+        self.buffer.borrow_mut().touch(page);
+        self.stats.record_write();
+    }
+
+    /// Charges a tuple-level random access (e.g. fetching one row by tid via
+    /// a non-clustered index, the dominant cost of the DBMS baseline).
+    pub fn random_access(&self) {
+        self.stats.record_random();
+    }
+
+    /// Number of pages needed to hold `bytes` of payload (at least one).
+    pub fn pages_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.page_size).max(1)
+    }
+
+    /// Clears the buffer pool (cold-cache measurement point).
+    pub fn clear_buffer(&self) {
+        self.buffer.borrow_mut().clear();
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+impl Default for DiskSim {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+/// A byte-addressed object store on top of [`DiskSim`].
+///
+/// Each stored object owns one or more consecutive pages; reading the object
+/// charges one read per covering page. This is how partial signatures,
+/// cuboid cells and base blocks are "persisted" in the reproduction.
+#[derive(Debug, Default)]
+pub struct PageStore {
+    objects: RefCell<HashMap<PageId, Box<[u8]>>>,
+}
+
+impl PageStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `data` on `disk`, returning the first page id of the object.
+    pub fn put(&self, disk: &DiskSim, data: Vec<u8>) -> PageId {
+        let pages = disk.pages_for(data.len());
+        let ids = disk.alloc_pages(pages);
+        let first = ids[0];
+        for id in &ids {
+            disk.write(*id);
+        }
+        self.objects.borrow_mut().insert(first, data.into_boxed_slice());
+        first
+    }
+
+    /// Replaces the object rooted at `first` (same id, new bytes). Charges
+    /// writes for the covering pages.
+    pub fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) {
+        let pages = disk.pages_for(data.len());
+        for i in 0..pages as u64 {
+            disk.write(PageId(first.0 + i));
+        }
+        self.objects.borrow_mut().insert(first, data.into_boxed_slice());
+    }
+
+    /// Reads the object rooted at `first`, charging I/O for every covering
+    /// page. Panics if the object does not exist (a store-level invariant
+    /// violation, not a user error).
+    pub fn get(&self, disk: &DiskSim, first: PageId) -> Vec<u8> {
+        let objects = self.objects.borrow();
+        let data = objects
+            .get(&first)
+            .unwrap_or_else(|| panic!("PageStore::get: missing object at {first:?}"));
+        disk.read_span(first, data.len());
+        data.to_vec()
+    }
+
+    /// Object size in bytes without charging I/O (catalog lookup).
+    pub fn size_of(&self, first: PageId) -> Option<usize> {
+        self.objects.borrow().get(&first).map(|d| d.len())
+    }
+
+    /// Total stored bytes across all objects (materialized-size metric).
+    pub fn total_bytes(&self) -> usize {
+        self.objects.borrow().values().map(|d| d.len()).sum()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.borrow().len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_charges_miss_then_hit() {
+        let disk = DiskSim::new(4096, 4);
+        let p = disk.alloc_page();
+        assert!(!disk.read(p));
+        assert!(disk.read(p));
+        let s = disk.stats().snapshot();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.disk_reads, 1);
+    }
+
+    #[test]
+    fn span_reads_cover_all_pages() {
+        let disk = DiskSim::new(100, 16);
+        let first = disk.alloc_page();
+        let _rest = disk.alloc_pages(2);
+        disk.read_span(first, 250); // 3 pages
+        assert_eq!(disk.stats().snapshot().logical_reads, 3);
+    }
+
+    #[test]
+    fn page_store_round_trips_and_charges() {
+        let disk = DiskSim::new(100, 0); // no buffer: all reads physical
+        let store = PageStore::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let id = store.put(&disk, data.clone());
+        assert_eq!(store.size_of(id), Some(256));
+        disk.reset_stats();
+        let back = store.get(&disk, id);
+        assert_eq!(back, data);
+        // 256 bytes over 100-byte pages => 3 physical reads.
+        assert_eq!(disk.stats().snapshot().disk_reads, 3);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let disk = DiskSim::with_defaults();
+        let store = PageStore::new();
+        let id = store.put(&disk, vec![1, 2, 3]);
+        store.overwrite(&disk, id, vec![9]);
+        assert_eq!(store.get(&disk, id), vec![9]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let disk = DiskSim::new(4096, 0);
+        assert_eq!(disk.pages_for(0), 1);
+        assert_eq!(disk.pages_for(1), 1);
+        assert_eq!(disk.pages_for(4096), 1);
+        assert_eq!(disk.pages_for(4097), 2);
+    }
+
+    #[test]
+    fn alloc_pages_are_consecutive() {
+        let disk = DiskSim::with_defaults();
+        let ids = disk.alloc_pages(3);
+        assert_eq!(ids[1].0, ids[0].0 + 1);
+        assert_eq!(ids[2].0, ids[0].0 + 2);
+    }
+}

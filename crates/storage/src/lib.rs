@@ -1,0 +1,32 @@
+//! Simulated block storage for the ranking-cube reproduction.
+//!
+//! Every experiment in the paper reports *disk accesses* at page granularity
+//! (4 KB pages by default, matching the thesis' R-tree/SQL-Server setup).
+//! This crate provides:
+//!
+//! * [`IoStats`] — shared counters for logical reads, physical (buffer-miss)
+//!   reads, writes and random accesses;
+//! * [`DiskSim`] — a simulated block device with an LRU buffer pool that
+//!   charges physical reads only on buffer misses;
+//! * [`PageStore`] — a byte-addressed page store on top of [`DiskSim`] used to
+//!   persist serialized structures (partial signatures, tid lists);
+//! * [`bits`] — bit-level readers/writers used by the signature coding
+//!   schemes of Chapter 4 (`BL`/`RL`/`PI`/`PC` produce real binary strings).
+//!
+//! The device is in-memory: the simulation preserves the paper's *relative*
+//! cost model (who does more I/O) rather than absolute disk latencies.
+
+pub mod bits;
+pub mod buffer;
+pub mod disk;
+pub mod stats;
+
+pub use bits::{bits_for, BitReader, BitWriter};
+pub use buffer::LruBuffer;
+pub use disk::{DiskSim, PageId, PageStore};
+pub use stats::{IoSnapshot, IoStats};
+
+/// Default page size used throughout the reproduction (bytes).
+///
+/// The thesis fixes R-tree / signature pages at 4 KB (Section 4.4.1).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;

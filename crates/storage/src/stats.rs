@@ -1,0 +1,133 @@
+//! Shared I/O counters.
+//!
+//! The evaluation sections of the thesis plot three cost families:
+//! execution time, *number of disk accesses* (Figures 4.13, 5.10, 5.17, 7.4)
+//! and in-memory working-set sizes. [`IoStats`] is the single source of truth
+//! for the I/O family; every simulated component charges it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic counters shared between a [`crate::DiskSim`] and its clients.
+///
+/// All counters are monotonically increasing; use [`IoStats::snapshot`] and
+/// [`IoSnapshot::delta`] to meter an individual query.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Page reads requested by clients (buffer hits included).
+    pub logical_reads: AtomicU64,
+    /// Page reads that missed the buffer pool and hit the simulated disk.
+    pub disk_reads: AtomicU64,
+    /// Page writes.
+    pub writes: AtomicU64,
+    /// Random (non-clustered) accesses; tracked separately because the
+    /// baseline approaches of Section 3.5 are dominated by them.
+    pub random_accesses: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a fresh shared counter set.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records a logical page read; `hit` tells whether the buffer absorbed it.
+    #[inline]
+    pub fn record_read(&self, hit: bool) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        if !hit {
+            self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a page write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a random access (tuple-level fetch not served by a scan).
+    #[inline]
+    pub fn record_random(&self) {
+        self.random_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            random_accesses: self.random_accesses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.random_accesses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub logical_reads: u64,
+    pub disk_reads: u64,
+    pub writes: u64,
+    pub random_accesses: u64,
+}
+
+impl IoSnapshot {
+    /// Counter increase between `self` (earlier) and `later`.
+    pub fn delta(&self, later: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: later.logical_reads - self.logical_reads,
+            disk_reads: later.disk_reads - self.disk_reads,
+            writes: later.writes - self.writes,
+            random_accesses: later.random_accesses - self.random_accesses,
+        }
+    }
+
+    /// Total I/O operations (reads + writes) that reached the disk.
+    pub fn total_disk_ops(&self) -> u64 {
+        self.disk_reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = IoStats::default();
+        stats.record_read(true);
+        stats.record_read(false);
+        stats.record_write();
+        stats.record_random();
+        let snap = stats.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.disk_reads, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.random_accesses, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let stats = IoStats::default();
+        stats.record_read(false);
+        let before = stats.snapshot();
+        stats.record_read(false);
+        stats.record_read(true);
+        let after = stats.snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.logical_reads, 2);
+        assert_eq!(d.disk_reads, 1);
+        assert_eq!(d.total_disk_ops(), 1);
+    }
+}

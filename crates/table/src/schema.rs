@@ -1,0 +1,118 @@
+//! Relation schemas: selection dimensions and ranking dimensions.
+
+/// A categorical selection (Boolean) dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    name: String,
+    cardinality: u32,
+}
+
+impl Dim {
+    /// A categorical dimension with values `0..cardinality`.
+    pub fn cat(name: impl Into<String>, cardinality: u32) -> Self {
+        assert!(cardinality > 0, "dimension cardinality must be positive");
+        Self { name: name.into(), cardinality }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values (`C` in the thesis' parameter tables).
+    pub fn cardinality(&self) -> u32 {
+        self.cardinality
+    }
+}
+
+/// Schema of a relation: `S` selection dimensions + `R` ranking dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    selection: Vec<Dim>,
+    ranking: Vec<String>,
+}
+
+impl Schema {
+    pub fn new(selection: Vec<Dim>, ranking: Vec<impl Into<String>>) -> Self {
+        Self {
+            selection,
+            ranking: ranking.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Convenience constructor: `s` selection dimensions of equal
+    /// cardinality `c`, `r` ranking dimensions (the synthetic-data shape).
+    pub fn synthetic(s: usize, c: u32, r: usize) -> Self {
+        Self {
+            selection: (0..s).map(|i| Dim::cat(format!("A{}", i + 1), c)).collect(),
+            ranking: (0..r).map(|i| format!("N{}", i + 1)).collect(),
+        }
+    }
+
+    /// Number of selection dimensions (`S`).
+    pub fn num_selection(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// Number of ranking dimensions (`R`).
+    pub fn num_ranking(&self) -> usize {
+        self.ranking.len()
+    }
+
+    /// Selection dimension metadata.
+    pub fn selection_dim(&self, i: usize) -> &Dim {
+        &self.selection[i]
+    }
+
+    /// All selection dimensions.
+    pub fn selection_dims(&self) -> &[Dim] {
+        &self.selection
+    }
+
+    /// Name of ranking dimension `i`.
+    pub fn ranking_dim(&self, i: usize) -> &str {
+        &self.ranking[i]
+    }
+
+    /// Resolves a selection dimension by name.
+    pub fn selection_index(&self, name: &str) -> Option<usize> {
+        self.selection.iter().position(|d| d.name() == name)
+    }
+
+    /// Resolves a ranking dimension by name.
+    pub fn ranking_index(&self, name: &str) -> Option<usize> {
+        self.ranking.iter().position(|d| d == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_schema_shape() {
+        let s = Schema::synthetic(3, 20, 2);
+        assert_eq!(s.num_selection(), 3);
+        assert_eq!(s.num_ranking(), 2);
+        assert_eq!(s.selection_dim(0).name(), "A1");
+        assert_eq!(s.selection_dim(2).cardinality(), 20);
+        assert_eq!(s.ranking_dim(1), "N2");
+    }
+
+    #[test]
+    fn name_resolution() {
+        let s = Schema::new(
+            vec![Dim::cat("type", 3), Dim::cat("color", 5)],
+            vec!["price", "mileage"],
+        );
+        assert_eq!(s.selection_index("color"), Some(1));
+        assert_eq!(s.selection_index("price"), None);
+        assert_eq!(s.ranking_index("price"), Some(0));
+        assert_eq!(s.ranking_index("type"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be positive")]
+    fn zero_cardinality_rejected() {
+        let _ = Dim::cat("bad", 0);
+    }
+}

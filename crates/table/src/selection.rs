@@ -1,0 +1,159 @@
+//! Multi-dimensional Boolean selections.
+//!
+//! A query's `WHERE A'1 = a1 AND … AND A'i = ai` clause. Conditions are kept
+//! sorted by dimension so a selection doubles as a canonical cuboid-cell key.
+
+use crate::relation::{Relation, Tid};
+
+/// A conjunction of equality predicates on selection dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Selection {
+    /// `(dimension index, value)` pairs, sorted by dimension, no duplicates.
+    conds: Vec<(usize, u32)>,
+}
+
+impl Selection {
+    /// Builds a selection from `(dim, value)` pairs. Panics on duplicate
+    /// dimensions (a malformed query, caught at construction).
+    pub fn new(mut conds: Vec<(usize, u32)>) -> Self {
+        conds.sort_unstable_by_key(|&(d, _)| d);
+        for w in conds.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate selection dimension {}", w[0].0);
+        }
+        Self { conds }
+    }
+
+    /// The empty selection (matches every tuple).
+    pub fn all() -> Self {
+        Self { conds: Vec::new() }
+    }
+
+    /// The predicates, sorted by dimension.
+    pub fn conds(&self) -> &[(usize, u32)] {
+        &self.conds
+    }
+
+    /// Number of predicates (`s` in Table 3.9).
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// True when there are no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// Dimensions referenced by the selection.
+    pub fn dims(&self) -> Vec<usize> {
+        self.conds.iter().map(|&(d, _)| d).collect()
+    }
+
+    /// Value demanded on `dim`, if constrained.
+    pub fn value_on(&self, dim: usize) -> Option<u32> {
+        self.conds
+            .binary_search_by_key(&dim, |&(d, _)| d)
+            .ok()
+            .map(|i| self.conds[i].1)
+    }
+
+    /// True when tuple `tid` of `rel` satisfies every predicate.
+    pub fn matches(&self, rel: &Relation, tid: Tid) -> bool {
+        self.conds.iter().all(|&(d, v)| rel.selection_value(tid, d) == v)
+    }
+
+    /// Restricts the selection to the given dimensions (projection onto a
+    /// fragment's dimension set).
+    pub fn project(&self, dims: &[usize]) -> Selection {
+        Selection {
+            conds: self.conds.iter().copied().filter(|(d, _)| dims.contains(d)).collect(),
+        }
+    }
+
+    /// Drops the predicate on `dim` (the roll-up operation of Chapter 7).
+    pub fn roll_up(&self, dim: usize) -> Selection {
+        Selection {
+            conds: self.conds.iter().copied().filter(|&(d, _)| d != dim).collect(),
+        }
+    }
+
+    /// Adds a predicate on a previously unconstrained `dim` (drill-down).
+    pub fn drill_down(&self, dim: usize, value: u32) -> Selection {
+        let mut conds = self.conds.clone();
+        conds.push((dim, value));
+        Selection::new(conds)
+    }
+
+    /// Estimated selectivity under independent uniform dimensions — the
+    /// optimizer's cardinality model (Chapter 6).
+    pub fn estimated_selectivity(&self, rel: &Relation) -> f64 {
+        self.conds
+            .iter()
+            .map(|&(d, _)| 1.0 / rel.schema().selection_dim(d).cardinality() as f64)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::{Dim, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(
+            vec![Dim::cat("A1", 2), Dim::cat("A2", 4), Dim::cat("A3", 4)],
+            vec!["N1"],
+        );
+        let mut b = RelationBuilder::new(schema);
+        b.push(&[0, 1, 2], &[0.1]);
+        b.push(&[1, 1, 3], &[0.2]);
+        b.push(&[0, 2, 2], &[0.3]);
+        b.finish()
+    }
+
+    #[test]
+    fn matches_conjunction() {
+        let r = rel();
+        let sel = Selection::new(vec![(1, 1), (0, 0)]);
+        assert!(sel.matches(&r, 0));
+        assert!(!sel.matches(&r, 1)); // A1 differs
+        assert!(!sel.matches(&r, 2)); // A2 differs
+    }
+
+    #[test]
+    fn empty_selection_matches_all() {
+        let r = rel();
+        let sel = Selection::all();
+        assert!(r.tids().all(|t| sel.matches(&r, t)));
+    }
+
+    #[test]
+    fn conds_sorted_and_value_lookup() {
+        let sel = Selection::new(vec![(2, 9), (0, 1)]);
+        assert_eq!(sel.conds(), &[(0, 1), (2, 9)]);
+        assert_eq!(sel.value_on(2), Some(9));
+        assert_eq!(sel.value_on(1), None);
+    }
+
+    #[test]
+    fn project_and_rollup_and_drilldown() {
+        let sel = Selection::new(vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(sel.project(&[1]).conds(), &[(1, 2)]);
+        assert_eq!(sel.roll_up(1).conds(), &[(0, 1), (2, 3)]);
+        let dd = sel.roll_up(1).drill_down(1, 2);
+        assert_eq!(dd, sel);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate selection dimension")]
+    fn duplicate_dims_rejected() {
+        let _ = Selection::new(vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn selectivity_product_of_cardinalities() {
+        let r = rel();
+        let sel = Selection::new(vec![(0, 0), (1, 1)]);
+        assert!((sel.estimated_selectivity(&r) - (1.0 / 2.0) * (1.0 / 4.0)).abs() < 1e-12);
+    }
+}

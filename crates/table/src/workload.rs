@@ -1,0 +1,194 @@
+//! Random query workloads (Table 3.9).
+//!
+//! Each experiment reports the average over a batch of randomly issued
+//! queries. A query draws `s` distinct selection dimensions with random
+//! values, `r` ranking dimensions, and a linear ranking function whose
+//! weight skewness is `u = max w / min w`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::relation::Relation;
+use crate::selection::Selection;
+
+/// Workload knobs (defaults = Table 3.9).
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Number of selection conditions `s`.
+    pub num_conditions: usize,
+    /// Number of ranking dimensions involved in the function `r`.
+    pub num_ranking: usize,
+    /// Number of requested results `k`.
+    pub k: usize,
+    /// Query skewness `u` (ratio of max to min weight).
+    pub skewness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self { num_conditions: 2, num_ranking: 2, k: 10, skewness: 1.0, seed: 7 }
+    }
+}
+
+/// A generated query: Boolean part + linear ranking part.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The multi-dimensional selection.
+    pub selection: Selection,
+    /// Ranking dimensions used by the function (sorted).
+    pub ranking_dims: Vec<usize>,
+    /// Weights aligned with `ranking_dims`, all positive, spread over
+    /// `[1, u]`.
+    pub weights: Vec<f64>,
+    /// Number of results requested.
+    pub k: usize,
+}
+
+impl QuerySpec {
+    /// Weights expanded to the relation's full ranking arity (zeros on
+    /// unused dimensions) — convenient when an engine scores full points.
+    pub fn full_weights(&self, total_ranking_dims: usize) -> Vec<f64> {
+        let mut w = vec![0.0; total_ranking_dims];
+        for (d, wt) in self.ranking_dims.iter().zip(&self.weights) {
+            w[*d] = *wt;
+        }
+        w
+    }
+}
+
+/// Deterministic query generator over a relation's schema.
+#[derive(Debug)]
+pub struct QueryGen {
+    params: WorkloadParams,
+    rng: StdRng,
+}
+
+impl QueryGen {
+    pub fn new(params: WorkloadParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        Self { params, rng }
+    }
+
+    /// Draws the next query against `rel`'s schema.
+    pub fn next_query(&mut self, rel: &Relation) -> QuerySpec {
+        let schema = rel.schema();
+        let s_total = schema.num_selection();
+        let r_total = schema.num_ranking();
+        let s = self.params.num_conditions.min(s_total);
+        let r = self.params.num_ranking.min(r_total);
+
+        let mut sel_dims: Vec<usize> = (0..s_total).collect();
+        sel_dims.shuffle(&mut self.rng);
+        sel_dims.truncate(s);
+        let conds = sel_dims
+            .into_iter()
+            .map(|d| {
+                let card = schema.selection_dim(d).cardinality();
+                (d, self.rng.gen_range(0..card))
+            })
+            .collect();
+
+        let mut rank_dims: Vec<usize> = (0..r_total).collect();
+        rank_dims.shuffle(&mut self.rng);
+        rank_dims.truncate(r);
+        rank_dims.sort_unstable();
+
+        // Weights spread over [1, u]: first weight 1, last weight u, rest
+        // uniform in between — guarantees the requested skewness exactly.
+        let u = self.params.skewness.max(1.0);
+        let mut weights: Vec<f64> = (0..r)
+            .map(|i| {
+                if i == 0 {
+                    1.0
+                } else if i == r - 1 {
+                    u
+                } else {
+                    self.rng.gen_range(1.0..=u)
+                }
+            })
+            .collect();
+        weights.shuffle(&mut self.rng);
+
+        QuerySpec {
+            selection: Selection::new(conds),
+            ranking_dims: rank_dims,
+            weights,
+            k: self.params.k,
+        }
+    }
+
+    /// A batch of `n` queries (the thesis averages over 20 per point).
+    pub fn batch(&mut self, rel: &Relation, n: usize) -> Vec<QuerySpec> {
+        (0..n).map(|_| self.next_query(rel)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SyntheticSpec;
+
+    #[test]
+    fn queries_respect_parameters() {
+        let rel = SyntheticSpec { tuples: 100, ..Default::default() }.generate();
+        let mut qg = QueryGen::new(WorkloadParams {
+            num_conditions: 2,
+            num_ranking: 2,
+            k: 5,
+            skewness: 3.0,
+            seed: 1,
+        });
+        for q in qg.batch(&rel, 20) {
+            assert_eq!(q.selection.len(), 2);
+            assert_eq!(q.ranking_dims.len(), 2);
+            assert_eq!(q.k, 5);
+            let mx = q.weights.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = q.weights.iter().cloned().fold(f64::MAX, f64::min);
+            assert!((mx / mn - 3.0).abs() < 1e-9);
+            // Dimensions must be distinct and in-domain.
+            let dims = q.selection.dims();
+            assert!(dims.iter().all(|&d| d < 3));
+        }
+    }
+
+    #[test]
+    fn clamps_to_schema_arity() {
+        let rel = SyntheticSpec { tuples: 10, selection_dims: 2, ranking_dims: 1, ..Default::default() }
+            .generate();
+        let mut qg = QueryGen::new(WorkloadParams {
+            num_conditions: 5,
+            num_ranking: 4,
+            ..Default::default()
+        });
+        let q = qg.next_query(&rel);
+        assert_eq!(q.selection.len(), 2);
+        assert_eq!(q.ranking_dims.len(), 1);
+    }
+
+    #[test]
+    fn full_weights_places_zeros() {
+        let q = QuerySpec {
+            selection: Selection::all(),
+            ranking_dims: vec![0, 2],
+            weights: vec![1.0, 2.0],
+            k: 10,
+        };
+        assert_eq!(q.full_weights(4), vec![1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let rel = SyntheticSpec { tuples: 50, ..Default::default() }.generate();
+        let mut a = QueryGen::new(WorkloadParams::default());
+        let mut b = QueryGen::new(WorkloadParams::default());
+        for _ in 0..5 {
+            let qa = a.next_query(&rel);
+            let qb = b.next_query(&rel);
+            assert_eq!(qa.selection, qb.selection);
+            assert_eq!(qa.weights, qb.weights);
+        }
+    }
+}

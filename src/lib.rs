@@ -1,0 +1,73 @@
+//! # ranking-cube
+//!
+//! A faithful, laptop-scale reproduction of *Integrating OLAP and Ranking:
+//! The Ranking-Cube Methodology* (Dong Xin, ICDE 2007 / UIUC thesis 2007).
+//!
+//! The ranking cube answers **top-k queries with multi-dimensional Boolean
+//! selections and ad-hoc ranking functions** by combining semi-offline
+//! materialization (rank-aware cuboids / signatures over a geometric data
+//! partition) with semi-online computation (progressive, bound-driven
+//! search).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents | paper chapter |
+//! |---|---|---|
+//! | [`storage`] | simulated paged disk, buffer pool, bit codecs | §3.5/§4.4 cost model |
+//! | [`table`] | relations, schemas, generators, workloads | §3.5.1 |
+//! | [`index`] | B+-tree, R-tree, equi-depth grid | substrates |
+//! | [`func`] | ranking functions with box lower bounds | §1.2.1 |
+//! | [`cube`] | grid ranking cube, fragments, signature cube | Ch 3–4 |
+//! | [`merge`] | index-merge for high ranking dimensionality | Ch 5 |
+//! | [`join`] | SPJR ranked queries over multiple relations | Ch 6 |
+//! | [`skyline`] | skyline / dynamic skyline with Boolean predicates | Ch 7 |
+//! | [`baseline`] | table-scan, Boolean-first, ranking-first, rank-mapping | evaluation foils |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ranking_cube::prelude::*;
+//!
+//! // A tiny relation: 2 selection dimensions, 2 ranking dimensions.
+//! let mut builder = RelationBuilder::new(
+//!     Schema::new(vec![Dim::cat("type", 3), Dim::cat("color", 4)], vec!["price", "mileage"]),
+//! );
+//! builder.push(&[0, 1], &[0.20, 0.30]);
+//! builder.push(&[0, 1], &[0.10, 0.15]);
+//! builder.push(&[1, 2], &[0.90, 0.80]);
+//! let relation = builder.finish();
+//!
+//! // Build the grid ranking cube and run a top-1 query.
+//! let disk = DiskSim::with_defaults();
+//! let cube = GridRankingCube::build(&relation, &disk, GridCubeConfig::default());
+//! let query = TopKQuery::new(vec![(0, 0), (1, 1)], Linear::uniform(2), 1);
+//! let result = cube.query(&query, &disk);
+//! assert_eq!(result.tids(), &[1]); // the cheapest matching car
+//! ```
+
+pub use rcube_baseline as baseline;
+pub use rcube_core as cube;
+pub use rcube_func as func;
+pub use rcube_index as index;
+pub use rcube_join as join;
+pub use rcube_merge as merge;
+pub use rcube_skyline as skyline;
+pub use rcube_storage as storage;
+pub use rcube_table as table;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use rcube_baseline::{BooleanFirst, RankMapping, RankingFirst, TableScan};
+    pub use rcube_core::fragments::{FragmentConfig, RankingFragments};
+    pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
+    pub use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
+    pub use rcube_core::TopKQuery;
+    pub use rcube_func::{Expr, GeneralSq, L1Dist, Linear, RankFn, Rect, SqDist};
+    pub use rcube_index::bptree::BPlusTree;
+    pub use rcube_index::grid::GridPartition;
+    pub use rcube_index::rtree::{RTree, RTreeConfig};
+    pub use rcube_merge::{IndexMerge, MergeConfig};
+    pub use rcube_skyline::{SkylineEngine, SkylineQuery};
+    pub use rcube_storage::{DiskSim, IoStats, PageStore};
+    pub use rcube_table::{Dim, Relation, RelationBuilder, Schema};
+}

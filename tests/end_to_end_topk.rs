@@ -1,0 +1,131 @@
+//! Cross-engine equivalence: every top-k engine in the workspace must
+//! return the same answers as a naive scan, on shared random workloads.
+
+use ranking_cube::baseline::{BooleanFirst, RankMapping, RankingFirst, TableScan};
+use ranking_cube::cube::fragments::{FragmentConfig, RankingFragments};
+use ranking_cube::cube::gridcube::{GridCubeConfig, GridRankingCube};
+use ranking_cube::cube::sigcube::{SignatureCube, SignatureCubeConfig};
+use ranking_cube::cube::sigquery::topk_signature;
+use ranking_cube::cube::TopKQuery;
+use ranking_cube::func::{Linear, RankFn};
+use ranking_cube::index::rtree::{RTree, RTreeConfig};
+use ranking_cube::index::HierIndex;
+use ranking_cube::merge::{IndexMerge, MergeConfig};
+use ranking_cube::storage::DiskSim;
+use ranking_cube::table::gen::SyntheticSpec;
+use ranking_cube::table::workload::{QueryGen, WorkloadParams};
+use ranking_cube::table::{Relation, Selection};
+
+fn naive_scores(rel: &Relation, sel: &Selection, f: &impl RankFn, dims: &[usize], k: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = rel
+        .tids()
+        .filter(|&t| sel.matches(rel, t))
+        .map(|t| f.score(&rel.ranking_point_proj(t, dims)))
+        .collect();
+    v.sort_by(f64::total_cmp);
+    v.truncate(k);
+    v
+}
+
+fn assert_scores(got: &[f64], want: &[f64], engine: &str) {
+    assert_eq!(got.len(), want.len(), "{engine}: answer count");
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 1e-9, "{engine}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn five_engines_agree_on_random_workload() {
+    let rel = SyntheticSpec { tuples: 4_000, cardinality: 5, ..Default::default() }.generate();
+    let disk = DiskSim::with_defaults();
+
+    let grid = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 100, ..Default::default() });
+    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 1, block_size: 100 });
+    let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+    let sig = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+    let scan = TableScan::new(&rel, &disk);
+    let bf = BooleanFirst::build(&rel, &disk);
+    let rm = RankMapping::build(&rel, &disk);
+
+    let mut qg = QueryGen::new(WorkloadParams { num_conditions: 2, k: 10, ..Default::default() });
+    for spec in qg.batch(&rel, 12) {
+        let f = Linear::new(spec.weights.clone());
+        let want = naive_scores(&rel, &spec.selection, &f, &spec.ranking_dims, spec.k);
+        let q = TopKQuery::with_ranking_dims(
+            spec.selection.conds().to_vec(),
+            f.clone(),
+            spec.ranking_dims.clone(),
+            spec.k,
+        );
+        assert_scores(&grid.query(&q, &disk).scores(), &want, "grid cube");
+        assert_scores(&frags.query(&q, &disk).scores(), &want, "fragments");
+        assert_scores(&topk_signature(&rtree, &sig, &q, &disk).scores(), &want, "signature");
+        assert_scores(
+            &scan.topk(&rel, &disk, &spec.selection, &f, &spec.ranking_dims, spec.k).scores(),
+            &want,
+            "table scan",
+        );
+        assert_scores(
+            &bf.topk(&rel, &disk, &spec.selection, &f, &spec.ranking_dims, spec.k).scores(),
+            &want,
+            "boolean first",
+        );
+        assert_scores(
+            &rm.topk(&rel, &disk, &spec.selection, &f, &spec.ranking_dims, spec.k).scores(),
+            &want,
+            "rank mapping",
+        );
+        assert_scores(&RankingFirst::topk(&rtree, &rel, &q, &disk).scores(), &want, "ranking first");
+    }
+}
+
+#[test]
+fn merge_engines_agree_without_selection() {
+    let rel = SyntheticSpec { tuples: 2_000, ..Default::default() }.generate();
+    let disk = DiskSim::with_defaults();
+    let trees: Vec<ranking_cube::index::BPlusTree> = (0..2)
+        .map(|d| {
+            ranking_cube::index::BPlusTree::bulk_load_with_fanout(
+                &disk,
+                rel.ranking_column(d).iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+                16,
+            )
+        })
+        .collect();
+    let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
+    let merge = IndexMerge::new(idx).with_full_signature(&disk);
+    for weights in [vec![1.0, 1.0], vec![2.0, -1.0], vec![0.1, 3.0]] {
+        let f = Linear::new(weights);
+        let got = merge.topk(&f, 15, &MergeConfig::default(), &disk);
+        let want = naive_scores(&rel, &Selection::all(), &f, &[0, 1], 15);
+        assert_scores(&got.scores(), &want, "index merge");
+    }
+}
+
+#[test]
+fn engines_agree_on_skewed_and_correlated_data() {
+    use ranking_cube::table::gen::DataDist;
+    for dist in [DataDist::Correlated, DataDist::AntiCorrelated] {
+        let rel = SyntheticSpec { tuples: 2_000, dist, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let grid = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 64, ..Default::default() });
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+        let sig = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+        let f = Linear::new(vec![1.0, 0.5]);
+        let q = TopKQuery::new(vec![(0, 1)], f.clone(), 10);
+        let want = naive_scores(&rel, &q.selection, &f, &[0, 1], 10);
+        assert_scores(&grid.query(&q, &disk).scores(), &want, "grid cube (skewed)");
+        assert_scores(&topk_signature(&rtree, &sig, &q, &disk).scores(), &want, "signature (skewed)");
+    }
+}
+
+#[test]
+fn forest_surrogate_end_to_end() {
+    let rel = ranking_cube::table::gen::forest_cover(3_000, 99);
+    let disk = DiskSim::with_defaults();
+    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 3, block_size: 100 });
+    let f = Linear::new(vec![1.0, 1.0, 1.0]);
+    let q = TopKQuery::new(vec![(4, 1), (5, 0)], f.clone(), 10);
+    let want = naive_scores(&rel, &q.selection, &f, &[0, 1, 2], 10);
+    assert_scores(&frags.query(&q, &disk).scores(), &want, "fragments on forest");
+}
