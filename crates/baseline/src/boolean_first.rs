@@ -27,8 +27,7 @@ impl BooleanFirst {
     pub fn build(rel: &Relation, disk: &DiskSim) -> Self {
         let indexes = (0..rel.schema().num_selection())
             .map(|d| {
-                let entries =
-                    rel.tids().map(|t| (rel.selection_value(t, d) as f64, t)).collect();
+                let entries = rel.tids().map(|t| (rel.selection_value(t, d) as f64, t)).collect();
                 BPlusTree::bulk_load(disk, entries)
             })
             .collect();
@@ -120,7 +119,8 @@ mod tests {
 
     #[test]
     fn index_plan_charges_random_accesses() {
-        let rel = SyntheticSpec { tuples: 4_000, cardinality: 200, ..Default::default() }.generate();
+        let rel =
+            SyntheticSpec { tuples: 4_000, cardinality: 200, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
         let bf = BooleanFirst::build(&rel, &disk);
         let sel = Selection::new(vec![(0, 7)]);

@@ -92,10 +92,7 @@ impl RankMapping {
             .tids()
             .filter(|&t| {
                 selection.matches(rel, t)
-                    && ranking_dims
-                        .iter()
-                        .zip(&bounds)
-                        .all(|(&d, &b)| rel.ranking_value(t, d) <= b)
+                    && ranking_dims.iter().zip(&bounds).all(|(&d, &b)| rel.ranking_value(t, d) <= b)
             })
             .map(|t| self.position[t as usize])
             .collect();

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rcube_baseline::{BooleanFirst, RankMapping, TableScan};
+use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
 use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
 use rcube_core::sigquery::topk_signature;
@@ -69,6 +70,28 @@ fn bench_topk_query(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fragments_covering(c: &mut Criterion) {
+    // The fragments covering-set query: conditions spanning 1–3 fragments,
+    // so the retrieve step streams a k-way posting-list intersection per
+    // candidate block.
+    let rel = SyntheticSpec { tuples: T, selection_dims: 6, cardinality: 5, ..Default::default() }
+        .generate();
+    let disk = DiskSim::with_defaults();
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
+    let spans: [(usize, Vec<(usize, u32)>); 3] =
+        [(1, vec![(0, 1), (1, 2)]), (2, vec![(0, 1), (2, 2)]), (3, vec![(0, 1), (2, 2), (4, 0)])];
+    let mut g = c.benchmark_group("fragments_covering_set");
+    for (span, conds) in spans {
+        assert_eq!(frags.covering_fragments(&Selection::new(conds.clone())), span);
+        g.bench_with_input(BenchmarkId::new("query", span), &conds, |b, conds| {
+            let q = TopKQuery::new(conds.clone(), Linear::uniform(2), 10);
+            b.iter(|| frags.query(&q, &disk))
+        });
+    }
+    g.finish();
+}
+
 fn bench_coding(c: &mut Criterion) {
     use rcube_core::coding::{decode_node, encode_best};
     use rcube_storage::{BitReader, BitWriter};
@@ -112,5 +135,12 @@ fn bench_maintenance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_construction, bench_topk_query, bench_coding, bench_maintenance);
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_topk_query,
+    bench_fragments_covering,
+    bench_coding,
+    bench_maintenance
+);
 criterion_main!(benches);

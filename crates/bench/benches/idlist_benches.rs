@@ -1,0 +1,217 @@
+//! Posting-list engine micro-benchmarks (Section 3.6.3's fast-merge
+//! claim), plus the end-to-end fragments covering-set query they feed.
+//!
+//! The run writes `BENCH_idlist.json` at the workspace root so the perf
+//! trajectory of this hot path is recorded PR over PR. The headline
+//! number is `speedup_bitmap_intersect`: word-parallel AND vs the seed's
+//! bit-at-a-time loop on a dense pair over a 100k universe (target ≥ 5×).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcube_core::fragments::{FragmentConfig, RankingFragments};
+use rcube_core::idlist::{self, IdListRef, KWayIntersect};
+use rcube_core::TopKQuery;
+use rcube_func::Linear;
+use rcube_storage::DiskSim;
+use rcube_table::gen::SyntheticSpec;
+use rcube_table::Tid;
+
+/// The seed implementation, byte-for-byte: test one bit per universe
+/// position over the shared prefix. Kept here as the regression baseline.
+fn seed_bit_at_a_time(a: &[u8], b: &[u8]) -> Vec<Tid> {
+    let ua = u32::from_le_bytes(a[1..5].try_into().unwrap());
+    let ub = u32::from_le_bytes(b[1..5].try_into().unwrap());
+    let universe = ua.min(ub);
+    let mut out = Vec::new();
+    for t in 0..universe {
+        let byte = 5 + (t / 8) as usize;
+        if (a[byte] & b[byte]) >> (t % 8) & 1 == 1 {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// The seed loop reduced to the pure bit-at-a-time scan (no output
+/// vector): the apples-to-apples baseline for "intersection as wordwise
+/// AND + count_ones".
+fn seed_bit_at_a_time_count(a: &[u8], b: &[u8]) -> u32 {
+    let ua = u32::from_le_bytes(a[1..5].try_into().unwrap());
+    let ub = u32::from_le_bytes(b[1..5].try_into().unwrap());
+    let universe = ua.min(ub);
+    let mut count = 0u32;
+    for t in 0..universe {
+        let byte = 5 + (t / 8) as usize;
+        count += u32::from((a[byte] & b[byte]) >> (t % 8) & 1);
+    }
+    count
+}
+
+/// The seed's k-way shape: decode every list, hash the first, intersect
+/// set-by-set.
+fn seed_hashset_chain(lists: &[&[u8]]) -> Vec<Tid> {
+    use std::collections::HashSet;
+    let mut acc: Option<HashSet<Tid>> = None;
+    for l in lists {
+        let set: HashSet<Tid> = idlist::decode(l).into_iter().collect();
+        acc = Some(match acc {
+            None => set,
+            Some(prev) => prev.intersection(&set).copied().collect(),
+        });
+    }
+    let mut v: Vec<Tid> = acc.unwrap_or_default().into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn dense_pair_100k() -> (Vec<u8>, Vec<u8>) {
+    let a: Vec<Tid> = (0..100_000).filter(|t| t % 2 == 0).collect();
+    let b: Vec<Tid> = (0..100_000).filter(|t| t % 3 == 0).collect();
+    (idlist::encode_bitmap(&a, 100_000), idlist::encode_bitmap(&b, 100_000))
+}
+
+fn bench_bitmap_intersect(c: &mut Criterion) {
+    let (ea, eb) = dense_pair_100k();
+    let mut g = c.benchmark_group("bitmap_intersect_100k");
+    g.bench_function("seed_bit_at_a_time", |b| b.iter(|| seed_bit_at_a_time(&ea, &eb)));
+    g.bench_function("seed_bit_at_a_time_count", |b| b.iter(|| seed_bit_at_a_time_count(&ea, &eb)));
+    g.bench_function("word_parallel", |b| b.iter(|| idlist::intersect(&ea, &eb)));
+    g.bench_function("word_parallel_count", |b| {
+        let lists = [IdListRef::parse(&ea).unwrap(), IdListRef::parse(&eb).unwrap()];
+        b.iter(|| idlist::intersect_cardinality(&lists))
+    });
+    g.finish();
+}
+
+fn bench_kway(c: &mut Criterion) {
+    // Three mixed-representation lists of very different cardinalities:
+    // the streaming leapfrog should be driven by the rarest one.
+    let rare: Vec<Tid> = (0..500u32).map(|i| i * 199).collect();
+    let mid: Vec<Tid> = (0..20_000u32).map(|i| i * 5).collect();
+    let dense: Vec<Tid> = (0..100_000).filter(|t| t % 2 == 0).collect();
+    let er = idlist::encode_skip(&rare);
+    let em = idlist::encode_skip(&mid);
+    let ed = idlist::encode_bitmap(&dense, 100_000);
+    let mut g = c.benchmark_group("kway_intersect_3");
+    g.bench_function("seed_decode_hashset", |b| b.iter(|| seed_hashset_chain(&[&er, &em, &ed])));
+    g.bench_function("streaming_leapfrog", |b| {
+        b.iter(|| {
+            let lists = [
+                IdListRef::parse(&er).unwrap(),
+                IdListRef::parse(&em).unwrap(),
+                IdListRef::parse(&ed).unwrap(),
+            ];
+            KWayIntersect::new(&lists).collect::<Vec<Tid>>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_seek(c: &mut Criterion) {
+    // Galloping into a long sparse list: skip-table seek vs linear delta.
+    let tids: Vec<Tid> = (0..200_000u32).map(|i| i * 17).collect();
+    let skip = idlist::encode_skip(&tids);
+    let delta = idlist::encode_delta(&tids);
+    let targets: Vec<Tid> = (0..64u32).map(|i| i * 50_000 + 13).collect();
+    let mut g = c.benchmark_group("seek_200k");
+    for (name, enc) in [("skip_gallop", &skip), ("delta_linear", &delta)] {
+        g.bench_with_input(BenchmarkId::new(name, targets.len()), enc, |b, enc| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                let mut cur = IdListRef::parse(enc).unwrap().cursor();
+                for &t in &targets {
+                    cur.seek(t);
+                    if cur.current().is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fragments_query(c: &mut Criterion) {
+    // End-to-end: the fragments covering-set query — every condition pair
+    // spans two fragments, so the retrieve step k-way intersects per block.
+    let rel =
+        SyntheticSpec { tuples: 20_000, selection_dims: 6, cardinality: 5, ..Default::default() }
+            .generate();
+    let disk = DiskSim::with_defaults();
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
+    let mut g = c.benchmark_group("fragments_covering_query");
+    for (label, conds) in
+        [("span2", vec![(0usize, 1u32), (2, 2)]), ("span3", vec![(0, 1), (2, 2), (4, 0)])]
+    {
+        g.bench_function(label, |b| {
+            let q = TopKQuery::new(conds.clone(), Linear::uniform(2), 10);
+            b.iter(|| frags.query(&q, &disk))
+        });
+    }
+    g.finish();
+}
+
+/// Serializes every measurement of this run — plus the headline speedups —
+/// to `BENCH_idlist.json` at the workspace root. Runs last in the group.
+fn emit_json(c: &mut Criterion) {
+    let ms = c.measurements().to_vec();
+    let find = |id: &str| ms.iter().find(|m| m.id == id).map(|m| m.mean_ns);
+    let speedup = |base: &str, new: &str| match (find(base), find(new)) {
+        (Some(b), Some(n)) if n > 0.0 => b / n,
+        _ => 0.0,
+    };
+    // Headline: the intersection computed as wordwise AND + count_ones vs
+    // the seed's bit-at-a-time scan — like for like, neither materializes.
+    let su_bitmap = speedup(
+        "bitmap_intersect_100k/seed_bit_at_a_time_count",
+        "bitmap_intersect_100k/word_parallel_count",
+    );
+    let su_materialize =
+        speedup("bitmap_intersect_100k/seed_bit_at_a_time", "bitmap_intersect_100k/word_parallel");
+    let su_kway =
+        speedup("kway_intersect_3/seed_decode_hashset", "kway_intersect_3/streaming_leapfrog");
+    let su_seek = speedup("seek_200k/delta_linear/64", "seek_200k/skip_gallop/64");
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"idlist\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n",
+    );
+    for (i, m) in ms.iter().enumerate() {
+        let sep = if i + 1 == ms.len() { "" } else { "," };
+        json.push_str(&format!("    \"{}\": {:.1}{}\n", m.id, m.mean_ns, sep));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_bitmap_intersect\": {su_bitmap:.2},\n  \"speedup_bitmap_materialize\": {su_materialize:.2},\n  \"speedup_kway_intersect\": {su_kway:.2},\n  \"speedup_seek\": {su_seek:.2},\n  \"target_bitmap_speedup\": 5.0\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_idlist.json");
+    std::fs::write(path, &json).expect("write BENCH_idlist.json");
+    println!("wrote {path}");
+    println!(
+        "speedups: bitmap {su_bitmap:.1}x (materializing {su_materialize:.1}x), kway {su_kway:.1}x, seek {su_seek:.1}x"
+    );
+    // Wall-clock ratios are noisy on shared CI runners; there the recorded
+    // JSON is the artifact and the gate is soft (RCUBE_BENCH_SOFT=1).
+    // Local/dev runs keep the hard ≥5× acceptance check.
+    if std::env::var_os("RCUBE_BENCH_SOFT").is_some() {
+        if su_bitmap < 5.0 {
+            eprintln!("WARNING: bitmap speedup {su_bitmap:.2}× below the 5× target");
+        }
+    } else {
+        assert!(
+            su_bitmap >= 5.0,
+            "word-parallel bitmap intersection must be ≥5× the seed loop, got {su_bitmap:.2}×"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap_intersect,
+    bench_kway,
+    bench_seek,
+    bench_fragments_query,
+    emit_json
+);
+criterion_main!(benches);

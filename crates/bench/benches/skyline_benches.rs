@@ -27,7 +27,9 @@ fn bench_skyline(c: &mut Criterion) {
     let mut g = c.benchmark_group("skyline");
     g.sample_size(10);
     g.bench_function("signature_bbs", |b| b.iter(|| engine.skyline(&q, &disk)));
-    g.bench_function("ranking_first", |b| b.iter(|| skyline_ranking_first(&rtree, &rel, &q, &disk)));
+    g.bench_function("ranking_first", |b| {
+        b.iter(|| skyline_ranking_first(&rtree, &rel, &q, &disk))
+    });
     g.bench_function("bnl", |b| b.iter(|| bnl_skyline(&rel, &q)));
     g.bench_function("drill_down_reuse", |b| {
         let (_, session) = engine.skyline(&q, &disk);
@@ -39,8 +41,8 @@ fn bench_skyline(c: &mut Criterion) {
 fn bench_rank_join(c: &mut Criterion) {
     let disk = DiskSim::with_defaults();
     let mk = |seed: u64| {
-        let rel = SyntheticSpec { tuples: T / 4, cardinality: 10, seed, ..Default::default() }
-            .generate();
+        let rel =
+            SyntheticSpec { tuples: T / 4, cardinality: 10, seed, ..Default::default() }.generate();
         let mut rng = StdRng::seed_from_u64(seed + 7);
         let keys: Vec<u32> = (0..rel.len()).map(|_| rng.gen_range(0..100)).collect();
         JoinRelation::build(rel, keys, &disk)

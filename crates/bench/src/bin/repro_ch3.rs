@@ -4,8 +4,7 @@
 
 use rcube_baseline::{BooleanFirst, RankMapping};
 use rcube_bench::{
-    base_tuples, cost_ms, print_figure, query_batch, synthetic, time_ms, Series,
-    QUERIES_PER_POINT,
+    base_tuples, cost_ms, print_figure, query_batch, synthetic, time_ms, Series, QUERIES_PER_POINT,
 };
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{CuboidSpec, GridCubeConfig, GridRankingCube};
@@ -40,11 +39,7 @@ fn setup(rel: Relation, block: usize, cuboids: CuboidSpec) -> Setup {
 }
 
 fn default_setup(tuples: usize) -> Setup {
-    setup(
-        synthetic(tuples, 3, 20, 2, DataDist::Uniform, 11),
-        300,
-        CuboidSpec::AllSubsets,
-    )
+    setup(synthetic(tuples, 3, 20, 2, DataDist::Uniform, 11), 300, CuboidSpec::AllSubsets)
 }
 
 fn avg_times(s: &Setup, queries: &[QuerySpec]) -> (f64, f64, f64) {
@@ -249,7 +244,11 @@ fn fig3_11() {
     for &s_dims in &dims {
         let rel = synthetic(t, s_dims, 20, 2, DataDist::Uniform, 17);
         let disk = DiskSim::with_defaults();
-        let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
+        let frags = RankingFragments::build(
+            &rel,
+            &disk,
+            FragmentConfig { fragment_size: 2, block_size: 300 },
+        );
         series.push("RF (MB)", frags.materialized_bytes() as f64 / 1e6);
         // Rank mapping: clustered composite index ≈ one copy of the data
         // per fragment-sized index set (the thesis builds one per fragment).
@@ -258,8 +257,11 @@ fn fig3_11() {
         // Baseline: one B+-tree per selection dimension.
         let bt: usize = (0..s_dims)
             .map(|d| {
-                BPlusTree::over_column(&disk, &rel.selection_column(d).iter().map(|&v| v as f64).collect::<Vec<_>>())
-                    .byte_size()
+                BPlusTree::over_column(
+                    &disk,
+                    &rel.selection_column(d).iter().map(|&v| v as f64).collect::<Vec<_>>(),
+                )
+                .byte_size()
             })
             .sum();
         series.push("BL (MB)", (bt + t * row) as f64 / 1e6);
@@ -276,7 +278,8 @@ fn fig3_11() {
 fn fig3_12() {
     let rel = synthetic(base_tuples(), 6, 5, 2, DataDist::Uniform, 18);
     let disk = DiskSim::with_defaults();
-    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
     // Queries intentionally covered by 1, 2 and 3 fragments.
     let selections = [
         Selection::new(vec![(0, 1), (1, 2)]),
@@ -308,7 +311,11 @@ fn fig3_13() {
     let mut series = Series::default();
     for &f in &fs {
         let disk = DiskSim::with_defaults();
-        let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: f, block_size: 300 });
+        let frags = RankingFragments::build(
+            &rel,
+            &disk,
+            FragmentConfig { fragment_size: f, block_size: 300 },
+        );
         let qs = query_batch(&rel, 3, 2, 10, 1.0, QUERIES_PER_POINT, 28);
         let mut t = 0.0;
         for q in &qs {
@@ -339,7 +346,11 @@ fn fig3_14() {
     for &s_dims in &dims {
         let rel = synthetic(base_tuples() / 2, s_dims, 5, 2, DataDist::Uniform, 20);
         let disk = DiskSim::with_defaults();
-        let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 300 });
+        let frags = RankingFragments::build(
+            &rel,
+            &disk,
+            FragmentConfig { fragment_size: 2, block_size: 300 },
+        );
         let rm = RankMapping::build(&rel, &disk);
         let bl = BooleanFirst::build(&rel, &disk);
         let qs = query_batch(&rel, 3, 2, 10, 1.0, QUERIES_PER_POINT, 29);
@@ -383,7 +394,8 @@ fn fig3_15() {
     // ranking over all 3 quantitative attributes.
     let rel = forest_cover(base_tuples(), 30);
     let disk = DiskSim::with_defaults();
-    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 3, block_size: 300 });
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 3, block_size: 300 });
     let rm = RankMapping::build(&rel, &disk);
     let bl = BooleanFirst::build(&rel, &disk);
     let ks = [5usize, 10, 15, 20];
@@ -426,7 +438,7 @@ fn fig3_15() {
 }
 
 fn main() {
-    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+    let mut figures: Vec<rcube_bench::Figure> = vec![
         ("fig3_4", Box::new(fig3_4)),
         ("fig3_5", Box::new(fig3_5)),
         ("fig3_6", Box::new(fig3_6)),

@@ -56,9 +56,8 @@ fn fig4_8() {
         let rel = ch4_data(t, 100, 41);
         let disk = DiskSim::with_defaults();
         let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 3));
-        let (_, cube_ms) = time_ms(|| {
-            SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default())
-        });
+        let (_, cube_ms) =
+            time_ms(|| SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default()));
         // The thesis builds its R-tree by per-tuple insertion (bulk loading
         // is what the *cube* construction consumes); measure that mode.
         let (_, rtree_ms) = time_ms(|| {
@@ -73,10 +72,8 @@ fn fig4_8() {
         });
         let (_, btree_ms) = time_ms(|| {
             for d in 0..rel.schema().num_selection() {
-                let entries = rel
-                    .tids()
-                    .map(|tid| (rel.selection_value(tid, d) as f64, tid))
-                    .collect();
+                let entries =
+                    rel.tids().map(|tid| (rel.selection_value(tid, d) as f64, tid)).collect();
                 let _ = BPlusTree::bulk_load(&disk, entries);
             }
         });
@@ -103,10 +100,8 @@ fn fig4_9() {
         let (rtree, cube) = build_all(&rel, &disk);
         let btree_bytes: usize = (0..rel.schema().num_selection())
             .map(|d| {
-                let entries = rel
-                    .tids()
-                    .map(|tid| (rel.selection_value(tid, d) as f64, tid))
-                    .collect();
+                let entries =
+                    rel.tids().map(|tid| (rel.selection_value(tid, d) as f64, tid)).collect();
                 BPlusTree::bulk_load(&disk, entries).byte_size()
             })
             .sum();
@@ -114,13 +109,7 @@ fn fig4_9() {
         series.push("B-tree (MB)", btree_bytes as f64 / 1e6);
         series.push("P-Cube (MB)", cube.materialized_bytes() as f64 / 1e6);
     }
-    print_figure(
-        "Fig 4.9",
-        "materialized size w.r.t. T",
-        "T",
-        &ts.map(|t| t.to_string()),
-        &series,
-    );
+    print_figure("Fig 4.9", "materialized size w.r.t. T", "T", &ts.map(|t| t.to_string()), &series);
 }
 
 fn fig4_10() {
@@ -169,7 +158,8 @@ fn fig4_11() {
             let rel = full.prefix(t);
             let disk = DiskSim::with_defaults();
             let mut rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::for_page(4096, 3));
-            let mut cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+            let mut cube =
+                SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
             // Batch maintenance (Algorithm 2 takes a *set* of new tuples):
             // collect every path update, then apply them cell-by-cell once.
             let (_, ms) = time_ms(|| {
@@ -260,7 +250,7 @@ fn fig4_13() {
 }
 
 fn main() {
-    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+    let mut figures: Vec<rcube_bench::Figure> = vec![
         ("table4_2", Box::new(table4_2)),
         ("fig4_8", Box::new(fig4_8)),
         ("fig4_9", Box::new(fig4_9)),

@@ -68,13 +68,17 @@ fn time_vs_k(fig: &str, title: &str, f: &dyn RankFn) {
     let mut series = Series::default();
     for &k in &ks {
         s.disk.clear_buffer();
-        let (res, cpu) = time_ms(|| {
-            s.scan.topk(&s.rel, &s.disk, &Selection::all(), &f, &[0, 1], k)
-        });
+        let (res, cpu) =
+            time_ms(|| s.scan.topk(&s.rel, &s.disk, &Selection::all(), &f, &[0, 1], k));
         series.push("TS", cost_ms(cpu, res.stats.io));
         s.disk.clear_buffer();
         let (res, cpu) = time_ms(|| {
-            plain.topk(f, k, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &s.disk)
+            plain.topk(
+                f,
+                k,
+                &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto },
+                &s.disk,
+            )
         });
         series.push("BL", cost_ms(cpu, res.stats.io));
         s.disk.clear_buffer();
@@ -94,7 +98,12 @@ fn table5_1() {
     let basic = IndexMerge::new(idx.clone());
     let improved = IndexMerge::new(idx).with_full_signature(&s.disk);
     let f = fg2();
-    let b = basic.topk(&f, 100, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &s.disk);
+    let b = basic.topk(
+        &f,
+        100,
+        &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto },
+        &s.disk,
+    );
     let i = improved.topk(&f, 100, &MergeConfig::default(), &s.disk);
     println!();
     println!("== Table 5.1: significance of the two challenges (f = (A−B²)², top-100) ==");
@@ -118,11 +127,8 @@ fn fig5_10_11_12() {
     let idx: Vec<&dyn HierIndex> = s.trees.iter().map(|t| t as &dyn HierIndex).collect();
     let plain = IndexMerge::new(idx.clone());
     let with_sig = IndexMerge::new(idx).with_full_signature(&s.disk);
-    let functions: Vec<(&str, Box<dyn RankFn>)> = vec![
-        ("fs", Box::new(fs2())),
-        ("fg", Box::new(fg2())),
-        ("fc", Box::new(fc2())),
-    ];
+    let functions: Vec<(&str, Box<dyn RankFn>)> =
+        vec![("fs", Box::new(fs2())), ("fg", Box::new(fg2())), ("fc", Box::new(fc2()))];
     let mut disk_series = Series::default();
     let mut states_series = Series::default();
     let mut heap_series = Series::default();
@@ -176,7 +182,13 @@ fn fig5_13() {
         let (res, cpu) = time_ms(|| with_sig.topk(&f, k, &MergeConfig::default(), &disk));
         series.push("PE+SIG", cost_ms(cpu, res.stats.io));
     }
-    print_figure("Fig 5.13", "execution time (ms) w.r.t. K, real data", "K", &ks.map(|k| k.to_string()), &series);
+    print_figure(
+        "Fig 5.13",
+        "execution time (ms) w.r.t. K, real data",
+        "K",
+        &ks.map(|k| k.to_string()),
+        &series,
+    );
 }
 
 fn fig5_14() {
@@ -313,12 +325,18 @@ fn fig5_20_21_22() {
     }
     let xs = ts.map(|t| t.to_string());
     print_figure("Fig 5.20", "execution time (ms) w.r.t. T", "T", &xs, &time_series);
-    print_figure("Fig 5.21", "join-signature construction time (ms) w.r.t. T", "T", &xs, &build_series);
+    print_figure(
+        "Fig 5.21",
+        "join-signature construction time (ms) w.r.t. T",
+        "T",
+        &xs,
+        &build_series,
+    );
     print_figure("Fig 5.22", "join-signature size w.r.t. T", "T", &xs, &size_series);
 }
 
 fn main() {
-    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+    let mut figures: Vec<rcube_bench::Figure> = vec![
         ("table5_1", Box::new(table5_1)),
         ("fig5_7", Box::new(fig5_7)),
         ("fig5_8", Box::new(fig5_8)),

@@ -33,23 +33,14 @@ fn table6_1() {
     println!("== Table 6.1 / Figure 6.2: top-2 query over two relations ==");
     let disk = DiskSim::with_defaults();
     let mut b1 = rcube_table::RelationBuilder::new(rcube_table::Schema::synthetic(1, 2, 2));
-    for (sel, n1, n2) in [
-        (0u32, 0.10, 0.20),
-        (0, 0.30, 0.10),
-        (1, 0.05, 0.05),
-        (0, 0.70, 0.60),
-        (0, 0.45, 0.50),
-    ] {
+    for (sel, n1, n2) in
+        [(0u32, 0.10, 0.20), (0, 0.30, 0.10), (1, 0.05, 0.05), (0, 0.70, 0.60), (0, 0.45, 0.50)]
+    {
         b1.push(&[sel], &[n1, n2]);
     }
     let r1 = JoinRelation::build(b1.finish(), vec![1, 2, 1, 2, 1], &disk);
     let mut b2 = rcube_table::RelationBuilder::new(rcube_table::Schema::synthetic(1, 2, 2));
-    for (sel, n1, n2) in [
-        (0u32, 0.15, 0.25),
-        (0, 0.40, 0.30),
-        (0, 0.20, 0.10),
-        (1, 0.90, 0.80),
-    ] {
+    for (sel, n1, n2) in [(0u32, 0.15, 0.25), (0, 0.40, 0.30), (0, 0.20, 0.10), (1, 0.90, 0.80)] {
         b2.push(&[sel], &[n1, n2]);
     }
     let r2 = JoinRelation::build(b2.finish(), vec![2, 1, 2, 1], &disk);
@@ -135,7 +126,7 @@ fn fig6_4() {
 }
 
 fn main() {
-    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+    let mut figures: Vec<rcube_bench::Figure> = vec![
         ("table6_1", Box::new(table6_1)),
         ("fig6_3", Box::new(fig6_3)),
         ("fig6_4", Box::new(fig6_4)),

@@ -89,7 +89,8 @@ fn fig7_6() {
 }
 
 fn fig7_7() {
-    let dists = [("E", DataDist::Uniform), ("C", DataDist::Correlated), ("A", DataDist::AntiCorrelated)];
+    let dists =
+        [("E", DataDist::Uniform), ("C", DataDist::Correlated), ("A", DataDist::AntiCorrelated)];
     let (mut t_s, mut d_s, mut h_s) = (Series::default(), Series::default(), Series::default());
     let mut xs = Vec::new();
     for (name, dist) in dists {
@@ -148,7 +149,13 @@ fn fig7_10() {
         let q = SkylineQuery::new(conds.clone(), vec![0, 1]);
         measure(&s, &q, (&mut t_s, &mut d_s, &mut h_s));
     }
-    print_figure("Fig 7.10", "execution time (ms) w.r.t. hardness (selectivity)", "selectivity", &xs, &t_s);
+    print_figure(
+        "Fig 7.10",
+        "execution time (ms) w.r.t. hardness (selectivity)",
+        "selectivity",
+        &xs,
+        &t_s,
+    );
 }
 
 fn fig7_11() {
@@ -231,10 +238,7 @@ fn fig7_14() {
         s.disk.clear_buffer();
         let (res, cpu) = time_ms(|| engine.roll_up(&session, d, &s.disk));
         series.push("roll-up (reuse)", cost_ms(cpu, res.0.stats.io));
-        let fresh_q = SkylineQuery::new(
-            base_q.selection.roll_up(d).conds().to_vec(),
-            vec![0, 1],
-        );
+        let fresh_q = SkylineQuery::new(base_q.selection.roll_up(d).conds().to_vec(), vec![0, 1]);
         s.disk.clear_buffer();
         let (res, cpu) = time_ms(|| engine.skyline(&fresh_q, &s.disk));
         series.push("new query", cost_ms(cpu, res.0.stats.io));
@@ -243,7 +247,7 @@ fn fig7_14() {
 }
 
 fn main() {
-    let mut figures: Vec<(&str, Box<dyn FnMut()>)> = vec![
+    let mut figures: Vec<rcube_bench::Figure> = vec![
         ("fig7_3_4_5", Box::new(fig7_3_4_5)),
         ("fig7_6", Box::new(fig7_6)),
         ("fig7_7", Box::new(fig7_7)),

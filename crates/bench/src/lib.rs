@@ -95,15 +95,8 @@ pub fn print_figure(id: &str, title: &str, x_label: &str, xs: &[String], series:
 
 /// Standard synthetic data (Table 3.8 defaults at laptop scale).
 pub fn synthetic(tuples: usize, s: usize, c: u32, r: usize, dist: DataDist, seed: u64) -> Relation {
-    SyntheticSpec {
-        tuples,
-        selection_dims: s,
-        cardinality: c,
-        ranking_dims: r,
-        dist,
-        seed,
-    }
-    .generate()
+    SyntheticSpec { tuples, selection_dims: s, cardinality: c, ranking_dims: r, dist, seed }
+        .generate()
 }
 
 /// Standard query batch (Table 3.9 defaults).
@@ -116,19 +109,17 @@ pub fn query_batch(
     n: usize,
     seed: u64,
 ) -> Vec<QuerySpec> {
-    let mut qg = QueryGen::new(WorkloadParams {
-        num_conditions: s,
-        num_ranking: r,
-        k,
-        skewness: u,
-        seed,
-    });
+    let mut qg =
+        QueryGen::new(WorkloadParams { num_conditions: s, num_ranking: r, k, skewness: u, seed });
     qg.batch(rel, n)
 }
 
+/// One reproducible figure: its id and the closure that regenerates it.
+pub type Figure<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
 /// Runs the figures selected on the command line: each entry of `figures`
 /// is `(id, runner)`; no arguments or `all` runs everything.
-pub fn run_selected(figures: &mut [(&str, Box<dyn FnMut() + '_>)]) {
+pub fn run_selected(figures: &mut [Figure<'_>]) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let mut matched = false;

@@ -163,11 +163,8 @@ fn push_run(out: &mut BitWriter, i: u64) {
 
 fn read_run(r: &mut BitReader) -> Option<u64> {
     let mut count = 0usize;
-    loop {
-        match r.next_bit()? {
-            true => count += 1,
-            false => break,
-        }
+    while r.next_bit()? {
+        count += 1;
     }
     r.read_bits(count + 1)
 }
@@ -327,7 +324,12 @@ mod tests {
         let mut w = BitWriter::new();
         let winner = encode_best(&bits, 32, &mut w);
         assert!(
-            matches!(winner, Scheme::Pi { dense: true } | Scheme::Rl { dense: true } | Scheme::Pc { dense: true }),
+            matches!(
+                winner,
+                Scheme::Pi { dense: true }
+                    | Scheme::Rl { dense: true }
+                    | Scheme::Pc { dense: true }
+            ),
             "expected a dense variant, got {winner:?}"
         );
         let mut r = BitReader::new(w.as_bytes(), w.len());
@@ -348,11 +350,7 @@ mod tests {
 
     #[test]
     fn concatenated_nodes_decode_in_sequence() {
-        let arrays = [
-            vec![true, false, true],
-            vec![false, false, false, true],
-            vec![true; 7],
-        ];
+        let arrays = [vec![true, false, true], vec![false, false, false, true], vec![true; 7]];
         let mut w = BitWriter::new();
         for a in &arrays {
             encode_best(a, 8, &mut w);

@@ -4,6 +4,12 @@
 //! only `⌈S/F⌉ · (2^F − 1)`, so the space grows **linearly** with `S`
 //! (Lemma 2). Queries spanning several fragments are answered by
 //! intersecting the tid lists retrieved from a covering cuboid per fragment.
+//!
+//! The per-fragment lists are compressed posting lists ([`crate::idlist`])
+//! intersected by the streaming k-way leapfrog directly over the buffered
+//! cell pages — a query covering `⌈S/F⌉` fragments walks one cursor per
+//! fragment, ordered rarest first, and never materializes an intermediate
+//! tid set.
 
 use rcube_func::RankFn;
 use rcube_storage::DiskSim;
@@ -48,7 +54,11 @@ impl RankingFragments {
                 cuboids: CuboidSpec::Fragments(config.fragment_size),
             },
         );
-        Self { cube, fragment_size: config.fragment_size, num_selection: rel.schema().num_selection() }
+        Self {
+            cube,
+            fragment_size: config.fragment_size,
+            num_selection: rel.schema().num_selection(),
+        }
     }
 
     /// Fragment size `F`.
@@ -90,13 +100,9 @@ mod tests {
     use rcube_table::gen::SyntheticSpec;
 
     fn build(s: usize, f: usize, t: usize) -> (Relation, DiskSim, RankingFragments) {
-        let rel = SyntheticSpec {
-            tuples: t,
-            selection_dims: s,
-            cardinality: 5,
-            ..Default::default()
-        }
-        .generate();
+        let rel =
+            SyntheticSpec { tuples: t, selection_dims: s, cardinality: 5, ..Default::default() }
+                .generate();
         let disk = DiskSim::with_defaults();
         let frags = RankingFragments::build(
             &rel,
@@ -124,25 +130,54 @@ mod tests {
         // Dims 0,2 span two fragments.
         assert_eq!(f.covering_fragments(&Selection::new(vec![(0, 1), (2, 2)])), 2);
         // Dims 1,2,4 span three fragments.
-        assert_eq!(
-            f.covering_fragments(&Selection::new(vec![(1, 0), (2, 2), (4, 1)])),
-            3
-        );
+        assert_eq!(f.covering_fragments(&Selection::new(vec![(1, 0), (2, 2), (4, 1)])), 3);
     }
 
     #[test]
     fn space_grows_linearly_with_dimensions() {
         // Lemma 2: fixed F ⇒ space linear in S.
-        let sizes: Vec<usize> = [3usize, 6, 9, 12]
-            .iter()
-            .map(|&s| build(s, 2, 1_000).2.materialized_bytes())
-            .collect();
+        let sizes: Vec<usize> =
+            [3usize, 6, 9, 12].iter().map(|&s| build(s, 2, 1_000).2.materialized_bytes()).collect();
         // Consecutive increments should be roughly equal (within 2×), far
         // from the exponential growth of a full cube.
         let d1 = sizes[1] as f64 - sizes[0] as f64;
         let d3 = sizes[3] as f64 - sizes[2] as f64;
         assert!(d1 > 0.0 && d3 > 0.0);
         assert!(d3 / d1 < 2.0, "increments {d1} vs {d3} suggest super-linear growth");
+    }
+
+    #[test]
+    fn wide_fan_intersection_matches_naive() {
+        // Six fragments of size 1: every multi-condition query leapfrogs a
+        // 3+-cursor fan through the streaming intersector.
+        let (rel, disk, frags) = build(6, 1, 1_500);
+        assert_eq!(frags.num_fragments(), 6);
+        let q =
+            TopKQuery::new(vec![(0, 1), (1, 2), (2, 0), (3, 3), (4, 1)], Linear::uniform(2), 10);
+        assert_eq!(frags.covering_fragments(&q.selection), 5);
+        let got = frags.query(&q, &disk);
+        let mut want: Vec<f64> = rel
+            .tids()
+            .filter(|&t| q.selection.matches(&rel, t))
+            .map(|t| rel.ranking_value(t, 0) + rel.ranking_value(t, 1))
+            .collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(10);
+        assert_eq!(got.items.len(), want.len());
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impossible_selection_returns_empty() {
+        // A value outside every cell: the covering intersection must
+        // short-circuit on the absent cell, not panic or over-read.
+        let (rel, disk, frags) = build(4, 2, 400);
+        let q = TopKQuery::new(vec![(0, 4), (2, 4), (3, 4)], Linear::uniform(2), 5);
+        let got = frags.query(&q, &disk);
+        let matching = rel.tids().filter(|&t| q.selection.matches(&rel, t)).count();
+        assert_eq!(got.items.len(), matching.min(5));
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! intersected online (Section 3.4.2) — the fragments mechanism.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use rcube_func::RankFn;
 use rcube_index::grid::{Bid, GridPartition};
 use rcube_storage::{DiskSim, PageId, PageStore};
 use rcube_table::{Relation, Selection, Tid};
 
+use crate::idlist::{self, IdCursor, IdListRef, KWayIntersect};
 use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
 
 /// Which cuboids to materialize.
@@ -55,8 +57,95 @@ impl Default for GridCubeConfig {
 struct Cuboid {
     /// Pseudo-block scale factor for this cuboid.
     sf: usize,
-    /// `(cell values over dims, pid) → stored tid(bid) list`.
+    /// `(cell values over dims, pid) → stored cell page`. Each page is a
+    /// per-bid posting-list directory (see [`encode_cell`]).
     cells: HashMap<(Vec<u32>, u32), PageId>,
+}
+
+/// Bytes per entry of a cell page's bid directory: `[bid][base][end]`.
+const DIR_ENTRY: usize = 12;
+
+/// Encodes one cuboid cell: every base block's tid list as a compressed
+/// posting list, fronted by a directory for O(log n) per-bid lookup.
+///
+/// Layout: `[num_bids: u32]`, then `num_bids` directory entries
+/// `[bid: u32][base: u32][end: u32]` (sorted by bid; `base` is the block's
+/// smallest tid, `end` the cumulative payload offset), then the
+/// concatenated [`idlist`] buffers encoded relative to `base` — block-local
+/// origins keep dense cells bitmap-eligible no matter where their tids sit
+/// globally.
+fn encode_cell(blocks: &BTreeMap<Bid, Vec<Tid>>) -> Vec<u8> {
+    let mut dir = Vec::with_capacity(blocks.len() * DIR_ENTRY);
+    let mut payload = Vec::new();
+    for (&bid, tids) in blocks {
+        debug_assert!(!tids.is_empty() && tids.windows(2).all(|w| w[0] < w[1]));
+        let base = tids[0];
+        let rel: Vec<Tid> = tids.iter().map(|&t| t - base).collect();
+        let universe = rel.last().unwrap() + 1;
+        payload.extend_from_slice(&idlist::encode_auto(&rel, universe));
+        dir.extend_from_slice(&bid.to_le_bytes());
+        dir.extend_from_slice(&base.to_le_bytes());
+        dir.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(4 + dir.len() + payload.len());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    out.extend_from_slice(&dir);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Binary-searches a cell page's directory for `bid`; returns the block's
+/// base tid and encoded posting-list slice. The cheap presence probe and
+/// the cursor constructor below both route through here.
+fn cell_entry(page: &[u8], bid: Bid) -> Option<(Tid, &[u8])> {
+    if page.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(page[..4].try_into().unwrap()) as usize;
+    let dir = page.get(4..4 + n * DIR_ENTRY)?;
+    let payload = &page[4 + n * DIR_ENTRY..];
+    let entry = |i: usize| -> (Bid, u32, u32) {
+        let e = &dir[i * DIR_ENTRY..(i + 1) * DIR_ENTRY];
+        (
+            u32::from_le_bytes(e[0..4].try_into().unwrap()),
+            u32::from_le_bytes(e[4..8].try_into().unwrap()),
+            u32::from_le_bytes(e[8..12].try_into().unwrap()),
+        )
+    };
+    let idx = {
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if entry(mid).0 < bid {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    if idx >= n {
+        return None;
+    }
+    let (found, base, end) = entry(idx);
+    if found != bid {
+        return None;
+    }
+    let start = if idx == 0 { 0 } else { entry(idx - 1).2 } as usize;
+    Some((base, payload.get(start..end as usize)?))
+}
+
+/// True when `bid` has a posting list in this cell page — directory binary
+/// search only, no header parse or cursor setup.
+fn cell_has_bid(page: &[u8], bid: Bid) -> bool {
+    cell_entry(page, bid).is_some()
+}
+
+/// Looks up `bid` in a cell page and returns a streaming cursor over its
+/// posting list — a zero-copy view into the page bytes.
+fn cell_cursor(page: &[u8], bid: Bid) -> Option<IdCursor<'_>> {
+    let (base, slice) = cell_entry(page, bid)?;
+    IdListRef::parse(slice).ok().map(|l| l.cursor_with_base(base))
 }
 
 /// The materialized grid ranking cube.
@@ -102,7 +191,9 @@ impl GridRankingCube {
 
         // Cuboid dimension sets.
         let dim_sets = match &config.cuboids {
-            CuboidSpec::AllSubsets => all_subsets(&(0..rel.schema().num_selection()).collect::<Vec<_>>()),
+            CuboidSpec::AllSubsets => {
+                all_subsets(&(0..rel.schema().num_selection()).collect::<Vec<_>>())
+            }
             CuboidSpec::Fragments(f) => fragment_subsets(rel.schema().num_selection(), *f),
             CuboidSpec::Explicit(sets) => sets.clone(),
         };
@@ -112,22 +203,18 @@ impl GridRankingCube {
             let cards: Vec<u32> =
                 dims.iter().map(|&d| rel.schema().selection_dim(d).cardinality()).collect();
             let sf = GridPartition::scale_factor(&cards);
-            // Group (cell values, pid) → [(tid, bid)].
-            let mut groups: HashMap<(Vec<u32>, u32), Vec<(Tid, Bid)>> = HashMap::new();
+            // Group (cell values, pid) → bid → ascending tid list. Tids
+            // arrive in ascending order, so per-bid lists need no sort.
+            let mut groups: HashMap<(Vec<u32>, u32), BTreeMap<Bid, Vec<Tid>>> = HashMap::new();
             for tid in rel.tids() {
                 let vals: Vec<u32> = dims.iter().map(|&d| rel.selection_value(tid, d)).collect();
                 let bid = partition.bid_of(tid);
                 let pid = partition.pid_of(bid, sf);
-                groups.entry((vals, pid)).or_default().push((tid, bid));
+                groups.entry((vals, pid)).or_default().entry(bid).or_default().push(tid);
             }
             let mut cells = HashMap::with_capacity(groups.len());
-            for (key, entries) in groups {
-                let mut bytes = Vec::with_capacity(entries.len() * 8);
-                for (tid, bid) in entries {
-                    bytes.extend_from_slice(&tid.to_le_bytes());
-                    bytes.extend_from_slice(&bid.to_le_bytes());
-                }
-                cells.insert(key, store.put(disk, bytes));
+            for (key, blocks) in groups {
+                cells.insert(key, store.put(disk, encode_cell(&blocks)));
             }
             cuboids.insert(dims, Cuboid { sf, cells });
         }
@@ -164,18 +251,15 @@ impl GridRankingCube {
             return Some(Vec::new());
         }
         // Candidates: cuboids whose dims ⊆ Q.
-        let candidates: Vec<&Vec<usize>> = self
-            .cuboids
-            .keys()
-            .filter(|dims| dims.iter().all(|d| q.contains(d)))
-            .collect();
+        let candidates: Vec<&Vec<usize>> =
+            self.cuboids.keys().filter(|dims| dims.iter().all(|d| q.contains(d))).collect();
         // Maximal step: drop candidates strictly contained in another.
         let maximal: Vec<&Vec<usize>> = candidates
             .iter()
             .filter(|&&c| {
-                !candidates.iter().any(|&other| {
-                    other.len() > c.len() && c.iter().all(|d| other.contains(d))
-                })
+                !candidates
+                    .iter()
+                    .any(|&other| other.len() > c.len() && c.iter().all(|d| other.contains(d)))
             })
             .copied()
             .collect();
@@ -238,7 +322,11 @@ impl GridRankingCube {
         let mut topk = TopKHeap::new(query.k);
         let mut h: std::collections::BinaryHeap<HeapBlock> = std::collections::BinaryHeap::new();
         let mut inserted: HashSet<Bid> = HashSet::new();
-        let mut pid_buffer: HashMap<(usize, u32), Vec<(Tid, Bid)>> = HashMap::new();
+        // Pseudo-block buffer: (covering index, pid) → cell page bytes.
+        // `None` records a definitively empty cell. Pages are shared
+        // handles from the store — posting-list views parse straight off
+        // them, no per-retrieval decode.
+        let mut pid_buffer: HashMap<(usize, u32), Option<Arc<[u8]>>> = HashMap::new();
 
         // Seed with the block containing the function's minimum — computed
         // from meta information only (bin boundaries), no I/O.
@@ -272,19 +360,32 @@ impl GridRankingCube {
 
             // Retrieve: tid list of this base block, intersected across the
             // covering cuboids (get_pseudo_block per cuboid, buffered).
-            let tids = self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats);
+            let tids =
+                self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats);
 
-            // Evaluate: fetch real values from the base block table.
+            // Evaluate: fetch real values from the base block table. Both
+            // the retrieved tid list and the block records are ascending
+            // by tid, so a two-pointer merge replaces the old hash probe.
             if !tids.is_empty() {
                 if let Some(page) = self.base_pages[bid as usize] {
-                    let bytes = self.store.get(disk, page);
+                    let bytes = self.store.get_bytes(disk, page);
                     stats.blocks_read += 1;
                     let rec = 4 + 8 * self.ranking_dims.len();
-                    let want: HashSet<Tid> = tids.iter().copied().collect();
-                    for chunk in bytes.chunks_exact(rec) {
+                    let mut want = tids.iter().copied().peekable();
+                    'records: for chunk in bytes.chunks_exact(rec) {
                         let tid = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
-                        if !want.contains(&tid) {
-                            continue;
+                        loop {
+                            match want.peek() {
+                                None => break 'records,
+                                Some(&w) if w < tid => {
+                                    want.next();
+                                }
+                                Some(&w) if w == tid => {
+                                    want.next();
+                                    break;
+                                }
+                                Some(_) => continue 'records,
+                            }
                         }
                         let point: Vec<f64> = proj
                             .iter()
@@ -314,12 +415,17 @@ impl GridRankingCube {
 
     /// The retrieve step: tid list for `bid` under the query's selection,
     /// intersected across covering cuboids, with pid-level buffering.
+    ///
+    /// Each covering cuboid contributes a streaming cursor parsed in place
+    /// over its buffered cell page; the cursors are leapfrogged by the
+    /// k-way intersector (smallest estimated cardinality first). Nothing
+    /// is decoded or hashed — the only allocation is the result.
     fn retrieve_block_tids<F: RankFn>(
         &self,
         query: &TopKQuery<F>,
         covering: &[Vec<usize>],
         bid: Bid,
-        pid_buffer: &mut HashMap<(usize, u32), Vec<(Tid, Bid)>>,
+        pid_buffer: &mut HashMap<(usize, u32), Option<Arc<[u8]>>>,
         disk: &DiskSim,
         stats: &mut QueryStats,
     ) -> Vec<Tid> {
@@ -327,50 +433,47 @@ impl GridRankingCube {
             // No selection: the whole base block qualifies.
             return self.partition.block_tids(bid).to_vec();
         }
-        let mut acc: Option<HashSet<Tid>> = None;
+        // Pass 1: buffer each covering cell page in turn, short-circuiting
+        // before the next page fetch when a cuboid already proves the
+        // intersection empty (absent cell, or bid missing from the cell) —
+        // the I/O economy of the original per-cuboid loop.
         for (ci, dims) in covering.iter().enumerate() {
             let cuboid = &self.cuboids[dims];
             let pid = self.partition.pid_of(bid, cuboid.sf);
-            let key = (ci, pid);
-            if let std::collections::hash_map::Entry::Vacant(e) = pid_buffer.entry(key) {
+            if let std::collections::hash_map::Entry::Vacant(e) = pid_buffer.entry((ci, pid)) {
                 let vals: Vec<u32> = dims
                     .iter()
-                    .map(|d| query.selection.value_on(*d).expect("covering cuboid dim not in query"))
+                    .map(|d| {
+                        query.selection.value_on(*d).expect("covering cuboid dim not in query")
+                    })
                     .collect();
-                let entries = match cuboid.cells.get(&(vals, pid)) {
-                    Some(&page) => {
-                        let bytes = self.store.get(disk, page);
-                        stats.blocks_read += 1;
-                        bytes
-                            .chunks_exact(8)
-                            .map(|c| {
-                                (
-                                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
-                                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
-                                )
-                            })
-                            .collect()
-                    }
-                    None => Vec::new(),
-                };
-                e.insert(entries);
+                let page = cuboid.cells.get(&(vals, pid)).map(|&page| {
+                    stats.blocks_read += 1;
+                    self.store.get_bytes(disk, page)
+                });
+                e.insert(page);
             }
-            let set: HashSet<Tid> = pid_buffer[&key]
-                .iter()
-                .filter(|&&(_, b)| b == bid)
-                .map(|&(t, _)| t)
-                .collect();
-            acc = Some(match acc {
-                None => set,
-                Some(prev) => prev.intersection(&set).copied().collect(),
-            });
-            if acc.as_ref().is_some_and(|s| s.is_empty()) {
-                return Vec::new();
+            match &pid_buffer[&(ci, pid)] {
+                None => return Vec::new(), // cell absent: no tuple matches
+                Some(page) => {
+                    if !cell_has_bid(page, bid) {
+                        return Vec::new(); // bid absent from this cell
+                    }
+                }
             }
         }
-        let mut v: Vec<Tid> = acc.unwrap_or_default().into_iter().collect();
-        v.sort_unstable();
-        v
+        // Pass 2: zero-copy cursors over the buffered pages, then stream
+        // the intersection.
+        let cursors: Vec<IdCursor<'_>> = covering
+            .iter()
+            .enumerate()
+            .map(|(ci, dims)| {
+                let pid = self.partition.pid_of(bid, self.cuboids[dims].sf);
+                let page = pid_buffer[&(ci, pid)].as_deref().expect("buffered in pass 1");
+                cell_cursor(page, bid).expect("bid checked in pass 1")
+            })
+            .collect();
+        KWayIntersect::from_cursors(cursors).collect()
     }
 
     /// Block size parameter `P`.
@@ -452,8 +555,13 @@ mod tests {
     fn matches_naive_scan_on_random_workload() {
         let rel = SyntheticSpec { tuples: 3_000, cardinality: 5, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
-        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 64, ..Default::default() });
-        let mut qg = QueryGen::new(WorkloadParams { num_conditions: 2, k: 10, ..Default::default() });
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, ..Default::default() },
+        );
+        let mut qg =
+            QueryGen::new(WorkloadParams { num_conditions: 2, k: 10, ..Default::default() });
         for spec in qg.batch(&rel, 10) {
             let f = Linear::new(spec.weights.clone());
             let q = TopKQuery::with_ranking_dims(
@@ -485,7 +593,11 @@ mod tests {
     fn distance_queries_match_naive() {
         let rel = SyntheticSpec { tuples: 2_000, cardinality: 4, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
-        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 50, ..Default::default() });
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 50, ..Default::default() },
+        );
         let f = SqDist::new(vec![0.3, 0.7]);
         let q = TopKQuery::new(vec![(0, 1)], f, 5);
         let got = cube.query(&q, &disk);
@@ -500,7 +612,11 @@ mod tests {
         // Convex but non-monotone: the thesis' selling point vs TA.
         let rel = SyntheticSpec { tuples: 1_500, cardinality: 3, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
-        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 50, ..Default::default() });
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 50, ..Default::default() },
+        );
         let f = Linear::new(vec![1.0, -2.0]);
         let q = TopKQuery::new(vec![(1, 0)], f, 8);
         let got = cube.query(&q, &disk);
@@ -528,7 +644,11 @@ mod tests {
     fn selective_query_returns_fewer_than_k() {
         let rel = SyntheticSpec { tuples: 200, cardinality: 50, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
-        let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 20, ..Default::default() });
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 20, ..Default::default() },
+        );
         let q = TopKQuery::new(vec![(0, 0), (1, 1), (2, 2)], Linear::uniform(2), 10);
         let got = cube.query(&q, &disk);
         let matching = rel.tids().filter(|&t| q.selection.matches(&rel, t)).count();
@@ -548,13 +668,22 @@ mod tests {
 
     #[test]
     fn fragments_cover_via_intersection() {
-        let rel = SyntheticSpec { tuples: 2_000, selection_dims: 4, cardinality: 5, ..Default::default() }
-            .generate();
+        let rel = SyntheticSpec {
+            tuples: 2_000,
+            selection_dims: 4,
+            cardinality: 5,
+            ..Default::default()
+        }
+        .generate();
         let disk = DiskSim::with_defaults();
         let cube = GridRankingCube::build(
             &rel,
             &disk,
-            GridCubeConfig { block_size: 64, cuboids: CuboidSpec::Fragments(2), ..Default::default() },
+            GridCubeConfig {
+                block_size: 64,
+                cuboids: CuboidSpec::Fragments(2),
+                ..Default::default()
+            },
         );
         // Query spanning both fragments: dims {1, 3}.
         let sel = Selection::new(vec![(1, 2), (3, 4)]);

@@ -13,11 +13,16 @@
 //!   *signatures* over an R-tree (Chapter 4) and answers queries with
 //!   branch-and-bound search under simultaneous ranking and Boolean
 //!   pruning.
+//!
+//! Both engines store their cell measures through [`idlist`] — the
+//! compressed posting-list engine (zero-copy views, word-parallel
+//! bitmaps, skip-delta blocks, streaming k-way intersection) that backs
+//! the grid cube's retrieve step and the fragments' covering-set merge.
 
 pub mod coding;
 pub mod fragments;
-pub mod idlist;
 pub mod gridcube;
+pub mod idlist;
 pub mod maintain;
 pub mod sigcube;
 pub mod signature;

@@ -89,9 +89,7 @@ mod tests {
                 &mut cube,
                 &updates,
                 |t| {
-                    (0..full.schema().num_selection())
-                        .map(|d| full.selection_value(t, d))
-                        .collect()
+                    (0..full.schema().num_selection()).map(|d| full.selection_value(t, d)).collect()
                 },
                 &disk,
             );
@@ -115,9 +113,7 @@ mod tests {
                 &mut cube,
                 &updates,
                 |t| {
-                    (0..full.schema().num_selection())
-                        .map(|d| full.selection_value(t, d))
-                        .collect()
+                    (0..full.schema().num_selection()).map(|d| full.selection_value(t, d)).collect()
                 },
                 &disk,
             );
@@ -178,9 +174,7 @@ mod tests {
                 &mut cube,
                 &updates,
                 |t| {
-                    (0..full.schema().num_selection())
-                        .map(|d| full.selection_value(t, d))
-                        .collect()
+                    (0..full.schema().num_selection()).map(|d| full.selection_value(t, d)).collect()
                 },
                 &disk,
             );

@@ -66,7 +66,8 @@ impl StoredSignature {
         let mut partials = Vec::new();
         let mut cur = BitWriter::new();
         let mut total_bits = 0usize;
-        let mut queue: std::collections::VecDeque<(u64, &SigNode)> = std::collections::VecDeque::new();
+        let mut queue: std::collections::VecDeque<(u64, &SigNode)> =
+            std::collections::VecDeque::new();
         if let Some(root) = sig.root() {
             queue.push_back((0, root));
         }
@@ -541,7 +542,10 @@ mod tests {
             &rel,
             &rtree,
             &disk,
-            SignatureCubeConfig { cuboids: Some(vec![vec![0], vec![1], vec![0, 1]]), ..Default::default() },
+            SignatureCubeConfig {
+                cuboids: Some(vec![vec![0], vec![1], vec![0, 1]]),
+                ..Default::default()
+            },
         );
         let sel = Selection::new(vec![(0, 1), (1, 1)]);
         let cursors = cube.cursors_for(&sel).unwrap();

@@ -37,10 +37,7 @@ impl SigNode {
     }
 
     fn child(&self, pos: u16) -> Option<&SigNode> {
-        self.children
-            .binary_search_by_key(&pos, |&(p, _)| p)
-            .ok()
-            .map(|i| &self.children[i].1)
+        self.children.binary_search_by_key(&pos, |&(p, _)| p).ok().map(|i| &self.children[i].1)
     }
 
     fn child_mut(&mut self, pos: u16) -> &mut SigNode {
@@ -215,7 +212,8 @@ impl Signature {
             let len = a.bits.len().max(b.bits.len());
             let mut bits = vec![false; len];
             for (i, slot) in bits.iter_mut().enumerate() {
-                *slot = a.bits.get(i).copied().unwrap_or(false) || b.bits.get(i).copied().unwrap_or(false);
+                *slot = a.bits.get(i).copied().unwrap_or(false)
+                    || b.bits.get(i).copied().unwrap_or(false);
             }
             let mut children = Vec::new();
             let positions: std::collections::BTreeSet<u16> = a
@@ -253,8 +251,8 @@ impl Signature {
             let len = a.bits.len().min(b.bits.len());
             let mut bits = vec![false; len];
             let mut children = Vec::new();
-            for i in 0..len {
-                if !(a.bits[i] && b.bits[i]) {
+            for (i, (&ab, &bb)) in a.bits.iter().zip(&b.bits).enumerate() {
+                if !(ab && bb) {
                     continue;
                 }
                 let p = i as u16;
@@ -354,7 +352,8 @@ mod tests {
     #[test]
     fn union_matches_figure_4_7() {
         // (A=a2) paths: t2 ⟨0,0,1⟩ wait — use simple disjoint cells.
-        let a = Signature::from_paths(2, [vec![0u16, 0, 1].as_slice(), vec![1u16, 0, 1].as_slice()]);
+        let a =
+            Signature::from_paths(2, [vec![0u16, 0, 1].as_slice(), vec![1u16, 0, 1].as_slice()]);
         let b = Signature::from_paths(2, [vec![1u16, 1, 0].as_slice()]);
         let u = a.union(&b);
         assert!(u.contains_path(&[0, 0, 1]));
@@ -372,7 +371,8 @@ mod tests {
         let i = a.intersect(&b);
         assert!(i.is_empty(), "no common tuple slot: intersection must be empty");
         // Shared tuple slot survives.
-        let c = Signature::from_paths(2, [vec![0u16, 0, 0].as_slice(), vec![1u16, 0, 0].as_slice()]);
+        let c =
+            Signature::from_paths(2, [vec![0u16, 0, 0].as_slice(), vec![1u16, 0, 0].as_slice()]);
         let d = Signature::from_paths(2, [vec![0u16, 0, 0].as_slice()]);
         let j = c.intersect(&d);
         assert_eq!(j.paths(), vec![vec![0, 0, 0]]);

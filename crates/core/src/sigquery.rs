@@ -118,7 +118,10 @@ pub fn topk_signature<F: RankFn>(
                         let score = query.func.score(&values);
                         let mut tpath = path.clone();
                         tpath.push(slot as u16);
-                        heap.push(HeapItem { bound: score, entry: Entry::Tuple(tid, tpath, score) });
+                        heap.push(HeapItem {
+                            bound: score,
+                            entry: Entry::Tuple(tid, tpath, score),
+                        });
                         stats.states_generated += 1;
                     }
                 } else {
@@ -162,7 +165,13 @@ mod tests {
         (rel, disk, rtree, cube)
     }
 
-    fn naive(rel: &Relation, sel: &Selection, f: &impl RankFn, dims: &[usize], k: usize) -> Vec<f64> {
+    fn naive(
+        rel: &Relation,
+        sel: &Selection,
+        f: &impl RankFn,
+        dims: &[usize],
+        k: usize,
+    ) -> Vec<f64> {
         let mut v: Vec<f64> = rel
             .tids()
             .filter(|&t| sel.matches(rel, t))
@@ -186,7 +195,13 @@ mod tests {
                 10,
             );
             let got = topk_signature(&rtree, &cube, &q, &disk);
-            let want = naive(&rel, &spec.selection, &Linear::new(spec.weights.clone()), &spec.ranking_dims, 10);
+            let want = naive(
+                &rel,
+                &spec.selection,
+                &Linear::new(spec.weights.clone()),
+                &spec.ranking_dims,
+                10,
+            );
             assert_eq!(got.items.len(), want.len());
             for (g, w) in got.scores().iter().zip(&want) {
                 assert!((g - w).abs() < 1e-9);

@@ -117,9 +117,11 @@ impl Expr {
         match self {
             Expr::Var(i) => i + 1,
             Expr::Const(_) => 0,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
-                a.max_var().max(b.max_var())
-            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.max_var().max(b.max_var()),
             Expr::Square(a) | Expr::Abs(a) => a.max_var(),
         }
     }
@@ -217,10 +219,7 @@ mod tests {
         let lb = f.lower_bound(&r);
         for i in 0..=8 {
             for j in 0..=8 {
-                let p = [
-                    0.1 + 0.7 * i as f64 / 8.0,
-                    0.2 + 0.7 * j as f64 / 8.0,
-                ];
+                let p = [0.1 + 0.7 * i as f64 / 8.0, 0.2 + 0.7 * j as f64 / 8.0];
                 assert!(f.score(&p) >= lb - 1e-9);
             }
         }

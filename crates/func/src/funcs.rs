@@ -141,12 +141,7 @@ impl L1Dist {
 
 impl RankFn for L1Dist {
     fn score(&self, point: &[f64]) -> f64 {
-        self.target
-            .iter()
-            .zip(point)
-            .zip(&self.weights)
-            .map(|((t, x), w)| w * (x - t).abs())
-            .sum()
+        self.target.iter().zip(point).zip(&self.weights).map(|((t, x), w)| w * (x - t).abs()).sum()
     }
 
     fn lower_bound(&self, region: &Rect) -> f64 {

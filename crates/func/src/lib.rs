@@ -119,9 +119,7 @@ mod proptests {
         if d <= 4 {
             for mask in 0..(1usize << d) {
                 pts.push(
-                    (0..d)
-                        .map(|j| if mask >> j & 1 == 1 { r.hi(j) } else { r.lo(j) })
-                        .collect(),
+                    (0..d).map(|j| if mask >> j & 1 == 1 { r.hi(j) } else { r.lo(j) }).collect(),
                 );
             }
         }

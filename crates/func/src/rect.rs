@@ -63,9 +63,9 @@ impl Rect {
 
     /// Grows the rect to cover `p` (MBR maintenance).
     pub fn expand(&mut self, p: &[f64]) {
-        for d in 0..self.dims() {
-            self.lo[d] = self.lo[d].min(p[d]);
-            self.hi[d] = self.hi[d].max(p[d]);
+        for ((lo, hi), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(p) {
+            *lo = lo.min(v);
+            *hi = hi.max(v);
         }
     }
 

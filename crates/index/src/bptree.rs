@@ -52,7 +52,11 @@ impl BPlusTree {
     }
 
     /// Bulk-loads with an explicit fanout (node-size sweeps, Figure 5.19).
-    pub fn bulk_load_with_fanout(disk: &DiskSim, mut entries: Vec<(f64, Tid)>, fanout: usize) -> Self {
+    pub fn bulk_load_with_fanout(
+        disk: &DiskSim,
+        mut entries: Vec<(f64, Tid)>,
+        fanout: usize,
+    ) -> Self {
         assert!(fanout >= 2, "B+-tree fanout must be at least 2");
         assert!(!entries.is_empty(), "cannot bulk-load an empty B+-tree");
         entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));

@@ -35,14 +35,12 @@ impl GridPartition {
     /// Partitions `rel`'s ranking dimensions `dims` (all when empty) into
     /// equi-depth blocks of expected size `block_size` (`P`).
     pub fn build(rel: &Relation, dims: &[usize], block_size: usize) -> Self {
-        let dims: Vec<usize> = if dims.is_empty() {
-            (0..rel.schema().num_ranking()).collect()
-        } else {
-            dims.to_vec()
-        };
+        let dims: Vec<usize> =
+            if dims.is_empty() { (0..rel.schema().num_ranking()).collect() } else { dims.to_vec() };
         let r = dims.len();
         let t = rel.len().max(1);
-        let bins = ((t as f64 / block_size.max(1) as f64).powf(1.0 / r as f64).ceil() as usize).max(1);
+        let bins =
+            ((t as f64 / block_size.max(1) as f64).powf(1.0 / r as f64).ceil() as usize).max(1);
 
         // Equi-depth boundaries: empirical quantiles per dimension.
         let mut boundaries = Vec::with_capacity(r);

@@ -132,16 +132,15 @@ impl RTree {
 
     /// Bulk-loads over a relation's ranking dimensions `dims` (all of them
     /// when `dims` is empty).
-    pub fn over_relation(disk: &DiskSim, rel: &Relation, dims: &[usize], config: RTreeConfig) -> Self {
-        let use_dims: Vec<usize> = if dims.is_empty() {
-            (0..rel.schema().num_ranking()).collect()
-        } else {
-            dims.to_vec()
-        };
-        let points = rel
-            .tids()
-            .map(|t| (t, rel.ranking_point_proj(t, &use_dims)))
-            .collect();
+    pub fn over_relation(
+        disk: &DiskSim,
+        rel: &Relation,
+        dims: &[usize],
+        config: RTreeConfig,
+    ) -> Self {
+        let use_dims: Vec<usize> =
+            if dims.is_empty() { (0..rel.schema().num_ranking()).collect() } else { dims.to_vec() };
+        let points = rel.tids().map(|t| (t, rel.ranking_point_proj(t, &use_dims))).collect();
         Self::bulk_load(disk, points, config)
     }
 
@@ -214,14 +213,19 @@ impl RTree {
 
         // Walk the choose-leaf path.
         let mut path_nodes = vec![self.root];
-        while let NodeKind::Internal(children) = &self.nodes[*path_nodes.last().unwrap() as usize].kind {
+        while let NodeKind::Internal(children) =
+            &self.nodes[*path_nodes.last().unwrap() as usize].kind
+        {
             let best = children
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
                     let (ea, eb) = (self.enlargement(a, &point), self.enlargement(b, &point));
                     ea.total_cmp(&eb).then(
-                        self.nodes[a as usize].mbr.volume().total_cmp(&self.nodes[b as usize].mbr.volume()),
+                        self.nodes[a as usize]
+                            .mbr
+                            .volume()
+                            .total_cmp(&self.nodes[b as usize].mbr.volume()),
                     )
                 })
                 .expect("internal node has children");
@@ -310,7 +314,9 @@ impl RTree {
         // Shrink the root if it lost all but one child.
         loop {
             let next = match &self.nodes[self.root as usize].kind {
-                NodeKind::Internal(children) if children.len() == 1 && self.height > 1 => children[0],
+                NodeKind::Internal(children) if children.len() == 1 && self.height > 1 => {
+                    children[0]
+                }
                 _ => break,
             };
             self.root = next;
@@ -323,11 +329,8 @@ impl RTree {
 
         // Diff against the snapshot.
         let after: HashMap<Tid, Vec<u16>> = self.tuple_paths().into_iter().collect();
-        let mut updates = vec![PathUpdate {
-            tid,
-            old_path: Some(before[&tid].clone()),
-            new_path: None,
-        }];
+        let mut updates =
+            vec![PathUpdate { tid, old_path: Some(before[&tid].clone()), new_path: None }];
         for (t, old) in &before {
             if *t == tid {
                 continue;
@@ -430,7 +433,9 @@ impl RTree {
         // Collect entry rects for seed picking.
         let rects: Vec<Rect> = match &self.nodes[n as usize].kind {
             NodeKind::Leaf(e) => e.iter().map(|(_, p)| Rect::point(p)).collect(),
-            NodeKind::Internal(c) => c.iter().map(|&c| self.nodes[c as usize].mbr.clone()).collect(),
+            NodeKind::Internal(c) => {
+                c.iter().map(|&c| self.nodes[c as usize].mbr.clone()).collect()
+            }
         };
         let (g1, g2) = quadratic_partition(&rects, self.config.min_entries);
 
@@ -523,7 +528,9 @@ impl RTree {
             cur = children
                 .iter()
                 .copied()
-                .min_by(|&a, &b| self.enlargement(a, &point).total_cmp(&self.enlargement(b, &point)))
+                .min_by(|&a, &b| {
+                    self.enlargement(a, &point).total_cmp(&self.enlargement(b, &point))
+                })
                 .unwrap();
         }
         self.insert_entry(disk, cur, tid, point);
@@ -702,9 +709,7 @@ mod tests {
 
     fn random_points(n: usize, dims: usize, seed: u64) -> Vec<(Tid, Vec<f64>)> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| (i as Tid, (0..dims).map(|_| rng.gen::<f64>()).collect()))
-            .collect()
+        (0..n).map(|i| (i as Tid, (0..dims).map(|_| rng.gen::<f64>()).collect())).collect()
     }
 
     /// Structural invariants: MBR containment, fill factors, parent links,

@@ -107,7 +107,6 @@ impl RankJoin {
 
         let mut emitted: Vec<JoinedTuple> = Vec::with_capacity(query.k);
 
-
         'outer: loop {
             if exhausted.iter().all(|&e| e) {
                 break;
@@ -214,7 +213,6 @@ impl RankJoin {
     }
 }
 
-
 /// The join-then-rank baseline: full hash join with predicates applied,
 /// sort by combined score, truncate to k. Charges a full scan per relation.
 pub fn full_join_topk(
@@ -252,8 +250,7 @@ pub fn full_join_topk(
     // Join: expand combinations key by key.
     let mut results: Vec<JoinedTuple> = Vec::new();
     for (key, base) in &by_key[0] {
-        let mut combos: Vec<(Vec<Tid>, f64)> =
-            base.iter().map(|&(t, s)| (vec![t], s)).collect();
+        let mut combos: Vec<(Vec<Tid>, f64)> = base.iter().map(|&(t, s)| (vec![t], s)).collect();
         let mut ok = true;
         for other in &by_key[1..] {
             let Some(matches) = other.get(key) else {

@@ -61,7 +61,8 @@ mod tests {
     use rcube_table::Selection;
 
     fn setup(card: u32) -> JoinRelation {
-        let rel = SyntheticSpec { tuples: 1_000, cardinality: card, ..Default::default() }.generate();
+        let rel =
+            SyntheticSpec { tuples: 1_000, cardinality: card, ..Default::default() }.generate();
         let keys: Vec<u32> = (0..1_000).map(|i| i % 20).collect();
         let disk = DiskSim::with_defaults();
         JoinRelation::build(rel, keys, &disk)

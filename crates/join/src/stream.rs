@@ -126,9 +126,7 @@ impl<'a> TupleStream for RankedStream<'a> {
                 Entry::Node(_, p) => p,
                 Entry::Tuple(_, p, _) => p,
             };
-            if !path.is_empty()
-                && !self.pruner.as_mut().is_none_or(|p| p.check_path(disk, path))
-            {
+            if !path.is_empty() && !self.pruner.as_mut().is_none_or(|p| p.check_path(disk, path)) {
                 continue;
             }
             match entry {
@@ -151,7 +149,11 @@ impl<'a> TupleStream for RankedStream<'a> {
                             let mut tpath = path.clone();
                             tpath.push(slot as u16);
                             self.seq += 1;
-                            self.heap.push(Item { key: score, seq: self.seq, entry: Entry::Tuple(tid, tpath, score) });
+                            self.heap.push(Item {
+                                key: score,
+                                seq: self.seq,
+                                entry: Entry::Tuple(tid, tpath, score),
+                            });
                         }
                     } else {
                         for (pos, child) in rtree.children(n).into_iter().enumerate() {
@@ -159,7 +161,11 @@ impl<'a> TupleStream for RankedStream<'a> {
                             let mut cpath = path.clone();
                             cpath.push(pos as u16);
                             self.seq += 1;
-                            self.heap.push(Item { key: bound, seq: self.seq, entry: Entry::Node(child, cpath) });
+                            self.heap.push(Item {
+                                key: bound,
+                                seq: self.seq,
+                                entry: Entry::Node(child, cpath),
+                            });
                         }
                     }
                 }

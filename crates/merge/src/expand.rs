@@ -50,12 +50,8 @@ fn sorted_entries(
     parent: &JointState,
     f: &dyn RankFn,
 ) -> Vec<Vec<SortedEntry>> {
-    let regions: Vec<Rect> = parent
-        .nodes
-        .iter()
-        .zip(indices)
-        .map(|(&n, idx)| idx.region(n))
-        .collect();
+    let regions: Vec<Rect> =
+        parent.nodes.iter().zip(indices).map(|(&n, idx)| idx.region(n)).collect();
     let mut out = Vec::with_capacity(indices.len());
     for (i, idx) in indices.iter().enumerate() {
         let node = parent.nodes[i];
@@ -235,8 +231,7 @@ impl NeighborhoodMachine {
     /// Applicable when every index is one-dimensional (total order) and the
     /// function is monotone or semi-monotone.
     pub fn applicable(indices: &[&dyn HierIndex], f: &dyn RankFn) -> bool {
-        indices.iter().all(|i| i.dims() == 1)
-            && !matches!(f.shape(), rcube_func::Shape::General)
+        indices.iter().all(|i| i.dims() == 1) && !matches!(f.shape(), rcube_func::Shape::General)
     }
 
     pub fn new(
@@ -247,13 +242,8 @@ impl NeighborhoodMachine {
     ) -> Self {
         let key = parent.key(indices);
         let entries = sorted_entries(indices, parent, f);
-        let mut machine = Self {
-            key,
-            entries,
-            lheap: BinaryHeap::new(),
-            seen: HashSet::new(),
-            seq: 0,
-        };
+        let mut machine =
+            Self { key, entries, lheap: BinaryHeap::new(), seen: HashSet::new(), seq: 0 };
         // Initial state: the per-index best entries (position 0 in the
         // f'-sorted order, which realizes the analytic extreme point).
         let init = vec![0usize; machine.entries.len()];

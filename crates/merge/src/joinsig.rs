@@ -19,18 +19,23 @@ use crate::bloom::BloomFilter;
 pub const SELF_POS: u16 = u16::MAX;
 
 /// One state's signature: the set of non-empty child combinations —
-/// stored as a `card(S)`-bit array when the combination space fits a page,
-/// as a bloom filter otherwise (Section 5.3.1).
+/// modelled as a `card(S)`-bit array when the combination space fits a
+/// page, as a bloom filter otherwise (Section 5.3.1).
+///
+/// The exact form is held as a sorted combo posting list probed by binary
+/// search: combination spaces are sparse in practice, and the sorted-array
+/// layout replaces per-state hash tables with one compact allocation (the
+/// same posting-list idiom as `rcube_core::idlist`).
 #[derive(Debug)]
 enum StateSig {
-    Exact { set: HashSet<u64>, card: usize },
+    Exact { list: Box<[u64]>, card: usize },
     Bloom(BloomFilter),
 }
 
 impl StateSig {
     fn contains(&self, combo: u64) -> bool {
         match self {
-            StateSig::Exact { set, .. } => set.contains(&combo),
+            StateSig::Exact { list, .. } => list.binary_search(&combo).is_ok(),
             StateSig::Bloom(b) => b.contains(combo),
         }
     }
@@ -93,28 +98,22 @@ impl JoinSignature {
         disk: &DiskSim,
     ) -> Self {
         let bases: Vec<u64> = members.iter().map(|&i| indices[i].max_fanout() as u64 + 2).collect();
-        let max_depth = members
-            .iter()
-            .map(|&i| indices[i].height().saturating_sub(1))
-            .max()
-            .unwrap_or(0);
+        let max_depth =
+            members.iter().map(|&i| indices[i].height().saturating_sub(1)).max().unwrap_or(0);
 
         // Recursive-sort equivalent: group tuples by state key per level
         // and record child combinations.
         let mut combos: HashMap<StateKey, HashSet<u64>> = HashMap::new();
         let some_member = members[0];
         for tid in tuple_paths[some_member].keys() {
-            let paths: Vec<&Vec<u16>> =
-                members.iter().map(|&i| &tuple_paths[i][tid]).collect();
+            let paths: Vec<&Vec<u16>> = members.iter().map(|&i| &tuple_paths[i][tid]).collect();
             for level in 0..max_depth {
                 // Skip levels where every member is already at its leaf.
                 if paths.iter().all(|p| level >= p.len()) {
                     break;
                 }
-                let key: StateKey = paths
-                    .iter()
-                    .map(|p| p[..level.min(p.len())].to_vec())
-                    .collect();
+                let key: StateKey =
+                    paths.iter().map(|p| p[..level.min(p.len())].to_vec()).collect();
                 let combo = encode_combo(
                     &bases,
                     &paths
@@ -141,7 +140,9 @@ impl JoinSignature {
                 }
                 StateSig::Bloom(bloom)
             } else {
-                StateSig::Exact { set, card: card as usize }
+                let mut list: Vec<u64> = set.into_iter().collect();
+                list.sort_unstable();
+                StateSig::Exact { list: list.into_boxed_slice(), card: card as usize }
             };
             total_bytes += sig.byte_size();
             // One paged object per state signature (lookups charge a read).
@@ -352,9 +353,8 @@ mod tests {
     #[test]
     fn pairwise_signatures_cover_three_way_merge() {
         let disk = DiskSim::with_defaults();
-        let cols: Vec<Vec<f64>> = (0..3)
-            .map(|d| (0..30).map(|i| ((i * (d + 7)) % 30) as f64 / 30.0).collect())
-            .collect();
+        let cols: Vec<Vec<f64>> =
+            (0..3).map(|d| (0..30).map(|i| ((i * (d + 7)) % 30) as f64 / 30.0).collect()).collect();
         let trees: Vec<BPlusTree> = cols
             .iter()
             .map(|c| {

@@ -147,14 +147,22 @@ impl<'a> IndexMerge<'a> {
     }
 
     /// Answers a top-k query.
-    pub fn topk(&self, f: &dyn RankFn, k: usize, config: &MergeConfig, disk: &DiskSim) -> TopKResult {
+    pub fn topk(
+        &self,
+        f: &dyn RankFn,
+        k: usize,
+        config: &MergeConfig,
+        disk: &DiskSim,
+    ) -> TopKResult {
         assert_eq!(f.arity(), self.total_dims(), "function arity must cover all merged dims");
         let before = disk.stats().snapshot();
         let mut run = Run::new(&self.indices, f, k);
         let mut sig = JoinSigCursor::new(self.signatures.iter().collect());
         match config.algo {
             MergeAlgo::Basic => self.run_basic(&mut run, disk),
-            MergeAlgo::Progressive => self.run_progressive(&mut run, &mut sig, config.expansion, disk),
+            MergeAlgo::Progressive => {
+                self.run_progressive(&mut run, &mut sig, config.expansion, disk)
+            }
         }
         let mut stats = run.stats;
         stats.sig_loads = sig.loads;
@@ -250,7 +258,9 @@ impl<'a> IndexMerge<'a> {
                             self.make_machine(&s, run.f, expansion, sig, disk, &mut counters)
                         }
                     };
-                    if let Some(child) = machine.get_next(&self.indices, run.f, sig, disk, &mut counters) {
+                    if let Some(child) =
+                        machine.get_next(&self.indices, run.f, sig, disk, &mut counters)
+                    {
                         let cb = child.lower_bound(&self.indices, run.f);
                         seq += 1;
                         let centry = if child.is_leaf(&self.indices) {
@@ -262,7 +272,11 @@ impl<'a> IndexMerge<'a> {
                         let rb = machine.remaining_bound();
                         if rb.is_finite() {
                             seq += 1;
-                            heap.push(StateItem { bound: rb, seq, payload: GEntry::Expand(s, Some(machine)) });
+                            heap.push(StateItem {
+                                bound: rb,
+                                seq,
+                                payload: GEntry::Expand(s, Some(machine)),
+                            });
                         }
                     }
                 }
@@ -341,10 +355,8 @@ impl<'q> Run<'q> {
             self.indices[i].read_node(disk, node);
             self.stats.blocks_read += 1;
             for (tid, values) in self.indices[i].leaf_entries(node) {
-                let (mask, point) = self
-                    .partial
-                    .entry(tid)
-                    .or_insert_with(|| (0, vec![0.0; self.total_dims]));
+                let (mask, point) =
+                    self.partial.entry(tid).or_insert_with(|| (0, vec![0.0; self.total_dims]));
                 for (d, v) in values.iter().enumerate() {
                     point[self.offsets[i] + d] = *v;
                 }
@@ -387,7 +399,13 @@ mod tests {
         v
     }
 
-    fn check_config(rel: &Relation, merge: &IndexMerge<'_>, disk: &DiskSim, f: &dyn RankFn, cfg: &MergeConfig) {
+    fn check_config(
+        rel: &Relation,
+        merge: &IndexMerge<'_>,
+        disk: &DiskSim,
+        f: &dyn RankFn,
+        cfg: &MergeConfig,
+    ) {
         let got = merge.topk(f, 10, cfg, disk);
         let want = naive(rel, f, 10);
         assert_eq!(got.items.len(), want.len(), "{cfg:?}");
@@ -447,7 +465,12 @@ mod tests {
         let idx: Vec<&dyn HierIndex> = trees.iter().map(|t| t as &dyn HierIndex).collect();
         let merge = IndexMerge::new(idx);
         let f = GeneralSq::fg();
-        let basic = merge.topk(&f, 50, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &disk);
+        let basic = merge.topk(
+            &f,
+            50,
+            &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto },
+            &disk,
+        );
         let prog = merge.topk(&f, 50, &MergeConfig::default(), &disk);
         assert!(
             prog.stats.states_generated * 2 < basic.stats.states_generated,
@@ -524,11 +547,15 @@ mod tests {
         let basic_engine = IndexMerge::new(idx.clone());
         let improved = IndexMerge::new(idx).with_full_signature(&disk);
         let f = GeneralSq::fg();
-        let b = basic_engine.topk(&f, 100, &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto }, &disk);
+        let b = basic_engine.topk(
+            &f,
+            100,
+            &MergeConfig { algo: MergeAlgo::Basic, expansion: Expansion::Auto },
+            &disk,
+        );
         let i = improved.topk(&f, 100, &MergeConfig::default(), &disk);
         assert!(i.stats.states_generated < b.stats.states_generated / 2);
         assert!(i.stats.blocks_read < b.stats.blocks_read);
         assert!(i.stats.peak_heap * 4 < b.stats.peak_heap);
     }
 }
-

@@ -124,11 +124,8 @@ impl<'a> SkylineEngine<'a> {
         let mut stats = QueryStats::default();
         let dynp = query.dynamic_point.as_deref();
 
-        let mut session = SkylineSession {
-            pruned: Vec::new(),
-            accepted: Vec::new(),
-            query: query.clone(),
-        };
+        let mut session =
+            SkylineSession { pruned: Vec::new(), accepted: Vec::new(), query: query.clone() };
 
         let Some(mut pruner) = self.cube.pruner_for(&query.selection, disk) else {
             // Some predicate selects an empty cell: no answers; keep the
@@ -168,7 +165,8 @@ impl<'a> SkylineEngine<'a> {
                 }
                 SEntry::Node(n, path) => {
                     // Dominance pruning on the transformed min corner.
-                    let corner = transform_rect_min(&self.rtree.region(n).project(&query.pref_dims), dynp);
+                    let corner =
+                        transform_rect_min(&self.rtree.region(n).project(&query.pref_dims), dynp);
                     if skyline.iter().any(|(_, s)| dominates(s, &corner)) {
                         session.pruned.push((key, SEntry::Node(n, path)));
                         continue;
@@ -176,7 +174,9 @@ impl<'a> SkylineEngine<'a> {
                     self.rtree.read_node(disk, n);
                     stats.blocks_read += 1;
                     if self.rtree.is_leaf(n) {
-                        for (slot, (tid, point)) in self.rtree.leaf_entries(n).into_iter().enumerate() {
+                        for (slot, (tid, point)) in
+                            self.rtree.leaf_entries(n).into_iter().enumerate()
+                        {
                             let raw: Vec<f64> = query.pref_dims.iter().map(|&d| point[d]).collect();
                             let coords = transform_point(&raw, dynp);
                             let mut tpath = path.clone();
@@ -271,7 +271,10 @@ pub fn skyline_ranking_first(
                     }
                 } else {
                     for child in rtree.children(n) {
-                        let c = transform_rect_min(&rtree.region(child).project(&query.pref_dims), dynp);
+                        let c = transform_rect_min(
+                            &rtree.region(child).project(&query.pref_dims),
+                            dynp,
+                        );
                         seq += 1;
                         heap.push(Item {
                             key: mindist(&c),

@@ -92,10 +92,7 @@ mod tests {
         let corner = transform_rect_min(&r, Some(&q));
         for i in 0..=4 {
             for j in 0..=4 {
-                let p = [
-                    0.2 + 0.05 * i as f64,
-                    0.6 + 0.075 * j as f64,
-                ];
+                let p = [0.2 + 0.05 * i as f64, 0.6 + 0.075 * j as f64];
                 let tp = transform_point(&p, Some(&q));
                 assert!(corner.iter().zip(&tp).all(|(c, t)| c <= t));
             }

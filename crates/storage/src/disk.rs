@@ -126,7 +126,7 @@ impl Default for DiskSim {
 /// cuboid cells and base blocks are "persisted" in the reproduction.
 #[derive(Debug, Default)]
 pub struct PageStore {
-    objects: RefCell<HashMap<PageId, Box<[u8]>>>,
+    objects: RefCell<HashMap<PageId, Arc<[u8]>>>,
 }
 
 impl PageStore {
@@ -142,7 +142,7 @@ impl PageStore {
         for id in &ids {
             disk.write(*id);
         }
-        self.objects.borrow_mut().insert(first, data.into_boxed_slice());
+        self.objects.borrow_mut().insert(first, data.into());
         first
     }
 
@@ -153,19 +153,28 @@ impl PageStore {
         for i in 0..pages as u64 {
             disk.write(PageId(first.0 + i));
         }
-        self.objects.borrow_mut().insert(first, data.into_boxed_slice());
+        self.objects.borrow_mut().insert(first, data.into());
     }
 
     /// Reads the object rooted at `first`, charging I/O for every covering
     /// page. Panics if the object does not exist (a store-level invariant
     /// violation, not a user error).
     pub fn get(&self, disk: &DiskSim, first: PageId) -> Vec<u8> {
+        self.get_bytes(disk, first).to_vec()
+    }
+
+    /// Zero-copy read: charges the same I/O as [`PageStore::get`] but hands
+    /// back a shared handle to the page bytes instead of copying them.
+    /// Query processors keep the handle in their block buffer and parse
+    /// borrowed posting-list views (`rcube_core::idlist`-style) directly
+    /// over it.
+    pub fn get_bytes(&self, disk: &DiskSim, first: PageId) -> Arc<[u8]> {
         let objects = self.objects.borrow();
         let data = objects
             .get(&first)
             .unwrap_or_else(|| panic!("PageStore::get: missing object at {first:?}"));
         disk.read_span(first, data.len());
-        data.to_vec()
+        Arc::clone(data)
     }
 
     /// Object size in bytes without charging I/O (catalog lookup).
@@ -225,6 +234,20 @@ mod tests {
         assert_eq!(back, data);
         // 256 bytes over 100-byte pages => 3 physical reads.
         assert_eq!(disk.stats().snapshot().disk_reads, 3);
+    }
+
+    #[test]
+    fn get_bytes_is_shared_not_copied() {
+        let disk = DiskSim::new(100, 0);
+        let store = PageStore::new();
+        let id = store.put(&disk, vec![7u8; 300]);
+        disk.reset_stats();
+        let a = store.get_bytes(&disk, id);
+        let b = store.get_bytes(&disk, id);
+        // Same allocation both times (zero-copy), I/O charged each read.
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        assert_eq!(disk.stats().snapshot().logical_reads, 6); // 2 × 3 pages
+        assert_eq!(&a[..], &[7u8; 300][..]);
     }
 
     #[test]

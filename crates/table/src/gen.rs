@@ -88,9 +88,7 @@ pub fn sample_point(rng: &mut impl Rng, dims: usize, dist: DataDist) -> Vec<f64>
         DataDist::Correlated => {
             // Common base value plus small Gaussian jitter per dimension.
             let base: f64 = rng.gen();
-            (0..dims)
-                .map(|_| (base + 0.12 * gaussian(rng)).clamp(0.0, 1.0))
-                .collect()
+            (0..dims).map(|_| (base + 0.12 * gaussian(rng)).clamp(0.0, 1.0)).collect()
         }
         DataDist::AntiCorrelated => {
             // Points near the hyper-plane Σxi = d/2 with large spread along

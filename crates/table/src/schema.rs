@@ -33,10 +33,7 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(selection: Vec<Dim>, ranking: Vec<impl Into<String>>) -> Self {
-        Self {
-            selection,
-            ranking: ranking.into_iter().map(Into::into).collect(),
-        }
+        Self { selection, ranking: ranking.into_iter().map(Into::into).collect() }
     }
 
     /// Convenience constructor: `s` selection dimensions of equal
@@ -100,10 +97,8 @@ mod tests {
 
     #[test]
     fn name_resolution() {
-        let s = Schema::new(
-            vec![Dim::cat("type", 3), Dim::cat("color", 5)],
-            vec!["price", "mileage"],
-        );
+        let s =
+            Schema::new(vec![Dim::cat("type", 3), Dim::cat("color", 5)], vec!["price", "mileage"]);
         assert_eq!(s.selection_index("color"), Some(1));
         assert_eq!(s.selection_index("price"), None);
         assert_eq!(s.ranking_index("price"), Some(0));

@@ -50,10 +50,7 @@ impl Selection {
 
     /// Value demanded on `dim`, if constrained.
     pub fn value_on(&self, dim: usize) -> Option<u32> {
-        self.conds
-            .binary_search_by_key(&dim, |&(d, _)| d)
-            .ok()
-            .map(|i| self.conds[i].1)
+        self.conds.binary_search_by_key(&dim, |&(d, _)| d).ok().map(|i| self.conds[i].1)
     }
 
     /// True when tuple `tid` of `rel` satisfies every predicate.
@@ -64,16 +61,12 @@ impl Selection {
     /// Restricts the selection to the given dimensions (projection onto a
     /// fragment's dimension set).
     pub fn project(&self, dims: &[usize]) -> Selection {
-        Selection {
-            conds: self.conds.iter().copied().filter(|(d, _)| dims.contains(d)).collect(),
-        }
+        Selection { conds: self.conds.iter().copied().filter(|(d, _)| dims.contains(d)).collect() }
     }
 
     /// Drops the predicate on `dim` (the roll-up operation of Chapter 7).
     pub fn roll_up(&self, dim: usize) -> Selection {
-        Selection {
-            conds: self.conds.iter().copied().filter(|&(d, _)| d != dim).collect(),
-        }
+        Selection { conds: self.conds.iter().copied().filter(|&(d, _)| d != dim).collect() }
     }
 
     /// Adds a predicate on a previously unconstrained `dim` (drill-down).
@@ -100,10 +93,8 @@ mod tests {
     use crate::schema::{Dim, Schema};
 
     fn rel() -> Relation {
-        let schema = Schema::new(
-            vec![Dim::cat("A1", 2), Dim::cat("A2", 4), Dim::cat("A3", 4)],
-            vec!["N1"],
-        );
+        let schema =
+            Schema::new(vec![Dim::cat("A1", 2), Dim::cat("A2", 4), Dim::cat("A3", 4)], vec!["N1"]);
         let mut b = RelationBuilder::new(schema);
         b.push(&[0, 1, 2], &[0.1]);
         b.push(&[1, 1, 3], &[0.2]);

@@ -156,8 +156,9 @@ mod tests {
 
     #[test]
     fn clamps_to_schema_arity() {
-        let rel = SyntheticSpec { tuples: 10, selection_dims: 2, ranking_dims: 1, ..Default::default() }
-            .generate();
+        let rel =
+            SyntheticSpec { tuples: 10, selection_dims: 2, ranking_dims: 1, ..Default::default() }
+                .generate();
         let mut qg = QueryGen::new(WorkloadParams {
             num_conditions: 5,
             num_ranking: 4,

@@ -22,11 +22,7 @@ fn main() {
         .map(|d| {
             BPlusTree::bulk_load_with_fanout(
                 &disk,
-                rel.ranking_column(d)
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (v, i as u32))
-                    .collect(),
+                rel.ranking_column(d).iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
                 64,
             )
         })

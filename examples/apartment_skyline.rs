@@ -16,11 +16,7 @@ use ranking_cube::skyline::bnl_skyline;
 fn main() {
     // Apartments: Boolean amenities select, (rent, distance) rank.
     let schema = Schema::new(
-        vec![
-            Dim::cat("in_unit_laundry", 2),
-            Dim::cat("parking", 2),
-            Dim::cat("pets_ok", 2),
-        ],
+        vec![Dim::cat("in_unit_laundry", 2), Dim::cat("parking", 2), Dim::cat("pets_ok", 2)],
         vec!["rent", "distance"],
     );
     let mut rng = StdRng::seed_from_u64(7);

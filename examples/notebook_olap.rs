@@ -66,11 +66,8 @@ fn main() {
     // Step 3: the analysis — where does Dell sit in the low-end market?
     let dell_best = dell_top.items[0].1;
     let market_best = all_top.items[0].1;
-    let dell_in_market = all_top
-        .tids()
-        .iter()
-        .filter(|&&t| notebooks.selection_value(t, 0) == DELL)
-        .count();
+    let dell_in_market =
+        all_top.tids().iter().filter(|&&t| notebooks.selection_value(t, 0) == DELL).count();
     println!(
         "\nanalysis: dell holds {dell_in_market}/5 of the market's top list; \
          best dell = {dell_best:.4} vs market best = {market_best:.4}"

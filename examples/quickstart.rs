@@ -10,10 +10,8 @@ use ranking_cube::prelude::*;
 fn main() {
     // A relation with two selection dimensions (type, color) and two
     // ranking dimensions (price, mileage), both normalized to [0, 1].
-    let schema = Schema::new(
-        vec![Dim::cat("type", 3), Dim::cat("color", 4)],
-        vec!["price", "mileage"],
-    );
+    let schema =
+        Schema::new(vec![Dim::cat("type", 3), Dim::cat("color", 4)], vec!["price", "mileage"]);
     let mut builder = RelationBuilder::new(schema);
     // (type, color) and (price, mileage) per car.
     let rows: &[(&[u32; 2], &[f64; 2])] = &[

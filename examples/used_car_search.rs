@@ -25,8 +25,8 @@ const FORD: u32 = 1;
 fn build_inventory(n: usize) -> Relation {
     let schema = Schema::new(
         vec![
-            Dim::cat("type", 3),   // sedan, convertible, suv
-            Dim::cat("maker", 5),  // gm, ford, hyundai, toyota, bmw
+            Dim::cat("type", 3),  // sedan, convertible, suv
+            Dim::cat("maker", 5), // gm, ford, hyundai, toyota, bmw
             Dim::cat("color", 6),
             Dim::cat("transmission", 2),
         ],
@@ -35,12 +35,8 @@ fn build_inventory(n: usize) -> Relation {
     let mut rng = StdRng::seed_from_u64(2007);
     let mut b = RelationBuilder::with_capacity(schema, n);
     for _ in 0..n {
-        let sel = [
-            rng.gen_range(0..3),
-            rng.gen_range(0..5),
-            rng.gen_range(0..6),
-            rng.gen_range(0..2),
-        ];
+        let sel =
+            [rng.gen_range(0..3), rng.gen_range(0..5), rng.gen_range(0..6), rng.gen_range(0..2)];
         b.push(&sel, &[rng.gen(), rng.gen()]);
     }
     b.finish()

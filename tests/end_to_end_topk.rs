@@ -16,7 +16,13 @@ use ranking_cube::table::gen::SyntheticSpec;
 use ranking_cube::table::workload::{QueryGen, WorkloadParams};
 use ranking_cube::table::{Relation, Selection};
 
-fn naive_scores(rel: &Relation, sel: &Selection, f: &impl RankFn, dims: &[usize], k: usize) -> Vec<f64> {
+fn naive_scores(
+    rel: &Relation,
+    sel: &Selection,
+    f: &impl RankFn,
+    dims: &[usize],
+    k: usize,
+) -> Vec<f64> {
     let mut v: Vec<f64> = rel
         .tids()
         .filter(|&t| sel.matches(rel, t))
@@ -39,8 +45,13 @@ fn five_engines_agree_on_random_workload() {
     let rel = SyntheticSpec { tuples: 4_000, cardinality: 5, ..Default::default() }.generate();
     let disk = DiskSim::with_defaults();
 
-    let grid = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 100, ..Default::default() });
-    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 1, block_size: 100 });
+    let grid = GridRankingCube::build(
+        &rel,
+        &disk,
+        GridCubeConfig { block_size: 100, ..Default::default() },
+    );
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 1, block_size: 100 });
     let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
     let sig = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
     let scan = TableScan::new(&rel, &disk);
@@ -75,7 +86,11 @@ fn five_engines_agree_on_random_workload() {
             &want,
             "rank mapping",
         );
-        assert_scores(&RankingFirst::topk(&rtree, &rel, &q, &disk).scores(), &want, "ranking first");
+        assert_scores(
+            &RankingFirst::topk(&rtree, &rel, &q, &disk).scores(),
+            &want,
+            "ranking first",
+        );
     }
 }
 
@@ -108,14 +123,22 @@ fn engines_agree_on_skewed_and_correlated_data() {
     for dist in [DataDist::Correlated, DataDist::AntiCorrelated] {
         let rel = SyntheticSpec { tuples: 2_000, dist, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
-        let grid = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 64, ..Default::default() });
+        let grid = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, ..Default::default() },
+        );
         let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
         let sig = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
         let f = Linear::new(vec![1.0, 0.5]);
         let q = TopKQuery::new(vec![(0, 1)], f.clone(), 10);
         let want = naive_scores(&rel, &q.selection, &f, &[0, 1], 10);
         assert_scores(&grid.query(&q, &disk).scores(), &want, "grid cube (skewed)");
-        assert_scores(&topk_signature(&rtree, &sig, &q, &disk).scores(), &want, "signature (skewed)");
+        assert_scores(
+            &topk_signature(&rtree, &sig, &q, &disk).scores(),
+            &want,
+            "signature (skewed)",
+        );
     }
 }
 
@@ -123,7 +146,8 @@ fn engines_agree_on_skewed_and_correlated_data() {
 fn forest_surrogate_end_to_end() {
     let rel = ranking_cube::table::gen::forest_cover(3_000, 99);
     let disk = DiskSim::with_defaults();
-    let frags = RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 3, block_size: 100 });
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 3, block_size: 100 });
     let f = Linear::new(vec![1.0, 1.0, 1.0]);
     let q = TopKQuery::new(vec![(4, 1), (5, 0)], f.clone(), 10);
     let want = naive_scores(&rel, &q.selection, &f, &[0, 1, 2], 10);

@@ -100,7 +100,8 @@ fn spjr_pipeline_agrees_with_baseline() {
     use rand::{Rng, SeedableRng};
     let disk = DiskSim::with_defaults();
     let mk = |seed: u64, t: usize| {
-        let rel = SyntheticSpec { tuples: t, cardinality: 6, seed, ..Default::default() }.generate();
+        let rel =
+            SyntheticSpec { tuples: t, cardinality: 6, seed, ..Default::default() }.generate();
         let mut rng = StdRng::seed_from_u64(seed * 31);
         let keys: Vec<u32> = (0..t).map(|_| rng.gen_range(0..25)).collect();
         JoinRelation::build(rel, keys, &disk)

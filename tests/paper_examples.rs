@@ -21,7 +21,8 @@ fn section_3_3_3_demonstrative_example() {
     b.push(&[0, 0], &[0.35, 0.15]); // t4
     let rel = b.finish();
     let disk = DiskSim::with_defaults();
-    let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 1, ..Default::default() });
+    let cube =
+        GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 1, ..Default::default() });
     // select top 2 * where A1 = 1 and A2 = 1 sort by N1 + N2 (1-based in
     // the thesis; our values are 0-based).
     let q = TopKQuery::new(vec![(0, 0), (1, 0)], Linear::uniform(2), 2);
@@ -82,7 +83,8 @@ fn table_5_2_index_merge_example() {
 /// Intro Example 1, Q2: quadratic target queries over the cube.
 #[test]
 fn intro_example_1_q2_quadratic_target() {
-    let schema = Schema::new(vec![Dim::cat("maker", 3), Dim::cat("type", 2)], vec!["price", "mileage"]);
+    let schema =
+        Schema::new(vec![Dim::cat("maker", 3), Dim::cat("type", 2)], vec!["price", "mileage"]);
     let mut b = RelationBuilder::new(schema);
     // Ford convertibles at various (price, mileage) in units of $50k/150k.
     b.push(&[1, 1], &[0.40, 0.07]); // $20k, 10.5k mi — the sweet spot
@@ -92,7 +94,8 @@ fn intro_example_1_q2_quadratic_target() {
     b.push(&[1, 0], &[0.40, 0.07]); // right specs, wrong type
     let rel = b.finish();
     let disk = DiskSim::with_defaults();
-    let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 1, ..Default::default() });
+    let cube =
+        GridRankingCube::build(&rel, &disk, GridCubeConfig { block_size: 1, ..Default::default() });
     let f = SqDist::new(vec![0.40, 1.0 / 15.0]);
     let q = TopKQuery::new(vec![(0, 1), (1, 1)], f, 1);
     let res = cube.query(&q, &disk);

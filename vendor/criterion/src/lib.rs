@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the entry points the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!` and `Bencher::iter` — with a plain
+//! warmup + timed-batch measurement loop. Reported numbers are mean
+//! wall-clock ns/iter; there is no statistical analysis or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark: mean nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub mean_ns: f64,
+    pub iters: u64,
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(60),
+            measure: Duration::from_millis(240),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let m = run_bench(id, self.warmup, self.measure, &mut f);
+        self.results.push(m);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    /// Measurements recorded so far (used by JSON emitters).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measure = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let m = run_bench(&id, self.parent.warmup, self.parent.measure, &mut f);
+        self.parent.results.push(m);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.0);
+        let m = run_bench(&id, self.parent.warmup, self.parent.measure, &mut |b| f(b, input));
+        self.parent.results.push(m);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+enum Mode {
+    /// Run the closure a fixed number of times, timing the whole batch.
+    Batch(u64),
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let Mode::Batch(n) = self.mode;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = n;
+    }
+}
+
+fn time_batch(f: &mut impl FnMut(&mut Bencher), n: u64) -> Duration {
+    let mut b = Bencher { mode: Mode::Batch(n), elapsed: Duration::ZERO, iters_done: 0 };
+    f(&mut b);
+    assert!(b.iters_done == n, "benchmark closure must call Bencher::iter exactly once");
+    b.elapsed
+}
+
+fn run_bench(
+    id: &str,
+    warmup: Duration,
+    measure: Duration,
+    f: &mut impl FnMut(&mut Bencher),
+) -> Measurement {
+    // Warmup: grow the batch size until one batch costs ~warmup/4, so the
+    // measurement loop's batches are long enough to swamp timer overhead.
+    let mut batch = 1u64;
+    loop {
+        let t = time_batch(f, batch);
+        if t >= warmup / 4 || batch >= 1 << 30 {
+            break;
+        }
+        batch = if t.is_zero() { batch * 8 } else { batch * 2 };
+    }
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < measure {
+        total += time_batch(f, batch);
+        iters += batch;
+    }
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    println!("{id:<56} {:>14.1} ns/iter ({iters} iters)", mean_ns);
+    Measurement { id: id.to_string(), mean_ns, iters }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // cargo bench forwards harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "noop_sum");
+        assert!(m.mean_ns > 0.0);
+        assert!(m.iters > 0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        let ids: Vec<&str> = c.measurements().iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids, vec!["grp/inner", "grp/param/42"]);
+    }
+}
