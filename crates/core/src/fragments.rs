@@ -12,10 +12,14 @@
 //! tid set.
 
 use rcube_func::RankFn;
-use rcube_storage::DiskSim;
+use rcube_storage::{
+    ByteReader, ByteWriter, DiskSim, PageStore, StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+};
 use rcube_table::{Relation, Selection};
 
-use crate::gridcube::{CuboidSpec, GridCubeConfig, GridRankingCube};
+use crate::gridcube::{
+    finish_catalog, read_catalog, CuboidSpec, GridCubeConfig, GridRankingCube, CATALOG_FRAGMENTS,
+};
 use crate::{TopKQuery, TopKResult};
 
 /// Fragment parameters.
@@ -90,6 +94,47 @@ impl RankingFragments {
     /// The underlying grid cube (shared base block table + partition).
     pub fn cube(&self) -> &GridRankingCube {
         &self.cube
+    }
+
+    /// Saves the fragments (cube objects + fragment meta) into a single
+    /// cube file; [`Self::open_from`] reopens it read-only.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), StorageError> {
+        self.save_to_with(path, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::save_to`] with explicit page size and pool capacity.
+    pub fn save_to_with(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<(), StorageError> {
+        let file = PageStore::create_file(path, page_size, pool_pages)?;
+        let mut w = ByteWriter::new();
+        w.put_u8(CATALOG_FRAGMENTS);
+        w.put_u64(self.fragment_size as u64);
+        w.put_u64(self.num_selection as u64);
+        self.cube.write_file_payload(&file, &mut w)?;
+        finish_catalog(&file, w)
+    }
+
+    /// Reopens fragments saved by [`Self::save_to`], read-only.
+    pub fn open_from(path: impl AsRef<std::path::Path>) -> Result<Self, StorageError> {
+        Self::open_from_with(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::open_from`] with an explicit buffer-pool capacity (pages).
+    pub fn open_from_with(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        let store = PageStore::open_file(path, pool_pages)?;
+        let catalog = read_catalog(&store, CATALOG_FRAGMENTS)?;
+        let mut r = ByteReader::new(&catalog[1..]);
+        let fragment_size = r.count(1 << 20)?.max(1);
+        let num_selection = r.count(1 << 20)?;
+        let cube = GridRankingCube::read_file_payload(store, &mut r)?;
+        Ok(Self { cube, fragment_size, num_selection })
     }
 }
 
@@ -178,6 +223,26 @@ mod tests {
         let got = frags.query(&q, &disk);
         let matching = rel.tids().filter(|&t| q.selection.matches(&rel, t)).count();
         assert_eq!(got.items.len(), matching.min(5));
+    }
+
+    #[test]
+    fn fragments_survive_save_and_reopen() {
+        let (_, disk, frags) = build(6, 2, 1_200);
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_fragments_{}", std::process::id()));
+        frags.save_to_with(&path, 1024, 64).expect("save");
+        let reopened = RankingFragments::open_from_with(&path, 64).expect("open");
+        assert_eq!(reopened.fragment_size(), frags.fragment_size());
+        assert_eq!(reopened.num_fragments(), frags.num_fragments());
+        let q = TopKQuery::new(vec![(0, 1), (3, 2), (5, 0)], Linear::uniform(2), 10);
+        let mem = frags.query(&q, &disk);
+        let file = reopened.query(&q, &DiskSim::with_defaults());
+        assert_eq!(mem.items.len(), file.items.len());
+        for ((t1, s1), (t2, s2)) in mem.items.iter().zip(&file.items) {
+            assert_eq!(t1, t2);
+            assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

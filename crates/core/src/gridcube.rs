@@ -17,7 +17,10 @@ use std::sync::Arc;
 
 use rcube_func::RankFn;
 use rcube_index::grid::{Bid, GridPartition};
-use rcube_storage::{DiskSim, PageId, PageStore};
+use rcube_storage::{
+    ByteReader, ByteWriter, DiskSim, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE,
+    DEFAULT_POOL_PAGES,
+};
 use rcube_table::{Relation, Selection, Tid};
 
 use crate::idlist::{self, IdCursor, IdListRef, KWayIntersect};
@@ -284,10 +287,21 @@ impl GridRankingCube {
 
     /// Answers a top-k query (Section 3.3 / 3.4.2).
     pub fn query<F: RankFn>(&self, query: &TopKQuery<F>, disk: &DiskSim) -> TopKResult {
+        self.try_query(query, disk).unwrap_or_else(|e| panic!("storage error during query: {e}"))
+    }
+
+    /// Fallible [`Self::query`]: over a file-backed store a truncated or
+    /// corrupted page surfaces as a typed [`StorageError`] instead of a
+    /// panic (and never as a wrong answer).
+    pub fn try_query<F: RankFn>(
+        &self,
+        query: &TopKQuery<F>,
+        disk: &DiskSim,
+    ) -> Result<TopKResult, StorageError> {
         let covering = self
             .covering_cuboids(&query.selection)
             .expect("materialized cuboids cannot cover the query's selection dimensions");
-        self.query_with_cuboids(query, &covering, disk)
+        self.try_query_with_cuboids(query, &covering, disk)
     }
 
     /// Answers a top-k query through an explicit covering cuboid set.
@@ -297,6 +311,17 @@ impl GridRankingCube {
         covering: &[Vec<usize>],
         disk: &DiskSim,
     ) -> TopKResult {
+        self.try_query_with_cuboids(query, covering, disk)
+            .unwrap_or_else(|e| panic!("storage error during query: {e}"))
+    }
+
+    /// Fallible [`Self::query_with_cuboids`].
+    pub fn try_query_with_cuboids<F: RankFn>(
+        &self,
+        query: &TopKQuery<F>,
+        covering: &[Vec<usize>],
+        disk: &DiskSim,
+    ) -> Result<TopKResult, StorageError> {
         let before = disk.stats().snapshot();
         let mut stats = QueryStats::default();
 
@@ -361,14 +386,14 @@ impl GridRankingCube {
             // Retrieve: tid list of this base block, intersected across the
             // covering cuboids (get_pseudo_block per cuboid, buffered).
             let tids =
-                self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats);
+                self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats)?;
 
             // Evaluate: fetch real values from the base block table. Both
             // the retrieved tid list and the block records are ascending
             // by tid, so a two-pointer merge replaces the old hash probe.
             if !tids.is_empty() {
                 if let Some(page) = self.base_pages[bid as usize] {
-                    let bytes = self.store.get_bytes(disk, page);
+                    let bytes = self.store.try_get_bytes(disk, page)?;
                     stats.blocks_read += 1;
                     let rec = 4 + 8 * self.ranking_dims.len();
                     let mut want = tids.iter().copied().peekable();
@@ -410,7 +435,7 @@ impl GridRankingCube {
         }
 
         stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: topk.into_sorted(), stats }
+        Ok(TopKResult { items: topk.into_sorted(), stats })
     }
 
     /// The retrieve step: tid list for `bid` under the query's selection,
@@ -428,10 +453,10 @@ impl GridRankingCube {
         pid_buffer: &mut HashMap<(usize, u32), Option<Arc<[u8]>>>,
         disk: &DiskSim,
         stats: &mut QueryStats,
-    ) -> Vec<Tid> {
+    ) -> Result<Vec<Tid>, StorageError> {
         if covering.is_empty() {
             // No selection: the whole base block qualifies.
-            return self.partition.block_tids(bid).to_vec();
+            return Ok(self.partition.block_tids(bid).to_vec());
         }
         // Pass 1: buffer each covering cell page in turn, short-circuiting
         // before the next page fetch when a cuboid already proves the
@@ -447,17 +472,20 @@ impl GridRankingCube {
                         query.selection.value_on(*d).expect("covering cuboid dim not in query")
                     })
                     .collect();
-                let page = cuboid.cells.get(&(vals, pid)).map(|&page| {
-                    stats.blocks_read += 1;
-                    self.store.get_bytes(disk, page)
-                });
+                let page = match cuboid.cells.get(&(vals, pid)) {
+                    Some(&page) => {
+                        stats.blocks_read += 1;
+                        Some(self.store.try_get_bytes(disk, page)?)
+                    }
+                    None => None,
+                };
                 e.insert(page);
             }
             match &pid_buffer[&(ci, pid)] {
-                None => return Vec::new(), // cell absent: no tuple matches
+                None => return Ok(Vec::new()), // cell absent: no tuple matches
                 Some(page) => {
                     if !cell_has_bid(page, bid) {
-                        return Vec::new(); // bid absent from this cell
+                        return Ok(Vec::new()); // bid absent from this cell
                     }
                 }
             }
@@ -473,12 +501,204 @@ impl GridRankingCube {
                 cell_cursor(page, bid).expect("bid checked in pass 1")
             })
             .collect();
-        KWayIntersect::from_cursors(cursors).collect()
+        Ok(KWayIntersect::from_cursors(cursors).collect())
     }
 
     /// Block size parameter `P`.
     pub fn block_size(&self) -> usize {
         self.config.block_size
+    }
+
+    /// The backing object store (in-memory or file-backed).
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Saves the cube into a single file at `path` with the default page
+    /// size (4 KB) and buffer-pool capacity: every base block and cuboid
+    /// cell becomes a checksummed on-disk object, and the cube catalog
+    /// (partition meta, cuboid directory) is recorded in the superblock.
+    /// [`Self::open_from`] reopens it read-only with identical answers.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), StorageError> {
+        self.save_to_with(path, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::save_to`] with explicit page size and pool capacity.
+    pub fn save_to_with(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<(), StorageError> {
+        let file = PageStore::create_file(path, page_size, pool_pages)?;
+        let mut w = ByteWriter::new();
+        w.put_u8(CATALOG_GRID);
+        self.write_file_payload(&file, &mut w)?;
+        finish_catalog(&file, w)
+    }
+
+    /// Reopens a cube saved by [`Self::save_to`], read-only, with the
+    /// default buffer-pool capacity.
+    pub fn open_from(path: impl AsRef<std::path::Path>) -> Result<Self, StorageError> {
+        Self::open_from_with(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::open_from`] with an explicit buffer-pool capacity (pages).
+    pub fn open_from_with(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        let store = PageStore::open_file(path, pool_pages)?;
+        let catalog = read_catalog(&store, CATALOG_GRID)?;
+        let mut r = ByteReader::new(&catalog[1..]);
+        Self::read_file_payload(store, &mut r)
+    }
+
+    /// Scrubs every stored object (base blocks, cuboid cells) through the
+    /// validated read path, cache-cold, surfacing the first checksum /
+    /// structure error. `Ok(())` means all pages decode clean.
+    pub fn verify_integrity(&self) -> Result<(), StorageError> {
+        self.store.clear_cache();
+        for page in self.base_pages.iter().flatten() {
+            self.store.peek(*page)?;
+        }
+        for cuboid in self.cuboids.values() {
+            for &page in cuboid.cells.values() {
+                self.store.peek(page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies every object into `file` (deterministic order) and writes
+    /// the catalog body: config, ranking dims, partition, base-page table,
+    /// cuboid directory with remapped page ids.
+    pub(crate) fn write_file_payload(
+        &self,
+        file: &PageStore,
+        w: &mut ByteWriter,
+    ) -> Result<(), StorageError> {
+        let scratch = DiskSim::new(DEFAULT_PAGE_SIZE, 0);
+        w.put_u64(self.config.block_size as u64);
+        w.put_u64(self.ranking_dims.len() as u64);
+        for &d in &self.ranking_dims {
+            w.put_u64(d as u64);
+        }
+        w.put_bytes(&self.partition.to_bytes());
+        w.put_u64(self.base_pages.len() as u64);
+        for base in &self.base_pages {
+            match base {
+                Some(old) => {
+                    let data = self.store.peek(*old)?;
+                    w.put_u64(file.try_put(&scratch, data.to_vec())?.0);
+                }
+                None => w.put_u64(u64::MAX),
+            }
+        }
+        w.put_u64(self.cuboids.len() as u64);
+        for (dims, cuboid) in &self.cuboids {
+            w.put_u64(dims.len() as u64);
+            for &d in dims {
+                w.put_u64(d as u64);
+            }
+            w.put_u64(cuboid.sf as u64);
+            let mut keys: Vec<&(Vec<u32>, u32)> = cuboid.cells.keys().collect();
+            keys.sort();
+            w.put_u64(keys.len() as u64);
+            for key in keys {
+                let (vals, pid) = key;
+                w.put_u64(vals.len() as u64);
+                for &v in vals {
+                    w.put_u32(v);
+                }
+                w.put_u32(*pid);
+                let data = self.store.peek(cuboid.cells[key])?;
+                w.put_u64(file.try_put(&scratch, data.to_vec())?.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`Self::write_file_payload`]: rebuilds a cube over the
+    /// (typically file-backed, read-only) `store`.
+    pub(crate) fn read_file_payload(
+        store: PageStore,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, StorageError> {
+        const LIMIT: usize = 1 << 30;
+        let block_size = r.count(LIMIT)?;
+        let nrd = r.count(64)?;
+        let mut ranking_dims = Vec::with_capacity(nrd);
+        for _ in 0..nrd {
+            ranking_dims.push(r.count(LIMIT)?);
+        }
+        let partition = GridPartition::from_bytes(r.bytes()?)?;
+        let nbase = r.count(LIMIT)?;
+        if nbase != partition.num_blocks() {
+            return Err(StorageError::Malformed("base-page table size mismatch"));
+        }
+        let mut base_pages = Vec::with_capacity(nbase);
+        for _ in 0..nbase {
+            base_pages.push(match r.u64()? {
+                u64::MAX => None,
+                p => Some(PageId(p)),
+            });
+        }
+        let ncuboids = r.count(LIMIT)?;
+        let mut cuboids = BTreeMap::new();
+        for _ in 0..ncuboids {
+            let ndims = r.count(64)?;
+            let mut dims = Vec::with_capacity(ndims);
+            for _ in 0..ndims {
+                dims.push(r.count(LIMIT)?);
+            }
+            let sf = r.count(LIMIT)?.max(1);
+            let ncells = r.count(LIMIT)?;
+            let mut cells = HashMap::with_capacity(ncells);
+            for _ in 0..ncells {
+                let nvals = r.count(64)?;
+                let mut vals = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    vals.push(r.u32()?);
+                }
+                let pid = r.u32()?;
+                cells.insert((vals, pid), PageId(r.u64()?));
+            }
+            cuboids.insert(dims, Cuboid { sf, cells });
+        }
+        let config = GridCubeConfig {
+            block_size,
+            ranking_dims: ranking_dims.clone(),
+            cuboids: CuboidSpec::Explicit(cuboids.keys().cloned().collect()),
+        };
+        Ok(Self { partition, store, base_pages, cuboids, ranking_dims, config })
+    }
+}
+
+/// Catalog kind tags (first byte of the catalog object).
+pub(crate) const CATALOG_GRID: u8 = 1;
+pub(crate) const CATALOG_FRAGMENTS: u8 = 2;
+pub(crate) const CATALOG_SIG: u8 = 3;
+
+/// Stores the finished catalog object, records it in the superblock and
+/// flushes the file metadata (superblock + allocation map).
+pub(crate) fn finish_catalog(file: &PageStore, w: ByteWriter) -> Result<(), StorageError> {
+    let scratch = DiskSim::new(DEFAULT_PAGE_SIZE, 0);
+    file.put_catalog(&scratch, w.into_bytes())?;
+    file.flush()
+}
+
+/// Reads a cube file's catalog object and checks its kind tag.
+pub(crate) fn read_catalog(
+    store: &PageStore,
+    expect_kind: u8,
+) -> Result<std::sync::Arc<[u8]>, StorageError> {
+    let root = store.catalog().ok_or(StorageError::Malformed("cube file has no catalog"))?;
+    let bytes = store.peek(root)?;
+    match bytes.first() {
+        Some(&kind) if kind == expect_kind => Ok(bytes),
+        Some(_) => Err(StorageError::Malformed("catalog kind does not match this cube type")),
+        None => Err(StorageError::Malformed("empty catalog object")),
     }
 }
 
@@ -713,6 +933,110 @@ mod tests {
         assert!(s.contains(&vec![0, 1]));
         assert!(s.contains(&vec![2, 3]));
         assert!(!s.contains(&vec![1, 2]));
+    }
+
+    fn temp_cube_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rcube_gridcube_{tag}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn saved_cube_reopens_with_identical_answers() {
+        let rel = SyntheticSpec { tuples: 2_500, cardinality: 4, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, ..Default::default() },
+        );
+        let path = temp_cube_path("reopen");
+        cube.save_to(&path).expect("save");
+
+        let reopened = GridRankingCube::open_from(&path).expect("open");
+        assert!(reopened.store().read_only());
+        assert_eq!(reopened.cuboid_dims(), cube.cuboid_dims());
+        assert_eq!(reopened.partition().num_blocks(), cube.partition().num_blocks());
+
+        let disk2 = DiskSim::with_defaults();
+        let mut qg =
+            QueryGen::new(WorkloadParams { num_conditions: 2, k: 10, ..Default::default() });
+        for spec in qg.batch(&rel, 8) {
+            let q = TopKQuery::with_ranking_dims(
+                spec.selection.conds().to_vec(),
+                Linear::new(spec.weights.clone()),
+                spec.ranking_dims.clone(),
+                spec.k,
+            );
+            let mem = cube.query(&q, &disk);
+            let file = reopened.query(&q, &disk2);
+            // Byte-identical: same tids, same score bit patterns.
+            assert_eq!(mem.items.len(), file.items.len());
+            for ((t1, s1), (t2, s2)) in mem.items.iter().zip(&file.items) {
+                assert_eq!(t1, t2);
+                assert_eq!(s1.to_bits(), s2.to_bits());
+            }
+            assert!(file.stats.io.logical_reads > 0, "file query must charge I/O");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_selection_query_works_after_reopen() {
+        let rel = SyntheticSpec { tuples: 600, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 50, ..Default::default() },
+        );
+        let path = temp_cube_path("empty_sel");
+        cube.save_to_with(&path, 1024, 32).expect("save");
+        let reopened = GridRankingCube::open_from_with(&path, 32).expect("open");
+        let q = TopKQuery::new(vec![], Linear::uniform(2), 5);
+        let mem = cube.query(&q, &disk);
+        let file = reopened.query(&q, &DiskSim::with_defaults());
+        assert_eq!(mem.items, file.items);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_surfaces_as_checksum_error_not_wrong_answer() {
+        let rel = SyntheticSpec { tuples: 1_000, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, ..Default::default() },
+        );
+        let path = temp_cube_path("corrupt");
+        let page_size = 512usize;
+        cube.save_to_with(&path, page_size, 8).expect("save");
+
+        // Pristine file passes the scrub.
+        let clean = GridRankingCube::open_from_with(&path, 8).expect("open clean");
+        clean.verify_integrity().expect("clean file verifies");
+        drop(clean);
+
+        // Flip one payload byte in the first object page.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[page_size + 40] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let tampered = GridRankingCube::open_from_with(&path, 8).expect("superblock still valid");
+        match tampered.verify_integrity() {
+            Err(StorageError::ChecksumMismatch { page: 1 }) => {}
+            other => panic!("expected checksum mismatch on page 1, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_from_rejects_garbage() {
+        let path = temp_cube_path("garbage");
+        std::fs::write(&path, vec![0u8; 8192]).unwrap();
+        assert!(matches!(GridRankingCube::open_from(&path), Err(StorageError::BadMagic)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! compressed posting-list engine (zero-copy views, word-parallel
 //! bitmaps, skip-delta blocks, streaming k-way intersection) that backs
 //! the grid cube's retrieve step and the fragments' covering-set merge.
+//!
+//! Cubes persist: `save_to` writes a cube into a single checksummed file
+//! (`rcube_storage::format` describes the layout) and `open_from` reopens
+//! it read-only in a fresh process with identical top-k answers — the
+//! same query code running over buffer-pool frames instead of in-memory
+//! maps. See [`gridcube::GridRankingCube::save_to`],
+//! [`fragments::RankingFragments::save_to`] and
+//! [`sigcube::SignatureCube::save_to`].
 
 pub mod coding;
 pub mod fragments;

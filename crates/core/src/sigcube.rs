@@ -14,10 +14,14 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use rcube_index::rtree::RTree;
 use rcube_index::HierIndex;
-use rcube_storage::{BitReader, BitWriter, DiskSim, PageId, PageStore};
+use rcube_storage::{
+    BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, PageId, PageStore, StorageError,
+    DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+};
 use rcube_table::{Relation, Selection};
 
 use crate::coding;
+use crate::gridcube::{finish_catalog, read_catalog, CATALOG_SIG};
 use crate::signature::{SigNode, Signature};
 
 /// Construction parameters for the signature cube.
@@ -428,6 +432,121 @@ impl SignatureCube {
         acc
     }
 
+    /// Saves the signature cube *and* its R-tree partition into a single
+    /// cube file: every partial-signature object is copied page-by-page,
+    /// and the catalog records the cuboid directory plus the serialized
+    /// tree, so [`Self::open_from`] restores a fully queryable pair.
+    pub fn save_to(
+        &self,
+        rtree: &RTree,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), StorageError> {
+        self.save_to_with(rtree, path, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::save_to`] with explicit page size and pool capacity.
+    pub fn save_to_with(
+        &self,
+        rtree: &RTree,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<(), StorageError> {
+        let file = PageStore::create_file(path, page_size, pool_pages)?;
+        let scratch = DiskSim::new(page_size, 0);
+        let mut w = ByteWriter::new();
+        w.put_u8(CATALOG_SIG);
+        w.put_u64(self.m as u64);
+        w.put_f64(self.alpha);
+        w.put_bytes(&rtree.to_bytes());
+        w.put_u64(self.cuboids.len() as u64);
+        for (dims, cells) in &self.cuboids {
+            w.put_u64(dims.len() as u64);
+            for &d in dims {
+                w.put_u64(d as u64);
+            }
+            let mut keys: Vec<&Vec<u32>> = cells.keys().collect();
+            keys.sort();
+            w.put_u64(keys.len() as u64);
+            for vals in keys {
+                w.put_u64(vals.len() as u64);
+                for &v in vals {
+                    w.put_u32(v);
+                }
+                let stored = &cells[vals];
+                w.put_u64(stored.total_bits as u64);
+                w.put_u64(stored.partials.len() as u64);
+                for &old in &stored.partials {
+                    let data = self.store.peek(old)?;
+                    w.put_u64(file.try_put(&scratch, data.to_vec())?.0);
+                }
+                let mut pairs: Vec<(u64, u32)> =
+                    stored.node_partial.iter().map(|(&sid, &p)| (sid, p)).collect();
+                pairs.sort_unstable();
+                w.put_u64(pairs.len() as u64);
+                for (sid, partial) in pairs {
+                    w.put_u64(sid);
+                    w.put_u32(partial);
+                }
+            }
+        }
+        finish_catalog(&file, w)
+    }
+
+    /// Reopens a `(SignatureCube, RTree)` pair saved by [`Self::save_to`],
+    /// read-only.
+    pub fn open_from(path: impl AsRef<std::path::Path>) -> Result<(Self, RTree), StorageError> {
+        Self::open_from_with(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::open_from`] with an explicit buffer-pool capacity (pages).
+    pub fn open_from_with(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<(Self, RTree), StorageError> {
+        const LIMIT: usize = 1 << 30;
+        let store = PageStore::open_file(path, pool_pages)?;
+        let catalog = read_catalog(&store, CATALOG_SIG)?;
+        let mut r = ByteReader::new(&catalog[1..]);
+        let m = r.count(LIMIT)?;
+        let alpha = r.f64()?;
+        let rtree = RTree::from_bytes(r.bytes()?)?;
+        let ncuboids = r.count(LIMIT)?;
+        let mut cuboids = BTreeMap::new();
+        for _ in 0..ncuboids {
+            let ndims = r.count(64)?;
+            let mut dims = Vec::with_capacity(ndims);
+            for _ in 0..ndims {
+                dims.push(r.count(LIMIT)?);
+            }
+            let ncells = r.count(LIMIT)?;
+            let mut cells = HashMap::with_capacity(ncells);
+            for _ in 0..ncells {
+                let nvals = r.count(64)?;
+                let mut vals = Vec::with_capacity(nvals);
+                for _ in 0..nvals {
+                    vals.push(r.u32()?);
+                }
+                let total_bits = r.count(LIMIT)?;
+                let npartials = r.count(LIMIT)?;
+                let mut partials = Vec::with_capacity(npartials);
+                for _ in 0..npartials {
+                    partials.push(PageId(r.u64()?));
+                }
+                let npairs = r.count(LIMIT)?;
+                let mut node_partial = HashMap::with_capacity(npairs);
+                for _ in 0..npairs {
+                    let sid = r.u64()?;
+                    let partial = r.u32()?;
+                    node_partial.insert(sid, partial);
+                }
+                cells.insert(vals, StoredSignature { m, partials, node_partial, total_bits });
+            }
+            cuboids.insert(dims, cells);
+        }
+        Ok((Self { store, cuboids, m, alpha }, rtree))
+    }
+
     /// Replaces (or inserts) a cell signature — the write-back step of
     /// incremental maintenance.
     pub(crate) fn replace_cell(
@@ -550,6 +669,46 @@ mod tests {
         let sel = Selection::new(vec![(0, 1), (1, 1)]);
         let cursors = cube.cursors_for(&sel).unwrap();
         assert_eq!(cursors.len(), 1, "exact cuboid match should yield one cursor");
+    }
+
+    #[test]
+    fn saved_cube_and_rtree_reopen_with_identical_pruning() {
+        let (rel, disk, rtree, cube) = setup(900);
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_sigcube_{}", std::process::id()));
+        cube.save_to_with(&rtree, &path, 1024, 64).expect("save");
+
+        let (reopened, rtree2) = SignatureCube::open_from_with(&path, 64).expect("open");
+        assert!(reopened.store().read_only());
+        assert_eq!(reopened.fanout(), cube.fanout());
+        assert_eq!(reopened.cuboid_dims(), cube.cuboid_dims());
+        assert_eq!(reopened.materialized_bytes(), cube.materialized_bytes());
+
+        let disk2 = DiskSim::with_defaults();
+        for tid in rel.tids() {
+            assert_eq!(rtree2.tuple_path(tid), rtree.tuple_path(tid));
+        }
+        for d in 0..rel.schema().num_selection() {
+            for v in 0..4u32 {
+                let (mem_cell, file_cell) =
+                    (cube.cell_signature(&[d], &[v]), reopened.cell_signature(&[d], &[v]));
+                assert_eq!(mem_cell.is_some(), file_cell.is_some(), "cell ({d},{v}) presence");
+                let (Some(mem_cell), Some(file_cell)) = (mem_cell, file_cell) else {
+                    continue;
+                };
+                let mut mem_cur = SigCursor::new(mem_cell, cube.store());
+                let mut file_cur = SigCursor::new(file_cell, reopened.store());
+                for tid in rel.tids() {
+                    let p = rtree.tuple_path(tid).unwrap();
+                    assert_eq!(
+                        mem_cur.check_path(&disk, &p),
+                        file_cur.check_path(&disk2, &p),
+                        "tid {tid} dim {d} val {v}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! regions; both come from the bin boundaries kept as meta information.
 
 use rcube_func::Rect;
+use rcube_storage::{ByteReader, ByteWriter, StorageError};
 use rcube_table::{Relation, Tid};
 
 /// Block identifier within a [`GridPartition`] (row-major over bins).
@@ -202,6 +203,101 @@ impl GridPartition {
     pub fn num_pseudo_blocks(&self, sf: usize) -> usize {
         self.bins.div_ceil(sf).pow(self.dims.len() as u32)
     }
+
+    /// Reassembles a partition from serialized parts ([`Self::to_bytes`]'s
+    /// counterpart building blocks). `tuple_bid` is rebuilt by inverting
+    /// `blocks`, so the parts stay minimal.
+    pub fn from_parts(
+        boundaries: Vec<Vec<f64>>,
+        bins: usize,
+        dims: Vec<usize>,
+        blocks: Vec<Vec<Tid>>,
+    ) -> Result<Self, StorageError> {
+        if boundaries.len() != dims.len() {
+            return Err(StorageError::Malformed("grid boundaries/dims arity mismatch"));
+        }
+        let expect_blocks = dims
+            .len()
+            .try_into()
+            .ok()
+            .and_then(|r| bins.checked_pow(r))
+            .ok_or(StorageError::Malformed("grid bins^dims overflows"))?;
+        if blocks.len() != expect_blocks {
+            return Err(StorageError::Malformed("grid block count mismatch"));
+        }
+        if boundaries.iter().any(|e| e.len() != bins + 1) {
+            return Err(StorageError::Malformed("grid boundary edge count mismatch"));
+        }
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        let mut tuple_bid = vec![0 as Bid; total];
+        for (bid, tids) in blocks.iter().enumerate() {
+            for &tid in tids {
+                let slot = tuple_bid
+                    .get_mut(tid as usize)
+                    .ok_or(StorageError::Malformed("grid block tid out of range"))?;
+                *slot = bid as Bid;
+            }
+        }
+        Ok(Self { boundaries, bins, dims, tuple_bid, blocks })
+    }
+
+    /// Serializes the partition's meta information + block table (cube
+    /// persistence). The inverse is [`Self::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.bins as u64);
+        w.put_u64(self.dims.len() as u64);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        for edges in &self.boundaries {
+            w.put_u64(edges.len() as u64);
+            for &e in edges {
+                w.put_f64(e);
+            }
+        }
+        w.put_u64(self.blocks.len() as u64);
+        for tids in &self.blocks {
+            w.put_u64(tids.len() as u64);
+            for &t in tids {
+                w.put_u32(t);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a partition written by [`Self::to_bytes`]; every read
+    /// is bounds-checked so a garbled blob fails typed, not by panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        const LIMIT: usize = 1 << 30;
+        let mut r = ByteReader::new(bytes);
+        let bins = r.count(LIMIT)?;
+        let ndims = r.count(64)?;
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            dims.push(r.count(LIMIT)?);
+        }
+        let mut boundaries = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            let edges = r.count(LIMIT)?;
+            let mut v = Vec::with_capacity(edges);
+            for _ in 0..edges {
+                v.push(r.f64()?);
+            }
+            boundaries.push(v);
+        }
+        let nblocks = r.count(LIMIT)?;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let n = r.count(LIMIT)?;
+            let mut tids = Vec::with_capacity(n);
+            for _ in 0..n {
+                tids.push(r.u32()?);
+            }
+            blocks.push(tids);
+        }
+        Self::from_parts(boundaries, bins, dims, blocks)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +403,36 @@ mod tests {
         assert!((bid as usize) < g.num_blocks());
         let bid = g.locate(&[0.0, 0.0]);
         assert!((bid as usize) < g.num_blocks());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let rel = SyntheticSpec { tuples: 1500, ..Default::default() }.generate();
+        let g = GridPartition::build(&rel, &[], 80);
+        let back = GridPartition::from_bytes(&g.to_bytes()).expect("round trip");
+        assert_eq!(back.bins_per_dim(), g.bins_per_dim());
+        assert_eq!(back.dims(), g.dims());
+        assert_eq!(back.num_blocks(), g.num_blocks());
+        for tid in rel.tids() {
+            assert_eq!(back.bid_of(tid), g.bid_of(tid));
+        }
+        for bid in 0..g.num_blocks() as Bid {
+            assert_eq!(back.block_tids(bid), g.block_tids(bid));
+            let (a, b) = (back.block_rect(bid), g.block_rect(bid));
+            for d in 0..g.dims().len() {
+                assert_eq!(a.lo(d), b.lo(d));
+                assert_eq!(a.hi(d), b.hi(d));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_serialization_fails_typed() {
+        let rel = thesis_example();
+        let g = GridPartition::build(&rel, &[], 1);
+        let bytes = g.to_bytes();
+        assert!(GridPartition::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(GridPartition::from_bytes(&[]).is_err());
     }
 
     #[test]

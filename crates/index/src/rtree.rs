@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use rcube_func::Rect;
-use rcube_storage::{DiskSim, PageId};
+use rcube_storage::{ByteReader, ByteWriter, DiskSim, PageId, StorageError};
 use rcube_table::{Relation, Tid};
 
 use crate::{HierIndex, NodeHandle};
@@ -536,6 +536,156 @@ impl RTree {
         self.insert_entry(disk, cur, tid, point);
     }
 
+    /// Serializes the full tree (geometry, structure, page ids, sizing)
+    /// for cube persistence; [`Self::from_bytes`] is the inverse. Page ids
+    /// are preserved so a reopened tree charges the same simulated I/O
+    /// pattern as the one that built the cube.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.dims as u64);
+        w.put_u32(self.root);
+        w.put_u64(self.height as u64);
+        w.put_u64(self.config.max_entries as u64);
+        w.put_u64(self.config.min_entries as u64);
+        w.put_f64(self.config.bulk_fill);
+        w.put_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            w.put_u64(node.page.0);
+            w.put_u32(node.parent.map_or(u32::MAX, |p| p));
+            for d in 0..self.dims {
+                w.put_f64(node.mbr.lo(d));
+                w.put_f64(node.mbr.hi(d));
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => {
+                    w.put_u8(0);
+                    w.put_u64(children.len() as u64);
+                    for &c in children {
+                        w.put_u32(c);
+                    }
+                }
+                NodeKind::Leaf(entries) => {
+                    w.put_u8(1);
+                    w.put_u64(entries.len() as u64);
+                    for (tid, point) in entries {
+                        w.put_u32(*tid);
+                        for &v in point {
+                            w.put_f64(v);
+                        }
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a tree written by [`Self::to_bytes`], rebuilding the
+    /// tid → leaf map from the stored leaves.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        const LIMIT: usize = 1 << 30;
+        let mut r = ByteReader::new(bytes);
+        let dims = r.count(64)?;
+        let root = r.u32()?;
+        let height = r.count(LIMIT)?;
+        let max_entries = r.count(LIMIT)?;
+        let min_entries = r.count(LIMIT)?;
+        let bulk_fill = r.f64()?;
+        let node_count = r.count(LIMIT)?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let page = PageId(r.u64()?);
+            let parent = match r.u32()? {
+                u32::MAX => None,
+                p => Some(p),
+            };
+            let (mut lo, mut hi) = (Vec::with_capacity(dims), Vec::with_capacity(dims));
+            for _ in 0..dims {
+                lo.push(r.f64()?);
+                hi.push(r.f64()?);
+            }
+            // Rect::new asserts lo <= hi, so reject garbled bounds —
+            // including NaN, which is incomparable — as a typed error
+            // instead of panicking.
+            let ordered = |l: &f64, h: &f64| {
+                matches!(
+                    l.partial_cmp(h),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
+            };
+            if !lo.iter().zip(&hi).all(|(l, h)| ordered(l, h)) {
+                return Err(StorageError::Malformed("R-tree MBR bounds out of order"));
+            }
+            let mbr = Rect::new(lo, hi);
+            let kind = match r.u8()? {
+                0 => {
+                    let n = r.count(LIMIT)?;
+                    let mut children = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        children.push(r.u32()?);
+                    }
+                    NodeKind::Internal(children)
+                }
+                1 => {
+                    let n = r.count(LIMIT)?;
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let tid = r.u32()?;
+                        let mut point = Vec::with_capacity(dims);
+                        for _ in 0..dims {
+                            point.push(r.f64()?);
+                        }
+                        entries.push((tid, point));
+                    }
+                    NodeKind::Leaf(entries)
+                }
+                _ => return Err(StorageError::Malformed("unknown R-tree node kind")),
+            };
+            nodes.push(Node { mbr, kind, parent, page });
+        }
+        if root as usize >= nodes.len() {
+            return Err(StorageError::Malformed("R-tree root out of range"));
+        }
+        // Structural validation before any traversal: every node index in
+        // range, and the root-reachable graph acyclic (live_nodes has no
+        // visited set, so a cycle here would loop forever).
+        for node in &nodes {
+            if let Some(p) = node.parent {
+                if p as usize >= nodes.len() {
+                    return Err(StorageError::Malformed("R-tree parent index out of range"));
+                }
+            }
+            if let NodeKind::Internal(children) = &node.kind {
+                if children.iter().any(|&c| c as usize >= nodes.len()) {
+                    return Err(StorageError::Malformed("R-tree child index out of range"));
+                }
+            }
+        }
+        let mut tid_leaf = HashMap::new();
+        let mut visited = vec![false; nodes.len()];
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut visited[n as usize], true) {
+                return Err(StorageError::Malformed("R-tree node reachable twice (cycle)"));
+            }
+            match &nodes[n as usize].kind {
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+                NodeKind::Leaf(entries) => {
+                    for &(tid, _) in entries {
+                        tid_leaf.insert(tid, n);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            dims,
+            nodes,
+            root,
+            height,
+            config: RTreeConfig { max_entries, min_entries, bulk_fill },
+            tid_leaf,
+        })
+    }
+
     fn live_nodes(&self) -> impl Iterator<Item = u32> + '_ {
         // Nodes reachable from the root.
         let mut stack = vec![self.root];
@@ -751,6 +901,60 @@ mod tests {
             }
         }
         assert_eq!(tuple_count, t.tid_leaf.len());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let disk = DiskSim::with_defaults();
+        let pts = random_points(700, 3, 11);
+        let t = RTree::bulk_load(&disk, pts.clone(), RTreeConfig::small(12));
+        let back = RTree::from_bytes(&t.to_bytes()).expect("round trip");
+        check_invariants(&back);
+        assert_eq!(back.point_dims(), t.point_dims());
+        assert_eq!(back.height(), t.height());
+        assert_eq!(back.node_count(), t.node_count());
+        for (tid, _) in &pts {
+            assert_eq!(back.tuple_path(*tid), t.tuple_path(*tid), "path of tid {tid}");
+        }
+        assert!(RTree::from_bytes(&t.to_bytes()[..10]).is_err());
+    }
+
+    #[test]
+    fn malformed_serialization_fails_typed_not_by_panic() {
+        // A minimal hand-built blob: one internal node whose only child is
+        // itself (a cycle), which must be rejected, not looped on.
+        let disk = DiskSim::with_defaults();
+        let t = RTree::bulk_load(&disk, random_points(5, 2, 3), RTreeConfig::small(8));
+        let good = t.to_bytes();
+        // Locate the root node's record and splice in garbage variants via
+        // re-serialization of crafted trees instead: child out of range.
+        let mut w = rcube_storage::ByteWriter::new();
+        w.put_u64(2); // dims
+        w.put_u32(0); // root
+        w.put_u64(1); // height
+        w.put_u64(8); // max_entries
+        w.put_u64(2); // min_entries
+        w.put_f64(0.7);
+        w.put_u64(1); // one node
+        w.put_u64(0); // page
+        w.put_u32(u32::MAX); // no parent
+        for _ in 0..2 {
+            w.put_f64(0.0);
+            w.put_f64(1.0);
+        }
+        w.put_u8(0); // internal
+        w.put_u64(1);
+        let mut oob = w.into_bytes();
+        let mut cycle = oob.clone();
+        oob.extend_from_slice(&7u32.to_le_bytes()); // child 7 of 1 node
+        cycle.extend_from_slice(&0u32.to_le_bytes()); // child = self
+        assert!(RTree::from_bytes(&oob).is_err(), "out-of-range child must fail");
+        assert!(RTree::from_bytes(&cycle).is_err(), "self-cycle must fail");
+        // NaN MBR bounds fail typed too (NaN <= x is false).
+        let mut nan = good.clone();
+        let mbr_off = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4; // first node's first lo
+        nan[mbr_off..mbr_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(RTree::from_bytes(&nan).is_err(), "NaN bound must fail");
     }
 
     #[test]

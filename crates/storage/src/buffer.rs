@@ -1,11 +1,19 @@
-//! A small O(1) LRU buffer pool over page identifiers.
+//! LRU buffer pools: id-only accounting and real byte frames.
 //!
-//! The simulated device does not move bytes on hit/miss; the buffer only
-//! decides whether a logical read is charged as a physical one. Capacity is
-//! expressed in pages, mirroring the fixed-size buffer pool of the database
-//! server used in the thesis experiments.
+//! Two pools live here, both O(1) intrusive-list LRUs with capacity
+//! expressed in pages:
+//!
+//! * [`LruBuffer`] — page *identifiers* only. The simulated device
+//!   ([`crate::DiskSim`]) does not move bytes on hit/miss; this buffer
+//!   just decides whether a logical read is charged as a physical one.
+//! * [`BufferPool`] — real frames. The file backend caches each object's
+//!   assembled payload as an `Arc<[u8]>` frame weighted by its covering
+//!   page count; `get_bytes` handles are shared views into these frames,
+//!   so a hit serves the zero-copy posting-list cursors without touching
+//!   the file.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::disk::PageId;
 
@@ -144,6 +152,178 @@ impl LruBuffer {
     }
 }
 
+/// A byte-caching buffer pool: object frames under a page-weighted LRU.
+///
+/// Frames are keyed by the object's first page id and weigh as many pages
+/// as the object covers on disk. Inserting past capacity evicts
+/// least-recently-used frames until the new one fits; an object larger
+/// than the whole pool is admitted alone (the pool momentarily holds just
+/// that frame) so huge objects still benefit from back-to-back reads.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity_pages: usize,
+    used_pages: usize,
+    map: HashMap<PageId, usize>,
+    nodes: Vec<FrameNode>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct FrameNode {
+    key: PageId,
+    weight: usize,
+    frame: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity_pages` pages' worth of frames. Zero
+    /// disables caching (every read is a physical read).
+    pub fn new(capacity_pages: usize) -> Self {
+        Self {
+            capacity_pages,
+            used_pages: 0,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Pages currently held by cached frames.
+    pub fn used_pages(&self) -> usize {
+        self.used_pages
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since creation or the last [`BufferPool::clear`].
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up (and promotes) the frame rooted at `key`.
+    pub fn get(&mut self, key: PageId) -> Option<Arc<[u8]>> {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.push_front(idx);
+                self.hits += 1;
+                Some(Arc::clone(&self.nodes[idx].frame))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a frame weighing `weight_pages`, evicting LRU frames until
+    /// it fits. Replaces any existing frame under the same key.
+    pub fn insert(&mut self, key: PageId, frame: Arc<[u8]>, weight_pages: usize) {
+        if self.capacity_pages == 0 {
+            return;
+        }
+        self.invalidate(key);
+        let weight = weight_pages.max(1);
+        while self.used_pages + weight > self.capacity_pages && self.tail != NIL {
+            let victim = self.tail;
+            let victim_key = self.nodes[victim].key;
+            self.invalidate(victim_key);
+        }
+        if weight > self.capacity_pages && !self.map.is_empty() {
+            // Defensive: eviction loop above already emptied the pool.
+            return;
+        }
+        let node = FrameNode { key, weight, frame, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.used_pages += weight;
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drops the frame rooted at `key`, if cached.
+    pub fn invalidate(&mut self, key: PageId) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.used_pages -= self.nodes[idx].weight;
+            self.unlink(idx);
+            self.nodes[idx].frame = Arc::from(&[][..]);
+            self.free.push(idx);
+        }
+    }
+
+    /// Empties the pool (cold-cache measurement point) and resets the
+    /// hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used_pages = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +389,82 @@ mod tests {
         lru.clear();
         assert!(lru.is_empty());
         assert!(!lru.touch(p(0)));
+    }
+
+    fn frame(n: usize) -> Arc<[u8]> {
+        vec![0xABu8; n].into()
+    }
+
+    #[test]
+    fn pool_hits_after_insert() {
+        let mut pool = BufferPool::new(4);
+        assert!(pool.get(p(1)).is_none());
+        pool.insert(p(1), frame(10), 1);
+        let f = pool.get(p(1)).expect("cached");
+        assert_eq!(f.len(), 10);
+        assert_eq!(pool.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn pool_evicts_by_weight() {
+        let mut pool = BufferPool::new(4);
+        pool.insert(p(1), frame(1), 2);
+        pool.insert(p(2), frame(1), 2);
+        assert_eq!(pool.used_pages(), 4);
+        // A 3-page frame forces both residents out (LRU order).
+        pool.insert(p(3), frame(1), 3);
+        assert!(pool.get(p(1)).is_none());
+        assert!(pool.get(p(2)).is_none());
+        assert!(pool.get(p(3)).is_some());
+        assert_eq!(pool.used_pages(), 3);
+    }
+
+    #[test]
+    fn pool_promotes_on_get() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(p(1), frame(1), 1);
+        pool.insert(p(2), frame(1), 1);
+        pool.get(p(1)); // 2 becomes LRU
+        pool.insert(p(3), frame(1), 1);
+        assert!(pool.get(p(1)).is_some());
+        assert!(pool.get(p(2)).is_none());
+    }
+
+    #[test]
+    fn oversized_frame_still_admitted_alone() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(p(1), frame(1), 1);
+        pool.insert(p(9), frame(100), 10);
+        assert!(pool.get(p(9)).is_some(), "oversized frame admitted after clearing pool");
+        assert!(pool.get(p(1)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_pool_caches_nothing() {
+        let mut pool = BufferPool::new(0);
+        pool.insert(p(1), frame(4), 1);
+        assert!(pool.get(p(1)).is_none());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn pool_invalidate_and_clear() {
+        let mut pool = BufferPool::new(8);
+        pool.insert(p(1), frame(4), 2);
+        pool.invalidate(p(1));
+        assert_eq!(pool.used_pages(), 0);
+        pool.insert(p(2), frame(4), 2);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.hit_stats(), (0, 0));
+    }
+
+    #[test]
+    fn pool_churn_respects_capacity() {
+        let mut pool = BufferPool::new(8);
+        for i in 0..500u64 {
+            pool.insert(p(i % 13), frame(8), (i % 3) as usize + 1);
+            assert!(pool.used_pages() <= 8);
+        }
     }
 }

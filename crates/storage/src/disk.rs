@@ -1,14 +1,25 @@
-//! The simulated block device and a byte-addressed page store.
+//! The metered block device and the byte-addressed page store.
+//!
+//! [`DiskSim`] is the I/O *meter*: components allocate page ids and charge
+//! reads/writes against its shared [`IoStats`], with an id-level LRU
+//! buffer deciding hit vs physical read. It is fully thread-safe (atomic
+//! allocator, mutexed buffer), so a read-only cube can be queried from
+//! multiple threads sharing one device.
+//!
+//! [`PageStore`] holds real object bytes behind a pluggable
+//! [`PageBackend`]: the in-memory simulator by default, or a checksummed
+//! cube file ([`crate::FileBackend`]) for persistent, reopenable cubes.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::backend::{MemBackend, PageBackend, StorageError};
 use crate::buffer::LruBuffer;
+use crate::file::{FileBackend, DEFAULT_POOL_PAGES};
 use crate::stats::IoStats;
 use crate::DEFAULT_PAGE_SIZE;
 
-/// Identifier of a 4 KB (by default) page on the simulated device.
+/// Identifier of a 4 KB (by default) page on the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u64);
 
@@ -18,15 +29,16 @@ pub struct PageId(pub u64);
 /// from the device and *charge* reads/writes against it; the shared
 /// [`IoStats`] then report the paper's "number of disk accesses" metric.
 ///
-/// Interior mutability keeps the call sites ergonomic: query processors hold
-/// `&DiskSim` and charge I/O without threading `&mut` through every search
-/// routine.
+/// Interior mutability keeps the call sites ergonomic: query processors
+/// hold `&DiskSim` and charge I/O without threading `&mut` through every
+/// search routine. All interior state is thread-safe (`Mutex` + atomics),
+/// so `&DiskSim` can be shared across query threads.
 #[derive(Debug)]
 pub struct DiskSim {
     page_size: usize,
     stats: Arc<IoStats>,
-    buffer: RefCell<LruBuffer>,
-    next_page: RefCell<u64>,
+    buffer: Mutex<LruBuffer>,
+    next_page: AtomicU64,
 }
 
 impl DiskSim {
@@ -36,8 +48,8 @@ impl DiskSim {
         Self {
             page_size,
             stats: IoStats::new_shared(),
-            buffer: RefCell::new(LruBuffer::new(buffer_pages)),
-            next_page: RefCell::new(0),
+            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
+            next_page: AtomicU64::new(0),
         }
     }
 
@@ -58,20 +70,18 @@ impl DiskSim {
 
     /// Allocates a fresh page id.
     pub fn alloc_page(&self) -> PageId {
-        let mut next = self.next_page.borrow_mut();
-        let id = PageId(*next);
-        *next += 1;
-        id
+        PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Allocates `n` consecutive page ids (for multi-page objects).
     pub fn alloc_pages(&self, n: usize) -> Vec<PageId> {
-        (0..n).map(|_| self.alloc_page()).collect()
+        let first = self.next_page.fetch_add(n as u64, Ordering::Relaxed);
+        (0..n as u64).map(|i| PageId(first + i)).collect()
     }
 
     /// Charges a read of `page`; returns `true` if the buffer absorbed it.
     pub fn read(&self, page: PageId) -> bool {
-        let hit = self.buffer.borrow_mut().touch(page);
+        let hit = self.buffer.lock().unwrap().touch(page);
         self.stats.record_read(hit);
         hit
     }
@@ -87,7 +97,7 @@ impl DiskSim {
 
     /// Charges a write of `page` (write-through; also populates the buffer).
     pub fn write(&self, page: PageId) {
-        self.buffer.borrow_mut().touch(page);
+        self.buffer.lock().unwrap().touch(page);
         self.stats.record_write();
     }
 
@@ -104,7 +114,7 @@ impl DiskSim {
 
     /// Clears the buffer pool (cold-cache measurement point).
     pub fn clear_buffer(&self) {
-        self.buffer.borrow_mut().clear();
+        self.buffer.lock().unwrap().clear();
     }
 
     /// Resets the I/O counters.
@@ -119,41 +129,84 @@ impl Default for DiskSim {
     }
 }
 
-/// A byte-addressed object store on top of [`DiskSim`].
+/// A byte-addressed object store over a pluggable [`PageBackend`].
 ///
-/// Each stored object owns one or more consecutive pages; reading the object
-/// charges one read per covering page. This is how partial signatures,
-/// cuboid cells and base blocks are "persisted" in the reproduction.
-#[derive(Debug, Default)]
+/// Each stored object owns one or more consecutive pages; reading the
+/// object charges one read per covering page against the metering
+/// [`DiskSim`]. [`PageStore::new`] yields the in-memory simulator backend;
+/// [`PageStore::create_file`] / [`PageStore::open_file`] target a real
+/// cube file with checksummed pages and a byte-caching buffer pool.
+///
+/// The infallible methods (`put`, `get`, `get_bytes`, `overwrite`) keep
+/// the historical panic-on-invariant-violation contract for the in-memory
+/// hot paths; the `try_*` variants surface typed [`StorageError`]s and are
+/// what persistence-aware code (save/open, integrity scrubs, serving from
+/// possibly-corrupt files) should call.
+#[derive(Debug, Clone)]
 pub struct PageStore {
-    objects: RefCell<HashMap<PageId, Arc<[u8]>>>,
+    backend: Arc<dyn PageBackend>,
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PageStore {
+    /// In-memory store (deterministic simulator backend).
     pub fn new() -> Self {
-        Self::default()
+        Self { backend: Arc::new(MemBackend::new()) }
     }
 
-    /// Stores `data` on `disk`, returning the first page id of the object.
+    /// Store over an explicit backend.
+    pub fn with_backend(backend: Arc<dyn PageBackend>) -> Self {
+        Self { backend }
+    }
+
+    /// Creates a fresh cube file at `path` (truncating an existing one).
+    pub fn create_file(
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        Ok(Self { backend: Arc::new(FileBackend::create(path, page_size, pool_pages)?) })
+    }
+
+    /// Opens an existing cube file read-only with the given pool capacity.
+    pub fn open_file(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        Ok(Self { backend: Arc::new(FileBackend::open(path, pool_pages)?) })
+    }
+
+    /// Opens an existing cube file with the default pool capacity.
+    pub fn open_file_default(path: impl AsRef<std::path::Path>) -> Result<Self, StorageError> {
+        Self::open_file(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// The backing device.
+    pub fn backend(&self) -> &Arc<dyn PageBackend> {
+        &self.backend
+    }
+
+    /// Stores `data`, charging writes to `disk`; returns the first page id.
     pub fn put(&self, disk: &DiskSim, data: Vec<u8>) -> PageId {
-        let pages = disk.pages_for(data.len());
-        let ids = disk.alloc_pages(pages);
-        let first = ids[0];
-        for id in &ids {
-            disk.write(*id);
-        }
-        self.objects.borrow_mut().insert(first, data.into());
-        first
+        self.try_put(disk, data).unwrap_or_else(|e| panic!("PageStore::put: {e}"))
+    }
+
+    /// Fallible [`PageStore::put`].
+    pub fn try_put(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        self.backend.put(disk, data)
     }
 
     /// Replaces the object rooted at `first` (same id, new bytes). Charges
     /// writes for the covering pages.
     pub fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) {
-        let pages = disk.pages_for(data.len());
-        for i in 0..pages as u64 {
-            disk.write(PageId(first.0 + i));
-        }
-        self.objects.borrow_mut().insert(first, data.into());
+        self.backend
+            .overwrite(disk, first, data)
+            .unwrap_or_else(|e| panic!("PageStore::overwrite: {e}"))
     }
 
     /// Reads the object rooted at `first`, charging I/O for every covering
@@ -164,37 +217,77 @@ impl PageStore {
     }
 
     /// Zero-copy read: charges the same I/O as [`PageStore::get`] but hands
-    /// back a shared handle to the page bytes instead of copying them.
-    /// Query processors keep the handle in their block buffer and parse
-    /// borrowed posting-list views (`rcube_core::idlist`-style) directly
-    /// over it.
+    /// back a shared handle to the object bytes instead of copying them.
+    /// Over a file backend the handle is a view into a buffer-pool frame;
+    /// query processors parse borrowed posting-list views
+    /// (`rcube_core::idlist`-style) directly over it.
     pub fn get_bytes(&self, disk: &DiskSim, first: PageId) -> Arc<[u8]> {
-        let objects = self.objects.borrow();
-        let data = objects
-            .get(&first)
-            .unwrap_or_else(|| panic!("PageStore::get: missing object at {first:?}"));
-        disk.read_span(first, data.len());
-        Arc::clone(data)
+        self.try_get_bytes(disk, first)
+            .unwrap_or_else(|e| panic!("PageStore::get_bytes at {first:?}: {e}"))
+    }
+
+    /// Fallible [`PageStore::get_bytes`]: the hardened read path. Every
+    /// page is validated (type, length, CRC) before bytes are handed out;
+    /// truncation or corruption comes back as a typed [`StorageError`].
+    pub fn try_get_bytes(&self, disk: &DiskSim, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.backend.get(disk, first)
+    }
+
+    /// Reads an object without charging I/O (catalog/bookkeeping reads).
+    pub fn peek(&self, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.backend.peek(first)
     }
 
     /// Object size in bytes without charging I/O (catalog lookup).
     pub fn size_of(&self, first: PageId) -> Option<usize> {
-        self.objects.borrow().get(&first).map(|d| d.len())
+        self.backend.size_of(first)
     }
 
     /// Total stored bytes across all objects (materialized-size metric).
     pub fn total_bytes(&self) -> usize {
-        self.objects.borrow().values().map(|d| d.len()).sum()
+        self.backend.total_bytes()
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.objects.borrow().len()
+        self.backend.object_count()
     }
 
     /// True when no objects are stored.
     pub fn is_empty(&self) -> bool {
-        self.objects.borrow().is_empty()
+        self.len() == 0
+    }
+
+    /// Drops backend-cached bytes (cold-cache measurement point; no-op for
+    /// the in-memory backend, whose hits live in the `DiskSim` buffer).
+    pub fn clear_cache(&self) {
+        self.backend.clear_cache();
+    }
+
+    /// Durably persists backend metadata (superblock + allocation map).
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.backend.flush()
+    }
+
+    /// True when the backend rejects writes (a reopened cube file).
+    pub fn read_only(&self) -> bool {
+        self.backend.read_only()
+    }
+
+    /// The catalog root recorded on the device, if any.
+    pub fn catalog(&self) -> Option<PageId> {
+        self.backend.catalog()
+    }
+
+    /// Records the catalog root on the device.
+    pub fn set_catalog(&self, first: PageId) -> Result<(), StorageError> {
+        self.backend.set_catalog(first)
+    }
+
+    /// Stores the catalog object and records it as the root (excluded
+    /// from the materialized totals on persistent backends).
+    pub fn put_catalog(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        self.backend.put_catalog(disk, data)
     }
 }
 
@@ -275,5 +368,53 @@ mod tests {
         let ids = disk.alloc_pages(3);
         assert_eq!(ids[1].0, ids[0].0 + 1);
         assert_eq!(ids[2].0, ids[0].0 + 2);
+    }
+
+    #[test]
+    fn try_get_bytes_reports_missing_object() {
+        let disk = DiskSim::with_defaults();
+        let store = PageStore::new();
+        assert!(matches!(
+            store.try_get_bytes(&disk, PageId(3)),
+            Err(StorageError::MissingObject(PageId(3)))
+        ));
+    }
+
+    #[test]
+    fn disk_is_shareable_across_threads() {
+        let disk = DiskSim::new(4096, 8);
+        let store = PageStore::new();
+        let ids: Vec<PageId> = (0..8).map(|i| store.put(&disk, vec![i as u8; 64])).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for &id in &ids {
+                        let bytes = store.get_bytes(&disk, id);
+                        assert_eq!(bytes.len(), 64);
+                    }
+                });
+            }
+        });
+        // 4 threads × 8 objects × 1 page each, all charged.
+        assert_eq!(disk.stats().snapshot().logical_reads, 32);
+    }
+
+    #[test]
+    fn file_backed_store_round_trips_via_pagestore() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_pagestore_{}", std::process::id()));
+        let disk = DiskSim::with_defaults();
+        let id = {
+            let store = PageStore::create_file(&path, 512, 8).unwrap();
+            let id = store.put(&disk, b"persistent bytes".to_vec());
+            store.set_catalog(id).unwrap();
+            store.flush().unwrap();
+            id
+        };
+        let store = PageStore::open_file(&path, 8).unwrap();
+        assert!(store.read_only());
+        assert_eq!(store.catalog(), Some(id));
+        assert_eq!(&store.get(&disk, id)[..], b"persistent bytes");
+        std::fs::remove_file(&path).ok();
     }
 }

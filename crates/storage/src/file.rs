@@ -1,0 +1,659 @@
+//! The file-backed page store: one cube file, checksummed pages, a real
+//! buffer pool.
+//!
+//! Layout is defined in [`crate::format`]: a superblock on page 0,
+//! CRC-checked object pages, and an allocation bitmap flushed with the
+//! superblock. Objects are written append-only during a cube save and the
+//! file is reopened read-only for serving; every page is validated
+//! (type, length, CRC) *before* its bytes are handed out, so a truncated
+//! or bit-flipped file surfaces as a typed [`StorageError`] instead of a
+//! wrong answer.
+//!
+//! Reads go through a [`BufferPool`] holding assembled object frames
+//! weighted by their covering page count: a pool hit charges only logical
+//! reads against the metering [`DiskSim`], a miss reads and verifies the
+//! covering pages, charges physical reads, and admits the frame under LRU
+//! eviction — the cost model of the in-memory simulator, now with the
+//! bytes actually coming off disk.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::backend::{PageBackend, StorageError};
+use crate::buffer::BufferPool;
+use crate::disk::{DiskSim, PageId};
+use crate::format::{
+    decode_page, encode_page, PageType, Superblock, FLAG_CONTINUES, MAX_PAGE_SIZE, MIN_PAGE_SIZE,
+    PAGE_HEADER, SUPERBLOCK_LEN,
+};
+use crate::stats::IoStats;
+
+/// Default buffer-pool capacity for file-backed stores (pages), matching
+/// the simulator's 256-page (1 MB at 4 KB) default.
+pub const DEFAULT_POOL_PAGES: usize = 256;
+
+#[derive(Debug)]
+struct FileState {
+    page_count: u64,
+    catalog_first: Option<u64>,
+    total_bytes: u64,
+    object_count: u64,
+    /// first page → object payload length, learned on put and on first read.
+    sizes: HashMap<u64, u32>,
+    /// Metadata changed since the last superblock flush.
+    dirty: bool,
+}
+
+/// A single-file page store (see module docs).
+#[derive(Debug)]
+pub struct FileBackend {
+    file: Mutex<File>,
+    page_size: usize,
+    read_only: bool,
+    state: Mutex<FileState>,
+    pool: Mutex<BufferPool>,
+}
+
+impl FileBackend {
+    /// Creates a fresh cube file at `path` (truncating any existing file)
+    /// with the given page size and buffer-pool capacity in pages.
+    pub fn create(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
+            return Err(StorageError::BadLength { page: 0, len: page_size, max: MAX_PAGE_SIZE });
+        }
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let backend = Self {
+            file: Mutex::new(file),
+            page_size,
+            read_only: false,
+            state: Mutex::new(FileState {
+                page_count: 1,
+                catalog_first: None,
+                total_bytes: 0,
+                object_count: 0,
+                sizes: HashMap::new(),
+                dirty: true,
+            }),
+            pool: Mutex::new(BufferPool::new(pool_pages)),
+        };
+        // Stamp a bare superblock (no allocation map yet) so a crash
+        // before the first flush still leaves an identifiable file.
+        let sb = Superblock {
+            page_size: page_size as u32,
+            page_count: 1,
+            catalog_first: None,
+            total_bytes: 0,
+            object_count: 0,
+            alloc_first: None,
+            alloc_pages: 0,
+        };
+        let mut page0 = vec![0u8; page_size];
+        sb.encode(&mut page0);
+        backend.write_page_raw(0, &page0)?;
+        Ok(backend)
+    }
+
+    /// Opens an existing cube file read-only, validating the superblock
+    /// (magic, CRC, version, page-size bounds), the file length against
+    /// the recorded page count, and the allocation map.
+    pub fn open(path: impl AsRef<Path>, pool_pages: usize) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new().read(true).open(path)?;
+        let mut head = [0u8; SUPERBLOCK_LEN];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head).map_err(|_| StorageError::BadMagic)?;
+        let sb = Superblock::decode(&head)?;
+        let page_size = sb.page_size as usize;
+        let file_len = file.metadata()?.len();
+        let need = sb
+            .page_count
+            .checked_mul(page_size as u64)
+            .ok_or(StorageError::Malformed("page count overflows the file size"))?;
+        if file_len < need {
+            return Err(StorageError::TruncatedObject { page: sb.page_count });
+        }
+        // The superblock CRC covers its 64 serialized bytes; the rest of
+        // page 0 is zero padding by construction, so verify it — a bit
+        // flip anywhere on page 0 must be detected like on any other page.
+        let mut page0 = vec![0u8; page_size];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut page0).map_err(|_| StorageError::TruncatedObject { page: 0 })?;
+        if page0[SUPERBLOCK_LEN..].iter().any(|&b| b != 0) {
+            return Err(StorageError::ChecksumMismatch { page: 0 });
+        }
+        let backend = Self {
+            file: Mutex::new(file),
+            page_size,
+            read_only: true,
+            state: Mutex::new(FileState {
+                page_count: sb.page_count,
+                catalog_first: sb.catalog_first,
+                total_bytes: sb.total_bytes,
+                object_count: sb.object_count,
+                sizes: HashMap::new(),
+                dirty: false,
+            }),
+            pool: Mutex::new(BufferPool::new(pool_pages)),
+        };
+        backend.verify_alloc_map(&sb)?;
+        Ok(backend)
+    }
+
+    /// Opens with the default pool capacity.
+    pub fn open_default(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// Page size of this file.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Buffer-pool `(hits, misses)` since open or the last cache clear.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.lock().unwrap().hit_stats()
+    }
+
+    /// Per-page payload capacity.
+    fn cap(&self) -> usize {
+        self.page_size - PAGE_HEADER
+    }
+
+    /// Pages covering an object of `len` payload bytes (the first page
+    /// spends 4 payload bytes on the length prefix).
+    fn pages_for_object(&self, len: usize) -> usize {
+        (len + 4).div_ceil(self.cap()).max(1)
+    }
+
+    fn page_offset(&self, page: u64) -> Result<u64, StorageError> {
+        page.checked_mul(self.page_size as u64)
+            .ok_or(StorageError::OutOfBounds { page, page_count: u64::MAX / self.page_size as u64 })
+    }
+
+    fn read_page_raw(&self, page: u64) -> Result<Vec<u8>, StorageError> {
+        let mut buf = vec![0u8; self.page_size];
+        let offset = self.page_offset(page)?;
+        let mut file = self.file.lock().unwrap();
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut buf).map_err(|_| StorageError::TruncatedObject { page })?;
+        Ok(buf)
+    }
+
+    fn write_page_raw(&self, page: u64, buf: &[u8]) -> Result<(), StorageError> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let offset = self.page_offset(page)?;
+        let mut file = self.file.lock().unwrap();
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Writes `data` as an object over `pages` consecutive pages starting
+    /// at `first` and returns the covering page count.
+    fn write_object_pages(&self, first: u64, data: &[u8]) -> Result<usize, StorageError> {
+        let cap = self.cap();
+        let pages = self.pages_for_object(data.len());
+        let mut page_buf = vec![0u8; self.page_size];
+        // First page: [total_len u32][data prefix].
+        let head_take = data.len().min(cap - 4);
+        let mut payload = Vec::with_capacity(4 + head_take);
+        payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&data[..head_take]);
+        let flags = if pages > 1 { FLAG_CONTINUES } else { 0 };
+        encode_page(&mut page_buf, PageType::ObjFirst, flags, &payload);
+        self.write_page_raw(first, &page_buf)?;
+        // Continuation pages: raw payload runs.
+        let mut off = head_take;
+        for i in 1..pages {
+            let take = (data.len() - off).min(cap);
+            let flags = if i + 1 < pages { FLAG_CONTINUES } else { 0 };
+            encode_page(&mut page_buf, PageType::ObjCont, flags, &data[off..off + take]);
+            self.write_page_raw(first + i as u64, &page_buf)?;
+            off += take;
+        }
+        debug_assert_eq!(off, data.len());
+        Ok(pages)
+    }
+
+    /// Reads, validates and assembles the object rooted at `first`.
+    /// Returns the payload and its covering page count.
+    fn read_object(&self, first: u64) -> Result<(Arc<[u8]>, usize), StorageError> {
+        let page_count = self.state.lock().unwrap().page_count;
+        if first == 0 || first >= page_count {
+            return Err(StorageError::OutOfBounds { page: first, page_count });
+        }
+        let head = self.read_page_raw(first)?;
+        let view = decode_page(&head, first)?;
+        if view.ptype != PageType::ObjFirst {
+            return Err(StorageError::BadPageType { page: first, found: view.ptype as u8 });
+        }
+        if view.payload.len() < 4 {
+            return Err(StorageError::BadLength { page: first, len: view.payload.len(), max: 4 });
+        }
+        let total_len = u32::from_le_bytes(view.payload[0..4].try_into().unwrap()) as usize;
+        let pages = self.pages_for_object(total_len);
+        if first + pages as u64 > page_count {
+            return Err(StorageError::TruncatedObject { page: first + pages as u64 - 1 });
+        }
+        let mut data = Vec::with_capacity(total_len);
+        data.extend_from_slice(&view.payload[4..]);
+        let mut continues = view.continues;
+        for i in 1..pages {
+            if !continues {
+                return Err(StorageError::TruncatedObject { page: first + i as u64 - 1 });
+            }
+            let raw = self.read_page_raw(first + i as u64)?;
+            let v = decode_page(&raw, first + i as u64)?;
+            if v.ptype != PageType::ObjCont {
+                return Err(StorageError::BadPageType {
+                    page: first + i as u64,
+                    found: v.ptype as u8,
+                });
+            }
+            data.extend_from_slice(v.payload);
+            continues = v.continues;
+        }
+        if data.len() != total_len || continues {
+            return Err(StorageError::BadLength { page: first, len: data.len(), max: total_len });
+        }
+        self.state.lock().unwrap().sizes.insert(first, total_len as u32);
+        Ok((data.into(), pages))
+    }
+
+    /// Pool-aware fetch; charges `stats` (when metering) per covering page.
+    fn fetch(&self, first: PageId, stats: Option<&IoStats>) -> Result<Arc<[u8]>, StorageError> {
+        if let Some(frame) = self.pool.lock().unwrap().get(first) {
+            if let Some(stats) = stats {
+                for _ in 0..self.pages_for_object(frame.len()) {
+                    stats.record_read(true);
+                }
+            }
+            return Ok(frame);
+        }
+        let (frame, pages) = self.read_object(first.0)?;
+        if let Some(stats) = stats {
+            for _ in 0..pages {
+                stats.record_read(false);
+            }
+        }
+        self.pool.lock().unwrap().insert(first, Arc::clone(&frame), pages);
+        Ok(frame)
+    }
+
+    /// Validates the allocation bitmap referenced by the superblock:
+    /// every map page passes CRC/type checks and every page below
+    /// `page_count` is marked allocated.
+    fn verify_alloc_map(&self, sb: &Superblock) -> Result<(), StorageError> {
+        let Some(alloc_first) = sb.alloc_first else {
+            return Ok(()); // never flushed with a map (fresh/empty file)
+        };
+        let mut bits: Vec<u8> = Vec::new();
+        for i in 0..sb.alloc_pages as u64 {
+            let raw = self.read_page_raw(alloc_first + i)?;
+            let v = decode_page(&raw, alloc_first + i)?;
+            if v.ptype != PageType::AllocMap {
+                return Err(StorageError::BadPageType {
+                    page: alloc_first + i,
+                    found: v.ptype as u8,
+                });
+            }
+            bits.extend_from_slice(v.payload);
+        }
+        for page in 0..sb.page_count {
+            let (byte, bit) = ((page / 8) as usize, page % 8);
+            if byte >= bits.len() || bits[byte] >> bit & 1 == 0 {
+                return Err(StorageError::Malformed("allocation map misses a live page"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PageBackend for FileBackend {
+    fn put(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
+        let (first, pages) = {
+            let mut st = self.state.lock().unwrap();
+            let first = st.page_count;
+            let pages = self.pages_for_object(data.len());
+            st.page_count += pages as u64;
+            st.total_bytes += data.len() as u64;
+            st.object_count += 1;
+            st.sizes.insert(first, data.len() as u32);
+            st.dirty = true;
+            (first, pages)
+        };
+        self.write_object_pages(first, &data)?;
+        let stats = disk.stats();
+        for _ in 0..pages {
+            stats.record_write();
+        }
+        let frame: Arc<[u8]> = data.into();
+        self.pool.lock().unwrap().insert(PageId(first), frame, pages);
+        Ok(PageId(first))
+    }
+
+    fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) -> Result<(), StorageError> {
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
+        // The new bytes must fit the originally allocated span; shrinking
+        // leaves orphaned-but-allocated tail pages, which is fine for the
+        // append-only writer.
+        let old_len = match self.state.lock().unwrap().sizes.get(&first.0).copied() {
+            Some(l) => l as usize,
+            None => self.read_object(first.0)?.0.len(),
+        };
+        let old_pages = self.pages_for_object(old_len);
+        let new_pages = self.pages_for_object(data.len());
+        if new_pages > old_pages {
+            return Err(StorageError::BadLength {
+                page: first.0,
+                len: data.len(),
+                max: old_pages * self.cap() - 4,
+            });
+        }
+        self.write_object_pages(first.0, &data)?;
+        let stats = disk.stats();
+        for _ in 0..new_pages {
+            stats.record_write();
+        }
+        {
+            let mut st = self.state.lock().unwrap();
+            st.total_bytes = st.total_bytes + data.len() as u64 - old_len as u64;
+            st.sizes.insert(first.0, data.len() as u32);
+            st.dirty = true;
+        }
+        let frame: Arc<[u8]> = data.into();
+        self.pool.lock().unwrap().insert(first, frame, new_pages);
+        Ok(())
+    }
+
+    fn get(&self, disk: &DiskSim, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.fetch(first, Some(&disk.stats()))
+    }
+
+    fn peek(&self, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.fetch(first, None)
+    }
+
+    fn size_of(&self, first: PageId) -> Option<usize> {
+        self.state.lock().unwrap().sizes.get(&first.0).map(|&l| l as usize)
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.state.lock().unwrap().total_bytes as usize
+    }
+
+    fn object_count(&self) -> usize {
+        self.state.lock().unwrap().object_count as usize
+    }
+
+    fn clear_cache(&self) {
+        self.pool.lock().unwrap().clear();
+    }
+
+    fn flush(&self) -> Result<(), StorageError> {
+        if self.read_only {
+            return Ok(());
+        }
+        let mut st = self.state.lock().unwrap();
+        if !st.dirty {
+            return Ok(());
+        }
+        // Allocation bitmap over all pages including the map itself:
+        // find the smallest map that covers `page_count + map_pages` bits.
+        let cap_bits = self.cap() * 8;
+        let mut map_pages = 1usize;
+        while (st.page_count as usize + map_pages) > map_pages * cap_bits {
+            map_pages += 1;
+        }
+        let alloc_first = st.page_count;
+        let final_count = st.page_count + map_pages as u64;
+        let total_bits = final_count as usize;
+        let mut bits = vec![0u8; total_bits.div_ceil(8)];
+        for page in 0..total_bits {
+            bits[page / 8] |= 1 << (page % 8);
+        }
+        let mut page_buf = vec![0u8; self.page_size];
+        for (i, chunk) in bits.chunks(self.cap()).enumerate() {
+            encode_page(&mut page_buf, PageType::AllocMap, 0, chunk);
+            self.write_page_raw(alloc_first + i as u64, &page_buf)?;
+        }
+        st.page_count = final_count;
+        let sb = Superblock {
+            page_size: self.page_size as u32,
+            page_count: st.page_count,
+            catalog_first: st.catalog_first,
+            total_bytes: st.total_bytes,
+            object_count: st.object_count,
+            alloc_first: Some(alloc_first),
+            alloc_pages: map_pages as u32,
+        };
+        let mut page0 = vec![0u8; self.page_size];
+        sb.encode(&mut page0);
+        self.write_page_raw(0, &page0)?;
+        self.file.lock().unwrap().sync_all()?;
+        st.dirty = false;
+        Ok(())
+    }
+
+    fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn put_catalog(&self, _disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
+        // Like `put`, but the catalog is file metadata: it is neither
+        // charged as query I/O nor counted in the materialized totals.
+        let (first, pages) = {
+            let mut st = self.state.lock().unwrap();
+            let first = st.page_count;
+            let pages = self.pages_for_object(data.len());
+            st.page_count += pages as u64;
+            st.sizes.insert(first, data.len() as u32);
+            st.catalog_first = Some(first);
+            st.dirty = true;
+            (first, pages)
+        };
+        self.write_object_pages(first, &data)?;
+        let frame: Arc<[u8]> = data.into();
+        self.pool.lock().unwrap().insert(PageId(first), frame, pages);
+        Ok(PageId(first))
+    }
+
+    fn catalog(&self) -> Option<PageId> {
+        self.state.lock().unwrap().catalog_first.map(PageId)
+    }
+
+    fn set_catalog(&self, first: PageId) -> Result<(), StorageError> {
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
+        let mut st = self.state.lock().unwrap();
+        st.catalog_first = Some(first.0);
+        st.dirty = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rcube_filebackend_{tag}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = temp_path("roundtrip");
+        let disk = DiskSim::with_defaults();
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let small = vec![7u8; 20];
+        let (id_big, id_small) = {
+            let be = FileBackend::create(&path, 4096, 16).unwrap();
+            let a = be.put(&disk, data.clone()).unwrap();
+            let b = be.put(&disk, small.clone()).unwrap();
+            be.set_catalog(b).unwrap();
+            be.flush().unwrap();
+            (a, b)
+        };
+        let be = FileBackend::open(&path, 16).unwrap();
+        assert!(be.read_only());
+        assert_eq!(be.catalog(), Some(id_small));
+        assert_eq!(be.object_count(), 2);
+        assert_eq!(be.total_bytes(), data.len() + small.len());
+        let disk2 = DiskSim::with_defaults();
+        assert_eq!(&be.get(&disk2, id_big).unwrap()[..], &data[..]);
+        assert_eq!(&be.get(&disk2, id_small).unwrap()[..], &small[..]);
+        // Multi-page object: 40 004 bytes over (4096−8)-byte payloads = 10
+        // physical reads, then a pool hit charges logical reads only.
+        let before = disk2.stats().snapshot();
+        be.get(&disk2, id_big).unwrap();
+        let d = before.delta(&disk2.stats().snapshot());
+        assert_eq!(d.disk_reads, 0);
+        assert_eq!(d.logical_reads, 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cold_reads_charge_physical_io() {
+        let path = temp_path("cold");
+        let disk = DiskSim::with_defaults();
+        let be = FileBackend::create(&path, 256, 64).unwrap();
+        let id = be.put(&disk, vec![1u8; 600]).unwrap(); // 3 pages at 248-byte cap
+        be.flush().unwrap();
+        be.clear_cache();
+        let before = disk.stats().snapshot();
+        be.get(&disk, id).unwrap();
+        let d = before.delta(&disk.stats().snapshot());
+        assert_eq!(d.disk_reads, 3);
+        be.get(&disk, id).unwrap();
+        let d = before.delta(&disk.stats().snapshot());
+        assert_eq!(d.disk_reads, 3, "second read served by the pool");
+        assert_eq!(d.logical_reads, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_yields_checksum_error() {
+        let path = temp_path("corrupt");
+        let disk = DiskSim::with_defaults();
+        let id = {
+            let be = FileBackend::create(&path, 256, 0).unwrap();
+            let id = be.put(&disk, vec![5u8; 100]).unwrap();
+            be.flush().unwrap();
+            id
+        };
+        // Flip one payload byte inside the object's page.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[256 * id.0 as usize + 40] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackend::open(&path, 0).unwrap();
+        match be.get(&disk, id) {
+            Err(StorageError::ChecksumMismatch { page }) => assert_eq!(page, id.0),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected_on_open() {
+        let path = temp_path("truncated");
+        {
+            let disk = DiskSim::with_defaults();
+            let be = FileBackend::create(&path, 256, 0).unwrap();
+            be.put(&disk, vec![1u8; 2000]).unwrap();
+            be.flush().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 300]).unwrap();
+        assert!(matches!(FileBackend::open(&path, 0), Err(StorageError::TruncatedObject { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn superblock_padding_corruption_detected() {
+        let path = temp_path("sb_padding");
+        {
+            let disk = DiskSim::with_defaults();
+            let be = FileBackend::create(&path, 256, 0).unwrap();
+            be.put(&disk, vec![3u8; 50]).unwrap();
+            be.flush().unwrap();
+        }
+        // Flip a byte in page 0 *past* the 64 serialized superblock bytes:
+        // the zero-padding check must reject it like any checksum failure.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[100] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileBackend::open(&path, 0),
+            Err(StorageError::ChecksumMismatch { page: 0 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn not_a_cube_file_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, vec![0x42u8; 4096]).unwrap();
+        assert!(matches!(FileBackend::open(&path, 0), Err(StorageError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn superblock_and_out_of_bounds_reads_rejected() {
+        let path = temp_path("oob");
+        let disk = DiskSim::with_defaults();
+        let be = FileBackend::create(&path, 256, 0).unwrap();
+        be.put(&disk, vec![1u8; 10]).unwrap();
+        assert!(matches!(be.get(&disk, PageId(0)), Err(StorageError::OutOfBounds { .. })));
+        assert!(matches!(be.get(&disk, PageId(99)), Err(StorageError::OutOfBounds { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopened_file_rejects_writes() {
+        let path = temp_path("readonly");
+        let disk = DiskSim::with_defaults();
+        {
+            let be = FileBackend::create(&path, 256, 0).unwrap();
+            be.put(&disk, vec![1u8; 10]).unwrap();
+            be.flush().unwrap();
+        }
+        let be = FileBackend::open(&path, 0).unwrap();
+        assert!(matches!(be.put(&disk, vec![2u8; 5]), Err(StorageError::ReadOnly)));
+        assert!(matches!(be.set_catalog(PageId(1)), Err(StorageError::ReadOnly)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overwrite_within_span_round_trips() {
+        let path = temp_path("overwrite");
+        let disk = DiskSim::with_defaults();
+        let be = FileBackend::create(&path, 256, 4).unwrap();
+        let id = be.put(&disk, vec![1u8; 400]).unwrap();
+        be.overwrite(&disk, id, vec![2u8; 300]).unwrap();
+        assert_eq!(&be.get(&disk, id).unwrap()[..], &[2u8; 300][..]);
+        // Growing past the allocated span is rejected.
+        assert!(matches!(
+            be.overwrite(&disk, id, vec![3u8; 4000]),
+            Err(StorageError::BadLength { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,29 +1,43 @@
-//! Simulated block storage for the ranking-cube reproduction.
+//! Paged block storage for the ranking-cube reproduction.
 //!
 //! Every experiment in the paper reports *disk accesses* at page granularity
 //! (4 KB pages by default, matching the thesis' R-tree/SQL-Server setup).
 //! This crate provides:
 //!
-//! * [`IoStats`] — shared counters for logical reads, physical (buffer-miss)
-//!   reads, writes and random accesses;
-//! * [`DiskSim`] — a simulated block device with an LRU buffer pool that
-//!   charges physical reads only on buffer misses;
-//! * [`PageStore`] — a byte-addressed page store on top of [`DiskSim`] used to
-//!   persist serialized structures (partial signatures, tid lists);
+//! * [`IoStats`] — shared atomic counters for logical reads, physical
+//!   (buffer-miss) reads, writes and random accesses;
+//! * [`DiskSim`] — a thread-safe metered block device with an LRU buffer
+//!   that charges physical reads only on buffer misses;
+//! * [`PageBackend`] — the pluggable device trait behind [`PageStore`],
+//!   with two implementations: [`MemBackend`] (the deterministic
+//!   in-memory simulator) and [`FileBackend`] (a real single-file store
+//!   with a superblock, CRC-checksummed pages, an allocation map and a
+//!   byte-caching [`BufferPool`] — see [`format`] for the on-disk layout);
+//! * [`PageStore`] — the byte-addressed object store used to persist
+//!   serialized structures (cuboid cells, base blocks, partial
+//!   signatures), in memory or in a reopenable cube file;
 //! * [`bits`] — bit-level readers/writers used by the signature coding
 //!   schemes of Chapter 4 (`BL`/`RL`/`PI`/`PC` produce real binary strings).
 //!
-//! The device is in-memory: the simulation preserves the paper's *relative*
-//! cost model (who does more I/O) rather than absolute disk latencies.
+//! The in-memory device preserves the paper's *relative* cost model (who
+//! does more I/O); the file device adds real persistence with the same
+//! metering, so cold-open, warm-pool and in-memory runs are directly
+//! comparable.
 
+pub mod backend;
 pub mod bits;
 pub mod buffer;
 pub mod disk;
+pub mod file;
+pub mod format;
 pub mod stats;
 
+pub use backend::{MemBackend, PageBackend, StorageError};
 pub use bits::{bits_for, BitReader, BitWriter};
-pub use buffer::LruBuffer;
+pub use buffer::{BufferPool, LruBuffer};
 pub use disk::{DiskSim, PageId, PageStore};
+pub use file::{FileBackend, DEFAULT_POOL_PAGES};
+pub use format::{ByteReader, ByteWriter};
 pub use stats::{IoSnapshot, IoStats};
 
 /// Default page size used throughout the reproduction (bytes).

@@ -1,0 +1,71 @@
+//! Persistent ranking cubes: build once, save to a single cube file,
+//! reopen read-only and serve identical top-k answers — cold and warm.
+//!
+//! ```sh
+//! cargo run --release --example persistent_cube
+//! ```
+
+use std::time::Instant;
+
+use ranking_cube::prelude::*;
+use ranking_cube::table::gen::SyntheticSpec;
+
+fn main() {
+    // Offline: build a grid ranking cube over a synthetic relation.
+    let rel = SyntheticSpec { tuples: 20_000, cardinality: 5, ..Default::default() }.generate();
+    let disk = DiskSim::with_defaults();
+    let t = Instant::now();
+    let cube = GridRankingCube::build(&rel, &disk, GridCubeConfig::default());
+    println!(
+        "built cube: {} cuboids, {} KB materialized ({:.0} ms)",
+        cube.cuboid_dims().len(),
+        cube.materialized_bytes() / 1024,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Persist: every base block and cuboid cell becomes a checksummed
+    // page run; the catalog lands in the superblock.
+    let mut path = std::env::temp_dir();
+    path.push(format!("rcube_example_cube_{}", std::process::id()));
+    let t = Instant::now();
+    cube.save_to(&path).expect("save cube");
+    let file_kb = std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0);
+    println!(
+        "saved to {} ({file_kb} KB, {:.0} ms)",
+        path.display(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Reopen read-only — this could be a different process entirely (the
+    // integration suite proves it with a spawned child).
+    let t = Instant::now();
+    let reopened = GridRankingCube::open_from(&path).expect("reopen cube");
+    println!("reopened read-only in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let query = TopKQuery::new(vec![(0, 1), (2, 3)], Linear::uniform(2), 10);
+    let serve_disk = DiskSim::with_defaults();
+
+    // Cold: buffer pool empty, every page read from the file and verified.
+    let t = Instant::now();
+    let cold = reopened.query(&query, &serve_disk);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Warm: the same pages now live in buffer-pool frames.
+    let t = Instant::now();
+    let warm = reopened.query(&query, &serve_disk);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mem = cube.query(&query, &disk);
+    assert_eq!(mem.items, cold.items);
+    assert_eq!(mem.items, warm.items);
+    println!("top-{} identical across in-memory / cold file / warm file", cold.items.len());
+    println!(
+        "cold: {cold_ms:.2} ms ({} physical reads), warm: {warm_ms:.2} ms ({} physical reads)",
+        cold.stats.io.disk_reads, warm.stats.io.disk_reads
+    );
+    for (tid, score) in cold.items.iter().take(3) {
+        println!("  t{tid}: {score:.3}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}

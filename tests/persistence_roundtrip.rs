@@ -1,0 +1,224 @@
+//! Persistence round-trips: a cube built in memory, saved to a file and
+//! reopened — in this process and in a *separate* one — must return
+//! byte-identical top-k answers; and no single-byte corruption of the
+//! cube file may ever yield a silent wrong answer (open or the integrity
+//! scrub must surface a typed checksum/structure error instead).
+
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use ranking_cube::cube::fragments::{FragmentConfig, RankingFragments};
+use ranking_cube::cube::gridcube::{GridCubeConfig, GridRankingCube};
+use ranking_cube::cube::TopKQuery;
+use ranking_cube::func::Linear;
+use ranking_cube::storage::DiskSim;
+use ranking_cube::table::gen::SyntheticSpec;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// Unique temp path per call (tests in this binary run concurrently).
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!("rcube_persist_{tag}_{}_{n}", std::process::id()));
+    p
+}
+
+/// Renders answers with exact score bit patterns: equality here is
+/// byte-identity of the top-k, not approximate score agreement.
+fn render(items: &[(u32, f64)]) -> String {
+    items.iter().map(|(t, s)| format!("{t}:{:016x}", s.to_bits())).collect::<Vec<_>>().join(",")
+}
+
+proptest::proptest! {
+    /// Random workloads: build → save → reopen → same top-k results and
+    /// the same tid-sets as the in-memory cube.
+    #[test]
+    fn saved_grid_cube_answers_match_in_memory(
+        tuples in 150usize..400,
+        cardinality in 2u32..6,
+        block in 24usize..80,
+        dim_a in 0usize..3,
+        dim_b in 0usize..3,
+        val_a in 0u32..8,
+        val_b in 0u32..8,
+        k in 1usize..12,
+    ) {
+        let rel = SyntheticSpec { tuples, cardinality, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: block, ..Default::default() },
+        );
+        let path = temp_path("prop");
+        cube.save_to_with(&path, 512, 64).expect("save");
+        let reopened = GridRankingCube::open_from_with(&path, 64).expect("open");
+        let disk2 = DiskSim::with_defaults();
+
+        let mut conds = vec![(dim_a, val_a % cardinality)];
+        if dim_b != dim_a {
+            conds.push((dim_b, val_b % cardinality));
+        }
+        for conds in [Vec::new(), conds] {
+            let q = TopKQuery::new(conds, Linear::uniform(2), k);
+            let mem = cube.query(&q, &disk);
+            let file = reopened.query(&q, &disk2);
+            proptest::prop_assert_eq!(render(&mem.items), render(&file.items));
+            // Same tid-set, order included.
+            proptest::prop_assert_eq!(mem.tids(), file.tids());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// One saved cube file, reused by the corruption property below.
+fn pristine_file() -> &'static Vec<u8> {
+    static FILE: OnceLock<Vec<u8>> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let rel = SyntheticSpec { tuples: 800, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(
+            &rel,
+            &disk,
+            GridCubeConfig { block_size: 64, ..Default::default() },
+        );
+        let path = temp_path("pristine");
+        cube.save_to_with(&path, 512, 16).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+proptest::proptest! {
+    /// Flipping any single bit anywhere in the file must surface as a
+    /// typed error — at open (superblock, allocation map, catalog) or in
+    /// the integrity scrub (object pages) — never as a wrong answer.
+    #[test]
+    fn single_bit_flip_is_always_detected(
+        pos_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let pristine = pristine_file();
+        let offset = ((pos_frac * pristine.len() as f64) as usize).min(pristine.len() - 1);
+        let mut tampered = pristine.clone();
+        tampered[offset] ^= 1 << bit;
+
+        let path = temp_path("flip");
+        std::fs::write(&path, &tampered).expect("write tampered copy");
+        match GridRankingCube::open_from_with(&path, 16) {
+            Err(_) => {} // superblock / alloc map / catalog rejected the flip
+            Ok(cube) => {
+                proptest::prop_assert!(
+                    cube.verify_integrity().is_err(),
+                    "bit flip at byte {} bit {} went undetected",
+                    offset,
+                    bit
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn fragments_roundtrip_across_reopen() {
+    let rel =
+        SyntheticSpec { tuples: 1_500, selection_dims: 6, cardinality: 5, ..Default::default() }
+            .generate();
+    let disk = DiskSim::with_defaults();
+    let frags =
+        RankingFragments::build(&rel, &disk, FragmentConfig { fragment_size: 2, block_size: 64 });
+    let path = temp_path("frags");
+    frags.save_to(&path).expect("save");
+    let reopened = RankingFragments::open_from(&path).expect("open");
+    let disk2 = DiskSim::with_defaults();
+    for conds in [vec![(0usize, 1u32), (2, 2)], vec![(1, 0), (3, 3), (5, 1)]] {
+        let q = TopKQuery::new(conds, Linear::uniform(2), 10);
+        let mem = frags.query(&q, &disk);
+        let file = reopened.query(&q, &disk2);
+        assert_eq!(render(&mem.items), render(&file.items));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// --- Separate-process reopen ------------------------------------------------
+
+const CHILD_ENV: &str = "RCUBE_PERSIST_CHILD_FILE";
+
+/// `(selection conditions, linear weights, k)` per query.
+type WorkloadSpec = (Vec<(usize, u32)>, Vec<f64>, usize);
+
+/// The fixed workload both processes run (cardinality 4, 3 selection dims).
+fn child_workload() -> Vec<WorkloadSpec> {
+    vec![
+        (vec![], vec![1.0, 1.0], 5),
+        (vec![(0, 1)], vec![0.3, 0.7], 10),
+        (vec![(1, 2), (2, 0)], vec![1.0, -1.0], 8),
+        (vec![(0, 3), (1, 3), (2, 3)], vec![2.0, 0.5], 12),
+    ]
+}
+
+/// Child half: no-op in a normal test run; under [`CHILD_ENV`] it reopens
+/// the cube file written by the parent process and prints its answers.
+#[test]
+fn child_reopen_and_print() {
+    let Ok(path) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let cube = GridRankingCube::open_from(&path).expect("child: open cube file");
+    assert!(cube.store().read_only(), "child: reopened cube must be read-only");
+    let disk = DiskSim::with_defaults();
+    for (conds, weights, k) in child_workload() {
+        let q = TopKQuery::new(conds, Linear::new(weights), k);
+        let res = cube.query(&q, &disk);
+        println!("RESULT {}", render(&res.items));
+    }
+}
+
+/// Parent half: builds and saves the cube, queries it in memory, then
+/// spawns a fresh OS process (this test binary, child test only) to
+/// reopen the file and replay the workload. Answers must be
+/// byte-identical across the process boundary.
+#[test]
+fn cube_reopens_in_separate_process_with_identical_answers() {
+    let rel = SyntheticSpec { tuples: 3_000, cardinality: 4, ..Default::default() }.generate();
+    let disk = DiskSim::with_defaults();
+    let cube = GridRankingCube::build(
+        &rel,
+        &disk,
+        GridCubeConfig { block_size: 80, ..Default::default() },
+    );
+    let path = temp_path("subprocess");
+    cube.save_to(&path).expect("save");
+
+    let expected: Vec<String> = child_workload()
+        .into_iter()
+        .map(|(conds, weights, k)| {
+            let q = TopKQuery::new(conds, Linear::new(weights), k);
+            format!("RESULT {}", render(&cube.query(&q, &disk).items))
+        })
+        .collect();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["child_reopen_and_print", "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_ENV, &path)
+        .output()
+        .expect("spawn child process");
+    assert!(
+        out.status.success(),
+        "child process failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // libtest may glue the first println onto its own progress line, so
+    // scan for the marker anywhere in each line.
+    let got: Vec<&str> =
+        stdout.lines().filter_map(|l| l.find("RESULT ").map(|i| &l[i..])).collect();
+    assert_eq!(got, expected, "answers changed across the process boundary");
+    std::fs::remove_file(&path).ok();
+}

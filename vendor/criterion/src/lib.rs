@@ -119,6 +119,12 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
 /// Passed to the benchmark closure; `iter` runs and times the workload.
 pub struct Bencher {
     mode: Mode,
