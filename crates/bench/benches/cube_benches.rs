@@ -95,9 +95,9 @@ fn bench_fragments_covering(c: &mut Criterion) {
 fn bench_coding(c: &mut Criterion) {
     use rcube_core::coding::{decode_node, encode_best};
     use rcube_storage::{BitReader, BitWriter};
-    let mut sparse = vec![false; 204];
+    let mut sparse = rcube_storage::PackedBits::zeros(204);
     for i in (0..204).step_by(17) {
-        sparse[i] = true;
+        sparse.set(i);
     }
     c.bench_function("signature_node_encode_decode", |b| {
         b.iter(|| {

@@ -32,7 +32,9 @@ fn build_all(rel: &Relation, disk: &DiskSim) -> (RTree, SignatureCube) {
 fn table4_2() {
     // The running example: a 28-bit array under every coding scheme
     // (M = 32). The thesis reports BL/RL/PI/PC sizes for this node.
-    let bits: Vec<bool> = "0110000000110000000000000001".chars().map(|c| c == '1').collect();
+    let bits = rcube_storage::PackedBits::from_bools(
+        &"0110000000110000000000000001".chars().map(|c| c == '1').collect::<Vec<bool>>(),
+    );
     println!();
     println!("== Table 4.2: encoding a node with M = 32 ==");
     println!("{:>10} {:>12}", "scheme", "total bits");

@@ -12,8 +12,14 @@
 //!
 //! [`encode_best`] tries every applicable scheme and keeps the smallest —
 //! the adaptive choice that Figure 4.10 measures against `BL`-only coding.
+//!
+//! Bit arrays travel as packed-word [`PackedBits`]; [`decode_node`] is
+//! total over arbitrary input (corrupt streams return `None`, never
+//! panic), and [`skip_node`] advances past a coding by reading only the
+//! 3 + `Len` header bits — the primitive behind the per-partial node
+//! directory of [`crate::sigcube`].
 
-use rcube_storage::bits::{bits_for, BitReader, BitWriter};
+use rcube_storage::bits::{bits_for, BitReader, BitWriter, PackedBits};
 
 /// Coding schemes (values match the CS field layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +44,14 @@ impl Scheme {
         }
     }
 
-    fn from_cs(cs: u64) -> Scheme {
+    /// `None` for CS values no encoder emits (corrupt input).
+    fn from_cs(cs: u64) -> Option<Scheme> {
         match cs {
-            0b000 => Scheme::Bl,
-            0b010 | 0b011 => Scheme::Pi { dense: cs & 1 == 1 },
-            0b100 | 0b101 => Scheme::Rl { dense: cs & 1 == 1 },
-            0b110 | 0b111 => Scheme::Pc { dense: cs & 1 == 1 },
-            _ => panic!("invalid CS value {cs:#b}"),
+            0b000 => Some(Scheme::Bl),
+            0b010 | 0b011 => Some(Scheme::Pi { dense: cs & 1 == 1 }),
+            0b100 | 0b101 => Some(Scheme::Rl { dense: cs & 1 == 1 }),
+            0b110 | 0b111 => Some(Scheme::Pc { dense: cs & 1 == 1 }),
+            _ => None,
         }
     }
 
@@ -75,17 +82,19 @@ fn len_width(m: usize) -> usize {
     bits_for(w + m * (2 * w + 2) + 1).max(1)
 }
 
-/// Effective array: `bits` padded/truncated bookkeeping — returns
-/// `(len, ones, zeros)` position lists.
-fn analyze(bits: &[bool]) -> (usize, Vec<usize>, Vec<usize>) {
-    let ones: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
-    let zeros: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| !b).map(|(i, _)| i).collect();
-    (bits.len(), ones, zeros)
+/// PC prefix width for fanout `m`: `p = log2(2^n / (n ln 2))`, clamped.
+fn pc_split(m: usize) -> (usize, usize) {
+    let n = w_of(m);
+    let p = (((1u64 << n) as f64) / (n as f64 * std::f64::consts::LN_2))
+        .log2()
+        .round()
+        .clamp(1.0, (n.max(2) - 1) as f64) as usize;
+    (p, n - p)
 }
 
 /// Encodes the region for `scheme`; returns `None` when inapplicable.
-fn encode_region(scheme: Scheme, bits: &[bool], m: usize) -> Option<BitWriter> {
-    let (len, ones, zeros) = analyze(bits);
+fn encode_region(scheme: Scheme, bits: &PackedBits, m: usize) -> Option<BitWriter> {
+    let len = bits.len();
     if len == 0 || len > m {
         return None;
     }
@@ -95,40 +104,37 @@ fn encode_region(scheme: Scheme, bits: &[bool], m: usize) -> Option<BitWriter> {
     match scheme {
         Scheme::Bl => {
             // Raw array with trailing zeros truncated.
-            let last_one = ones.last().map_or(0, |&i| i + 1);
-            for &b in &bits[..last_one] {
-                out.push(b);
+            let last_one = bits.iter_ones().last().map_or(0, |i| i + 1);
+            for i in 0..last_one {
+                out.push(bits.get(i));
             }
         }
         Scheme::Pi { dense } => {
-            let positions = if dense { &zeros } else { &ones };
-            for &p in positions {
+            let positions: Vec<usize> =
+                if dense { bits.iter_zeros().collect() } else { bits.iter_ones().collect() };
+            for &p in &positions {
                 out.push_bits(p as u64, w);
             }
         }
         Scheme::Rl { dense } => {
             // Sparse: runs of `i` zeros followed by a 1, per set bit.
             // Dense: runs of `i` ones followed by a 0, per clear bit.
-            let positions = if dense { &zeros } else { &ones };
+            let positions: Vec<usize> =
+                if dense { bits.iter_zeros().collect() } else { bits.iter_ones().collect() };
             let mut prev = 0usize;
-            for &p in positions {
+            for &p in &positions {
                 let run = p - prev;
                 push_run(&mut out, run as u64);
                 prev = p + 1;
             }
         }
         Scheme::Pc { dense } => {
-            let n = w;
-            if n < 2 {
+            if w_of(m) < 2 {
                 return None; // no prefix/suffix split possible
             }
-            // Optimal prefix width p = log2(2^n / (n ln 2)), clamped.
-            let p = (((1u64 << n) as f64) / (n as f64 * std::f64::consts::LN_2))
-                .log2()
-                .round()
-                .clamp(1.0, (n - 1) as f64) as usize;
-            let s = n - p;
-            let positions = if dense { &zeros } else { &ones };
+            let (p, s) = pc_split(m);
+            let positions: Vec<usize> =
+                if dense { bits.iter_zeros().collect() } else { bits.iter_ones().collect() };
             let mut i = 0;
             while i < positions.len() {
                 let prefix = positions[i] >> s;
@@ -165,13 +171,23 @@ fn read_run(r: &mut BitReader) -> Option<u64> {
     let mut count = 0usize;
     while r.next_bit()? {
         count += 1;
+        if count >= 64 {
+            // Corrupt: a valid u64 run code has at most 63 unary bits
+            // (the value is read as `count + 1 ≤ 64` bits below).
+            return None;
+        }
     }
     r.read_bits(count + 1)
 }
 
 /// Encodes `bits` with a specific scheme (testing / Table 4.2 repro).
 /// Returns the total coded size in bits, or `None` if inapplicable.
-pub fn encode_with(scheme: Scheme, bits: &[bool], m: usize, out: &mut BitWriter) -> Option<usize> {
+pub fn encode_with(
+    scheme: Scheme,
+    bits: &PackedBits,
+    m: usize,
+    out: &mut BitWriter,
+) -> Option<usize> {
     let region = encode_region(scheme, bits, m)?;
     out.push_bits(scheme.cs_bits(), 3);
     out.push_bits((region.len().max(1) - 1) as u64, len_width(m));
@@ -180,7 +196,7 @@ pub fn encode_with(scheme: Scheme, bits: &[bool], m: usize, out: &mut BitWriter)
 }
 
 /// Encodes `bits` with the smallest applicable scheme; returns the winner.
-pub fn encode_best(bits: &[bool], m: usize, out: &mut BitWriter) -> Scheme {
+pub fn encode_best(bits: &PackedBits, m: usize, out: &mut BitWriter) -> Scheme {
     let mut best: Option<(Scheme, BitWriter)> = None;
     for scheme in Scheme::all() {
         if let Some(region) = encode_region(scheme, bits, m) {
@@ -200,36 +216,65 @@ pub fn encode_best(bits: &[bool], m: usize, out: &mut BitWriter) -> Scheme {
     scheme
 }
 
-/// Decodes one node coding, returning the reconstructed bit array.
-pub fn decode_node(r: &mut BitReader, m: usize) -> Option<Vec<bool>> {
-    let cs = r.read_bits(3)?;
-    let scheme = Scheme::from_cs(cs);
+/// Advances past one node coding reading only its `[CS][Len]` header —
+/// no region bits are decoded. Returns the total coding size in bits, or
+/// `None` when the stream is truncated.
+pub fn skip_node(r: &mut BitReader, m: usize) -> Option<usize> {
+    r.read_bits(3)?;
     let region_len = r.read_bits(len_width(m))? as usize + 1;
+    if !r.skip(region_len) {
+        return None;
+    }
+    Some(3 + len_width(m) + region_len)
+}
+
+/// Decodes one node coding, returning the reconstructed bit array.
+/// Total over arbitrary input: any structurally invalid coding (unknown
+/// CS, out-of-range position, truncated region) yields `None`.
+pub fn decode_node(r: &mut BitReader, m: usize) -> Option<PackedBits> {
+    let cs = r.read_bits(3)?;
+    let scheme = Scheme::from_cs(cs)?;
+    let region_len = r.read_bits(len_width(m))? as usize + 1;
+    if r.remaining() < region_len {
+        return None; // truncated region
+    }
     let start = r.position();
     let w = w_of(m);
     let len = r.read_bits(w)? as usize + 1;
-    let mut bits = vec![false; len];
+    if len > m.max(1) {
+        return None; // longer than any node of this partition
+    }
+    let mut bits = match scheme {
+        Scheme::Bl
+        | Scheme::Pi { dense: false }
+        | Scheme::Rl { dense: false }
+        | Scheme::Pc { dense: false } => PackedBits::zeros(len),
+        _ => PackedBits::ones(len),
+    };
     match scheme {
         Scheme::Bl => {
-            let payload = region_len - w;
-            for slot in bits.iter_mut().take(payload) {
-                *slot = r.next_bit()?;
+            let payload = (region_len.checked_sub(w)?).min(len);
+            for i in 0..payload {
+                if r.next_bit()? {
+                    bits.set(i);
+                }
             }
         }
         Scheme::Pi { dense } => {
-            if dense {
-                bits.fill(true);
-            }
-            let count = (region_len - w) / w;
+            let count = region_len.checked_sub(w)? / w;
             for _ in 0..count {
                 let p = r.read_bits(w)? as usize;
-                bits[p] = !dense;
+                if p >= len {
+                    return None;
+                }
+                if dense {
+                    bits.clear(p);
+                } else {
+                    bits.set(p);
+                }
             }
         }
         Scheme::Rl { dense } => {
-            if dense {
-                bits.fill(true);
-            }
             let mut pos = 0usize;
             while r.position() - start < region_len {
                 let run = read_run(r)? as usize;
@@ -237,20 +282,19 @@ pub fn decode_node(r: &mut BitReader, m: usize) -> Option<Vec<bool>> {
                 if pos >= len {
                     break;
                 }
-                bits[pos] = !dense;
+                if dense {
+                    bits.clear(pos);
+                } else {
+                    bits.set(pos);
+                }
                 pos += 1;
             }
         }
         Scheme::Pc { dense } => {
-            if dense {
-                bits.fill(true);
+            if w < 2 {
+                return None; // PC is never emitted for such fanouts
             }
-            let n = w;
-            let p = (((1u64 << n) as f64) / (n as f64 * std::f64::consts::LN_2))
-                .log2()
-                .round()
-                .clamp(1.0, (n - 1) as f64) as usize;
-            let s = n - p;
+            let (p, s) = pc_split(m);
             while r.position() - start < region_len {
                 let prefix = r.read_bits(p)? as usize;
                 let count = r.read_bits(s)? as usize + 1;
@@ -258,7 +302,11 @@ pub fn decode_node(r: &mut BitReader, m: usize) -> Option<Vec<bool>> {
                     let suffix = r.read_bits(s)? as usize;
                     let q = (prefix << s) | suffix;
                     if q < len {
-                        bits[q] = !dense;
+                        if dense {
+                            bits.clear(q);
+                        } else {
+                            bits.set(q);
+                        }
                     }
                 }
             }
@@ -266,8 +314,8 @@ pub fn decode_node(r: &mut BitReader, m: usize) -> Option<Vec<bool>> {
     }
     // Skip any remaining region bits (schemes may finish early).
     let consumed = r.position() - start;
-    if consumed < region_len {
-        r.skip(region_len - consumed);
+    if consumed > region_len || !r.skip(region_len - consumed) {
+        return None;
     }
     Some(bits)
 }
@@ -278,9 +326,9 @@ mod tests {
 
     fn round_trip(scheme: Scheme, bits: &[bool], m: usize) -> Option<Vec<bool>> {
         let mut w = BitWriter::new();
-        encode_with(scheme, bits, m, &mut w)?;
+        encode_with(scheme, &PackedBits::from_bools(bits), m, &mut w)?;
         let mut r = BitReader::new(w.as_bytes(), w.len());
-        decode_node(&mut r, m)
+        decode_node(&mut r, m).map(|b| b.to_bools())
     }
 
     /// Table 4.2's running example: a 28-bit array with M = 32 and 1s at
@@ -303,7 +351,7 @@ mod tests {
 
     #[test]
     fn sparse_schemes_beat_baseline_on_table_4_2() {
-        let bits = table_4_2_bits();
+        let bits = PackedBits::from_bools(&table_4_2_bits());
         let size = |s| {
             let mut w = BitWriter::new();
             encode_with(s, &bits, 32, &mut w).map(|_| w.len())
@@ -322,7 +370,7 @@ mod tests {
         bits[5] = false;
         bits[20] = false;
         let mut w = BitWriter::new();
-        let winner = encode_best(&bits, 32, &mut w);
+        let winner = encode_best(&PackedBits::from_bools(&bits), 32, &mut w);
         assert!(
             matches!(
                 winner,
@@ -333,7 +381,7 @@ mod tests {
             "expected a dense variant, got {winner:?}"
         );
         let mut r = BitReader::new(w.as_bytes(), w.len());
-        assert_eq!(decode_node(&mut r, 32).unwrap(), bits);
+        assert_eq!(decode_node(&mut r, 32).unwrap().to_bools(), bits);
     }
 
     #[test]
@@ -342,9 +390,9 @@ mod tests {
         for mask in 0u32..1024 {
             let bits: Vec<bool> = (0..10).map(|i| mask >> i & 1 == 1).collect();
             let mut w = BitWriter::new();
-            encode_best(&bits, 16, &mut w);
+            encode_best(&PackedBits::from_bools(&bits), 16, &mut w);
             let mut r = BitReader::new(w.as_bytes(), w.len());
-            assert_eq!(decode_node(&mut r, 16).unwrap(), bits, "mask {mask}");
+            assert_eq!(decode_node(&mut r, 16).unwrap().to_bools(), bits, "mask {mask}");
         }
     }
 
@@ -353,11 +401,96 @@ mod tests {
         let arrays = [vec![true, false, true], vec![false, false, false, true], vec![true; 7]];
         let mut w = BitWriter::new();
         for a in &arrays {
-            encode_best(a, 8, &mut w);
+            encode_best(&PackedBits::from_bools(a), 8, &mut w);
         }
         let mut r = BitReader::new(w.as_bytes(), w.len());
         for a in &arrays {
-            assert_eq!(decode_node(&mut r, 8).unwrap(), *a);
+            assert_eq!(decode_node(&mut r, 8).unwrap().to_bools(), *a);
+        }
+    }
+
+    #[test]
+    fn skip_node_matches_decode_consumption() {
+        let arrays = [vec![true, false, true], vec![false; 6], vec![true; 7], vec![false, true]];
+        let mut w = BitWriter::new();
+        for a in &arrays {
+            encode_best(&PackedBits::from_bools(a), 8, &mut w);
+        }
+        let mut skipper = BitReader::new(w.as_bytes(), w.len());
+        let mut decoder = BitReader::new(w.as_bytes(), w.len());
+        for a in &arrays {
+            let before = decoder.position();
+            let node = decode_node(&mut decoder, 8).unwrap();
+            assert_eq!(node.to_bools(), *a);
+            let skipped = skip_node(&mut skipper, 8).unwrap();
+            assert_eq!(skipped, decoder.position() - before, "skip width diverges from decode");
+            assert_eq!(skipper.position(), decoder.position());
+        }
+        assert!(skip_node(&mut skipper, 8).is_none(), "end of stream");
+    }
+
+    #[test]
+    fn corrupt_codings_return_none_not_panic() {
+        // Unknown CS value 0b001.
+        let mut w = BitWriter::new();
+        w.push_bits(0b001, 3);
+        w.push_bits(20, len_width(16));
+        w.push_repeat(true, 21);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(decode_node(&mut r, 16).is_none());
+
+        // Truncated region: header promises more bits than the stream has.
+        let mut w = BitWriter::new();
+        w.push_bits(0b000, 3);
+        w.push_bits(60, len_width(16));
+        w.push_repeat(false, 4); // far fewer than the 61 promised
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(decode_node(&mut r, 16).is_none());
+
+        // RL run code with a 64-bit unary prefix: must be rejected, not
+        // panic in BitReader::read_bits(65).
+        let mut w = BitWriter::new();
+        w.push_bits(0b100, 3); // RL sparse
+        let region_len = w_of(16) + 64 + 1 + 8;
+        w.push_bits((region_len - 1) as u64, len_width(16));
+        w.push_bits(9, w_of(16)); // len = 10
+        w.push_repeat(true, 64); // unary prefix longer than any valid run
+        w.push(false);
+        w.push_repeat(false, 8);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(decode_node(&mut r, 16).is_none());
+
+        // PI position past the recorded array length.
+        let mut w = BitWriter::new();
+        w.push_bits(0b010, 3);
+        let region = {
+            let mut reg = BitWriter::new();
+            reg.push_bits(1, w_of(16)); // len = 2
+            reg.push_bits(9, w_of(16)); // position 9 ≥ len
+            reg
+        };
+        w.push_bits((region.len() - 1) as u64, len_width(16));
+        w.extend(&region);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(decode_node(&mut r, 16).is_none());
+
+        // Exhaustive garbage: random byte soup must never panic — including
+        // degenerate fanouts (w_of(m) bottoms out at 1, so the PI/PC field
+        // arithmetic stays well-defined even for m ∈ {0, 1}).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for m in [0usize, 1, 2, 32] {
+            for _ in 0..2_000 {
+                let bytes: Vec<u8> = (0..16)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) as u8
+                    })
+                    .collect();
+                let mut r = BitReader::new(&bytes, bytes.len() * 8);
+                let _ = decode_node(&mut r, m); // may be Some or None, never panic
+            }
         }
     }
 
@@ -383,9 +516,9 @@ mod tests {
         for bit in [true, false] {
             let bits = vec![bit];
             let mut w = BitWriter::new();
-            encode_best(&bits, 4, &mut w);
+            encode_best(&PackedBits::from_bools(&bits), 4, &mut w);
             let mut r = BitReader::new(w.as_bytes(), w.len());
-            assert_eq!(decode_node(&mut r, 4).unwrap(), bits);
+            assert_eq!(decode_node(&mut r, 4).unwrap().to_bools(), bits);
         }
     }
 
@@ -408,10 +541,10 @@ mod tests {
         fn proptest_best_roundtrip(raw in proptest::collection::vec(proptest::bool::ANY, 1..64)) {
             let m = 64;
             let mut w = BitWriter::new();
-            encode_best(&raw, m, &mut w);
+            encode_best(&PackedBits::from_bools(&raw), m, &mut w);
             let mut r = BitReader::new(w.as_bytes(), w.len());
             let got = decode_node(&mut r, m).unwrap();
-            proptest::prop_assert_eq!(got, raw);
+            proptest::prop_assert_eq!(got.to_bools(), raw);
         }
 
         #[test]

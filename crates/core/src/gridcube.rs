@@ -675,10 +675,14 @@ impl GridRankingCube {
     }
 }
 
-/// Catalog kind tags (first byte of the catalog object).
+/// Catalog kind tags (first byte of the catalog object). The signature
+/// catalog moved from tag 3 to tag 4 when its per-cell layout changed
+/// (per-node `sid → partial` pairs → per-partial first-SID directory +
+/// depth); files written with the old layout are rejected with a typed
+/// kind-mismatch error instead of being misparsed.
 pub(crate) const CATALOG_GRID: u8 = 1;
 pub(crate) const CATALOG_FRAGMENTS: u8 = 2;
-pub(crate) const CATALOG_SIG: u8 = 3;
+pub(crate) const CATALOG_SIG: u8 = 4;
 
 /// Stores the finished catalog object, records it in the superblock and
 /// flushes the file metadata (superblock + allocation map).

@@ -90,6 +90,10 @@ pub struct QueryStats {
     pub states_generated: u64,
     /// Partial-signature loads (Figure 7.12's loading-time breakdown).
     pub sig_loads: u64,
+    /// Bytes of signature codings actually decoded (whole partials on the
+    /// eager assembly path, individual nodes on the lazy path) — the
+    /// reduction `BENCH_sigcube.json` tracks.
+    pub sig_bytes_decoded: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

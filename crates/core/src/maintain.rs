@@ -4,8 +4,11 @@
 //! An R-tree insertion/deletion yields a set of [`PathUpdate`]s: tuples
 //! whose root-to-slot paths changed (plus the new/removed tuple itself).
 //! For every materialized cuboid we group the updates by affected cell,
-//! load that cell's signature, clear the old paths, set the new paths, and
-//! write the signature back — never touching unaffected cells.
+//! load that cell's signature (the one remaining whole-signature
+//! materialization — queries go through the lazy per-node read path of
+//! [`crate::sigcube`] instead), clear the old paths over the packed bit
+//! words, set the new paths, and write the signature back — never touching
+//! unaffected cells.
 
 use std::collections::HashMap;
 

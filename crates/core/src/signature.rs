@@ -2,7 +2,11 @@
 //!
 //! A *signature* mirrors the hierarchical partition (R-tree) as a tree of
 //! bit arrays: one bit per node entry, set iff the subtree under that entry
-//! contains a tuple of the cell (e.g. `A = a1`). Signatures support
+//! contains a tuple of the cell (e.g. `A = a1`). Node bit arrays are packed
+//! `u64` words ([`PackedBits`]), so union/intersection/containment run
+//! word-parallel (bitwise OR/AND + `count_ones`) instead of bit-by-bit —
+//! the same treatment the posting-list engine gives tid bitmaps.
+//! Signatures support
 //!
 //! * construction from tuple paths (the tuple-oriented cubing of Fig 4.3),
 //! * membership tests for node/tuple paths (the Boolean pruning primitive),
@@ -11,13 +15,16 @@
 //! * bit-level edits (`set_path` / `clear_path`) for incremental
 //!   maintenance (Algorithm 2).
 
+use rcube_storage::PackedBits;
+
 /// A signature node: a bit array plus sub-signatures for set bits that lead
 /// to deeper levels.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SigNode {
-    /// One bit per entry of the mirrored partition node. Trailing zeros may
-    /// be truncated (the codings re-pad from the recorded length).
-    pub bits: Vec<bool>,
+    /// One bit per entry of the mirrored partition node, packed into `u64`
+    /// words. Trailing zeros may be truncated (the codings re-pad from the
+    /// recorded length).
+    pub bits: PackedBits,
     /// `(entry position, child signature)` pairs, sorted by position.
     /// Leaf-level nodes have no children.
     pub children: Vec<(u16, SigNode)>,
@@ -25,15 +32,11 @@ pub struct SigNode {
 
 impl SigNode {
     fn set_bit(&mut self, pos: u16) {
-        let p = pos as usize;
-        if self.bits.len() <= p {
-            self.bits.resize(p + 1, false);
-        }
-        self.bits[p] = true;
+        self.bits.set(pos as usize);
     }
 
     fn bit(&self, pos: u16) -> bool {
-        self.bits.get(pos as usize).copied().unwrap_or(false)
+        self.bits.get(pos as usize)
     }
 
     fn child(&self, pos: u16) -> Option<&SigNode> {
@@ -51,7 +54,7 @@ impl SigNode {
     }
 
     fn is_empty(&self) -> bool {
-        !self.bits.iter().any(|&b| b)
+        !self.bits.any()
     }
 
     fn count_nodes(&self) -> usize {
@@ -113,6 +116,18 @@ impl Signature {
         self.root.as_ref().map_or(0, SigNode::count_nodes)
     }
 
+    /// Number of node levels (root = 1). Mirrored partitions are balanced,
+    /// so every tuple path has exactly this many components; 0 when empty.
+    pub fn depth(&self) -> u16 {
+        let mut d = 0u16;
+        let mut node = self.root.as_ref();
+        while let Some(n) = node {
+            d += 1;
+            node = n.children.first().map(|(_, c)| c);
+        }
+        d
+    }
+
     /// Sets every bit along `path`, creating nodes as needed.
     pub fn set_path(&mut self, path: &[u16]) {
         assert!(!path.is_empty(), "cannot set an empty path");
@@ -133,15 +148,11 @@ impl Signature {
         fn rec(node: &mut SigNode, path: &[u16]) -> bool {
             let p = path[0];
             if path.len() == 1 {
-                if (p as usize) < node.bits.len() {
-                    node.bits[p as usize] = false;
-                }
+                node.bits.clear(p as usize);
             } else if let Ok(i) = node.children.binary_search_by_key(&p, |&(q, _)| q) {
                 if rec(&mut node.children[i].1, &path[1..]) {
                     node.children.remove(i);
-                    if (p as usize) < node.bits.len() {
-                        node.bits[p as usize] = false;
-                    }
+                    node.bits.clear(p as usize);
                 }
             }
             node.is_empty()
@@ -179,10 +190,7 @@ impl Signature {
     /// All full paths present (leaf-level set bits), for round-trip tests.
     pub fn paths(&self) -> Vec<Vec<u16>> {
         fn rec(node: &SigNode, prefix: &mut Vec<u16>, out: &mut Vec<Vec<u16>>) {
-            for (pos, &bit) in node.bits.iter().enumerate() {
-                if !bit {
-                    continue;
-                }
+            for pos in node.bits.iter_ones() {
                 let pos = pos as u16;
                 match node.child(pos) {
                     Some(c) => {
@@ -205,16 +213,11 @@ impl Signature {
         out
     }
 
-    /// Signature union (bit-or), per Section 4.3.3: any bit set in either
-    /// operand is set in the result.
+    /// Signature union (word-parallel bit-or), per Section 4.3.3: any bit
+    /// set in either operand is set in the result.
     pub fn union(&self, other: &Signature) -> Signature {
         fn rec(a: &SigNode, b: &SigNode) -> SigNode {
-            let len = a.bits.len().max(b.bits.len());
-            let mut bits = vec![false; len];
-            for (i, slot) in bits.iter_mut().enumerate() {
-                *slot = a.bits.get(i).copied().unwrap_or(false)
-                    || b.bits.get(i).copied().unwrap_or(false);
-            }
+            let bits = a.bits.or(&b.bits);
             let mut children = Vec::new();
             let positions: std::collections::BTreeSet<u16> = a
                 .children
@@ -243,29 +246,26 @@ impl Signature {
         Signature { m: self.m, root }
     }
 
-    /// Signature intersection (recursive bit-and), per Section 4.3.3: a bit
-    /// survives only if set in both operands *and* its child intersection is
-    /// non-empty.
+    /// Signature intersection (recursive bit-and), per Section 4.3.3: the
+    /// candidate bits come from one word-parallel AND per node pair; a
+    /// candidate survives only if its child intersection is non-empty.
     pub fn intersect(&self, other: &Signature) -> Signature {
         fn rec(a: &SigNode, b: &SigNode) -> Option<SigNode> {
-            let len = a.bits.len().min(b.bits.len());
-            let mut bits = vec![false; len];
+            let both = a.bits.and(&b.bits);
+            let mut bits = PackedBits::zeros(both.len());
             let mut children = Vec::new();
-            for (i, (&ab, &bb)) in a.bits.iter().zip(&b.bits).enumerate() {
-                if !(ab && bb) {
-                    continue;
-                }
+            for i in both.iter_ones() {
                 let p = i as u16;
                 match (a.child(p), b.child(p)) {
                     (Some(x), Some(y)) => {
                         // Internal entry: survives only with a non-empty
                         // child intersection.
                         if let Some(c) = rec(x, y) {
-                            bits[i] = true;
+                            bits.set(i);
                             children.push((p, c));
                         }
                     }
-                    (None, None) => bits[i] = true, // leaf-level entry
+                    (None, None) => bits.set(i), // leaf-level entry
                     // One side treats this as a leaf, the other as internal:
                     // mirrored partitions make this impossible.
                     _ => unreachable!("signatures mirror the same partition"),
@@ -309,14 +309,15 @@ mod tests {
         let sig = a1_signature();
         // Root: bits 10 (only first child populated).
         let root = sig.root().unwrap();
-        assert_eq!(root.bits, vec![true]);
+        assert_eq!(root.bits.to_bools(), vec![true]);
         // Level-2 node under position 0: bits 11.
         let n1 = root.child(0).unwrap();
-        assert_eq!(n1.bits, vec![true, true]);
+        assert_eq!(n1.bits.to_bools(), vec![true, true]);
         // Two leaf nodes each with bits 1 (first slot).
-        assert_eq!(n1.child(0).unwrap().bits, vec![true]);
-        assert_eq!(n1.child(1).unwrap().bits, vec![true]);
+        assert_eq!(n1.child(0).unwrap().bits.to_bools(), vec![true]);
+        assert_eq!(n1.child(1).unwrap().bits.to_bools(), vec![true]);
         assert_eq!(sig.node_count(), 4);
+        assert_eq!(sig.depth(), 3);
     }
 
     #[test]
@@ -347,6 +348,7 @@ mod tests {
         assert!(sig.contains_path(&[0, 1, 0]));
         sig.clear_path(&[0, 1, 0]);
         assert!(sig.is_empty());
+        assert_eq!(sig.depth(), 0);
     }
 
     #[test]

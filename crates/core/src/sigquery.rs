@@ -14,7 +14,7 @@ use rcube_index::{HierIndex, NodeHandle};
 use rcube_storage::DiskSim;
 use rcube_table::Tid;
 
-use crate::sigcube::SignatureCube;
+use crate::sigcube::{Pruner, SignatureCube};
 use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
 
 #[derive(Debug)]
@@ -65,10 +65,36 @@ pub fn topk_signature<F: RankFn>(
     query: &TopKQuery<F>,
     disk: &DiskSim,
 ) -> TopKResult {
+    // Snapshot I/O before pruner construction so assembly / root-probe
+    // reads are part of the reported query cost.
     let before = disk.stats().snapshot();
+    run_topk(rtree, query, disk, cube.pruner_for(&query.selection, disk), before)
+}
+
+/// [`topk_signature`] driven by the eager assembled pruner — the
+/// pre-refactor baseline kept for benchmarks (`BENCH_sigcube.json`) and
+/// lazy-vs-eager equivalence tests. Answers are identical; only the
+/// signature-load profile differs.
+pub fn topk_signature_assembled<F: RankFn>(
+    rtree: &RTree,
+    cube: &SignatureCube,
+    query: &TopKQuery<F>,
+    disk: &DiskSim,
+) -> TopKResult {
+    let before = disk.stats().snapshot();
+    run_topk(rtree, query, disk, cube.eager_pruner_for(&query.selection, disk), before)
+}
+
+fn run_topk<F: RankFn>(
+    rtree: &RTree,
+    query: &TopKQuery<F>,
+    disk: &DiskSim,
+    pruner: Option<Pruner<'_>>,
+    before: rcube_storage::IoSnapshot,
+) -> TopKResult {
     let mut stats = QueryStats::default();
 
-    let Some(mut pruner) = cube.pruner_for(&query.selection, disk) else {
+    let Some(mut pruner) = pruner else {
         // Some predicate selects an empty cell (or the assembled
         // intersection is empty): no tuple qualifies.
         stats.io = before.delta(&disk.stats().snapshot());
@@ -101,7 +127,7 @@ pub fn topk_signature<F: RankFn>(
             Entry::Node(_, p) => p,
             Entry::Tuple(_, p, _) => p,
         };
-        if !path.is_empty() && !pruner.check_path(disk, path) {
+        if !path.is_empty() && !pruner.check_path(path) {
             continue;
         }
         match entry {
@@ -141,6 +167,7 @@ pub fn topk_signature<F: RankFn>(
     }
 
     stats.sig_loads = pruner.loads();
+    stats.sig_bytes_decoded = pruner.bytes_decoded();
     stats.io = before.delta(&disk.stats().snapshot());
     TopKResult { items: topk.into_sorted(), stats }
 }
@@ -264,6 +291,69 @@ mod tests {
         assert_eq!(got.items.len(), want.len());
         for (g, w) in got.scores().iter().zip(&want) {
             assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_pruner_beats_eager_on_sig_loads_with_identical_answers() {
+        // A small alpha forces real decomposition so "fewer partials
+        // loaded" is observable, not vacuously equal.
+        let rel =
+            SyntheticSpec { tuples: 4_000, cardinality: 5, ranking_dims: 3, ..Default::default() }
+                .generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+        let cube = SignatureCube::build(
+            &rel,
+            &rtree,
+            &disk,
+            SignatureCubeConfig { alpha: 0.02, ..Default::default() },
+        );
+        // Multi-dimensional predicates, no exact cuboid materialized.
+        for conds in [vec![(0usize, 1u32), (1, 2)], vec![(0, 0), (1, 1), (2, 2)]] {
+            let q = TopKQuery::new(conds.clone(), Linear::uniform(3), 10);
+            let lazy = topk_signature(&rtree, &cube, &q, &disk);
+            let eager = topk_signature_assembled(&rtree, &cube, &q, &disk);
+            assert_eq!(lazy.items, eager.items, "answers diverged for {conds:?}");
+            assert!(
+                lazy.stats.sig_loads < eager.stats.sig_loads,
+                "{conds:?}: lazy {} loads must undercut eager {}",
+                lazy.stats.sig_loads,
+                eager.stats.sig_loads
+            );
+            assert!(
+                lazy.stats.sig_bytes_decoded < eager.stats.sig_bytes_decoded,
+                "{conds:?}: lazy {} bytes must undercut eager {}",
+                lazy.stats.sig_bytes_decoded,
+                eager.stats.sig_bytes_decoded
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Top-k answers are identical between the lazy pruner and the
+        /// eager assembled baseline over random workloads.
+        #[test]
+        fn proptest_lazy_topk_equals_eager_topk(
+            tuples in 200usize..900,
+            cardinality in 2u32..5,
+            k in 1usize..15,
+            seed in 0u64..1_000,
+        ) {
+            let rel = SyntheticSpec {
+                tuples, cardinality, ranking_dims: 3, seed, ..Default::default()
+            }.generate();
+            let disk = DiskSim::with_defaults();
+            let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+            let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+            let conds = vec![
+                (0usize, seed as u32 % cardinality),
+                (1, (seed as u32 / 7) % cardinality),
+            ];
+            let q = TopKQuery::new(conds, Linear::uniform(3), k);
+            let lazy = topk_signature(&rtree, &cube, &q, &disk);
+            let eager = topk_signature_assembled(&rtree, &cube, &q, &disk);
+            proptest::prop_assert_eq!(lazy.items, eager.items);
         }
     }
 

@@ -66,6 +66,7 @@ impl RankJoin {
                     &rq.selection,
                     rq.weights.clone(),
                     Some(filter),
+                    disk,
                 )),
                 Access::BooleanFirst => Box::new(MaterializedStream::open(
                     jr,

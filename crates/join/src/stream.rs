@@ -85,18 +85,17 @@ impl<'a> std::fmt::Debug for RankedStream<'a> {
 
 impl<'a> RankedStream<'a> {
     /// Opens a stream; returns `None`-producing stream when a predicate's
-    /// cell is empty.
+    /// cell is empty. Signature probes charge `disk` (captured by the
+    /// pruner at construction, so probes don't thread a device), keeping
+    /// pruning I/O inside the executor's query stats.
     pub fn open(
         relation: &'a JoinRelation,
         selection: &Selection,
         weights: Vec<f64>,
         key_filter: Option<std::collections::HashSet<u32>>,
+        disk: &'a DiskSim,
     ) -> Self {
-        // Pruner construction may charge assembly I/O against the
-        // relation's own device at open time, matching the paper's plan
-        // preparation cost.
-        let disk = DiskSim::with_defaults();
-        let pruner = relation.cube().pruner_for(selection, &disk);
+        let pruner = relation.cube().pruner_for(selection, disk);
         let empty_cell = pruner.is_none();
         let func = Linear::new(weights);
         let mut heap = BinaryHeap::new();
@@ -126,7 +125,7 @@ impl<'a> TupleStream for RankedStream<'a> {
                 Entry::Node(_, p) => p,
                 Entry::Tuple(_, p, _) => p,
             };
-            if !path.is_empty() && !self.pruner.as_mut().is_none_or(|p| p.check_path(disk, path)) {
+            if !path.is_empty() && !self.pruner.as_mut().is_none_or(|p| p.check_path(path)) {
                 continue;
             }
             match entry {
@@ -253,7 +252,7 @@ mod tests {
     fn stream_yields_ascending_qualifying_tuples() {
         let (disk, jr) = setup();
         let sel = Selection::new(vec![(0, 1)]);
-        let mut s = RankedStream::open(&jr, &sel, vec![1.0, 1.0], None);
+        let mut s = RankedStream::open(&jr, &sel, vec![1.0, 1.0], None, &disk);
         let mut prev = f64::NEG_INFINITY;
         let mut count = 0;
         while let Some((tid, score)) = s.next(&disk) {
@@ -271,7 +270,7 @@ mod tests {
         let (disk, jr) = setup();
         let sel = Selection::all();
         let filter: std::collections::HashSet<u32> = [0u32, 7, 14].into_iter().collect();
-        let mut s = RankedStream::open(&jr, &sel, vec![1.0, 1.0], Some(filter.clone()));
+        let mut s = RankedStream::open(&jr, &sel, vec![1.0, 1.0], Some(filter.clone()), &disk);
         while let Some((tid, _)) = s.next(&disk) {
             assert!(filter.contains(&jr.key_of(tid)));
         }
@@ -281,7 +280,7 @@ mod tests {
     fn materialized_stream_equals_ranked_stream() {
         let (disk, jr) = setup();
         let sel = Selection::new(vec![(1, 2)]);
-        let mut a = RankedStream::open(&jr, &sel, vec![2.0, 0.5], None);
+        let mut a = RankedStream::open(&jr, &sel, vec![2.0, 0.5], None, &disk);
         let mut b = MaterializedStream::open(&jr, &sel, vec![2.0, 0.5], &disk, None);
         loop {
             let (x, y) = (a.next(&disk), b.next(&disk));
@@ -296,7 +295,7 @@ mod tests {
     #[test]
     fn bound_tracks_progress() {
         let (disk, jr) = setup();
-        let mut s = RankedStream::open(&jr, &Selection::all(), vec![1.0, 1.0], None);
+        let mut s = RankedStream::open(&jr, &Selection::all(), vec![1.0, 1.0], None, &disk);
         let b0 = s.bound();
         let (_, s1) = s.next(&disk).unwrap();
         assert!(s.bound() >= b0 - 1e-12);

@@ -57,12 +57,52 @@ impl BloomFilter {
         })
     }
 
+    /// The bit array serialized little-endian, probed zero-copy by
+    /// [`BloomView`] straight off stored page bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bits.len() * 8);
+        for &w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
     /// SplitMix64-style double hashing.
     fn hash(key: u64, i: u32) -> u64 {
         let mut z = key.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(i) + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
         z ^ (z >> 31)
+    }
+}
+
+/// A zero-copy probe over a serialized bloom filter: borrows the bit bytes
+/// (little-endian, as written by [`BloomFilter::to_bytes`]) and answers
+/// membership without deserializing a word array. Bit `h` lives at byte
+/// `h / 8`, bit `h % 8` — exactly the LE layout of the `u64` words.
+#[derive(Debug, Clone, Copy)]
+pub struct BloomView<'a> {
+    bits: &'a [u8],
+    num_bits: usize,
+    num_hashes: u32,
+}
+
+impl<'a> BloomView<'a> {
+    pub fn new(bits: &'a [u8], num_bits: usize, num_hashes: u32) -> Self {
+        debug_assert!(num_bits.div_ceil(8) <= bits.len());
+        Self { bits, num_bits, num_hashes }
+    }
+
+    /// True when the key *may* have been inserted (no false negatives);
+    /// identical verdicts to the owning [`BloomFilter::contains`].
+    pub fn contains(&self, key: u64) -> bool {
+        if self.num_bits == 0 {
+            return false;
+        }
+        (0..self.num_hashes).all(|i| {
+            let h = BloomFilter::hash(key, i) % self.num_bits as u64;
+            self.bits[(h / 8) as usize] >> (h % 8) & 1 == 1
+        })
     }
 }
 
@@ -104,5 +144,19 @@ mod tests {
         let f = BloomFilter::new(10, 1024);
         assert!(!f.contains(42));
         assert!(!f.contains(0));
+    }
+
+    #[test]
+    fn byte_view_matches_owning_filter() {
+        let mut f = BloomFilter::new(500, 1 << 14);
+        for k in 0..500u64 {
+            f.insert(k.wrapping_mul(2654435761));
+        }
+        let bytes = f.to_bytes();
+        let view = BloomView::new(&bytes, f.num_bits(), f.num_hashes());
+        for k in 0..5_000u64 {
+            let key = k.wrapping_mul(2654435761);
+            assert_eq!(view.contains(key), f.contains(key), "key {key}");
+        }
     }
 }

@@ -4,49 +4,103 @@
 //! which child combinations are non-empty. Small states keep an exact set;
 //! states whose combination space exceeds a page use a bloom filter
 //! (false positives are corrected one level down, Lemma 8). Signatures are
-//! computed tuple-orientedly from per-index node paths (Section 5.3.2) and
-//! stored paged so lookups charge I/O.
+//! computed tuple-orientedly from per-index node paths (Section 5.3.2).
+//!
+//! State signatures are *serialized into their pages* and probed zero-copy:
+//! the exact form is a sorted `u64` combo posting list binary-searched
+//! straight off the stored bytes, the bloom form a [`BloomView`] over the
+//! stored bit bytes. A [`JoinSigCursor`] caches the shared page handles it
+//! fetched (charging I/O once per state) — nothing is deserialized into
+//! side structures, mirroring the lazy signature read path of
+//! `rcube_core::sigcube`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use rcube_index::HierIndex;
 use rcube_storage::{DiskSim, PageId, PageStore};
 use rcube_table::Tid;
 
-use crate::bloom::BloomFilter;
+use crate::bloom::{BloomFilter, BloomView};
 
 /// Sentinel child position meaning "the (leaf) node itself".
 pub const SELF_POS: u16 = u16::MAX;
 
-/// One state's signature: the set of non-empty child combinations —
-/// modelled as a `card(S)`-bit array when the combination space fits a
-/// page, as a bloom filter otherwise (Section 5.3.1).
-///
-/// The exact form is held as a sorted combo posting list probed by binary
-/// search: combination spaces are sparse in practice, and the sorted-array
-/// layout replaces per-state hash tables with one compact allocation (the
-/// same posting-list idiom as `rcube_core::idlist`).
-#[derive(Debug)]
-enum StateSig {
-    Exact { list: Box<[u64]>, card: usize },
-    Bloom(BloomFilter),
+/// Payload tag: sorted exact combo list.
+const TAG_EXACT: u8 = 0;
+/// Payload tag: bloom filter.
+const TAG_BLOOM: u8 = 1;
+
+/// Serializes a state's combo set: `[tag][count: u32][combos: u64...]` for
+/// the exact form, `[tag][k: u32][num_bits: u64][bit bytes]` for bloom.
+/// Returns `(payload, metric_bytes)` where `metric_bytes` is Figure
+/// 5.22's space accounting: the conceptual `card(S)`-bit array for exact
+/// states, the filter size for bloom states.
+fn encode_state_sig(combos: &[u64], card: u64, page_bits: usize) -> (Vec<u8>, usize) {
+    if card as usize > page_bits {
+        let mut bloom = BloomFilter::new(combos.len(), page_bits);
+        for &c in combos {
+            bloom.insert(c);
+        }
+        let bits = bloom.to_bytes();
+        let mut out = Vec::with_capacity(13 + bits.len());
+        out.push(TAG_BLOOM);
+        out.extend_from_slice(&bloom.num_hashes().to_le_bytes());
+        out.extend_from_slice(&(bloom.num_bits() as u64).to_le_bytes());
+        out.extend_from_slice(&bits);
+        (out, bloom.byte_size())
+    } else {
+        let mut sorted: Vec<u64> = combos.to_vec();
+        sorted.sort_unstable();
+        let mut out = Vec::with_capacity(5 + sorted.len() * 8);
+        out.push(TAG_EXACT);
+        out.extend_from_slice(&(sorted.len() as u32).to_le_bytes());
+        for c in sorted {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        (out, (card as usize).div_ceil(8))
+    }
 }
 
-impl StateSig {
-    fn contains(&self, combo: u64) -> bool {
-        match self {
-            StateSig::Exact { list, .. } => list.binary_search(&combo).is_ok(),
-            StateSig::Bloom(b) => b.contains(combo),
+/// Probes a serialized state signature without deserializing it: binary
+/// search over the stored LE `u64` list, or a [`BloomView`] probe.
+fn state_sig_contains(bytes: &[u8], combo: u64) -> bool {
+    let read_u64 = |off: usize| {
+        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("bounded by length checks"))
+    };
+    match bytes.first() {
+        Some(&TAG_EXACT) => {
+            if bytes.len() < 5 {
+                return false;
+            }
+            let count = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+            if bytes.len() < 5 + count * 8 {
+                return false;
+            }
+            // Binary search directly over the stored posting list.
+            let (mut lo, mut hi) = (0usize, count);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match read_u64(5 + mid * 8).cmp(&combo) {
+                    std::cmp::Ordering::Equal => return true,
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+            false
         }
-    }
-
-    fn byte_size(&self) -> usize {
-        match self {
-            // The exact form is an m-way bit array over the combination
-            // space.
-            StateSig::Exact { card, .. } => card.div_ceil(8),
-            StateSig::Bloom(b) => b.byte_size(),
+        Some(&TAG_BLOOM) => {
+            if bytes.len() < 13 {
+                return false;
+            }
+            let k = u32::from_le_bytes(bytes[1..5].try_into().unwrap());
+            let num_bits = read_u64(5) as usize;
+            if bytes.len() < 13 + num_bits.div_ceil(8) {
+                return false;
+            }
+            BloomView::new(&bytes[13..], num_bits, k).contains(combo)
         }
+        _ => false,
     }
 }
 
@@ -61,7 +115,8 @@ pub struct JoinSignature {
     members: Vec<usize>,
     /// Per-index combination base (`Mi + 2`, reserving the SELF sentinel).
     bases: Vec<u64>,
-    states: HashMap<StateKey, StateSig>,
+    /// State catalog: key → the page its serialized signature lives on.
+    /// The signature *data* lives only in the store.
     pages: HashMap<StateKey, PageId>,
     store: PageStore,
     total_bytes: usize,
@@ -103,7 +158,7 @@ impl JoinSignature {
 
         // Recursive-sort equivalent: group tuples by state key per level
         // and record child combinations.
-        let mut combos: HashMap<StateKey, HashSet<u64>> = HashMap::new();
+        let mut combos: HashMap<StateKey, std::collections::HashSet<u64>> = HashMap::new();
         let some_member = members[0];
         for tid in tuple_paths[some_member].keys() {
             let paths: Vec<&Vec<u16>> = members.iter().map(|&i| &tuple_paths[i][tid]).collect();
@@ -125,32 +180,20 @@ impl JoinSignature {
             }
         }
 
-        // Materialize: exact set or bloom filter, paged.
+        // Materialize: exact set or bloom filter, serialized into pages
+        // (lookups probe the stored bytes zero-copy and charge a read).
         let store = PageStore::new();
-        let mut states = HashMap::with_capacity(combos.len());
         let mut pages = HashMap::with_capacity(combos.len());
         let mut total_bytes = 0usize;
         let page_bits = disk.page_size() * 8;
+        let card: u64 = bases.iter().product();
         for (key, set) in combos {
-            let card: u64 = bases.iter().product();
-            let sig = if card as usize > page_bits {
-                let mut bloom = BloomFilter::new(set.len(), page_bits);
-                for &c in &set {
-                    bloom.insert(c);
-                }
-                StateSig::Bloom(bloom)
-            } else {
-                let mut list: Vec<u64> = set.into_iter().collect();
-                list.sort_unstable();
-                StateSig::Exact { list: list.into_boxed_slice(), card: card as usize }
-            };
-            total_bytes += sig.byte_size();
-            // One paged object per state signature (lookups charge a read).
-            let page = store.put(disk, vec![0u8; sig.byte_size().max(1)]);
-            pages.insert(key.clone(), page);
-            states.insert(key, sig);
+            let list: Vec<u64> = set.into_iter().collect();
+            let (payload, metric_bytes) = encode_state_sig(&list, card, page_bits);
+            total_bytes += metric_bytes;
+            pages.insert(key, store.put(disk, payload));
         }
-        Self { members, bases, states, pages, store, total_bytes }
+        Self { members, bases, pages, store, total_bytes }
     }
 
     /// Indices covered by this signature.
@@ -165,19 +208,12 @@ impl JoinSignature {
 
     /// Number of materialized state signatures.
     pub fn num_states(&self) -> usize {
-        self.states.len()
+        self.pages.len()
     }
 
     /// True when the state keyed `key` is non-empty (exists at all).
     pub fn contains_state(&self, key: &StateKey) -> bool {
-        self.states.contains_key(key)
-    }
-
-    fn check(&self, key: &StateKey, combo: &[u16]) -> bool {
-        match self.states.get(key) {
-            Some(sig) => sig.contains(encode_combo(&self.bases, combo)),
-            None => false,
-        }
+        self.pages.contains_key(key)
     }
 
     fn page_of(&self, key: &StateKey) -> Option<PageId> {
@@ -193,19 +229,24 @@ fn encode_combo(bases: &[u64], combo: &[u16]) -> u64 {
     })
 }
 
-/// Per-query cursor over one or more join-signatures: caches loaded state
-/// signatures and charges I/O on first access.
+/// Per-query cursor over one or more join-signatures: caches the shared
+/// page handles of touched state signatures (charging I/O once per state)
+/// and probes the stored bytes zero-copy.
 #[derive(Debug)]
 pub struct JoinSigCursor<'a> {
     sigs: Vec<&'a JoinSignature>,
-    loaded: HashSet<(usize, StateKey)>,
+    /// `(signature, state key)` → shared payload view (`None` = state
+    /// absent, i.e. provably empty).
+    views: HashMap<(usize, StateKey), Option<Arc<[u8]>>>,
     /// Signature page loads performed (the `PE+SIG(SIG)` bar of Fig 5.10).
     pub loads: u64,
+    /// Payload bytes fetched (each counted once per cursor).
+    pub bytes_loaded: u64,
 }
 
 impl<'a> JoinSigCursor<'a> {
     pub fn new(sigs: Vec<&'a JoinSignature>) -> Self {
-        Self { sigs, loaded: HashSet::new(), loads: 0 }
+        Self { sigs, views: HashMap::new(), loads: 0, bytes_loaded: 0 }
     }
 
     /// True when the child `combo` of the state `key` (full, over all `m`
@@ -215,9 +256,14 @@ impl<'a> JoinSigCursor<'a> {
             let sig = self.sigs[si];
             let sub_key: StateKey = sig.members.iter().map(|&i| key[i].clone()).collect();
             let sub_combo: Vec<u16> = sig.members.iter().map(|&i| combo[i]).collect();
-            self.touch(disk, si, &sub_key);
-            if !sig.check(&sub_key, &sub_combo) {
-                return false;
+            let code = encode_combo(&sig.bases, &sub_combo);
+            match self.view(disk, si, sub_key) {
+                None => return false,
+                Some(bytes) => {
+                    if !state_sig_contains(&bytes, code) {
+                        return false;
+                    }
+                }
             }
         }
         true
@@ -232,22 +278,28 @@ impl<'a> JoinSigCursor<'a> {
             if sub_key.iter().all(|p| p.is_empty()) {
                 continue; // root always exists
             }
-            self.touch(disk, si, &sub_key);
-            if !sig.contains_state(&sub_key) {
+            if self.view(disk, si, sub_key).is_none() {
                 return false;
             }
         }
         true
     }
 
-    fn touch(&mut self, disk: &DiskSim, si: usize, key: &StateKey) {
-        if self.loaded.insert((si, key.clone())) {
-            let sig = self.sigs[si];
-            if let Some(page) = sig.page_of(key) {
-                sig.store.get(disk, page);
-                self.loads += 1;
-            }
+    /// The cached payload view of a state signature, fetching (and
+    /// charging) it on first access.
+    fn view(&mut self, disk: &DiskSim, si: usize, key: StateKey) -> Option<Arc<[u8]>> {
+        if let Some(v) = self.views.get(&(si, key.clone())) {
+            return v.clone();
         }
+        let sig = self.sigs[si];
+        let fetched = sig.page_of(&key).map(|page| {
+            let bytes = sig.store.get_bytes(disk, page);
+            self.loads += 1;
+            self.bytes_loaded += bytes.len() as u64;
+            bytes
+        });
+        self.views.insert((si, key), fetched.clone());
+        fetched
     }
 
     /// True when no signatures are attached (pruning disabled).
@@ -291,6 +343,7 @@ fn collect_rec(
 mod tests {
     use super::*;
     use rcube_index::BPlusTree;
+    use std::collections::HashSet;
 
     /// Table 5.2's sample relation over indices of Figure 5.1.
     fn setup() -> (DiskSim, BPlusTree, BPlusTree) {
@@ -389,6 +442,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn serialized_state_sigs_probe_like_sets() {
+        // Exact form: binary search over the stored LE posting list.
+        let combos = vec![3u64, 17, 42, 999, 12_345];
+        let (payload, _) = encode_state_sig(&combos, 20_000, 1 << 20);
+        assert_eq!(payload[0], TAG_EXACT);
+        for c in 0..13_000u64 {
+            assert_eq!(state_sig_contains(&payload, c), combos.contains(&c), "combo {c}");
+        }
+        // Bloom form: card exceeds the page, no false negatives.
+        let many: Vec<u64> = (0..400u64).map(|i| i * 7919).collect();
+        let (payload, _) = encode_state_sig(&many, u64::MAX, 4096 * 8);
+        assert_eq!(payload[0], TAG_BLOOM);
+        for &c in &many {
+            assert!(state_sig_contains(&payload, c), "no false negatives ({c})");
+        }
+        // Truncated / garbage payloads answer false, never panic.
+        assert!(!state_sig_contains(&[], 1));
+        assert!(!state_sig_contains(&[TAG_EXACT, 9, 0, 0, 0], 1));
+        assert!(!state_sig_contains(&[TAG_BLOOM, 1, 0], 1));
+        assert!(!state_sig_contains(&[7, 7, 7], 1));
     }
 
     #[test]

@@ -166,6 +166,7 @@ impl<'a> IndexMerge<'a> {
         }
         let mut stats = run.stats;
         stats.sig_loads = sig.loads;
+        stats.sig_bytes_decoded = sig.bytes_loaded;
         stats.io = before.delta(&disk.stats().snapshot());
         TopKResult { items: run.topk.into_sorted(), stats }
     }

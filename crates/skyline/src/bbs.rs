@@ -149,7 +149,7 @@ impl<'a> SkylineEngine<'a> {
                 SEntry::Node(_, p) => p,
                 SEntry::Tuple(_, p, _) => p,
             };
-            if !path.is_empty() && !pruner.check_path(disk, path) {
+            if !path.is_empty() && !pruner.check_path(path) {
                 session.pruned.push((key, entry));
                 continue;
             }
@@ -212,6 +212,7 @@ impl<'a> SkylineEngine<'a> {
         }
 
         stats.sig_loads = pruner.loads();
+        stats.sig_bytes_decoded = pruner.bytes_decoded();
         stats.io = before.delta(&disk.stats().snapshot());
         let tids = skyline.into_iter().map(|(t, _)| t).collect();
         (SkylineResult { tids, stats }, session)

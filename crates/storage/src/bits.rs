@@ -147,6 +147,145 @@ pub fn bits_for(m: usize) -> usize {
     }
 }
 
+/// A length-tracked bit array packed into `u64` words.
+///
+/// Signature nodes are at most one partition fanout `M` wide, so a node is
+/// one or a few words; AND/OR/containment over whole nodes become
+/// word-parallel bitwise ops plus `count_ones`, the same treatment the
+/// posting-list engine gives tid bitmaps. The word array is LSB-first:
+/// bit `i` lives in `words[i / 64]` at position `i % 64`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An empty (zero-length) array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An all-zeros array of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An all-ones array of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Self::zeros(len);
+        for (i, w) in b.words.iter_mut().enumerate() {
+            let remaining = len - i * 64;
+            *w = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+        }
+        b
+    }
+
+    /// Builds from a `bool` slice (index `i` → bit `i`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = Self::zeros(bits.len());
+        for (i, &set) in bits.iter().enumerate() {
+            if set {
+                b.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        b
+    }
+
+    /// Expands back into a `bool` vector (round-trip/testing aid).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of bit slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`, or `false` past the end (trailing-zero semantics).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`, growing the array as needed.
+    pub fn set(&mut self, i: usize) {
+        if i >= self.len {
+            self.len = i + 1;
+            self.words.resize(self.len.div_ceil(64), 0);
+        }
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i` (no-op past the end).
+    pub fn clear(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// True when any bit is set (word-parallel).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits (word-parallel `count_ones`).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (LSB-first; trailing slots past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Positions of set bits, ascending (word-at-a-time trailing-zeros
+    /// scan, not a per-bit loop).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Positions of clear bits below `len`, ascending.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| !self.get(i))
+    }
+
+    /// Word-parallel OR; the result is as long as the longer operand.
+    pub fn or(&self, other: &PackedBits) -> PackedBits {
+        let len = self.len.max(other.len);
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        PackedBits { words, len }
+    }
+
+    /// Word-parallel AND; the result is as long as the shorter operand.
+    pub fn and(&self, other: &PackedBits) -> PackedBits {
+        let len = self.len.min(other.len);
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[i] & other.words[i];
+        }
+        PackedBits { words, len }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +351,48 @@ mod tests {
         assert_eq!(bits_for(32), 5);
         assert_eq!(bits_for(33), 6);
         assert_eq!(bits_for(204), 8);
+    }
+
+    #[test]
+    fn packed_bits_round_trip_bools() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let packed = PackedBits::from_bools(&bools);
+        assert_eq!(packed.len(), 130);
+        assert_eq!(packed.to_bools(), bools);
+        assert_eq!(packed.count_ones(), bools.iter().filter(|&&b| b).count());
+        let ones: Vec<usize> = packed.iter_ones().collect();
+        let expect: Vec<usize> =
+            bools.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        assert_eq!(ones, expect);
+        let zeros: Vec<usize> = packed.iter_zeros().collect();
+        assert_eq!(zeros.len(), 130 - ones.len());
+    }
+
+    #[test]
+    fn packed_bits_set_grows_and_get_is_trailing_zero() {
+        let mut b = PackedBits::new();
+        b.set(70);
+        assert_eq!(b.len(), 71);
+        assert!(b.get(70));
+        assert!(!b.get(69));
+        assert!(!b.get(500), "past-the-end reads are false");
+        b.clear(70);
+        assert!(!b.any());
+    }
+
+    #[test]
+    fn packed_bits_word_parallel_ops() {
+        let a = PackedBits::from_bools(&[true, true, false, true, false]);
+        let b = PackedBits::from_bools(&[true, false, false, true]);
+        let and = a.and(&b);
+        assert_eq!(and.to_bools(), vec![true, false, false, true]);
+        let or = a.or(&b);
+        assert_eq!(or.to_bools(), vec![true, true, false, true, false]);
+        // Ones/zeros constructors across a word boundary.
+        let ones = PackedBits::ones(67);
+        assert_eq!(ones.count_ones(), 67);
+        assert!(ones.get(66) && !ones.get(67));
+        assert_eq!(PackedBits::zeros(67).count_ones(), 0);
     }
 
     #[test]

@@ -53,6 +53,21 @@
 //! map is dense; it exists so a future compactor can free and reuse pages
 //! without a format bump, and it gives `open` a cheap structural check:
 //! every page below `page_count` must be marked allocated.
+//!
+//! # Catalogs
+//!
+//! The superblock's catalog pointer names one ordinary object whose first
+//! byte is a *kind tag* interpreted by the cube layer (`rcube_core`):
+//! `1` grid cube, `2` ranking fragments, `4` signature cube. Readers
+//! reject a mismatched tag with a typed error, so a catalog-layout change
+//! is shipped as a new tag rather than a silent reinterpretation. Tag `3`
+//! (the original signature-cube catalog) is retired: it carried a per-node
+//! `sid → partial` pair list per cell; tag `4` stores, per cell, the
+//! signature depth plus one *first-SID* entry per partial — BFS write
+//! order makes SIDs strictly increasing, so that sorted array replaces
+//! the map (binary search) and shrinks the catalog from O(nodes) to
+//! O(partials). Files written with tag 3 fail to open with a
+//! kind-mismatch error and must be re-saved.
 
 use crate::backend::StorageError;
 

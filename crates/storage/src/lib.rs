@@ -33,7 +33,7 @@ pub mod format;
 pub mod stats;
 
 pub use backend::{MemBackend, PageBackend, StorageError};
-pub use bits::{bits_for, BitReader, BitWriter};
+pub use bits::{bits_for, BitReader, BitWriter, PackedBits};
 pub use buffer::{BufferPool, LruBuffer};
 pub use disk::{DiskSim, PageId, PageStore};
 pub use file::{FileBackend, DEFAULT_POOL_PAGES};

@@ -10,10 +10,14 @@ use std::sync::OnceLock;
 
 use ranking_cube::cube::fragments::{FragmentConfig, RankingFragments};
 use ranking_cube::cube::gridcube::{GridCubeConfig, GridRankingCube};
+use ranking_cube::cube::sigcube::{SignatureCube, SignatureCubeConfig};
+use ranking_cube::cube::sigquery::{topk_signature, topk_signature_assembled};
 use ranking_cube::cube::TopKQuery;
 use ranking_cube::func::Linear;
+use ranking_cube::index::rtree::{RTree, RTreeConfig};
 use ranking_cube::storage::DiskSim;
 use ranking_cube::table::gen::SyntheticSpec;
+use ranking_cube::table::Selection;
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 
@@ -119,6 +123,131 @@ proptest::proptest! {
                 );
             }
         }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// One saved signature-cube file, reused by the corruption property below.
+fn pristine_sig_file() -> &'static Vec<u8> {
+    static FILE: OnceLock<Vec<u8>> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let rel = SyntheticSpec { tuples: 700, cardinality: 3, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(8));
+        let cube = SignatureCube::build(
+            &rel,
+            &rtree,
+            &disk,
+            // Small alpha => many partial-signature objects, so flips land
+            // in signature payloads, not just structure pages.
+            SignatureCubeConfig { alpha: 0.05, ..Default::default() },
+        );
+        let path = temp_path("sig_pristine");
+        cube.save_to_with(&rtree, &path, 512, 16).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+proptest::proptest! {
+    /// Signature-cube files get the same guarantee as grid-cube files:
+    /// flipping any single bit must surface as a typed error at open or
+    /// in the partial-signature integrity scrub — never a silent wrong
+    /// answer.
+    #[test]
+    fn sig_cube_single_bit_flip_is_always_detected(
+        pos_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let pristine = pristine_sig_file();
+        let offset = ((pos_frac * pristine.len() as f64) as usize).min(pristine.len() - 1);
+        let mut tampered = pristine.clone();
+        tampered[offset] ^= 1 << bit;
+
+        let path = temp_path("sig_flip");
+        std::fs::write(&path, &tampered).expect("write tampered copy");
+        match SignatureCube::open_from_with(&path, 16) {
+            Err(_) => {} // superblock / alloc map / catalog rejected the flip
+            Ok((cube, _rtree)) => {
+                proptest::prop_assert!(
+                    cube.verify_integrity().is_err(),
+                    "bit flip at byte {} bit {} went undetected",
+                    offset,
+                    bit
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+proptest::proptest! {
+    /// Reopened signature cubes answer exactly like the in-memory build:
+    /// the lazy pruner over the file equals the eagerly assembled
+    /// signature equals the naive selection filter, on every node and
+    /// tuple path, and lazy/eager top-k answers are bit-identical.
+    #[test]
+    fn reopened_sig_cube_lazy_pruning_matches_assembled_and_naive(
+        tuples in 120usize..360,
+        cardinality in 2u32..5,
+        fanout in 4usize..10,
+        alpha_millis in 5usize..600,
+        nconds in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let rel = SyntheticSpec { tuples, cardinality, ranking_dims: 2, seed, ..Default::default() }
+            .generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(fanout));
+        let cube = SignatureCube::build(
+            &rel,
+            &rtree,
+            &disk,
+            SignatureCubeConfig { alpha: alpha_millis as f64 / 1000.0, cuboids: None },
+        );
+        let path = temp_path("sig_prop");
+        cube.save_to_with(&rtree, &path, 512, 64).expect("save");
+        let (reopened, rtree2) = SignatureCube::open_from_with(&path, 64).expect("open");
+        let disk2 = DiskSim::with_defaults();
+
+        let conds: Vec<(usize, u32)> = (0..nconds.min(rel.schema().num_selection()))
+            .map(|d| (d, (seed as u32 + d as u32) % cardinality))
+            .collect();
+        let sel = Selection::new(conds.clone());
+
+        // Naive ground truth over tuple-path prefixes.
+        let matching: Vec<Vec<u16>> = rel
+            .tids()
+            .filter(|&t| sel.matches(&rel, t))
+            .map(|t| rtree.tuple_path(t).unwrap())
+            .collect();
+        let naive = |prefix: &[u16]| matching.iter().any(|p| p.starts_with(prefix));
+
+        let assembled = cube.assemble(&sel, &disk);
+        let lazy_file = reopened.pruner_for(&sel, &disk2);
+        proptest::prop_assert_eq!(
+            lazy_file.is_some(),
+            assembled.as_ref().is_some_and(|s| !s.is_empty())
+        );
+        if let Some(mut pruner) = lazy_file {
+            let assembled = assembled.unwrap();
+            for tid in rel.tids() {
+                let p = rtree2.tuple_path(tid).unwrap();
+                for l in 1..=p.len() {
+                    let want = naive(&p[..l]);
+                    proptest::prop_assert_eq!(assembled.contains_path(&p[..l]), want);
+                    proptest::prop_assert_eq!(pruner.check_path(&p[..l]), want,
+                        "reopened lazy pruner diverges at {:?}", &p[..l]);
+                }
+            }
+        }
+
+        // Lazy and eager top-k over the reopened cube are bit-identical.
+        let q = TopKQuery::new(conds, Linear::uniform(2), 10);
+        let lazy = topk_signature(&rtree2, &reopened, &q, &disk2);
+        let eager = topk_signature_assembled(&rtree2, &reopened, &q, &disk2);
+        proptest::prop_assert_eq!(render(&lazy.items), render(&eager.items));
         std::fs::remove_file(&path).ok();
     }
 }
