@@ -39,7 +39,7 @@ fn setup() -> Setup {
     let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
     // A small alpha forces real decomposition (many partials per cell), so
     // partial-level laziness is measurable, not vacuous.
-    let cube = SignatureCube::build(
+    let mut cube = SignatureCube::build(
         &rel,
         &rtree,
         &disk,
@@ -48,7 +48,14 @@ fn setup() -> Setup {
     let mut path = std::env::temp_dir();
     path.push(format!("rcube_sig_bench_{}", std::process::id()));
     cube.save_to(&rtree, &path).expect("save signature cube");
-    let (file_cube, file_rtree) = SignatureCube::open_from(&path).expect("reopen signature cube");
+    let (mut file_cube, file_rtree) =
+        SignatureCube::open_from(&path).expect("reopen signature cube");
+    // This bench measures PR 3's *per-query* lazy read path, so the
+    // cross-query shared node cache is disabled on both cubes — its
+    // repeat-workload effect is BENCH_concurrency.json's subject, and
+    // leaving it on would deflate the lazy counters with warm-cache hits.
+    cube.set_node_cache_budget(0);
+    file_cube.set_node_cache_budget(0);
     Setup { disk, rtree, cube, file_disk: DiskSim::with_defaults(), file_rtree, file_cube, path }
 }
 

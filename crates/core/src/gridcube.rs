@@ -514,6 +514,13 @@ impl GridRankingCube {
         &self.store
     }
 
+    /// Per-shard buffer-pool occupancy and hit/miss/eviction counters
+    /// (`None` on the in-memory backend) — the cache-effectiveness
+    /// snapshot the concurrency bench prints.
+    pub fn pool_stats(&self) -> Option<rcube_storage::PoolStats> {
+        self.store.pool_stats()
+    }
+
     /// Saves the cube into a single file at `path` with the default page
     /// size (4 KB) and buffer-pool capacity: every base block and cuboid
     /// cell becomes a checksummed on-disk object, and the cube catalog

@@ -32,11 +32,13 @@ pub mod fragments;
 pub mod gridcube;
 pub mod idlist;
 pub mod maintain;
+pub mod nodecache;
 pub mod sigcube;
 pub mod signature;
 pub mod sigquery;
 
 pub use gridcube::{GridCubeConfig, GridRankingCube};
+pub use nodecache::{NodeCacheStats, SharedNodeCache};
 pub use sigcube::{SignatureCube, SignatureCubeConfig};
 
 use rcube_func::RankFn;
@@ -94,6 +96,15 @@ pub struct QueryStats {
     /// eager assembly path, individual nodes on the lazy path) — the
     /// reduction `BENCH_sigcube.json` tracks.
     pub sig_bytes_decoded: u64,
+    /// Individual signature nodes decoded on demand by the lazy read path
+    /// (the per-query work a shared cache removes on repeat traffic).
+    pub sig_nodes_decoded: u64,
+    /// Probes answered by the cube's *shared* cross-query node cache —
+    /// attributed separately from per-query memo hits: a shared hit skips
+    /// the partial load and the decode entirely, charging no I/O
+    /// (`BENCH_concurrency.json` tracks the resulting `nodes_decoded`
+    /// reduction on repeated workloads).
+    pub shared_node_hits: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

@@ -1,0 +1,295 @@
+//! Shared cross-query decoded-signature-node cache.
+//!
+//! PR 3's lazy read path memoizes decoded nodes *per query* (inside each
+//! [`crate::sigcube::SigCursor`]), so two queries hitting the same hot
+//! cuboid both pay the first decode of every node they touch. For an
+//! online serving workload — many concurrent top-k queries over a
+//! read-mostly cube — that first decode dominates repeat traffic. The
+//! [`SharedNodeCache`] sits between the per-query memo and storage: a
+//! read-mostly, lock-striped map from `(partial first page id, SID)` to
+//! the node's packed bit-words (or its proven absence), shared by every
+//! cursor of one [`crate::sigcube::SignatureCube`].
+//!
+//! # Concurrency and invalidation
+//!
+//! * **Keys name immutable bytes.** The append-only page allocator never
+//!   reuses a first page id within one store lifetime, so a key uniquely
+//!   identifies one partial's bytes; cached values never go stale under
+//!   concurrent *reads* (see the "Concurrency model" section of
+//!   `rcube_storage::format`).
+//! * **Epoch invalidation on mutation.** Incremental maintenance replaces
+//!   whole cell signatures ([`crate::sigcube::SignatureCube`] calls
+//!   [`SharedNodeCache::clear`]); in-place page overwrites outside that
+//!   path must do the same.
+//! * **Bounded budget.** Each shard tracks its approximate byte weight;
+//!   inserts past the budget evict arbitrary resident entries (the map's
+//!   iteration order) until the newcomer fits. Hot nodes evicted this way
+//!   are simply re-decoded and re-admitted — correctness never depends on
+//!   residency.
+//!
+//! A shared hit skips the partial load *and* the node decode, so it is
+//! metered separately (`shared_node_hits` in `rcube_core::QueryStats`)
+//! from per-query memo hits and charged no I/O: the node never left
+//! memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use rcube_storage::PackedBits;
+
+/// Default cache budget: 4 MiB of packed node words — a few thousand hot
+/// cuboid cells at typical node sizes.
+pub const DEFAULT_NODE_CACHE_BYTES: usize = 4 << 20;
+
+/// Lock stripes; node keys hash across them so concurrent queries rarely
+/// contend even when all of them write through on a cold cache.
+const SHARDS: usize = 16;
+
+/// `(first page id of the partial holding the node, SID)`.
+type Key = (u64, u64);
+
+/// Point-in-time counters of a [`SharedNodeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCacheStats {
+    /// Lookups answered from the shared cache.
+    pub hits: u64,
+    /// Lookups that fell through to the per-query decode path.
+    pub misses: u64,
+    /// Entries evicted under budget pressure.
+    pub evictions: u64,
+    /// Resident entries.
+    pub entries: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+}
+
+/// The shared decoded-node cache (see module docs). All methods take
+/// `&self`; synchronization is internal (sharded `RwLock`s + atomics).
+#[derive(Debug)]
+pub struct SharedNodeCache {
+    shards: Vec<RwLock<Shard>>,
+    /// Byte budget per shard; 0 disables the cache entirely.
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// `None` = SID proven absent from its partial. Nodes are shared
+    /// `Arc`s: a hit is a refcount bump, never a word-vector copy.
+    map: HashMap<Key, Option<Arc<PackedBits>>>,
+    bytes: usize,
+}
+
+/// Approximate resident weight of one entry: key + map overhead + words.
+fn weight_of(value: &Option<Arc<PackedBits>>) -> usize {
+    48 + value.as_ref().map_or(0, |b| b.words().len() * 8)
+}
+
+impl SharedNodeCache {
+    /// Cache bounded by `budget_bytes` across all shards. A budget of zero
+    /// disables caching: every lookup misses, inserts are dropped.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / SHARDS,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache with the default budget ([`DEFAULT_NODE_CACHE_BYTES`]).
+    pub fn with_default_budget() -> Self {
+        Self::new(DEFAULT_NODE_CACHE_BYTES)
+    }
+
+    /// True when the budget is zero and the cache never stores anything.
+    pub fn is_disabled(&self) -> bool {
+        self.shard_budget == 0
+    }
+
+    fn shard(&self, key: Key) -> &RwLock<Shard> {
+        let h = (key.0 ^ key.1.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks up a decoded node. `Some(None)` means the cache *knows* the
+    /// SID is absent from its partial; `None` is a plain miss. Hits hand
+    /// back a shared `Arc` — no allocation inside the read lock.
+    pub fn get(&self, partial_page: u64, sid: u64) -> Option<Option<Arc<PackedBits>>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let key = (partial_page, sid);
+        let found = self.shard(key).read().unwrap().map.get(&key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits a decoded node (or a proven absence). Entries heavier than a
+    /// whole shard budget are not cached; under pressure arbitrary
+    /// residents of the target shard are evicted until the newcomer fits.
+    pub fn insert(&self, partial_page: u64, sid: u64, value: Option<Arc<PackedBits>>) {
+        if self.is_disabled() {
+            return;
+        }
+        let key = (partial_page, sid);
+        let w = weight_of(&value);
+        if w > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(key).write().unwrap();
+        if shard.map.contains_key(&key) {
+            return; // another query decoded it first; values are identical
+        }
+        if shard.bytes + w > self.shard_budget {
+            let victims: Vec<Key> = {
+                let mut freed = 0usize;
+                shard
+                    .map
+                    .iter()
+                    .take_while(|(_, v)| {
+                        let done = shard.bytes - freed + w <= self.shard_budget;
+                        if !done {
+                            freed += weight_of(v);
+                        }
+                        !done
+                    })
+                    .map(|(&k, _)| k)
+                    .collect()
+            };
+            for v in victims {
+                if let Some(old) = shard.map.remove(&v) {
+                    shard.bytes -= weight_of(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        shard.bytes += w;
+        shard.map.insert(key, value);
+    }
+
+    /// Drops every entry and resets occupancy (the epoch bump on
+    /// structural mutation). Hit/miss/eviction counters keep accumulating.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.write().unwrap();
+            s.map.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Counter and occupancy snapshot.
+    pub fn stats(&self) -> NodeCacheStats {
+        let (mut entries, mut bytes) = (0usize, 0usize);
+        for shard in &self.shards {
+            let s = shard.read().unwrap();
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        NodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize) -> Arc<PackedBits> {
+        let mut b = PackedBits::zeros(n);
+        b.set(n.saturating_sub(1));
+        Arc::new(b)
+    }
+
+    #[test]
+    fn miss_insert_hit_round_trip() {
+        let cache = SharedNodeCache::new(1 << 20);
+        assert_eq!(cache.get(7, 3), None);
+        cache.insert(7, 3, Some(bits(100)));
+        let got = cache.get(7, 3).expect("cached");
+        assert!(got.unwrap().get(99));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn absence_is_cached_distinctly() {
+        let cache = SharedNodeCache::new(1 << 20);
+        cache.insert(1, 9, None);
+        assert_eq!(cache.get(1, 9), Some(None), "known-absent, not a miss");
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = SharedNodeCache::new(0);
+        assert!(cache.is_disabled());
+        cache.insert(1, 1, Some(bits(64)));
+        assert_eq!(cache.get(1, 1), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn budget_bounds_occupancy() {
+        let budget = 64 << 10;
+        let cache = SharedNodeCache::new(budget);
+        for i in 0..10_000u64 {
+            cache.insert(i, i, Some(bits(512)));
+        }
+        let s = cache.stats();
+        assert!(s.bytes <= budget, "resident {} must respect budget {budget}", s.bytes);
+        assert!(s.evictions > 0, "pressure must evict");
+        assert!(s.entries > 0, "evictions must leave room for newcomers");
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = SharedNodeCache::new(1 << 20);
+        cache.insert(1, 1, Some(bits(64)));
+        cache.get(1, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.get(1, 1), None, "cleared entries are gone");
+    }
+
+    #[test]
+    fn concurrent_mixed_use_is_safe() {
+        let cache = std::sync::Arc::new(SharedNodeCache::new(256 << 10));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (i * 13 + t) % 500;
+                        match cache.get(key, key) {
+                            Some(Some(b)) => assert!(b.get(63)),
+                            Some(None) => panic!("never inserted as absent"),
+                            None => cache.insert(key, key, Some(bits(64))),
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert!(s.hits > 0 && s.entries > 0);
+    }
+}

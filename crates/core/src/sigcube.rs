@@ -36,6 +36,19 @@
 //! [`SignatureCube::eager_pruner_for`] for benchmarks and equivalence
 //! tests.
 //!
+//! # Shared cross-query node cache
+//!
+//! The memos above are per-query; the cube additionally owns a
+//! [`crate::nodecache::SharedNodeCache`] consulted by every cursor
+//! *before* loading a partial: on a repeat query over a hot cuboid the
+//! cursor skips both the partial load and the node decode (metered as
+//! `shared_node_hits`, never as I/O). The cache keys by
+//! `(partial first page id, SID)` — immutable within one store lifetime —
+//! and is cleared whenever incremental maintenance replaces a cell
+//! ([`SignatureCube::replace_cell`]), the epoch rule documented in
+//! `rcube_storage::format`. [`SignatureCube::set_node_cache_budget`]
+//! resizes or (with zero) disables it; answers are identical either way.
+//!
 //! Each stored node is prefixed with its SID (Section 4.2.1), making
 //! partials self-describing — a small space overhead relative to the
 //! thesis' BFS-implicit addressing, recorded in EXPERIMENTS.md.
@@ -53,6 +66,7 @@ use rcube_table::{Relation, Selection};
 
 use crate::coding;
 use crate::gridcube::{finish_catalog, read_catalog, CATALOG_SIG};
+use crate::nodecache::SharedNodeCache;
 use crate::signature::{SigNode, Signature};
 
 /// Construction parameters for the signature cube.
@@ -316,9 +330,13 @@ pub struct SigCursor<'a> {
     stored: &'a StoredSignature,
     store: &'a PageStore,
     disk: &'a DiskSim,
+    /// Shared cross-query node cache, consulted before loading a partial
+    /// (`None` = per-query memoization only).
+    cache: Option<&'a SharedNodeCache>,
     parts: Vec<Option<PartialView>>,
-    /// Decoded nodes (`None` = SID proven absent), keyed by SID.
-    nodes: HashMap<u64, Option<PackedBits>>,
+    /// Decoded nodes (`None` = SID proven absent), keyed by SID. Shared
+    /// `Arc`s so shared-cache hits never copy word vectors.
+    nodes: HashMap<u64, Option<Arc<PackedBits>>>,
     /// Partial loads performed (the `C_sig` cost of Section 4.3.3).
     pub loads: u64,
     /// Individual nodes decoded on demand.
@@ -327,20 +345,36 @@ pub struct SigCursor<'a> {
     /// untouched nodes excluded) — the metric `BENCH_sigcube.json` tracks
     /// against eager whole-partial decoding.
     pub bytes_decoded: u64,
+    /// Probes answered by the shared node cache (neither loaded nor
+    /// decoded by this query).
+    pub shared_hits: u64,
 }
 
 impl<'a> SigCursor<'a> {
     pub fn new(stored: &'a StoredSignature, store: &'a PageStore, disk: &'a DiskSim) -> Self {
+        Self::with_cache(stored, store, disk, None)
+    }
+
+    /// Cursor that consults `cache` before touching storage (the serving
+    /// configuration [`SignatureCube::pruner_for`] builds).
+    pub fn with_cache(
+        stored: &'a StoredSignature,
+        store: &'a PageStore,
+        disk: &'a DiskSim,
+        cache: Option<&'a SharedNodeCache>,
+    ) -> Self {
         let parts = (0..stored.partials.len()).map(|_| None).collect();
         Self {
             stored,
             store,
             disk,
+            cache,
             parts,
             nodes: HashMap::new(),
             loads: 0,
             nodes_decoded: 0,
             bytes_decoded: 0,
+            shared_hits: 0,
         }
     }
 
@@ -373,13 +407,23 @@ impl<'a> SigCursor<'a> {
             let decoded = self.decode_sid(sid)?;
             self.nodes.insert(sid, decoded);
         }
-        Ok(self.nodes.get(&sid).and_then(|o| o.as_ref()))
+        Ok(self.nodes.get(&sid).and_then(|o| o.as_deref()))
     }
 
-    fn decode_sid(&mut self, sid: u64) -> Result<Option<PackedBits>, StorageError> {
+    fn decode_sid(&mut self, sid: u64) -> Result<Option<Arc<PackedBits>>, StorageError> {
         let Some(pi) = self.stored.partial_of(sid) else {
             return Ok(None);
         };
+        let partial_page = self.stored.partials[pi].0;
+        // Shared cache first: a hit (decoded node *or* proven absence)
+        // skips the partial load and the decode — no I/O is charged, the
+        // bytes never left memory.
+        if let Some(cache) = self.cache {
+            if let Some(cached) = cache.get(partial_page, sid) {
+                self.shared_hits += 1;
+                return Ok(cached);
+            }
+        }
         if self.parts[pi].is_none() {
             let bytes = self.store.try_get_bytes(self.disk, self.stored.partials[pi])?;
             let view = scan_partial(bytes, self.stored.m)?;
@@ -397,15 +441,23 @@ impl<'a> SigCursor<'a> {
         }
         let part = self.parts[pi].as_ref().expect("just loaded");
         let Ok(di) = part.dir.binary_search_by_key(&sid, |&(s, _)| s) else {
+            if let Some(cache) = self.cache {
+                cache.insert(partial_page, sid, None);
+            }
             return Ok(None);
         };
         let mut r = BitReader::new(&part.bytes[4..], part.bit_len);
         r.skip(part.dir[di].1 as usize);
         let start = r.position();
-        let bits = coding::decode_node(&mut r, self.stored.m)
-            .ok_or(StorageError::Malformed("corrupt partial signature node"))?;
+        let bits = Arc::new(
+            coding::decode_node(&mut r, self.stored.m)
+                .ok_or(StorageError::Malformed("corrupt partial signature node"))?,
+        );
         self.nodes_decoded += 1;
         self.bytes_decoded += ((r.position() - start).div_ceil(8)) as u64;
+        if let Some(cache) = self.cache {
+            cache.insert(partial_page, sid, Some(Arc::clone(&bits)));
+        }
         Ok(Some(bits))
     }
 }
@@ -470,6 +522,16 @@ impl<'a> LazyIntersection<'a> {
     /// Bytes of node codings decoded across all operand cursors.
     pub fn bytes_decoded(&self) -> u64 {
         self.cursors.iter().map(|c| c.bytes_decoded).sum()
+    }
+
+    /// Individual nodes decoded across all operand cursors.
+    pub fn nodes_decoded(&self) -> u64 {
+        self.cursors.iter().map(|c| c.nodes_decoded).sum()
+    }
+
+    /// Shared-node-cache hits across all operand cursors.
+    pub fn shared_hits(&self) -> u64 {
+        self.cursors.iter().map(|c| c.shared_hits).sum()
     }
 
     /// Does the intersection of the subtrees rooted at `sid` (a node at
@@ -606,6 +668,25 @@ impl<'a> Pruner<'a> {
         };
         lazy + self.assembled_bytes
     }
+
+    /// Individual nodes decoded by this query (zero for the assembled
+    /// baseline, which decodes whole partials instead).
+    pub fn nodes_decoded(&self) -> u64 {
+        match &self.kind {
+            PrunerKind::None | PrunerKind::Assembled(_) => 0,
+            PrunerKind::Single(c) => c.nodes_decoded,
+            PrunerKind::Lazy(li) => li.nodes_decoded(),
+        }
+    }
+
+    /// Probes answered by the shared cross-query node cache.
+    pub fn shared_node_hits(&self) -> u64 {
+        match &self.kind {
+            PrunerKind::None | PrunerKind::Assembled(_) => 0,
+            PrunerKind::Single(c) => c.shared_hits,
+            PrunerKind::Lazy(li) => li.shared_hits(),
+        }
+    }
 }
 
 /// How a selection resolves against the materialized cuboids (see
@@ -631,6 +712,9 @@ pub struct SignatureCube {
     cuboids: BTreeMap<Vec<usize>, HashMap<Vec<u32>, StoredSignature>>,
     m: usize,
     alpha: f64,
+    /// Shared cross-query decoded-node cache (see the module docs);
+    /// cleared whenever a cell signature is replaced.
+    node_cache: SharedNodeCache,
 }
 
 impl SignatureCube {
@@ -666,7 +750,13 @@ impl SignatureCube {
             }
             cuboids.insert(dims, stored);
         }
-        Self { store, cuboids, m, alpha: config.alpha }
+        Self {
+            store,
+            cuboids,
+            m,
+            alpha: config.alpha,
+            node_cache: SharedNodeCache::with_default_budget(),
+        }
     }
 
     /// Partition fanout `M`.
@@ -687,6 +777,26 @@ impl SignatureCube {
     /// The page store backing the signatures.
     pub fn store(&self) -> &PageStore {
         &self.store
+    }
+
+    /// The shared cross-query node cache (counter snapshots via
+    /// [`SharedNodeCache::stats`]).
+    pub fn node_cache(&self) -> &SharedNodeCache {
+        &self.node_cache
+    }
+
+    /// Per-shard buffer-pool counters of the backing store (`None` on the
+    /// in-memory backend).
+    pub fn pool_stats(&self) -> Option<rcube_storage::PoolStats> {
+        self.store.pool_stats()
+    }
+
+    /// Replaces the shared node cache with one bounded by `bytes`
+    /// (`0` disables cross-query caching; per-query memoization remains).
+    /// Answers are identical at any setting — only repeat-decode work
+    /// changes.
+    pub fn set_node_cache_budget(&mut self, bytes: usize) {
+        self.node_cache = SharedNodeCache::new(bytes);
     }
 
     /// Materialized cuboid dimension sets.
@@ -756,11 +866,17 @@ impl SignatureCube {
         match self.resolve_selection(selection) {
             Resolved::All => Ok(Some(Pruner::none())),
             Resolved::Empty => Ok(None),
-            Resolved::Single(stored) => {
-                Ok(Some(Pruner::single(SigCursor::new(stored, &self.store, disk))))
-            }
+            Resolved::Single(stored) => Ok(Some(Pruner::single(SigCursor::with_cache(
+                stored,
+                &self.store,
+                disk,
+                Some(&self.node_cache),
+            )))),
             Resolved::Multi(cells) => {
-                let cursors = cells.iter().map(|s| SigCursor::new(s, &self.store, disk)).collect();
+                let cursors = cells
+                    .iter()
+                    .map(|s| SigCursor::with_cache(s, &self.store, disk, Some(&self.node_cache)))
+                    .collect();
                 let mut lazy = LazyIntersection::new(cursors);
                 // Root emptiness mirrors the assembled form's `is_empty`
                 // check: an empty intersection means no tuple qualifies —
@@ -965,7 +1081,9 @@ impl SignatureCube {
             }
             cuboids.insert(dims, cells);
         }
-        Ok((Self { store, cuboids, m, alpha }, rtree))
+        let cube =
+            Self { store, cuboids, m, alpha, node_cache: SharedNodeCache::with_default_budget() };
+        Ok((cube, rtree))
     }
 
     /// Replaces (or inserts) a cell signature — the write-back step of
@@ -983,6 +1101,10 @@ impl SignatureCube {
         } else {
             cells.insert(vals, StoredSignature::write(sig, disk, &self.store, self.alpha));
         }
+        // Epoch bump: a structural mutation invalidates the shared node
+        // cache wholesale (see `rcube_storage::format`'s concurrency
+        // model). Stale per-page keys would otherwise outlive the cell.
+        self.node_cache.clear();
     }
 }
 

@@ -168,6 +168,8 @@ fn run_topk<F: RankFn>(
 
     stats.sig_loads = pruner.loads();
     stats.sig_bytes_decoded = pruner.bytes_decoded();
+    stats.sig_nodes_decoded = pruner.nodes_decoded();
+    stats.shared_node_hits = pruner.shared_node_hits();
     stats.io = before.delta(&disk.stats().snapshot());
     TopKResult { items: topk.into_sorted(), stats }
 }
@@ -355,6 +357,52 @@ mod tests {
             let eager = topk_signature_assembled(&rtree, &cube, &q, &disk);
             proptest::prop_assert_eq!(lazy.items, eager.items);
         }
+    }
+
+    #[test]
+    fn shared_node_cache_absorbs_repeat_queries() {
+        let rel =
+            SyntheticSpec { tuples: 3_000, cardinality: 5, ranking_dims: 3, ..Default::default() }
+                .generate();
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+        let mut cube = SignatureCube::build(
+            &rel,
+            &rtree,
+            &disk,
+            SignatureCubeConfig { alpha: 0.02, ..Default::default() },
+        );
+        let q = TopKQuery::new(vec![(0, 1), (1, 2)], Linear::uniform(3), 10);
+
+        // Warm pass decodes and populates; repeat pass is served by the
+        // shared cache — strictly fewer nodes decoded, identical answers.
+        let cold = topk_signature(&rtree, &cube, &q, &disk);
+        assert!(cold.stats.sig_nodes_decoded > 0, "cold query must decode");
+        let warm = topk_signature(&rtree, &cube, &q, &disk);
+        assert_eq!(warm.items, cold.items);
+        assert!(
+            warm.stats.sig_nodes_decoded < cold.stats.sig_nodes_decoded,
+            "warm {} must decode fewer nodes than cold {}",
+            warm.stats.sig_nodes_decoded,
+            cold.stats.sig_nodes_decoded
+        );
+        assert!(warm.stats.shared_node_hits > 0, "repeat probes come from the shared cache");
+        assert!(
+            warm.stats.sig_loads < cold.stats.sig_loads || cold.stats.sig_loads == 0,
+            "shared hits skip partial loads"
+        );
+        assert!(cube.node_cache().stats().hits >= warm.stats.shared_node_hits);
+
+        // Budget 0 disables cross-query caching: every pass decodes like
+        // the first, with identical answers.
+        cube.set_node_cache_budget(0);
+        let off1 = topk_signature(&rtree, &cube, &q, &disk);
+        let off2 = topk_signature(&rtree, &cube, &q, &disk);
+        assert_eq!(off1.items, cold.items);
+        assert_eq!(off2.items, cold.items);
+        assert_eq!(off1.stats.sig_nodes_decoded, cold.stats.sig_nodes_decoded);
+        assert_eq!(off2.stats.sig_nodes_decoded, cold.stats.sig_nodes_decoded);
+        assert_eq!(off2.stats.shared_node_hits, 0);
     }
 
     #[test]

@@ -20,7 +20,6 @@ use std::collections::{BinaryHeap, HashSet};
 
 use rcube_func::{RankFn, Rect};
 use rcube_index::{HierIndex, NodeHandle};
-use rcube_storage::DiskSim;
 
 use crate::joinsig::{JoinSigCursor, StateKey, SELF_POS};
 use crate::state::{JointState, StateItem};
@@ -102,7 +101,6 @@ impl ThresholdMachine {
         parent: &JointState,
         f: &dyn RankFn,
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) -> Self {
         let key = parent.key(indices);
@@ -116,7 +114,7 @@ impl ThresholdMachine {
         };
         // Seed with the all-best combination.
         let picks: Vec<usize> = vec![0; machine.entries.len()];
-        machine.offer(indices, f, &picks, sig, disk, counters);
+        machine.offer(indices, f, &picks, sig, counters);
         machine
     }
 
@@ -126,12 +124,11 @@ impl ThresholdMachine {
         f: &dyn RankFn,
         picks: &[usize],
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) {
         let (state, combo) = combo_of(&self.entries, picks);
         counters.states_generated += 1;
-        if !sig.is_empty() && !sig.check_child(disk, &self.key, &combo) {
+        if !sig.is_empty() && !sig.check_child(&self.key, &combo) {
             return; // provably empty: prune at generation
         }
         let bound = state.lower_bound(indices, f);
@@ -160,7 +157,6 @@ impl ThresholdMachine {
         indices: &[&dyn HierIndex],
         f: &dyn RankFn,
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) -> Option<JointState> {
         loop {
@@ -189,7 +185,7 @@ impl ThresholdMachine {
             let mut picks = vec![0usize; self.entries.len()];
             picks[s] = ts;
             loop {
-                self.offer(indices, f, &picks, sig, disk, counters);
+                self.offer(indices, f, &picks, sig, counters);
                 // Odometer over the other indices' prefixes [0, t_j).
                 let mut j = 0;
                 loop {
@@ -281,7 +277,6 @@ impl NeighborhoodMachine {
         indices: &[&dyn HierIndex],
         f: &dyn RankFn,
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) -> Option<JointState> {
         while let Some(StateItem { payload: picks, .. }) = self.lheap.pop() {
@@ -295,7 +290,7 @@ impl NeighborhoodMachine {
                 }
             }
             let (state, combo) = combo_of(&self.entries, &picks);
-            if !sig.is_empty() && !sig.check_child(disk, &self.key, &combo) {
+            if !sig.is_empty() && !sig.check_child(&self.key, &combo) {
                 continue; // empty: traversed but not returned
             }
             return Some(state);
@@ -324,12 +319,11 @@ impl Machine {
         indices: &[&dyn HierIndex],
         f: &dyn RankFn,
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) -> Option<JointState> {
         match self {
-            Machine::Threshold(m) => m.get_next(indices, f, sig, disk, counters),
-            Machine::Neighborhood(m) => m.get_next(indices, f, sig, disk, counters),
+            Machine::Threshold(m) => m.get_next(indices, f, sig, counters),
+            Machine::Neighborhood(m) => m.get_next(indices, f, sig, counters),
         }
     }
 }

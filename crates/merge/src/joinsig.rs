@@ -232,9 +232,15 @@ fn encode_combo(bases: &[u64], combo: &[u16]) -> u64 {
 /// Per-query cursor over one or more join-signatures: caches the shared
 /// page handles of touched state signatures (charging I/O once per state)
 /// and probes the stored bytes zero-copy.
+///
+/// The cursor captures its metering device at construction — the probe
+/// API unified with `rcube_core::sigcube::SigCursor`: callers probe with
+/// `check_child(key, combo)` / `check_state(key)` and never thread
+/// `&DiskSim` through the search.
 #[derive(Debug)]
 pub struct JoinSigCursor<'a> {
     sigs: Vec<&'a JoinSignature>,
+    disk: &'a DiskSim,
     /// `(signature, state key)` → shared payload view (`None` = state
     /// absent, i.e. provably empty).
     views: HashMap<(usize, StateKey), Option<Arc<[u8]>>>,
@@ -245,19 +251,19 @@ pub struct JoinSigCursor<'a> {
 }
 
 impl<'a> JoinSigCursor<'a> {
-    pub fn new(sigs: Vec<&'a JoinSignature>) -> Self {
-        Self { sigs, views: HashMap::new(), loads: 0, bytes_loaded: 0 }
+    pub fn new(sigs: Vec<&'a JoinSignature>, disk: &'a DiskSim) -> Self {
+        Self { sigs, disk, views: HashMap::new(), loads: 0, bytes_loaded: 0 }
     }
 
     /// True when the child `combo` of the state `key` (full, over all `m`
     /// indices) may be non-empty according to every signature.
-    pub fn check_child(&mut self, disk: &DiskSim, key: &StateKey, combo: &[u16]) -> bool {
+    pub fn check_child(&mut self, key: &StateKey, combo: &[u16]) -> bool {
         for si in 0..self.sigs.len() {
             let sig = self.sigs[si];
             let sub_key: StateKey = sig.members.iter().map(|&i| key[i].clone()).collect();
             let sub_combo: Vec<u16> = sig.members.iter().map(|&i| combo[i]).collect();
             let code = encode_combo(&sig.bases, &sub_combo);
-            match self.view(disk, si, sub_key) {
+            match self.view(si, sub_key) {
                 None => return false,
                 Some(bytes) => {
                     if !state_sig_contains(&bytes, code) {
@@ -271,14 +277,14 @@ impl<'a> JoinSigCursor<'a> {
 
     /// True when the state itself exists in every signature (corrects bloom
     /// false positives one level down, Section 5.3.3).
-    pub fn check_state(&mut self, disk: &DiskSim, key: &StateKey) -> bool {
+    pub fn check_state(&mut self, key: &StateKey) -> bool {
         for si in 0..self.sigs.len() {
             let sig = self.sigs[si];
             let sub_key: StateKey = sig.members.iter().map(|&i| key[i].clone()).collect();
             if sub_key.iter().all(|p| p.is_empty()) {
                 continue; // root always exists
             }
-            if self.view(disk, si, sub_key).is_none() {
+            if self.view(si, sub_key).is_none() {
                 return false;
             }
         }
@@ -287,13 +293,13 @@ impl<'a> JoinSigCursor<'a> {
 
     /// The cached payload view of a state signature, fetching (and
     /// charging) it on first access.
-    fn view(&mut self, disk: &DiskSim, si: usize, key: StateKey) -> Option<Arc<[u8]>> {
+    fn view(&mut self, si: usize, key: StateKey) -> Option<Arc<[u8]>> {
         if let Some(v) = self.views.get(&(si, key.clone())) {
             return v.clone();
         }
         let sig = self.sigs[si];
         let fetched = sig.page_of(&key).map(|page| {
-            let bytes = sig.store.get_bytes(disk, page);
+            let bytes = sig.store.get_bytes(self.disk, page);
             self.loads += 1;
             self.bytes_loaded += bytes.len() as u64;
             bytes
@@ -369,7 +375,7 @@ mod tests {
         let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
         let paths = collect_tuple_paths(&idx);
         let sig = JoinSignature::build(&idx, &paths, &disk);
-        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let mut cursor = JoinSigCursor::new(vec![&sig], &disk);
         let root_key: StateKey = vec![vec![], vec![]];
         // Compute the ground truth: combos of (leaf-in-A, leaf-in-B).
         let mut truth = HashSet::new();
@@ -379,7 +385,7 @@ mod tests {
         for a in 0..3u16 {
             for b in 0..3u16 {
                 assert_eq!(
-                    cursor.check_child(&disk, &root_key, &[a, b]),
+                    cursor.check_child(&root_key, &[a, b]),
                     truth.contains(&(a, b)),
                     "combo ({a},{b})"
                 );
@@ -396,11 +402,11 @@ mod tests {
         let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
         let paths = collect_tuple_paths(&idx);
         let sig = JoinSignature::build(&idx, &paths, &disk);
-        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let mut cursor = JoinSigCursor::new(vec![&sig], &disk);
         let root_key: StateKey = vec![vec![], vec![]];
-        assert!(!cursor.check_child(&disk, &root_key, &[0, 0]), "(a1,b1) must be empty");
+        assert!(!cursor.check_child(&root_key, &[0, 0]), "(a1,b1) must be empty");
         // t4 (A=50 in a2, B=45 in b2) makes (a2,b2) non-empty.
-        assert!(cursor.check_child(&disk, &root_key, &[1, 1]), "(a2,b2) must be non-empty");
+        assert!(cursor.check_child(&root_key, &[1, 1]), "(a2,b2) must be non-empty");
     }
 
     #[test]
@@ -426,8 +432,8 @@ mod tests {
             JoinSignature::build_pair(&idx, &paths, 1, 2, &disk),
         ];
         let full = JoinSignature::build(&idx, &paths, &disk);
-        let mut pc = JoinSigCursor::new(pairs.iter().collect());
-        let mut fc = JoinSigCursor::new(vec![&full]);
+        let mut pc = JoinSigCursor::new(pairs.iter().collect(), &disk);
+        let mut fc = JoinSigCursor::new(vec![&full], &disk);
         // Pairwise pruning is a relaxation: everything the full signature
         // keeps, the pairwise one must keep too.
         let root_key: StateKey = vec![vec![], vec![], vec![]];
@@ -436,8 +442,8 @@ mod tests {
             for b in 0..n0.min(4) {
                 for c in 0..n0.min(4) {
                     let combo = [a, b, c];
-                    if fc.check_child(&disk, &root_key, &combo) {
-                        assert!(pc.check_child(&disk, &root_key, &combo));
+                    if fc.check_child(&root_key, &combo) {
+                        assert!(pc.check_child(&root_key, &combo));
                     }
                 }
             }
@@ -474,11 +480,11 @@ mod tests {
         let paths = collect_tuple_paths(&idx);
         let sig = JoinSignature::build(&idx, &paths, &disk);
         disk.reset_stats();
-        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let mut cursor = JoinSigCursor::new(vec![&sig], &disk);
         let root_key: StateKey = vec![vec![], vec![]];
-        cursor.check_child(&disk, &root_key, &[0, 0]);
-        cursor.check_child(&disk, &root_key, &[1, 1]);
-        cursor.check_child(&disk, &root_key, &[2, 2]);
+        cursor.check_child(&root_key, &[0, 0]);
+        cursor.check_child(&root_key, &[1, 1]);
+        cursor.check_child(&root_key, &[2, 2]);
         assert_eq!(cursor.loads, 1, "same state signature loads once");
     }
 
@@ -488,11 +494,11 @@ mod tests {
         let idx: Vec<&dyn HierIndex> = vec![&ta, &tb];
         let paths = collect_tuple_paths(&idx);
         let sig = JoinSignature::build(&idx, &paths, &disk);
-        let mut cursor = JoinSigCursor::new(vec![&sig]);
+        let mut cursor = JoinSigCursor::new(vec![&sig], &disk);
         // (a1, b1) is empty, so its state key is absent.
         let key: StateKey = vec![vec![0], vec![0]];
-        assert!(!cursor.check_state(&disk, &key));
+        assert!(!cursor.check_state(&key));
         // Root key always passes.
-        assert!(cursor.check_state(&disk, &vec![vec![], vec![]]));
+        assert!(cursor.check_state(&vec![vec![], vec![]]));
     }
 }

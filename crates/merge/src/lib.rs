@@ -157,7 +157,7 @@ impl<'a> IndexMerge<'a> {
         assert_eq!(f.arity(), self.total_dims(), "function arity must cover all merged dims");
         let before = disk.stats().snapshot();
         let mut run = Run::new(&self.indices, f, k);
-        let mut sig = JoinSigCursor::new(self.signatures.iter().collect());
+        let mut sig = JoinSigCursor::new(self.signatures.iter().collect(), disk);
         match config.algo {
             MergeAlgo::Basic => self.run_basic(&mut run, disk),
             MergeAlgo::Progressive => {
@@ -253,14 +253,13 @@ impl<'a> IndexMerge<'a> {
                             // First expansion: bloom false positives are
                             // corrected here — a state absent from the
                             // signature is empty (Section 5.3.3).
-                            if !sig.is_empty() && !sig.check_state(disk, &s.key(&self.indices)) {
+                            if !sig.is_empty() && !sig.check_state(&s.key(&self.indices)) {
                                 continue;
                             }
-                            self.make_machine(&s, run.f, expansion, sig, disk, &mut counters)
+                            self.make_machine(&s, run.f, expansion, sig, &mut counters)
                         }
                     };
-                    if let Some(child) =
-                        machine.get_next(&self.indices, run.f, sig, disk, &mut counters)
+                    if let Some(child) = machine.get_next(&self.indices, run.f, sig, &mut counters)
                     {
                         let cb = child.lower_bound(&self.indices, run.f);
                         seq += 1;
@@ -295,7 +294,6 @@ impl<'a> IndexMerge<'a> {
         f: &dyn RankFn,
         expansion: Expansion,
         sig: &mut JoinSigCursor<'_>,
-        disk: &DiskSim,
         counters: &mut ExpandCounters,
     ) -> Machine {
         let use_neighborhood = match expansion {
@@ -306,7 +304,7 @@ impl<'a> IndexMerge<'a> {
         if use_neighborhood {
             Machine::Neighborhood(NeighborhoodMachine::new(&self.indices, s, f, counters))
         } else {
-            Machine::Threshold(ThresholdMachine::new(&self.indices, s, f, sig, disk, counters))
+            Machine::Threshold(ThresholdMachine::new(&self.indices, s, f, sig, counters))
         }
     }
 }

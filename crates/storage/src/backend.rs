@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::buffer::PoolStats;
 use crate::disk::{DiskSim, PageId};
 
 /// Typed storage failure. The file backend validates magic, version,
@@ -108,6 +109,17 @@ pub trait PageBackend: Send + Sync + std::fmt::Debug {
     fn put(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError>;
 
     /// Replaces the object rooted at `first` (same id, new bytes).
+    ///
+    /// **Not atomic with respect to concurrent readers.** Appending via
+    /// [`PageBackend::put`] publishes an object only after its pages are
+    /// written, so readers may race appends freely; an in-place overwrite
+    /// rewrites already-published pages one at a time, and a reader
+    /// assembling the object mid-rewrite can observe a torn (half-old /
+    /// half-new) payload whose individual pages all pass validation. The
+    /// single-writer model (see `format`'s "Concurrency model") therefore
+    /// requires reader quiescence around structural mutation: serve
+    /// concurrent traffic from *read-only* (reopened) stores, where
+    /// `overwrite` is rejected outright.
     fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) -> Result<(), StorageError>;
 
     /// Reads the object rooted at `first`, charging one read per covering
@@ -156,6 +168,13 @@ pub trait PageBackend: Send + Sync + std::fmt::Debug {
         let id = self.put(disk, data)?;
         self.set_catalog(id)?;
         Ok(id)
+    }
+
+    /// Snapshot of the backend's byte-caching buffer pool, if it has one.
+    /// `None` for the in-memory backend, whose "cache" is the id-level
+    /// `DiskSim` buffer.
+    fn pool_stats(&self) -> Option<PoolStats> {
+        None
     }
 }
 

@@ -1,19 +1,24 @@
 //! LRU buffer pools: id-only accounting and real byte frames.
 //!
-//! Two pools live here, both O(1) intrusive-list LRUs with capacity
-//! expressed in pages:
+//! Two pools live here, both built on O(1) intrusive-list LRUs with
+//! capacity expressed in pages:
 //!
 //! * [`LruBuffer`] — page *identifiers* only. The simulated device
 //!   ([`crate::DiskSim`]) does not move bytes on hit/miss; this buffer
 //!   just decides whether a logical read is charged as a physical one.
-//! * [`BufferPool`] — real frames. The file backend caches each object's
-//!   assembled payload as an `Arc<[u8]>` frame weighted by its covering
-//!   page count; `get_bytes` handles are shared views into these frames,
-//!   so a hit serves the zero-copy posting-list cursors without touching
-//!   the file.
+//! * [`BufferPool`] — real frames, **sharded for concurrency**. The file
+//!   backend caches each object's assembled payload as an `Arc<[u8]>`
+//!   frame weighted by its covering page count; `get_bytes` handles are
+//!   shared views into these frames, so a hit serves the zero-copy
+//!   posting-list cursors without touching the file. The pool is split
+//!   into N lock-striped LRU shards keyed by first page id, each with its
+//!   own page-weighted budget and hit/miss/eviction counters — concurrent
+//!   readers of distinct objects almost never contend on the same lock.
+//!   [`BufferPool::stats`] snapshots every shard for observability
+//!   ([`PoolStats`] / [`PoolShardStats`]).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::disk::PageId;
 
@@ -152,15 +157,239 @@ impl LruBuffer {
     }
 }
 
-/// A byte-caching buffer pool: object frames under a page-weighted LRU.
+/// Default shard count for [`BufferPool`]: enough stripes that concurrent
+/// query threads rarely collide, few enough that per-shard budgets stay
+/// meaningfully large at the default 256-page capacity.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Point-in-time counters of one buffer-pool shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolShardStats {
+    /// Lookups served from this shard.
+    pub hits: u64,
+    /// Lookups that missed this shard.
+    pub misses: u64,
+    /// Frames evicted under budget pressure (replacements excluded).
+    pub evictions: u64,
+    /// Pages currently held by cached frames.
+    pub used_pages: usize,
+    /// This shard's slice of the pool budget, in pages.
+    pub capacity_pages: usize,
+    /// Number of cached frames.
+    pub frames: usize,
+}
+
+/// Point-in-time snapshot of a whole [`BufferPool`]: one entry per shard
+/// plus aggregate helpers — the observability surface benches print as
+/// "cache effectiveness".
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    pub shards: Vec<PoolShardStats>,
+}
+
+impl PoolStats {
+    /// Total hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total misses across shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses).sum()
+    }
+
+    /// Total evictions across shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Pages currently cached across shards.
+    pub fn used_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.used_pages).sum()
+    }
+
+    /// Configured capacity across shards.
+    pub fn capacity_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity_pages).sum()
+    }
+
+    /// Cached frames across shards.
+    pub fn frames(&self) -> usize {
+        self.shards.iter().map(|s| s.frames).sum()
+    }
+
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// A byte-caching buffer pool: object frames under page-weighted LRU,
+/// sharded by first page id (see the module docs).
 ///
+/// All methods take `&self`; synchronization is internal and per-shard, so
+/// any number of reader threads can hit disjoint shards in parallel.
 /// Frames are keyed by the object's first page id and weigh as many pages
-/// as the object covers on disk. Inserting past capacity evicts
-/// least-recently-used frames until the new one fits; an object larger
-/// than the whole pool is admitted alone (the pool momentarily holds just
-/// that frame) so huge objects still benefit from back-to-back reads.
+/// as the object covers on disk. Inserting past a shard's budget evicts
+/// that shard's least-recently-used frames until the new one fits; a
+/// frame heavier than its whole shard's slice is admitted alone in that
+/// shard (so huge objects still benefit from back-to-back reads) and the
+/// pool then reclaims pages from the *other* shards until the global
+/// budget holds again. The pool-wide invariant matches the pre-sharding
+/// LRU: after any insert, `used_pages ≤ max(capacity_pages, weight of
+/// the largest resident frame)`. Two over-slice frames hashing to the
+/// same shard still evict each other (a frame never spans shards) — the
+/// one sharding trade-off, visible in the eviction counters.
 #[derive(Debug)]
 pub struct BufferPool {
+    shards: Vec<Mutex<PoolShard>>,
+    /// Pool-wide budget (the sum of the shard slices), cached so the
+    /// post-insert rebalance check doesn't re-lock every shard.
+    capacity_pages: usize,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity_pages` pages' worth of frames across
+    /// [`DEFAULT_POOL_SHARDS`] lock-striped shards. Zero disables caching
+    /// (every read is a physical read).
+    pub fn new(capacity_pages: usize) -> Self {
+        Self::with_shards(capacity_pages, DEFAULT_POOL_SHARDS)
+    }
+
+    /// Pool with an explicit shard count. The budget is split evenly
+    /// (earlier shards absorb the remainder); the effective shard count is
+    /// clamped so no shard starts with a zero budget unless the whole pool
+    /// is disabled.
+    pub fn with_shards(capacity_pages: usize, shards: usize) -> Self {
+        let n = shards.max(1).min(capacity_pages.max(1));
+        let (per, extra) = (capacity_pages / n, capacity_pages % n);
+        let shards =
+            (0..n).map(|i| Mutex::new(PoolShard::new(per + usize::from(i < extra)))).collect();
+        Self { shards, capacity_pages }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, key: PageId) -> usize {
+        // Fibonacci multiplicative hash: consecutive first-page ids (the
+        // append-only allocator's pattern) spread across stripes.
+        let h = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.shards.len()
+    }
+
+    fn shard(&self, key: PageId) -> &Mutex<PoolShard> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Configured capacity in pages (sum over shards).
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Pages currently held by cached frames.
+    pub fn used_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().used_pages).sum()
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate `(hits, misses)` since creation or the last
+    /// [`BufferPool::clear`].
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.hits(), s.misses())
+    }
+
+    /// Per-shard occupancy and hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { shards: self.shards.iter().map(|s| s.lock().unwrap().stats()).collect() }
+    }
+
+    /// Looks up (and promotes) the frame rooted at `key`.
+    pub fn get(&self, key: PageId) -> Option<Arc<[u8]>> {
+        self.shard(key).lock().unwrap().get(key)
+    }
+
+    /// Admits a frame weighing `weight_pages`, evicting LRU frames from
+    /// its shard until it fits (a frame heavier than the whole shard is
+    /// admitted alone). Replaces any existing frame under the same key.
+    /// If the admission pushed the shard past its slice, pages are
+    /// reclaimed from the other shards so the pool-wide budget holds (see
+    /// the type docs for the exact invariant).
+    pub fn insert(&self, key: PageId, frame: Arc<[u8]>, weight_pages: usize) {
+        let idx = self.shard_index(key);
+        let over_slice = {
+            let mut shard = self.shards[idx].lock().unwrap();
+            shard.insert(key, frame, weight_pages);
+            shard.used_pages > shard.capacity_pages
+        };
+        // Every shard within its slice ⇒ the global budget holds, so the
+        // cross-shard reclaim only runs after an oversized-alone admission.
+        if over_slice {
+            self.rebalance(idx);
+        }
+    }
+
+    /// Evicts LRU frames from shards other than `keep` until the pool is
+    /// back within its global budget (or only `keep`'s frames remain —
+    /// the single-oversized-frame case, where occupancy equals that
+    /// frame's weight, exactly like the pre-sharding pool).
+    fn rebalance(&self, keep: usize) {
+        loop {
+            if self.used_pages() <= self.capacity_pages {
+                return;
+            }
+            let mut evicted = false;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if i == keep {
+                    continue;
+                }
+                if shard.lock().unwrap().evict_tail() {
+                    evicted = true;
+                    if self.used_pages() <= self.capacity_pages {
+                        return;
+                    }
+                }
+            }
+            if !evicted {
+                return;
+            }
+        }
+    }
+
+    /// Drops the frame rooted at `key`, if cached.
+    pub fn invalidate(&self, key: PageId) {
+        self.shard(key).lock().unwrap().invalidate(key);
+    }
+
+    /// Empties every shard (cold-cache measurement point) and resets the
+    /// counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+/// One lock stripe of the pool: an intrusive page-weighted LRU of frames.
+#[derive(Debug)]
+struct PoolShard {
     capacity_pages: usize,
     used_pages: usize,
     map: HashMap<PageId, usize>,
@@ -170,6 +399,7 @@ pub struct BufferPool {
     free: Vec<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 #[derive(Debug)]
@@ -181,10 +411,8 @@ struct FrameNode {
     next: usize,
 }
 
-impl BufferPool {
-    /// Pool holding at most `capacity_pages` pages' worth of frames. Zero
-    /// disables caching (every read is a physical read).
-    pub fn new(capacity_pages: usize) -> Self {
+impl PoolShard {
+    fn new(capacity_pages: usize) -> Self {
         Self {
             capacity_pages,
             used_pages: 0,
@@ -195,36 +423,22 @@ impl BufferPool {
             free: Vec::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
-    /// Configured capacity in pages.
-    pub fn capacity_pages(&self) -> usize {
-        self.capacity_pages
+    fn stats(&self) -> PoolShardStats {
+        PoolShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            used_pages: self.used_pages,
+            capacity_pages: self.capacity_pages,
+            frames: self.map.len(),
+        }
     }
 
-    /// Pages currently held by cached frames.
-    pub fn used_pages(&self) -> usize {
-        self.used_pages
-    }
-
-    /// Number of cached frames.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// `(hits, misses)` since creation or the last [`BufferPool::clear`].
-    pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Looks up (and promotes) the frame rooted at `key`.
-    pub fn get(&mut self, key: PageId) -> Option<Arc<[u8]>> {
+    fn get(&mut self, key: PageId) -> Option<Arc<[u8]>> {
         match self.map.get(&key).copied() {
             Some(idx) => {
                 self.unlink(idx);
@@ -239,9 +453,7 @@ impl BufferPool {
         }
     }
 
-    /// Admits a frame weighing `weight_pages`, evicting LRU frames until
-    /// it fits. Replaces any existing frame under the same key.
-    pub fn insert(&mut self, key: PageId, frame: Arc<[u8]>, weight_pages: usize) {
+    fn insert(&mut self, key: PageId, frame: Arc<[u8]>, weight_pages: usize) {
         if self.capacity_pages == 0 {
             return;
         }
@@ -251,9 +463,10 @@ impl BufferPool {
             let victim = self.tail;
             let victim_key = self.nodes[victim].key;
             self.invalidate(victim_key);
+            self.evictions += 1;
         }
         if weight > self.capacity_pages && !self.map.is_empty() {
-            // Defensive: eviction loop above already emptied the pool.
+            // Defensive: eviction loop above already emptied the shard.
             return;
         }
         let node = FrameNode { key, weight, frame, prev: NIL, next: NIL };
@@ -272,8 +485,7 @@ impl BufferPool {
         self.push_front(idx);
     }
 
-    /// Drops the frame rooted at `key`, if cached.
-    pub fn invalidate(&mut self, key: PageId) {
+    fn invalidate(&mut self, key: PageId) {
         if let Some(idx) = self.map.remove(&key) {
             self.used_pages -= self.nodes[idx].weight;
             self.unlink(idx);
@@ -282,9 +494,18 @@ impl BufferPool {
         }
     }
 
-    /// Empties the pool (cold-cache measurement point) and resets the
-    /// hit/miss counters.
-    pub fn clear(&mut self) {
+    /// Evicts this shard's least-recently-used frame; false when empty.
+    fn evict_tail(&mut self) -> bool {
+        if self.tail == NIL {
+            return false;
+        }
+        let victim = self.nodes[self.tail].key;
+        self.invalidate(victim);
+        self.evictions += 1;
+        true
+    }
+
+    fn clear(&mut self) {
         self.map.clear();
         self.nodes.clear();
         self.free.clear();
@@ -293,6 +514,7 @@ impl BufferPool {
         self.used_pages = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -397,7 +619,7 @@ mod tests {
 
     #[test]
     fn pool_hits_after_insert() {
-        let mut pool = BufferPool::new(4);
+        let pool = BufferPool::new(4);
         assert!(pool.get(p(1)).is_none());
         pool.insert(p(1), frame(10), 1);
         let f = pool.get(p(1)).expect("cached");
@@ -406,8 +628,8 @@ mod tests {
     }
 
     #[test]
-    fn pool_evicts_by_weight() {
-        let mut pool = BufferPool::new(4);
+    fn pool_evicts_by_weight_single_shard() {
+        let pool = BufferPool::with_shards(4, 1);
         pool.insert(p(1), frame(1), 2);
         pool.insert(p(2), frame(1), 2);
         assert_eq!(pool.used_pages(), 4);
@@ -417,11 +639,12 @@ mod tests {
         assert!(pool.get(p(2)).is_none());
         assert!(pool.get(p(3)).is_some());
         assert_eq!(pool.used_pages(), 3);
+        assert_eq!(pool.stats().evictions(), 2);
     }
 
     #[test]
     fn pool_promotes_on_get() {
-        let mut pool = BufferPool::new(2);
+        let pool = BufferPool::with_shards(2, 1);
         pool.insert(p(1), frame(1), 1);
         pool.insert(p(2), frame(1), 1);
         pool.get(p(1)); // 2 becomes LRU
@@ -432,16 +655,16 @@ mod tests {
 
     #[test]
     fn oversized_frame_still_admitted_alone() {
-        let mut pool = BufferPool::new(2);
+        let pool = BufferPool::with_shards(2, 1);
         pool.insert(p(1), frame(1), 1);
         pool.insert(p(9), frame(100), 10);
-        assert!(pool.get(p(9)).is_some(), "oversized frame admitted after clearing pool");
+        assert!(pool.get(p(9)).is_some(), "oversized frame admitted after clearing shard");
         assert!(pool.get(p(1)).is_none());
     }
 
     #[test]
     fn zero_capacity_pool_caches_nothing() {
-        let mut pool = BufferPool::new(0);
+        let pool = BufferPool::new(0);
         pool.insert(p(1), frame(4), 1);
         assert!(pool.get(p(1)).is_none());
         assert!(pool.is_empty());
@@ -449,7 +672,7 @@ mod tests {
 
     #[test]
     fn pool_invalidate_and_clear() {
-        let mut pool = BufferPool::new(8);
+        let pool = BufferPool::new(8);
         pool.insert(p(1), frame(4), 2);
         pool.invalidate(p(1));
         assert_eq!(pool.used_pages(), 0);
@@ -460,11 +683,98 @@ mod tests {
     }
 
     #[test]
-    fn pool_churn_respects_capacity() {
-        let mut pool = BufferPool::new(8);
+    fn pool_churn_respects_shard_budgets() {
+        // Weights never exceed a shard budget, so the global capacity
+        // invariant holds exactly (oversized-alone admission never fires).
+        let pool = BufferPool::with_shards(8, 2);
         for i in 0..500u64 {
             pool.insert(p(i % 13), frame(8), (i % 3) as usize + 1);
             assert!(pool.used_pages() <= 8);
         }
+    }
+
+    #[test]
+    fn over_slice_frame_reclaims_from_other_shards() {
+        // 8 pages over 2 shards (4 + 4). Fill the pool with weight-1
+        // frames, then admit a frame heavier than any single shard's
+        // slice: it must be resident and the pool must reclaim from the
+        // other shards back under the *global* budget — the pre-sharding
+        // invariant `used ≤ max(capacity, heaviest frame)`.
+        let pool = BufferPool::with_shards(8, 2);
+        for i in 0..16u64 {
+            pool.insert(p(i), frame(1), 1);
+        }
+        assert!(pool.used_pages() <= 8, "weight-1 churn stays within budget");
+        assert!(pool.used_pages() >= 6, "both shards are populated");
+        pool.insert(p(100), frame(1), 6);
+        assert!(pool.get(p(100)).is_some(), "over-slice frame admitted");
+        assert!(pool.used_pages() <= 8, "global budget restored, got {}", pool.used_pages());
+        // Heavier than the whole pool: admitted alone, occupancy equals
+        // its weight (exactly like the old single-LRU pool).
+        pool.insert(p(200), frame(1), 11);
+        assert!(pool.get(p(200)).is_some());
+        assert!(pool.used_pages() <= 11);
+        // The next within-budget churn drains back under capacity.
+        for i in 0..8u64 {
+            pool.insert(p(i), frame(1), 1);
+        }
+        assert!(pool.used_pages() <= 8);
+    }
+
+    #[test]
+    fn shards_split_budget_and_count_clamps() {
+        let pool = BufferPool::with_shards(10, 4);
+        assert_eq!(pool.num_shards(), 4);
+        assert_eq!(pool.capacity_pages(), 10);
+        // More shards than pages: clamp so no shard starts at zero budget.
+        let tiny = BufferPool::with_shards(3, 8);
+        assert_eq!(tiny.num_shards(), 3);
+        assert_eq!(tiny.capacity_pages(), 3);
+        // Disabled pool still has one (empty) stripe.
+        let off = BufferPool::with_shards(0, 8);
+        assert_eq!(off.num_shards(), 1);
+        assert_eq!(off.capacity_pages(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_aggregates_shards() {
+        let pool = BufferPool::new(64);
+        for i in 0..16u64 {
+            pool.insert(p(i), frame(8), 1);
+        }
+        for i in 0..16u64 {
+            assert!(pool.get(p(i)).is_some());
+        }
+        pool.get(p(999));
+        let s = pool.stats();
+        assert_eq!(s.shards.len(), pool.num_shards());
+        assert_eq!(s.hits(), 16);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.frames(), 16);
+        assert_eq!(s.used_pages(), 16);
+        assert!((s.hit_rate() - 16.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_gets_and_inserts_are_safe() {
+        let pool = std::sync::Arc::new(BufferPool::new(64));
+        for i in 0..32u64 {
+            pool.insert(p(i), frame(16), 1);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let k = (round * 7 + t) % 40;
+                        match pool.get(p(k)) {
+                            Some(f) => assert_eq!(f.len(), 16),
+                            None => pool.insert(p(k), frame(16), 1),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(pool.used_pages() <= pool.capacity_pages());
     }
 }

@@ -264,6 +264,12 @@ impl PageStore {
         self.backend.clear_cache();
     }
 
+    /// Per-shard buffer-pool occupancy and hit/miss/eviction counters, or
+    /// `None` on backends without a byte cache (the in-memory simulator).
+    pub fn pool_stats(&self) -> Option<crate::buffer::PoolStats> {
+        self.backend.pool_stats()
+    }
+
     /// Durably persists backend metadata (superblock + allocation map).
     pub fn flush(&self) -> Result<(), StorageError> {
         self.backend.flush()

@@ -1,5 +1,5 @@
 //! The file-backed page store: one cube file, checksummed pages, a real
-//! buffer pool.
+//! buffer pool — built to be hammered by concurrent readers.
 //!
 //! Layout is defined in [`crate::format`]: a superblock on page 0,
 //! CRC-checked object pages, and an allocation bitmap flushed with the
@@ -9,7 +9,19 @@
 //! or bit-flipped file surfaces as a typed [`StorageError`] instead of a
 //! wrong answer.
 //!
-//! Reads go through a [`BufferPool`] holding assembled object frames
+//! # Concurrency
+//!
+//! The read path holds **no lock on the file handle**: pages are fetched
+//! with positional reads ([`std::os::unix::fs::FileExt::read_at`] on
+//! unix; non-unix platforms fall back to a small mutex around seek+read —
+//! see [`PagedFile`]’s source), metadata lives in atomics, and cached
+//! frames sit in a lock-striped sharded [`BufferPool`]. A read-only cube
+//! therefore serves any number of query threads with no global
+//! serialization point. Writers (`put` / `overwrite` / `flush`) serialize
+//! on one writer mutex; the format stays single-writer, many-reader (see
+//! the "Concurrency model" section of [`crate::format`]).
+//!
+//! Reads go through the [`BufferPool`] holding assembled object frames
 //! weighted by their covering page count: a pool hit charges only logical
 //! reads against the metering [`DiskSim`], a miss reads and verifies the
 //! covering pages, charges physical reads, and admits the frame under LRU
@@ -18,16 +30,16 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::backend::{PageBackend, StorageError};
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PoolStats};
 use crate::disk::{DiskSim, PageId};
 use crate::format::{
     decode_page, encode_page, PageType, Superblock, FLAG_CONTINUES, MAX_PAGE_SIZE, MIN_PAGE_SIZE,
-    PAGE_HEADER, SUPERBLOCK_LEN,
+    NO_PAGE, PAGE_HEADER, SUPERBLOCK_LEN,
 };
 use crate::stats::IoStats;
 
@@ -35,26 +47,87 @@ use crate::stats::IoStats;
 /// the simulator's 256-page (1 MB at 4 KB) default.
 pub const DEFAULT_POOL_PAGES: usize = 256;
 
+/// A file read/written at absolute offsets, shareable across threads
+/// without a handle lock.
+///
+/// On unix every access is a positional syscall (`pread`/`pwrite` via
+/// [`std::os::unix::fs::FileExt`]), so concurrent readers never touch a
+/// shared cursor. Other platforms keep correctness with a mutex around
+/// the seek+access pair — the documented fallback, serializing I/O but
+/// nothing above it.
 #[derive(Debug)]
-struct FileState {
-    page_count: u64,
-    catalog_first: Option<u64>,
-    total_bytes: u64,
-    object_count: u64,
-    /// first page → object payload length, learned on put and on first read.
-    sizes: HashMap<u64, u32>,
-    /// Metadata changed since the last superblock flush.
-    dirty: bool,
+struct PagedFile {
+    file: File,
+    #[cfg(not(unix))]
+    cursor: Mutex<()>,
+}
+
+impl PagedFile {
+    fn new(file: File) -> Self {
+        Self {
+            file,
+            #[cfg(not(unix))]
+            cursor: Mutex::new(()),
+        }
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+    }
+
+    #[cfg(unix)]
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        std::os::unix::fs::FileExt::write_all_at(&self.file, buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _guard = self.cursor.lock().unwrap();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _guard = self.cursor.lock().unwrap();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)
+    }
+
+    fn sync_all(&self) -> std::io::Result<()> {
+        self.file.sync_all()
+    }
 }
 
 /// A single-file page store (see module docs).
 #[derive(Debug)]
 pub struct FileBackend {
-    file: Mutex<File>,
+    file: PagedFile,
     page_size: usize,
     read_only: bool,
-    state: Mutex<FileState>,
-    pool: Mutex<BufferPool>,
+    /// Pages in the file, superblock included. Readers load it lock-free;
+    /// writers publish (Release) only after the covered pages are written.
+    page_count: AtomicU64,
+    /// Total object payload bytes (materialized-size metric).
+    total_bytes: AtomicU64,
+    /// Stored objects (catalog excluded).
+    object_count: AtomicU64,
+    /// Catalog first page, [`NO_PAGE`] = none.
+    catalog_first: AtomicU64,
+    /// Metadata changed since the last superblock flush.
+    dirty: AtomicBool,
+    /// first page → object payload length, learned on put and first read.
+    sizes: RwLock<HashMap<u64, u32>>,
+    /// Sharded frame cache; internally synchronized.
+    pool: BufferPool,
+    /// Serializes mutators (put / overwrite / flush). Never taken on the
+    /// read path.
+    writer: Mutex<()>,
 }
 
 impl FileBackend {
@@ -71,18 +144,17 @@ impl FileBackend {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let backend = Self {
-            file: Mutex::new(file),
+            file: PagedFile::new(file),
             page_size,
             read_only: false,
-            state: Mutex::new(FileState {
-                page_count: 1,
-                catalog_first: None,
-                total_bytes: 0,
-                object_count: 0,
-                sizes: HashMap::new(),
-                dirty: true,
-            }),
-            pool: Mutex::new(BufferPool::new(pool_pages)),
+            page_count: AtomicU64::new(1),
+            total_bytes: AtomicU64::new(0),
+            object_count: AtomicU64::new(0),
+            catalog_first: AtomicU64::new(NO_PAGE),
+            dirty: AtomicBool::new(true),
+            sizes: RwLock::new(HashMap::new()),
+            pool: BufferPool::new(pool_pages),
+            writer: Mutex::new(()),
         };
         // Stamp a bare superblock (no allocation map yet) so a crash
         // before the first flush still leaves an identifiable file.
@@ -105,13 +177,13 @@ impl FileBackend {
     /// (magic, CRC, version, page-size bounds), the file length against
     /// the recorded page count, and the allocation map.
     pub fn open(path: impl AsRef<Path>, pool_pages: usize) -> Result<Self, StorageError> {
-        let mut file = OpenOptions::new().read(true).open(path)?;
+        let file = OpenOptions::new().read(true).open(path)?;
+        let file = PagedFile::new(file);
         let mut head = [0u8; SUPERBLOCK_LEN];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut head).map_err(|_| StorageError::BadMagic)?;
+        file.read_exact_at(&mut head, 0).map_err(|_| StorageError::BadMagic)?;
         let sb = Superblock::decode(&head)?;
         let page_size = sb.page_size as usize;
-        let file_len = file.metadata()?.len();
+        let file_len = file.file.metadata()?.len();
         let need = sb
             .page_count
             .checked_mul(page_size as u64)
@@ -123,24 +195,22 @@ impl FileBackend {
         // page 0 is zero padding by construction, so verify it — a bit
         // flip anywhere on page 0 must be detected like on any other page.
         let mut page0 = vec![0u8; page_size];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut page0).map_err(|_| StorageError::TruncatedObject { page: 0 })?;
+        file.read_exact_at(&mut page0, 0).map_err(|_| StorageError::TruncatedObject { page: 0 })?;
         if page0[SUPERBLOCK_LEN..].iter().any(|&b| b != 0) {
             return Err(StorageError::ChecksumMismatch { page: 0 });
         }
         let backend = Self {
-            file: Mutex::new(file),
+            file,
             page_size,
             read_only: true,
-            state: Mutex::new(FileState {
-                page_count: sb.page_count,
-                catalog_first: sb.catalog_first,
-                total_bytes: sb.total_bytes,
-                object_count: sb.object_count,
-                sizes: HashMap::new(),
-                dirty: false,
-            }),
-            pool: Mutex::new(BufferPool::new(pool_pages)),
+            page_count: AtomicU64::new(sb.page_count),
+            total_bytes: AtomicU64::new(sb.total_bytes),
+            object_count: AtomicU64::new(sb.object_count),
+            catalog_first: AtomicU64::new(sb.catalog_first.unwrap_or(NO_PAGE)),
+            dirty: AtomicBool::new(false),
+            sizes: RwLock::new(HashMap::new()),
+            pool: BufferPool::new(pool_pages),
+            writer: Mutex::new(()),
         };
         backend.verify_alloc_map(&sb)?;
         Ok(backend)
@@ -156,9 +226,9 @@ impl FileBackend {
         self.page_size
     }
 
-    /// Buffer-pool `(hits, misses)` since open or the last cache clear.
-    pub fn pool_stats(&self) -> (u64, u64) {
-        self.pool.lock().unwrap().hit_stats()
+    /// Per-shard buffer-pool occupancy and hit/miss/eviction counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Per-page payload capacity.
@@ -180,18 +250,16 @@ impl FileBackend {
     fn read_page_raw(&self, page: u64) -> Result<Vec<u8>, StorageError> {
         let mut buf = vec![0u8; self.page_size];
         let offset = self.page_offset(page)?;
-        let mut file = self.file.lock().unwrap();
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(&mut buf).map_err(|_| StorageError::TruncatedObject { page })?;
+        self.file
+            .read_exact_at(&mut buf, offset)
+            .map_err(|_| StorageError::TruncatedObject { page })?;
         Ok(buf)
     }
 
     fn write_page_raw(&self, page: u64, buf: &[u8]) -> Result<(), StorageError> {
         debug_assert_eq!(buf.len(), self.page_size);
         let offset = self.page_offset(page)?;
-        let mut file = self.file.lock().unwrap();
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(buf)?;
+        self.file.write_all_at(buf, offset)?;
         Ok(())
     }
 
@@ -222,10 +290,19 @@ impl FileBackend {
         Ok(pages)
     }
 
+    /// Records an object's payload length (skips the write lock when the
+    /// size is already known).
+    fn learn_size(&self, first: u64, len: u32) {
+        if self.sizes.read().unwrap().get(&first) != Some(&len) {
+            self.sizes.write().unwrap().insert(first, len);
+        }
+    }
+
     /// Reads, validates and assembles the object rooted at `first`.
-    /// Returns the payload and its covering page count.
+    /// Returns the payload and its covering page count. Lock-free on unix:
+    /// positional page reads, atomic bounds check.
     fn read_object(&self, first: u64) -> Result<(Arc<[u8]>, usize), StorageError> {
-        let page_count = self.state.lock().unwrap().page_count;
+        let page_count = self.page_count.load(Ordering::Acquire);
         if first == 0 || first >= page_count {
             return Err(StorageError::OutOfBounds { page: first, page_count });
         }
@@ -263,13 +340,13 @@ impl FileBackend {
         if data.len() != total_len || continues {
             return Err(StorageError::BadLength { page: first, len: data.len(), max: total_len });
         }
-        self.state.lock().unwrap().sizes.insert(first, total_len as u32);
+        self.learn_size(first, total_len as u32);
         Ok((data.into(), pages))
     }
 
     /// Pool-aware fetch; charges `stats` (when metering) per covering page.
     fn fetch(&self, first: PageId, stats: Option<&IoStats>) -> Result<Arc<[u8]>, StorageError> {
-        if let Some(frame) = self.pool.lock().unwrap().get(first) {
+        if let Some(frame) = self.pool.get(first) {
             if let Some(stats) = stats {
                 for _ in 0..self.pages_for_object(frame.len()) {
                     stats.record_read(true);
@@ -283,7 +360,7 @@ impl FileBackend {
                 stats.record_read(false);
             }
         }
-        self.pool.lock().unwrap().insert(first, Arc::clone(&frame), pages);
+        self.pool.insert(first, Arc::clone(&frame), pages);
         Ok(frame)
     }
 
@@ -321,24 +398,22 @@ impl PageBackend for FileBackend {
         if self.read_only {
             return Err(StorageError::ReadOnly);
         }
-        let (first, pages) = {
-            let mut st = self.state.lock().unwrap();
-            let first = st.page_count;
-            let pages = self.pages_for_object(data.len());
-            st.page_count += pages as u64;
-            st.total_bytes += data.len() as u64;
-            st.object_count += 1;
-            st.sizes.insert(first, data.len() as u32);
-            st.dirty = true;
-            (first, pages)
-        };
-        self.write_object_pages(first, &data)?;
+        let _w = self.writer.lock().unwrap();
+        let first = self.page_count.load(Ordering::Relaxed);
+        let pages = self.write_object_pages(first, &data)?;
+        // Publish the new bound only after the pages exist on disk, so a
+        // concurrent reader racing the append never reads unwritten pages.
+        self.page_count.store(first + pages as u64, Ordering::Release);
+        self.total_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.object_count.fetch_add(1, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
+        self.learn_size(first, data.len() as u32);
         let stats = disk.stats();
         for _ in 0..pages {
             stats.record_write();
         }
         let frame: Arc<[u8]> = data.into();
-        self.pool.lock().unwrap().insert(PageId(first), frame, pages);
+        self.pool.insert(PageId(first), frame, pages);
         Ok(PageId(first))
     }
 
@@ -346,10 +421,11 @@ impl PageBackend for FileBackend {
         if self.read_only {
             return Err(StorageError::ReadOnly);
         }
+        let _w = self.writer.lock().unwrap();
         // The new bytes must fit the originally allocated span; shrinking
         // leaves orphaned-but-allocated tail pages, which is fine for the
         // append-only writer.
-        let old_len = match self.state.lock().unwrap().sizes.get(&first.0).copied() {
+        let old_len = match self.sizes.read().unwrap().get(&first.0).copied() {
             Some(l) => l as usize,
             None => self.read_object(first.0)?.0.len(),
         };
@@ -367,14 +443,12 @@ impl PageBackend for FileBackend {
         for _ in 0..new_pages {
             stats.record_write();
         }
-        {
-            let mut st = self.state.lock().unwrap();
-            st.total_bytes = st.total_bytes + data.len() as u64 - old_len as u64;
-            st.sizes.insert(first.0, data.len() as u32);
-            st.dirty = true;
-        }
+        self.total_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(old_len as u64, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
+        self.learn_size(first.0, data.len() as u32);
         let frame: Arc<[u8]> = data.into();
-        self.pool.lock().unwrap().insert(first, frame, new_pages);
+        self.pool.insert(first, frame, new_pages);
         Ok(())
     }
 
@@ -387,38 +461,39 @@ impl PageBackend for FileBackend {
     }
 
     fn size_of(&self, first: PageId) -> Option<usize> {
-        self.state.lock().unwrap().sizes.get(&first.0).map(|&l| l as usize)
+        self.sizes.read().unwrap().get(&first.0).map(|&l| l as usize)
     }
 
     fn total_bytes(&self) -> usize {
-        self.state.lock().unwrap().total_bytes as usize
+        self.total_bytes.load(Ordering::Relaxed) as usize
     }
 
     fn object_count(&self) -> usize {
-        self.state.lock().unwrap().object_count as usize
+        self.object_count.load(Ordering::Relaxed) as usize
     }
 
     fn clear_cache(&self) {
-        self.pool.lock().unwrap().clear();
+        self.pool.clear();
     }
 
     fn flush(&self) -> Result<(), StorageError> {
         if self.read_only {
             return Ok(());
         }
-        let mut st = self.state.lock().unwrap();
-        if !st.dirty {
+        let _w = self.writer.lock().unwrap();
+        if !self.dirty.load(Ordering::Relaxed) {
             return Ok(());
         }
         // Allocation bitmap over all pages including the map itself:
         // find the smallest map that covers `page_count + map_pages` bits.
+        let page_count = self.page_count.load(Ordering::Relaxed);
         let cap_bits = self.cap() * 8;
         let mut map_pages = 1usize;
-        while (st.page_count as usize + map_pages) > map_pages * cap_bits {
+        while (page_count as usize + map_pages) > map_pages * cap_bits {
             map_pages += 1;
         }
-        let alloc_first = st.page_count;
-        let final_count = st.page_count + map_pages as u64;
+        let alloc_first = page_count;
+        let final_count = page_count + map_pages as u64;
         let total_bits = final_count as usize;
         let mut bits = vec![0u8; total_bits.div_ceil(8)];
         for page in 0..total_bits {
@@ -429,21 +504,22 @@ impl PageBackend for FileBackend {
             encode_page(&mut page_buf, PageType::AllocMap, 0, chunk);
             self.write_page_raw(alloc_first + i as u64, &page_buf)?;
         }
-        st.page_count = final_count;
+        self.page_count.store(final_count, Ordering::Release);
+        let catalog_first = self.catalog_first.load(Ordering::Relaxed);
         let sb = Superblock {
             page_size: self.page_size as u32,
-            page_count: st.page_count,
-            catalog_first: st.catalog_first,
-            total_bytes: st.total_bytes,
-            object_count: st.object_count,
+            page_count: final_count,
+            catalog_first: (catalog_first != NO_PAGE).then_some(catalog_first),
+            total_bytes: self.total_bytes.load(Ordering::Relaxed),
+            object_count: self.object_count.load(Ordering::Relaxed),
             alloc_first: Some(alloc_first),
             alloc_pages: map_pages as u32,
         };
         let mut page0 = vec![0u8; self.page_size];
         sb.encode(&mut page0);
         self.write_page_raw(0, &page0)?;
-        self.file.lock().unwrap().sync_all()?;
-        st.dirty = false;
+        self.file.sync_all()?;
+        self.dirty.store(false, Ordering::Relaxed);
         Ok(())
     }
 
@@ -455,36 +531,40 @@ impl PageBackend for FileBackend {
         if self.read_only {
             return Err(StorageError::ReadOnly);
         }
+        let _w = self.writer.lock().unwrap();
         // Like `put`, but the catalog is file metadata: it is neither
         // charged as query I/O nor counted in the materialized totals.
-        let (first, pages) = {
-            let mut st = self.state.lock().unwrap();
-            let first = st.page_count;
-            let pages = self.pages_for_object(data.len());
-            st.page_count += pages as u64;
-            st.sizes.insert(first, data.len() as u32);
-            st.catalog_first = Some(first);
-            st.dirty = true;
-            (first, pages)
-        };
-        self.write_object_pages(first, &data)?;
+        let first = self.page_count.load(Ordering::Relaxed);
+        let pages = self.write_object_pages(first, &data)?;
+        self.page_count.store(first + pages as u64, Ordering::Release);
+        // Release: a reader that observes this pointer (Acquire in
+        // `catalog`) must also observe the page_count covering it.
+        self.catalog_first.store(first, Ordering::Release);
+        self.dirty.store(true, Ordering::Relaxed);
+        self.learn_size(first, data.len() as u32);
         let frame: Arc<[u8]> = data.into();
-        self.pool.lock().unwrap().insert(PageId(first), frame, pages);
+        self.pool.insert(PageId(first), frame, pages);
         Ok(PageId(first))
     }
 
     fn catalog(&self) -> Option<PageId> {
-        self.state.lock().unwrap().catalog_first.map(PageId)
+        match self.catalog_first.load(Ordering::Acquire) {
+            NO_PAGE => None,
+            v => Some(PageId(v)),
+        }
     }
 
     fn set_catalog(&self, first: PageId) -> Result<(), StorageError> {
         if self.read_only {
             return Err(StorageError::ReadOnly);
         }
-        let mut st = self.state.lock().unwrap();
-        st.catalog_first = Some(first.0);
-        st.dirty = true;
+        self.catalog_first.store(first.0, Ordering::Release);
+        self.dirty.store(true, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
     }
 }
 
@@ -654,6 +734,61 @@ mod tests {
             be.overwrite(&disk, id, vec![3u8; 4000]),
             Err(StorageError::BadLength { .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_backend() {
+        // 8 threads × many objects against one read-only backend: every
+        // read validates and returns the exact stored bytes with no file
+        // lock on the path (positional reads + sharded pool).
+        let path = temp_path("concurrent");
+        let disk = DiskSim::with_defaults();
+        let objects: Vec<Vec<u8>> =
+            (0..24u8).map(|i| vec![i; 64 + (i as usize * 37) % 700]).collect();
+        let ids: Vec<PageId> = {
+            let be = FileBackend::create(&path, 256, 64).unwrap();
+            let ids = objects.iter().map(|o| be.put(&disk, o.clone()).unwrap()).collect();
+            be.flush().unwrap();
+            ids
+        };
+        let be = FileBackend::open(&path, 32).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let (be, ids, objects) = (&be, &ids, &objects);
+                s.spawn(move || {
+                    let disk = DiskSim::with_defaults();
+                    for round in 0..50 {
+                        let i = (t * 7 + round * 11) % ids.len();
+                        let bytes = be.get(&disk, ids[i]).unwrap();
+                        assert_eq!(&bytes[..], &objects[i][..], "object {i}");
+                    }
+                });
+            }
+        });
+        let stats = be.pool_stats();
+        assert_eq!(stats.hits() + stats.misses(), 8 * 50);
+        assert!(stats.hits() > 0, "warm pool must absorb repeat reads");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pool_stats_expose_shard_counters() {
+        let path = temp_path("poolstats");
+        let disk = DiskSim::with_defaults();
+        let be = FileBackend::create(&path, 256, 16).unwrap();
+        let ids: Vec<PageId> = (0..6).map(|i| be.put(&disk, vec![i as u8; 100]).unwrap()).collect();
+        be.clear_cache();
+        for &id in &ids {
+            be.get(&disk, id).unwrap(); // miss
+            be.get(&disk, id).unwrap(); // hit
+        }
+        let stats = be.pool_stats();
+        assert_eq!(stats.hits(), 6);
+        assert_eq!(stats.misses(), 6);
+        assert_eq!(stats.frames(), 6);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+        assert!(!stats.shards.is_empty());
         std::fs::remove_file(&path).ok();
     }
 }

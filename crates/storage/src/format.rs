@@ -68,6 +68,39 @@
 //! the map (binary search) and shrinks the catalog from O(nodes) to
 //! O(partials). Files written with tag 3 fail to open with a
 //! kind-mismatch error and must be re-saved.
+//!
+//! # Concurrency model
+//!
+//! The format is **single-writer, many-reader**, split by file lifetime:
+//!
+//! * **Who may write.** Only the process that `create`d the file, and only
+//!   until `flush` stamps the final superblock; `put`/`overwrite`/`flush`
+//!   serialize on one writer mutex inside [`crate::FileBackend`]. A file
+//!   opened with `open` is *read-only*: every mutator returns
+//!   [`StorageError::ReadOnly`], and nothing in the open path ever writes.
+//!   Readers may race *appends* (an object is published only after its
+//!   pages exist), but an in-place `overwrite` of a published object is
+//!   not atomic for concurrent readers — structural mutation requires
+//!   reader quiescence, which is why serving always targets read-only
+//!   reopened files.
+//! * **What read-only means.** Once opened read-only, all pages are
+//!   immutable, so readers need no coordination at all: each page fetch is
+//!   an independent positional read (`pread`) validated against its CRC,
+//!   and file metadata (page count, catalog pointer, totals) is loaded
+//!   once from the superblock into atomics. Any number of threads may
+//!   share one [`crate::FileBackend`] / [`crate::PageStore`] handle.
+//! * **Buffer-pool shards.** Cached object frames live in a lock-striped
+//!   [`crate::BufferPool`]: frames are immutable `Arc<[u8]>` snapshots
+//!   keyed by first page id, each shard an independent page-weighted LRU
+//!   under its own mutex. A frame handed out stays valid (readers hold the
+//!   `Arc`) even if its shard evicts it concurrently.
+//! * **Node-cache epochs.** Decoded-signature caches layered above this
+//!   format (`rcube_core`'s shared node cache) key entries by
+//!   `(first page id of the partial, SID)`. Page ids are never reused by
+//!   the append-only writer, so within one file lifetime a key uniquely
+//!   names immutable bytes; structural mutation (incremental maintenance
+//!   replacing a cell) must start a new epoch by clearing the cache — the
+//!   one invalidation rule the layering relies on.
 
 use crate::backend::StorageError;
 

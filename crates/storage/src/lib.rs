@@ -11,8 +11,10 @@
 //! * [`PageBackend`] — the pluggable device trait behind [`PageStore`],
 //!   with two implementations: [`MemBackend`] (the deterministic
 //!   in-memory simulator) and [`FileBackend`] (a real single-file store
-//!   with a superblock, CRC-checksummed pages, an allocation map and a
-//!   byte-caching [`BufferPool`] — see [`format`] for the on-disk layout);
+//!   with a superblock, CRC-checksummed pages, an allocation map, a
+//!   lock-free positional-read path and a lock-striped byte-caching
+//!   [`BufferPool`] — see [`format`] for the on-disk layout and the
+//!   concurrency model);
 //! * [`PageStore`] — the byte-addressed object store used to persist
 //!   serialized structures (cuboid cells, base blocks, partial
 //!   signatures), in memory or in a reopenable cube file;
@@ -34,7 +36,7 @@ pub mod stats;
 
 pub use backend::{MemBackend, PageBackend, StorageError};
 pub use bits::{bits_for, BitReader, BitWriter, PackedBits};
-pub use buffer::{BufferPool, LruBuffer};
+pub use buffer::{BufferPool, LruBuffer, PoolShardStats, PoolStats, DEFAULT_POOL_SHARDS};
 pub use disk::{DiskSim, PageId, PageStore};
 pub use file::{FileBackend, DEFAULT_POOL_PAGES};
 pub use format::{ByteReader, ByteWriter};

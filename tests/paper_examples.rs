@@ -75,9 +75,9 @@ fn table_5_2_index_merge_example() {
     // Figure 5.2: (a1, b1) is an empty joint state.
     let paths = ranking_cube::merge::joinsig::collect_tuple_paths(&idx);
     let sig = JoinSignature::build(&idx, &paths, &disk);
-    let mut cursor = JoinSigCursor::new(vec![&sig]);
-    assert!(!cursor.check_child(&disk, &vec![vec![], vec![]], &[0, 0]));
-    assert!(cursor.check_child(&disk, &vec![vec![], vec![]], &[1, 1]));
+    let mut cursor = JoinSigCursor::new(vec![&sig], &disk);
+    assert!(!cursor.check_child(&vec![vec![], vec![]], &[0, 0]));
+    assert!(cursor.check_child(&vec![vec![], vec![]], &[1, 1]));
 }
 
 /// Intro Example 1, Q2: quadratic target queries over the cube.
