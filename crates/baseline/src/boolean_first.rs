@@ -4,13 +4,16 @@
 //! One non-clustered B+-tree per selection dimension. A query resolves its
 //! most selective predicate through the index (or falls back to a table
 //! scan when the optimizer predicts the index is worse), verifies the
-//! remaining predicates and fetches ranking values by random access, and
-//! maintains a size-k heap. The memory footprint is bounded by `k`.
+//! remaining predicates and fetches ranking values by random access, then
+//! buffers and sorts every match so the cursor can drain and `extend_k`
+//! without touching storage again — memory is O(matches), the price a
+//! filter-first plan pays for resumable pagination.
 
-use rcube_core::{QueryStats, TopKHeap, TopKResult};
+use rcube_core::query::{QueryPlan, RankedSource, SortedDrain, TopKCursor};
+use rcube_core::{QueryStats, TopKResult};
 use rcube_func::RankFn;
 use rcube_index::BPlusTree;
-use rcube_storage::DiskSim;
+use rcube_storage::{DiskSim, StorageError};
 use rcube_table::{Relation, Selection, Tid};
 
 use crate::{rows_per_page, scan::TableScan};
@@ -34,9 +37,10 @@ impl BooleanFirst {
         Self { indexes, scan: TableScan::new(rel, disk) }
     }
 
-    /// Answers a top-k query: index scan on the most selective predicate
-    /// (estimated via dimension cardinality), then verify + rank via random
-    /// accesses; or a plain table scan when predicted cheaper.
+    /// Answers a top-k query — a thin batch wrapper over [`Self::source`]:
+    /// index scan on the most selective predicate (estimated via dimension
+    /// cardinality), then verify + rank via random accesses; or a plain
+    /// table scan when predicted cheaper.
     pub fn topk<F: RankFn>(
         &self,
         rel: &Relation,
@@ -46,13 +50,38 @@ impl BooleanFirst {
         ranking_dims: &[usize],
         k: usize,
     ) -> TopKResult {
-        if selection.is_empty() {
-            return self.scan.topk(rel, disk, selection, func, ranking_dims, k);
+        let plan = QueryPlan { selection, func, ranking_dims, k, cuboids: None };
+        self.source(rel, disk).query(&plan).expect("in-memory baseline cannot fail")
+    }
+
+    /// Binds the evaluator to its relation and metering device as a
+    /// [`RankedSource`] — trivially progressive: filter-then-rank runs
+    /// fully at open, the cursor drains the sorted answers.
+    pub fn source<'a>(&'a self, rel: &'a Relation, disk: &'a DiskSim) -> BooleanFirstSource<'a> {
+        BooleanFirstSource { bf: self, rel, disk }
+    }
+}
+
+/// A [`BooleanFirst`] bound to its relation and metering device: the
+/// `Boolean` baseline's [`RankedSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct BooleanFirstSource<'a> {
+    bf: &'a BooleanFirst,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for BooleanFirstSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        let (rel, disk) = (self.rel, self.disk);
+        if plan.selection.is_empty() {
+            return self.bf.scan.source(rel, disk).open(plan);
         }
         // Cost model: index plan ≈ expected matches (random accesses);
         // scan plan ≈ page count. Pick the cheaper (Section 4.4.1 reports
         // the best of the two).
-        let best = selection
+        let best = plan
+            .selection
             .conds()
             .iter()
             .max_by_key(|&&(d, _)| rel.schema().selection_dim(d).cardinality())
@@ -61,26 +90,26 @@ impl BooleanFirst {
         let expected = rel.len() as f64 / rel.schema().selection_dim(best.0).cardinality() as f64;
         let scan_pages = rel.len().div_ceil(rows_per_page(rel, disk.page_size())) as f64;
         if expected >= scan_pages {
-            return self.scan.topk(rel, disk, selection, func, ranking_dims, k);
+            return self.bf.scan.source(rel, disk).open(plan);
         }
 
         let before = disk.stats().snapshot();
         let mut stats = QueryStats::default();
-        let tids: Vec<Tid> = self.indexes[best.0].lookup(disk, best.1 as f64);
-        let mut heap = TopKHeap::new(k);
+        let tids: Vec<Tid> = self.bf.indexes[best.0].lookup(disk, best.1 as f64);
+        let mut items = Vec::new();
         for tid in tids {
             // Random access to fetch the full row for residual predicates
             // and ranking values.
             disk.random_access();
-            if !selection.matches(rel, tid) {
+            if !plan.selection.matches(rel, tid) {
                 continue;
             }
-            let score = func.score(&rel.ranking_point_proj(tid, ranking_dims));
-            heap.offer(tid, score);
+            let score = plan.func.score(&rel.ranking_point_proj(tid, plan.ranking_dims));
+            items.push((tid, score));
             stats.tuples_scored += 1;
         }
         stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: heap.into_sorted(), stats }
+        Ok(TopKCursor::new(Box::new(SortedDrain::new(items, stats)), plan.k))
     }
 }
 

@@ -16,10 +16,10 @@ pub mod rank_mapping;
 pub mod ranking_first;
 pub mod scan;
 
-pub use boolean_first::BooleanFirst;
-pub use rank_mapping::RankMapping;
-pub use ranking_first::RankingFirst;
-pub use scan::TableScan;
+pub use boolean_first::{BooleanFirst, BooleanFirstSource};
+pub use rank_mapping::{RankMapping, RankMappingSource};
+pub use ranking_first::{RankingFirst, RankingFirstSource};
+pub use scan::{ScanSource, TableScan};
 
 use rcube_table::Relation;
 

@@ -14,9 +14,10 @@
 //! runs; queries skipping leading dimensions fragment into many runs —
 //! reproducing the order-sensitivity reported in Figures 3.7/3.9.
 
+use rcube_core::query::{ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
 use rcube_core::{QueryStats, TopKHeap, TopKResult};
 use rcube_func::{Linear, RankFn};
-use rcube_storage::DiskSim;
+use rcube_storage::{DiskSim, IoSnapshot, StorageError};
 use rcube_table::{Relation, Selection, Tid};
 
 use crate::rows_per_page;
@@ -56,8 +57,7 @@ impl RankMapping {
     }
 
     /// Answers a top-k query with **optimal** range bounds for a linear
-    /// function: `ni = s* / wi` where `s*` is the true kth score (computed
-    /// by an uncharged oracle pass, as the thesis grants this baseline).
+    /// function — a thin batch wrapper over [`Self::source`].
     pub fn topk(
         &self,
         rel: &Relation,
@@ -67,6 +67,40 @@ impl RankMapping {
         ranking_dims: &[usize],
         k: usize,
     ) -> TopKResult {
+        let plan = QueryPlan { selection, func, ranking_dims, k, cuboids: None };
+        self.source(rel, disk).query(&plan).expect("in-memory baseline cannot fail")
+    }
+
+    /// Binds the mapping to its relation and metering device as a
+    /// [`RankedSource`]. The bound oracle depends on `k`, so this source
+    /// is the workspace's deliberate *non*-resumable engine: `extend_k`
+    /// re-plans with wider bounds and re-reads the matching runs — the
+    /// top-k → range-query transformation cannot paginate, exactly the
+    /// order-sensitivity the paper criticizes (and the progressive bench
+    /// records as the contrast to the cubes).
+    ///
+    /// Plans routed here must carry a linear ranking function.
+    pub fn source<'a>(&'a self, rel: &'a Relation, disk: &'a DiskSim) -> RankMappingSource<'a> {
+        RankMappingSource { rm: self, rel, disk }
+    }
+
+    /// One range-query execution planned for `k` answers: computes the
+    /// optimal bounds via the uncharged oracle pass (as the thesis grants
+    /// this baseline), charges descent + run pages, and returns every
+    /// retrieved scored tuple. Only the first `k` of the sorted result are
+    /// certified answers — tuples beyond the kth may lose to out-of-bounds
+    /// tuples the range query never retrieved.
+    #[allow(clippy::too_many_arguments)]
+    fn run_range_query(
+        &self,
+        rel: &Relation,
+        disk: &DiskSim,
+        selection: &Selection,
+        func: &Linear,
+        ranking_dims: &[usize],
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(Tid, f64)> {
         // Oracle: the true kth score (not charged).
         let mut oracle = TopKHeap::new(k);
         for t in rel.tids() {
@@ -83,9 +117,6 @@ impl RankMapping {
             .iter()
             .map(|&w| if w > 0.0 { (s_star / w).min(1.0) } else { 1.0 })
             .collect();
-
-        let before = disk.stats().snapshot();
-        let mut stats = QueryStats::default();
 
         // Range query: selection ∧ Ni ≤ ni over the clustered index.
         let matches: Vec<u32> = rel
@@ -117,18 +148,115 @@ impl RankMapping {
         for _ in 0..runs * self.descent + pages {
             disk.read(disk.alloc_page()); // distinct pages: always misses
         }
-        stats.blocks_read = runs * self.descent + pages;
+        stats.blocks_read += runs * self.descent + pages;
 
-        // Rank the retrieved tuples.
-        let mut heap = TopKHeap::new(k);
+        // Score the retrieved tuples.
+        let mut items = Vec::with_capacity(sorted.len());
         for &pos in &sorted {
             let tid = self.order[pos as usize];
             let score = func.score(&rel.ranking_point_proj(tid, ranking_dims));
-            heap.offer(tid, score);
+            items.push((tid, score));
             stats.tuples_scored += 1;
         }
-        stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: heap.into_sorted(), stats }
+        items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        items
+    }
+}
+
+/// A [`RankMapping`] bound to its relation and metering device: the
+/// rank-mapping baseline's [`RankedSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct RankMappingSource<'a> {
+    rm: &'a RankMapping,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for RankMappingSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        let weights = plan
+            .func
+            .linear_weights()
+            .expect("rank-mapping supports linear ranking functions only")
+            .to_vec();
+        let search = RankMapSearch {
+            rm: self.rm,
+            rel: self.rel,
+            disk: self.disk,
+            selection: plan.selection.clone(),
+            func: Linear::new(weights),
+            ranking_dims: plan.ranking_dims.to_vec(),
+            planned: None,
+            items: Vec::new(),
+            pos: 0,
+            stats: QueryStats::default(),
+            before: self.disk.stats().snapshot(),
+        };
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
+
+/// Rank-mapping's drain: executes the range query for the cursor's current
+/// target `k` and re-executes with wider bounds whenever
+/// [`ProgressiveSearch::reserve`] raises the target past what the bounds
+/// certified — accumulating fresh descent/run I/O each time.
+struct RankMapSearch<'a> {
+    rm: &'a RankMapping,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+    selection: Selection,
+    func: Linear,
+    ranking_dims: Vec<usize>,
+    /// The `k` the current bounds were derived for (`None`: not run yet).
+    planned: Option<usize>,
+    /// All retrieved tuples, `(score, tid)`-sorted; only the first
+    /// `planned` are certified answers.
+    items: Vec<(Tid, f64)>,
+    pos: usize,
+    stats: QueryStats,
+    before: IoSnapshot,
+}
+
+impl ProgressiveSearch for RankMapSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        let certified = self.planned.unwrap_or(0).min(self.items.len());
+        if self.pos >= certified {
+            return Ok(None);
+        }
+        let item = self.items[self.pos];
+        self.pos += 1;
+        Ok(Some(item))
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        stats.io = self.before.delta(&self.disk.stats().snapshot());
+        stats
+    }
+
+    fn reserve(&mut self, k: usize) {
+        if self.planned.is_some_and(|p| p >= k) {
+            return;
+        }
+        if k == 0 {
+            // Nothing certifiable: don't run the oracle + range scan
+            // (k = 0 collapses the bounds to the whole domain).
+            self.planned = Some(0);
+            return;
+        }
+        // Re-plan: wider bounds for the larger k, a fresh descent and a
+        // fresh run scan. The sorted prefix already emitted is stable (it
+        // is the true top-`pos`), so emission continues in place.
+        self.planned = Some(k);
+        self.items = self.rm.run_range_query(
+            self.rel,
+            self.disk,
+            &self.selection,
+            &self.func,
+            &self.ranking_dims,
+            k,
+            &mut self.stats,
+        );
     }
 }
 

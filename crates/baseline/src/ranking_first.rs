@@ -6,12 +6,13 @@
 //! already been determined as candidate results (popped from the heap),
 //! which provably minimizes the number of verifications.
 
-use rcube_core::{QueryStats, TopKHeap, TopKQuery, TopKResult};
+use rcube_core::query::{ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
+use rcube_core::{QueryStats, TopKQuery, TopKResult};
 use rcube_func::RankFn;
 use rcube_index::rtree::RTree;
 use rcube_index::{HierIndex, NodeHandle};
-use rcube_storage::DiskSim;
-use rcube_table::{Relation, Tid};
+use rcube_storage::{DiskSim, IoSnapshot, StorageError};
+use rcube_table::{Relation, Selection, Tid};
 
 /// Ranking-first evaluator over an R-tree.
 #[derive(Debug)]
@@ -45,61 +46,125 @@ impl PartialOrd for Item {
 
 impl RankingFirst {
     /// Answers `query` with progressive R-tree retrieval + late Boolean
-    /// verification.
+    /// verification — a thin batch wrapper over [`Self::source`].
     pub fn topk<F: RankFn>(
         rtree: &RTree,
         rel: &Relation,
         query: &TopKQuery<F>,
         disk: &DiskSim,
     ) -> TopKResult {
-        let before = disk.stats().snapshot();
-        let mut stats = QueryStats::default();
-        let proj = &query.ranking_dims;
-        let bound = |n: NodeHandle| query.func.lower_bound(&rtree.region(n).project(proj));
+        Self::source(rtree, rel, disk).query(&query.plan()).expect("in-memory baseline cannot fail")
+    }
 
+    /// Binds an R-tree, relation and metering device as a
+    /// [`RankedSource`]. Unlike the other baselines this one is genuinely
+    /// progressive — the branch-and-bound heap certifies each tuple on
+    /// pop, verification happens lazily, and `extend_k` resumes
+    /// mid-descent — it just lacks Boolean pruning, paying one random
+    /// access per candidate the signature cube would have pruned.
+    pub fn source<'a>(
+        rtree: &'a RTree,
+        rel: &'a Relation,
+        disk: &'a DiskSim,
+    ) -> RankingFirstSource<'a> {
+        RankingFirstSource { rtree, rel, disk }
+    }
+}
+
+/// The `Ranking` baseline's [`RankedSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct RankingFirstSource<'a> {
+    rtree: &'a RTree,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for RankingFirstSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        let proj = plan.ranking_dims.to_vec();
+        let root = self.rtree.root();
         let mut heap = std::collections::BinaryHeap::new();
-        let mut seq = 0u64;
-        let root = rtree.root();
-        heap.push(Item(bound(root), seq, Entry::Node(root)));
-        let mut topk = TopKHeap::new(query.k);
+        heap.push(Item(
+            plan.func.lower_bound(&self.rtree.region(root).project(&proj)),
+            0,
+            Entry::Node(root),
+        ));
+        let search = RankingFirstSearch {
+            rtree: self.rtree,
+            rel: self.rel,
+            disk: self.disk,
+            func: plan.func,
+            selection: plan.selection.clone(),
+            proj,
+            heap,
+            seq: 0,
+            stats: QueryStats::default(),
+            before: self.disk.stats().snapshot(),
+        };
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
 
-        while let Some(Item(b, _, entry)) = heap.pop() {
-            if topk.kth_score() <= b {
-                break;
-            }
+/// The ranking-first loop as a resumable state machine: identical search
+/// order to the signature method, tuple-at-a-time Boolean verification on
+/// pop.
+struct RankingFirstSearch<'a> {
+    rtree: &'a RTree,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+    func: &'a dyn RankFn,
+    selection: Selection,
+    proj: Vec<usize>,
+    heap: std::collections::BinaryHeap<Item>,
+    seq: u64,
+    stats: QueryStats,
+    before: IoSnapshot,
+}
+
+impl ProgressiveSearch for RankingFirstSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        while let Some(Item(_, _, entry)) = self.heap.pop() {
             match entry {
                 Entry::Tuple(tid, score) => {
                     // Late Boolean verification by random access.
-                    disk.random_access();
-                    if query.selection.matches(rel, tid) {
-                        topk.offer(tid, score);
-                        stats.tuples_scored += 1;
+                    self.disk.random_access();
+                    if self.selection.matches(self.rel, tid) {
+                        self.stats.tuples_scored += 1;
+                        self.stats.peak_heap = self.stats.peak_heap.max(self.heap.len() as u64);
+                        return Ok(Some((tid, score)));
                     }
                 }
                 Entry::Node(n) => {
-                    rtree.read_node(disk, n);
-                    stats.blocks_read += 1;
-                    if rtree.is_leaf(n) {
-                        for (tid, point) in rtree.leaf_entries(n) {
-                            let vals: Vec<f64> = proj.iter().map(|&d| point[d]).collect();
-                            let s = query.func.score(&vals);
-                            seq += 1;
-                            heap.push(Item(s, seq, Entry::Tuple(tid, s)));
-                            stats.states_generated += 1;
+                    self.rtree.read_node(self.disk, n);
+                    self.stats.blocks_read += 1;
+                    if self.rtree.is_leaf(n) {
+                        for (tid, point) in self.rtree.leaf_entries(n) {
+                            let vals: Vec<f64> = self.proj.iter().map(|&d| point[d]).collect();
+                            let s = self.func.score(&vals);
+                            self.seq += 1;
+                            self.heap.push(Item(s, self.seq, Entry::Tuple(tid, s)));
+                            self.stats.states_generated += 1;
                         }
                     } else {
-                        for c in rtree.children(n) {
-                            seq += 1;
-                            heap.push(Item(bound(c), seq, Entry::Node(c)));
-                            stats.states_generated += 1;
+                        for c in self.rtree.children(n) {
+                            let b =
+                                self.func.lower_bound(&self.rtree.region(c).project(&self.proj));
+                            self.seq += 1;
+                            self.heap.push(Item(b, self.seq, Entry::Node(c)));
+                            self.stats.states_generated += 1;
                         }
                     }
                 }
             }
-            stats.peak_heap = stats.peak_heap.max(heap.len() as u64);
+            self.stats.peak_heap = self.stats.peak_heap.max(self.heap.len() as u64);
         }
-        stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: topk.into_sorted(), stats }
+        Ok(None)
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        stats.io = self.before.delta(&self.disk.stats().snapshot());
+        stats
     }
 }
 

@@ -1,8 +1,9 @@
 //! Sequential table scan (`TS`).
 
-use rcube_core::{QueryStats, TopKHeap, TopKResult};
+use rcube_core::query::{QueryPlan, RankedSource, SortedDrain, TopKCursor};
+use rcube_core::{QueryStats, TopKResult};
 use rcube_func::RankFn;
-use rcube_storage::DiskSim;
+use rcube_storage::{DiskSim, StorageError};
 use rcube_table::{Relation, Selection};
 
 use crate::rows_per_page;
@@ -25,7 +26,8 @@ impl TableScan {
         Self { pages, rows_per_page: rpp }
     }
 
-    /// Top-k by scanning every page.
+    /// Top-k by scanning every page — a thin batch wrapper over
+    /// [`Self::source`].
     pub fn topk<F: RankFn>(
         &self,
         rel: &Relation,
@@ -35,30 +37,54 @@ impl TableScan {
         ranking_dims: &[usize],
         k: usize,
     ) -> TopKResult {
-        let before = disk.stats().snapshot();
-        let mut stats = QueryStats::default();
-        let mut heap = TopKHeap::new(k);
-        for (pi, &page) in self.pages.iter().enumerate() {
-            disk.read(page);
-            stats.blocks_read += 1;
-            let start = pi * self.rows_per_page;
-            let end = ((pi + 1) * self.rows_per_page).min(rel.len());
-            for tid in start as u32..end as u32 {
-                if !selection.matches(rel, tid) {
-                    continue;
-                }
-                let score = func.score(&rel.ranking_point_proj(tid, ranking_dims));
-                heap.offer(tid, score);
-                stats.tuples_scored += 1;
-            }
-        }
-        stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: heap.into_sorted(), stats }
+        let plan = QueryPlan { selection, func, ranking_dims, k, cuboids: None };
+        self.source(rel, disk).query(&plan).expect("in-memory scan cannot fail")
+    }
+
+    /// Binds the scan to its relation and metering device as a
+    /// [`RankedSource`] — trivially progressive: the whole scan happens at
+    /// open, the cursor just drains the sorted answers (time-to-first-
+    /// answer equals full-query time; `extend_k` reveals more at no I/O).
+    pub fn source<'a>(&'a self, rel: &'a Relation, disk: &'a DiskSim) -> ScanSource<'a> {
+        ScanSource { scan: self, rel, disk }
     }
 
     /// Number of data pages.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
+    }
+}
+
+/// A [`TableScan`] bound to its relation and metering device: the `TS`
+/// baseline's [`RankedSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScanSource<'a> {
+    scan: &'a TableScan,
+    rel: &'a Relation,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for ScanSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        let before = self.disk.stats().snapshot();
+        let mut stats = QueryStats::default();
+        let mut items = Vec::new();
+        for (pi, &page) in self.scan.pages.iter().enumerate() {
+            self.disk.read(page);
+            stats.blocks_read += 1;
+            let start = pi * self.scan.rows_per_page;
+            let end = ((pi + 1) * self.scan.rows_per_page).min(self.rel.len());
+            for tid in start as u32..end as u32 {
+                if !plan.selection.matches(self.rel, tid) {
+                    continue;
+                }
+                let score = plan.func.score(&self.rel.ranking_point_proj(tid, plan.ranking_dims));
+                items.push((tid, score));
+                stats.tuples_scored += 1;
+            }
+        }
+        stats.io = before.delta(&self.disk.stats().snapshot());
+        Ok(TopKCursor::new(Box::new(SortedDrain::new(items, stats)), plan.k))
     }
 }
 

@@ -18,8 +18,10 @@ use rcube_storage::{
 use rcube_table::{Relation, Selection};
 
 use crate::gridcube::{
-    finish_catalog, read_catalog, CuboidSpec, GridCubeConfig, GridRankingCube, CATALOG_FRAGMENTS,
+    finish_catalog, read_catalog, CuboidSpec, GridCubeConfig, GridRankingCube, GridSource,
+    CATALOG_FRAGMENTS,
 };
+use crate::query::{QueryPlan, RankedSource, TopKCursor};
 use crate::{TopKQuery, TopKResult};
 
 /// Fragment parameters.
@@ -86,9 +88,24 @@ impl RankingFragments {
         self.cube.covering_cuboids(selection).map_or(0, |c| c.len())
     }
 
-    /// Answers a top-k query by assembling covering fragments online.
+    /// Answers a top-k query by assembling covering fragments online — a
+    /// thin batch wrapper over [`Self::source`].
     pub fn query<F: RankFn>(&self, query: &TopKQuery<F>, disk: &DiskSim) -> TopKResult {
         self.cube.query(query, disk)
+    }
+
+    /// Binds the fragments to their metering device as a
+    /// [`RankedSource`]: queries spanning several fragments stream their
+    /// covering-set intersection through the same resumable frontier
+    /// machine as the full grid cube.
+    pub fn source<'a>(&'a self, disk: &'a DiskSim) -> FragmentsSource<'a> {
+        FragmentsSource { inner: self.cube.source(disk) }
+    }
+
+    /// True when the fragments can answer the plan (see
+    /// [`GridRankingCube::can_answer`]).
+    pub fn can_answer(&self, selection: &Selection, ranking_dims: &[usize]) -> bool {
+        self.cube.can_answer(selection, ranking_dims)
     }
 
     /// The underlying grid cube (shared base block table + partition).
@@ -135,6 +152,20 @@ impl RankingFragments {
         let num_selection = r.count(1 << 20)?;
         let cube = GridRankingCube::read_file_payload(store, &mut r)?;
         Ok(Self { cube, fragment_size, num_selection })
+    }
+}
+
+/// [`RankingFragments`] bound to a metering device: the fragments engine's
+/// [`RankedSource`]. The covering set is resolved per plan, so one source
+/// serves single-fragment and cross-fragment queries alike.
+#[derive(Debug, Clone, Copy)]
+pub struct FragmentsSource<'a> {
+    inner: GridSource<'a>,
+}
+
+impl<'a> RankedSource<'a> for FragmentsSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, rcube_storage::StorageError> {
+        self.inner.open(plan)
     }
 }
 

@@ -12,19 +12,20 @@
 //! cuboid are answered by a *covering set* of cuboids whose tid lists are
 //! intersected online (Section 3.4.2) — the fragments mechanism.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use rcube_func::RankFn;
 use rcube_index::grid::{Bid, GridPartition};
 use rcube_storage::{
-    ByteReader, ByteWriter, DiskSim, PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE,
-    DEFAULT_POOL_PAGES,
+    ByteReader, ByteWriter, DiskSim, IoSnapshot, PageId, PageStore, StorageError,
+    DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
 };
 use rcube_table::{Relation, Selection, Tid};
 
 use crate::idlist::{self, IdCursor, IdListRef, KWayIntersect};
-use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
+use crate::query::{MinScored, ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
+use crate::{QueryStats, TopKQuery, TopKResult};
 
 /// Which cuboids to materialize.
 #[derive(Debug, Clone)]
@@ -285,7 +286,23 @@ impl GridRankingCube {
         Some(chosen)
     }
 
-    /// Answers a top-k query (Section 3.3 / 3.4.2).
+    /// Binds this cube to its metering device as a [`RankedSource`] — the
+    /// progressive front door ([`RankedSource::open`] yields a resumable
+    /// [`TopKCursor`]; the batch methods below drain one).
+    pub fn source<'a>(&'a self, disk: &'a DiskSim) -> GridSource<'a> {
+        GridSource { cube: self, disk }
+    }
+
+    /// True when this cube can answer the plan: the materialized cuboids
+    /// cover the selection and the partition covers the ranking
+    /// dimensions. The `Engine` facade routes on this.
+    pub fn can_answer(&self, selection: &Selection, ranking_dims: &[usize]) -> bool {
+        self.covering_cuboids(selection).is_some()
+            && ranking_dims.iter().all(|d| self.ranking_dims.contains(d))
+    }
+
+    /// Answers a top-k query (Section 3.3 / 3.4.2) — a thin batch wrapper:
+    /// open a progressive cursor, drain `k` answers.
     pub fn query<F: RankFn>(&self, query: &TopKQuery<F>, disk: &DiskSim) -> TopKResult {
         self.try_query(query, disk).unwrap_or_else(|e| panic!("storage error during query: {e}"))
     }
@@ -298,13 +315,11 @@ impl GridRankingCube {
         query: &TopKQuery<F>,
         disk: &DiskSim,
     ) -> Result<TopKResult, StorageError> {
-        let covering = self
-            .covering_cuboids(&query.selection)
-            .expect("materialized cuboids cannot cover the query's selection dimensions");
-        self.try_query_with_cuboids(query, &covering, disk)
+        self.source(disk).query(&query.plan())
     }
 
-    /// Answers a top-k query through an explicit covering cuboid set.
+    /// Answers a top-k query through an explicit covering cuboid set (the
+    /// `cuboids` plan option of [`QueryPlan`]).
     pub fn query_with_cuboids<F: RankFn>(
         &self,
         query: &TopKQuery<F>,
@@ -322,186 +337,8 @@ impl GridRankingCube {
         covering: &[Vec<usize>],
         disk: &DiskSim,
     ) -> Result<TopKResult, StorageError> {
-        let before = disk.stats().snapshot();
-        let mut stats = QueryStats::default();
-
-        // Positions of the query's ranking dimensions inside the partition.
-        let proj: Vec<usize> = query
-            .ranking_dims
-            .iter()
-            .map(|d| {
-                self.ranking_dims
-                    .iter()
-                    .position(|rd| rd == d)
-                    .expect("query ranking dimension not covered by the cube")
-            })
-            .collect();
-
-        let block_lb = |bid: Bid| {
-            let rect = self.partition.block_rect(bid).project(&proj);
-            query.func.lower_bound(&rect)
-        };
-
-        // Search state: candidate list H (Lemma 1), visited set, topk heap,
-        // and a buffer of retrieved pseudo blocks keyed by (cuboid, pid).
-        let mut topk = TopKHeap::new(query.k);
-        let mut h: std::collections::BinaryHeap<HeapBlock> = std::collections::BinaryHeap::new();
-        let mut inserted: HashSet<Bid> = HashSet::new();
-        // Pseudo-block buffer: (covering index, pid) → cell page bytes.
-        // `None` records a definitively empty cell. Pages are shared
-        // handles from the store — posting-list views parse straight off
-        // them, no per-retrieval decode.
-        let mut pid_buffer: HashMap<(usize, u32), Option<Arc<[u8]>>> = HashMap::new();
-
-        // Seed with the block containing the function's minimum — computed
-        // from meta information only (bin boundaries), no I/O.
-        let num_blocks = self.partition.num_blocks() as Bid;
-        let seed = (0..num_blocks).min_by(|&a, &b| block_lb(a).total_cmp(&block_lb(b)));
-        if let Some(seed) = seed {
-            h.push(HeapBlock(block_lb(seed), seed));
-            inserted.insert(seed);
-        }
-
-        loop {
-            let Some(HeapBlock(s_unseen, bid)) = h.pop() else {
-                // Correctness guard for non-convex functions: re-seed with
-                // the best block not yet considered (Section 3.6.1 fallback).
-                match (0..num_blocks)
-                    .filter(|b| !inserted.contains(b))
-                    .min_by(|&a, &b| block_lb(a).total_cmp(&block_lb(b)))
-                {
-                    Some(next) if block_lb(next) < topk.kth_score() => {
-                        inserted.insert(next);
-                        h.push(HeapBlock(block_lb(next), next));
-                        continue;
-                    }
-                    _ => break,
-                }
-            };
-            if topk.kth_score() <= s_unseen {
-                break; // S_k ≤ S_unseen: answers are final.
-            }
-            stats.states_generated += 1;
-
-            // Retrieve: tid list of this base block, intersected across the
-            // covering cuboids (get_pseudo_block per cuboid, buffered).
-            let tids =
-                self.retrieve_block_tids(query, covering, bid, &mut pid_buffer, disk, &mut stats)?;
-
-            // Evaluate: fetch real values from the base block table. Both
-            // the retrieved tid list and the block records are ascending
-            // by tid, so a two-pointer merge replaces the old hash probe.
-            if !tids.is_empty() {
-                if let Some(page) = self.base_pages[bid as usize] {
-                    let bytes = self.store.try_get_bytes(disk, page)?;
-                    stats.blocks_read += 1;
-                    let rec = 4 + 8 * self.ranking_dims.len();
-                    let mut want = tids.iter().copied().peekable();
-                    'records: for chunk in bytes.chunks_exact(rec) {
-                        let tid = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
-                        loop {
-                            match want.peek() {
-                                None => break 'records,
-                                Some(&w) if w < tid => {
-                                    want.next();
-                                }
-                                Some(&w) if w == tid => {
-                                    want.next();
-                                    break;
-                                }
-                                Some(_) => continue 'records,
-                            }
-                        }
-                        let point: Vec<f64> = proj
-                            .iter()
-                            .map(|&p| {
-                                let off = 4 + 8 * p;
-                                f64::from_le_bytes(chunk[off..off + 8].try_into().unwrap())
-                            })
-                            .collect();
-                        topk.offer(tid, query.func.score(&point));
-                        stats.tuples_scored += 1;
-                    }
-                }
-            }
-
-            // Expand: neighboring blocks join H (Lemma 1).
-            for nb in self.partition.neighbors(bid) {
-                if inserted.insert(nb) {
-                    h.push(HeapBlock(block_lb(nb), nb));
-                }
-            }
-            stats.peak_heap = stats.peak_heap.max(h.len() as u64);
-        }
-
-        stats.io = before.delta(&disk.stats().snapshot());
-        Ok(TopKResult { items: topk.into_sorted(), stats })
-    }
-
-    /// The retrieve step: tid list for `bid` under the query's selection,
-    /// intersected across covering cuboids, with pid-level buffering.
-    ///
-    /// Each covering cuboid contributes a streaming cursor parsed in place
-    /// over its buffered cell page; the cursors are leapfrogged by the
-    /// k-way intersector (smallest estimated cardinality first). Nothing
-    /// is decoded or hashed — the only allocation is the result.
-    fn retrieve_block_tids<F: RankFn>(
-        &self,
-        query: &TopKQuery<F>,
-        covering: &[Vec<usize>],
-        bid: Bid,
-        pid_buffer: &mut HashMap<(usize, u32), Option<Arc<[u8]>>>,
-        disk: &DiskSim,
-        stats: &mut QueryStats,
-    ) -> Result<Vec<Tid>, StorageError> {
-        if covering.is_empty() {
-            // No selection: the whole base block qualifies.
-            return Ok(self.partition.block_tids(bid).to_vec());
-        }
-        // Pass 1: buffer each covering cell page in turn, short-circuiting
-        // before the next page fetch when a cuboid already proves the
-        // intersection empty (absent cell, or bid missing from the cell) —
-        // the I/O economy of the original per-cuboid loop.
-        for (ci, dims) in covering.iter().enumerate() {
-            let cuboid = &self.cuboids[dims];
-            let pid = self.partition.pid_of(bid, cuboid.sf);
-            if let std::collections::hash_map::Entry::Vacant(e) = pid_buffer.entry((ci, pid)) {
-                let vals: Vec<u32> = dims
-                    .iter()
-                    .map(|d| {
-                        query.selection.value_on(*d).expect("covering cuboid dim not in query")
-                    })
-                    .collect();
-                let page = match cuboid.cells.get(&(vals, pid)) {
-                    Some(&page) => {
-                        stats.blocks_read += 1;
-                        Some(self.store.try_get_bytes(disk, page)?)
-                    }
-                    None => None,
-                };
-                e.insert(page);
-            }
-            match &pid_buffer[&(ci, pid)] {
-                None => return Ok(Vec::new()), // cell absent: no tuple matches
-                Some(page) => {
-                    if !cell_has_bid(page, bid) {
-                        return Ok(Vec::new()); // bid absent from this cell
-                    }
-                }
-            }
-        }
-        // Pass 2: zero-copy cursors over the buffered pages, then stream
-        // the intersection.
-        let cursors: Vec<IdCursor<'_>> = covering
-            .iter()
-            .enumerate()
-            .map(|(ci, dims)| {
-                let pid = self.partition.pid_of(bid, self.cuboids[dims].sf);
-                let page = pid_buffer[&(ci, pid)].as_deref().expect("buffered in pass 1");
-                cell_cursor(page, bid).expect("bid checked in pass 1")
-            })
-            .collect();
-        Ok(KWayIntersect::from_cursors(cursors).collect())
+        let plan = QueryPlan { cuboids: Some(covering), ..query.plan() };
+        self.source(disk).query(&plan)
     }
 
     /// Block size parameter `P`.
@@ -710,6 +547,277 @@ pub(crate) fn read_catalog(
         Some(&kind) if kind == expect_kind => Ok(bytes),
         Some(_) => Err(StorageError::Malformed("catalog kind does not match this cube type")),
         None => Err(StorageError::Malformed("empty catalog object")),
+    }
+}
+
+/// A [`GridRankingCube`] bound to its metering device: the grid engine's
+/// [`RankedSource`]. Cheap `Copy` handle, constructed per query via
+/// [`GridRankingCube::source`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridSource<'a> {
+    cube: &'a GridRankingCube,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for GridSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        Ok(TopKCursor::new(Box::new(GridSearch::new(self.cube, self.disk, plan)), plan.k))
+    }
+}
+
+/// The grid cube's four-step query algorithm (Section 3.3 / 3.4.2) as an
+/// explicit, resumable frontier state machine.
+///
+/// Two heaps drive it: the *frontier* `h` of unretrieved blocks ordered by
+/// ranking-function lower bound (the candidate list H of Lemma 1), and a
+/// *candidate* min-heap of evaluated-but-unemitted tuples ordered by
+/// `(score, tid)`. [`Self::advance`] emits the cheapest candidate once its
+/// score is ≤ the frontier's best bound (`S ≤ S_unseen`, the per-answer
+/// form of the batch stop condition) and otherwise retrieves exactly one
+/// more block. Pausing between answers keeps every heap, the visited set
+/// and the pseudo-block buffer alive, so `extend_k` resumes from the
+/// frontier instead of re-running the search.
+struct GridSearch<'a> {
+    cube: &'a GridRankingCube,
+    disk: &'a DiskSim,
+    func: &'a dyn RankFn,
+    selection: Selection,
+    covering: Vec<Vec<usize>>,
+    /// Positions of the query's ranking dimensions inside the partition.
+    proj: Vec<usize>,
+    /// Frontier: unretrieved blocks by lower bound (candidate list H).
+    h: BinaryHeap<HeapBlock>,
+    inserted: HashSet<Bid>,
+    /// Pseudo-block buffer: (covering index, pid) → cell page bytes.
+    /// `None` records a definitively empty cell. Pages are shared handles
+    /// from the store — posting-list views parse straight off them.
+    pid_buffer: HashMap<(usize, u32), Option<Arc<[u8]>>>,
+    /// Evaluated tuples not yet certified/emitted, cheapest first.
+    candidates: BinaryHeap<MinScored>,
+    /// Memoized [`Self::best_uninserted`] result; invalidated whenever a
+    /// block enters the frontier. Keeps draining buffered candidates after
+    /// the frontier empties O(1) per answer instead of O(blocks).
+    uninserted_best: Option<Option<(f64, Bid)>>,
+    stats: QueryStats,
+    before: IoSnapshot,
+}
+
+impl<'a> GridSearch<'a> {
+    fn new(cube: &'a GridRankingCube, disk: &'a DiskSim, plan: &QueryPlan<'a>) -> Self {
+        let covering = match plan.cuboids {
+            Some(c) => c.to_vec(),
+            None => cube
+                .covering_cuboids(plan.selection)
+                .expect("materialized cuboids cannot cover the query's selection dimensions"),
+        };
+        let proj: Vec<usize> = plan
+            .ranking_dims
+            .iter()
+            .map(|d| {
+                cube.ranking_dims
+                    .iter()
+                    .position(|rd| rd == d)
+                    .expect("query ranking dimension not covered by the cube")
+            })
+            .collect();
+        let mut search = Self {
+            cube,
+            disk,
+            func: plan.func,
+            selection: plan.selection.clone(),
+            covering,
+            proj,
+            h: BinaryHeap::new(),
+            inserted: HashSet::new(),
+            pid_buffer: HashMap::new(),
+            candidates: BinaryHeap::new(),
+            uninserted_best: None,
+            stats: QueryStats::default(),
+            before: disk.stats().snapshot(),
+        };
+        // Seed with the block containing the function's minimum — computed
+        // from meta information only (bin boundaries), no I/O. With an
+        // empty `inserted` set this is exactly the fallback scan.
+        if let Some((lb, seed)) = search.best_uninserted() {
+            search.inserted.insert(seed);
+            search.uninserted_best = None;
+            search.h.push(HeapBlock(lb, seed));
+        }
+        search
+    }
+
+    fn block_lb(&self, bid: Bid) -> f64 {
+        let rect = self.cube.partition.block_rect(bid).project(&self.proj);
+        self.func.lower_bound(&rect)
+    }
+
+    /// The best block never inserted into the frontier, if any — the
+    /// Section 3.6.1 fallback for non-convex functions whose minimum
+    /// neighborhood does not reach every block. Memoized between frontier
+    /// insertions: post-exhaustion candidate drains would otherwise rescan
+    /// every block per emitted answer.
+    fn best_uninserted(&mut self) -> Option<(f64, Bid)> {
+        if let Some(cached) = self.uninserted_best {
+            return cached;
+        }
+        let best = (0..self.cube.partition.num_blocks() as Bid)
+            .filter(|b| !self.inserted.contains(b))
+            .map(|b| (self.block_lb(b), b))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+        self.uninserted_best = Some(best);
+        best
+    }
+
+    /// The retrieve step: tid list for `bid` under the query's selection,
+    /// intersected across covering cuboids, with pid-level buffering.
+    ///
+    /// Each covering cuboid contributes a streaming cursor parsed in place
+    /// over its buffered cell page; the cursors are leapfrogged by the
+    /// k-way intersector (smallest estimated cardinality first). Nothing
+    /// is decoded or hashed — the only allocation is the result.
+    fn retrieve_block_tids(&mut self, bid: Bid) -> Result<Vec<Tid>, StorageError> {
+        if self.covering.is_empty() {
+            // No selection: the whole base block qualifies.
+            return Ok(self.cube.partition.block_tids(bid).to_vec());
+        }
+        // Pass 1: buffer each covering cell page in turn, short-circuiting
+        // before the next page fetch when a cuboid already proves the
+        // intersection empty (absent cell, or bid missing from the cell) —
+        // the I/O economy of the original per-cuboid loop.
+        for (ci, dims) in self.covering.iter().enumerate() {
+            let cuboid = &self.cube.cuboids[dims];
+            let pid = self.cube.partition.pid_of(bid, cuboid.sf);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.pid_buffer.entry((ci, pid)) {
+                let vals: Vec<u32> = dims
+                    .iter()
+                    .map(|d| self.selection.value_on(*d).expect("covering cuboid dim not in query"))
+                    .collect();
+                let page = match cuboid.cells.get(&(vals, pid)) {
+                    Some(&page) => {
+                        self.stats.blocks_read += 1;
+                        Some(self.cube.store.try_get_bytes(self.disk, page)?)
+                    }
+                    None => None,
+                };
+                e.insert(page);
+            }
+            match &self.pid_buffer[&(ci, pid)] {
+                None => return Ok(Vec::new()), // cell absent: no tuple matches
+                Some(page) => {
+                    if !cell_has_bid(page, bid) {
+                        return Ok(Vec::new()); // bid absent from this cell
+                    }
+                }
+            }
+        }
+        // Pass 2: zero-copy cursors over the buffered pages, then stream
+        // the intersection.
+        let cursors: Vec<IdCursor<'_>> = self
+            .covering
+            .iter()
+            .enumerate()
+            .map(|(ci, dims)| {
+                let pid = self.cube.partition.pid_of(bid, self.cube.cuboids[dims].sf);
+                let page = self.pid_buffer[&(ci, pid)].as_deref().expect("buffered in pass 1");
+                cell_cursor(page, bid).expect("bid checked in pass 1")
+            })
+            .collect();
+        Ok(KWayIntersect::from_cursors(cursors).collect())
+    }
+
+    /// The evaluate step: fetch real values from the base block table and
+    /// push scored tuples into the candidate heap. Both the retrieved tid
+    /// list and the block records are ascending by tid, so a two-pointer
+    /// merge replaces a hash probe.
+    fn evaluate_block(&mut self, bid: Bid, tids: &[Tid]) -> Result<(), StorageError> {
+        if tids.is_empty() {
+            return Ok(());
+        }
+        let Some(page) = self.cube.base_pages[bid as usize] else {
+            return Ok(());
+        };
+        let bytes = self.cube.store.try_get_bytes(self.disk, page)?;
+        self.stats.blocks_read += 1;
+        let rec = 4 + 8 * self.cube.ranking_dims.len();
+        let mut want = tids.iter().copied().peekable();
+        'records: for chunk in bytes.chunks_exact(rec) {
+            let tid = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+            loop {
+                match want.peek() {
+                    None => break 'records,
+                    Some(&w) if w < tid => {
+                        want.next();
+                    }
+                    Some(&w) if w == tid => {
+                        want.next();
+                        break;
+                    }
+                    Some(_) => continue 'records,
+                }
+            }
+            let point: Vec<f64> = self
+                .proj
+                .iter()
+                .map(|&p| {
+                    let off = 4 + 8 * p;
+                    f64::from_le_bytes(chunk[off..off + 8].try_into().unwrap())
+                })
+                .collect();
+            self.candidates.push(MinScored(self.func.score(&point), tid));
+            self.stats.tuples_scored += 1;
+        }
+        Ok(())
+    }
+}
+
+impl ProgressiveSearch for GridSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(rcube_table::Tid, f64)>, StorageError> {
+        loop {
+            // Certify: the cheapest evaluated tuple is an answer once no
+            // frontier block could hold anything cheaper (S ≤ S_unseen).
+            let frontier = self.h.peek().map(|&HeapBlock(b, _)| b);
+            if let (Some(c), Some(bound)) = (self.candidates.peek(), frontier) {
+                if c.0 <= bound {
+                    let MinScored(score, tid) = self.candidates.pop().unwrap();
+                    return Ok(Some((tid, score)));
+                }
+            }
+            if frontier.is_none() {
+                // Frontier exhausted: re-seed with the best block never
+                // inserted (Section 3.6.1 fallback for non-convex
+                // functions), unless the best pending candidate already
+                // beats everything unexplored.
+                let best = self.best_uninserted();
+                match best {
+                    Some((lb, bid)) if self.candidates.peek().is_none_or(|c| lb < c.0) => {
+                        self.inserted.insert(bid);
+                        self.uninserted_best = None;
+                        self.h.push(HeapBlock(lb, bid));
+                        continue;
+                    }
+                    _ => return Ok(self.candidates.pop().map(|MinScored(s, t)| (t, s))),
+                }
+            }
+            // Advance the frontier by exactly one block: retrieve its tid
+            // list, evaluate, expand neighbors (Lemma 1).
+            let HeapBlock(_, bid) = self.h.pop().expect("frontier checked non-empty");
+            self.stats.states_generated += 1;
+            let tids = self.retrieve_block_tids(bid)?;
+            self.evaluate_block(bid, &tids)?;
+            for nb in self.cube.partition.neighbors(bid) {
+                if self.inserted.insert(nb) {
+                    self.uninserted_best = None;
+                    self.h.push(HeapBlock(self.block_lb(nb), nb));
+                }
+            }
+            self.stats.peak_heap = self.stats.peak_heap.max(self.h.len() as u64);
+        }
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        stats.io = self.before.delta(&self.disk.stats().snapshot());
+        stats
     }
 }
 

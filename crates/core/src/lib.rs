@@ -19,6 +19,16 @@
 //! bitmaps, skip-delta blocks, streaming k-way intersection) that backs
 //! the grid cube's retrieve step and the fragments' covering-set merge.
 //!
+//! Every engine answers queries through one operator surface: the
+//! [`query::RankedSource`] trait opens a resumable, pull-based
+//! [`query::TopKCursor`] from a [`query::QueryPlan`] (built ergonomically
+//! via [`query::Query`]`::select(...).rank(...).top(k)`), making the
+//! paper's progressive, semi-online computation visible in the API —
+//! answers stream in score order, and `extend_k` paginates by resuming the
+//! bound-driven frontier instead of re-running. Batch `query()` methods
+//! are thin wrappers that drain a cursor. The [`query`] module documents
+//! the full ordering / stats / resume contract.
+//!
 //! Cubes persist: `save_to` writes a cube into a single checksummed file
 //! (`rcube_storage::format` describes the layout) and `open_from` reopens
 //! it read-only in a fresh process with identical top-k answers — the
@@ -33,12 +43,14 @@ pub mod gridcube;
 pub mod idlist;
 pub mod maintain;
 pub mod nodecache;
+pub mod query;
 pub mod sigcube;
 pub mod signature;
 pub mod sigquery;
 
 pub use gridcube::{GridCubeConfig, GridRankingCube};
 pub use nodecache::{NodeCacheStats, SharedNodeCache};
+pub use query::{ProgressiveSearch, Query, QueryPlan, RankedSource, TopKCursor};
 pub use sigcube::{SignatureCube, SignatureCubeConfig};
 
 use rcube_func::RankFn;

@@ -21,19 +21,23 @@
 //!   whole cell signatures ([`crate::sigcube::SignatureCube`] calls
 //!   [`SharedNodeCache::clear`]); in-place page overwrites outside that
 //!   path must do the same.
-//! * **Bounded budget.** Each shard tracks its approximate byte weight;
-//!   inserts past the budget evict arbitrary resident entries (the map's
-//!   iteration order) until the newcomer fits. Hot nodes evicted this way
-//!   are simply re-decoded and re-admitted — correctness never depends on
-//!   residency.
+//! * **Bounded budget, clock eviction.** Each shard tracks its
+//!   approximate byte weight; inserts past the budget run a per-shard
+//!   *clock* (second-chance) sweep: every entry carries an atomic
+//!   reference bit set by lookups under the read lock, and the sweep
+//!   evicts the first unreferenced entry in ring order, clearing bits as
+//!   it passes. Hot nodes — ones probed since the last sweep — survive
+//!   cold scans instead of being arbitrary victims. Eviction is still
+//!   advisory: an evicted node is simply re-decoded and re-admitted —
+//!   correctness never depends on residency.
 //!
 //! A shared hit skips the partial load *and* the node decode, so it is
 //! metered separately (`shared_node_hits` in `rcube_core::QueryStats`)
 //! from per-query memo hits and charged no I/O: the node never left
 //! memory.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use rcube_storage::PackedBits;
@@ -76,11 +80,24 @@ pub struct SharedNodeCache {
     evictions: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct Shard {
+/// One resident node (or proven absence) plus its clock reference bit.
+/// The bit is set by lookups under the shard's *read* lock (it is atomic),
+/// and swept/cleared by the eviction clock under the write lock.
+#[derive(Debug)]
+struct CacheEntry {
     /// `None` = SID proven absent from its partial. Nodes are shared
     /// `Arc`s: a hit is a refcount bump, never a word-vector copy.
-    map: HashMap<Key, Option<Arc<PackedBits>>>,
+    value: Option<Arc<PackedBits>>,
+    referenced: AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Key, CacheEntry>,
+    /// Clock ring in admission order. May hold stale keys of entries the
+    /// sweep already removed; those are discarded when the hand reaches
+    /// them. Every resident key appears exactly once.
+    ring: VecDeque<Key>,
     bytes: usize,
 }
 
@@ -119,13 +136,21 @@ impl SharedNodeCache {
 
     /// Looks up a decoded node. `Some(None)` means the cache *knows* the
     /// SID is absent from its partial; `None` is a plain miss. Hits hand
-    /// back a shared `Arc` — no allocation inside the read lock.
+    /// back a shared `Arc` — no allocation inside the read lock — and set
+    /// the entry's clock reference bit, which is what lets hot nodes
+    /// survive a cold scan's eviction pressure.
     pub fn get(&self, partial_page: u64, sid: u64) -> Option<Option<Arc<PackedBits>>> {
         if self.is_disabled() {
             return None;
         }
         let key = (partial_page, sid);
-        let found = self.shard(key).read().unwrap().map.get(&key).cloned();
+        let found = {
+            let shard = self.shard(key).read().unwrap();
+            shard.map.get(&key).map(|e| {
+                e.referenced.store(true, Ordering::Relaxed);
+                e.value.clone()
+            })
+        };
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -139,8 +164,10 @@ impl SharedNodeCache {
     }
 
     /// Admits a decoded node (or a proven absence). Entries heavier than a
-    /// whole shard budget are not cached; under pressure arbitrary
-    /// residents of the target shard are evicted until the newcomer fits.
+    /// whole shard budget are not cached; under pressure the shard's clock
+    /// sweeps its ring — entries referenced since the last sweep get a
+    /// second chance (bit cleared, moved behind the hand), unreferenced
+    /// ones are evicted — until the newcomer fits.
     pub fn insert(&self, partial_page: u64, sid: u64, value: Option<Arc<PackedBits>>) {
         if self.is_disabled() {
             return;
@@ -154,31 +181,24 @@ impl SharedNodeCache {
         if shard.map.contains_key(&key) {
             return; // another query decoded it first; values are identical
         }
-        if shard.bytes + w > self.shard_budget {
-            let victims: Vec<Key> = {
-                let mut freed = 0usize;
-                shard
-                    .map
-                    .iter()
-                    .take_while(|(_, v)| {
-                        let done = shard.bytes - freed + w <= self.shard_budget;
-                        if !done {
-                            freed += weight_of(v);
-                        }
-                        !done
-                    })
-                    .map(|(&k, _)| k)
-                    .collect()
+        while shard.bytes + w > self.shard_budget {
+            let Some(hand) = shard.ring.pop_front() else {
+                break; // ring empty: nothing left to evict
             };
-            for v in victims {
-                if let Some(old) = shard.map.remove(&v) {
-                    shard.bytes -= weight_of(&old);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+            let Some(entry) = shard.map.get(&hand) else {
+                continue; // stale ring slot of an already-removed entry
+            };
+            if entry.referenced.swap(false, Ordering::Relaxed) {
+                shard.ring.push_back(hand); // second chance
+                continue;
             }
+            let old = shard.map.remove(&hand).expect("entry checked present");
+            shard.bytes -= weight_of(&old.value);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         shard.bytes += w;
-        shard.map.insert(key, value);
+        shard.ring.push_back(key);
+        shard.map.insert(key, CacheEntry { value, referenced: AtomicBool::new(false) });
     }
 
     /// Drops every entry and resets occupancy (the epoch bump on
@@ -187,6 +207,7 @@ impl SharedNodeCache {
         for shard in &self.shards {
             let mut s = shard.write().unwrap();
             s.map.clear();
+            s.ring.clear();
             s.bytes = 0;
         }
     }
@@ -258,6 +279,36 @@ mod tests {
         assert!(s.bytes <= budget, "resident {} must respect budget {budget}", s.bytes);
         assert!(s.evictions > 0, "pressure must evict");
         assert!(s.entries > 0, "evictions must leave room for newcomers");
+    }
+
+    #[test]
+    fn hot_nodes_survive_a_cold_scan() {
+        // The clock must give recently-probed nodes a second chance: park
+        // a hot working set, keep probing it the way repeat queries do,
+        // and pour a cold scan (every key touched once, never again)
+        // through the cache. The cold entries — unreferenced when the
+        // hand reaches them — must be the victims.
+        let cache = SharedNodeCache::new(64 << 10);
+        let hot: Vec<u64> = (0..32).map(|i| 1_000_000 + i).collect();
+        for &k in &hot {
+            cache.insert(k, k, Some(bits(64)));
+        }
+        let touch_hot = |cache: &SharedNodeCache| {
+            for &k in &hot {
+                assert!(cache.get(k, k).is_some(), "hot node {k} must stay resident");
+            }
+        };
+        touch_hot(&cache);
+        for i in 0..1_600u64 {
+            cache.insert(i, i, Some(bits(64)));
+            if i % 400 == 399 {
+                touch_hot(&cache); // the hot set stays hot while serving
+            }
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "the cold scan must create real pressure");
+        touch_hot(&cache);
+        assert!(s.bytes <= 64 << 10, "budget holds under the scan");
     }
 
     #[test]

@@ -11,11 +11,12 @@
 use rcube_func::RankFn;
 use rcube_index::rtree::RTree;
 use rcube_index::{HierIndex, NodeHandle};
-use rcube_storage::DiskSim;
+use rcube_storage::{DiskSim, IoSnapshot, StorageError};
 use rcube_table::Tid;
 
+use crate::query::{ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
 use crate::sigcube::{Pruner, SignatureCube};
-use crate::{QueryStats, TopKHeap, TopKQuery, TopKResult};
+use crate::{QueryStats, TopKQuery, TopKResult};
 
 #[derive(Debug)]
 enum Entry {
@@ -54,7 +55,8 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// Answers a top-k query over `rtree` with Boolean pruning from `cube`.
+/// Answers a top-k query over `rtree` with Boolean pruning from `cube` —
+/// a thin batch wrapper: open a progressive cursor, drain `k` answers.
 ///
 /// `query.ranking_dims` indexes into the *relation's* ranking dimensions;
 /// they must be covered by the R-tree (which is built over all of them by
@@ -65,10 +67,9 @@ pub fn topk_signature<F: RankFn>(
     query: &TopKQuery<F>,
     disk: &DiskSim,
 ) -> TopKResult {
-    // Snapshot I/O before pruner construction so assembly / root-probe
-    // reads are part of the reported query cost.
-    let before = disk.stats().snapshot();
-    run_topk(rtree, query, disk, cube.pruner_for(&query.selection, disk), before)
+    cube.source(rtree, disk)
+        .query(&query.plan())
+        .unwrap_or_else(|e| panic!("storage error during query: {e}"))
 }
 
 /// [`topk_signature`] driven by the eager assembled pruner — the
@@ -81,97 +82,181 @@ pub fn topk_signature_assembled<F: RankFn>(
     query: &TopKQuery<F>,
     disk: &DiskSim,
 ) -> TopKResult {
+    // Snapshot I/O before pruner construction so assembly reads are part
+    // of the reported query cost.
     let before = disk.stats().snapshot();
-    run_topk(rtree, query, disk, cube.eager_pruner_for(&query.selection, disk), before)
+    let pruner = cube.eager_pruner_for(&query.selection, disk);
+    let plan = query.plan();
+    let search = SigSearch::new(rtree, disk, &plan, pruner, before);
+    TopKCursor::new(Box::new(search), plan.k).drain()
 }
 
-fn run_topk<F: RankFn>(
-    rtree: &RTree,
-    query: &TopKQuery<F>,
-    disk: &DiskSim,
-    pruner: Option<Pruner<'_>>,
-    before: rcube_storage::IoSnapshot,
-) -> TopKResult {
-    let mut stats = QueryStats::default();
+/// A `(SignatureCube, RTree)` pair bound to a metering device: the
+/// signature engine's [`RankedSource`]. Constructed per query via
+/// [`SignatureCube::source`]; opening a cursor builds the lazy
+/// [`crate::sigcube::LazyIntersection`] pruner (consulting the cube's
+/// shared cross-query node cache) and charges its root probe to the
+/// cursor's stats.
+#[derive(Debug, Clone, Copy)]
+pub struct SigSource<'a> {
+    rtree: &'a RTree,
+    cube: &'a SignatureCube,
+    disk: &'a DiskSim,
+}
 
-    let Some(mut pruner) = pruner else {
-        // Some predicate selects an empty cell (or the assembled
-        // intersection is empty): no tuple qualifies.
-        stats.io = before.delta(&disk.stats().snapshot());
-        return TopKResult { items: Vec::new(), stats };
-    };
+impl SignatureCube {
+    /// Binds this cube and its R-tree partition to a metering device as a
+    /// [`RankedSource`].
+    pub fn source<'a>(&'a self, rtree: &'a RTree, disk: &'a DiskSim) -> SigSource<'a> {
+        SigSource { rtree, cube: self, disk }
+    }
 
-    // Projection of R-tree dimensions onto the query's ranking dimensions.
-    let proj: Vec<usize> = query.ranking_dims.clone();
-    assert!(
-        proj.iter().all(|&d| d < rtree.point_dims()),
-        "query ranking dimension outside the R-tree"
-    );
+    /// True when this cube can answer the plan: every selection dimension
+    /// resolves against a materialized cuboid and the R-tree covers the
+    /// ranking dimensions. The `Engine` facade routes on this.
+    pub fn can_answer(
+        &self,
+        rtree: &RTree,
+        selection: &rcube_table::Selection,
+        ranking_dims: &[usize],
+    ) -> bool {
+        ranking_dims.iter().all(|&d| d < rtree.point_dims())
+            && selection
+                .conds()
+                .iter()
+                .all(|&(d, _)| self.cuboid_dims().iter().any(|dims| dims.contains(&d)))
+    }
+}
 
-    let node_bound = |n: NodeHandle| {
-        let r = rtree.region(n).project(&proj);
-        query.func.lower_bound(&r)
-    };
+impl<'a> RankedSource<'a> for SigSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        // Snapshot I/O before pruner construction so root-probe reads are
+        // part of the reported query cost.
+        let before = self.disk.stats().snapshot();
+        let pruner = self.cube.try_pruner_for(plan.selection, self.disk)?;
+        let search = SigSearch::new(self.rtree, self.disk, plan, pruner, before);
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
 
-    let mut topk = TopKHeap::new(query.k);
-    let mut heap = std::collections::BinaryHeap::new();
-    let root = rtree.root();
-    heap.push(HeapItem { bound: node_bound(root), entry: Entry::Node(root, Vec::new()) });
+/// Algorithm 3 as a resumable state machine. The branch-and-bound heap
+/// already certifies answers on pop — a tuple entry's bound *is* its exact
+/// score, so when one surfaces at the top of the min-heap no unexplored
+/// subtree can beat it. [`Self::advance`] therefore pops until a tuple
+/// passes the Boolean pruner and emits it; pausing keeps the heap and the
+/// pruner's decoded-node memos alive, so `extend_k` resumes mid-descent.
+struct SigSearch<'a> {
+    rtree: &'a RTree,
+    disk: &'a DiskSim,
+    func: &'a dyn RankFn,
+    /// Projection of R-tree dimensions onto the query's ranking dims.
+    proj: Vec<usize>,
+    /// `None`: some predicate selects an empty cell (or an empty
+    /// intersection) — no tuple qualifies, the search never starts.
+    pruner: Option<Pruner<'a>>,
+    heap: std::collections::BinaryHeap<HeapItem>,
+    stats: QueryStats,
+    before: IoSnapshot,
+}
 
-    while let Some(HeapItem { bound, entry }) = heap.pop() {
-        if topk.kth_score() <= bound {
-            break;
+impl<'a> SigSearch<'a> {
+    fn new(
+        rtree: &'a RTree,
+        disk: &'a DiskSim,
+        plan: &QueryPlan<'a>,
+        pruner: Option<Pruner<'a>>,
+        before: IoSnapshot,
+    ) -> Self {
+        let proj: Vec<usize> = plan.ranking_dims.to_vec();
+        assert!(
+            proj.iter().all(|&d| d < rtree.point_dims()),
+            "query ranking dimension outside the R-tree"
+        );
+        let mut heap = std::collections::BinaryHeap::new();
+        if pruner.is_some() {
+            let root = rtree.root();
+            let bound = plan.func.lower_bound(&rtree.region(root).project(&proj));
+            heap.push(HeapItem { bound, entry: Entry::Node(root, Vec::new()) });
         }
-        // Boolean pruning: the entry's path must pass every cursor.
-        let path = match &entry {
-            Entry::Node(_, p) => p,
-            Entry::Tuple(_, p, _) => p,
+        Self {
+            rtree,
+            disk,
+            func: plan.func,
+            proj,
+            pruner,
+            heap,
+            stats: QueryStats::default(),
+            before,
+        }
+    }
+}
+
+impl ProgressiveSearch for SigSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        let Some(pruner) = self.pruner.as_mut() else {
+            return Ok(None);
         };
-        if !path.is_empty() && !pruner.check_path(path) {
-            continue;
-        }
-        match entry {
-            Entry::Tuple(tid, _, score) => {
-                topk.offer(tid, score);
-                stats.tuples_scored += 1;
+        while let Some(HeapItem { bound: _, entry }) = self.heap.pop() {
+            // Boolean pruning: the entry's path must pass every cursor.
+            let path = match &entry {
+                Entry::Node(_, p) => p,
+                Entry::Tuple(_, p, _) => p,
+            };
+            if !path.is_empty() && !pruner.try_check_path(path)? {
+                continue;
             }
-            Entry::Node(n, path) => {
-                rtree.read_node(disk, n);
-                stats.blocks_read += 1;
-                if rtree.is_leaf(n) {
-                    for (slot, (tid, point)) in rtree.leaf_entries(n).into_iter().enumerate() {
-                        let values: Vec<f64> = proj.iter().map(|&d| point[d]).collect();
-                        let score = query.func.score(&values);
-                        let mut tpath = path.clone();
-                        tpath.push(slot as u16);
-                        heap.push(HeapItem {
-                            bound: score,
-                            entry: Entry::Tuple(tid, tpath, score),
-                        });
-                        stats.states_generated += 1;
-                    }
-                } else {
-                    for (pos, child) in rtree.children(n).into_iter().enumerate() {
-                        let mut cpath = path.clone();
-                        cpath.push(pos as u16);
-                        heap.push(HeapItem {
-                            bound: node_bound(child),
-                            entry: Entry::Node(child, cpath),
-                        });
-                        stats.states_generated += 1;
+            match entry {
+                Entry::Tuple(tid, _, score) => {
+                    self.stats.tuples_scored += 1;
+                    self.stats.peak_heap = self.stats.peak_heap.max(self.heap.len() as u64);
+                    return Ok(Some((tid, score)));
+                }
+                Entry::Node(n, path) => {
+                    self.rtree.read_node(self.disk, n);
+                    self.stats.blocks_read += 1;
+                    if self.rtree.is_leaf(n) {
+                        for (slot, (tid, point)) in
+                            self.rtree.leaf_entries(n).into_iter().enumerate()
+                        {
+                            let values: Vec<f64> = self.proj.iter().map(|&d| point[d]).collect();
+                            let score = self.func.score(&values);
+                            let mut tpath = path.clone();
+                            tpath.push(slot as u16);
+                            self.heap.push(HeapItem {
+                                bound: score,
+                                entry: Entry::Tuple(tid, tpath, score),
+                            });
+                            self.stats.states_generated += 1;
+                        }
+                    } else {
+                        for (pos, child) in self.rtree.children(n).into_iter().enumerate() {
+                            let bound = self
+                                .func
+                                .lower_bound(&self.rtree.region(child).project(&self.proj));
+                            let mut cpath = path.clone();
+                            cpath.push(pos as u16);
+                            self.heap.push(HeapItem { bound, entry: Entry::Node(child, cpath) });
+                            self.stats.states_generated += 1;
+                        }
                     }
                 }
             }
+            self.stats.peak_heap = self.stats.peak_heap.max(self.heap.len() as u64);
         }
-        stats.peak_heap = stats.peak_heap.max(heap.len() as u64);
+        Ok(None)
     }
 
-    stats.sig_loads = pruner.loads();
-    stats.sig_bytes_decoded = pruner.bytes_decoded();
-    stats.sig_nodes_decoded = pruner.nodes_decoded();
-    stats.shared_node_hits = pruner.shared_node_hits();
-    stats.io = before.delta(&disk.stats().snapshot());
-    TopKResult { items: topk.into_sorted(), stats }
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if let Some(pruner) = &self.pruner {
+            stats.sig_loads = pruner.loads();
+            stats.sig_bytes_decoded = pruner.bytes_decoded();
+            stats.sig_nodes_decoded = pruner.nodes_decoded();
+            stats.shared_node_hits = pruner.shared_node_hits();
+        }
+        stats.io = self.before.delta(&self.disk.stats().snapshot());
+        stats
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,10 @@ impl RankFn for Linear {
     fn arity(&self) -> usize {
         self.weights.len()
     }
+
+    fn linear_weights(&self) -> Option<&[f64]> {
+        Some(&self.weights)
+    }
 }
 
 /// Weighted squared distance `f(N) = Σ wi·(Ni − vi)²` to a target `v`.

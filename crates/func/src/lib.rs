@@ -62,6 +62,13 @@ pub trait RankFn {
 
     /// Number of ranking dimensions the function reads.
     fn arity(&self) -> usize;
+
+    /// For linear functions, the weight vector — lets engines whose plans
+    /// require linearity (the rank-mapping baseline's bound oracle) accept
+    /// a type-erased plan function. `None` for every other family.
+    fn linear_weights(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 impl<F: RankFn + ?Sized> RankFn for &F {
@@ -76,6 +83,9 @@ impl<F: RankFn + ?Sized> RankFn for &F {
     }
     fn arity(&self) -> usize {
         (**self).arity()
+    }
+    fn linear_weights(&self) -> Option<&[f64]> {
+        (**self).linear_weights()
     }
 }
 

@@ -26,10 +26,11 @@ pub use state::JointState;
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use rcube_core::{QueryStats, TopKHeap, TopKResult};
+use rcube_core::query::{MinScored, ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
+use rcube_core::{QueryStats, TopKResult};
 use rcube_func::RankFn;
 use rcube_index::{HierIndex, NodeHandle};
-use rcube_storage::DiskSim;
+use rcube_storage::{DiskSim, IoSnapshot, StorageError};
 use rcube_table::Tid;
 
 use expand::{ExpandCounters, Machine, NeighborhoodMachine, ThresholdMachine};
@@ -57,7 +58,7 @@ pub enum Expansion {
 }
 
 /// Query configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct MergeConfig {
     pub algo: MergeAlgo,
     pub expansion: Expansion,
@@ -146,7 +147,8 @@ impl<'a> IndexMerge<'a> {
         self.indices.iter().map(|i| i.dims()).sum()
     }
 
-    /// Answers a top-k query.
+    /// Answers a top-k query — a thin batch wrapper: open a progressive
+    /// cursor, drain `k` answers.
     pub fn topk(
         &self,
         f: &dyn RankFn,
@@ -155,203 +157,113 @@ impl<'a> IndexMerge<'a> {
         disk: &DiskSim,
     ) -> TopKResult {
         assert_eq!(f.arity(), self.total_dims(), "function arity must cover all merged dims");
-        let before = disk.stats().snapshot();
-        let mut run = Run::new(&self.indices, f, k);
-        let mut sig = JoinSigCursor::new(self.signatures.iter().collect(), disk);
-        match config.algo {
-            MergeAlgo::Basic => self.run_basic(&mut run, disk),
-            MergeAlgo::Progressive => {
-                self.run_progressive(&mut run, &mut sig, config.expansion, disk)
-            }
-        }
-        let mut stats = run.stats;
-        stats.sig_loads = sig.loads;
-        stats.sig_bytes_decoded = sig.bytes_loaded;
-        stats.io = before.delta(&disk.stats().snapshot());
-        TopKResult { items: run.topk.into_sorted(), stats }
+        let search = MergeSearch::new(self, f, config, disk);
+        TopKCursor::new(Box::new(search), k).drain()
     }
 
-    /// Algorithm 4: full expansion.
-    fn run_basic(&self, run: &mut Run<'_>, disk: &DiskSim) {
-        let mut heap: BinaryHeap<StateItem<JointState>> = BinaryHeap::new();
-        let root = JointState::root(&self.indices);
-        let mut seq = 0u64;
-        heap.push(StateItem { bound: root.lower_bound(&self.indices, run.f), seq, payload: root });
-        while let Some(StateItem { bound, payload: s, .. }) = heap.pop() {
-            if run.topk.kth_score() <= bound {
-                break;
-            }
-            if s.is_leaf(&self.indices) {
-                run.retrieve_leaf_state(&s, disk);
-            } else {
-                let entries = s.child_entries(&self.indices);
-                let mut picks = vec![0usize; entries.len()];
-                loop {
-                    let child = JointState {
-                        nodes: picks.iter().zip(&entries).map(|(&p, e)| e[p]).collect(),
-                    };
-                    seq += 1;
-                    heap.push(StateItem {
-                        bound: child.lower_bound(&self.indices, run.f),
-                        seq,
-                        payload: child,
-                    });
-                    run.stats.states_generated += 1;
-                    // Odometer.
-                    let mut j = 0;
-                    while j < picks.len() {
-                        picks[j] += 1;
-                        if picks[j] < entries[j].len() {
-                            break;
-                        }
-                        picks[j] = 0;
-                        j += 1;
-                    }
-                    if j == picks.len() {
-                        break;
-                    }
-                }
-            }
-            run.stats.peak_heap = run.stats.peak_heap.max(heap.len() as u64);
-        }
-    }
-
-    /// Algorithm 5: double-heap progressive expansion.
-    fn run_progressive(
-        &self,
-        run: &mut Run<'_>,
-        sig: &mut JoinSigCursor<'_>,
-        expansion: Expansion,
-        disk: &DiskSim,
-    ) {
-        enum GEntry {
-            Leaf(JointState),
-            Expand(JointState, Option<Machine>),
-        }
-        let mut heap: BinaryHeap<StateItem<GEntry>> = BinaryHeap::new();
-        let mut counters = ExpandCounters::default();
-        let mut seq = 0u64;
-        let root = JointState::root(&self.indices);
-        let root_bound = root.lower_bound(&self.indices, run.f);
-        let entry = if root.is_leaf(&self.indices) {
-            GEntry::Leaf(root)
-        } else {
-            GEntry::Expand(root, None)
-        };
-        heap.push(StateItem { bound: root_bound, seq, payload: entry });
-
-        while let Some(StateItem { bound, payload, .. }) = heap.pop() {
-            if run.topk.kth_score() <= bound {
-                break;
-            }
-            match payload {
-                GEntry::Leaf(s) => run.retrieve_leaf_state(&s, disk),
-                GEntry::Expand(s, machine) => {
-                    let mut machine = match machine {
-                        Some(m) => m,
-                        None => {
-                            // First expansion: bloom false positives are
-                            // corrected here — a state absent from the
-                            // signature is empty (Section 5.3.3).
-                            if !sig.is_empty() && !sig.check_state(&s.key(&self.indices)) {
-                                continue;
-                            }
-                            self.make_machine(&s, run.f, expansion, sig, &mut counters)
-                        }
-                    };
-                    if let Some(child) = machine.get_next(&self.indices, run.f, sig, &mut counters)
-                    {
-                        let cb = child.lower_bound(&self.indices, run.f);
-                        seq += 1;
-                        let centry = if child.is_leaf(&self.indices) {
-                            GEntry::Leaf(child)
-                        } else {
-                            GEntry::Expand(child, None)
-                        };
-                        heap.push(StateItem { bound: cb.max(bound), seq, payload: centry });
-                        let rb = machine.remaining_bound();
-                        if rb.is_finite() {
-                            seq += 1;
-                            heap.push(StateItem {
-                                bound: rb,
-                                seq,
-                                payload: GEntry::Expand(s, Some(machine)),
-                            });
-                        }
-                    }
-                }
-            }
-            run.stats.states_generated = counters.states_generated;
-            let live = heap.len() as i64 + counters.local_items;
-            run.stats.peak_heap = run.stats.peak_heap.max(live.max(0) as u64);
-        }
-        run.stats.states_generated = counters.states_generated;
-    }
-
-    fn make_machine(
-        &self,
-        s: &JointState,
-        f: &dyn RankFn,
-        expansion: Expansion,
-        sig: &mut JoinSigCursor<'_>,
-        counters: &mut ExpandCounters,
-    ) -> Machine {
-        let use_neighborhood = match expansion {
-            Expansion::Neighborhood => true,
-            Expansion::Threshold => false,
-            Expansion::Auto => NeighborhoodMachine::applicable(&self.indices, f),
-        };
-        if use_neighborhood {
-            Machine::Neighborhood(NeighborhoodMachine::new(&self.indices, s, f, counters))
-        } else {
-            Machine::Threshold(ThresholdMachine::new(&self.indices, s, f, sig, counters))
-        }
+    /// Binds this engine to a metering device (and an algorithm choice) as
+    /// a [`rcube_core::query::RankedSource`].
+    pub fn source<'b>(&'b self, config: MergeConfig, disk: &'b DiskSim) -> MergeSource<'b>
+    where
+        'a: 'b,
+    {
+        MergeSource { merge: self, config, disk }
     }
 }
 
-/// Shared query-run state: leaf retrieval with redundancy tracking and the
-/// hash-merge of partially seen tuples.
-struct Run<'q> {
-    indices: &'q [&'q dyn HierIndex],
+/// An [`IndexMerge`] bound to its metering device and algorithm choice:
+/// the merge engine's `RankedSource`. Index-merge ranks the *whole*
+/// relation (Chapter 5 has no Boolean selections), so plans routed here
+/// must carry an empty selection, and the ranking function's arity must
+/// cover every merged dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeSource<'a> {
+    merge: &'a IndexMerge<'a>,
+    config: MergeConfig,
+    disk: &'a DiskSim,
+}
+
+impl<'a> RankedSource<'a> for MergeSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        assert!(
+            plan.selection.is_empty(),
+            "index-merge ranks the whole relation; Boolean selections are not supported"
+        );
+        assert_eq!(
+            plan.func.arity(),
+            self.merge.total_dims(),
+            "function arity must cover all merged dims"
+        );
+        let search = MergeSearch::new(self.merge, plan.func, &self.config, self.disk);
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
+
+/// A pending progressive-expansion entry: a leaf state ready for
+/// retrieval, or an inner state with its (lazily created) `get_next`
+/// machine.
+enum GEntry {
+    Leaf(JointState),
+    Expand(JointState, Option<Machine>),
+}
+
+/// The per-algorithm frontier.
+enum Frontier<'a> {
+    /// Algorithm 4: full expansion (`BL`).
+    Basic { heap: BinaryHeap<StateItem<JointState>> },
+    /// Algorithm 5: double-heap progressive expansion (`PE` / `PE+SIG`).
+    Progressive {
+        heap: BinaryHeap<StateItem<GEntry>>,
+        sig: JoinSigCursor<'a>,
+        expansion: Expansion,
+    },
+}
+
+/// Algorithms 4/5 as one resumable state machine. Joint states pop from
+/// the frontier heap in lower-bound order; leaf retrievals hash-merge
+/// partially seen tuples and fully merged ones enter a `(score, tid)`
+/// candidate heap. [`ProgressiveSearch::advance`] emits the cheapest
+/// candidate once its score is ≤ the frontier's best remaining bound — no
+/// state still pending (or any of its descendants, whose bounds only
+/// grow) can produce anything cheaper. Pausing keeps both heaps, the
+/// redundant-leaf set and the partial-merge table alive, so `extend_k`
+/// resumes mid-merge.
+struct MergeSearch<'a> {
+    state: MergeState<'a>,
+    frontier: Frontier<'a>,
+    counters: ExpandCounters,
+    seq: u64,
+    before: IoSnapshot,
+}
+
+/// The merge half of [`MergeSearch`] — leaf retrieval with redundancy
+/// tracking and the hash-merge of partially seen tuples — split from the
+/// frontier so [`MergeSearch::step`] can retrieve leaves while holding a
+/// mutable borrow of the frontier heap.
+struct MergeState<'a> {
+    indices: Vec<&'a dyn HierIndex>,
     offsets: Vec<usize>,
     total_dims: usize,
-    f: &'q dyn RankFn,
+    f: &'a dyn RankFn,
+    disk: &'a DiskSim,
     read_leaves: HashSet<(usize, NodeHandle)>,
     partial: HashMap<Tid, (u32, Vec<f64>)>,
-    topk: TopKHeap,
-    stats: QueryStats,
     full_mask: u32,
+    /// Fully merged tuples not yet certified/emitted, cheapest first.
+    candidates: BinaryHeap<MinScored>,
+    stats: QueryStats,
 }
 
-impl<'q> Run<'q> {
-    fn new(indices: &'q [&'q dyn HierIndex], f: &'q dyn RankFn, k: usize) -> Self {
-        let mut offsets = Vec::with_capacity(indices.len());
-        let mut acc = 0;
-        for i in indices {
-            offsets.push(acc);
-            acc += i.dims();
-        }
-        Self {
-            indices,
-            offsets,
-            total_dims: acc,
-            f,
-            read_leaves: HashSet::new(),
-            partial: HashMap::new(),
-            topk: TopKHeap::new(k),
-            stats: QueryStats::default(),
-            full_mask: (1u32 << indices.len()) - 1,
-        }
-    }
-
+impl MergeState<'_> {
     /// Reads the leaf nodes of a leaf state (skipping redundant nodes) and
-    /// merges their tuples; fully merged tuples are scored and offered.
-    fn retrieve_leaf_state(&mut self, s: &JointState, disk: &DiskSim) {
+    /// merges their tuples; fully merged tuples are scored and pushed into
+    /// the candidate heap.
+    fn retrieve_leaf_state(&mut self, s: &JointState) {
         for (i, &node) in s.nodes.iter().enumerate() {
             if !self.read_leaves.insert((i, node)) {
                 continue; // redundant node
             }
-            self.indices[i].read_node(disk, node);
+            self.indices[i].read_node(self.disk, node);
             self.stats.blocks_read += 1;
             for (tid, values) in self.indices[i].leaf_entries(node) {
                 let (mask, point) =
@@ -362,12 +274,228 @@ impl<'q> Run<'q> {
                 *mask |= 1 << i;
                 if *mask == self.full_mask {
                     let score = self.f.score(point);
-                    self.topk.offer(tid, score);
+                    self.candidates.push(MinScored(score, tid));
                     self.stats.tuples_scored += 1;
                     self.partial.remove(&tid);
                 }
             }
         }
+    }
+}
+
+impl<'a> MergeSearch<'a> {
+    fn new(
+        merge: &'a IndexMerge<'a>,
+        f: &'a dyn RankFn,
+        config: &MergeConfig,
+        disk: &'a DiskSim,
+    ) -> Self {
+        let indices = merge.indices.clone();
+        let offsets = merge.dim_offsets();
+        let total_dims = merge.total_dims();
+        let before = disk.stats().snapshot();
+        let root = JointState::root(&indices);
+        let root_bound = root.lower_bound(&indices, f);
+        let frontier = match config.algo {
+            MergeAlgo::Basic => {
+                let mut heap = BinaryHeap::new();
+                heap.push(StateItem { bound: root_bound, seq: 0, payload: root });
+                Frontier::Basic { heap }
+            }
+            MergeAlgo::Progressive => {
+                let mut heap = BinaryHeap::new();
+                let entry = if root.is_leaf(&indices) {
+                    GEntry::Leaf(root)
+                } else {
+                    GEntry::Expand(root, None)
+                };
+                heap.push(StateItem { bound: root_bound, seq: 0, payload: entry });
+                Frontier::Progressive {
+                    heap,
+                    sig: JoinSigCursor::new(merge.signatures.iter().collect(), disk),
+                    expansion: config.expansion,
+                }
+            }
+        };
+        let full_mask = (1u32 << indices.len()) - 1;
+        Self {
+            state: MergeState {
+                indices,
+                offsets,
+                total_dims,
+                f,
+                disk,
+                read_leaves: HashSet::new(),
+                partial: HashMap::new(),
+                full_mask,
+                candidates: BinaryHeap::new(),
+                stats: QueryStats::default(),
+            },
+            frontier,
+            counters: ExpandCounters::default(),
+            seq: 0,
+            before,
+        }
+    }
+
+    /// Lower bound of the best state still pending, if any.
+    fn frontier_bound(&self) -> Option<f64> {
+        match &self.frontier {
+            Frontier::Basic { heap } => heap.peek().map(|i| i.bound),
+            Frontier::Progressive { heap, .. } => heap.peek().map(|i| i.bound),
+        }
+    }
+
+    /// Pops and processes one frontier state; `false` when the frontier is
+    /// exhausted.
+    fn step(&mut self) -> bool {
+        let state = &mut self.state;
+        match &mut self.frontier {
+            Frontier::Basic { heap } => {
+                let Some(StateItem { payload: s, .. }) = heap.pop() else {
+                    return false;
+                };
+                if s.is_leaf(&state.indices) {
+                    state.retrieve_leaf_state(&s);
+                } else {
+                    let entries = s.child_entries(&state.indices);
+                    let mut picks = vec![0usize; entries.len()];
+                    loop {
+                        let child = JointState {
+                            nodes: picks.iter().zip(&entries).map(|(&p, e)| e[p]).collect(),
+                        };
+                        self.seq += 1;
+                        heap.push(StateItem {
+                            bound: child.lower_bound(&state.indices, state.f),
+                            seq: self.seq,
+                            payload: child,
+                        });
+                        state.stats.states_generated += 1;
+                        // Odometer.
+                        let mut j = 0;
+                        while j < picks.len() {
+                            picks[j] += 1;
+                            if picks[j] < entries[j].len() {
+                                break;
+                            }
+                            picks[j] = 0;
+                            j += 1;
+                        }
+                        if j == picks.len() {
+                            break;
+                        }
+                    }
+                }
+                state.stats.peak_heap = state.stats.peak_heap.max(heap.len() as u64);
+            }
+            Frontier::Progressive { heap, sig, expansion } => {
+                let Some(StateItem { bound, payload, .. }) = heap.pop() else {
+                    return false;
+                };
+                match payload {
+                    GEntry::Leaf(s) => state.retrieve_leaf_state(&s),
+                    GEntry::Expand(s, machine) => {
+                        let mut machine = match machine {
+                            Some(m) => m,
+                            None => {
+                                // First expansion: bloom false positives are
+                                // corrected here — a state absent from the
+                                // signature is empty (Section 5.3.3).
+                                if !sig.is_empty() && !sig.check_state(&s.key(&state.indices)) {
+                                    return true;
+                                }
+                                make_machine(
+                                    &state.indices,
+                                    &s,
+                                    state.f,
+                                    *expansion,
+                                    sig,
+                                    &mut self.counters,
+                                )
+                            }
+                        };
+                        if let Some(child) =
+                            machine.get_next(&state.indices, state.f, sig, &mut self.counters)
+                        {
+                            let cb = child.lower_bound(&state.indices, state.f);
+                            self.seq += 1;
+                            let centry = if child.is_leaf(&state.indices) {
+                                GEntry::Leaf(child)
+                            } else {
+                                GEntry::Expand(child, None)
+                            };
+                            heap.push(StateItem {
+                                bound: cb.max(bound),
+                                seq: self.seq,
+                                payload: centry,
+                            });
+                            let rb = machine.remaining_bound();
+                            if rb.is_finite() {
+                                self.seq += 1;
+                                heap.push(StateItem {
+                                    bound: rb,
+                                    seq: self.seq,
+                                    payload: GEntry::Expand(s, Some(machine)),
+                                });
+                            }
+                        }
+                    }
+                }
+                state.stats.states_generated = self.counters.states_generated;
+                let live = heap.len() as i64 + self.counters.local_items;
+                state.stats.peak_heap = state.stats.peak_heap.max(live.max(0) as u64);
+            }
+        }
+        true
+    }
+}
+
+impl ProgressiveSearch for MergeSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        loop {
+            // Certify: a merged tuple is an answer once no pending state's
+            // bound undercuts it (descendant bounds only grow, and every
+            // not-yet-merged tuple is covered by a pending state).
+            if let Some(MinScored(score, _)) = self.state.candidates.peek() {
+                if self.frontier_bound().is_none_or(|b| *score <= b) {
+                    let MinScored(score, tid) = self.state.candidates.pop().unwrap();
+                    return Ok(Some((tid, score)));
+                }
+            }
+            if !self.step() {
+                return Ok(self.state.candidates.pop().map(|MinScored(s, t)| (t, s)));
+            }
+        }
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.state.stats;
+        if let Frontier::Progressive { sig, .. } = &self.frontier {
+            stats.sig_loads = sig.loads;
+            stats.sig_bytes_decoded = sig.bytes_loaded;
+        }
+        stats.io = self.before.delta(&self.state.disk.stats().snapshot());
+        stats
+    }
+}
+
+fn make_machine(
+    indices: &[&dyn HierIndex],
+    s: &JointState,
+    f: &dyn RankFn,
+    expansion: Expansion,
+    sig: &mut JoinSigCursor<'_>,
+    counters: &mut ExpandCounters,
+) -> Machine {
+    let use_neighborhood = match expansion {
+        Expansion::Neighborhood => true,
+        Expansion::Threshold => false,
+        Expansion::Auto => NeighborhoodMachine::applicable(indices, f),
+    };
+    if use_neighborhood {
+        Machine::Neighborhood(NeighborhoodMachine::new(indices, s, f, counters))
+    } else {
+        Machine::Threshold(ThresholdMachine::new(indices, s, f, sig, counters))
     }
 }
 

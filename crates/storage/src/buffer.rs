@@ -162,6 +162,80 @@ impl LruBuffer {
 /// meaningfully large at the default 256-page capacity.
 pub const DEFAULT_POOL_SHARDS: usize = 8;
 
+/// An id-level LRU buffer split into lock stripes — [`LruBuffer`] sharded
+/// the same way [`BufferPool`] was in the concurrent-serving PR, so the
+/// simulated device's hit/miss accounting stops serializing cursor-heavy
+/// concurrent workloads on one mutex. Pages hash to stripes by id
+/// (Fibonacci multiplicative hash, like the pool); each stripe runs its
+/// own LRU over an even slice of the capacity. Per-stripe LRU is an
+/// approximation of global LRU — hit rates differ slightly at tiny
+/// capacities, deterministically for any fixed access sequence.
+#[derive(Debug)]
+pub struct StripedLruBuffer {
+    shards: Vec<Mutex<LruBuffer>>,
+}
+
+impl StripedLruBuffer {
+    /// Buffer holding at most `capacity` pages across
+    /// [`DEFAULT_POOL_SHARDS`] stripes. Zero disables caching (every read
+    /// is a physical read). The stripe count is clamped so no stripe
+    /// starts with zero capacity unless the whole buffer is disabled.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_POOL_SHARDS)
+    }
+
+    /// Buffer with an explicit stripe count (clamped to `capacity`).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).min(capacity.max(1));
+        let (per, extra) = (capacity / n, capacity % n);
+        let shards =
+            (0..n).map(|i| Mutex::new(LruBuffer::new(per + usize::from(i < extra)))).collect();
+        Self { shards }
+    }
+
+    fn shard(&self, page: PageId) -> &Mutex<LruBuffer> {
+        let h = page.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Touches `page` in its stripe; returns `true` on a hit.
+    pub fn touch(&self, page: PageId) -> bool {
+        self.shard(page).lock().unwrap().touch(page)
+    }
+
+    /// True when `page` is cached (without promoting it).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shard(page).lock().unwrap().contains(page)
+    }
+
+    /// Pages currently cached across stripes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity across stripes.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().capacity()).sum()
+    }
+
+    /// Empties every stripe (cold-cache measurement point).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
 /// Point-in-time counters of one buffer-pool shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolShardStats {
@@ -611,6 +685,60 @@ mod tests {
         lru.clear();
         assert!(lru.is_empty());
         assert!(!lru.touch(p(0)));
+    }
+
+    #[test]
+    fn striped_miss_then_hit_and_clear() {
+        let buf = StripedLruBuffer::new(16);
+        assert!(!buf.touch(p(3)));
+        assert!(buf.touch(p(3)));
+        assert!(buf.contains(p(3)));
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(!buf.touch(p(3)));
+    }
+
+    #[test]
+    fn striped_capacity_splits_and_clamps() {
+        let buf = StripedLruBuffer::new(256);
+        assert_eq!(buf.num_shards(), DEFAULT_POOL_SHARDS);
+        assert_eq!(buf.capacity(), 256);
+        // Fewer pages than stripes: clamp so no stripe starts at zero.
+        let tiny = StripedLruBuffer::new(3);
+        assert_eq!(tiny.num_shards(), 3);
+        assert_eq!(tiny.capacity(), 3);
+        // Zero capacity disables caching entirely.
+        let off = StripedLruBuffer::new(0);
+        assert_eq!(off.num_shards(), 1);
+        assert!(!off.touch(p(1)));
+        assert!(!off.touch(p(1)));
+    }
+
+    #[test]
+    fn striped_churn_respects_total_capacity() {
+        let buf = StripedLruBuffer::with_shards(8, 4);
+        for i in 0..1000u64 {
+            buf.touch(p(i % 23));
+            assert!(buf.len() <= 8);
+        }
+        assert!(buf.len() >= 4, "stripes should hold pages after churn");
+    }
+
+    #[test]
+    fn striped_concurrent_touches_are_safe() {
+        let buf = std::sync::Arc::new(StripedLruBuffer::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let buf = std::sync::Arc::clone(&buf);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        buf.touch(p((i * 7 + t) % 100));
+                    }
+                });
+            }
+        });
+        assert!(buf.len() <= 64);
     }
 
     fn frame(n: usize) -> Arc<[u8]> {

@@ -2,19 +2,21 @@
 //!
 //! [`DiskSim`] is the I/O *meter*: components allocate page ids and charge
 //! reads/writes against its shared [`IoStats`], with an id-level LRU
-//! buffer deciding hit vs physical read. It is fully thread-safe (atomic
-//! allocator, mutexed buffer), so a read-only cube can be queried from
-//! multiple threads sharing one device.
+//! buffer deciding hit vs physical read. It is fully thread-safe — atomic
+//! allocator, and the buffer is lock-striped
+//! ([`crate::buffer::StripedLruBuffer`]) the same way the byte-caching
+//! `BufferPool` is, so cursor-heavy concurrent workloads charging hits
+//! against one shared device no longer serialize on a single mutex.
 //!
 //! [`PageStore`] holds real object bytes behind a pluggable
 //! [`PageBackend`]: the in-memory simulator by default, or a checksummed
 //! cube file ([`crate::FileBackend`]) for persistent, reopenable cubes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::backend::{MemBackend, PageBackend, StorageError};
-use crate::buffer::LruBuffer;
+use crate::buffer::StripedLruBuffer;
 use crate::file::{FileBackend, DEFAULT_POOL_PAGES};
 use crate::stats::IoStats;
 use crate::DEFAULT_PAGE_SIZE;
@@ -31,13 +33,13 @@ pub struct PageId(pub u64);
 ///
 /// Interior mutability keeps the call sites ergonomic: query processors
 /// hold `&DiskSim` and charge I/O without threading `&mut` through every
-/// search routine. All interior state is thread-safe (`Mutex` + atomics),
-/// so `&DiskSim` can be shared across query threads.
+/// search routine. All interior state is thread-safe (lock-striped buffer
+/// + atomics), so `&DiskSim` can be shared across query threads.
 #[derive(Debug)]
 pub struct DiskSim {
     page_size: usize,
     stats: Arc<IoStats>,
-    buffer: Mutex<LruBuffer>,
+    buffer: StripedLruBuffer,
     next_page: AtomicU64,
 }
 
@@ -48,7 +50,7 @@ impl DiskSim {
         Self {
             page_size,
             stats: IoStats::new_shared(),
-            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
+            buffer: StripedLruBuffer::new(buffer_pages),
             next_page: AtomicU64::new(0),
         }
     }
@@ -81,7 +83,7 @@ impl DiskSim {
 
     /// Charges a read of `page`; returns `true` if the buffer absorbed it.
     pub fn read(&self, page: PageId) -> bool {
-        let hit = self.buffer.lock().unwrap().touch(page);
+        let hit = self.buffer.touch(page);
         self.stats.record_read(hit);
         hit
     }
@@ -97,7 +99,7 @@ impl DiskSim {
 
     /// Charges a write of `page` (write-through; also populates the buffer).
     pub fn write(&self, page: PageId) {
-        self.buffer.lock().unwrap().touch(page);
+        self.buffer.touch(page);
         self.stats.record_write();
     }
 
@@ -114,7 +116,7 @@ impl DiskSim {
 
     /// Clears the buffer pool (cold-cache measurement point).
     pub fn clear_buffer(&self) {
-        self.buffer.lock().unwrap().clear();
+        self.buffer.clear();
     }
 
     /// Resets the I/O counters.

@@ -36,7 +36,9 @@ pub mod stats;
 
 pub use backend::{MemBackend, PageBackend, StorageError};
 pub use bits::{bits_for, BitReader, BitWriter, PackedBits};
-pub use buffer::{BufferPool, LruBuffer, PoolShardStats, PoolStats, DEFAULT_POOL_SHARDS};
+pub use buffer::{
+    BufferPool, LruBuffer, PoolShardStats, PoolStats, StripedLruBuffer, DEFAULT_POOL_SHARDS,
+};
 pub use disk::{DiskSim, PageId, PageStore};
 pub use file::{FileBackend, DEFAULT_POOL_PAGES};
 pub use format::{ByteReader, ByteWriter};

@@ -1,5 +1,6 @@
-//! Quickstart: build a ranking cube over a small relation and answer a
-//! top-k query with a multi-dimensional selection.
+//! Quickstart: build a ranking cube behind the [`Engine`] front door and
+//! *stream* a top-k query — answers arrive progressively, in score order,
+//! and pagination resumes the search instead of re-running it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -28,25 +29,47 @@ fn main() {
     }
     let relation = builder.finish();
 
-    // Offline: materialize the ranking cube on a simulated paged disk.
-    let disk = DiskSim::with_defaults();
-    let cube = GridRankingCube::build(&relation, &disk, GridCubeConfig::default());
+    // Offline: materialize the grid ranking cube behind the engine front
+    // door (the engine owns the simulated paged disk).
+    let engine = Engine::new(relation).with_grid_cube(GridCubeConfig::default());
+    let cube = engine.grid_cube().expect("registered above");
     println!(
         "materialized {} cuboids, {} bytes",
         cube.cuboid_dims().len(),
         cube.materialized_bytes()
     );
 
-    // Online: top-2 red sedans (type = 0, color = 1) by price + mileage.
-    let query = TopKQuery::new(vec![(0, 0), (1, 1)], Linear::uniform(2), 2);
-    let result = cube.query(&query, &disk);
-    println!("top-2 answers (tid, score):");
-    for (tid, score) in &result.items {
+    // Online: red sedans (type = 0, color = 1) by price + mileage, built
+    // with the query builder and *streamed* from a progressive cursor.
+    let query = Query::select([(0, 0), (1, 1)]).rank(Linear::uniform(2)).top(2);
+    println!("routing through: {:?}", engine.route(&query));
+
+    let mut cursor = engine.open(&query).expect("open cursor");
+    println!("top-2 answers (tid, score), streamed best-first:");
+    let mut answers = Vec::new();
+    for (tid, score) in cursor.by_ref() {
+        println!("  t{tid}: {score:.2}");
+        answers.push(tid);
+    }
+    assert_eq!(answers, vec![1, 6]);
+
+    // Pagination: extend_k resumes the paused bound-driven frontier — the
+    // blocks the first two answers paid for are never re-read.
+    let before = cursor.stats().blocks_read;
+    cursor.extend_k(2);
+    println!("two more (resumed, not re-run):");
+    for (tid, score) in cursor.by_ref() {
         println!("  t{tid}: {score:.2}");
     }
+    let stats = cursor.stats();
     println!(
-        "blocks read: {}, tuples scored: {}",
-        result.stats.blocks_read, result.stats.tuples_scored
+        "blocks read: {} total ({} for the extension), tuples scored: {}",
+        stats.blocks_read,
+        stats.blocks_read - before,
+        stats.tuples_scored
     );
+
+    // Batch callers get the same answers through the same door.
+    let result = engine.query(&query);
     assert_eq!(result.tids(), vec![1, 6]);
 }

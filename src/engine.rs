@@ -1,0 +1,281 @@
+//! The serving front door: an [`Engine`] owns the metering device and
+//! every materialized access path over one relation, and routes each
+//! [`Query`] to the best registered [`RankedSource`].
+//!
+//! Examples, tests and the concurrent-serving harness all go through this
+//! one surface: build an engine, register the access paths you
+//! materialized, then [`Engine::open`] a progressive cursor (or
+//! [`Engine::query`] for a batch answer). Routing is a static preference
+//! order over the paths that can answer the plan:
+//!
+//! 1. **Grid ranking cube** — covering cuboids over the selection, the
+//!    paper's primary engine;
+//! 2. **Ranking fragments** — the linear-space variant for high selection
+//!    dimensionality;
+//! 3. **Signature cube** — hierarchical partition + top-down search;
+//! 4. **Table scan** — the always-applicable fallback (built implicitly,
+//!    so every well-formed query is answerable).
+
+use rcube_baseline::TableScan;
+use rcube_core::fragments::{FragmentConfig, RankingFragments};
+use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
+use rcube_core::query::{Query, RankedSource, TopKCursor};
+use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
+use rcube_core::TopKResult;
+use rcube_index::rtree::{RTree, RTreeConfig};
+use rcube_storage::{DiskSim, StorageError};
+use rcube_table::Relation;
+
+/// Which access path the engine picked for a query (introspection for
+/// tests and demos).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The grid ranking cube answered.
+    Grid,
+    /// The ranking fragments answered.
+    Fragments,
+    /// The signature cube + R-tree answered.
+    Signature,
+    /// The table-scan fallback answered.
+    Scan,
+}
+
+/// One relation, one metering device, every registered access path.
+#[derive(Debug)]
+pub struct Engine {
+    rel: Relation,
+    disk: DiskSim,
+    grid: Option<GridRankingCube>,
+    fragments: Option<RankingFragments>,
+    signature: Option<(RTree, SignatureCube)>,
+    scan: TableScan,
+}
+
+impl Engine {
+    /// An engine over `rel` with the thesis-default simulated device and
+    /// the table-scan fallback; register cubes with the `with_*` builders.
+    pub fn new(rel: Relation) -> Self {
+        Self::with_disk(rel, DiskSim::with_defaults())
+    }
+
+    /// [`Self::new`] with an explicit device (page size, buffer budget).
+    pub fn with_disk(rel: Relation, disk: DiskSim) -> Self {
+        let scan = TableScan::new(&rel, &disk);
+        Self { rel, disk, grid: None, fragments: None, signature: None, scan }
+    }
+
+    /// Materializes a grid ranking cube (charging construction I/O to the
+    /// engine's device) and registers it as the preferred route.
+    pub fn with_grid_cube(mut self, config: GridCubeConfig) -> Self {
+        self.grid = Some(GridRankingCube::build(&self.rel, &self.disk, config));
+        self
+    }
+
+    /// Materializes ranking fragments and registers them.
+    pub fn with_fragments(mut self, config: FragmentConfig) -> Self {
+        self.fragments = Some(RankingFragments::build(&self.rel, &self.disk, config));
+        self
+    }
+
+    /// Builds an R-tree over the ranking dimensions, materializes a
+    /// signature cube over it, and registers the pair.
+    pub fn with_signature_cube(mut self, rcfg: RTreeConfig, scfg: SignatureCubeConfig) -> Self {
+        let rtree = RTree::over_relation(&self.disk, &self.rel, &[], rcfg);
+        let cube = SignatureCube::build(&self.rel, &rtree, &self.disk, scfg);
+        self.signature = Some((rtree, cube));
+        self
+    }
+
+    /// The relation being served.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// The metering device (I/O counters, buffer control).
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// The registered grid cube, if any.
+    pub fn grid_cube(&self) -> Option<&GridRankingCube> {
+        self.grid.as_ref()
+    }
+
+    /// The registered fragments, if any.
+    pub fn fragments(&self) -> Option<&RankingFragments> {
+        self.fragments.as_ref()
+    }
+
+    /// The registered signature cube + R-tree, if any.
+    pub fn signature_cube(&self) -> Option<&(RTree, SignatureCube)> {
+        self.signature.as_ref()
+    }
+
+    /// The access path [`Self::open`] will use for `query` — the first
+    /// registered source (in preference order) that can answer its plan.
+    ///
+    /// An explicit cuboid cover (`via_cuboids`) only means anything to the
+    /// grid engines, so it pins the route to the grid cube (panicking when
+    /// none is registered or its partition misses a ranking dimension)
+    /// rather than silently dropping the cover on another path.
+    pub fn route(&self, query: &Query) -> Route {
+        let plan = query.plan();
+        if plan.cuboids.is_some() {
+            let grid = self.grid.as_ref().expect("via_cuboids requires a registered grid cube");
+            assert!(
+                plan.ranking_dims.iter().all(|d| grid.ranking_dims().contains(d)),
+                "via_cuboids query ranks on dimensions the grid partition does not cover"
+            );
+            return Route::Grid;
+        }
+        if let Some(grid) = &self.grid {
+            if grid.can_answer(plan.selection, plan.ranking_dims) {
+                return Route::Grid;
+            }
+        }
+        if let Some(frags) = &self.fragments {
+            if frags.can_answer(plan.selection, plan.ranking_dims) {
+                return Route::Fragments;
+            }
+        }
+        if let Some((rtree, cube)) = &self.signature {
+            if cube.can_answer(rtree, plan.selection, plan.ranking_dims) {
+                return Route::Signature;
+            }
+        }
+        Route::Scan
+    }
+
+    /// Opens a resumable progressive cursor for `query` on the best
+    /// registered source. Answers stream in ascending score order;
+    /// `extend_k` paginates without re-running (see
+    /// `rcube_core::query` for the full contract).
+    pub fn open<'e>(&'e self, query: &'e Query) -> Result<TopKCursor<'e>, StorageError> {
+        let plan = query.plan();
+        match self.route(query) {
+            Route::Grid => {
+                self.grid.as_ref().expect("routed to grid").source(&self.disk).open(&plan)
+            }
+            Route::Fragments => {
+                self.fragments.as_ref().expect("routed to fragments").source(&self.disk).open(&plan)
+            }
+            Route::Signature => {
+                let (rtree, cube) = self.signature.as_ref().expect("routed to signature");
+                cube.source(rtree, &self.disk).open(&plan)
+            }
+            Route::Scan => self.scan.source(&self.rel, &self.disk).open(&plan),
+        }
+    }
+
+    /// Batch convenience: open, drain `k` answers, return the result.
+    /// Storage corruption panics; use [`Self::try_query`] on
+    /// possibly-corrupt file-backed paths.
+    pub fn query(&self, query: &Query) -> TopKResult {
+        self.try_query(query).unwrap_or_else(|e| panic!("storage error during query: {e}"))
+    }
+
+    /// Fallible [`Self::query`].
+    pub fn try_query(&self, query: &Query) -> Result<TopKResult, StorageError> {
+        self.open(query)?.try_drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcube_core::query::Query;
+    use rcube_func::Linear;
+    use rcube_table::gen::SyntheticSpec;
+    use rcube_table::Selection;
+
+    fn engine(tuples: usize) -> Engine {
+        let rel = SyntheticSpec { tuples, cardinality: 5, ..Default::default() }.generate();
+        Engine::new(rel)
+            .with_grid_cube(GridCubeConfig { block_size: 64, ..Default::default() })
+            .with_signature_cube(RTreeConfig::small(16), SignatureCubeConfig::default())
+    }
+
+    #[test]
+    fn routes_prefer_grid_then_fall_back_to_scan() {
+        let eng = engine(800);
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(5);
+        assert_eq!(eng.route(&q), Route::Grid);
+
+        // A grid whose partition covers only ranking dim 0 cannot answer a
+        // query ranking on dim 1: the engine must fall through — to the
+        // signature cube when registered, else all the way to the scan.
+        let rel = SyntheticSpec { tuples: 800, cardinality: 5, ..Default::default() }.generate();
+        let narrow = Engine::new(rel).with_grid_cube(GridCubeConfig {
+            block_size: 64,
+            ranking_dims: vec![0],
+            ..Default::default()
+        });
+        let q1 = Query::select([(0, 1)]).rank_on(vec![1], Linear::uniform(1)).top(5);
+        assert_eq!(narrow.route(&q1), Route::Scan);
+        let res = narrow.query(&q1);
+        assert!(!res.items.is_empty(), "scan fallback must still answer");
+        let q0 = Query::select([(0, 1)]).rank_on(vec![0], Linear::uniform(1)).top(5);
+        assert_eq!(narrow.route(&q0), Route::Grid, "covered dims stay on the cube");
+
+        // An explicit cuboid cover pins the route to the grid engine.
+        let qc = Query::select([(0, 1)]).rank(Linear::uniform(2)).via_cuboids(vec![vec![0]]).top(5);
+        assert_eq!(eng.route(&qc), Route::Grid);
+        assert_eq!(eng.query(&qc).items, eng.query(&q).items, "cover {{0}} answers identically");
+    }
+
+    #[test]
+    fn engine_answers_match_naive_scan() {
+        let eng = engine(1_500);
+        let q = Query::select([(0, 1), (1, 2)]).rank(Linear::uniform(2)).top(10);
+        let got = eng.query(&q);
+        let sel = Selection::new(vec![(0, 1), (1, 2)]);
+        let rel = eng.relation();
+        let mut want: Vec<f64> = rel
+            .tids()
+            .filter(|&t| sel.matches(rel, t))
+            .map(|t| rel.ranking_value(t, 0) + rel.ranking_value(t, 1))
+            .collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(10);
+        assert_eq!(got.items.len(), want.len());
+        for (g, w) in got.scores().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cursor_streams_and_extends_through_the_engine() {
+        let eng = engine(2_000);
+        let q = Query::select([(0, 2)]).rank(Linear::new(vec![0.7, 0.3])).top(5);
+        let mut cursor = eng.open(&q).expect("open");
+        let first: Vec<_> = cursor.by_ref().collect();
+        assert_eq!(first.len(), 5);
+        let io_at_5 = cursor.stats().blocks_read;
+        cursor.extend_k(5);
+        let rest: Vec<_> = cursor.by_ref().collect();
+        assert_eq!(rest.len(), 5);
+        // Resumed pagination: answers keep ascending across the boundary.
+        assert!(first.last().unwrap().1 <= rest.first().unwrap().1);
+
+        // A fresh top-10 run reads at least as much as the extension did.
+        let q10 = Query::select([(0, 2)]).rank(Linear::new(vec![0.7, 0.3])).top(10);
+        let fresh = eng.query(&q10);
+        let both: Vec<_> = first.iter().chain(&rest).map(|&(t, s)| (t, s)).collect();
+        assert_eq!(fresh.items, both, "split+extend must equal a fresh top-10");
+        assert!(
+            cursor.stats().blocks_read - io_at_5 <= fresh.stats.blocks_read,
+            "resuming must not read more than re-running"
+        );
+    }
+
+    #[test]
+    fn unregistered_paths_fall_back_to_scan() {
+        let rel = SyntheticSpec { tuples: 300, ..Default::default() }.generate();
+        let eng = Engine::new(rel);
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(4);
+        assert_eq!(eng.route(&q), Route::Scan);
+        let res = eng.query(&q);
+        assert!(res.items.len() <= 4);
+        assert!(res.stats.blocks_read > 0, "scan charges page reads");
+    }
+}

@@ -23,7 +23,20 @@
 //! | [`skyline`] | skyline / dynamic skyline with Boolean predicates | Ch 7 |
 //! | [`baseline`] | table-scan, Boolean-first, ranking-first, rank-mapping | evaluation foils |
 //!
+//! and adds the [`Engine`] front door: one owner for the simulated device
+//! and every materialized access path, routing each query to the best
+//! registered engine.
+//!
 //! ## Quick start
+//!
+//! Every engine speaks one progressive operator
+//! ([`cube::query::RankedSource`]): build a [`Query`] with the
+//! `select(...).rank(...).top(k)` builder, [`Engine::open`] a resumable
+//! cursor, and pull `(tid, score)` answers in ascending score order. The
+//! cursor is the paper's *semi-online computation* made visible: answers
+//! stream as the bound-driven search certifies them, and
+//! [`cube::query::TopKCursor::extend_k`] paginates by resuming the paused
+//! frontier instead of re-running the query.
 //!
 //! ```
 //! use ranking_cube::prelude::*;
@@ -35,14 +48,24 @@
 //! builder.push(&[0, 1], &[0.20, 0.30]);
 //! builder.push(&[0, 1], &[0.10, 0.15]);
 //! builder.push(&[1, 2], &[0.90, 0.80]);
+//! builder.push(&[0, 1], &[0.25, 0.40]);
 //! let relation = builder.finish();
 //!
-//! // Build the grid ranking cube and run a top-1 query.
-//! let disk = DiskSim::with_defaults();
-//! let cube = GridRankingCube::build(&relation, &disk, GridCubeConfig::default());
-//! let query = TopKQuery::new(vec![(0, 0), (1, 1)], Linear::uniform(2), 1);
-//! let result = cube.query(&query, &disk);
-//! assert_eq!(result.tids(), &[1]); // the cheapest matching car
+//! // Offline: materialize the ranking cube behind the engine front door.
+//! let engine = Engine::new(relation).with_grid_cube(GridCubeConfig::default());
+//!
+//! // Online: stream the cheapest type-0/color-1 cars, best first.
+//! let query = Query::select([(0, 0), (1, 1)]).rank(Linear::uniform(2)).top(1);
+//! let mut cursor = engine.open(&query).unwrap();
+//! assert_eq!(cursor.next(), Some((1, 0.25))); // the cheapest matching car
+//!
+//! // Pagination resumes the frontier — no re-execution:
+//! cursor.extend_k(1);
+//! assert_eq!(cursor.next().map(|(tid, _)| tid), Some(0)); // the runner-up
+//!
+//! // Batch callers drain a cursor behind the same door.
+//! let result = engine.query(&Query::select([(0, 0)]).rank(Linear::uniform(2)).top(2));
+//! assert_eq!(result.tids(), vec![1, 0]);
 //! ```
 
 pub use rcube_baseline as baseline;
@@ -55,13 +78,19 @@ pub use rcube_skyline as skyline;
 pub use rcube_storage as storage;
 pub use rcube_table as table;
 
+mod engine;
+
+pub use engine::{Engine, Route};
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::engine::{Engine, Route};
     pub use rcube_baseline::{BooleanFirst, RankMapping, RankingFirst, TableScan};
     pub use rcube_core::fragments::{FragmentConfig, RankingFragments};
     pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
+    pub use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
     pub use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
-    pub use rcube_core::TopKQuery;
+    pub use rcube_core::{QueryStats, TopKQuery, TopKResult};
     pub use rcube_func::{Expr, GeneralSq, L1Dist, Linear, RankFn, Rect, SqDist};
     pub use rcube_index::bptree::BPlusTree;
     pub use rcube_index::grid::GridPartition;
