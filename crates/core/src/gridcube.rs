@@ -1137,15 +1137,16 @@ mod tests {
         clean.verify_integrity().expect("clean file verifies");
         drop(clean);
 
-        // Flip one payload byte in the first object page.
+        // Flip one payload byte in the first object page (the two
+        // superblock slots occupy pages 0 and 1 under format v3).
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[page_size + 40] ^= 0x10;
+        bytes[2 * page_size + 40] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
 
         let tampered = GridRankingCube::open_from_with(&path, 8).expect("superblock still valid");
         match tampered.verify_integrity() {
-            Err(StorageError::ChecksumMismatch { page: 1 }) => {}
-            other => panic!("expected checksum mismatch on page 1, got {other:?}"),
+            Err(StorageError::ChecksumMismatch { page: 2 }) => {}
+            other => panic!("expected checksum mismatch on page 2, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

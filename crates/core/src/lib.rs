@@ -51,7 +51,7 @@ pub mod sigquery;
 pub use gridcube::{GridCubeConfig, GridRankingCube};
 pub use nodecache::{NodeCacheStats, SharedNodeCache};
 pub use query::{ProgressiveSearch, Query, QueryPlan, RankedSource, TopKCursor};
-pub use sigcube::{SignatureCube, SignatureCubeConfig};
+pub use sigcube::{ScrubOutcome, SignatureCube, SignatureCubeConfig};
 
 use rcube_func::RankFn;
 use rcube_storage::IoSnapshot;
@@ -117,6 +117,15 @@ pub struct QueryStats {
     /// (`BENCH_concurrency.json` tracks the resulting `nodes_decoded`
     /// reduction on repeated workloads).
     pub shared_node_hits: u64,
+    /// Transient storage faults absorbed by bounded-backoff retry on the
+    /// engine's open path: the query still succeeded, it just took extra
+    /// attempts (`BENCH_recovery.json` tracks degradation visibility).
+    pub path_retries: u64,
+    /// Routes abandoned for the next-best one after a persistent storage
+    /// fault (signature → grid/fragments → scan). Non-zero means the
+    /// answer is correct but was computed by a degraded, usually slower
+    /// access path.
+    pub path_fallbacks: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

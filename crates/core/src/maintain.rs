@@ -9,6 +9,15 @@
 //! [`crate::sigcube`] instead), clear the old paths over the packed bit
 //! words, set the new paths, and write the signature back — never touching
 //! unaffected cells.
+//!
+//! The write-back is patch-level copy-on-write
+//! ([`SignatureCube::replace_cell`]): the rewritten cell's partials are
+//! *appended* under fresh page ids, the replaced ones retired for a later
+//! vacuum, and only the replaced partials' shared-node-cache entries are
+//! invalidated — untouched cells keep their hot decoded nodes. On a
+//! writable file-backed cube a following [`SignatureCube::commit`]
+//! publishes the patch as the next generation while readers pinned on the
+//! previous one keep streaming it unchanged (`rcube_storage::format`).
 
 use std::collections::HashMap;
 

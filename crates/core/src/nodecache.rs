@@ -17,10 +17,14 @@
 //!   identifies one partial's bytes; cached values never go stale under
 //!   concurrent *reads* (see the "Concurrency model" section of
 //!   `rcube_storage::format`).
-//! * **Epoch invalidation on mutation.** Incremental maintenance replaces
-//!   whole cell signatures ([`crate::sigcube::SignatureCube`] calls
-//!   [`SharedNodeCache::clear`]); in-place page overwrites outside that
-//!   path must do the same.
+//! * **Per-partial invalidation on mutation.** Incremental maintenance
+//!   replaces whole cell signatures copy-on-write: the new partials get
+//!   fresh page ids and the old ones are retired, never reused, so
+//!   [`crate::sigcube::SignatureCube`] calls
+//!   [`SharedNodeCache::invalidate_partial`] for exactly the retired
+//!   pages. Entries for untouched partials stay resident across a
+//!   maintenance commit; [`SharedNodeCache::clear`] remains for full
+//!   epoch bumps (reopen, scrub rollback).
 //! * **Bounded budget, clock eviction.** Each shard tracks its
 //!   approximate byte weight; inserts past the budget run a per-shard
 //!   *clock* (second-chance) sweep: every entry carries an atomic
@@ -201,14 +205,33 @@ impl SharedNodeCache {
         shard.map.insert(key, CacheEntry { value, referenced: AtomicBool::new(false) });
     }
 
-    /// Drops every entry and resets occupancy (the epoch bump on
-    /// structural mutation). Hit/miss/eviction counters keep accumulating.
+    /// Drops every entry and resets occupancy (a full epoch bump; COW
+    /// maintenance prefers [`Self::invalidate_partial`]). Hit/miss/
+    /// eviction counters keep accumulating.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut s = shard.write().unwrap();
             s.map.clear();
             s.ring.clear();
             s.bytes = 0;
+        }
+    }
+
+    /// Drops every node cached from the partial rooted at `partial_page`
+    /// — the per-partial invalidation COW maintenance needs: a replaced
+    /// cell's old partials are retired (their page ids never come back),
+    /// so only their entries go; nodes of untouched partials stay
+    /// resident across the commit. Stale ring slots are left for the
+    /// clock hand to discard, exactly like eviction does.
+    pub fn invalidate_partial(&self, partial_page: u64) {
+        for shard in &self.shards {
+            let mut s = shard.write().unwrap();
+            let doomed: Vec<Key> = s.map.keys().filter(|k| k.0 == partial_page).copied().collect();
+            for key in doomed {
+                if let Some(entry) = s.map.remove(&key) {
+                    s.bytes -= weight_of(&entry.value);
+                }
+            }
         }
     }
 
@@ -320,6 +343,32 @@ mod tests {
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.get(1, 1), None, "cleared entries are gone");
+    }
+
+    #[test]
+    fn invalidate_partial_is_surgical() {
+        let cache = SharedNodeCache::new(1 << 20);
+        // Three partials, several SIDs each.
+        for partial in [10u64, 20, 30] {
+            for sid in 0..5u64 {
+                cache.insert(partial, sid, Some(bits(64)));
+            }
+        }
+        let before = cache.stats();
+        cache.invalidate_partial(20);
+        let after = cache.stats();
+        assert_eq!(after.entries, before.entries - 5, "only the touched partial goes");
+        assert!(after.bytes < before.bytes);
+        for sid in 0..5u64 {
+            assert_eq!(cache.get(20, sid), None, "retired partial fully invalidated");
+            assert!(cache.get(10, sid).is_some(), "untouched partial survives");
+            assert!(cache.get(30, sid).is_some(), "untouched partial survives");
+        }
+        // The ring's stale slots must not break subsequent admission.
+        for i in 0..100u64 {
+            cache.insert(40, i, Some(bits(64)));
+        }
+        assert!(cache.get(40, 99).is_some());
     }
 
     #[test]

@@ -43,10 +43,12 @@
 //! *before* loading a partial: on a repeat query over a hot cuboid the
 //! cursor skips both the partial load and the node decode (metered as
 //! `shared_node_hits`, never as I/O). The cache keys by
-//! `(partial first page id, SID)` — immutable within one store lifetime —
-//! and is cleared whenever incremental maintenance replaces a cell
-//! ([`SignatureCube::replace_cell`]), the epoch rule documented in
-//! `rcube_storage::format`. [`SignatureCube::set_node_cache_budget`]
+//! `(partial first page id, SID)` — page ids are never reused across
+//! generations (commits append, COW maintenance retires), so when
+//! incremental maintenance replaces a cell only the *replaced* partials'
+//! entries are dropped ([`crate::nodecache::SharedNodeCache::invalidate_partial`]);
+//! untouched partials keep their hot decoded nodes across a maintenance
+//! commit. [`SignatureCube::set_node_cache_budget`]
 //! resizes or (with zero) disables it; answers are identical either way.
 //!
 //! Each stored node is prefixed with its SID (Section 4.2.1), making
@@ -59,8 +61,8 @@ use std::sync::Arc;
 use rcube_index::rtree::RTree;
 use rcube_index::HierIndex;
 use rcube_storage::{
-    BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, PackedBits, PageId, PageStore,
-    StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+    BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, FileBackend, PackedBits, PageId,
+    PageStore, StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
 };
 use rcube_table::{Relation, Selection};
 
@@ -158,6 +160,12 @@ impl StoredSignature {
     /// Node levels (root = 1).
     pub fn depth(&self) -> u16 {
         self.depth
+    }
+
+    /// First page id of every partial, in BFS order (fault-injection
+    /// tests poison specific partials through this).
+    pub fn partial_pages(&self) -> &[PageId] {
+        &self.partials
     }
 
     /// Index of the partial that could hold `sid` (the SID may still be
@@ -726,8 +734,21 @@ impl SignatureCube {
         disk: &DiskSim,
         config: SignatureCubeConfig,
     ) -> Self {
+        Self::build_in(rel, rtree, disk, config, PageStore::new())
+    }
+
+    /// [`Self::build`] into an explicit page store. Passing a writable
+    /// file-backed store ([`PageStore::create_file`]) builds the partials
+    /// directly into a cube file; publish with [`Self::commit`] instead of
+    /// copying the finished cube through [`Self::save_to`].
+    pub fn build_in(
+        rel: &Relation,
+        rtree: &RTree,
+        disk: &DiskSim,
+        config: SignatureCubeConfig,
+        store: PageStore,
+    ) -> Self {
         let m = rtree.max_fanout();
-        let store = PageStore::new();
         let dim_sets: Vec<Vec<usize>> = config
             .cuboids
             .clone()
@@ -989,6 +1010,22 @@ impl SignatureCube {
     ) -> Result<(), StorageError> {
         let file = PageStore::create_file(path, page_size, pool_pages)?;
         let scratch = DiskSim::new(page_size, 0);
+        let w = self.encode_catalog(rtree, |old| {
+            let data = self.store.peek(old)?;
+            Ok(file.try_put(&scratch, data.to_vec())?.0)
+        })?;
+        finish_catalog(&file, w)
+    }
+
+    /// Serializes the catalog (cuboid directory plus the R-tree), passing
+    /// each partial's page id through `map_partial` — identity for an
+    /// in-place [`Self::commit`], a page-by-page copy for
+    /// [`Self::save_to`] / [`Self::vacuum_to`] into another file.
+    fn encode_catalog(
+        &self,
+        rtree: &RTree,
+        mut map_partial: impl FnMut(PageId) -> Result<u64, StorageError>,
+    ) -> Result<ByteWriter, StorageError> {
         let mut w = ByteWriter::new();
         w.put_u8(CATALOG_SIG);
         w.put_u64(self.m as u64);
@@ -1013,8 +1050,7 @@ impl SignatureCube {
                 w.put_u64(stored.depth as u64);
                 w.put_u64(stored.partials.len() as u64);
                 for &old in &stored.partials {
-                    let data = self.store.peek(old)?;
-                    w.put_u64(file.try_put(&scratch, data.to_vec())?.0);
+                    w.put_u64(map_partial(old)?);
                 }
                 // The per-partial first-SID directory (sorted ascending)
                 // replaces the old per-node sid → partial map, shrinking
@@ -1024,7 +1060,40 @@ impl SignatureCube {
                 }
             }
         }
-        finish_catalog(&file, w)
+        Ok(w)
+    }
+
+    /// Publishes the cube's current state as the *next generation* of its
+    /// own writable file-backed store: the catalog is appended with
+    /// identity-mapped partial ids and the inactive superblock slot is
+    /// stamped (`rcube_storage::format`'s crash-atomic publish point).
+    /// Partials appended since the last commit become durable; partials
+    /// retired by maintenance stay on disk for readers pinned on older
+    /// generations until [`Self::vacuum_to`] compacts them away. Returns
+    /// the generation now committed.
+    pub fn commit(&self, rtree: &RTree) -> Result<u64, StorageError> {
+        let w = self.encode_catalog(rtree, |p| Ok(p.0))?;
+        let scratch = DiskSim::new(DEFAULT_PAGE_SIZE, 0);
+        self.store.put_catalog(&scratch, w.into_bytes())?;
+        self.store.flush()?;
+        Ok(self.store.generation().unwrap_or(0))
+    }
+
+    /// Copy-compacts the cube into a fresh file at `path`: only live
+    /// partials and the current catalog are written, dropping pages
+    /// retired by COW maintenance and the catalogs of superseded
+    /// generations. Returns the number of pages the source store had
+    /// accounted as reclaimable (zero on in-memory stores, which free
+    /// retired objects immediately).
+    pub fn vacuum_to(
+        &self,
+        rtree: &RTree,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<u64, StorageError> {
+        self.save_to_with(rtree, path, page_size, pool_pages)?;
+        Ok(self.store.reclaimable_pages())
     }
 
     /// Reopens a `(SignatureCube, RTree)` pair saved by [`Self::save_to`],
@@ -1038,8 +1107,35 @@ impl SignatureCube {
         path: impl AsRef<std::path::Path>,
         pool_pages: usize,
     ) -> Result<(Self, RTree), StorageError> {
+        Self::from_store(PageStore::open_file(path, pool_pages)?)
+    }
+
+    /// Reopens a cube file *writable*: the newest committed generation is
+    /// served as usual, appends land after it, and [`Self::commit`]
+    /// publishes the next generation — incremental maintenance without a
+    /// full rewrite.
+    pub fn open_writable(path: impl AsRef<std::path::Path>) -> Result<(Self, RTree), StorageError> {
+        Self::open_writable_with(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Self::open_writable`] with an explicit buffer-pool capacity.
+    pub fn open_writable_with(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<(Self, RTree), StorageError> {
+        Self::from_store(PageStore::open_file_writable(path, pool_pages)?)
+    }
+
+    /// Decodes the catalog of an already-opened store into a queryable
+    /// `(SignatureCube, RTree)` pair — the entry point for stores over
+    /// custom backends (e.g. a `rcube_storage::FaultBackend` wrapping a
+    /// cube file in degradation tests).
+    pub fn open_store(store: PageStore) -> Result<(Self, RTree), StorageError> {
+        Self::from_store(store)
+    }
+
+    fn from_store(store: PageStore) -> Result<(Self, RTree), StorageError> {
         const LIMIT: usize = 1 << 30;
-        let store = PageStore::open_file(path, pool_pages)?;
         let catalog = read_catalog(&store, CATALOG_SIG)?;
         let mut r = ByteReader::new(&catalog[1..]);
         let m = r.count(LIMIT)?;
@@ -1087,7 +1183,8 @@ impl SignatureCube {
     }
 
     /// Replaces (or inserts) a cell signature — the write-back step of
-    /// incremental maintenance.
+    /// incremental maintenance, now patch-level COW: the new partials are
+    /// *appended* (fresh page ids), the replaced ones retired.
     pub(crate) fn replace_cell(
         &mut self,
         dims: &[usize],
@@ -1096,16 +1193,71 @@ impl SignatureCube {
         disk: &DiskSim,
     ) {
         let cells = self.cuboids.get_mut(dims).expect("cuboid not materialized");
-        if sig.is_empty() {
-            cells.remove(&vals);
+        let old = if sig.is_empty() {
+            cells.remove(&vals)
         } else {
-            cells.insert(vals, StoredSignature::write(sig, disk, &self.store, self.alpha));
+            cells.insert(vals, StoredSignature::write(sig, disk, &self.store, self.alpha))
+        };
+        // COW retirement: the replaced cell's partials leave the *next*
+        // generation (readers pinned on committed ones keep streaming
+        // their bytes), and only *their* node-cache entries are dropped —
+        // page ids are never reused, so untouched partials keep their hot
+        // decoded nodes across the maintenance commit.
+        if let Some(old) = old {
+            for &page in &old.partials {
+                self.node_cache.invalidate_partial(page.0);
+                self.store
+                    .retire(page)
+                    .unwrap_or_else(|e| panic!("SignatureCube::replace_cell retire {page:?}: {e}"));
+            }
         }
-        // Epoch bump: a structural mutation invalidates the shared node
-        // cache wholesale (see `rcube_storage::format`'s concurrency
-        // model). Stale per-page keys would otherwise outlive the cell.
-        self.node_cache.clear();
     }
+
+    /// Deep-verifies the cube file at `path`, repairing by rollback when
+    /// possible: the newest committed generation is opened and scrubbed
+    /// (full catalog decode plus [`Self::verify_integrity`]); on damage
+    /// the *previous* generation is scrubbed the same way, and if it is
+    /// clean the newest superblock slot is zeroed
+    /// ([`FileBackend::rollback_latest`]) so every subsequent open serves
+    /// the last good generation. Errors when neither generation verifies
+    /// (the file is left untouched). Call with no writable handle open.
+    pub fn scrub_path(path: impl AsRef<std::path::Path>) -> Result<ScrubOutcome, StorageError> {
+        let path = path.as_ref();
+        let latest = Self::open_from_with(path, DEFAULT_POOL_PAGES).and_then(|(cube, _)| {
+            cube.verify_integrity()?;
+            Ok(cube.store.generation().unwrap_or(0))
+        });
+        match latest {
+            Ok(generation) => Ok(ScrubOutcome::Clean { generation }),
+            Err(_damage) => {
+                let store = PageStore::open_file_previous(path, DEFAULT_POOL_PAGES)?;
+                let (prev, _) = Self::from_store(store)?;
+                prev.verify_integrity()?;
+                let to = FileBackend::rollback_latest(path)?;
+                // Generations alternate superblock slots strictly, so the
+                // doomed generation was the survivor's direct successor.
+                Ok(ScrubOutcome::RolledBack { from: to + 1, to })
+            }
+        }
+    }
+}
+
+/// Outcome of [`SignatureCube::scrub_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubOutcome {
+    /// The newest committed generation verified clean; nothing changed.
+    Clean {
+        /// The generation that verified.
+        generation: u64,
+    },
+    /// The newest generation failed verification; the previous one
+    /// verified clean and the open pointer was rolled back to it.
+    RolledBack {
+        /// The damaged generation that was abandoned.
+        from: u64,
+        /// The generation now served by every subsequent open.
+        to: u64,
+    },
 }
 
 #[cfg(test)]
@@ -1409,6 +1561,104 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maintenance_invalidates_only_touched_partials() {
+        // Warm the shared node cache over two cells, replace one, and
+        // prove the untouched cell's nodes survive: the next query over
+        // it is answered entirely by the cache (zero partial loads).
+        let (rel, disk, rtree, mut cube) = setup(900);
+        let warm = |cube: &SignatureCube, d: usize, v: u32| {
+            let sel = Selection::new(vec![(d, v)]);
+            let mut p = cube.pruner_for(&sel, &disk).expect("cell exists");
+            for tid in rel.tids() {
+                let _ = p.check_path(&rtree.tuple_path(tid).unwrap());
+            }
+            (p.loads(), p.shared_node_hits())
+        };
+        warm(&cube, 0, 1);
+        warm(&cube, 1, 2);
+        // Second pass over (1,2) is already cache-served.
+        let (loads, hits) = warm(&cube, 1, 2);
+        assert_eq!(loads, 0, "warm cell must not reload partials");
+        assert!(hits > 0);
+
+        // Replace cell (0,1) with a structurally different signature.
+        let paths: Vec<Vec<u16>> = rel
+            .tids()
+            .filter(|&t| rel.selection_value(t, 0) == 1)
+            .take(3)
+            .map(|t| rtree.tuple_path(t).unwrap())
+            .collect();
+        let sig = Signature::from_paths(cube.fanout(), paths.iter().map(|p| p.as_slice()));
+        cube.replace_cell(&[0], vec![1], &sig, &disk);
+
+        // Untouched cell still fully cache-served after the maintenance…
+        let (loads, hits) = warm(&cube, 1, 2);
+        assert_eq!(loads, 0, "maintenance on (0,1) must not evict (1,2) nodes");
+        assert!(hits > 0);
+        // …while the replaced cell answers from its new partials (no
+        // stale cache entries: fresh page ids, old ones invalidated).
+        let sel = Selection::new(vec![(0usize, 1u32)]);
+        let mut p = cube.pruner_for(&sel, &disk).expect("replaced cell exists");
+        for tid in rel.tids() {
+            let path = rtree.tuple_path(tid).unwrap();
+            assert_eq!(p.check_path(&path), paths.contains(&path), "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn writable_reopen_commit_publishes_next_generation() {
+        let (rel, disk, rtree, cube) = setup(700);
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_sigcommit_{}", std::process::id()));
+        cube.save_to_with(&rtree, &path, 1024, 64).expect("save");
+
+        // Reopen writable: same answers, generation 1 (save_to committed
+        // once), appends allowed.
+        let (mut wcube, wtree) = SignatureCube::open_writable_with(&path, 64).expect("open");
+        assert!(!wcube.store().read_only());
+        assert_eq!(wcube.store().generation(), Some(1));
+
+        // Patch one cell and commit generation 2.
+        let keep: Vec<Vec<u16>> = rel
+            .tids()
+            .filter(|&t| rel.selection_value(t, 0) == 1)
+            .take(2)
+            .map(|t| rtree.tuple_path(t).unwrap())
+            .collect();
+        let sig = Signature::from_paths(wcube.fanout(), keep.iter().map(|p| p.as_slice()));
+        wcube.replace_cell(&[0], vec![1], &sig, &disk);
+        assert!(wcube.store().reclaimable_pages() > 0, "replaced partials must be retired");
+        assert_eq!(wcube.commit(&wtree).expect("commit"), 2);
+
+        // A fresh open serves the patched generation.
+        let (reopened, rtree2) = SignatureCube::open_from_with(&path, 64).expect("reopen");
+        assert_eq!(reopened.store().generation(), Some(2));
+        reopened.verify_integrity().expect("clean scrub");
+        let disk2 = DiskSim::with_defaults();
+        let cell = reopened.cell_signature(&[0], &[1]).expect("patched cell");
+        let mut cur = SigCursor::new(cell, reopened.store(), &disk2);
+        for tid in rel.tids() {
+            let p = rtree2.tuple_path(tid).unwrap();
+            assert_eq!(cur.check_path(&p), keep.contains(&p), "tid {tid}");
+        }
+
+        // Vacuum drops the retired pages; the compacted file is clean and
+        // answers identically.
+        let mut vpath = std::env::temp_dir();
+        vpath.push(format!("rcube_sigvacuum_{}", std::process::id()));
+        let reclaimed = wcube.vacuum_to(&wtree, &vpath, 1024, 64).expect("vacuum");
+        assert!(reclaimed > 0);
+        let (vac, _) = SignatureCube::open_from_with(&vpath, 64).expect("open vacuumed");
+        vac.verify_integrity().expect("vacuumed scrub");
+        assert!(
+            std::fs::metadata(&vpath).unwrap().len() < std::fs::metadata(&path).unwrap().len(),
+            "compaction must shrink the file"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&vpath).ok();
     }
 
     #[test]

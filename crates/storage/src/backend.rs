@@ -50,8 +50,27 @@ pub enum StorageError {
     MissingObject(PageId),
     /// Write attempted on a backend opened read-only.
     ReadOnly,
+    /// In-place overwrite attempted on a page belonging to a committed
+    /// generation (committed pages are immutable; patch by appending).
+    ImmutableGeneration { page: u64 },
     /// A catalog or structural blob failed validation.
     Malformed(&'static str),
+}
+
+impl StorageError {
+    /// True for faults worth retrying with backoff: transient I/O kinds
+    /// (interrupted syscalls, timeouts) rather than structural damage.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -75,6 +94,9 @@ impl std::fmt::Display for StorageError {
             }
             Self::MissingObject(id) => write!(f, "no object rooted at {id:?}"),
             Self::ReadOnly => write!(f, "store is read-only"),
+            Self::ImmutableGeneration { page } => {
+                write!(f, "page {page} belongs to a committed generation (immutable)")
+            }
             Self::Malformed(what) => write!(f, "malformed cube file: {what}"),
         }
     }
@@ -110,16 +132,11 @@ pub trait PageBackend: Send + Sync + std::fmt::Debug {
 
     /// Replaces the object rooted at `first` (same id, new bytes).
     ///
-    /// **Not atomic with respect to concurrent readers.** Appending via
-    /// [`PageBackend::put`] publishes an object only after its pages are
-    /// written, so readers may race appends freely; an in-place overwrite
-    /// rewrites already-published pages one at a time, and a reader
-    /// assembling the object mid-rewrite can observe a torn (half-old /
-    /// half-new) payload whose individual pages all pass validation. The
-    /// single-writer model (see `format`'s "Concurrency model") therefore
-    /// requires reader quiescence around structural mutation: serve
-    /// concurrent traffic from *read-only* (reopened) stores, where
-    /// `overwrite` is rejected outright.
+    /// Legal only on objects the current, still-uncommitted generation
+    /// owns: backends with generational commits reject an overwrite of a
+    /// committed page with [`StorageError::ImmutableGeneration`] — a
+    /// committed generation is an immutable value, patched by appending a
+    /// new copy (COW) and publishing a new catalog, never in place.
     fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) -> Result<(), StorageError>;
 
     /// Reads the object rooted at `first`, charging one read per covering
@@ -175,6 +192,27 @@ pub trait PageBackend: Send + Sync + std::fmt::Debug {
     /// `DiskSim` buffer.
     fn pool_stats(&self) -> Option<PoolStats> {
         None
+    }
+
+    /// The committed generation this handle serves, for backends with
+    /// generational commits (`None` for the in-memory simulator).
+    fn generation(&self) -> Option<u64> {
+        None
+    }
+
+    /// Marks the object rooted at `first` unreachable from the next
+    /// generation (COW maintenance retired it). The in-memory backend
+    /// frees it immediately; the file backend records it for vacuum —
+    /// the bytes stay readable by handles pinned on older generations.
+    fn retire(&self, first: PageId) -> Result<(), StorageError> {
+        let _ = first;
+        Ok(())
+    }
+
+    /// Pages retired by COW maintenance that a vacuum (compacting
+    /// rewrite) would reclaim. Zero on backends that free immediately.
+    fn reclaimable_pages(&self) -> u64 {
+        0
     }
 }
 
@@ -248,6 +286,13 @@ impl PageBackend for MemBackend {
 
     fn set_catalog(&self, first: PageId) -> Result<(), StorageError> {
         self.catalog.store(first.0 + 1, Ordering::Release);
+        Ok(())
+    }
+
+    fn retire(&self, first: PageId) -> Result<(), StorageError> {
+        // Frees the bytes immediately; in-flight readers holding the
+        // `Arc` keep their snapshot, matching the COW contract.
+        self.objects.write().unwrap().remove(&first);
         Ok(())
     }
 }

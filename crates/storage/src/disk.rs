@@ -188,6 +188,24 @@ impl PageStore {
         Self::open_file(path, DEFAULT_POOL_PAGES)
     }
 
+    /// Opens an existing cube file for writing: appends land after the
+    /// newest committed generation, [`Self::flush`] commits the next one.
+    pub fn open_file_writable(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        Ok(Self { backend: Arc::new(FileBackend::open_writable(path, pool_pages)?) })
+    }
+
+    /// Opens an existing cube file read-only, pinned on its *previous*
+    /// generation (scrub verification before a rollback).
+    pub fn open_file_previous(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Self, StorageError> {
+        Ok(Self { backend: Arc::new(FileBackend::open_previous(path, pool_pages)?) })
+    }
+
     /// The backing device.
     pub fn backend(&self) -> &Arc<dyn PageBackend> {
         &self.backend
@@ -272,9 +290,28 @@ impl PageStore {
         self.backend.pool_stats()
     }
 
-    /// Durably persists backend metadata (superblock + allocation map).
+    /// Commits the backend state (on generational backends: appends the
+    /// allocation map and stamps the inactive superblock slot with the
+    /// next generation — the crash-atomic publish point).
     pub fn flush(&self) -> Result<(), StorageError> {
         self.backend.flush()
+    }
+
+    /// The committed generation this store serves, if the backend has
+    /// generational commits (`None` for the in-memory simulator).
+    pub fn generation(&self) -> Option<u64> {
+        self.backend.generation()
+    }
+
+    /// Marks the object rooted at `first` unreachable from the next
+    /// generation (COW maintenance retired it).
+    pub fn retire(&self, first: PageId) -> Result<(), StorageError> {
+        self.backend.retire(first)
+    }
+
+    /// Pages retired by COW maintenance that a vacuum would reclaim.
+    pub fn reclaimable_pages(&self) -> u64 {
+        self.backend.reclaimable_pages()
     }
 
     /// True when the backend rejects writes (a reopened cube file).

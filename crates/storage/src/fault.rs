@@ -1,0 +1,368 @@
+//! Deterministic fault injection for crash-safety and degradation tests.
+//!
+//! Two layers, matching the two places real systems fail:
+//!
+//! * [`FaultPlan`] — a *media* plan shared with a [`crate::FileBackend`]
+//!   (`create_faulted` / `open_writable_faulted`). It scripts faults at
+//!   the raw page-I/O boundary: crash after the Nth page write (torn
+//!   prefix or fully dropped — everything after the crash point silently
+//!   fails to persist, like a kernel losing its dirty pages), `ENOSPC`
+//!   on a scripted write, transient `EIO` on reads, and sticky bit flips
+//!   applied to read buffers (media corruption without rewriting the
+//!   file).
+//! * [`FaultBackend`] — an *object-level* [`PageBackend`] wrapper for
+//!   engine-degradation tests: scripted transient errors on the next N
+//!   `get`s and permanently poisoned objects that always fail their
+//!   checksum, with every other call forwarded untouched.
+//!
+//! Everything is driven by explicit scripts (atomics set by the test),
+//! so a failing run replays exactly. The crash model preserves program
+//! order: if write *i* persisted, every write before *i* persisted too —
+//! the guarantee `fsync` + a single-disk crash gives, and the one the
+//! double-superblock commit protocol is designed for.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::backend::{PageBackend, StorageError};
+use crate::buffer::PoolStats;
+use crate::disk::{DiskSim, PageId};
+
+/// How the crash point mangles the page write it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// The write does not persist at all.
+    #[default]
+    Dropped,
+    /// The write persists a prefix of `keep` bytes; the rest of the page
+    /// keeps its previous contents (a torn sector write).
+    Torn { keep: usize },
+}
+
+/// What the backend should do with one raw page write (decided by
+/// [`FaultPlan::on_write`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Persist the full buffer.
+    Persist,
+    /// Persist only the first `keep` bytes.
+    Prefix(usize),
+    /// Persist nothing (but report success to the oblivious writer).
+    Drop,
+}
+
+/// A scripted, deterministic media-fault plan (see module docs). Share
+/// one `Arc<FaultPlan>` between the test and a faulted [`crate::FileBackend`];
+/// reprogram it mid-run through the atomics.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Raw page writes observed so far.
+    writes: AtomicU64,
+    /// Raw page reads observed so far.
+    reads: AtomicU64,
+    /// Write index at which the simulated crash hits (`u64::MAX` = never).
+    crash_after: AtomicU64,
+    /// Crash mode for the write at the crash point.
+    crash_mode: Mutex<CrashMode>,
+    /// Write index that fails with `ENOSPC` (one-shot; `u64::MAX` = never).
+    enospc_at: AtomicU64,
+    /// Remaining reads to fail with a transient `EIO`.
+    transient_reads: AtomicU64,
+    /// Sticky corruption: `(file offset, xor mask)` applied to every read
+    /// buffer covering that offset.
+    corruption: Mutex<Vec<(u64, u8)>>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            crash_after: AtomicU64::new(u64::MAX),
+            crash_mode: Mutex::new(CrashMode::Dropped),
+            enospc_at: AtomicU64::new(u64::MAX),
+            ..Self::default()
+        })
+    }
+
+    /// Crash at page-write index `n` (0-based): that write is mangled per
+    /// `mode` and every later write is silently dropped.
+    pub fn crash_after_page_writes(&self, n: u64, mode: CrashMode) {
+        *self.crash_mode.lock().unwrap() = mode;
+        self.crash_after.store(n, Ordering::SeqCst);
+    }
+
+    /// Fail the page write at index `n` with `ENOSPC` (one-shot).
+    pub fn enospc_at_page_write(&self, n: u64) {
+        self.enospc_at.store(n, Ordering::SeqCst);
+    }
+
+    /// Fail the next `n` raw page reads with a transient `EIO`
+    /// (`ErrorKind::Interrupted`, so [`StorageError::is_transient`] holds).
+    pub fn fail_next_reads(&self, n: u64) {
+        self.transient_reads.store(n, Ordering::SeqCst);
+    }
+
+    /// Sticky media corruption: every read covering file `offset` sees
+    /// the byte XORed with `mask`.
+    pub fn corrupt_byte(&self, offset: u64, mask: u8) {
+        self.corruption.lock().unwrap().push((offset, mask));
+    }
+
+    /// Raw page writes observed so far (counting dropped ones).
+    pub fn writes_observed(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Raw page reads observed so far.
+    pub fn reads_observed(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// True once the scripted crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.writes.load(Ordering::SeqCst) > self.crash_after.load(Ordering::SeqCst)
+    }
+
+    /// Backend hook: classify the next raw page write.
+    pub fn on_write(&self) -> Result<WriteOutcome, std::io::Error> {
+        let idx = self.writes.fetch_add(1, Ordering::SeqCst);
+        if idx == self.enospc_at.load(Ordering::SeqCst) {
+            self.enospc_at.store(u64::MAX, Ordering::SeqCst);
+            // Raw errno 28 (ENOSPC) — `ErrorKind::StorageFull` is not a
+            // stable constructor, the raw code is.
+            return Err(std::io::Error::from_raw_os_error(28));
+        }
+        let crash = self.crash_after.load(Ordering::SeqCst);
+        if idx > crash {
+            return Ok(WriteOutcome::Drop);
+        }
+        if idx == crash {
+            return Ok(match *self.crash_mode.lock().unwrap() {
+                CrashMode::Torn { keep } => WriteOutcome::Prefix(keep),
+                CrashMode::Dropped => WriteOutcome::Drop,
+            });
+        }
+        Ok(WriteOutcome::Persist)
+    }
+
+    /// Backend hook: fault/corrupt one raw page read of `len` bytes at
+    /// file `offset`. Mutates `buf` in place for sticky corruption.
+    pub fn on_read(&self, offset: u64, buf: &mut [u8]) -> Result<(), std::io::Error> {
+        self.reads.fetch_add(1, Ordering::SeqCst);
+        // Saturating decrement: fail while the scripted budget lasts.
+        let mut remaining = self.transient_reads.load(Ordering::SeqCst);
+        while remaining > 0 {
+            match self.transient_reads.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected transient EIO",
+                    ));
+                }
+                Err(seen) => remaining = seen,
+            }
+        }
+        let corruption = self.corruption.lock().unwrap();
+        for &(at, mask) in corruption.iter() {
+            if at >= offset && at < offset + buf.len() as u64 {
+                buf[(at - offset) as usize] ^= mask;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Object-level fault wrapper: forwards every [`PageBackend`] call to the
+/// inner backend, injecting scripted failures on `get` (see module docs).
+#[derive(Debug)]
+pub struct FaultBackend {
+    inner: Arc<dyn PageBackend>,
+    /// Remaining `get`s to fail with a transient error.
+    transient_gets: AtomicU64,
+    /// Objects whose `get`/`peek` permanently fails a checksum.
+    poisoned: Mutex<HashSet<u64>>,
+}
+
+impl FaultBackend {
+    pub fn new(inner: Arc<dyn PageBackend>) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            transient_gets: AtomicU64::new(0),
+            poisoned: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Fail the next `n` object reads with a transient I/O error.
+    pub fn fail_next_gets(&self, n: u64) {
+        self.transient_gets.store(n, Ordering::SeqCst);
+    }
+
+    /// Permanently poison the object rooted at `first`: every read
+    /// reports a checksum mismatch, as if its pages were flipped on disk.
+    pub fn poison(&self, first: PageId) {
+        self.poisoned.lock().unwrap().insert(first.0);
+    }
+
+    /// Clear all scripted faults.
+    pub fn heal(&self) {
+        self.transient_gets.store(0, Ordering::SeqCst);
+        self.poisoned.lock().unwrap().clear();
+    }
+
+    fn check_read(&self, first: PageId) -> Result<(), StorageError> {
+        if self.poisoned.lock().unwrap().contains(&first.0) {
+            return Err(StorageError::ChecksumMismatch { page: first.0 });
+        }
+        let mut remaining = self.transient_gets.load(Ordering::SeqCst);
+        while remaining > 0 {
+            match self.transient_gets.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Err(StorageError::Io(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected transient get failure",
+                    )));
+                }
+                Err(seen) => remaining = seen,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PageBackend for FaultBackend {
+    fn put(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        self.inner.put(disk, data)
+    }
+
+    fn overwrite(&self, disk: &DiskSim, first: PageId, data: Vec<u8>) -> Result<(), StorageError> {
+        self.inner.overwrite(disk, first, data)
+    }
+
+    fn get(&self, disk: &DiskSim, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.check_read(first)?;
+        self.inner.get(disk, first)
+    }
+
+    fn peek(&self, first: PageId) -> Result<Arc<[u8]>, StorageError> {
+        self.check_read(first)?;
+        self.inner.peek(first)
+    }
+
+    fn size_of(&self, first: PageId) -> Option<usize> {
+        self.inner.size_of(first)
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.inner.total_bytes()
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+
+    fn clear_cache(&self) {
+        self.inner.clear_cache()
+    }
+
+    fn flush(&self) -> Result<(), StorageError> {
+        self.inner.flush()
+    }
+
+    fn read_only(&self) -> bool {
+        self.inner.read_only()
+    }
+
+    fn catalog(&self) -> Option<PageId> {
+        self.inner.catalog()
+    }
+
+    fn set_catalog(&self, first: PageId) -> Result<(), StorageError> {
+        self.inner.set_catalog(first)
+    }
+
+    fn put_catalog(&self, disk: &DiskSim, data: Vec<u8>) -> Result<PageId, StorageError> {
+        self.inner.put_catalog(disk, data)
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        self.inner.pool_stats()
+    }
+
+    fn generation(&self) -> Option<u64> {
+        self.inner.generation()
+    }
+
+    fn retire(&self, first: PageId) -> Result<(), StorageError> {
+        self.inner.retire(first)
+    }
+
+    fn reclaimable_pages(&self) -> u64 {
+        self.inner.reclaimable_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn write_script_crashes_then_drops() {
+        let plan = FaultPlan::new();
+        plan.crash_after_page_writes(2, CrashMode::Torn { keep: 10 });
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Persist);
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Persist);
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Prefix(10));
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Drop);
+        assert!(plan.crashed());
+    }
+
+    #[test]
+    fn enospc_is_one_shot() {
+        let plan = FaultPlan::new();
+        plan.enospc_at_page_write(1);
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Persist);
+        let err = plan.on_write().unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(plan.on_write().unwrap(), WriteOutcome::Persist);
+    }
+
+    #[test]
+    fn read_faults_flip_and_interrupt() {
+        let plan = FaultPlan::new();
+        plan.corrupt_byte(105, 0x40);
+        let mut buf = vec![0u8; 100];
+        plan.on_read(100, &mut buf).unwrap();
+        assert_eq!(buf[5], 0x40);
+        plan.fail_next_reads(1);
+        assert!(plan.on_read(0, &mut buf).is_err());
+        plan.on_read(0, &mut buf).unwrap();
+        assert_eq!(plan.reads_observed(), 3);
+    }
+
+    #[test]
+    fn fault_backend_scripts_transient_and_poisoned_gets() {
+        let disk = DiskSim::with_defaults();
+        let be = FaultBackend::new(Arc::new(MemBackend::new()));
+        let a = be.put(&disk, vec![1u8; 50]).unwrap();
+        let b = be.put(&disk, vec![2u8; 50]).unwrap();
+        be.fail_next_gets(1);
+        let err = be.get(&disk, a).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(&be.get(&disk, a).unwrap()[..], &[1u8; 50][..]);
+        be.poison(b);
+        assert!(matches!(be.get(&disk, b), Err(StorageError::ChecksumMismatch { .. })));
+        be.heal();
+        assert_eq!(&be.get(&disk, b).unwrap()[..], &[2u8; 50][..]);
+    }
+}

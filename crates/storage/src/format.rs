@@ -1,10 +1,20 @@
-//! The on-disk cube file format.
+//! The on-disk cube file format (v3: crash-safe generational commits).
 //!
-//! A cube file is a single file of fixed-size pages. Page 0 is the
-//! **superblock**; every other page carries an 8-byte header followed by
-//! payload. All integers are little-endian.
+//! A cube file is a single file of fixed-size pages. Pages 0 and 1 are
+//! the two **superblock slots**; every other page carries an 8-byte
+//! header followed by payload. All integers are little-endian.
 //!
-//! # Superblock (page 0, first 64 bytes; rest of the page zero)
+//! # Double-buffered superblock (pages 0–1, first 72 bytes of each slot)
+//!
+//! Each slot holds one serialized superblock describing a **generation**
+//! — a complete, immutable snapshot of the cube. A commit never touches
+//! the slot the current generation lives in: the writer appends the new
+//! generation's pages, syncs them, then stamps the *inactive* slot with a
+//! generation number one higher and syncs again. [`elect_superblock`]
+//! picks the winner at open: the CRC-valid slot with the highest
+//! generation. A crash anywhere in a commit therefore leaves either the
+//! old generation (new slot torn or unwritten → its CRC fails → the old
+//! slot wins) or the new one (both syncs landed) — never a mix.
 //!
 //! | offset | size | field                                             |
 //! |--------|------|---------------------------------------------------|
@@ -12,16 +22,19 @@
 //! | 8      | 2    | format version ([`FORMAT_VERSION`])               |
 //! | 10     | 2    | flags (reserved, zero)                            |
 //! | 12     | 4    | page size in bytes                                |
-//! | 16     | 8    | page count (including the superblock)             |
+//! | 16     | 8    | page count (including both superblock slots)      |
 //! | 24     | 8    | catalog object first page (`u64::MAX` = none)     |
 //! | 32     | 8    | total object payload bytes                        |
 //! | 40     | 8    | object count                                      |
 //! | 48     | 8    | allocation-map first page (`u64::MAX` = none)     |
 //! | 56     | 4    | allocation-map page count                         |
-//! | 60     | 4    | CRC-32 over bytes 0..60                           |
+//! | 60     | 8    | generation number (monotonically increasing)      |
+//! | 68     | 4    | CRC-32 over bytes 0..68                           |
 //!
 //! The version field is the compatibility gate: readers reject files with
-//! an unknown version instead of guessing at the layout.
+//! an unknown version instead of guessing at the layout. Files written by
+//! the v1 single-superblock layout fail the version gate and must be
+//! re-saved.
 //!
 //! # Page header (every page except the superblock, 8 bytes)
 //!
@@ -49,10 +62,11 @@
 //! # Allocation map
 //!
 //! [`PageType::AllocMap`] pages hold a bitmap with one bit per page
-//! (bit set = allocated). The current writer allocates append-only, so the
-//! map is dense; it exists so a future compactor can free and reuse pages
-//! without a format bump, and it gives `open` a cheap structural check:
-//! every page below `page_count` must be marked allocated.
+//! (bit set = allocated). The writer allocates append-only, so the map is
+//! dense per generation; it exists so the vacuum pass can account for
+//! pages unreachable from the live generation, and it gives `open` a
+//! cheap structural check: every page below the elected generation's
+//! `page_count` must be marked allocated.
 //!
 //! # Catalogs
 //!
@@ -69,38 +83,62 @@
 //! O(partials). Files written with tag 3 fail to open with a
 //! kind-mismatch error and must be re-saved.
 //!
+//! # Generations, commits and copy-on-write
+//!
+//! Every committed generation is an immutable value — the cube-algebra
+//! view of OLAP instances as values that operators map between. The rules:
+//!
+//! * **Pages of a committed generation are immutable.** A writer patches
+//!   an object by appending a *new* copy (new page ids) and publishing a
+//!   catalog that points at it; the untouched objects keep their pages,
+//!   shared byte-identically across generations. In-place `overwrite` is
+//!   legal only on pages appended after the last commit (an object the
+//!   current, still-unpublished generation owns outright); overwriting a
+//!   committed page is rejected with
+//!   [`StorageError::ImmutableGeneration`].
+//! * **Commit protocol.** Append data pages → append the allocation map →
+//!   `fsync` → stamp the inactive superblock slot with `generation + 1` →
+//!   `fsync`. The single slot write is the publish point; everything
+//!   before it is invisible to an election.
+//! * **Readers pin their generation at open.** A read-only handle loads
+//!   the elected slot's metadata once into atomics and never reads past
+//!   that generation's `page_count`; later commits only append pages and
+//!   flip the *other* slot, so a pinned reader keeps streaming its
+//!   generation byte-identically with no coordination whatsoever — there
+//!   is no reader-quiescence requirement anywhere in the format.
+//! * **Rollback.** Because the previous generation's slot is intact until
+//!   the commit after next, a scrub that finds the newest generation
+//!   corrupt can zero its slot and the file reopens on the previous one.
+//!
 //! # Concurrency model
 //!
-//! The format is **single-writer, many-reader**, split by file lifetime:
+//! The format is **single-writer, many-reader**:
 //!
-//! * **Who may write.** Only the process that `create`d the file, and only
-//!   until `flush` stamps the final superblock; `put`/`overwrite`/`flush`
-//!   serialize on one writer mutex inside [`crate::FileBackend`]. A file
-//!   opened with `open` is *read-only*: every mutator returns
-//!   [`StorageError::ReadOnly`], and nothing in the open path ever writes.
-//!   Readers may race *appends* (an object is published only after its
-//!   pages exist), but an in-place `overwrite` of a published object is
-//!   not atomic for concurrent readers — structural mutation requires
-//!   reader quiescence, which is why serving always targets read-only
-//!   reopened files.
-//! * **What read-only means.** Once opened read-only, all pages are
-//!   immutable, so readers need no coordination at all: each page fetch is
-//!   an independent positional read (`pread`) validated against its CRC,
-//!   and file metadata (page count, catalog pointer, totals) is loaded
-//!   once from the superblock into atomics. Any number of threads may
-//!   share one [`crate::FileBackend`] / [`crate::PageStore`] handle.
+//! * **Who may write.** One writable handle (`create` or
+//!   `open_writable`); `put`/`overwrite`/`flush` serialize on one writer
+//!   mutex inside [`crate::FileBackend`]. A file opened with `open` is
+//!   *read-only*: every mutator returns [`StorageError::ReadOnly`], and
+//!   nothing in the open path ever writes. Readers race appends and
+//!   commits freely — see the generation rules above.
+//! * **What read-only means.** A read-only handle's pages are immutable
+//!   (its generation is committed), so readers need no coordination at
+//!   all: each page fetch is an independent positional read (`pread`)
+//!   validated against its CRC, and file metadata (page count, catalog
+//!   pointer, totals) is loaded once from the elected slot into atomics.
+//!   Any number of threads may share one [`crate::FileBackend`] /
+//!   [`crate::PageStore`] handle.
 //! * **Buffer-pool shards.** Cached object frames live in a lock-striped
 //!   [`crate::BufferPool`]: frames are immutable `Arc<[u8]>` snapshots
 //!   keyed by first page id, each shard an independent page-weighted LRU
 //!   under its own mutex. A frame handed out stays valid (readers hold the
 //!   `Arc`) even if its shard evicts it concurrently.
-//! * **Node-cache epochs.** Decoded-signature caches layered above this
-//!   format (`rcube_core`'s shared node cache) key entries by
-//!   `(first page id of the partial, SID)`. Page ids are never reused by
-//!   the append-only writer, so within one file lifetime a key uniquely
-//!   names immutable bytes; structural mutation (incremental maintenance
-//!   replacing a cell) must start a new epoch by clearing the cache — the
-//!   one invalidation rule the layering relies on.
+//! * **Node-cache invalidation.** Decoded-signature caches layered above
+//!   this format (`rcube_core`'s shared node cache) key entries by
+//!   `(first page id of the partial, SID)`. Page ids are never reused —
+//!   the writer appends, and COW gives a patched object fresh ids — so a
+//!   key uniquely names immutable bytes across generations. Maintenance
+//!   invalidates only the page ids it retired; entries for untouched
+//!   partials stay valid through a commit.
 
 use crate::backend::StorageError;
 
@@ -108,16 +146,22 @@ use crate::backend::StorageError;
 pub const MAGIC: [u8; 8] = *b"RCUBEFS1";
 
 /// Current format version (superblock bytes 8..10).
-pub const FORMAT_VERSION: u16 = 1;
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Bytes of per-page header preceding the payload.
 pub const PAGE_HEADER: usize = 8;
 
-/// Serialized superblock length (the rest of page 0 is zero padding).
-pub const SUPERBLOCK_LEN: usize = 64;
+/// Serialized superblock length (the rest of a slot page is zero padding).
+pub const SUPERBLOCK_LEN: usize = 72;
+
+/// Number of superblock slot pages at the head of the file.
+pub const SUPERBLOCK_SLOTS: u64 = 2;
+
+/// First data page (pages 0..[`SUPERBLOCK_SLOTS`] are the slots).
+pub const DATA_START: u64 = SUPERBLOCK_SLOTS;
 
 /// Smallest supported page size (must hold the superblock).
-pub const MIN_PAGE_SIZE: usize = 64;
+pub const MIN_PAGE_SIZE: usize = 128;
 
 /// Largest supported page size (payload length is a `u16`).
 pub const MAX_PAGE_SIZE: usize = 65_536;
@@ -233,7 +277,7 @@ pub fn decode_page(page: &[u8], page_id: u64) -> Result<PageView<'_>, StorageErr
 
 // --- Superblock -------------------------------------------------------------
 
-/// Decoded superblock fields.
+/// Decoded superblock fields (one slot = one committed generation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Superblock {
     pub page_size: u32,
@@ -245,10 +289,14 @@ pub struct Superblock {
     /// First page of the allocation bitmap, if flushed.
     pub alloc_first: Option<u64>,
     pub alloc_pages: u32,
+    /// Monotonically increasing commit number; the valid slot with the
+    /// highest generation wins the election at open.
+    pub generation: u64,
 }
 
 impl Superblock {
-    /// Encodes into the first [`SUPERBLOCK_LEN`] bytes of `page` (page 0).
+    /// Encodes into the first [`SUPERBLOCK_LEN`] bytes of `page` (a slot
+    /// page), zeroing the rest.
     pub fn encode(&self, page: &mut [u8]) {
         for b in page.iter_mut() {
             *b = 0;
@@ -263,22 +311,27 @@ impl Superblock {
         page[40..48].copy_from_slice(&self.object_count.to_le_bytes());
         page[48..56].copy_from_slice(&self.alloc_first.unwrap_or(NO_PAGE).to_le_bytes());
         page[56..60].copy_from_slice(&self.alloc_pages.to_le_bytes());
-        let crc = crc32(&page[0..60]);
-        page[60..64].copy_from_slice(&crc.to_le_bytes());
+        page[60..68].copy_from_slice(&self.generation.to_le_bytes());
+        let crc = crc32(&page[0..68]);
+        page[68..72].copy_from_slice(&crc.to_le_bytes());
     }
 
-    /// Decodes and validates page 0: magic, checksum, version, page-size
-    /// bounds.
-    pub fn decode(page: &[u8]) -> Result<Self, StorageError> {
+    /// Decodes and validates one slot: magic, checksum, version, page-size
+    /// bounds. `slot_page` labels errors (0 or 1).
+    pub fn decode_slot(page: &[u8], slot_page: u64) -> Result<Self, StorageError> {
         if page.len() < SUPERBLOCK_LEN {
-            return Err(StorageError::BadLength { page: 0, len: page.len(), max: SUPERBLOCK_LEN });
+            return Err(StorageError::BadLength {
+                page: slot_page,
+                len: page.len(),
+                max: SUPERBLOCK_LEN,
+            });
         }
         if page[0..8] != MAGIC {
             return Err(StorageError::BadMagic);
         }
-        let stored = u32::from_le_bytes(page[60..64].try_into().unwrap());
-        if crc32(&page[0..60]) != stored {
-            return Err(StorageError::ChecksumMismatch { page: 0 });
+        let stored = u32::from_le_bytes(page[68..72].try_into().unwrap());
+        if crc32(&page[0..68]) != stored {
+            return Err(StorageError::ChecksumMismatch { page: slot_page });
         }
         let version = u16::from_le_bytes(page[8..10].try_into().unwrap());
         if version != FORMAT_VERSION {
@@ -287,7 +340,7 @@ impl Superblock {
         let page_size = u32::from_le_bytes(page[12..16].try_into().unwrap());
         if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&(page_size as usize)) {
             return Err(StorageError::BadLength {
-                page: 0,
+                page: slot_page,
                 len: page_size as usize,
                 max: MAX_PAGE_SIZE,
             });
@@ -302,7 +355,37 @@ impl Superblock {
             object_count: word(40),
             alloc_first: optional(word(48)),
             alloc_pages: u32::from_le_bytes(page[56..60].try_into().unwrap()),
+            generation: word(60),
         })
+    }
+
+    /// [`Self::decode_slot`] for slot 0 (compat helper for tests).
+    pub fn decode(page: &[u8]) -> Result<Self, StorageError> {
+        Self::decode_slot(page, 0)
+    }
+}
+
+/// Elects the live generation from the two slot images: the valid slot
+/// with the highest generation wins (ties cannot happen — a commit always
+/// increments). An invalid slot is a *candidate rejection*, not an error:
+/// a crash mid-commit legitimately leaves one slot torn. Only when both
+/// slots fail does the open fail, reporting slot 0's error (a foreign
+/// file surfaces as [`StorageError::BadMagic`], a corrupt one as a
+/// checksum mismatch).
+pub fn elect_superblock(slot0: &[u8], slot1: &[u8]) -> Result<(Superblock, u64), StorageError> {
+    let c0 = Superblock::decode_slot(slot0, 0);
+    let c1 = Superblock::decode_slot(slot1, 1);
+    match (c0, c1) {
+        (Ok(a), Ok(b)) => {
+            if a.generation >= b.generation {
+                Ok((a, 0))
+            } else {
+                Ok((b, 1))
+            }
+        }
+        (Ok(a), Err(_)) => Ok((a, 0)),
+        (Err(_), Ok(b)) => Ok((b, 1)),
+        (Err(e0), Err(_)) => Err(e0),
     }
 }
 
@@ -457,9 +540,8 @@ mod tests {
         assert!(matches!(decode_page(&page, 0), Err(StorageError::ChecksumMismatch { .. })));
     }
 
-    #[test]
-    fn superblock_round_trips() {
-        let sb = Superblock {
+    fn sample_sb(generation: u64) -> Superblock {
+        Superblock {
             page_size: 4096,
             page_count: 42,
             catalog_first: Some(41),
@@ -467,7 +549,13 @@ mod tests {
             object_count: 17,
             alloc_first: None,
             alloc_pages: 0,
-        };
+            generation,
+        }
+    }
+
+    #[test]
+    fn superblock_round_trips() {
+        let sb = sample_sb(7);
         let mut page = vec![0u8; SUPERBLOCK_LEN];
         sb.encode(&mut page);
         assert_eq!(Superblock::decode(&page).unwrap(), sb);
@@ -477,12 +565,13 @@ mod tests {
     fn superblock_rejects_bad_magic_and_version() {
         let sb = Superblock {
             page_size: 4096,
-            page_count: 1,
+            page_count: 2,
             catalog_first: None,
             total_bytes: 0,
             object_count: 0,
             alloc_first: None,
             alloc_pages: 0,
+            generation: 1,
         };
         let mut page = vec![0u8; SUPERBLOCK_LEN];
         sb.encode(&mut page);
@@ -495,9 +584,34 @@ mod tests {
         bad[8] = 99; // version bump without re-stamping the CRC…
         assert!(matches!(Superblock::decode(&bad), Err(StorageError::ChecksumMismatch { .. })));
         // …and with a valid CRC it must fail the version gate instead.
-        let crc = crc32(&bad[0..60]);
-        bad[60..64].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(&bad[0..68]);
+        bad[68..72].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(Superblock::decode(&bad), Err(StorageError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn election_picks_highest_valid_generation() {
+        let mut s0 = vec![0u8; SUPERBLOCK_LEN];
+        let mut s1 = vec![0u8; SUPERBLOCK_LEN];
+        sample_sb(4).encode(&mut s0);
+        sample_sb(5).encode(&mut s1);
+        let (sb, slot) = elect_superblock(&s0, &s1).unwrap();
+        assert_eq!((sb.generation, slot), (5, 1));
+
+        // Newer slot torn mid-commit: the older generation must win.
+        let mut torn = s1.clone();
+        torn[30] ^= 0xFF;
+        let (sb, slot) = elect_superblock(&s0, &torn).unwrap();
+        assert_eq!((sb.generation, slot), (4, 0));
+
+        // Slot 0 newer after the next commit flips sides.
+        sample_sb(6).encode(&mut s0);
+        let (sb, slot) = elect_superblock(&s0, &s1).unwrap();
+        assert_eq!((sb.generation, slot), (6, 0));
+
+        // Both invalid: slot 0's error surfaces (BadMagic for foreign files).
+        let garbage = vec![0x42u8; SUPERBLOCK_LEN];
+        assert!(matches!(elect_superblock(&garbage, &garbage), Err(StorageError::BadMagic)));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod backend;
 pub mod bits;
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod file;
 pub mod format;
 pub mod stats;
@@ -40,7 +41,8 @@ pub use buffer::{
     BufferPool, LruBuffer, PoolShardStats, PoolStats, StripedLruBuffer, DEFAULT_POOL_SHARDS,
 };
 pub use disk::{DiskSim, PageId, PageStore};
-pub use file::{FileBackend, DEFAULT_POOL_PAGES};
+pub use fault::{CrashMode, FaultBackend, FaultPlan, WriteOutcome};
+pub use file::{FileBackend, FileOptions, IoMode, DEFAULT_POOL_PAGES};
 pub use format::{ByteReader, ByteWriter};
 pub use stats::{IoSnapshot, IoStats};
 

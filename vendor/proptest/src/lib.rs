@@ -204,12 +204,41 @@ pub mod collection {
     }
 }
 
+/// Subset of `proptest::test_runner::Config`: only the case count.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: DEFAULT_CASES }
+    }
+}
+
+/// Mirrors the real crate's module path for [`Config`].
+pub mod test_runner {
+    pub use crate::Config;
+}
+
 /// Runs the configured number of iterations of a property body, seeded
 /// deterministically from the test name. Used by [`proptest!`]; public so
 /// the macro expansion can reach it.
-pub fn run_cases_named(name: &str, mut body: impl FnMut(&mut TestRng)) {
+pub fn run_cases_named(name: &str, body: impl FnMut(&mut TestRng)) {
+    run_cases_config(name, Config::default(), body);
+}
+
+/// [`run_cases_named`] with an explicit [`Config`]; the `PROPTEST_CASES`
+/// environment variable still overrides the configured count.
+pub fn run_cases_config(name: &str, config: Config, mut body: impl FnMut(&mut TestRng)) {
     let cases =
-        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_CASES);
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(config.cases);
     let mut rng = TestRng::deterministic(name);
     for _ in 0..cases {
         body(&mut rng);
@@ -218,6 +247,18 @@ pub fn run_cases_named(name: &str, mut body: impl FnMut(&mut TestRng)) {
 
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::run_cases_config(stringify!($name), $cfg, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                });
+            }
+        )+
+    };
     ($($(#[$meta:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])+
