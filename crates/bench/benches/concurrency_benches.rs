@@ -225,6 +225,7 @@ fn main() {
 
     // --- BENCH_concurrency.json -----------------------------------------
     let mut json = String::from("{\n  \"bench\": \"concurrency\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
     json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     json.push_str("  \"aggregate_qps\": {\n");
     for (i, (&t, v)) in thread_counts.iter().zip(&qps).enumerate() {

@@ -173,9 +173,9 @@ fn emit_json(c: &mut Criterion) {
         speedup("kway_intersect_3/seed_decode_hashset", "kway_intersect_3/streaming_leapfrog");
     let su_seek = speedup("seek_200k/delta_linear/64", "seek_200k/skip_gallop/64");
 
-    let mut json = String::from(
-        "{\n  \"bench\": \"idlist\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n",
-    );
+    let mut json = String::from("{\n  \"bench\": \"idlist\",\n  \"unit\": \"ns_per_iter\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str("  \"results\": {\n");
     for (i, m) in ms.iter().enumerate() {
         let sep = if i + 1 == ms.len() { "" } else { "," };
         json.push_str(&format!("    \"{}\": {:.1}{}\n", m.id, m.mean_ns, sep));

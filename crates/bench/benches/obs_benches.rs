@@ -1,0 +1,171 @@
+//! Observability overhead + correctness gates.
+//!
+//! Two engines serve the *same* seeded relation and the *same* mixed
+//! workload: one fully instrumented (per-engine metric registry, the
+//! default), one with [`Metrics::disabled`] so every instrument is a
+//! no-op handle. The run writes `BENCH_observability.json` at the
+//! workspace root and enforces three gates:
+//!
+//! * **answers_identical** (hard, deterministic): the instrumented and
+//!   uninstrumented engines return byte-identical answers — same tids,
+//!   same scores down to the f64 bit pattern. Instrumentation must
+//!   never perturb the result.
+//! * **counter_parity** (hard, deterministic): the registry's per-route
+//!   query counters and histogram sums reconcile exactly with the
+//!   `QueryStats` the cursors themselves reported (`query.<r>.count`
+//!   totals the queries; `query.<r>.blocks_read` / `.tuples_scored`
+//!   histogram sums equal the accumulated per-query stats).
+//! * **overhead_pct ≤ 5** (wall-clock): the instrumented engine's
+//!   workload time stays within 5% of the uninstrumented one. Reported
+//!   always; enforced unless `RCUBE_BENCH_SOFT` is set (CI containers
+//!   and 1-core runners make wall-clock gates flaky).
+
+use std::time::Instant;
+
+use ranking_cube::obs::Metrics;
+use ranking_cube::prelude::*;
+use rcube_core::gridcube::GridCubeConfig;
+use rcube_core::sigcube::SignatureCubeConfig;
+use rcube_index::rtree::RTreeConfig;
+use rcube_table::gen::DataDist;
+
+const TUPLES: usize = 4_000;
+const SEED: u64 = 0xB0B5;
+/// Timed repetitions of the workload per engine; the minimum is scored.
+const ROUNDS: usize = 5;
+
+fn build_engine(metrics: Metrics) -> Engine {
+    // Same seed on both sides: the relations are identical.
+    let rel = rcube_bench::synthetic(TUPLES, 3, 8, 2, DataDist::Uniform, SEED);
+    Engine::with_disk_and_metrics(rel, DiskSim::with_defaults(), metrics)
+        .with_grid_cube(GridCubeConfig { block_size: 64, ..Default::default() })
+        .with_signature_cube(RTreeConfig::small(16), SignatureCubeConfig::default())
+}
+
+/// The mixed workload: grid-covered point selections, roll-ups, and a
+/// narrow-rank query that exercises the signature/scan side.
+fn workload() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for v0 in 0..8u32 {
+        for v1 in 0..4u32 {
+            queries.push(Query::select([(0, v0), (1, v1)]).rank(Linear::uniform(2)).top(10));
+        }
+        queries.push(Query::select([(0, v0)]).rank(Linear::new(vec![0.7, 0.3])).top(20));
+        queries.push(Query::select([(0, v0)]).rank_on(vec![1], Linear::uniform(1)).top(5));
+    }
+    queries
+}
+
+fn run_workload(eng: &Engine, queries: &[Query]) -> (Vec<(u32, u64)>, QueryStats) {
+    let mut answers = Vec::new();
+    let mut total = QueryStats::default();
+    for q in queries {
+        let res = eng.query(q);
+        for &(tid, score) in &res.items {
+            answers.push((tid, score.to_bits()));
+        }
+        total.blocks_read += res.stats.blocks_read;
+        total.tuples_scored += res.stats.tuples_scored;
+    }
+    (answers, total)
+}
+
+fn main() {
+    let soft = std::env::var_os("RCUBE_BENCH_SOFT").is_some();
+    let queries = workload();
+
+    let instrumented = build_engine(Metrics::new());
+    let bare = build_engine(Metrics::disabled());
+
+    // --- Gate 1: byte-identical answers ---------------------------------
+    let (answers_i, stats_i) = run_workload(&instrumented, &queries);
+    let (answers_b, _) = run_workload(&bare, &queries);
+    let answers_identical = answers_i == answers_b;
+    assert!(answers_identical, "instrumentation must not perturb answers");
+
+    // --- Gate 2: counter parity with QueryStats -------------------------
+    // The warm-up pass above ran every query once on each engine.
+    let snap = instrumented.metrics().snapshot();
+    let count_total: u64 = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
+        .iter()
+        .filter_map(|r| snap.histogram(&format!("query.{}.latency_us", r.name())))
+        .map(|h| h.count)
+        .sum();
+    let counter_total: u64 = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
+        .iter()
+        .filter_map(|r| snap.counter(&format!("query.{}.count", r.name())))
+        .sum();
+    let blocks_total: u64 = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
+        .iter()
+        .filter_map(|r| snap.histogram(&format!("query.{}.blocks_read", r.name())))
+        .map(|h| h.sum)
+        .sum();
+    let tuples_total: u64 = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
+        .iter()
+        .filter_map(|r| snap.histogram(&format!("query.{}.tuples_scored", r.name())))
+        .map(|h| h.sum)
+        .sum();
+    let counter_parity = count_total == queries.len() as u64
+        && counter_total == queries.len() as u64
+        && blocks_total == stats_i.blocks_read
+        && tuples_total == stats_i.tuples_scored;
+    assert!(
+        counter_parity,
+        "registry must reconcile with QueryStats: {count_total}/{counter_total} queries \
+         (want {}), {blocks_total} blocks (want {}), {tuples_total} tuples (want {})",
+        queries.len(),
+        stats_i.blocks_read,
+        stats_i.tuples_scored
+    );
+
+    // --- Gate 3: wall-clock overhead ------------------------------------
+    let time_engine = |eng: &Engine| {
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let (answers, _) = run_workload(eng, &queries);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(answers);
+            best = best.min(elapsed);
+        }
+        best
+    };
+    let ms_bare = time_engine(&bare);
+    let ms_instr = time_engine(&instrumented);
+    let overhead_pct = (ms_instr - ms_bare) / ms_bare * 100.0;
+    println!(
+        "observability overhead: instrumented {ms_instr:.2} ms vs bare {ms_bare:.2} ms \
+         ({overhead_pct:+.2}%){}",
+        if soft { " [soft]" } else { "" }
+    );
+    if !soft {
+        assert!(
+            overhead_pct <= 5.0,
+            "instrumentation overhead {overhead_pct:.2}% exceeds the 5% gate \
+             (set RCUBE_BENCH_SOFT=1 on noisy runners)"
+        );
+    }
+
+    // --- BENCH_observability.json ---------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"observability\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str(&format!(
+        "  \"queries\": {},\n  \"answers_identical\": {answers_identical},\n  \
+         \"counter_parity\": {counter_parity},\n",
+        queries.len()
+    ));
+    json.push_str(&format!(
+        "  \"counters\": {{ \"queries_counted\": {counter_total}, \"blocks_read\": \
+         {blocks_total}, \"tuples_scored\": {tuples_total} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"wall_ms\": {{ \"instrumented\": {ms_instr:.3}, \"bare\": {ms_bare:.3} }},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"target_overhead_pct_max\": 5.0,\n  \
+         \"overhead_gate_enforced\": {}\n}}\n",
+        !soft
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_observability.json");
+    std::fs::write(path, &json).expect("write BENCH_observability.json");
+    println!("wrote {path}");
+}

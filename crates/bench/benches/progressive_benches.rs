@@ -246,9 +246,9 @@ fn emit_json(c: &mut Criterion, lines: &[String], grid: &Profile, grid_fresh: u6
     let ttfa_speedup = ratio("progressive/grid/first_answer", "progressive/grid/full_top_k");
     let scan_ttfa_vs_grid = ratio("progressive/grid/first_answer", "progressive/scan/first_answer");
 
-    let mut json = String::from(
-        "{\n  \"bench\": \"progressive\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n",
-    );
+    let mut json = String::from("{\n  \"bench\": \"progressive\",\n  \"unit\": \"ns_per_iter\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str("  \"results\": {\n");
     for (i, m) in ms.iter().enumerate() {
         let sep = if i + 1 == ms.len() { "" } else { "," };
         json.push_str(&format!("    \"{}\": {:.1}{}\n", m.id, m.mean_ns, sep));

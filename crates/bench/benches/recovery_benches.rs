@@ -256,6 +256,7 @@ fn main() {
 
     // --- BENCH_recovery.json --------------------------------------------
     let mut json = String::from("{\n  \"bench\": \"recovery\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
     json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     json.push_str(&format!("  \"readers\": {READERS},\n  \"commits_during_window\": {ROUNDS},\n"));
     json.push_str(&format!(

@@ -158,9 +158,9 @@ fn emit_json(c: &mut Criterion, counters: &[String], load_ratio: f64, byte_ratio
     let lazy_speedup = ratio("sigcube_query/inmem_eager/sel2", "sigcube_query/inmem_lazy/sel2");
     let warm_penalty = ratio("sigcube_query/file_warm_lazy/sel2", "sigcube_query/inmem_lazy/sel2");
 
-    let mut json = String::from(
-        "{\n  \"bench\": \"sigcube\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n",
-    );
+    let mut json = String::from("{\n  \"bench\": \"sigcube\",\n  \"unit\": \"ns_per_iter\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str("  \"results\": {\n");
     for (i, m) in ms.iter().enumerate() {
         let sep = if i + 1 == ms.len() { "" } else { "," };
         json.push_str(&format!("    \"{}\": {:.1}{}\n", m.id, m.mean_ns, sep));

@@ -86,9 +86,9 @@ fn emit_json(c: &mut Criterion) {
     let warm_penalty = ratio("storage_query/file_warm/sel1", "storage_query/inmem/sel1");
     let pool_speedup = ratio("storage_query/file_cold/sel1", "storage_query/file_warm/sel1");
 
-    let mut json = String::from(
-        "{\n  \"bench\": \"storage\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": {\n",
-    );
+    let mut json = String::from("{\n  \"bench\": \"storage\",\n  \"unit\": \"ns_per_iter\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str("  \"results\": {\n");
     for (i, m) in ms.iter().enumerate() {
         let sep = if i + 1 == ms.len() { "" } else { "," };
         json.push_str(&format!("    \"{}\": {:.1}{}\n", m.id, m.mean_ns, sep));

@@ -51,6 +51,20 @@ pub fn cost_ms(cpu_ms: f64, io: IoSnapshot) -> f64 {
     cpu_ms + io.disk_reads as f64 * READ_MS + io.random_accesses as f64 * RANDOM_MS
 }
 
+/// The `"bench_env"` JSON block every `BENCH_*.json` emitter embeds
+/// (hardware threads, simulated page size, build profile), so archived
+/// artifacts from different machines and build modes stay comparable.
+/// Splice it right after the opening `"bench"` line; it ends with `,\n`.
+pub fn bench_env_json() -> String {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    format!(
+        "  \"bench_env\": {{ \"hardware_threads\": {threads}, \"page_size_bytes\": {}, \
+         \"build_profile\": \"{profile}\" }},\n",
+        rcube_storage::DEFAULT_PAGE_SIZE
+    )
+}
+
 /// A measurement series: named method → one value per x point.
 #[derive(Debug, Default)]
 pub struct Series {
@@ -157,6 +171,16 @@ mod tests {
         let (v, ms) = time_ms(|| 42);
         assert_eq!(v, 42);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn bench_env_block_is_well_formed() {
+        let block = bench_env_json();
+        assert!(block.starts_with("  \"bench_env\": {"));
+        assert!(block.ends_with(",\n"));
+        assert!(block.contains("\"hardware_threads\":"));
+        assert!(block.contains("\"page_size_bytes\": 4096"));
+        assert!(block.contains("\"build_profile\":"));
     }
 
     #[test]

@@ -42,8 +42,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
+use rcube_obs::{Counter, Metrics};
 use rcube_storage::PackedBits;
 
 /// Default cache budget: 4 MiB of packed node words — a few thousand hot
@@ -82,6 +83,19 @@ pub struct SharedNodeCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Live registry counters ([`SharedNodeCache::attach_metrics`]).
+    metrics: OnceLock<NodeCacheMetricSet>,
+}
+
+/// Pre-resolved counters mirroring the cache's atomics into a registry,
+/// with known-absence hits broken out (they skip the partial load *and*
+/// prove no decode is needed — a different cost class than a node hit).
+#[derive(Debug)]
+struct NodeCacheMetricSet {
+    hits: Counter,
+    absent_hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 /// One resident node (or proven absence) plus its clock reference bit.
@@ -120,7 +134,20 @@ impl SharedNodeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Mirrors cache activity into `metrics` as live counters
+    /// (`{prefix}.nodecache.hits` / `.absent_hits` / `.misses` /
+    /// `.evictions`). Resolves handles once; a second attach is a no-op.
+    pub fn attach_metrics(&self, metrics: &Metrics, prefix: &str) {
+        let _ = self.metrics.set(NodeCacheMetricSet {
+            hits: metrics.counter(&format!("{prefix}.nodecache.hits")),
+            absent_hits: metrics.counter(&format!("{prefix}.nodecache.absent_hits")),
+            misses: metrics.counter(&format!("{prefix}.nodecache.misses")),
+            evictions: metrics.counter(&format!("{prefix}.nodecache.evictions")),
+        });
     }
 
     /// Cache with the default budget ([`DEFAULT_NODE_CACHE_BYTES`]).
@@ -158,10 +185,19 @@ impl SharedNodeCache {
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(ms) = self.metrics.get() {
+                    ms.hits.inc();
+                    if v.is_none() {
+                        ms.absent_hits.inc();
+                    }
+                }
                 Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(ms) = self.metrics.get() {
+                    ms.misses.inc();
+                }
                 None
             }
         }
@@ -199,6 +235,9 @@ impl SharedNodeCache {
             let old = shard.map.remove(&hand).expect("entry checked present");
             shard.bytes -= weight_of(&old.value);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(ms) = self.metrics.get() {
+                ms.evictions.inc();
+            }
         }
         shard.bytes += w;
         shard.ring.push_back(key);

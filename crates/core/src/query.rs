@@ -48,7 +48,10 @@
 //! `IndexMerge::topk`, the baselines' `topk`) survive as thin wrappers:
 //! open a cursor, drain `k` answers, return a [`TopKResult`].
 
+use std::sync::Arc;
+
 use rcube_func::RankFn;
+use rcube_obs::QueryTrace;
 use rcube_storage::StorageError;
 use rcube_table::{Selection, Tid};
 
@@ -237,6 +240,13 @@ pub struct TopKCursor<'a> {
     limit: usize,
     emitted: usize,
     exhausted: bool,
+    /// Attached query trace ([`Self::attach_trace`]); untraced cursors
+    /// pay one branch per pull.
+    trace: Option<Arc<QueryTrace>>,
+    /// Stats at the previous trace event, so each event carries counter
+    /// *deltas* — summing a field over the trace reconciles exactly with
+    /// the final [`QueryStats`].
+    traced_stats: QueryStats,
 }
 
 impl std::fmt::Debug for TopKCursor<'_> {
@@ -253,7 +263,38 @@ impl<'a> TopKCursor<'a> {
     /// Wraps an engine search with an answer limit of `k`.
     pub fn new(mut search: Box<dyn ProgressiveSearch + 'a>, k: usize) -> Self {
         search.reserve(k);
-        Self { search, limit: k, emitted: 0, exhausted: false }
+        Self {
+            search,
+            limit: k,
+            emitted: 0,
+            exhausted: false,
+            trace: None,
+            traced_stats: QueryStats::default(),
+        }
+    }
+
+    /// Attaches a [`QueryTrace`]: every subsequent pull and extension
+    /// records an ordered event carrying counter deltas since the
+    /// previous one. The attach itself records a `cursor.attach` event
+    /// holding the cost already sunk at open (pruner construction, plan
+    /// setup), so `attach + Σ pull deltas = ` final [`Self::stats`].
+    pub fn attach_trace(&mut self, trace: Arc<QueryTrace>) {
+        let stats = self.search.stats();
+        trace.event(
+            "cursor.attach",
+            &[
+                ("k", self.limit as f64),
+                ("blocks_read", stats.blocks_read as f64),
+                ("tuples_scored", stats.tuples_scored as f64),
+            ],
+        );
+        self.traced_stats = stats;
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&Arc<QueryTrace>> {
+        self.trace.as_ref()
     }
 
     /// The next certified answer, or `None` once the limit is reached or
@@ -266,13 +307,46 @@ impl<'a> TopKCursor<'a> {
         match self.search.advance()? {
             Some(item) => {
                 self.emitted += 1;
+                if self.trace.is_some() {
+                    self.trace_pull("cursor.next", Some(item));
+                }
                 Ok(Some(item))
             }
             None => {
                 self.exhausted = true;
+                if self.trace.is_some() {
+                    self.trace_pull("cursor.exhausted", None);
+                }
                 Ok(None)
             }
         }
+    }
+
+    /// Records one pull event with counter deltas since the last event.
+    fn trace_pull(&mut self, name: &'static str, item: Option<(Tid, f64)>) {
+        let stats = self.search.stats();
+        let prev = self.traced_stats;
+        let mut fields = vec![
+            ("emitted", self.emitted as f64),
+            ("blocks_read", (stats.blocks_read - prev.blocks_read) as f64),
+            ("tuples_scored", (stats.tuples_scored - prev.tuples_scored) as f64),
+        ];
+        let nodes = stats.sig_nodes_decoded - prev.sig_nodes_decoded;
+        if nodes > 0 {
+            fields.push(("sig_nodes_decoded", nodes as f64));
+        }
+        let shared = stats.shared_node_hits - prev.shared_node_hits;
+        if shared > 0 {
+            fields.push(("shared_node_hits", shared as f64));
+        }
+        if let Some((tid, score)) = item {
+            fields.push(("tid", tid as f64));
+            fields.push(("score", score));
+        }
+        if let Some(trace) = &self.trace {
+            trace.event(name, &fields);
+        }
+        self.traced_stats = stats;
     }
 
     /// Raises the answer limit by `delta`: the next pull resumes the
@@ -280,6 +354,9 @@ impl<'a> TopKCursor<'a> {
     /// the query.
     pub fn extend_k(&mut self, delta: usize) {
         self.limit += delta;
+        if let Some(trace) = &self.trace {
+            trace.event("cursor.extend_k", &[("delta", delta as f64), ("k", self.limit as f64)]);
+        }
         // Engines that plan for a fixed k (rank-mapping) re-plan here; a
         // source that had genuinely run dry may find more under the new
         // target, so the latch is cleared and advance() re-checks.

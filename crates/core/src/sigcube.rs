@@ -60,6 +60,7 @@ use std::sync::Arc;
 
 use rcube_index::rtree::RTree;
 use rcube_index::HierIndex;
+use rcube_obs::Metrics;
 use rcube_storage::{
     BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, FileBackend, PackedBits, PageId,
     PageStore, StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
@@ -723,6 +724,10 @@ pub struct SignatureCube {
     /// Shared cross-query decoded-node cache (see the module docs);
     /// cleared whenever a cell signature is replaced.
     node_cache: SharedNodeCache,
+    /// Registry receiving maintenance events (commit / patch / vacuum).
+    /// Defaults to the process-wide registry; [`Self::set_metrics`]
+    /// points it at an engine's own.
+    metrics: Metrics,
 }
 
 impl SignatureCube {
@@ -777,6 +782,7 @@ impl SignatureCube {
             m,
             alpha: config.alpha,
             node_cache: SharedNodeCache::with_default_budget(),
+            metrics: Metrics::global().clone(),
         }
     }
 
@@ -810,6 +816,18 @@ impl SignatureCube {
     /// in-memory backend).
     pub fn pool_stats(&self) -> Option<rcube_storage::PoolStats> {
         self.store.pool_stats()
+    }
+
+    /// Routes this cube's maintenance events (`maintenance.commits`,
+    /// `.pages_appended`, `.pages_reclaimed`, generation gauge) into
+    /// `metrics` instead of the process-wide default, and attaches the
+    /// backing store's buffer pool and the shared node cache under the
+    /// `signature` prefix. Call before serving (handle attachment is
+    /// once-only for the store/cache lifetime).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.store.attach_metrics(&metrics, "signature");
+        self.node_cache.attach_metrics(&metrics, "signature");
+        self.metrics = metrics;
     }
 
     /// Replaces the shared node cache with one bounded by `bytes`
@@ -1076,7 +1094,10 @@ impl SignatureCube {
         let scratch = DiskSim::new(DEFAULT_PAGE_SIZE, 0);
         self.store.put_catalog(&scratch, w.into_bytes())?;
         self.store.flush()?;
-        Ok(self.store.generation().unwrap_or(0))
+        let generation = self.store.generation().unwrap_or(0);
+        self.metrics.counter("maintenance.commits").inc();
+        self.metrics.gauge("maintenance.generation").set(generation);
+        Ok(generation)
     }
 
     /// Copy-compacts the cube into a fresh file at `path`: only live
@@ -1093,7 +1114,10 @@ impl SignatureCube {
         pool_pages: usize,
     ) -> Result<u64, StorageError> {
         self.save_to_with(rtree, path, page_size, pool_pages)?;
-        Ok(self.store.reclaimable_pages())
+        let reclaimed = self.store.reclaimable_pages();
+        self.metrics.counter("maintenance.vacuums").inc();
+        self.metrics.counter("maintenance.pages_reclaimed").add(reclaimed);
+        Ok(reclaimed)
     }
 
     /// Reopens a `(SignatureCube, RTree)` pair saved by [`Self::save_to`],
@@ -1177,8 +1201,14 @@ impl SignatureCube {
             }
             cuboids.insert(dims, cells);
         }
-        let cube =
-            Self { store, cuboids, m, alpha, node_cache: SharedNodeCache::with_default_budget() };
+        let cube = Self {
+            store,
+            cuboids,
+            m,
+            alpha,
+            node_cache: SharedNodeCache::with_default_budget(),
+            metrics: Metrics::global().clone(),
+        };
         Ok((cube, rtree))
     }
 
@@ -1196,8 +1226,16 @@ impl SignatureCube {
         let old = if sig.is_empty() {
             cells.remove(&vals)
         } else {
-            cells.insert(vals, StoredSignature::write(sig, disk, &self.store, self.alpha))
+            let stored = StoredSignature::write(sig, disk, &self.store, self.alpha);
+            let appended: u64 = stored
+                .partials
+                .iter()
+                .map(|&p| self.store.size_of(p).map_or(1, |len| disk.pages_for(len) as u64))
+                .sum();
+            self.metrics.counter("maintenance.pages_appended").add(appended);
+            cells.insert(vals, stored)
         };
+        self.metrics.counter("maintenance.cells_replaced").inc();
         // COW retirement: the replaced cell's partials leave the *next*
         // generation (readers pinned on committed ones keep streaming
         // their bytes), and only *their* node-cache entries are dropped —
@@ -1228,12 +1266,18 @@ impl SignatureCube {
             Ok(cube.store.generation().unwrap_or(0))
         });
         match latest {
-            Ok(generation) => Ok(ScrubOutcome::Clean { generation }),
+            Ok(generation) => {
+                // A static entry point has no engine registry in reach;
+                // scrub outcomes land in the process-wide one.
+                Metrics::global().counter("maintenance.scrubs_clean").inc();
+                Ok(ScrubOutcome::Clean { generation })
+            }
             Err(_damage) => {
                 let store = PageStore::open_file_previous(path, DEFAULT_POOL_PAGES)?;
                 let (prev, _) = Self::from_store(store)?;
                 prev.verify_integrity()?;
                 let to = FileBackend::rollback_latest(path)?;
+                Metrics::global().counter("maintenance.scrubs_rolled_back").inc();
                 // Generations alternate superblock slots strictly, so the
                 // doomed generation was the survivor's direct successor.
                 Ok(ScrubOutcome::RolledBack { from: to + 1, to })

@@ -1,0 +1,500 @@
+//! The metrics registry: named counters, gauges and log₂-bucketed
+//! histograms behind cheap pre-resolved handles (crate docs for the
+//! locking discipline).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log₂ buckets per histogram. Bucket `i > 0` holds recorded
+/// values whose bit length is `i`, i.e. the half-open magnitude range
+/// `[2^(i-1), 2^i)`; bucket 0 holds exactly the value 0; the last bucket
+/// absorbs everything too large to classify.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value (see [`HISTOGRAM_BUCKETS`]).
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` — the `le` label in the
+/// Prometheus exposition.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// Resolves (or creates) the named instrument. Panics if `name` is
+    /// already registered as a different kind — a programmer error that
+    /// would otherwise silently split one series in two.
+    fn resolve(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let mut map = self.instruments.lock().unwrap();
+        let inst = map.entry(name.to_string()).or_insert_with(make).clone();
+        drop(map);
+        inst
+    }
+}
+
+/// A handle on one registry (or on nothing): `Arc`-cheap to clone, all
+/// methods `&self`. See the crate docs for the enabled/disabled cost
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// A fresh, enabled registry (e.g. one per `Engine`).
+    pub fn new() -> Self {
+        Self { registry: Some(Arc::new(Registry::default())) }
+    }
+
+    /// The null registry: every handle minted from it is a no-op and
+    /// records through one predictable branch — no atomics, no locks.
+    pub fn disabled() -> Self {
+        Self { registry: None }
+    }
+
+    /// The process-wide default registry (created on first use). Static
+    /// call sites with no engine in reach (e.g. `scrub_path`) record
+    /// here.
+    pub fn global() -> &'static Metrics {
+        static GLOBAL: OnceLock<Metrics> = OnceLock::new();
+        GLOBAL.get_or_init(Metrics::new)
+    }
+
+    /// Whether handles minted from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Resolves the named monotonic counter (registering it on first
+    /// use). Resolve once, record forever: the registry lock is paid
+    /// here, never in [`Counter::inc`].
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.registry {
+            None => Counter(None),
+            Some(r) => match r.resolve(name, || Instrument::Counter(Arc::new(AtomicU64::new(0)))) {
+                Instrument::Counter(c) => Counter(Some(c)),
+                other => panic!("metric {name:?} already registered as a {}", other.kind()),
+            },
+        }
+    }
+
+    /// Resolves the named gauge (a settable `u64`, e.g. a generation).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.registry {
+            None => Gauge(None),
+            Some(r) => match r.resolve(name, || Instrument::Gauge(Arc::new(AtomicU64::new(0)))) {
+                Instrument::Gauge(g) => Gauge(Some(g)),
+                other => panic!("metric {name:?} already registered as a {}", other.kind()),
+            },
+        }
+    }
+
+    /// Resolves the named log₂-bucketed histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.registry {
+            None => Histogram(None),
+            Some(r) => {
+                match r.resolve(name, || Instrument::Histogram(Arc::new(HistogramCell::new()))) {
+                    Instrument::Histogram(h) => Histogram(Some(h)),
+                    other => panic!("metric {name:?} already registered as a {}", other.kind()),
+                }
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered instrument, sorted by
+    /// name. Concurrent recording keeps running; each atomic is read
+    /// once, so a counter observed across two snapshots is monotonic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(r) = &self.registry else { return snap };
+        let map = r.instruments.lock().unwrap();
+        for (name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    snap.counters.push((name.clone(), c.load(Ordering::Relaxed)))
+                }
+                Instrument::Gauge(g) => snap.gauges.push((name.clone(), g.load(Ordering::Relaxed))),
+                Instrument::Histogram(h) => {
+                    let buckets: Vec<u64> =
+                        h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                    snap.histograms.push((
+                        name.clone(),
+                        HistogramSnapshot {
+                            buckets,
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A monotonic counter handle. `Default` (and any handle minted from
+/// [`Metrics::disabled`]) is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n` (relaxed; one atomic when enabled, one branch when not).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable gauge handle (last write wins).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds to the gauge.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A log₂-bucketed histogram handle (units are the caller's — the
+/// workspace records microseconds for latencies, raw counts otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// Records one observation (three relaxed atomics when enabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Observations recorded so far (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded values (0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// One histogram at snapshot time: per-bucket counts (non-cumulative,
+/// indexed as [`HISTOGRAM_BUCKETS`] describes), total count and sum.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Non-cumulative per-bucket observation counts.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count reaches
+    /// quantile `q` of all observations — a ≤2× overestimate by
+    /// construction of the log₂ buckets. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A sorted point-in-time copy of a registry ([`Metrics::snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of the named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Dots and dashes in metric names become underscores; histograms
+    /// render as the conventional cumulative `_bucket{le="…"}` series
+    /// plus `_sum` / `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cumulative += b;
+                out.push_str(&format!("{n}_bucket{{le=\"{}\"}} {cumulative}\n", bucket_upper(i)));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+    /// histogram buckets as `[upper_bound, count]` pairs (zero buckets
+    /// omitted).
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                escape(name),
+                h.count,
+                h.sum
+            ));
+            let mut first = true;
+            for (bi, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("[{},{b}]", bucket_upper(bi)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing_covers_the_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's values fall at or below its upper bound.
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let m = Metrics::new();
+        let c = m.counter("pool.hits");
+        c.inc();
+        c.add(4);
+        m.gauge("gen").set(7);
+        let h = m.histogram("lat.us");
+        for v in [0u64, 1, 5, 5, 300] {
+            h.record(v);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("pool.hits"), Some(5));
+        assert_eq!(snap.gauge("gen"), Some(7));
+        let hs = snap.histogram("lat.us").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 311);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 5);
+        assert!(hs.quantile(0.5) >= 5);
+        // Re-resolving the same name returns the same underlying cell.
+        m.counter("pool.hits").add(1);
+        assert_eq!(m.snapshot().counter("pool.hits"), Some(6));
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        let c = m.counter("x");
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let h = m.histogram("y");
+        h.record(9);
+        assert_eq!(h.count(), 0);
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+
+    #[test]
+    fn exports_render_every_series() {
+        let m = Metrics::new();
+        m.counter("a.b").add(3);
+        m.gauge("g").set(2);
+        m.histogram("h").record(6);
+        let snap = m.snapshot();
+        let prom = snap.to_prometheus_text();
+        assert!(prom.contains("# TYPE a_b counter"), "{prom}");
+        assert!(prom.contains("a_b 3"), "{prom}");
+        assert!(prom.contains("h_bucket{le=\"7\"} 1"), "{prom}");
+        assert!(prom.contains("h_bucket{le=\"+Inf\"} 1"), "{prom}");
+        let json = snap.to_json();
+        assert!(json.contains("\"a.b\":3"), "{json}");
+        assert!(json.contains("\"h\":{\"count\":1,\"sum\":6,\"buckets\":[[7,1]]}"), "{json}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-query structured tracing: a bounded ring buffer of ordered
+//! [`TraceEvent`]s with monotonic timestamps, fed by a lightweight span
+//! API (`trace.span("grid.pull").record("blocks", 2.0)`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event: a point (or closed span) on the query timeline.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Emission order, dense from 0 (survives ring-buffer eviction: the
+    /// sequence keeps counting even when old events are dropped).
+    pub seq: u64,
+    /// Microseconds since the trace started (monotonic clock).
+    pub at_us: u64,
+    /// Span duration in microseconds; `None` for instantaneous events.
+    pub dur_us: Option<u64>,
+    /// Event name, dotted (`"cursor.next"`, `"engine.open"`, …).
+    pub name: &'static str,
+    /// Numeric payload — typically counter deltas since the previous
+    /// event, so summing a field over a trace reconciles with the final
+    /// `QueryStats`.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s for one query. Cheap to
+/// share behind an `Arc`; recording takes one short mutex hold (traces
+/// are per-query, so the lock is effectively uncontended).
+#[derive(Debug)]
+pub struct QueryTrace {
+    start: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl QueryTrace {
+    /// A trace retaining at most `capacity` events (older events are
+    /// evicted first; [`Self::dropped`] counts the evictions).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Opens a span: the returned guard records one event (with
+    /// duration) when finished or dropped. Chain [`Span::record`] to
+    /// attach fields.
+    pub fn span<'t>(&'t self, name: &'static str) -> Span<'t> {
+        Span { trace: self, name, began: Instant::now(), fields: Vec::new() }
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, f64)]) {
+        self.push(name, None, fields.to_vec());
+    }
+
+    fn push(&self, name: &'static str, dur_us: Option<u64>, fields: Vec<(&'static str, f64)>) {
+        let at_us = self.start.elapsed().as_micros() as u64;
+        let mut events = self.events.lock().unwrap();
+        // Seq is assigned under the lock so event order and seq order agree.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent { seq, at_us, dur_us, name, fields });
+    }
+
+    /// The retained events, in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the retained events as JSON lines (one event per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_us\":{},\"name\":\"{}\"",
+                e.seq, e.at_us, e.name
+            ));
+            if let Some(d) = e.dur_us {
+                out.push_str(&format!(",\"dur_us\":{d}"));
+            }
+            if !e.fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                for (i, (k, v)) in e.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{k}\":{v}"));
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// An open span ([`QueryTrace::span`]): records its event, with
+/// duration, when [`Span::finish`]ed or dropped.
+#[derive(Debug)]
+pub struct Span<'t> {
+    trace: &'t QueryTrace,
+    name: &'static str,
+    began: Instant,
+    fields: Vec<(&'static str, f64)>,
+}
+
+impl Span<'_> {
+    /// Attaches a numeric field (builder-style).
+    pub fn record(mut self, key: &'static str, value: f64) -> Self {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur = self.began.elapsed().as_micros() as u64;
+        self.trace.push(self.name, Some(dur), std::mem::take(&mut self.fields));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_and_timestamped() {
+        let t = QueryTrace::new(16);
+        t.event("open", &[("k", 10.0)]);
+        t.span("pull").record("blocks", 2.0).finish();
+        t.event("done", &[]);
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us), "monotonic timestamps");
+        assert_eq!(events[1].name, "pull");
+        assert!(events[1].dur_us.is_some());
+        assert_eq!(events[1].fields, vec![("blocks", 2.0)]);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let t = QueryTrace::new(4);
+        for _ in 0..10 {
+            t.event("e", &[]);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // The retained window is the most recent events.
+        assert_eq!(t.events().first().unwrap().seq, 6);
+    }
+
+    #[test]
+    fn json_lines_one_event_per_line() {
+        let t = QueryTrace::new(8);
+        t.event("a", &[("x", 1.5)]);
+        t.span("b").finish();
+        let jl = t.to_json_lines();
+        assert_eq!(jl.lines().count(), 2);
+        assert!(jl.lines().next().unwrap().contains("\"name\":\"a\""), "{jl}");
+        assert!(jl.lines().next().unwrap().contains("\"x\":1.5"), "{jl}");
+        assert!(jl.lines().nth(1).unwrap().contains("\"dur_us\""), "{jl}");
+    }
+}

@@ -214,6 +214,13 @@ pub trait PageBackend: Send + Sync + std::fmt::Debug {
     fn reclaimable_pages(&self) -> u64 {
         0
     }
+
+    /// Mirrors backend activity (buffer pool, fault injections) into
+    /// `metrics` under `{prefix}.…` series. Default: nothing to observe.
+    /// Wrappers ([`crate::FaultBackend`]) forward to the inner backend.
+    fn attach_metrics(&self, metrics: &rcube_obs::Metrics, prefix: &str) {
+        let _ = (metrics, prefix);
+    }
 }
 
 /// The in-memory simulator backend: objects in a map, I/O *charged* but

@@ -18,7 +18,9 @@
 //!   ([`PoolStats`] / [`PoolShardStats`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rcube_obs::{Counter, Metrics};
 
 use crate::disk::PageId;
 
@@ -325,6 +327,19 @@ pub struct BufferPool {
     /// Pool-wide budget (the sum of the shard slices), cached so the
     /// post-insert rebalance check doesn't re-lock every shard.
     capacity_pages: usize,
+    /// Live hit/miss/eviction counters, resolved once by
+    /// [`BufferPool::attach_metrics`]. Unattached pools pay one branch.
+    metrics: OnceLock<PoolMetricSet>,
+}
+
+/// Pre-resolved counter handles for the pool hot paths (the per-shard
+/// `u64` counters stay authoritative for [`PoolStats`]; these mirror them
+/// into a live registry without locking a shard to observe).
+#[derive(Debug)]
+struct PoolMetricSet {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl BufferPool {
@@ -344,7 +359,19 @@ impl BufferPool {
         let (per, extra) = (capacity_pages / n, capacity_pages % n);
         let shards =
             (0..n).map(|i| Mutex::new(PoolShard::new(per + usize::from(i < extra)))).collect();
-        Self { shards, capacity_pages }
+        Self { shards, capacity_pages, metrics: OnceLock::new() }
+    }
+
+    /// Mirrors hit/miss/eviction counts into `metrics` as live counters
+    /// named `{prefix}.pool.hits` / `.misses` / `.evictions`. Resolves
+    /// the handles once; a second attach is a no-op (handles are
+    /// permanent for the pool's lifetime).
+    pub fn attach_metrics(&self, metrics: &Metrics, prefix: &str) {
+        let _ = self.metrics.set(PoolMetricSet {
+            hits: metrics.counter(&format!("{prefix}.pool.hits")),
+            misses: metrics.counter(&format!("{prefix}.pool.misses")),
+            evictions: metrics.counter(&format!("{prefix}.pool.evictions")),
+        });
     }
 
     /// Number of lock stripes.
@@ -397,7 +424,11 @@ impl BufferPool {
 
     /// Looks up (and promotes) the frame rooted at `key`.
     pub fn get(&self, key: PageId) -> Option<Arc<[u8]>> {
-        self.shard(key).lock().unwrap().get(key)
+        let frame = self.shard(key).lock().unwrap().get(key);
+        if let Some(ms) = self.metrics.get() {
+            if frame.is_some() { &ms.hits } else { &ms.misses }.inc();
+        }
+        frame
     }
 
     /// Admits a frame weighing `weight_pages`, evicting LRU frames from
@@ -408,11 +439,17 @@ impl BufferPool {
     /// the type docs for the exact invariant).
     pub fn insert(&self, key: PageId, frame: Arc<[u8]>, weight_pages: usize) {
         let idx = self.shard_index(key);
-        let over_slice = {
+        let (over_slice, evicted) = {
             let mut shard = self.shards[idx].lock().unwrap();
+            let before = shard.evictions;
             shard.insert(key, frame, weight_pages);
-            shard.used_pages > shard.capacity_pages
+            (shard.used_pages > shard.capacity_pages, shard.evictions - before)
         };
+        if evicted > 0 {
+            if let Some(ms) = self.metrics.get() {
+                ms.evictions.add(evicted);
+            }
+        }
         // Every shard within its slice ⇒ the global budget holds, so the
         // cross-shard reclaim only runs after an oversized-alone admission.
         if over_slice {
@@ -435,6 +472,9 @@ impl BufferPool {
                     continue;
                 }
                 if shard.lock().unwrap().evict_tail() {
+                    if let Some(ms) = self.metrics.get() {
+                        ms.evictions.inc();
+                    }
                     evicted = true;
                     if self.used_pages() <= self.capacity_pages {
                         return;

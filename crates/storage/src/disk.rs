@@ -13,7 +13,9 @@
 //! cube file ([`crate::FileBackend`]) for persistent, reopenable cubes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use rcube_obs::{Counter, Metrics};
 
 use crate::backend::{MemBackend, PageBackend, StorageError};
 use crate::buffer::StripedLruBuffer;
@@ -41,6 +43,18 @@ pub struct DiskSim {
     stats: Arc<IoStats>,
     buffer: StripedLruBuffer,
     next_page: AtomicU64,
+    /// Live I/O counters, resolved once by [`DiskSim::attach_metrics`].
+    metrics: OnceLock<DiskMetricSet>,
+}
+
+/// Pre-resolved counter handles mirroring [`IoStats`] into a registry.
+#[derive(Debug)]
+struct DiskMetricSet {
+    logical_reads: Counter,
+    disk_reads: Counter,
+    buffer_hits: Counter,
+    writes: Counter,
+    random_accesses: Counter,
 }
 
 impl DiskSim {
@@ -52,7 +66,23 @@ impl DiskSim {
             stats: IoStats::new_shared(),
             buffer: StripedLruBuffer::new(buffer_pages),
             next_page: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Mirrors the device's I/O activity into `metrics` as live counters
+    /// (`disk.logical_reads`, `disk.reads`, `disk.buffer_hits`,
+    /// `disk.writes`, `disk.random_accesses`). Resolves handles once; a
+    /// second attach is a no-op. Unlike [`Self::reset_stats`], these
+    /// counters never reset — they are cumulative device history.
+    pub fn attach_metrics(&self, metrics: &Metrics) {
+        let _ = self.metrics.set(DiskMetricSet {
+            logical_reads: metrics.counter("disk.logical_reads"),
+            disk_reads: metrics.counter("disk.reads"),
+            buffer_hits: metrics.counter("disk.buffer_hits"),
+            writes: metrics.counter("disk.writes"),
+            random_accesses: metrics.counter("disk.random_accesses"),
+        });
     }
 
     /// Device with the thesis defaults: 4 KB pages, 256-page buffer (1 MB).
@@ -85,6 +115,10 @@ impl DiskSim {
     pub fn read(&self, page: PageId) -> bool {
         let hit = self.buffer.touch(page);
         self.stats.record_read(hit);
+        if let Some(ms) = self.metrics.get() {
+            ms.logical_reads.inc();
+            if hit { &ms.buffer_hits } else { &ms.disk_reads }.inc();
+        }
         hit
     }
 
@@ -101,12 +135,18 @@ impl DiskSim {
     pub fn write(&self, page: PageId) {
         self.buffer.touch(page);
         self.stats.record_write();
+        if let Some(ms) = self.metrics.get() {
+            ms.writes.inc();
+        }
     }
 
     /// Charges a tuple-level random access (e.g. fetching one row by tid via
     /// a non-clustered index, the dominant cost of the DBMS baseline).
     pub fn random_access(&self) {
         self.stats.record_random();
+        if let Some(ms) = self.metrics.get() {
+            ms.random_accesses.inc();
+        }
     }
 
     /// Number of pages needed to hold `bytes` of payload (at least one).
@@ -288,6 +328,13 @@ impl PageStore {
     /// `None` on backends without a byte cache (the in-memory simulator).
     pub fn pool_stats(&self) -> Option<crate::buffer::PoolStats> {
         self.backend.pool_stats()
+    }
+
+    /// Mirrors the backend's cache/fault activity into `metrics` under
+    /// `{prefix}.…` series (e.g. `grid.pool.hits`). No-op on backends
+    /// with nothing to observe (the in-memory simulator).
+    pub fn attach_metrics(&self, metrics: &rcube_obs::Metrics, prefix: &str) {
+        self.backend.attach_metrics(metrics, prefix);
     }
 
     /// Commits the backend state (on generational backends: appends the

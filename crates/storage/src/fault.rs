@@ -23,7 +23,9 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rcube_obs::{Counter, Metrics};
 
 use crate::backend::{PageBackend, StorageError};
 use crate::buffer::PoolStats;
@@ -72,6 +74,15 @@ pub struct FaultPlan {
     /// Sticky corruption: `(file offset, xor mask)` applied to every read
     /// buffer covering that offset.
     corruption: Mutex<Vec<(u64, u8)>>,
+    /// Live fault-trip counters ([`FaultPlan::attach_metrics`]).
+    metrics: OnceLock<FaultMetricSet>,
+}
+
+/// Pre-resolved counters for injected-fault trips.
+#[derive(Debug)]
+struct FaultMetricSet {
+    write_trips: Counter,
+    read_trips: Counter,
 }
 
 impl FaultPlan {
@@ -108,6 +119,28 @@ impl FaultPlan {
         self.corruption.lock().unwrap().push((offset, mask));
     }
 
+    /// Counts fault trips into `metrics` (`{prefix}.fault.write_trips`
+    /// for crash/ENOSPC-mangled writes, `{prefix}.fault.read_trips` for
+    /// injected read errors and corruption applications).
+    pub fn attach_metrics(&self, metrics: &Metrics, prefix: &str) {
+        let _ = self.metrics.set(FaultMetricSet {
+            write_trips: metrics.counter(&format!("{prefix}.fault.write_trips")),
+            read_trips: metrics.counter(&format!("{prefix}.fault.read_trips")),
+        });
+    }
+
+    fn trip_write(&self) {
+        if let Some(ms) = self.metrics.get() {
+            ms.write_trips.inc();
+        }
+    }
+
+    fn trip_read(&self) {
+        if let Some(ms) = self.metrics.get() {
+            ms.read_trips.inc();
+        }
+    }
+
     /// Raw page writes observed so far (counting dropped ones).
     pub fn writes_observed(&self) -> u64 {
         self.writes.load(Ordering::SeqCst)
@@ -128,15 +161,18 @@ impl FaultPlan {
         let idx = self.writes.fetch_add(1, Ordering::SeqCst);
         if idx == self.enospc_at.load(Ordering::SeqCst) {
             self.enospc_at.store(u64::MAX, Ordering::SeqCst);
+            self.trip_write();
             // Raw errno 28 (ENOSPC) — `ErrorKind::StorageFull` is not a
             // stable constructor, the raw code is.
             return Err(std::io::Error::from_raw_os_error(28));
         }
         let crash = self.crash_after.load(Ordering::SeqCst);
         if idx > crash {
+            self.trip_write();
             return Ok(WriteOutcome::Drop);
         }
         if idx == crash {
+            self.trip_write();
             return Ok(match *self.crash_mode.lock().unwrap() {
                 CrashMode::Torn { keep } => WriteOutcome::Prefix(keep),
                 CrashMode::Dropped => WriteOutcome::Drop,
@@ -159,6 +195,7 @@ impl FaultPlan {
                 Ordering::SeqCst,
             ) {
                 Ok(_) => {
+                    self.trip_read();
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::Interrupted,
                         "injected transient EIO",
@@ -171,6 +208,7 @@ impl FaultPlan {
         for &(at, mask) in corruption.iter() {
             if at >= offset && at < offset + buf.len() as u64 {
                 buf[(at - offset) as usize] ^= mask;
+                self.trip_read();
             }
         }
         Ok(())
@@ -186,6 +224,8 @@ pub struct FaultBackend {
     transient_gets: AtomicU64,
     /// Objects whose `get`/`peek` permanently fails a checksum.
     poisoned: Mutex<HashSet<u64>>,
+    /// Live fault-trip counters (attached via `PageBackend::attach_metrics`).
+    metrics: OnceLock<FaultMetricSet>,
 }
 
 impl FaultBackend {
@@ -194,6 +234,7 @@ impl FaultBackend {
             inner,
             transient_gets: AtomicU64::new(0),
             poisoned: Mutex::new(HashSet::new()),
+            metrics: OnceLock::new(),
         })
     }
 
@@ -216,6 +257,9 @@ impl FaultBackend {
 
     fn check_read(&self, first: PageId) -> Result<(), StorageError> {
         if self.poisoned.lock().unwrap().contains(&first.0) {
+            if let Some(ms) = self.metrics.get() {
+                ms.read_trips.inc();
+            }
             return Err(StorageError::ChecksumMismatch { page: first.0 });
         }
         let mut remaining = self.transient_gets.load(Ordering::SeqCst);
@@ -227,6 +271,9 @@ impl FaultBackend {
                 Ordering::SeqCst,
             ) {
                 Ok(_) => {
+                    if let Some(ms) = self.metrics.get() {
+                        ms.read_trips.inc();
+                    }
                     return Err(StorageError::Io(std::io::Error::new(
                         std::io::ErrorKind::Interrupted,
                         "injected transient get failure",
@@ -308,6 +355,14 @@ impl PageBackend for FaultBackend {
 
     fn reclaimable_pages(&self) -> u64 {
         self.inner.reclaimable_pages()
+    }
+
+    fn attach_metrics(&self, metrics: &Metrics, prefix: &str) {
+        let _ = self.metrics.set(FaultMetricSet {
+            write_trips: metrics.counter(&format!("{prefix}.fault.write_trips")),
+            read_trips: metrics.counter(&format!("{prefix}.fault.read_trips")),
+        });
+        self.inner.attach_metrics(metrics, prefix);
     }
 }
 

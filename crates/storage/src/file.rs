@@ -851,6 +851,10 @@ impl PageBackend for FileBackend {
         Some(self.pool.stats())
     }
 
+    fn attach_metrics(&self, metrics: &rcube_obs::Metrics, prefix: &str) {
+        self.pool.attach_metrics(metrics, prefix);
+    }
+
     fn generation(&self) -> Option<u64> {
         Some(self.generation.load(Ordering::Relaxed))
     }

@@ -36,6 +36,17 @@
 //! the v1 single-superblock layout fail the version gate and must be
 //! re-saved.
 //!
+//! **Observability.** Every maintenance transition over this format is
+//! mirrored into the `rcube_obs` metrics registry: `SignatureCube::commit`
+//! records `maintenance.commits` and the `maintenance.generation` gauge
+//! (the generation field above), COW patches record
+//! `maintenance.cells_replaced` / `maintenance.pages_appended`,
+//! `vacuum_to` records `maintenance.pages_reclaimed`, `scrub_path`
+//! records clean vs rolled-back outcomes, and scripted fault injections
+//! trip `*.fault.write_trips` / `*.fault.read_trips` (see
+//! `crate::fault`). The buffer pool serving these pages exports live
+//! `{prefix}.pool.hits/misses/evictions` counters.
+//!
 //! # Page header (every page except the superblock, 8 bytes)
 //!
 //! | offset | size | field                                              |

@@ -36,8 +36,10 @@
 //! Degradation changes *which path* computes the answer, never the
 //! answer: every route returns the same certified top-k.
 
-use std::sync::Mutex;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use rcube_baseline::TableScan;
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
@@ -46,13 +48,22 @@ use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
 use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
 use rcube_core::TopKResult;
 use rcube_index::rtree::{RTree, RTreeConfig};
+use rcube_obs::{Counter, Histogram, Metrics, QueryTrace};
 use rcube_storage::{DiskSim, StorageError};
 use rcube_table::Relation;
+
+use crate::observe::{AnalyzeReport, CandidatePlan, EngineStats, PlanReport, SlowQueryRecord};
 
 /// Attempts per route on transient storage faults (1 initial + retries).
 const RETRY_ATTEMPTS: u32 = 3;
 /// Backoff before the first retry; doubles per subsequent attempt.
 const RETRY_BACKOFF: Duration = Duration::from_millis(1);
+/// Most recent slow queries retained by the bounded slow-query log.
+const SLOW_LOG_CAP: usize = 64;
+/// Trace events retained per traced query before the ring drops old ones.
+const TRACE_CAP: usize = 1024;
+/// Sentinel for "slow-query log disabled" in `slow_threshold_ns`.
+const SLOW_LOG_OFF: u64 = u64::MAX;
 
 /// Which access path the engine picked for a query (introspection for
 /// tests and demos).
@@ -68,6 +79,52 @@ pub enum Route {
     Scan,
 }
 
+impl Route {
+    /// Every route, in the engine's preference order.
+    pub const ALL: [Route; 4] = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan];
+
+    /// The metric-series name for this route (`query.<name>.…`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Grid => "grid",
+            Route::Fragments => "fragments",
+            Route::Signature => "signature",
+            Route::Scan => "scan",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Route::Grid => 0,
+            Route::Fragments => 1,
+            Route::Signature => 2,
+            Route::Scan => 3,
+        }
+    }
+}
+
+/// Pre-resolved per-route instruments, built once at engine
+/// construction so the query path never touches the registry lock.
+#[derive(Debug)]
+struct RouteMetricSet {
+    count: Counter,
+    latency_us: Histogram,
+    blocks_read: Histogram,
+    tuples_scored: Histogram,
+}
+
+impl RouteMetricSet {
+    fn for_route(metrics: &Metrics, route: Route) -> Self {
+        let name = route.name();
+        Self {
+            count: metrics.counter(&format!("query.{name}.count")),
+            latency_us: metrics.histogram(&format!("query.{name}.latency_us")),
+            blocks_read: metrics.histogram(&format!("query.{name}.blocks_read")),
+            tuples_scored: metrics.histogram(&format!("query.{name}.tuples_scored")),
+        }
+    }
+}
+
 /// One relation, one metering device, every registered access path.
 #[derive(Debug)]
 pub struct Engine {
@@ -80,6 +137,22 @@ pub struct Engine {
     /// Routes taken out of service by a persistent storage fault, with
     /// the error that condemned them. The scan is never quarantined.
     quarantine: Mutex<Vec<(Route, String)>>,
+    /// This engine's metric registry; every registered component mirrors
+    /// its counters here (pass [`Metrics::disabled`] to
+    /// [`Self::with_disk_and_metrics`] to opt out at zero cost).
+    metrics: Metrics,
+    /// Pre-resolved per-route query instruments, indexed by
+    /// [`Route::index`].
+    route_metrics: [RouteMetricSet; 4],
+    retries_total: Counter,
+    fallbacks_total: Counter,
+    quarantines_total: Counter,
+    slow_total: Counter,
+    /// Slow-query threshold in nanoseconds; [`SLOW_LOG_OFF`] disables
+    /// capture (the default).
+    slow_threshold_ns: AtomicU64,
+    /// Bounded ring of the most recent slow queries.
+    slow_log: Mutex<VecDeque<SlowQueryRecord>>,
 }
 
 impl Engine {
@@ -90,8 +163,23 @@ impl Engine {
     }
 
     /// [`Self::new`] with an explicit device (page size, buffer budget).
+    /// Metrics land in a fresh per-engine registry.
     pub fn with_disk(rel: Relation, disk: DiskSim) -> Self {
+        Self::with_disk_and_metrics(rel, disk, Metrics::new())
+    }
+
+    /// [`Self::with_disk`] with an explicit metric registry: pass
+    /// [`Metrics::global`] to aggregate across engines, or
+    /// [`Metrics::disabled`] to make every instrument a no-op handle.
+    pub fn with_disk_and_metrics(rel: Relation, disk: DiskSim, metrics: Metrics) -> Self {
+        disk.attach_metrics(&metrics);
         let scan = TableScan::new(&rel, &disk);
+        let route_metrics = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
+            .map(|r| RouteMetricSet::for_route(&metrics, r));
+        let retries_total = metrics.counter("query.retries");
+        let fallbacks_total = metrics.counter("query.fallbacks");
+        let quarantines_total = metrics.counter("query.quarantines");
+        let slow_total = metrics.counter("query.slow.count");
         Self {
             rel,
             disk,
@@ -100,19 +188,31 @@ impl Engine {
             signature: None,
             scan,
             quarantine: Mutex::new(Vec::new()),
+            metrics,
+            route_metrics,
+            retries_total,
+            fallbacks_total,
+            quarantines_total,
+            slow_total,
+            slow_threshold_ns: AtomicU64::new(SLOW_LOG_OFF),
+            slow_log: Mutex::new(VecDeque::new()),
         }
     }
 
     /// Materializes a grid ranking cube (charging construction I/O to the
     /// engine's device) and registers it as the preferred route.
     pub fn with_grid_cube(mut self, config: GridCubeConfig) -> Self {
-        self.grid = Some(GridRankingCube::build(&self.rel, &self.disk, config));
+        let cube = GridRankingCube::build(&self.rel, &self.disk, config);
+        cube.store().attach_metrics(&self.metrics, "grid");
+        self.grid = Some(cube);
         self
     }
 
     /// Materializes ranking fragments and registers them.
     pub fn with_fragments(mut self, config: FragmentConfig) -> Self {
-        self.fragments = Some(RankingFragments::build(&self.rel, &self.disk, config));
+        let frags = RankingFragments::build(&self.rel, &self.disk, config);
+        frags.cube().store().attach_metrics(&self.metrics, "fragments");
+        self.fragments = Some(frags);
         self
     }
 
@@ -120,7 +220,8 @@ impl Engine {
     /// signature cube over it, and registers the pair.
     pub fn with_signature_cube(mut self, rcfg: RTreeConfig, scfg: SignatureCubeConfig) -> Self {
         let rtree = RTree::over_relation(&self.disk, &self.rel, &[], rcfg);
-        let cube = SignatureCube::build(&self.rel, &rtree, &self.disk, scfg);
+        let mut cube = SignatureCube::build(&self.rel, &rtree, &self.disk, scfg);
+        cube.set_metrics(self.metrics.clone());
         self.signature = Some((rtree, cube));
         self
     }
@@ -128,12 +229,14 @@ impl Engine {
     /// Registers an already-materialized grid cube (e.g. reopened from a
     /// cube file) instead of building one.
     pub fn with_prebuilt_grid(mut self, cube: GridRankingCube) -> Self {
+        cube.store().attach_metrics(&self.metrics, "grid");
         self.grid = Some(cube);
         self
     }
 
     /// Registers already-materialized ranking fragments.
     pub fn with_prebuilt_fragments(mut self, fragments: RankingFragments) -> Self {
+        fragments.cube().store().attach_metrics(&self.metrics, "fragments");
         self.fragments = Some(fragments);
         self
     }
@@ -141,7 +244,8 @@ impl Engine {
     /// Registers an already-materialized signature cube + R-tree pair —
     /// how reopened cube files (or fault-wrapped stores in degradation
     /// tests) are served.
-    pub fn with_prebuilt_signature(mut self, rtree: RTree, cube: SignatureCube) -> Self {
+    pub fn with_prebuilt_signature(mut self, rtree: RTree, mut cube: SignatureCube) -> Self {
+        cube.set_metrics(self.metrics.clone());
         self.signature = Some((rtree, cube));
         self
     }
@@ -171,12 +275,11 @@ impl Engine {
         self.signature.as_ref()
     }
 
-    /// Candidate routes for `query`, best first: every registered,
-    /// non-quarantined source that can answer the plan, always ending
-    /// with the table scan. An explicit `via_cuboids` pin returns the
-    /// grid route alone — degrading a pinned query to another path would
-    /// silently drop its cover.
-    fn candidates(&self, query: &Query) -> Vec<Route> {
+    /// Every route's standing for `query`, in preference order — the one
+    /// decision procedure shared by routing ([`Self::candidates`]) and
+    /// [`Self::explain`], so the plan a report shows is exactly the plan
+    /// the router executes.
+    fn consider(&self, query: &Query) -> Vec<CandidatePlan> {
         let plan = query.plan();
         if plan.cuboids.is_some() {
             let grid = self.grid.as_ref().expect("via_cuboids requires a registered grid cube");
@@ -184,30 +287,80 @@ impl Engine {
                 plan.ranking_dims.iter().all(|d| grid.ranking_dims().contains(d)),
                 "via_cuboids query ranks on dimensions the grid partition does not cover"
             );
-            return vec![Route::Grid];
+            return Route::ALL
+                .iter()
+                .map(|&route| {
+                    let chosen = route == Route::Grid;
+                    CandidatePlan {
+                        route,
+                        registered: chosen,
+                        eligible: chosen,
+                        quarantined: None,
+                        chosen,
+                        reason: if chosen {
+                            "pinned: explicit via_cuboids cover".into()
+                        } else {
+                            "skipped: query pins the grid via an explicit cuboid cover".into()
+                        },
+                    }
+                })
+                .collect();
         }
         let down = self.quarantine.lock().unwrap();
-        let healthy = |r: Route| !down.iter().any(|(q, _)| *q == r);
-        let mut routes = Vec::with_capacity(4);
-        if let Some(grid) = &self.grid {
-            if healthy(Route::Grid) && grid.can_answer(plan.selection, plan.ranking_dims) {
-                routes.push(Route::Grid);
-            }
+        let mut chosen_yet = false;
+        let mut rows = Vec::with_capacity(4);
+        for route in Route::ALL {
+            let registered = match route {
+                Route::Grid => self.grid.is_some(),
+                Route::Fragments => self.fragments.is_some(),
+                Route::Signature => self.signature.is_some(),
+                Route::Scan => true,
+            };
+            let eligible = registered
+                && match route {
+                    Route::Grid => self
+                        .grid
+                        .as_ref()
+                        .is_some_and(|g| g.can_answer(plan.selection, plan.ranking_dims)),
+                    Route::Fragments => self
+                        .fragments
+                        .as_ref()
+                        .is_some_and(|fr| fr.can_answer(plan.selection, plan.ranking_dims)),
+                    Route::Signature => self.signature.as_ref().is_some_and(|(rtree, cube)| {
+                        cube.can_answer(rtree, plan.selection, plan.ranking_dims)
+                    }),
+                    Route::Scan => true,
+                };
+            let quarantined = down.iter().find(|(q, _)| *q == route).map(|(_, why)| why.clone());
+            let viable = registered && eligible && quarantined.is_none();
+            let chosen = viable && !chosen_yet;
+            chosen_yet |= chosen;
+            let reason = if chosen {
+                match route {
+                    Route::Scan => "chosen: always-applicable fallback".into(),
+                    _ => "chosen: covers the selection and ranking dimensions".into(),
+                }
+            } else if !registered {
+                "skipped: not registered".into()
+            } else if let Some(why) = &quarantined {
+                format!("skipped: quarantined ({why})")
+            } else if !eligible {
+                "skipped: cannot answer (selection or ranking dims uncovered)".into()
+            } else {
+                "viable: next fallback if the preferred route fails".into()
+            };
+            rows.push(CandidatePlan { route, registered, eligible, quarantined, chosen, reason });
         }
-        if let Some(frags) = &self.fragments {
-            if healthy(Route::Fragments) && frags.can_answer(plan.selection, plan.ranking_dims) {
-                routes.push(Route::Fragments);
-            }
-        }
-        if let Some((rtree, cube)) = &self.signature {
-            if healthy(Route::Signature)
-                && cube.can_answer(rtree, plan.selection, plan.ranking_dims)
-            {
-                routes.push(Route::Signature);
-            }
-        }
-        routes.push(Route::Scan);
-        routes
+        rows
+    }
+
+    /// Candidate routes for `query`, best first: every registered,
+    /// non-quarantined source that can answer the plan, always ending
+    /// with the table scan. An explicit `via_cuboids` pin returns the
+    /// grid route alone — degrading a pinned query to another path would
+    /// silently drop its cover.
+    fn candidates(&self, query: &Query) -> Vec<Route> {
+        self.consider(query).into_iter().filter(|c| c.viable()).map(|c| c.route).collect()
     }
 
     /// The access path [`Self::open`] will use for `query` — the first
@@ -251,7 +404,9 @@ impl Engine {
     /// retry/fallback orchestration for batch answers.
     pub fn open<'e>(&'e self, query: &'e Query) -> Result<TopKCursor<'e>, StorageError> {
         let plan = query.plan();
-        self.open_route(self.route(query), &plan)
+        let route = self.route(query);
+        self.route_metrics[route.index()].count.inc();
+        self.open_route(route, &plan)
     }
 
     /// Batch convenience: open, drain `k` answers, return the result.
@@ -269,6 +424,28 @@ impl Engine {
     /// `path_fallbacks`); an error escapes only when the scan itself
     /// fails.
     pub fn try_query(&self, query: &Query) -> Result<TopKResult, StorageError> {
+        let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
+        let trace = (threshold != SLOW_LOG_OFF).then(|| Arc::new(QueryTrace::new(TRACE_CAP)));
+        let start = Instant::now();
+        let (res, route) = self.run_traced(query, trace.as_ref())?;
+        let wall = start.elapsed();
+        self.record_query(route, wall, &res);
+        if wall.as_nanos() as u64 >= threshold {
+            self.capture_slow(query, route, wall, &res, trace.as_deref());
+        }
+        Ok(res)
+    }
+
+    /// The retry/fallback ladder behind [`Self::try_query`] and
+    /// [`Self::explain_analyze`]: runs `query` to completion, attaching
+    /// `trace` (when given) to the answering cursor so every pull lands
+    /// in the trace ring. Returns the result plus the route that
+    /// actually answered.
+    fn run_traced(
+        &self,
+        query: &Query,
+        trace: Option<&Arc<QueryTrace>>,
+    ) -> Result<(TopKResult, Route), StorageError> {
         let plan = query.plan();
         let mut retries = 0u64;
         let mut fallbacks = 0u64;
@@ -277,11 +454,19 @@ impl Engine {
             let mut backoff = RETRY_BACKOFF;
             let mut attempt = 1;
             loop {
-                match self.open_route(route, &plan).and_then(|mut c| c.try_drain()) {
+                let run = self.open_route(route, &plan).and_then(|mut c| {
+                    if let Some(t) = trace {
+                        c.attach_trace(Arc::clone(t));
+                    }
+                    c.try_drain()
+                });
+                match run {
                     Ok(mut res) => {
                         res.stats.path_retries = retries;
                         res.stats.path_fallbacks = fallbacks;
-                        return Ok(res);
+                        self.retries_total.add(retries);
+                        self.fallbacks_total.add(fallbacks);
+                        return Ok((res, route));
                     }
                     Err(e) if e.is_transient() && attempt < RETRY_ATTEMPTS => {
                         attempt += 1;
@@ -296,6 +481,7 @@ impl Engine {
                         // Persistent (or retry-exhausted) fault: take the
                         // route out of service and degrade to the next.
                         self.quarantine.lock().unwrap().push((route, e.to_string()));
+                        self.quarantines_total.inc();
                         fallbacks += 1;
                         last_err = Some(e);
                         break;
@@ -308,6 +494,40 @@ impl Engine {
         Err(last_err.expect("no candidate route"))
     }
 
+    /// Lands one answered query in the per-route instruments.
+    fn record_query(&self, route: Route, wall: Duration, res: &TopKResult) {
+        let rm = &self.route_metrics[route.index()];
+        rm.count.inc();
+        rm.latency_us.record(wall.as_micros() as u64);
+        rm.blocks_read.record(res.stats.blocks_read);
+        rm.tuples_scored.record(res.stats.tuples_scored);
+    }
+
+    /// Pushes a slow-query record into the bounded log.
+    fn capture_slow(
+        &self,
+        query: &Query,
+        route: Route,
+        wall: Duration,
+        res: &TopKResult,
+        trace: Option<&QueryTrace>,
+    ) {
+        self.slow_total.inc();
+        let record = SlowQueryRecord {
+            query: format!("{query:?}"),
+            route,
+            wall,
+            stats: res.stats,
+            plan: self.explain(query),
+            events: trace.map(|t| t.events()).unwrap_or_default(),
+        };
+        let mut log = self.slow_log.lock().unwrap();
+        if log.len() == SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(record);
+    }
+
     /// Routes currently out of service after a persistent storage fault,
     /// with the error that condemned each.
     pub fn quarantined(&self) -> Vec<(Route, String)> {
@@ -318,6 +538,103 @@ impl Engine {
     /// the underlying store, e.g. a scrub/rollback or vacuum).
     pub fn clear_quarantine(&self) {
         self.quarantine.lock().unwrap().clear();
+    }
+
+    /// This engine's metric registry — snapshot it for Prometheus/JSON
+    /// export, or hand it to components built outside the engine.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// EXPLAIN: how `query` *would* execute — candidate paths with
+    /// elimination reasons, quarantine state, the chosen route, and the
+    /// optimizer's cardinality estimate — computed **without running the
+    /// query** (no I/O is charged, no cursor is opened).
+    pub fn explain(&self, query: &Query) -> PlanReport {
+        let plan = query.plan();
+        let estimated_selectivity = plan.selection.estimated_selectivity(&self.rel);
+        let candidates = self.consider(query);
+        let route = candidates
+            .iter()
+            .find(|c| c.chosen)
+            .map(|c| c.route)
+            .expect("candidates always include the scan");
+        PlanReport {
+            query: format!("{query:?}"),
+            k: plan.k,
+            selection: plan.selection.conds().to_vec(),
+            ranking_dims: plan.ranking_dims.to_vec(),
+            relation_tuples: self.rel.len(),
+            estimated_selectivity,
+            estimated_matches: estimated_selectivity * self.rel.len() as f64,
+            candidates,
+            route,
+        }
+    }
+
+    /// EXPLAIN ANALYZE: [`Self::explain`], then run the query with a
+    /// trace attached and join the plan with what actually happened —
+    /// the executed route, the answering cursor's exact [`QueryStats`],
+    /// wall-clock time, and the full event trace. The report's `stats`
+    /// are taken verbatim from the cursor, so its counters reconcile
+    /// exactly with the trace deltas (`cursor.attach` + Σ pull deltas).
+    ///
+    /// [`QueryStats`]: rcube_core::QueryStats
+    pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzeReport, StorageError> {
+        let plan = self.explain(query);
+        let trace = Arc::new(QueryTrace::new(TRACE_CAP));
+        let start = Instant::now();
+        let (res, executed) = self.run_traced(query, Some(&trace))?;
+        let wall = start.elapsed();
+        self.record_query(executed, wall, &res);
+        Ok(AnalyzeReport {
+            plan,
+            executed,
+            items: res.items,
+            stats: res.stats,
+            wall,
+            events: trace.events(),
+        })
+    }
+
+    /// Arms the slow-query log: any [`Self::query`]/[`Self::try_query`]
+    /// taking at least `threshold` wall-clock is captured with its full
+    /// trace and plan report (bounded to the most recent 64). A zero
+    /// threshold captures everything — handy in tests and demos.
+    pub fn set_slow_query_log(&self, threshold: Duration) {
+        self.slow_threshold_ns.store(threshold.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Disarms the slow-query log (captured records are kept).
+    pub fn disable_slow_query_log(&self) {
+        self.slow_threshold_ns.store(SLOW_LOG_OFF, Ordering::Relaxed);
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.slow_log.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Empties the slow-query log.
+    pub fn clear_slow_queries(&self) {
+        self.slow_log.lock().unwrap().clear();
+    }
+
+    /// One aggregated point-in-time view of the engine: device I/O,
+    /// per-path buffer pools, the shared signature node cache,
+    /// quarantine state, slow-log depth, and a snapshot of every metric
+    /// series in the registry.
+    pub fn stats_snapshot(&self) -> EngineStats {
+        EngineStats {
+            io: self.disk.stats().snapshot(),
+            grid_pool: self.grid.as_ref().and_then(|g| g.pool_stats()),
+            fragments_pool: self.fragments.as_ref().and_then(|fr| fr.cube().pool_stats()),
+            signature_pool: self.signature.as_ref().and_then(|(_, c)| c.pool_stats()),
+            node_cache: self.signature.as_ref().map(|(_, c)| c.node_cache().stats()),
+            quarantined: self.quarantined(),
+            slow_queries: self.slow_log.lock().unwrap().len(),
+            metrics: self.metrics.snapshot(),
+        }
     }
 }
 

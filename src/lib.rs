@@ -22,6 +22,7 @@
 //! | [`join`] | SPJR ranked queries over multiple relations | Ch 6 |
 //! | [`skyline`] | skyline / dynamic skyline with Boolean predicates | Ch 7 |
 //! | [`baseline`] | table-scan, Boolean-first, ranking-first, rank-mapping | evaluation foils |
+//! | [`obs`] | metrics registry, query tracing, exports | observability |
 //!
 //! and adds the [`Engine`] front door: one owner for the simulated device
 //! and every materialized access path, routing each query to the best
@@ -67,6 +68,44 @@
 //! let result = engine.query(&Query::select([(0, 0)]).rank(Linear::uniform(2)).top(2));
 //! assert_eq!(result.tids(), vec![1, 0]);
 //! ```
+//!
+//! ## Observability
+//!
+//! Every engine carries a metric registry ([`obs::Metrics`]): buffer-pool
+//! hits/misses/evictions per access path, shared node-cache activity,
+//! device I/O, per-route query latency/blocks/tuples histograms, and
+//! maintenance events (commits, vacuums, scrubs, fault trips — see
+//! `rcube_storage::format` for the maintenance series). Instrumentation
+//! is free when disabled: pass [`obs::Metrics::disabled`] to
+//! [`Engine::with_disk_and_metrics`] and every handle is a no-op.
+//!
+//! ```
+//! # use ranking_cube::prelude::*;
+//! # let mut b = RelationBuilder::new(
+//! #     Schema::new(vec![Dim::cat("type", 3)], vec!["price", "mileage"]));
+//! # b.push(&[0], &[0.2, 0.3]);
+//! # b.push(&[1], &[0.1, 0.4]);
+//! # let engine = Engine::new(b.finish()).with_grid_cube(GridCubeConfig::default());
+//! let query = Query::select([(0, 0)]).rank(Linear::uniform(2)).top(1);
+//!
+//! // EXPLAIN: the routing decision, without executing.
+//! let plan = engine.explain(&query);
+//! assert_eq!(plan.route, engine.route(&query));
+//!
+//! // EXPLAIN ANALYZE: plan + exact execution counters + trace.
+//! let report = engine.explain_analyze(&query).unwrap();
+//! assert_eq!(report.executed, plan.route);
+//! println!("{report}");
+//!
+//! // Slow-query log: threshold zero captures everything.
+//! engine.set_slow_query_log(std::time::Duration::ZERO);
+//! engine.query(&query);
+//! assert_eq!(engine.slow_queries().len(), 1);
+//!
+//! // Export: Prometheus text or JSON for scraping.
+//! let text = engine.metrics().snapshot().to_prometheus_text();
+//! assert!(text.contains("query_grid_count"));
+//! ```
 
 pub use rcube_baseline as baseline;
 pub use rcube_core as cube;
@@ -74,17 +113,21 @@ pub use rcube_func as func;
 pub use rcube_index as index;
 pub use rcube_join as join;
 pub use rcube_merge as merge;
+pub use rcube_obs as obs;
 pub use rcube_skyline as skyline;
 pub use rcube_storage as storage;
 pub use rcube_table as table;
 
 mod engine;
+mod observe;
 
 pub use engine::{Engine, Route};
+pub use observe::{AnalyzeReport, CandidatePlan, EngineStats, PlanReport, SlowQueryRecord};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::engine::{Engine, Route};
+    pub use crate::observe::{AnalyzeReport, EngineStats, PlanReport, SlowQueryRecord};
     pub use rcube_baseline::{BooleanFirst, RankMapping, RankingFirst, TableScan};
     pub use rcube_core::fragments::{FragmentConfig, RankingFragments};
     pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
@@ -96,6 +139,7 @@ pub mod prelude {
     pub use rcube_index::grid::GridPartition;
     pub use rcube_index::rtree::{RTree, RTreeConfig};
     pub use rcube_merge::{IndexMerge, MergeConfig};
+    pub use rcube_obs::{Metrics, MetricsSnapshot, QueryTrace};
     pub use rcube_skyline::{SkylineEngine, SkylineQuery};
     pub use rcube_storage::{DiskSim, IoStats, PageStore};
     pub use rcube_table::{Dim, Relation, RelationBuilder, Schema};

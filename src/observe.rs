@@ -1,0 +1,239 @@
+//! Observability report types for the [`Engine`](crate::Engine) front
+//! door: EXPLAIN plans, EXPLAIN ANALYZE joins, the slow-query log, and
+//! the aggregated engine snapshot.
+//!
+//! Everything here is plain data — produced by `Engine::explain`,
+//! `Engine::explain_analyze`, `Engine::slow_queries` and
+//! `Engine::stats_snapshot` — with human-readable `Display` renderings
+//! for demos and operator consoles. The raw metric series behind these
+//! reports live in [`rcube_obs`] (re-exported as [`crate::obs`]).
+
+use std::fmt;
+use std::time::Duration;
+
+use rcube_core::QueryStats;
+use rcube_obs::{MetricsSnapshot, TraceEvent};
+use rcube_storage::{IoSnapshot, PoolStats};
+
+use crate::engine::Route;
+
+/// One access path's standing for a query: why the router did (or did
+/// not) pick it. Rows appear in preference order (grid, fragments,
+/// signature, scan).
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The access path under consideration.
+    pub route: Route,
+    /// Whether the path is registered on the engine at all.
+    pub registered: bool,
+    /// Whether the registered path can answer this plan
+    /// (`can_answer`): selection and ranking dimensions covered.
+    pub eligible: bool,
+    /// The persistent-fault reason that took the path out of service,
+    /// when quarantined.
+    pub quarantined: Option<String>,
+    /// Whether the router would open this path first.
+    pub chosen: bool,
+    /// Human explanation of the row (why chosen / why skipped).
+    pub reason: String,
+}
+
+impl CandidatePlan {
+    /// Whether the retry/fallback ladder may try this route at all.
+    pub fn viable(&self) -> bool {
+        self.registered && self.eligible && self.quarantined.is_none()
+    }
+}
+
+/// The output of [`Engine::explain`](crate::Engine::explain): how a
+/// query *would* execute, computed without running it.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Debug rendering of the query (selection, ranking dims, k).
+    pub query: String,
+    /// Requested answer count.
+    pub k: usize,
+    /// Selection predicates as `(dimension, value)` pairs.
+    pub selection: Vec<(usize, u32)>,
+    /// Ranking dimensions the scoring function reads.
+    pub ranking_dims: Vec<usize>,
+    /// Tuples in the served relation.
+    pub relation_tuples: usize,
+    /// The optimizer's cardinality model: selectivity under independent
+    /// uniform dimensions (`Selection::estimated_selectivity`).
+    pub estimated_selectivity: f64,
+    /// `relation_tuples × estimated_selectivity`.
+    pub estimated_matches: f64,
+    /// Every access path's standing, in preference order.
+    pub candidates: Vec<CandidatePlan>,
+    /// The route the engine would open first.
+    pub route: Route,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PLAN {}", self.query)?;
+        writeln!(
+            f,
+            "  estimate: {:.4} selectivity over {} tuples (~{:.1} matches), k={}",
+            self.estimated_selectivity, self.relation_tuples, self.estimated_matches, self.k
+        )?;
+        writeln!(f, "  candidates (preference order):")?;
+        for c in &self.candidates {
+            let mark = if c.chosen { "->" } else { "  " };
+            writeln!(f, "  {} {:<9} {}", mark, format!("{:?}", c.route), c.reason)?;
+        }
+        write!(f, "  route: {:?}", self.route)
+    }
+}
+
+/// The output of
+/// [`Engine::explain_analyze`](crate::Engine::explain_analyze): the
+/// static plan joined with what actually happened when the query ran.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The plan as predicted before execution.
+    pub plan: PlanReport,
+    /// The route that actually answered (differs from `plan.route`
+    /// only when a storage fault degraded the query mid-flight).
+    pub executed: Route,
+    /// The answer: `(tid, score)` pairs in ascending score order.
+    pub items: Vec<(rcube_table::Tid, f64)>,
+    /// Execution counters from the cursor that answered.
+    pub stats: QueryStats,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// The query's trace: ordered spans/events with counter deltas
+    /// (`cursor.attach` carries open-sunk cost; each `cursor.next`
+    /// carries the pull's delta).
+    pub events: Vec<TraceEvent>,
+}
+
+impl AnalyzeReport {
+    /// Actual matches found, for the estimated-vs-actual row.
+    pub fn actual_matches(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.plan)?;
+        writeln!(f, "ANALYZE")?;
+        writeln!(
+            f,
+            "  executed: {:?}{} in {:.3} ms",
+            self.executed,
+            if self.executed == self.plan.route { "" } else { " (degraded!)" },
+            self.wall.as_secs_f64() * 1e3
+        )?;
+        writeln!(f, "  {:<22} {:>12} {:>12}", "metric", "estimated", "actual")?;
+        writeln!(
+            f,
+            "  {:<22} {:>12.1} {:>12}",
+            "answers",
+            self.plan.estimated_matches.min(self.plan.k as f64),
+            self.items.len()
+        )?;
+        writeln!(f, "  {:<22} {:>12} {:>12}", "blocks_read", "-", self.stats.blocks_read)?;
+        writeln!(f, "  {:<22} {:>12} {:>12}", "tuples_scored", "-", self.stats.tuples_scored)?;
+        writeln!(f, "  {:<22} {:>12} {:>12}", "disk_reads", "-", self.stats.io.disk_reads)?;
+        writeln!(
+            f,
+            "  {:<22} {:>12} {:>12}",
+            "shared_node_hits", "-", self.stats.shared_node_hits
+        )?;
+        write!(f, "  trace: {} events", self.events.len())
+    }
+}
+
+/// One captured slow query: everything needed to diagnose it after the
+/// fact (plan, route, counters, full trace).
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Debug rendering of the query.
+    pub query: String,
+    /// The route that answered.
+    pub route: Route,
+    /// Wall-clock execution time (≥ the configured threshold).
+    pub wall: Duration,
+    /// Execution counters from the answering cursor.
+    pub stats: QueryStats,
+    /// The plan report at capture time (includes quarantine state).
+    pub plan: PlanReport,
+    /// The query's trace events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl fmt::Display for SlowQueryRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SLOW {:.3} ms via {:?}: {} ({} blocks, {} tuples scored, {} trace events)",
+            self.wall.as_secs_f64() * 1e3,
+            self.route,
+            self.query,
+            self.stats.blocks_read,
+            self.stats.tuples_scored,
+            self.events.len()
+        )
+    }
+}
+
+/// The aggregated point-in-time view from
+/// [`Engine::stats_snapshot`](crate::Engine::stats_snapshot): device
+/// I/O, per-path buffer pools, the shared node cache, quarantine state,
+/// and the engine's full metric registry.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Cumulative device I/O counters.
+    pub io: IoSnapshot,
+    /// Grid cube buffer-pool stats (file-backed stores only).
+    pub grid_pool: Option<PoolStats>,
+    /// Fragments buffer-pool stats (file-backed stores only).
+    pub fragments_pool: Option<PoolStats>,
+    /// Signature cube buffer-pool stats (file-backed stores only).
+    pub signature_pool: Option<PoolStats>,
+    /// Shared cross-query signature node cache stats.
+    pub node_cache: Option<rcube_core::nodecache::NodeCacheStats>,
+    /// Routes currently out of service, with the condemning error.
+    pub quarantined: Vec<(Route, String)>,
+    /// Captured slow queries currently in the log.
+    pub slow_queries: usize,
+    /// Every counter/gauge/histogram in the engine's registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "io: {} logical reads, {} disk reads, {} writes",
+            self.io.logical_reads, self.io.disk_reads, self.io.writes
+        )?;
+        for (name, pool) in [
+            ("grid", &self.grid_pool),
+            ("fragments", &self.fragments_pool),
+            ("signature", &self.signature_pool),
+        ] {
+            if let Some(p) = pool {
+                writeln!(
+                    f,
+                    "{name} pool: {} hits, {} misses, {} evictions",
+                    p.hits(),
+                    p.misses(),
+                    p.evictions()
+                )?;
+            }
+        }
+        if let Some(nc) = &self.node_cache {
+            writeln!(
+                f,
+                "node cache: {} hits, {} misses, {} evictions, {} entries",
+                nc.hits, nc.misses, nc.evictions, nc.entries
+            )?;
+        }
+        writeln!(f, "quarantined: {}", self.quarantined.len())?;
+        write!(f, "slow queries logged: {}", self.slow_queries)
+    }
+}
