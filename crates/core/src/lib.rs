@@ -44,6 +44,7 @@ pub mod idlist;
 pub mod maintain;
 pub mod nodecache;
 pub mod query;
+pub mod scheduler;
 pub mod sigcube;
 pub mod signature;
 pub mod sigquery;
@@ -51,6 +52,7 @@ pub mod sigquery;
 pub use gridcube::{GridCubeConfig, GridRankingCube};
 pub use nodecache::{NodeCacheStats, SharedNodeCache};
 pub use query::{ProgressiveSearch, Query, QueryPlan, RankedSource, TopKCursor};
+pub use scheduler::{vacuum_into_place, MaintenanceConfig, MaintenanceScheduler, VacuumReport};
 pub use sigcube::{ScrubOutcome, SignatureCube, SignatureCubeConfig};
 
 use rcube_func::RankFn;
@@ -126,6 +128,11 @@ pub struct QueryStats {
     /// answer is correct but was computed by a degraded, usually slower
     /// access path.
     pub path_fallbacks: u64,
+    /// Total nanoseconds the engine's retry ladder slept in backoff
+    /// before this query succeeded — zero on the fast path, bounded by
+    /// the engine's per-query backoff budget otherwise, so tail-latency
+    /// spikes from transient-fault absorption are attributable.
+    pub backoff_ns: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

@@ -62,8 +62,8 @@ use rcube_index::rtree::RTree;
 use rcube_index::HierIndex;
 use rcube_obs::Metrics;
 use rcube_storage::{
-    BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, FileBackend, PackedBits, PageId,
-    PageStore, StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+    BitReader, BitWriter, ByteReader, ByteWriter, DiskSim, FileBackend, FileOptions, PackedBits,
+    PageId, PageStore, StorageError, DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
 };
 use rcube_table::{Relation, Selection};
 
@@ -1026,7 +1026,19 @@ impl SignatureCube {
         page_size: usize,
         pool_pages: usize,
     ) -> Result<(), StorageError> {
-        let file = PageStore::create_file(path, page_size, pool_pages)?;
+        self.save_to_opts(rtree, path, page_size, FileOptions::with_pool(pool_pages))
+    }
+
+    /// [`Self::save_to`] with explicit [`FileOptions`] — the vacuum swap
+    /// threads its scripted crash plan into the temp file through this.
+    pub fn save_to_opts(
+        &self,
+        rtree: &RTree,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        opts: FileOptions,
+    ) -> Result<(), StorageError> {
+        let file = PageStore::create_file_with(path, page_size, opts)?;
         let scratch = DiskSim::new(page_size, 0);
         let w = self.encode_catalog(rtree, |old| {
             let data = self.store.peek(old)?;
@@ -1113,7 +1125,19 @@ impl SignatureCube {
         page_size: usize,
         pool_pages: usize,
     ) -> Result<u64, StorageError> {
-        self.save_to_with(rtree, path, page_size, pool_pages)?;
+        self.vacuum_to_opts(rtree, path, page_size, FileOptions::with_pool(pool_pages))
+    }
+
+    /// [`Self::vacuum_to`] with explicit [`FileOptions`] on the
+    /// destination file (fault plans for the swap crash sweep).
+    pub fn vacuum_to_opts(
+        &self,
+        rtree: &RTree,
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        opts: FileOptions,
+    ) -> Result<u64, StorageError> {
+        self.save_to_opts(rtree, path, page_size, opts)?;
         let reclaimed = self.store.reclaimable_pages();
         self.metrics.counter("maintenance.vacuums").inc();
         self.metrics.counter("maintenance.pages_reclaimed").add(reclaimed);

@@ -53,6 +53,10 @@ pub enum StorageError {
     /// In-place overwrite attempted on a page belonging to a committed
     /// generation (committed pages are immutable; patch by appending).
     ImmutableGeneration { page: u64 },
+    /// A second writable handle was refused: the cube file's advisory
+    /// lock file is held by a live writer (`owner_pid`). See
+    /// `format` § *Locking & swap protocol* for the takeover rule.
+    WriterLocked { owner_pid: u32 },
     /// A catalog or structural blob failed validation.
     Malformed(&'static str),
 }
@@ -96,6 +100,9 @@ impl std::fmt::Display for StorageError {
             Self::ReadOnly => write!(f, "store is read-only"),
             Self::ImmutableGeneration { page } => {
                 write!(f, "page {page} belongs to a committed generation (immutable)")
+            }
+            Self::WriterLocked { owner_pid } => {
+                write!(f, "cube file writer lock held by live process {owner_pid}")
             }
             Self::Malformed(what) => write!(f, "malformed cube file: {what}"),
         }

@@ -215,6 +215,17 @@ impl PageStore {
         Ok(Self { backend: Arc::new(FileBackend::create(path, page_size, pool_pages)?) })
     }
 
+    /// [`Self::create_file`] with explicit [`crate::FileOptions`]
+    /// (fault plans, I/O mode) — the vacuum path uses this to thread a
+    /// scripted crash plan into the temp file it compacts into.
+    pub fn create_file_with(
+        path: impl AsRef<std::path::Path>,
+        page_size: usize,
+        opts: crate::FileOptions,
+    ) -> Result<Self, StorageError> {
+        Ok(Self { backend: Arc::new(FileBackend::create_with(path, page_size, opts)?) })
+    }
+
     /// Opens an existing cube file read-only with the given pool capacity.
     pub fn open_file(
         path: impl AsRef<std::path::Path>,

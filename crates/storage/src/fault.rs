@@ -22,7 +22,7 @@
 //! double-superblock commit protocol is designed for.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rcube_obs::{Counter, Metrics};
@@ -40,6 +40,25 @@ pub enum CrashMode {
     /// The write persists a prefix of `keep` bytes; the rest of the page
     /// keeps its previous contents (a torn sector write).
     Torn { keep: usize },
+}
+
+/// A boundary of the vacuum swap protocol (`format` § *Locking & swap
+/// protocol*), each individually crash-scriptable via
+/// [`FaultPlan::crash_at_swap`]. Stages run in declaration order; a
+/// crash at a stage means the process died *before* performing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapStage {
+    /// Before the first page of the sibling temp file is written
+    /// (crashes *during* the temp write are scripted page-by-page with
+    /// [`FaultPlan::crash_after_page_writes`] on the temp backend).
+    TempWrite = 0,
+    /// Before the temp file's contents are fsynced.
+    TempSync = 1,
+    /// Before the temp file is renamed over the target.
+    Rename = 2,
+    /// Before the writer lock file is removed — the lock file survives
+    /// the "death", exercising the stale-lock takeover rule.
+    LockRelease = 3,
 }
 
 /// What the backend should do with one raw page write (decided by
@@ -74,6 +93,10 @@ pub struct FaultPlan {
     /// Sticky corruption: `(file offset, xor mask)` applied to every read
     /// buffer covering that offset.
     corruption: Mutex<Vec<(u64, u8)>>,
+    /// Bitmask of [`SwapStage`]s armed to crash (bit = stage discriminant).
+    swap_crash: AtomicU64,
+    /// Latched once any armed swap-stage crash has fired.
+    swap_crashed: AtomicBool,
     /// Live fault-trip counters ([`FaultPlan::attach_metrics`]).
     metrics: OnceLock<FaultMetricSet>,
 }
@@ -119,6 +142,36 @@ impl FaultPlan {
         self.corruption.lock().unwrap().push((offset, mask));
     }
 
+    /// Arm a crash at one vacuum-swap boundary: the process "dies"
+    /// immediately before performing `stage`.
+    pub fn crash_at_swap(&self, stage: SwapStage) {
+        self.swap_crash.fetch_or(1 << stage as u64, Ordering::SeqCst);
+    }
+
+    /// Swap-protocol hook: called immediately before each swap stage.
+    /// Returns the injected crash as an error when that stage is armed;
+    /// the caller must abort the swap without performing the stage.
+    pub fn on_swap(&self, stage: SwapStage) -> Result<(), std::io::Error> {
+        if self.swap_crash.load(Ordering::SeqCst) & (1 << stage as u64) != 0 {
+            self.swap_crashed.store(true, Ordering::SeqCst);
+            self.trip_write();
+            return Err(std::io::Error::other(format!("injected crash at swap stage {stage:?}")));
+        }
+        Ok(())
+    }
+
+    /// Lock-release hook (see `crate::lock::WriterLock`): when the
+    /// [`SwapStage::LockRelease`] crash is armed, latches the crash and
+    /// returns true — the caller must leave the lock file on disk.
+    pub fn lock_release_crashes(&self) -> bool {
+        if self.swap_crash.load(Ordering::SeqCst) & (1 << SwapStage::LockRelease as u64) != 0 {
+            self.swap_crashed.store(true, Ordering::SeqCst);
+            self.trip_write();
+            return true;
+        }
+        false
+    }
+
     /// Counts fault trips into `metrics` (`{prefix}.fault.write_trips`
     /// for crash/ENOSPC-mangled writes, `{prefix}.fault.read_trips` for
     /// injected read errors and corruption applications).
@@ -151,9 +204,11 @@ impl FaultPlan {
         self.reads.load(Ordering::SeqCst)
     }
 
-    /// True once the scripted crash point has been reached.
+    /// True once the scripted crash point has been reached (page-write
+    /// crash point or any armed swap-stage crash).
     pub fn crashed(&self) -> bool {
         self.writes.load(Ordering::SeqCst) > self.crash_after.load(Ordering::SeqCst)
+            || self.swap_crashed.load(Ordering::SeqCst)
     }
 
     /// Backend hook: classify the next raw page write.
@@ -403,6 +458,23 @@ mod tests {
         assert!(plan.on_read(0, &mut buf).is_err());
         plan.on_read(0, &mut buf).unwrap();
         assert_eq!(plan.reads_observed(), 3);
+    }
+
+    #[test]
+    fn swap_stage_crashes_latch() {
+        let plan = FaultPlan::new();
+        assert!(plan.on_swap(SwapStage::Rename).is_ok());
+        assert!(!plan.crashed());
+        plan.crash_at_swap(SwapStage::Rename);
+        assert!(plan.on_swap(SwapStage::TempSync).is_ok());
+        assert!(plan.on_swap(SwapStage::Rename).is_err());
+        assert!(plan.crashed());
+
+        let plan = FaultPlan::new();
+        assert!(!plan.lock_release_crashes());
+        plan.crash_at_swap(SwapStage::LockRelease);
+        assert!(plan.lock_release_crashes());
+        assert!(plan.crashed());
     }
 
     #[test]

@@ -50,11 +50,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use crate::backend::{PageBackend, StorageError};
 use crate::buffer::{BufferPool, PoolStats};
 use crate::disk::{DiskSim, PageId};
-use crate::fault::{FaultPlan, WriteOutcome};
+use crate::fault::{FaultPlan, SwapStage, WriteOutcome};
 use crate::format::{
     decode_page, encode_page, PageType, Superblock, DATA_START, FLAG_CONTINUES, MAX_PAGE_SIZE,
     MIN_PAGE_SIZE, NO_PAGE, PAGE_HEADER, SUPERBLOCK_LEN,
 };
+use crate::lock::WriterLock;
 use crate::stats::IoStats;
 
 /// Default buffer-pool capacity for file-backed stores (pages), matching
@@ -188,6 +189,10 @@ pub struct FileBackend {
     writer: Mutex<()>,
     /// Scripted media faults, if attached.
     faults: Option<Arc<FaultPlan>>,
+    /// Cross-process writer exclusion: writable handles hold the sibling
+    /// `<path>.lock` file until drop ([`crate::lock::WriterLock`]);
+    /// read-only handles hold `None`. Pure RAII — never read.
+    _lock: Option<WriterLock>,
 }
 
 /// Decode outcome for each superblock slot — either may independently
@@ -228,6 +233,9 @@ impl FileBackend {
         if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
             return Err(StorageError::BadLength { page: 0, len: page_size, max: MAX_PAGE_SIZE });
         }
+        // Writer lock before the truncating open: a second process must
+        // fail fast instead of truncating a file someone is writing.
+        let lock = WriterLock::acquire(path.as_ref())?;
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let backend = Self {
@@ -247,6 +255,7 @@ impl FileBackend {
             pool: BufferPool::new(opts.pool_pages),
             writer: Mutex::new(()),
             faults: opts.faults,
+            _lock: Some(lock),
         };
         // Stamp generation 0 into slot 0 and zero slot 1, so a crash
         // before the first commit still leaves an identifiable file with
@@ -260,6 +269,7 @@ impl FileBackend {
             alloc_first: None,
             alloc_pages: 0,
             generation: 0,
+            retired_pages: 0,
         };
         let mut slot = vec![0u8; page_size];
         sb.encode(&mut slot);
@@ -297,7 +307,10 @@ impl FileBackend {
     /// Opens an existing cube file for writing: elects the newest
     /// generation and appends after it; [`Self::flush`] commits the next
     /// generation into the inactive slot. Exactly one writable handle
-    /// may exist per file (not enforced across processes).
+    /// may exist per file, enforced across processes by the sibling
+    /// `<path>.lock` file — a second writer fails fast with
+    /// [`StorageError::WriterLocked`], and stale locks left by dead
+    /// writers are taken over (see [`crate::lock`]).
     pub fn open_writable(path: impl AsRef<Path>, pool_pages: usize) -> Result<Self, StorageError> {
         Self::open_impl(path, FileOptions::with_pool(pool_pages), true, false)
     }
@@ -359,6 +372,7 @@ impl FileBackend {
         writable: bool,
         previous: bool,
     ) -> Result<Self, StorageError> {
+        let lock = if writable { Some(WriterLock::acquire(path.as_ref())?) } else { None };
         let file = OpenOptions::new().read(true).write(writable).open(path)?;
         let file = PagedFile::new(file, opts.io_mode);
         let (c0, c1) = Self::read_slots(&file)?;
@@ -392,7 +406,7 @@ impl FileBackend {
         if file_len < need {
             return Err(StorageError::TruncatedObject { page: sb.page_count });
         }
-        // The slot CRC covers its 72 serialized bytes; the rest of the
+        // The slot CRC covers its 80 serialized bytes; the rest of the
         // elected slot page is zero padding by construction, so verify it
         // — a bit flip anywhere on the live slot page must be detected
         // like on any other page. (The losing slot may be torn garbage;
@@ -415,14 +429,65 @@ impl FileBackend {
             catalog_first: AtomicU64::new(sb.catalog_first.unwrap_or(NO_PAGE)),
             dirty: AtomicBool::new(false),
             pages_written: AtomicU64::new(0),
-            retired_pages: AtomicU64::new(0),
+            // Seed from the elected slot: the vacuum watermark survives
+            // reopen instead of resetting to zero each restart.
+            retired_pages: AtomicU64::new(sb.retired_pages),
             sizes: RwLock::new(HashMap::new()),
             pool: BufferPool::new(opts.pool_pages),
             writer: Mutex::new(()),
             faults: opts.faults,
+            _lock: lock,
         };
         backend.verify_alloc_map(&sb)?;
         Ok(backend)
+    }
+
+    /// Reads and elects the newest valid superblock without constructing
+    /// a backend — no buffer pool, no writer lock, three page-head reads.
+    /// The maintenance scheduler's cheap watermark poll.
+    pub fn peek_superblock(path: impl AsRef<Path>) -> Result<Superblock, StorageError> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        let file = PagedFile::new(file, IoMode::default());
+        let (c0, c1) = Self::read_slots(&file)?;
+        match (c0, c1) {
+            (Ok(a), Ok(b)) => Ok(if a.generation >= b.generation { a } else { b }),
+            (Ok(a), Err(_)) => Ok(a),
+            (Err(_), Ok(b)) => Ok(b),
+            (Err(e0), Err(_)) => Err(e0),
+        }
+    }
+
+    /// Atomically publishes `temp` — a complete, committed cube file —
+    /// over `target`: fsync the temp contents, `rename` it over the
+    /// target (the atomic publish point), fsync the parent directory.
+    /// Steps 3–5 of the swap protocol in [`crate::format`] § *Locking &
+    /// swap protocol*; the caller must hold the target's
+    /// [`WriterLock`] for the whole window. Readers pinned on the old
+    /// file keep serving it byte-identically through their descriptors;
+    /// every open after the rename elects the new file.
+    pub fn publish_swap(
+        temp: &Path,
+        target: &Path,
+        faults: Option<&Arc<FaultPlan>>,
+    ) -> Result<(), StorageError> {
+        if let Some(plan) = faults {
+            plan.on_swap(SwapStage::TempSync).map_err(StorageError::Io)?;
+        }
+        File::open(temp)?.sync_all()?;
+        if let Some(plan) = faults {
+            plan.on_swap(SwapStage::Rename).map_err(StorageError::Io)?;
+        }
+        std::fs::rename(temp, target)?;
+        // Make the rename itself durable where the platform allows
+        // syncing a directory handle (unix); elsewhere the data syncs
+        // above still guarantee a valid file under either name.
+        #[cfg(unix)]
+        if let Some(dir) = target.parent() {
+            if !dir.as_os_str().is_empty() {
+                File::open(dir)?.sync_all()?;
+            }
+        }
+        Ok(())
     }
 
     /// Rolls the file back one generation: verifies the previous slot is
@@ -795,6 +860,7 @@ impl PageBackend for FileBackend {
             alloc_first: Some(alloc_first),
             alloc_pages: map_pages as u32,
             generation,
+            retired_pages: self.retired_pages.load(Ordering::Relaxed),
         };
         let mut slot_page = vec![0u8; self.page_size];
         sb.encode(&mut slot_page);
@@ -868,6 +934,9 @@ impl PageBackend for FileBackend {
             None => self.read_object(first.0)?.0.len(),
         };
         self.retired_pages.fetch_add(self.pages_for_object(len) as u64, Ordering::Relaxed);
+        // The tally is persisted in the next commit's superblock so the
+        // vacuum watermark survives reopen.
+        self.dirty.store(true, Ordering::Relaxed);
         Ok(())
     }
 
@@ -985,7 +1054,7 @@ mod tests {
             be.put(&disk, vec![3u8; 50]).unwrap();
             be.flush().unwrap();
         }
-        // Flip a byte *past* the 72 serialized superblock bytes in both
+        // Flip a byte *past* the 80 serialized superblock bytes in both
         // slot pages: whichever slot wins the election, its zero-padding
         // check must reject the flip like any checksum failure.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -1186,6 +1255,87 @@ mod tests {
         assert_eq!(be.catalog(), Some(a));
         assert_eq!(&be.get(&disk, a).unwrap()[..], &[1u8; 50][..]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_lock_excludes_second_writable_handle() {
+        let path = temp_path("writerlock");
+        let disk = DiskSim::with_defaults();
+        let be = FileBackend::create(&path, 256, 0).unwrap();
+        be.put(&disk, vec![1u8; 20]).unwrap();
+        be.flush().unwrap();
+        // Held by the live create handle: writable opens and recreates
+        // fail typed; read-only opens are never excluded.
+        for attempt in [FileBackend::open_writable(&path, 0), FileBackend::create(&path, 256, 0)] {
+            match attempt {
+                Err(StorageError::WriterLocked { owner_pid }) => {
+                    assert_eq!(owner_pid, std::process::id());
+                }
+                other => panic!("expected WriterLocked, got {:?}", other.map(|_| ())),
+            }
+        }
+        let reader = FileBackend::open(&path, 0).unwrap();
+        assert_eq!(reader.generation(), Some(1));
+        drop(be);
+        // Dropping the writer releases the lock for the next one.
+        let be = FileBackend::open_writable(&path, 0).unwrap();
+        drop(be);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retired_pages_survive_reopen_and_peek() {
+        let path = temp_path("retired_persist");
+        let disk = DiskSim::with_defaults();
+        let retired = {
+            let be = FileBackend::create(&path, 256, 4).unwrap();
+            let a = be.put(&disk, vec![1u8; 600]).unwrap();
+            let b = be.put(&disk, vec![2u8; 600]).unwrap();
+            be.set_catalog(b).unwrap();
+            be.flush().unwrap();
+            be.retire(a).unwrap();
+            be.flush().unwrap();
+            let r = be.reclaimable_pages();
+            assert!(r > 0);
+            r
+        };
+        // The watermark signal survives both read-only and writable
+        // reopens, and the lock-free superblock peek agrees.
+        assert_eq!(FileBackend::open(&path, 0).unwrap().reclaimable_pages(), retired);
+        assert_eq!(FileBackend::open_writable(&path, 0).unwrap().reclaimable_pages(), retired);
+        assert_eq!(FileBackend::peek_superblock(&path).unwrap().retired_pages, retired);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn publish_swap_replaces_target_under_pinned_reader() {
+        let temp = temp_path("swap_temp");
+        let target = temp_path("swap_target");
+        let disk = DiskSim::with_defaults();
+        let old_id = {
+            let be = FileBackend::create(&target, 256, 4).unwrap();
+            let id = be.put(&disk, vec![1u8; 50]).unwrap();
+            be.set_catalog(id).unwrap();
+            be.flush().unwrap();
+            id
+        };
+        let new_id = {
+            let be = FileBackend::create(&temp, 256, 4).unwrap();
+            let id = be.put(&disk, vec![2u8; 70]).unwrap();
+            be.set_catalog(id).unwrap();
+            be.flush().unwrap();
+            id
+        };
+        // A reader pinned on the old file before the swap…
+        let pinned = FileBackend::open(&target, 0).unwrap();
+        FileBackend::publish_swap(&temp, &target, None).unwrap();
+        // …keeps serving the retired inode byte-identically, while a
+        // fresh open elects the swapped-in file.
+        assert_eq!(&pinned.get(&disk, old_id).unwrap()[..], &[1u8; 50][..]);
+        let fresh = FileBackend::open(&target, 0).unwrap();
+        assert_eq!(&fresh.get(&disk, new_id).unwrap()[..], &[2u8; 70][..]);
+        assert!(!temp.exists());
+        std::fs::remove_file(&target).ok();
     }
 
     #[test]

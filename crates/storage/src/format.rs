@@ -1,10 +1,11 @@
-//! The on-disk cube file format (v3: crash-safe generational commits).
+//! The on-disk cube file format (v4: crash-safe generational commits,
+//! persisted vacuum accounting, cross-process writer exclusion).
 //!
 //! A cube file is a single file of fixed-size pages. Pages 0 and 1 are
 //! the two **superblock slots**; every other page carries an 8-byte
 //! header followed by payload. All integers are little-endian.
 //!
-//! # Double-buffered superblock (pages 0–1, first 72 bytes of each slot)
+//! # Double-buffered superblock (pages 0–1, first 80 bytes of each slot)
 //!
 //! Each slot holds one serialized superblock describing a **generation**
 //! — a complete, immutable snapshot of the cube. A commit never touches
@@ -29,12 +30,19 @@
 //! | 48     | 8    | allocation-map first page (`u64::MAX` = none)     |
 //! | 56     | 4    | allocation-map page count                         |
 //! | 60     | 8    | generation number (monotonically increasing)      |
-//! | 68     | 4    | CRC-32 over bytes 0..68                           |
+//! | 68     | 8    | retired (vacuum-reclaimable) page count           |
+//! | 76     | 4    | CRC-32 over bytes 0..76                           |
 //!
 //! The version field is the compatibility gate: readers reject files with
 //! an unknown version instead of guessing at the layout. Files written by
-//! the v1 single-superblock layout fail the version gate and must be
-//! re-saved.
+//! the v1 single-superblock layout or the v3 72-byte superblock (no
+//! retired-page field) fail the version gate and must be re-saved.
+//!
+//! The retired-page count is the background scheduler's watermark
+//! signal: COW maintenance retires old copies of patched objects, and
+//! persisting the tally per generation means `reclaimable_pages()` — and
+//! therefore the vacuum trigger — survives a process restart instead of
+//! resetting to zero.
 //!
 //! **Observability.** Every maintenance transition over this format is
 //! mirrored into the `rcube_obs` metrics registry: `SignatureCube::commit`
@@ -150,6 +158,52 @@
 //!   key uniquely names immutable bytes across generations. Maintenance
 //!   invalidates only the page ids it retired; entries for untouched
 //!   partials stay valid through a commit.
+//!
+//! # Locking & swap protocol
+//!
+//! The single-writer rule above is enforced *across processes* by an
+//! advisory lock file, and page reclamation is published by an atomic
+//! whole-file swap. Both are implemented in `crate::lock` and the
+//! vacuum path of `rcube_core`; this section is the normative spec.
+//!
+//! **Lock file.** A writable handle on `<path>` owns `<path>.lock`:
+//!
+//! * *Layout*: the owner's PID in ASCII decimal, nothing else.
+//! * *Acquisition*: `O_CREAT | O_EXCL` creation (the one primitive every
+//!   target filesystem makes atomic; no `flock` binding is used — this
+//!   workspace is dependency-free). Creation failure means the lock is
+//!   held: the owner PID is read and probed for liveness (`/proc/<pid>`
+//!   on Linux; elsewhere there is no portable probe, so owners are
+//!   conservatively presumed alive and stale locks need manual removal).
+//!   A live owner → typed `StorageError::WriterLocked { owner_pid }`,
+//!   fail-fast, never blocks. A dead or unparseable owner → *stale
+//!   takeover*: remove the file and retry (bounded), so a crashed
+//!   writer's lock heals itself on the next open.
+//! * *Release*: unlink on drop of the writable handle. A writer that
+//!   dies without unlinking is exactly the stale case above.
+//!
+//! **Vacuum swap.** Compaction rewrites the live generation into a
+//! sibling temp file (`<path>.vacuum`) and publishes it atomically:
+//!
+//! 1. acquire `<path>.lock` (writers and other vacuums excluded for the
+//!    whole window; readers are never excluded),
+//! 2. open the source read-only and copy its live objects into the temp
+//!    file (a complete v4 cube file with a fresh generation history),
+//! 3. `fsync` the temp file,
+//! 4. `rename(2)` it over `<path>` — the atomic publish point,
+//! 5. `fsync` the parent directory, release the lock.
+//!
+//! **Crash model.** A crash before the rename leaves `<path>` untouched
+//! (temp garbage is overwritten by the next vacuum); a crash after it
+//! leaves the fully-synced compacted file. Every boundary is
+//! fault-scriptable (`crate::fault::SwapStage`) and swept in tests: any
+//! crash reopens to a valid generation — old file or new, never a torn
+//! hybrid. Readers survive the swap because rename only unlinks the
+//! *name*: a pinned reader's file descriptor keeps the retired inode
+//! alive and byte-identical until the handle drops, while every open
+//! after the rename elects the compacted file. The compacted file's
+//! page ids are all fresh, so caches keyed by first page id are
+//! invalidated wholesale by swapping the cube handle.
 
 use crate::backend::StorageError;
 
@@ -157,13 +211,13 @@ use crate::backend::StorageError;
 pub const MAGIC: [u8; 8] = *b"RCUBEFS1";
 
 /// Current format version (superblock bytes 8..10).
-pub const FORMAT_VERSION: u16 = 3;
+pub const FORMAT_VERSION: u16 = 4;
 
 /// Bytes of per-page header preceding the payload.
 pub const PAGE_HEADER: usize = 8;
 
 /// Serialized superblock length (the rest of a slot page is zero padding).
-pub const SUPERBLOCK_LEN: usize = 72;
+pub const SUPERBLOCK_LEN: usize = 80;
 
 /// Number of superblock slot pages at the head of the file.
 pub const SUPERBLOCK_SLOTS: u64 = 2;
@@ -303,6 +357,9 @@ pub struct Superblock {
     /// Monotonically increasing commit number; the valid slot with the
     /// highest generation wins the election at open.
     pub generation: u64,
+    /// Pages retired by COW maintenance as of this generation — the
+    /// vacuum scheduler's persisted watermark signal.
+    pub retired_pages: u64,
 }
 
 impl Superblock {
@@ -323,8 +380,9 @@ impl Superblock {
         page[48..56].copy_from_slice(&self.alloc_first.unwrap_or(NO_PAGE).to_le_bytes());
         page[56..60].copy_from_slice(&self.alloc_pages.to_le_bytes());
         page[60..68].copy_from_slice(&self.generation.to_le_bytes());
-        let crc = crc32(&page[0..68]);
-        page[68..72].copy_from_slice(&crc.to_le_bytes());
+        page[68..76].copy_from_slice(&self.retired_pages.to_le_bytes());
+        let crc = crc32(&page[0..76]);
+        page[76..80].copy_from_slice(&crc.to_le_bytes());
     }
 
     /// Decodes and validates one slot: magic, checksum, version, page-size
@@ -340,8 +398,8 @@ impl Superblock {
         if page[0..8] != MAGIC {
             return Err(StorageError::BadMagic);
         }
-        let stored = u32::from_le_bytes(page[68..72].try_into().unwrap());
-        if crc32(&page[0..68]) != stored {
+        let stored = u32::from_le_bytes(page[76..80].try_into().unwrap());
+        if crc32(&page[0..76]) != stored {
             return Err(StorageError::ChecksumMismatch { page: slot_page });
         }
         let version = u16::from_le_bytes(page[8..10].try_into().unwrap());
@@ -367,6 +425,7 @@ impl Superblock {
             alloc_first: optional(word(48)),
             alloc_pages: u32::from_le_bytes(page[56..60].try_into().unwrap()),
             generation: word(60),
+            retired_pages: word(68),
         })
     }
 
@@ -561,6 +620,7 @@ mod tests {
             alloc_first: None,
             alloc_pages: 0,
             generation,
+            retired_pages: 9,
         }
     }
 
@@ -583,6 +643,7 @@ mod tests {
             alloc_first: None,
             alloc_pages: 0,
             generation: 1,
+            retired_pages: 0,
         };
         let mut page = vec![0u8; SUPERBLOCK_LEN];
         sb.encode(&mut page);
@@ -595,8 +656,8 @@ mod tests {
         bad[8] = 99; // version bump without re-stamping the CRC…
         assert!(matches!(Superblock::decode(&bad), Err(StorageError::ChecksumMismatch { .. })));
         // …and with a valid CRC it must fail the version gate instead.
-        let crc = crc32(&bad[0..68]);
-        bad[68..72].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(&bad[0..76]);
+        bad[76..80].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(Superblock::decode(&bad), Err(StorageError::UnsupportedVersion(99))));
     }
 

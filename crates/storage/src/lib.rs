@@ -33,6 +33,7 @@ pub mod disk;
 pub mod fault;
 pub mod file;
 pub mod format;
+pub mod lock;
 pub mod stats;
 
 pub use backend::{MemBackend, PageBackend, StorageError};
@@ -41,9 +42,10 @@ pub use buffer::{
     BufferPool, LruBuffer, PoolShardStats, PoolStats, StripedLruBuffer, DEFAULT_POOL_SHARDS,
 };
 pub use disk::{DiskSim, PageId, PageStore};
-pub use fault::{CrashMode, FaultBackend, FaultPlan, WriteOutcome};
+pub use fault::{CrashMode, FaultBackend, FaultPlan, SwapStage, WriteOutcome};
 pub use file::{FileBackend, FileOptions, IoMode, DEFAULT_POOL_PAGES};
 pub use format::{ByteReader, ByteWriter};
+pub use lock::{lock_path_for, WriterLock};
 pub use stats::{IoSnapshot, IoStats};
 
 /// Default page size used throughout the reproduction (bytes).

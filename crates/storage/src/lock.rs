@@ -1,0 +1,222 @@
+//! Cross-process writer exclusion via an advisory lock file.
+//!
+//! The cube-file commit protocol tolerates any number of concurrent
+//! *readers* (each pins a committed generation at open), but exactly one
+//! *writer*: two processes appending generations to the same file would
+//! interleave page allocations and tear the alloc map. [`WriterLock`]
+//! closes that hole without platform-specific `flock` bindings (this
+//! workspace is dependency-free): exclusion rides on the atomicity of
+//! `O_CREAT | O_EXCL` file creation, which every target filesystem
+//! provides.
+//!
+//! Protocol (documented in full in [`crate::format`] § *Locking & swap
+//! protocol*):
+//!
+//! * The lock file is `<cube-path>.lock`, created with `create_new` (the
+//!   `O_CREAT | O_EXCL` equivalent — creation fails if the file exists).
+//!   Its contents are the owner's PID in ASCII decimal.
+//! * If creation fails because the file exists, the owner PID is read
+//!   and probed for liveness. A live owner means the lock is genuinely
+//!   held: the caller gets [`StorageError::WriterLocked`] and must not
+//!   write. A dead or unparseable owner marks a *stale* lock left by a
+//!   crashed writer: the file is removed and acquisition retried
+//!   (bounded, so two racing takeovers resolve to one winner and one
+//!   typed error).
+//! * Liveness probe: on Linux, `/proc/<pid>` existence. Elsewhere there
+//!   is no portable probe without libc, so the fallback is conservative
+//!   — every recorded owner is presumed alive and stale locks must be
+//!   removed by hand (fail-safe: never steals a possibly-live lock).
+//! * Release removes the lock file; [`Drop`] releases automatically. A
+//!   scripted [`crate::fault::FaultPlan`] crash at
+//!   [`crate::fault::SwapStage::LockRelease`] skips the removal,
+//!   simulating a writer that died holding the lock.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::backend::StorageError;
+use crate::fault::FaultPlan;
+
+/// Takeover retries: one stale removal plus one re-attempt is enough to
+/// resolve any single stale lock; more only masks livelock between two
+/// racing writers.
+const ACQUIRE_ATTEMPTS: usize = 3;
+
+/// The sibling lock-file path for a cube file: `<path>.lock`.
+pub fn lock_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+/// True when `pid` belongs to a live process (see module docs for the
+/// probe and its off-Linux fallback). The current process is always
+/// live — a second writable handle in the same process is a real
+/// conflict, not a stale lock.
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        // No portable liveness probe without libc: presume alive, so a
+        // stale lock is never stolen from a process we cannot observe.
+        true
+    }
+}
+
+/// An acquired advisory writer lock on one cube file. Held by writable
+/// [`crate::FileBackend`] handles and by the vacuum swap; released on
+/// [`Drop`].
+#[derive(Debug)]
+pub struct WriterLock {
+    lock_path: PathBuf,
+    released: AtomicBool,
+    /// Fault hook for the swap sweep: armed `LockRelease` crashes leave
+    /// the lock file behind. Only the vacuum's explicitly guarded lock
+    /// carries a plan; backend-internal locks always release cleanly.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl WriterLock {
+    /// Acquires the writer lock for the cube file at `target`, taking
+    /// over stale locks from dead owners. Fails fast with
+    /// [`StorageError::WriterLocked`] when a live owner holds it.
+    pub fn acquire(target: &Path) -> Result<Self, StorageError> {
+        Self::acquire_guarded(target, None)
+    }
+
+    /// [`WriterLock::acquire`] with a fault plan consulted at release
+    /// time (the vacuum swap's `LockRelease` crash point).
+    pub fn acquire_guarded(
+        target: &Path,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, StorageError> {
+        let lock_path = lock_path_for(target);
+        let mut owner = 0u32;
+        for _ in 0..ACQUIRE_ATTEMPTS {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    f.write_all(std::process::id().to_string().as_bytes())?;
+                    f.sync_all()?;
+                    return Ok(Self { lock_path, released: AtomicBool::new(false), faults });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match read_owner(&lock_path) {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(StorageError::WriterLocked { owner_pid: pid });
+                        }
+                        _ => {
+                            // Stale (dead or unparseable owner): remove and
+                            // retry. A concurrent taker may have removed it
+                            // first — ignore the race, the retry decides.
+                            owner = read_owner(&lock_path).unwrap_or(0);
+                            let _ = std::fs::remove_file(&lock_path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Lost the takeover race repeatedly: report whoever holds it now.
+        Err(StorageError::WriterLocked { owner_pid: read_owner(&lock_path).unwrap_or(owner) })
+    }
+
+    /// The lock file this guard owns.
+    pub fn lock_path(&self) -> &Path {
+        &self.lock_path
+    }
+
+    /// Releases the lock (idempotent). Returns false when a scripted
+    /// [`crate::fault::SwapStage::LockRelease`] crash fired: the lock
+    /// file was left on disk as a dead writer would leave it.
+    pub fn release(&self) -> bool {
+        if self.released.swap(true, Ordering::SeqCst) {
+            return true;
+        }
+        if self.faults.as_ref().is_some_and(|p| p.lock_release_crashes()) {
+            return false;
+        }
+        let _ = std::fs::remove_file(&self.lock_path);
+        true
+    }
+}
+
+impl Drop for WriterLock {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Parses the owner PID recorded in a lock file, if readable.
+fn read_owner(lock_path: &Path) -> Option<u32> {
+    let text = std::fs::read_to_string(lock_path).ok()?;
+    text.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::SwapStage;
+
+    fn temp_target(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rcube_lock_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(lock_path_for(&p));
+        p
+    }
+
+    #[test]
+    fn second_acquire_in_process_is_refused_typed() {
+        let target = temp_target("second");
+        let lock = WriterLock::acquire(&target).unwrap();
+        let err = WriterLock::acquire(&target).unwrap_err();
+        match err {
+            StorageError::WriterLocked { owner_pid } => {
+                assert_eq!(owner_pid, std::process::id());
+            }
+            other => panic!("expected WriterLocked, got {other:?}"),
+        }
+        assert!(lock.release());
+        // Released: a fresh acquire succeeds.
+        drop(WriterLock::acquire(&target).unwrap());
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_taken_over() {
+        let target = temp_target("stale");
+        let lock_path = lock_path_for(&target);
+        // PIDs are capped at /proc/sys/kernel/pid_max (< 2^22 by default);
+        // u32::MAX - 7 can never name a live process.
+        std::fs::write(&lock_path, format!("{}", u32::MAX - 7)).unwrap();
+        let lock = WriterLock::acquire(&target).unwrap();
+        assert_eq!(read_owner(&lock_path), Some(std::process::id()));
+        drop(lock);
+        assert!(!lock_path.exists());
+    }
+
+    #[test]
+    fn garbage_lock_contents_count_as_stale() {
+        let target = temp_target("garbage");
+        let lock_path = lock_path_for(&target);
+        std::fs::write(&lock_path, b"not a pid").unwrap();
+        drop(WriterLock::acquire(&target).unwrap());
+        assert!(!lock_path.exists());
+    }
+
+    #[test]
+    fn lock_release_crash_point_leaves_lock_file() {
+        let target = temp_target("crash_release");
+        let plan = FaultPlan::new();
+        plan.crash_at_swap(SwapStage::LockRelease);
+        let lock = WriterLock::acquire_guarded(&target, Some(Arc::clone(&plan))).unwrap();
+        let lock_path = lock.lock_path().to_path_buf();
+        assert!(!lock.release());
+        assert!(plan.crashed());
+        assert!(lock_path.exists(), "crashed release must leave the lock file");
+        std::fs::remove_file(&lock_path).unwrap();
+    }
+}

@@ -45,8 +45,8 @@ use rcube_baseline::TableScan;
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
 use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
-use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
-use rcube_core::TopKResult;
+use rcube_core::sigcube::{ScrubOutcome, SignatureCube, SignatureCubeConfig};
+use rcube_core::{MaintenanceConfig, MaintenanceScheduler, TopKResult};
 use rcube_index::rtree::{RTree, RTreeConfig};
 use rcube_obs::{Counter, Histogram, Metrics, QueryTrace};
 use rcube_storage::{DiskSim, StorageError};
@@ -58,6 +58,13 @@ use crate::observe::{AnalyzeReport, CandidatePlan, EngineStats, PlanReport, Slow
 const RETRY_ATTEMPTS: u32 = 3;
 /// Backoff before the first retry; doubles per subsequent attempt.
 const RETRY_BACKOFF: Duration = Duration::from_millis(1);
+/// Per-sleep ceiling for the retry ladder: the doubling never exceeds
+/// this, so one unlucky route cannot park a query for seconds.
+const RETRY_BACKOFF_MAX: Duration = Duration::from_millis(8);
+/// Whole-query backoff budget across every route and attempt. Once the
+/// accumulated sleep reaches this, remaining retries run back-to-back —
+/// latency stays bounded even when every route is flapping.
+const RETRY_BACKOFF_BUDGET: Duration = Duration::from_millis(24);
 /// Most recent slow queries retained by the bounded slow-query log.
 const SLOW_LOG_CAP: usize = 64;
 /// Trace events retained per traced query before the ring drops old ones.
@@ -101,6 +108,22 @@ impl Route {
             Route::Scan => 3,
         }
     }
+}
+
+/// The sleep before retry `attempt` on `route`: capped exponential
+/// backoff plus deterministic jitter so co-scheduled queries hitting the
+/// same fault desynchronize without nondeterminism. The jitter is a
+/// pure hash of (route, attempt) — identical runs sleep identically,
+/// which keeps `QueryStats::backoff_ns` reproducible in tests.
+fn retry_backoff(route: Route, attempt: u32) -> Duration {
+    let base = RETRY_BACKOFF.saturating_mul(1u32 << (attempt - 1).min(16)).min(RETRY_BACKOFF_MAX);
+    // splitmix64-style finalizer over the (route, attempt) pair.
+    let mut x = ((route.index() as u64) << 32) | attempt as u64;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    // Up to +25% of the base, in 1/256 steps.
+    base + base.mul_f64((x % 256) as f64 / 1024.0)
 }
 
 /// Pre-resolved per-route instruments, built once at engine
@@ -449,9 +472,9 @@ impl Engine {
         let plan = query.plan();
         let mut retries = 0u64;
         let mut fallbacks = 0u64;
+        let mut backoff_spent = Duration::ZERO;
         let mut last_err = None;
         for route in self.candidates(query) {
-            let mut backoff = RETRY_BACKOFF;
             let mut attempt = 1;
             loop {
                 let run = self.open_route(route, &plan).and_then(|mut c| {
@@ -464,15 +487,22 @@ impl Engine {
                     Ok(mut res) => {
                         res.stats.path_retries = retries;
                         res.stats.path_fallbacks = fallbacks;
+                        res.stats.backoff_ns = backoff_spent.as_nanos() as u64;
                         self.retries_total.add(retries);
                         self.fallbacks_total.add(fallbacks);
                         return Ok((res, route));
                     }
                     Err(e) if e.is_transient() && attempt < RETRY_ATTEMPTS => {
+                        // Capped + jittered sleep, charged against the
+                        // whole-query budget: past it, retry immediately.
+                        let sleep = retry_backoff(route, attempt)
+                            .min(RETRY_BACKOFF_BUDGET.saturating_sub(backoff_spent));
                         attempt += 1;
                         retries += 1;
-                        std::thread::sleep(backoff);
-                        backoff *= 2;
+                        if sleep > Duration::ZERO {
+                            std::thread::sleep(sleep);
+                            backoff_spent += sleep;
+                        }
                     }
                     Err(e) => {
                         if route == Route::Scan {
@@ -538,6 +568,55 @@ impl Engine {
     /// the underlying store, e.g. a scrub/rollback or vacuum).
     pub fn clear_quarantine(&self) {
         self.quarantine.lock().unwrap().clear();
+    }
+
+    /// Repairs the cube file backing `route` and returns *that route
+    /// alone* to service: runs [`SignatureCube::scrub_path`] (generation
+    /// election plus rollback of a torn newest generation), then clears
+    /// only `route`'s quarantine entries — other condemned routes stay
+    /// down until their own repair. The targeted alternative to the
+    /// blanket [`Self::clear_quarantine`].
+    pub fn repair_path(
+        &self,
+        route: Route,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ScrubOutcome, StorageError> {
+        let outcome = SignatureCube::scrub_path(path)?;
+        self.quarantine.lock().unwrap().retain(|(q, _)| *q != route);
+        Ok(outcome)
+    }
+
+    /// Replaces the registered signature pair with a fresh open of
+    /// `path` — the post-swap half of a live vacuum: once the
+    /// maintenance daemon publishes a compacted file under the same
+    /// name, the engine re-elects it here. Dropping the old handle
+    /// discards its buffer pool and shared node cache wholesale; the
+    /// compacted file's page ids are all fresh, so invalidation is a
+    /// handle swap, never a page-by-page flush.
+    pub fn refresh_signature_from(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<(), StorageError> {
+        let (mut cube, rtree) = SignatureCube::open_from_with(path, pool_pages)?;
+        cube.set_metrics(self.metrics.clone());
+        self.signature = Some((rtree, cube));
+        Ok(())
+    }
+
+    /// Starts the background maintenance daemon for the cube file at
+    /// `path`, recording vacuum activity into this engine's metric
+    /// registry (`maintenance.vacuums`, `maintenance.pages_reclaimed`,
+    /// `maintenance.vacuum_duration_us`, `maintenance.lock_contention`).
+    /// Stop (or drop) the returned scheduler to join its thread; call
+    /// [`Self::refresh_signature_from`] after a completed vacuum to
+    /// serve from the compacted file.
+    pub fn start_maintenance(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        config: MaintenanceConfig,
+    ) -> MaintenanceScheduler {
+        MaintenanceScheduler::start(path, config, self.metrics.clone())
     }
 
     /// This engine's metric registry — snapshot it for Prometheus/JSON
@@ -809,5 +888,103 @@ mod tests {
         let healed = eng.try_query(&q).expect("healed route serves again");
         assert_eq!(healed.items, degraded.items);
         assert_eq!(healed.stats.path_fallbacks, 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_jittered_and_deterministic() {
+        for route in Route::ALL {
+            for attempt in 1..=8u32 {
+                let a = retry_backoff(route, attempt);
+                let b = retry_backoff(route, attempt);
+                assert_eq!(a, b, "same (route, attempt) must sleep identically");
+                // Jitter adds at most 25% over the capped base.
+                assert!(
+                    a <= RETRY_BACKOFF_MAX.mul_f64(1.25),
+                    "attempt {attempt} on {route:?} slept {a:?}, past the cap"
+                );
+                assert!(a >= RETRY_BACKOFF, "backoff never shrinks below the base");
+            }
+        }
+        // The jitter actually desynchronizes routes: not every route
+        // sleeps the same duration on the same attempt.
+        let sleeps: Vec<_> = Route::ALL.iter().map(|&r| retry_backoff(r, 1)).collect();
+        assert!(sleeps.windows(2).any(|w| w[0] != w[1]), "jitter must vary by route");
+    }
+
+    #[test]
+    fn transient_faults_surface_bounded_deterministic_backoff() {
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(5);
+        // Fresh engine per run: a warmed buffer pool would absorb the
+        // scripted faults without touching the backend.
+        let run = || {
+            let (eng, faults) = faulted_signature_engine(600);
+            faults.fail_next_gets(2);
+            eng.try_query(&q).expect("retries absorb the faults")
+        };
+
+        let first = run();
+        assert_eq!(first.stats.path_retries, 2);
+        assert!(first.stats.backoff_ns > 0, "retried query must report its backoff");
+        assert!(
+            first.stats.backoff_ns <= RETRY_BACKOFF_BUDGET.as_nanos() as u64,
+            "backoff {}ns exceeds the whole-query budget",
+            first.stats.backoff_ns
+        );
+
+        // Identical fault script → identical reported backoff (the stat
+        // records the requested sleeps, not wall-clock noise).
+        let second = run();
+        assert_eq!(first.stats.backoff_ns, second.stats.backoff_ns);
+
+        // The fast path reports zero.
+        let (eng, _) = faulted_signature_engine(600);
+        let clean = eng.try_query(&q).expect("clean run");
+        assert_eq!(clean.stats.backoff_ns, 0);
+    }
+
+    #[test]
+    fn repair_path_restores_only_the_repaired_route() {
+        use rcube_core::sigcube::ScrubOutcome;
+        use rcube_index::rtree::RTree;
+
+        let (eng, faults) = faulted_signature_engine(500);
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(6);
+
+        // Condemn the signature route with a persistent checksum fault.
+        let (_, cube) = eng.signature_cube().expect("registered");
+        let pages: Vec<_> = cube.cell_signature(&[0], &[1]).expect("cell").partial_pages().to_vec();
+        for p in &pages {
+            faults.poison(*p);
+        }
+        let degraded = eng.try_query(&q).expect("scan fallback answers");
+        assert_eq!(eng.quarantined().len(), 1);
+
+        // A healthy cube file stands in for the repaired store on disk.
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_repair_{}", std::process::id()));
+        {
+            let rel =
+                SyntheticSpec { tuples: 200, cardinality: 4, ..Default::default() }.generate();
+            let disk = DiskSim::with_defaults();
+            let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+            let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+            cube.save_to_with(&rtree, &path, 512, 64).expect("save cube file");
+        }
+
+        // Repairing a *different* route scrubs the file but leaves the
+        // signature quarantine standing.
+        let outcome = eng.repair_path(Route::Grid, &path).expect("scrub clean file");
+        assert!(matches!(outcome, ScrubOutcome::Clean { .. }));
+        assert_eq!(eng.quarantined().len(), 1, "unrelated repair must not lift quarantine");
+        assert_eq!(eng.route(&q), Route::Scan);
+
+        // Repairing the condemned route (store healed) restores it alone.
+        faults.heal();
+        eng.repair_path(Route::Signature, &path).expect("scrub + targeted unquarantine");
+        assert!(eng.quarantined().is_empty());
+        assert_eq!(eng.route(&q), Route::Signature);
+        let healed = eng.try_query(&q).expect("restored route serves");
+        assert_eq!(healed.items, degraded.items, "repair changed the path, not the answer");
+        std::fs::remove_file(&path).ok();
     }
 }

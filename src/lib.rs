@@ -133,7 +133,10 @@ pub mod prelude {
     pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
     pub use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
     pub use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
-    pub use rcube_core::{QueryStats, TopKQuery, TopKResult};
+    pub use rcube_core::{
+        vacuum_into_place, MaintenanceConfig, MaintenanceScheduler, QueryStats, TopKQuery,
+        TopKResult, VacuumReport,
+    };
     pub use rcube_func::{Expr, GeneralSq, L1Dist, Linear, RankFn, Rect, SqDist};
     pub use rcube_index::bptree::BPlusTree;
     pub use rcube_index::grid::GridPartition;
