@@ -1,0 +1,235 @@
+//! Partitioned cube-set benchmarks: scatter-gather top-k over 1/2/4
+//! tid-range shards, measured against one unsharded cube file over the
+//! same relation, driven by a Zipf-skewed query mix
+//! (`rcube_bench::zipf_query_batch`).
+//!
+//! The run writes `BENCH_shard.json` at the workspace root with two gate
+//! families:
+//!
+//! * **Deterministic counter gates** (always hard):
+//!   - every sharded answer — cursor merge *and* `par_query` — is
+//!     byte-identical to the unsharded cube's, at every shard count;
+//!   - the bound holds per shard: the merge never pulls a shard more
+//!     than `answers_consumed_from_it + 1` times;
+//!   - per-shard I/O is reproducible: re-running a query yields
+//!     identical per-shard pulls/answers/blocks (pulls are a pure
+//!     function of the consumed-answer sequence, not thread timing).
+//! * **Throughput scaling** (wall-clock): aggregate queries/sec at 1, 2
+//!   and 4 shards on the parallel batch path. The 4-shard gate
+//!   (≥ 2.5× one shard) is enforced hard only on machines with ≥ 4
+//!   hardware threads and `RCUBE_BENCH_SOFT` unset — elsewhere it is
+//!   recorded and downgraded to a warning, like every wall-clock gate
+//!   in this repo.
+
+use std::time::{Duration, Instant};
+
+use rcube_core::query::{Query, RankedSource};
+use rcube_core::shard::{ShardEngineConfig, ShardedCube, ShardedCubeConfig};
+use rcube_core::{GridCubeConfig, GridRankingCube};
+use rcube_func::Linear;
+use rcube_storage::DiskSim;
+use rcube_table::workload::QuerySpec;
+
+const TUPLES: usize = 20_000;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const QUERIES: usize = 12;
+
+fn query_of(spec: &QuerySpec) -> Query {
+    Query::select(spec.selection.conds().to_vec())
+        .rank_on(spec.ranking_dims.clone(), Linear::new(spec.weights.clone()))
+        .top(spec.k)
+}
+
+struct Setup {
+    unsharded: GridRankingCube,
+    disk: DiskSim,
+    sets: Vec<(usize, ShardedCube)>,
+    dir: std::path::PathBuf,
+    queries: Vec<QuerySpec>,
+}
+
+fn setup() -> Setup {
+    let rel = rcube_bench::synthetic(TUPLES, 4, 5, 2, rcube_table::gen::DataDist::Uniform, 7);
+    // Zipf-skewed mix: hot selection values recur, like real workloads.
+    let queries = rcube_bench::zipf_query_batch(&rel, 2, 2, 10, 3.0, 1.1, QUERIES, 42);
+
+    let dir = std::env::temp_dir().join(format!("rcube_shard_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+
+    let gcfg = GridCubeConfig { block_size: 300, ..Default::default() };
+    let disk = DiskSim::with_defaults();
+    let unsharded_path = dir.join("base.cube");
+    GridRankingCube::build(&rel, &disk, gcfg.clone())
+        .save_to(&unsharded_path)
+        .expect("save unsharded cube");
+    let unsharded = GridRankingCube::open_from(&unsharded_path).expect("reopen unsharded cube");
+
+    let sets = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let cfg = ShardedCubeConfig {
+                shards: n,
+                engine: ShardEngineConfig::Grid(gcfg.clone()),
+                ..Default::default()
+            };
+            let manifest = dir.join(format!("set{n}.manifest"));
+            (n, ShardedCube::build_to(&rel, &manifest, &cfg).expect("build sharded set"))
+        })
+        .collect();
+
+    Setup { unsharded, disk: DiskSim::with_defaults(), sets, dir, queries }
+}
+
+fn unsharded_answers(s: &Setup, q: &Query) -> Vec<(rcube_table::Tid, f64)> {
+    s.unsharded.source(&s.disk).query(&q.plan()).expect("unsharded query").items
+}
+
+/// Aggregate queries/sec pushing the Zipf mix through `par_query`.
+fn measure_qps(cube: &ShardedCube, queries: &[Query], window: Duration) -> f64 {
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed() < window {
+        for q in queries {
+            std::hint::black_box(cube.par_query(&q.plan()).expect("par_query"));
+            n += 1;
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    let soft = std::env::var_os("RCUBE_BENCH_SOFT").is_some();
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let s = setup();
+    let queries: Vec<Query> = s.queries.iter().map(query_of).collect();
+
+    // --- Deterministic gates (hard, no wall clock involved) -------------
+    let mut max_pull_slack = 0i64;
+    let mut merged_blocks_4s = 0u64;
+    for (n, cube) in &s.sets {
+        for (qi, q) in queries.iter().enumerate() {
+            let expect = unsharded_answers(&s, q);
+            let merged = cube.source().query(&q.plan()).expect("cursor merge");
+            assert_eq!(
+                merged.items, expect,
+                "shards={n} query {qi}: merged top-k must be byte-identical to unsharded"
+            );
+            let batch = cube.par_query(&q.plan()).expect("par_query");
+            assert_eq!(
+                batch.items, expect,
+                "shards={n} query {qi}: par_query must match the unsharded answer"
+            );
+            assert_eq!(merged.stats.shards_opened, *n as u64, "every shard opens");
+
+            // The bound: a shard is re-pulled only after its head was
+            // consumed, so pulls never exceed answers + 1.
+            let fanout = cube.last_fanout().expect("fan-out recorded");
+            for f in &fanout.shards {
+                assert!(
+                    f.pulls <= f.answers + 1,
+                    "shards={n} query {qi}: shard {} pulled {} for {} answers",
+                    f.shard,
+                    f.pulls,
+                    f.answers
+                );
+                max_pull_slack = max_pull_slack.max(f.pulls as i64 - f.answers as i64);
+            }
+            let contributed: u64 = fanout.shards.iter().map(|f| f.answers).sum();
+            assert_eq!(contributed as usize, merged.items.len(), "answers all attributed");
+            if *n == 4 && qi == 0 {
+                merged_blocks_4s = fanout.blocks_read();
+            }
+        }
+    }
+
+    // Reproducibility: the same query re-run on the (now warm) 4-shard
+    // set reports identical per-shard counters — pulls are demand-driven,
+    // never a race.
+    let four = &s.sets.iter().find(|(n, _)| *n == 4).expect("4-shard set").1;
+    let q0 = &queries[0];
+    let runs: Vec<Vec<(u64, u64, u64)>> = (0..2)
+        .map(|_| {
+            let _ = four.source().query(&q0.plan()).expect("repeat run");
+            four.last_fanout()
+                .expect("fan-out")
+                .shards
+                .iter()
+                .map(|f| (f.pulls, f.answers, f.blocks_read))
+                .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "per-shard pulls/answers/blocks must be deterministic");
+    println!(
+        "shard: {} queries x {:?} shards all byte-identical to unsharded; \
+         max per-shard pull slack {max_pull_slack} (bound: 1); \
+         4-shard sample query read {merged_blocks_4s} blocks",
+        QUERIES, SHARD_COUNTS
+    );
+
+    // --- Aggregate throughput vs shard count (wall clock) ----------------
+    let window = Duration::from_millis(400);
+    let mut qps = Vec::new();
+    for (n, cube) in &s.sets {
+        // One warm pass so every shard count starts with warm pools.
+        for q in &queries {
+            let _ = cube.par_query(&q.plan()).expect("warm pass");
+        }
+        let v = measure_qps(cube, &queries, window);
+        println!("shard: {n} shards -> {v:>10.0} queries/sec aggregate");
+        qps.push((*n, v));
+    }
+    let qps_1 = qps.iter().find(|(n, _)| *n == 1).unwrap().1;
+    let qps_4 = qps.iter().find(|(n, _)| *n == 4).unwrap().1;
+    let scaling_4s = qps_4 / qps_1.max(f64::MIN_POSITIVE);
+    let enforce = !soft && hardware >= 4;
+    println!(
+        "shard: 4-shard scaling {scaling_4s:.2}x vs one shard \
+         ({hardware} hardware threads, gate {})",
+        if enforce { "hard" } else { "soft" }
+    );
+    if enforce {
+        assert!(
+            scaling_4s >= 2.5,
+            "4-shard aggregate throughput must be >= 2.5x one shard, got {scaling_4s:.2}x"
+        );
+    } else if scaling_4s < 2.5 {
+        eprintln!(
+            "WARNING: 4-shard scaling {scaling_4s:.2}x below the 2.5x target \
+             (soft: {hardware} hardware threads{})",
+            if soft { ", RCUBE_BENCH_SOFT" } else { "" }
+        );
+    }
+
+    // --- BENCH_shard.json -------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"shard\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!(
+        "  \"tuples\": {TUPLES},\n  \"queries\": {QUERIES},\n  \"query_mix\": \"zipf(1.1)\",\n"
+    ));
+    json.push_str("  \"aggregate_qps\": {\n");
+    for (i, (n, v)) in qps.iter().enumerate() {
+        let sep = if i + 1 == qps.len() { "" } else { "," };
+        json.push_str(&format!("    \"s{n}\": {v:.1}{sep}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"scaling_4s_vs_1s\": {scaling_4s:.2},\n  \"target_scaling_4s_min\": 2.5,\n  \
+         \"scaling_gate_enforced\": {enforce},\n"
+    ));
+    json.push_str(&format!(
+        "  \"counters\": {{ \"merged_identical_to_unsharded\": true, \
+         \"par_query_identical_to_unsharded\": true, \
+         \"max_per_shard_pull_slack\": {max_pull_slack}, \
+         \"pull_slack_bound\": 1, \
+         \"per_shard_io_deterministic\": true, \
+         \"sample_query_blocks_4s\": {merged_blocks_4s} }}\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+
+    std::fs::remove_dir_all(&s.dir).ok();
+}

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use rcube_storage::IoSnapshot;
 use rcube_table::gen::{DataDist, SyntheticSpec};
-use rcube_table::workload::{QueryGen, QuerySpec, WorkloadParams};
+use rcube_table::workload::{QueryGen, QuerySpec, WorkloadParams, ZipfQueryGen};
 use rcube_table::Relation;
 
 /// Global scale knob: data sizes multiply by `RCUBE_SCALE` (default 1.0).
@@ -125,6 +125,29 @@ pub fn query_batch(
 ) -> Vec<QuerySpec> {
     let mut qg =
         QueryGen::new(WorkloadParams { num_conditions: s, num_ranking: r, k, skewness: u, seed });
+    qg.batch(rel, n)
+}
+
+/// Zipf-skewed query batch: like [`query_batch`], but selection values
+/// are drawn rank-frequency Zipf(`value_skew`) per dimension (value 0 is
+/// the hottest), modeling the hot-key skew real workloads show. Seeded
+/// and deterministic — the shard bench uses this mix so repeated runs
+/// gate on identical per-shard counters.
+#[allow(clippy::too_many_arguments)]
+pub fn zipf_query_batch(
+    rel: &Relation,
+    s: usize,
+    r: usize,
+    k: usize,
+    u: f64,
+    value_skew: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    let mut qg = ZipfQueryGen::new(
+        WorkloadParams { num_conditions: s, num_ranking: r, k, skewness: u, seed },
+        value_skew,
+    );
     qg.batch(rel, n)
 }
 

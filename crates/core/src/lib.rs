@@ -45,6 +45,7 @@ pub mod maintain;
 pub mod nodecache;
 pub mod query;
 pub mod scheduler;
+pub mod shard;
 pub mod sigcube;
 pub mod signature;
 pub mod sigquery;
@@ -53,6 +54,10 @@ pub use gridcube::{GridCubeConfig, GridRankingCube};
 pub use nodecache::{NodeCacheStats, SharedNodeCache};
 pub use query::{ProgressiveSearch, Query, QueryPlan, RankedSource, TopKCursor};
 pub use scheduler::{vacuum_into_place, MaintenanceConfig, MaintenanceScheduler, VacuumReport};
+pub use shard::{
+    FanoutReport, Shard, ShardEngineConfig, ShardFanout, ShardedCube, ShardedCubeConfig,
+    ShardedSource,
+};
 pub use sigcube::{ScrubOutcome, SignatureCube, SignatureCubeConfig};
 
 use rcube_func::RankFn;
@@ -133,6 +138,15 @@ pub struct QueryStats {
     /// the engine's per-query backoff budget otherwise, so tail-latency
     /// spikes from transient-fault absorption are attributable.
     pub backoff_ns: u64,
+    /// Shards whose cursor the scatter-gather merge actually opened —
+    /// zero on unsharded paths, the fan-out width on sharded ones
+    /// (`BENCH_shard.json` gates the per-shard pull bound against it).
+    pub shards_opened: u64,
+    /// Shards currently paused *above* the global threshold: their
+    /// certified next answer scored worse than everything the merge still
+    /// needs, so the bound pruned further pulls from them. Point-in-time,
+    /// like every other counter here.
+    pub shards_pruned: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

@@ -236,7 +236,7 @@ pub trait ProgressiveSearch {
 /// A pull-based, resumable top-k cursor (see the module docs for the
 /// ordering / stats / resume contract).
 pub struct TopKCursor<'a> {
-    search: Box<dyn ProgressiveSearch + 'a>,
+    search: Box<dyn ProgressiveSearch + Send + 'a>,
     limit: usize,
     emitted: usize,
     exhausted: bool,
@@ -261,7 +261,7 @@ impl std::fmt::Debug for TopKCursor<'_> {
 
 impl<'a> TopKCursor<'a> {
     /// Wraps an engine search with an answer limit of `k`.
-    pub fn new(mut search: Box<dyn ProgressiveSearch + 'a>, k: usize) -> Self {
+    pub fn new(mut search: Box<dyn ProgressiveSearch + Send + 'a>, k: usize) -> Self {
         search.reserve(k);
         Self {
             search,

@@ -1,0 +1,1116 @@
+//! Partitioned cube sets with scatter-gather top-k.
+//!
+//! A [`ShardedCube`] splits a relation at build time by tid range into N
+//! self-contained cubes — each shard is an ordinary cube file with its
+//! own buffer pool, I/O meter, (for signature shards) shared node cache,
+//! and metrics prefix — bound together by a small CRC-stamped manifest
+//! ([`rcube_storage::manifest`]). Because every shard speaks the same
+//! [`RankedSource`] operator, the shard set is *itself* just another
+//! `RankedSource`: [`ShardedSource`] opens one cursor per shard and
+//! merges them with a bound-driven k-way selection.
+//!
+//! # The merge never pulls past the bound
+//!
+//! Per-shard cursors certify ascending score order, so the merger keeps
+//! exactly one *head* answer per shard and re-pulls a shard only after
+//! its head was consumed as a global answer. A shard whose head scores
+//! worse than everything the query still needs is simply never pulled
+//! again — for a no-extension query each shard is pulled at most
+//! `answers_consumed_from_it + 1` times, which `BENCH_shard.json` gates
+//! as a hard deterministic counter invariant. `extend_k` composes
+//! shard-wise for free: raising the global limit raises each paused
+//! shard cursor's limit, and every frontier resumes exactly where it
+//! stopped.
+//!
+//! # Parallel scatter
+//!
+//! Shard pulls are independent (nothing is shared between shards), so
+//! whenever more than one frontier needs a refill — the initial scatter,
+//! and the refill wave after `extend_k` — the pulls run on scoped worker
+//! threads, up to the configured parallelism. Which answers are pulled
+//! is a pure function of the answer sequence, never of thread timing, so
+//! per-shard I/O counters stay deterministic. [`ShardedCube::par_query`]
+//! additionally offers a fully parallel *batch* path: every shard drains
+//! toward a shared global threshold concurrently (deterministic answers;
+//! I/O there depends on how fast the threshold tightens, so the
+//! deterministic gates use the cursor merge).
+//!
+//! # Degradation unit: the shard
+//!
+//! A shard that fails (torn page, checksum mismatch) is marked in the
+//! cube's health table before the error propagates, so the serving layer
+//! can quarantine per-(route, shard) and fall back while the other
+//! shards stay reopenable; [`ShardedCube::repair_shard`] reopens just
+//! the failed file.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use rcube_index::rtree::{RTree, RTreeConfig};
+use rcube_obs::Metrics;
+use rcube_storage::{
+    DiskSim, IoSnapshot, ShardEngineKind, ShardEntry, ShardManifest, StorageError,
+    DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+};
+use rcube_table::{Relation, Selection, Tid};
+
+use crate::gridcube::{GridCubeConfig, GridRankingCube};
+use crate::query::{ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
+use crate::sigcube::{SignatureCube, SignatureCubeConfig};
+use crate::{QueryStats, TopKResult};
+
+/// Which engine the shards are built with, plus its construction knobs.
+#[derive(Debug, Clone)]
+pub enum ShardEngineConfig {
+    /// Grid partition + neighborhood search per shard.
+    Grid(GridCubeConfig),
+    /// R-tree + signature cube per shard (each shard gets its own
+    /// `SharedNodeCache`).
+    Signature(RTreeConfig, SignatureCubeConfig),
+}
+
+/// Construction parameters for a partitioned cube set.
+#[derive(Debug, Clone)]
+pub struct ShardedCubeConfig {
+    /// Number of tid-range shards (clamped to the relation's rows).
+    pub shards: usize,
+    /// Engine every shard is built with.
+    pub engine: ShardEngineConfig,
+    /// Per-shard buffer-pool capacity (pages) for file-backed sets.
+    pub pool_pages: usize,
+    /// Worker threads for the parallel scatter; `0` = one per hardware
+    /// thread.
+    pub parallelism: usize,
+}
+
+impl Default for ShardedCubeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            engine: ShardEngineConfig::Grid(GridCubeConfig::default()),
+            pool_pages: DEFAULT_POOL_PAGES,
+            parallelism: 0,
+        }
+    }
+}
+
+fn effective_parallelism(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Balanced contiguous tid ranges: `rows` split into `n` pieces whose
+/// sizes differ by at most one.
+fn partition_ranges(rows: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, rows.max(1));
+    let base = rows / n;
+    let rem = rows % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut lo = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < rem);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    ranges
+}
+
+/// A signature-engine shard: the cube plus the R-tree it indexes.
+#[derive(Debug)]
+struct SigShard {
+    cube: SignatureCube,
+    rtree: RTree,
+}
+
+#[derive(Debug)]
+enum ShardEngine {
+    Grid(Box<GridRankingCube>),
+    Signature(Box<SigShard>),
+}
+
+/// One self-contained partition of the relation: a cube over the
+/// sub-relation `tid_lo..tid_hi`, with its own I/O meter (and, when
+/// file-backed, its own buffer pool). Local tid `i` is global tid
+/// `tid_lo + i`.
+#[derive(Debug)]
+pub struct Shard {
+    engine: ShardEngine,
+    disk: DiskSim,
+    tid_lo: u64,
+    tid_hi: u64,
+    path: Option<PathBuf>,
+}
+
+impl Shard {
+    /// Opens a cursor over this shard's *local* tids.
+    fn open<'a>(&'a self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        match &self.engine {
+            ShardEngine::Grid(cube) => cube.source(&self.disk).open(plan),
+            ShardEngine::Signature(s) => s.cube.source(&s.rtree, &self.disk).open(plan),
+        }
+    }
+
+    fn can_answer(&self, selection: &Selection, ranking_dims: &[usize]) -> bool {
+        match &self.engine {
+            ShardEngine::Grid(cube) => cube.can_answer(selection, ranking_dims),
+            ShardEngine::Signature(s) => s.cube.can_answer(&s.rtree, selection, ranking_dims),
+        }
+    }
+
+    fn verify_integrity(&self) -> Result<(), StorageError> {
+        match &self.engine {
+            ShardEngine::Grid(cube) => cube.verify_integrity(),
+            ShardEngine::Signature(s) => s.cube.verify_integrity(),
+        }
+    }
+
+    fn attach_metrics(&self, metrics: &Metrics, prefix: &str) {
+        match &self.engine {
+            ShardEngine::Grid(cube) => cube.store().attach_metrics(metrics, prefix),
+            ShardEngine::Signature(s) => {
+                s.cube.store().attach_metrics(metrics, prefix);
+                s.cube.node_cache().attach_metrics(metrics, &format!("{prefix}.nodes"));
+            }
+        }
+    }
+
+    /// Cumulative I/O this shard has served (its private meter).
+    pub fn io(&self) -> IoSnapshot {
+        self.disk.stats().snapshot()
+    }
+
+    /// This shard's buffer-pool stats (file-backed shards only).
+    pub fn pool_stats(&self) -> Option<rcube_storage::PoolStats> {
+        match &self.engine {
+            ShardEngine::Grid(cube) => cube.pool_stats(),
+            ShardEngine::Signature(s) => s.cube.pool_stats(),
+        }
+    }
+
+    /// The global tid range `[lo, hi)` this shard serves.
+    pub fn tid_range(&self) -> (u64, u64) {
+        (self.tid_lo, self.tid_hi)
+    }
+}
+
+/// Per-shard instruments on the owning engine's metric registry
+/// (`sharded.shard<i>.…` series).
+#[derive(Debug)]
+struct ShardInstruments {
+    opens: rcube_obs::Counter,
+    pulls: rcube_obs::Counter,
+    answers: rcube_obs::Counter,
+    blocks: rcube_obs::Counter,
+    pull_us: rcube_obs::Histogram,
+}
+
+/// What one query's scatter actually did, per shard — the fan-out view
+/// `explain_analyze` reports.
+#[derive(Debug, Clone)]
+pub struct ShardFanout {
+    /// Shard index.
+    pub shard: usize,
+    /// Whether the merge opened this shard's cursor.
+    pub opened: bool,
+    /// Certified answers pulled from the shard (consumed or held as the
+    /// paused head).
+    pub pulls: u64,
+    /// Answers this shard contributed to the global result.
+    pub answers: u64,
+    /// Blocks the shard's cursor read.
+    pub blocks_read: u64,
+    /// True when the query finished with this shard paused above the
+    /// global threshold — the bound pruned further pulls from it.
+    pub pruned: bool,
+    /// True when the shard ran out of qualifying tuples.
+    pub exhausted: bool,
+}
+
+/// Fan-out summary of one sharded query.
+#[derive(Debug, Clone, Default)]
+pub struct FanoutReport {
+    /// Per-shard rows, in shard order.
+    pub shards: Vec<ShardFanout>,
+}
+
+impl FanoutReport {
+    /// Shards whose cursor was opened.
+    pub fn opened(&self) -> usize {
+        self.shards.iter().filter(|s| s.opened).count()
+    }
+
+    /// Shards the bound pruned (paused above the global threshold).
+    pub fn pruned(&self) -> usize {
+        self.shards.iter().filter(|s| s.pruned).count()
+    }
+
+    /// Total blocks read across shards.
+    pub fn blocks_read(&self) -> u64 {
+        self.shards.iter().map(|s| s.blocks_read).sum()
+    }
+}
+
+impl std::fmt::Display for FanoutReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "fan-out: {} shards opened, {} pruned by bound", self.opened(), self.pruned())?;
+        for s in &self.shards {
+            let state = if s.pruned {
+                "pruned"
+            } else if s.exhausted {
+                "exhausted"
+            } else {
+                "active"
+            };
+            writeln!(
+                f,
+                "  shard {}: {} pulls, {} answers, {} blocks ({state})",
+                s.shard, s.pulls, s.answers, s.blocks_read
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A partitioned cube set: N tid-range shards served as one
+/// [`RankedSource`] via [`ShardedCube::source`].
+#[derive(Debug)]
+pub struct ShardedCube {
+    shards: Vec<Shard>,
+    engine_kind: ShardEngineKind,
+    manifest_path: Option<PathBuf>,
+    pool_pages: usize,
+    parallelism: usize,
+    /// Per-shard failure reasons; a `Some` entry takes the whole set out
+    /// of routing (`can_answer` → false) until that shard is repaired.
+    health: Mutex<Vec<Option<String>>>,
+    instruments: OnceLock<Vec<ShardInstruments>>,
+    last_fanout: Mutex<Option<FanoutReport>>,
+}
+
+impl ShardedCube {
+    /// Builds an in-memory partitioned set (no files): `cfg.shards`
+    /// balanced tid ranges, one cube per range.
+    pub fn build_in_memory(rel: &Relation, cfg: &ShardedCubeConfig) -> Self {
+        let ranges = partition_ranges(rel.len(), cfg.shards);
+        let shards = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let sub = rel.range(lo, hi);
+                let disk = DiskSim::with_defaults();
+                let engine = build_engine(&sub, &disk, &cfg.engine);
+                Shard { engine, disk, tid_lo: lo as u64, tid_hi: hi as u64, path: None }
+            })
+            .collect();
+        Self {
+            shards,
+            engine_kind: engine_kind_of(&cfg.engine),
+            manifest_path: None,
+            pool_pages: cfg.pool_pages,
+            parallelism: effective_parallelism(cfg.parallelism),
+            health: Mutex::new(vec![None; ranges.len()]),
+            instruments: OnceLock::new(),
+            last_fanout: Mutex::new(None),
+        }
+    }
+
+    /// Builds the partitioned set *to disk*: one self-contained cube file
+    /// per shard (`<stem>.shard<i>` beside the manifest) plus the
+    /// CRC-stamped manifest at `manifest_path`, then reopens the set from
+    /// those files (each shard gets its own buffer pool).
+    pub fn build_to(
+        rel: &Relation,
+        manifest_path: impl AsRef<Path>,
+        cfg: &ShardedCubeConfig,
+    ) -> Result<Self, StorageError> {
+        let manifest_path = manifest_path.as_ref();
+        let stem =
+            manifest_path.file_stem().and_then(|s| s.to_str()).unwrap_or("cubeset").to_owned();
+        let ranges = partition_ranges(rel.len(), cfg.shards);
+        let mut entries = Vec::with_capacity(ranges.len());
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let sub = rel.range(lo, hi);
+            let disk = DiskSim::with_defaults();
+            let file = format!("{stem}.shard{i}");
+            let path = manifest_path.with_file_name(&file);
+            match &cfg.engine {
+                ShardEngineConfig::Grid(gcfg) => {
+                    let cube = GridRankingCube::build(&sub, &disk, gcfg.clone());
+                    cube.save_to_with(&path, DEFAULT_PAGE_SIZE, cfg.pool_pages)?;
+                }
+                ShardEngineConfig::Signature(rcfg, scfg) => {
+                    let rtree = RTree::over_relation(&disk, &sub, &[], rcfg.clone());
+                    let cube = SignatureCube::build(&sub, &rtree, &disk, scfg.clone());
+                    cube.save_to_with(&rtree, &path, DEFAULT_PAGE_SIZE, cfg.pool_pages)?;
+                }
+            }
+            entries.push(ShardEntry {
+                file,
+                tid_lo: lo as u64,
+                tid_hi: hi as u64,
+                tuples: (hi - lo) as u64,
+            });
+        }
+        let manifest = ShardManifest { engine: engine_kind_of(&cfg.engine), shards: entries };
+        manifest.save_to(manifest_path)?;
+        Self::open_from_with(manifest_path, cfg.pool_pages, cfg.parallelism)
+    }
+
+    /// Reopens a partitioned set from its manifest with default pool and
+    /// parallelism settings.
+    pub fn open_from(manifest_path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open_from_with(manifest_path, DEFAULT_POOL_PAGES, 0)
+    }
+
+    /// [`Self::open_from`] with explicit per-shard buffer-pool capacity
+    /// and scatter parallelism (`0` = hardware threads).
+    pub fn open_from_with(
+        manifest_path: impl AsRef<Path>,
+        pool_pages: usize,
+        parallelism: usize,
+    ) -> Result<Self, StorageError> {
+        let manifest_path = manifest_path.as_ref().to_path_buf();
+        let manifest = ShardManifest::open_from(&manifest_path)?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for (i, entry) in manifest.shards.iter().enumerate() {
+            let path = manifest.shard_path(&manifest_path, i);
+            let engine = open_engine(manifest.engine, &path, pool_pages)?;
+            shards.push(Shard {
+                engine,
+                disk: DiskSim::with_defaults(),
+                tid_lo: entry.tid_lo,
+                tid_hi: entry.tid_hi,
+                path: Some(path),
+            });
+        }
+        let n = shards.len();
+        Ok(Self {
+            shards,
+            engine_kind: manifest.engine,
+            manifest_path: Some(manifest_path),
+            pool_pages,
+            parallelism: effective_parallelism(parallelism),
+            health: Mutex::new(vec![None; n]),
+            instruments: OnceLock::new(),
+            last_fanout: Mutex::new(None),
+        })
+    }
+
+    /// Number of shards in the set.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (I/O meters, pool stats, tid ranges).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The manifest path for file-backed sets.
+    pub fn manifest_path(&self) -> Option<&Path> {
+        self.manifest_path.as_deref()
+    }
+
+    /// True when every shard covers the plan *and* no shard is failed.
+    pub fn can_answer(&self, selection: &Selection, ranking_dims: &[usize]) -> bool {
+        self.failed_shards().is_empty()
+            && self.shards.iter().all(|s| s.can_answer(selection, ranking_dims))
+    }
+
+    /// Binds the set to its scatter-gather [`RankedSource`].
+    pub fn source(&self) -> ShardedSource<'_> {
+        ShardedSource { cube: self }
+    }
+
+    /// Shards currently failed, with the condemning error message.
+    pub fn failed_shards(&self) -> Vec<(usize, String)> {
+        self.health
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.as_ref().map(|msg| (i, msg.clone())))
+            .collect()
+    }
+
+    fn mark_failed(&self, shard: usize, msg: String) {
+        let mut health = self.health.lock().unwrap();
+        if health[shard].is_none() {
+            health[shard] = Some(msg);
+        }
+    }
+
+    /// Reopens one failed shard from its file and clears its health
+    /// entry. The other shards (and their warm pools) are untouched —
+    /// repair is per-shard, not per-set.
+    pub fn repair_shard(&mut self, shard: usize) -> Result<(), StorageError> {
+        let s =
+            self.shards.get(shard).ok_or(StorageError::Malformed("shard index out of range"))?;
+        let path =
+            s.path.clone().ok_or(StorageError::Malformed("in-memory shards cannot be reopened"))?;
+        let engine = open_engine(self.engine_kind, &path, self.pool_pages)?;
+        let fresh = Shard {
+            engine,
+            disk: DiskSim::with_defaults(),
+            tid_lo: s.tid_lo,
+            tid_hi: s.tid_hi,
+            path: Some(path),
+        };
+        fresh.verify_integrity()?;
+        self.shards[shard] = fresh;
+        self.health.lock().unwrap()[shard] = None;
+        Ok(())
+    }
+
+    /// Scrubs every shard through its validated read path; the first
+    /// failing shard is marked failed and its error returned.
+    pub fn verify_integrity(&self) -> Result<(), StorageError> {
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Err(e) = s.verify_integrity() {
+                self.mark_failed(i, e.to_string());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors per-shard activity into `metrics`: pool series under
+    /// `sharded.shard<i>.pool.…`, plus per-shard
+    /// `opens`/`pulls`/`answers`/`blocks_read` counters and a `pull_us`
+    /// latency histogram. Call once at registration.
+    pub fn attach_metrics(&self, metrics: &Metrics) {
+        let ins = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let prefix = format!("sharded.shard{i}");
+                s.attach_metrics(metrics, &prefix);
+                ShardInstruments {
+                    opens: metrics.counter(&format!("{prefix}.opens")),
+                    pulls: metrics.counter(&format!("{prefix}.pulls")),
+                    answers: metrics.counter(&format!("{prefix}.answers")),
+                    blocks: metrics.counter(&format!("{prefix}.blocks_read")),
+                    pull_us: metrics.histogram(&format!("{prefix}.pull_us")),
+                }
+            })
+            .collect();
+        let _ = self.instruments.set(ins);
+    }
+
+    /// The fan-out of the most recently *finished* sharded query (the
+    /// cursor writes it on drop), for `explain_analyze`.
+    pub fn last_fanout(&self) -> Option<FanoutReport> {
+        self.last_fanout.lock().unwrap().clone()
+    }
+
+    /// Fully parallel batch top-k: every shard drains concurrently toward
+    /// a shared global threshold, then the per-shard candidates merge.
+    ///
+    /// Answers are deterministic (identical to the cursor merge); the
+    /// per-shard I/O, unlike the cursor path, depends on how fast the
+    /// shared threshold tightens across threads, so deterministic I/O
+    /// gates belong on [`ShardedCube::source`]. This is the throughput
+    /// path `BENCH_shard.json` measures aggregate qps on.
+    pub fn par_query(&self, plan: &QueryPlan<'_>) -> Result<TopKResult, StorageError> {
+        if !self.failed_shards().is_empty() {
+            return Err(StorageError::Malformed(
+                "sharded cube has a failed shard; repair it before querying",
+            ));
+        }
+        let k = plan.k;
+        let acc = Mutex::new(LexTopK::new(k));
+        let n = self.shards.len();
+        let groups = partition_ranges(n, self.parallelism.min(n).max(1));
+        let mut outcomes: Vec<Result<ShardDrain, (usize, StorageError)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|&(glo, ghi)| {
+                    let acc = &acc;
+                    scope.spawn(move || {
+                        let mut drains = Vec::with_capacity(ghi - glo);
+                        for i in glo..ghi {
+                            match drain_shard_bounded(&self.shards[i], plan, k, acc) {
+                                Ok(d) => drains.push(Ok(d)),
+                                Err(e) => {
+                                    drains.push(Err((i, e)));
+                                    break;
+                                }
+                            }
+                        }
+                        drains
+                    })
+                })
+                .collect();
+            for h in handles {
+                outcomes.extend(h.join().expect("shard drain worker panicked"));
+            }
+        });
+        let mut stats = QueryStats::default();
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(d) => {
+                    merge_stats(&mut stats, &d.stats);
+                    if d.pruned {
+                        stats.shards_pruned += 1;
+                    }
+                }
+                Err((shard, e)) => {
+                    self.mark_failed(shard, e.to_string());
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        stats.shards_opened = n as u64;
+        Ok(TopKResult { items: acc.into_inner().unwrap().into_sorted(), stats })
+    }
+}
+
+fn engine_kind_of(cfg: &ShardEngineConfig) -> ShardEngineKind {
+    match cfg {
+        ShardEngineConfig::Grid(_) => ShardEngineKind::Grid,
+        ShardEngineConfig::Signature(..) => ShardEngineKind::Signature,
+    }
+}
+
+fn build_engine(sub: &Relation, disk: &DiskSim, cfg: &ShardEngineConfig) -> ShardEngine {
+    match cfg {
+        ShardEngineConfig::Grid(gcfg) => {
+            ShardEngine::Grid(Box::new(GridRankingCube::build(sub, disk, gcfg.clone())))
+        }
+        ShardEngineConfig::Signature(rcfg, scfg) => {
+            let rtree = RTree::over_relation(disk, sub, &[], rcfg.clone());
+            let cube = SignatureCube::build(sub, &rtree, disk, scfg.clone());
+            ShardEngine::Signature(Box::new(SigShard { cube, rtree }))
+        }
+    }
+}
+
+fn open_engine(
+    kind: ShardEngineKind,
+    path: &Path,
+    pool_pages: usize,
+) -> Result<ShardEngine, StorageError> {
+    Ok(match kind {
+        ShardEngineKind::Grid => {
+            ShardEngine::Grid(Box::new(GridRankingCube::open_from_with(path, pool_pages)?))
+        }
+        ShardEngineKind::Signature => {
+            let (cube, rtree) = SignatureCube::open_from_with(path, pool_pages)?;
+            ShardEngine::Signature(Box::new(SigShard { cube, rtree }))
+        }
+    })
+}
+
+/// Field-wise accumulation of per-shard cursor stats into a roll-up
+/// (sums everywhere, max for the heap watermark).
+fn merge_stats(acc: &mut QueryStats, s: &QueryStats) {
+    acc.io.logical_reads += s.io.logical_reads;
+    acc.io.disk_reads += s.io.disk_reads;
+    acc.io.writes += s.io.writes;
+    acc.io.random_accesses += s.io.random_accesses;
+    acc.blocks_read += s.blocks_read;
+    acc.tuples_scored += s.tuples_scored;
+    acc.peak_heap = acc.peak_heap.max(s.peak_heap);
+    acc.states_generated += s.states_generated;
+    acc.sig_loads += s.sig_loads;
+    acc.sig_bytes_decoded += s.sig_bytes_decoded;
+    acc.sig_nodes_decoded += s.sig_nodes_decoded;
+    acc.shared_node_hits += s.shared_node_hits;
+    acc.path_retries += s.path_retries;
+    acc.path_fallbacks += s.path_fallbacks;
+    acc.backoff_ns += s.backoff_ns;
+}
+
+/// Bounded best-k accumulator ordered lexicographically by
+/// `(score, tid)`, so eviction under score ties is deterministic
+/// regardless of arrival order across threads.
+struct LexTopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<LexScored>,
+}
+
+#[derive(PartialEq)]
+struct LexScored(f64, Tid);
+
+impl Eq for LexScored {}
+
+impl Ord for LexScored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for LexScored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl LexTopK {
+    fn new(k: usize) -> Self {
+        Self { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    fn offer(&mut self, tid: Tid, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(LexScored(score, tid));
+        } else {
+            let worst = self.heap.peek().unwrap();
+            if LexScored(score, tid) < *worst {
+                self.heap.pop();
+                self.heap.push(LexScored(score, tid));
+            }
+        }
+    }
+
+    /// Whether a future answer scoring `score` (or worse) could still
+    /// enter the set — the shared threshold shards drain against.
+    fn admits(&self, score: f64) -> bool {
+        self.heap.len() < self.k || self.heap.peek().is_some_and(|w| score <= w.0)
+    }
+
+    fn into_sorted(self) -> Vec<(Tid, f64)> {
+        let mut v: Vec<(Tid, f64)> = self.heap.into_iter().map(|s| (s.1, s.0)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+struct ShardDrain {
+    stats: QueryStats,
+    pruned: bool,
+}
+
+/// Drains one shard toward the shared accumulator, stopping as soon as
+/// the shard's certified next score can no longer enter the global set.
+fn drain_shard_bounded(
+    shard: &Shard,
+    plan: &QueryPlan<'_>,
+    k: usize,
+    acc: &Mutex<LexTopK>,
+) -> Result<ShardDrain, StorageError> {
+    let mut local = *plan;
+    local.k = k;
+    let mut cursor = shard.open(&local)?;
+    let base = shard.tid_lo as Tid;
+    let mut pruned = false;
+    while let Some((tid, score)) = cursor.try_next()? {
+        let mut acc = acc.lock().unwrap();
+        acc.offer(tid + base, score);
+        // The shard certifies all its future scores are ≥ this one, so a
+        // rejection threshold reached here holds for the whole remainder.
+        if !acc.admits(score) {
+            pruned = true;
+            break;
+        }
+    }
+    Ok(ShardDrain { stats: cursor.stats(), pruned })
+}
+
+/// The shard set as one [`RankedSource`]: opens a scatter-gather cursor
+/// whose answers are byte-identical to an unsharded cube over the same
+/// relation.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSource<'a> {
+    cube: &'a ShardedCube,
+}
+
+impl<'a> RankedSource<'a> for ShardedSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        if !self.cube.failed_shards().is_empty() {
+            return Err(StorageError::Malformed(
+                "sharded cube has a failed shard; repair it before querying",
+            ));
+        }
+        let cube = self.cube;
+        let mut frontiers: Vec<Frontier<'a>> = cube
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| Frontier {
+                shard: i,
+                tid_base: shard.tid_lo as Tid,
+                cursor: None,
+                head: None,
+                state: FState::NeedsPull,
+                pulls: 0,
+                answers: 0,
+            })
+            .collect();
+        // Eager scatter of the opens: per-shard plan setup (covering
+        // cuboids, signature pruners) runs concurrently, and a failed
+        // shard surfaces here — inside the engine's retry/fallback
+        // ladder — rather than on the first pull.
+        let open_result =
+            parallel_over(&mut frontiers, cube.parallelism, |f| open_frontier(cube, f, *plan));
+        if let Err((shard, e)) = open_result {
+            cube.mark_failed(shard, e.to_string());
+            return Err(e);
+        }
+        let search = ShardedSearch { cube, frontiers, target: plan.k };
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FState {
+    /// The shard's head was consumed (or never fetched): pull before the
+    /// next merge step.
+    NeedsPull,
+    /// A certified head is waiting; the shard is paused above it.
+    Ready,
+    /// The shard ran dry at the current target.
+    Done,
+}
+
+struct Frontier<'a> {
+    shard: usize,
+    tid_base: Tid,
+    cursor: Option<TopKCursor<'a>>,
+    /// Certified next answer, already rebased to global tids.
+    head: Option<(Tid, f64)>,
+    state: FState,
+    pulls: u64,
+    answers: u64,
+}
+
+/// Runs `op` once per frontier, on scoped worker threads when more than
+/// one frontier needs work. Returns the first `(shard, error)`.
+fn parallel_over<'a, F>(
+    frontiers: &mut [Frontier<'a>],
+    parallelism: usize,
+    op: F,
+) -> Result<(), (usize, StorageError)>
+where
+    F: Fn(&mut Frontier<'a>) -> Result<(), StorageError> + Sync,
+{
+    let mut pending: Vec<&mut Frontier<'a>> =
+        frontiers.iter_mut().filter(|f| f.state == FState::NeedsPull).collect();
+    if pending.is_empty() {
+        return Ok(());
+    }
+    if pending.len() == 1 || parallelism <= 1 {
+        for f in pending {
+            let shard = f.shard;
+            op(f).map_err(|e| (shard, e))?;
+        }
+        return Ok(());
+    }
+    let chunk = pending.len().div_ceil(parallelism);
+    let mut first_err = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .chunks_mut(chunk)
+            .map(|group| {
+                let op = &op;
+                scope.spawn(move || {
+                    for f in group {
+                        let shard = f.shard;
+                        if let Err(e) = op(f) {
+                            return Err((shard, e));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(err) = h.join().expect("shard pull worker panicked") {
+                if first_err.is_none() {
+                    first_err = Some(err);
+                }
+            }
+        }
+    });
+    match first_err {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}
+
+fn open_frontier<'a>(
+    cube: &'a ShardedCube,
+    f: &mut Frontier<'a>,
+    plan: QueryPlan<'a>,
+) -> Result<(), StorageError> {
+    f.cursor = Some(cube.shards[f.shard].open(&plan)?);
+    if let Some(ins) = cube.instruments.get() {
+        ins[f.shard].opens.inc();
+    }
+    Ok(())
+}
+
+fn pull_frontier<'a>(
+    cube: &'a ShardedCube,
+    f: &mut Frontier<'a>,
+    target: usize,
+) -> Result<(), StorageError> {
+    let cursor = f.cursor.as_mut().expect("frontier pulled before open");
+    if cursor.k() < target {
+        cursor.extend_k(target - cursor.k());
+    }
+    let started = Instant::now();
+    let pulled = cursor.try_next()?;
+    if let Some(ins) = cube.instruments.get() {
+        ins[f.shard].pull_us.record(started.elapsed().as_micros() as u64);
+    }
+    match pulled {
+        Some((tid, score)) => {
+            f.head = Some((tid + f.tid_base, score));
+            f.state = FState::Ready;
+            f.pulls += 1;
+            if let Some(ins) = cube.instruments.get() {
+                ins[f.shard].pulls.inc();
+            }
+        }
+        None => {
+            f.head = None;
+            f.state = FState::Done;
+        }
+    }
+    Ok(())
+}
+
+/// The bound-driven k-way merge behind a sharded [`TopKCursor`].
+struct ShardedSearch<'a> {
+    cube: &'a ShardedCube,
+    frontiers: Vec<Frontier<'a>>,
+    /// Current global answer target (raised by `reserve`/`extend_k`).
+    target: usize,
+}
+
+impl ShardedSearch<'_> {
+    /// Refills every consumed frontier — in parallel when the scatter is
+    /// wider than one shard. Which pulls happen is a pure function of
+    /// the consumed-answer sequence, so per-shard I/O is deterministic.
+    fn fill(&mut self) -> Result<(), StorageError> {
+        let target = self.target;
+        let cube = self.cube;
+        parallel_over(&mut self.frontiers, cube.parallelism, |f| pull_frontier(cube, f, target))
+            .map_err(|(shard, e)| {
+                cube.mark_failed(shard, e.to_string());
+                e
+            })
+    }
+
+    fn fanout_report(&self) -> FanoutReport {
+        FanoutReport {
+            shards: self
+                .frontiers
+                .iter()
+                .map(|f| ShardFanout {
+                    shard: f.shard,
+                    opened: f.cursor.is_some(),
+                    pulls: f.pulls,
+                    answers: f.answers,
+                    blocks_read: f.cursor.as_ref().map_or(0, |c| c.stats().blocks_read),
+                    pruned: f.state == FState::Ready,
+                    exhausted: f.state == FState::Done,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ProgressiveSearch for ShardedSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        self.fill()?;
+        let mut best: Option<usize> = None;
+        for (i, f) in self.frontiers.iter().enumerate() {
+            if f.state != FState::Ready {
+                continue;
+            }
+            let (tid, score) = f.head.expect("ready frontier without a head");
+            let better = match best {
+                None => true,
+                Some(j) => {
+                    let (bt, bs) = self.frontiers[j].head.unwrap();
+                    score.total_cmp(&bs).then(tid.cmp(&bt)).is_lt()
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        match best {
+            None => Ok(None),
+            Some(i) => {
+                let f = &mut self.frontiers[i];
+                let item = f.head.take().expect("ready frontier without a head");
+                f.state = FState::NeedsPull;
+                f.answers += 1;
+                Ok(Some(item))
+            }
+        }
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut acc = QueryStats::default();
+        for f in &self.frontiers {
+            if let Some(c) = &f.cursor {
+                merge_stats(&mut acc, &c.stats());
+                acc.shards_opened += 1;
+            }
+            if f.state == FState::Ready {
+                acc.shards_pruned += 1;
+            }
+        }
+        acc
+    }
+
+    fn reserve(&mut self, k: usize) {
+        if k > self.target {
+            self.target = k;
+            // A shard that ran dry at the old target gets one re-probe:
+            // fixed-k engines may find more answers under the new one.
+            for f in &mut self.frontiers {
+                if f.state == FState::Done {
+                    f.state = FState::NeedsPull;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardedSearch<'_> {
+    fn drop(&mut self) {
+        let report = self.fanout_report();
+        if let Some(ins) = self.cube.instruments.get() {
+            for s in &report.shards {
+                ins[s.shard].answers.add(s.answers);
+                ins[s.shard].blocks.add(s.blocks_read);
+            }
+        }
+        *self.cube.last_fanout.lock().unwrap() = Some(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use rcube_func::Linear;
+    use rcube_table::gen::SyntheticSpec;
+
+    fn rel() -> Relation {
+        SyntheticSpec { tuples: 3000, ..Default::default() }.generate()
+    }
+
+    fn unsharded_answers(rel: &Relation, query: &Query, k: usize) -> Vec<(Tid, f64)> {
+        let disk = DiskSim::with_defaults();
+        let cube = GridRankingCube::build(rel, &disk, GridCubeConfig::default());
+        let plan = query.plan();
+        let mut local = plan;
+        local.k = k;
+        cube.source(&disk).query(&local).unwrap().items
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded() {
+        let rel = rel();
+        for shards in [1, 2, 3, 4] {
+            let cfg = ShardedCubeConfig { shards, ..Default::default() };
+            let cube = ShardedCube::build_in_memory(&rel, &cfg);
+            for k in [1, 7, 25] {
+                let query = Query::select([(0, 3)]).rank(Linear::uniform(2)).top(k);
+                let expect = unsharded_answers(&rel, &query, k);
+                let got = cube.source().query(&query.plan()).unwrap();
+                assert_eq!(got.items, expect, "shards={shards} k={k}");
+                assert_eq!(got.stats.shards_opened, shards as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_query_matches_cursor_merge() {
+        let rel = rel();
+        let cfg = ShardedCubeConfig { shards: 3, parallelism: 2, ..Default::default() };
+        let cube = ShardedCube::build_in_memory(&rel, &cfg);
+        let query = Query::select([(1, 5)]).rank(Linear::uniform(2)).top(12);
+        let merged = cube.source().query(&query.plan()).unwrap();
+        let parallel = cube.par_query(&query.plan()).unwrap();
+        assert_eq!(parallel.items, merged.items);
+    }
+
+    #[test]
+    fn extend_composes_shard_wise() {
+        let rel = rel();
+        let cfg = ShardedCubeConfig { shards: 4, ..Default::default() };
+        let cube = ShardedCube::build_in_memory(&rel, &cfg);
+        let query = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(4);
+        let full = unsharded_answers(&rel, &query, 12);
+
+        let mut cursor = cube.source().open(&query.plan()).unwrap();
+        let mut got = Vec::new();
+        while let Some(item) = cursor.try_next().unwrap() {
+            got.push(item);
+        }
+        cursor.extend_k(8);
+        while let Some(item) = cursor.try_next().unwrap() {
+            got.push(item);
+        }
+        assert_eq!(got, full);
+    }
+
+    #[test]
+    fn pull_bound_holds_per_shard() {
+        let rel = rel();
+        let cfg = ShardedCubeConfig { shards: 4, ..Default::default() };
+        let cube = ShardedCube::build_in_memory(&rel, &cfg);
+        let query = Query::select([(0, 2)]).rank(Linear::uniform(2)).top(10);
+        let _ = cube.source().query(&query.plan()).unwrap();
+        let fanout = cube.last_fanout().expect("fan-out recorded on drop");
+        assert_eq!(fanout.shards.len(), 4);
+        for s in &fanout.shards {
+            assert!(
+                s.pulls <= s.answers + 1,
+                "shard {} pulled {} for {} answers",
+                s.shard,
+                s.pulls,
+                s.answers
+            );
+        }
+        let total: u64 = fanout.shards.iter().map(|s| s.answers).sum();
+        assert!(total <= 10);
+    }
+
+    #[test]
+    fn partition_ranges_are_balanced_and_contiguous() {
+        let ranges = partition_ranges(10, 3);
+        assert_eq!(ranges, vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(partition_ranges(2, 5).len(), 2);
+        assert_eq!(partition_ranges(0, 3), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn signature_shards_answer_identically() {
+        let rel = SyntheticSpec { tuples: 800, ..Default::default() }.generate();
+        let cfg = ShardedCubeConfig {
+            shards: 3,
+            engine: ShardEngineConfig::Signature(
+                RTreeConfig::small(16),
+                SignatureCubeConfig::default(),
+            ),
+            ..Default::default()
+        };
+        let cube = ShardedCube::build_in_memory(&rel, &cfg);
+        let query = Query::select([(0, 4)]).rank(Linear::uniform(2)).top(8);
+        let expect = unsharded_answers(&rel, &query, 8);
+        let got = cube.source().query(&query.plan()).unwrap();
+        assert_eq!(got.items, expect);
+    }
+}

@@ -47,7 +47,11 @@ pub enum Shape {
 ///
 /// Scores are minimised (the thesis assumes score-ascending top-k
 /// throughout; a maximisation query negates the function).
-pub trait RankFn {
+///
+/// `Send + Sync` is a supertrait so one plan can be scattered across
+/// shard worker threads: every implementation is plain data (weights,
+/// target points), so the bound costs nothing.
+pub trait RankFn: Send + Sync {
     /// Exact score of a tuple's ranking-dimension values.
     fn score(&self, point: &[f64]) -> f64;
 

@@ -27,7 +27,11 @@ pub struct NodeHandle(pub u32);
 /// Each node occupies one page; [`HierIndex::read_node`] charges the I/O.
 /// Node *paths* are the entry-position sequences `⟨p0, p1, …⟩` used to key
 /// signatures and join-signatures (Sections 4.2.1, 5.3.1).
-pub trait HierIndex {
+///
+/// `Send + Sync` is a supertrait so searches holding `&dyn HierIndex`
+/// stay `Send` and can run on shard worker threads; both implementations
+/// (B+-tree, R-tree) are immutable after build.
+pub trait HierIndex: Send + Sync {
     /// Number of ranking dimensions the index covers (1 for a B+-tree).
     fn dims(&self) -> usize;
 

@@ -204,6 +204,32 @@
 //! after the rename elects the compacted file. The compacted file's
 //! page ids are all fresh, so caches keyed by first page id are
 //! invalidated wholesale by swapping the cube handle.
+//!
+//! # Shard manifest
+//!
+//! A *partitioned* cube set is N ordinary cube files — each one a
+//! complete, self-checksummed unit in the format above, with its own
+//! buffer pool and generation history — plus one small manifest file
+//! binding them into a set (see [`crate::manifest`] for the exact
+//! layout). The manifest records the engine kind, and per shard the cube
+//! file name (relative, so the whole directory relocates) and the global
+//! tid range it serves; a trailing CRC-32 stamps the whole thing.
+//!
+//! * **Versioning.** The manifest carries its own version field
+//!   ([`crate::manifest::MANIFEST_VERSION`]), gated at open exactly like
+//!   cube-file versions: unknown versions are a typed
+//!   [`StorageError::UnsupportedVersion`], never a layout guess.
+//! * **Open election.** Publication is temp-file + `fsync` + atomic
+//!   `rename(2)` — the same single-candidate election as the vacuum
+//!   swap: a crash mid-publish leaves the old manifest, a crash after
+//!   leaves the new one, and the CRC rejects torn or bit-flipped bytes.
+//!   Each shard file then runs its *own* double-buffered superblock
+//!   election at open, so manifest durability and shard durability
+//!   compose without coordination.
+//! * **Degradation unit.** Because shards share nothing, a corrupted
+//!   shard file fails its own open/verify with a typed error while the
+//!   remaining shards keep serving — the serving layer quarantines
+//!   per-(route, shard), not per-route.
 
 use crate::backend::StorageError;
 
@@ -488,6 +514,10 @@ impl ByteWriter {
         self.buf.push(v);
     }
 
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -503,6 +533,11 @@ impl ByteWriter {
     /// Length-prefixed (u64) byte run.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Raw byte run, no length prefix (fixed-size fields like magics).
+    pub fn put_bytes_raw(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
 }

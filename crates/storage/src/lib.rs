@@ -34,6 +34,7 @@ pub mod fault;
 pub mod file;
 pub mod format;
 pub mod lock;
+pub mod manifest;
 pub mod stats;
 
 pub use backend::{MemBackend, PageBackend, StorageError};
@@ -46,6 +47,7 @@ pub use fault::{CrashMode, FaultBackend, FaultPlan, SwapStage, WriteOutcome};
 pub use file::{FileBackend, FileOptions, IoMode, DEFAULT_POOL_PAGES};
 pub use format::{ByteReader, ByteWriter};
 pub use lock::{lock_path_for, WriterLock};
+pub use manifest::{ShardEngineKind, ShardEntry, ShardManifest, MANIFEST_VERSION};
 pub use stats::{IoSnapshot, IoStats};
 
 /// Default page size used throughout the reproduction (bytes).

@@ -1,0 +1,282 @@
+//! The shard manifest: one small CRC-stamped file describing a
+//! partitioned cube set.
+//!
+//! A sharded build splits a relation by tid range into N self-contained
+//! cube files (each its own buffer pool, checksums, generations — the
+//! ordinary format described in [`crate::format`]) plus one manifest
+//! naming them. The manifest is the *only* coupling between shards: it
+//! records, per shard, the cube file name (relative to the manifest's
+//! directory, so the set relocates as a unit) and the global tid range
+//! the shard serves. Opening a sharded cube = read manifest, validate
+//! CRC and ranges, open each named file.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! | offset | size | field                                         |
+//! |--------|------|-----------------------------------------------|
+//! | 0      | 4    | magic `b"RCSM"`                               |
+//! | 4      | 2    | manifest version ([`MANIFEST_VERSION`])       |
+//! | 6      | 1    | engine kind (1 = grid, 2 = signature)         |
+//! | 7      | 1    | flags (reserved, zero)                        |
+//! | 8      | 8    | shard count                                   |
+//! | …      | …    | per shard: file name (u64-length-prefixed     |
+//! |        |      | UTF-8), tid_lo u64, tid_hi u64 (exclusive),   |
+//! |        |      | tuple count u64                               |
+//! | end−4  | 4    | CRC-32 over every preceding byte              |
+//!
+//! # Versioning and open election
+//!
+//! Readers gate on the version field exactly like cube files do: an
+//! unknown version is [`StorageError::UnsupportedVersion`], never a
+//! guess at the layout. [`ShardManifest::save_to`] publishes through a
+//! sibling temp file + fsync + atomic rename, so a crash mid-write
+//! leaves either the old manifest or the new one — election at open is
+//! therefore trivial (there is only ever one candidate), with the CRC
+//! rejecting torn or bit-flipped content as a typed
+//! [`StorageError::ChecksumMismatch`]. Per-shard durability remains the
+//! cube files' own double-buffered superblock election.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::backend::StorageError;
+use crate::format::{crc32, ByteReader, ByteWriter};
+
+/// Manifest file magic.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"RCSM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+/// Sanity cap on the shard count a manifest may claim.
+pub const MAX_SHARDS: usize = 4096;
+
+/// Which cube engine every shard in the set was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEngineKind {
+    /// Grid partition + neighborhood search (`GridRankingCube`).
+    Grid,
+    /// R-tree + signature cube (`SignatureCube`).
+    Signature,
+}
+
+impl ShardEngineKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ShardEngineKind::Grid => 1,
+            ShardEngineKind::Signature => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, StorageError> {
+        match v {
+            1 => Ok(ShardEngineKind::Grid),
+            2 => Ok(ShardEngineKind::Signature),
+            _ => Err(StorageError::Malformed("unknown shard engine kind")),
+        }
+    }
+}
+
+/// One shard's row in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Cube file name, relative to the manifest's directory.
+    pub file: String,
+    /// First global tid the shard serves.
+    pub tid_lo: u64,
+    /// One past the last global tid the shard serves.
+    pub tid_hi: u64,
+    /// Tuples stored in the shard (= `tid_hi - tid_lo`).
+    pub tuples: u64,
+}
+
+/// The parsed, validated shard manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Engine every shard was built with.
+    pub engine: ShardEngineKind,
+    /// Shards in ascending tid order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Serializes the manifest, CRC stamp included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes_raw(&MANIFEST_MAGIC);
+        w.put_u16(MANIFEST_VERSION);
+        w.put_u8(self.engine.to_u8());
+        w.put_u8(0);
+        w.put_u64(self.shards.len() as u64);
+        for s in &self.shards {
+            w.put_bytes(s.file.as_bytes());
+            w.put_u64(s.tid_lo);
+            w.put_u64(s.tid_hi);
+            w.put_u64(s.tuples);
+        }
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Parses and validates manifest bytes (magic, version, CRC, ranges).
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() < 4 + 2 + 1 + 1 + 8 + 4 {
+            return Err(StorageError::Malformed("shard manifest truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(StorageError::ChecksumMismatch { page: 0 });
+        }
+        let mut r = ByteReader::new(body);
+        if r.take(4)? != MANIFEST_MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let engine = ShardEngineKind::from_u8(r.u8()?)?;
+        let _flags = r.u8()?;
+        let count = r.count(MAX_SHARDS)?;
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.bytes()?;
+            let file = std::str::from_utf8(name)
+                .map_err(|_| StorageError::Malformed("shard file name is not UTF-8"))?
+                .to_owned();
+            let tid_lo = r.u64()?;
+            let tid_hi = r.u64()?;
+            let tuples = r.u64()?;
+            shards.push(ShardEntry { file, tid_lo, tid_hi, tuples });
+        }
+        if r.remaining() != 0 {
+            return Err(StorageError::Malformed("shard manifest has trailing bytes"));
+        }
+        let m = Self { engine, shards };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Structural validation: at least one shard, contiguous ascending tid
+    /// ranges starting at 0, tuple counts matching the ranges.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        if self.shards.is_empty() {
+            return Err(StorageError::Malformed("shard manifest names no shards"));
+        }
+        let mut next = 0u64;
+        for s in &self.shards {
+            if s.file.is_empty() || s.file.contains('/') || s.file.contains('\\') {
+                return Err(StorageError::Malformed("shard file name must be a bare file name"));
+            }
+            if s.tid_lo != next || s.tid_hi < s.tid_lo {
+                return Err(StorageError::Malformed("shard tid ranges must be contiguous"));
+            }
+            if s.tuples != s.tid_hi - s.tid_lo {
+                return Err(StorageError::Malformed("shard tuple count disagrees with tid range"));
+            }
+            next = s.tid_hi;
+        }
+        Ok(())
+    }
+
+    /// Writes the manifest at `path` via temp file + fsync + atomic
+    /// rename, so readers only ever see a complete manifest.
+    pub fn save_to(&self, path: &Path) -> Result<(), StorageError> {
+        self.validate()?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let bytes = self.encode();
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates the manifest at `path`.
+    pub fn open_from(path: &Path) -> Result<Self, StorageError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes)
+    }
+
+    /// Absolute path of shard `i`'s cube file, given the manifest's path.
+    pub fn shard_path(&self, manifest_path: &Path, i: usize) -> PathBuf {
+        let dir = manifest_path.parent().unwrap_or_else(|| Path::new("."));
+        dir.join(&self.shards[i].file)
+    }
+
+    /// Total tuples across all shards.
+    pub fn total_tuples(&self) -> u64 {
+        self.shards.iter().map(|s| s.tuples).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            engine: ShardEngineKind::Grid,
+            shards: vec![
+                ShardEntry { file: "cars.shard0".into(), tid_lo: 0, tid_hi: 100, tuples: 100 },
+                ShardEntry { file: "cars.shard1".into(), tid_lo: 100, tid_hi: 180, tuples: 80 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let m = sample();
+        let back = ShardManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn any_bit_flip_is_caught() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(ShardManifest::decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn version_gate_is_typed() {
+        let mut bytes = sample().encode();
+        // Bump the version field and restamp the CRC so only the gate trips.
+        bytes[4] = 0x7F;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ShardManifest::decode(&bytes),
+            Err(StorageError::UnsupportedVersion(0x7F))
+        ));
+    }
+
+    #[test]
+    fn gapped_ranges_rejected() {
+        let mut m = sample();
+        m.shards[1].tid_lo = 101;
+        assert!(matches!(m.validate(), Err(StorageError::Malformed(_))));
+    }
+
+    #[test]
+    fn save_open_roundtrip_and_atomicity() {
+        let dir = std::env::temp_dir().join(format!("rcsm_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("set.manifest");
+        let m = sample();
+        m.save_to(&path).unwrap();
+        assert_eq!(ShardManifest::open_from(&path).unwrap(), m);
+        // Re-publish over the live manifest: readers never see a partial file.
+        let mut m2 = m.clone();
+        m2.shards[1].file = "cars.shard1b".into();
+        m2.save_to(&path).unwrap();
+        assert_eq!(ShardManifest::open_from(&path).unwrap(), m2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

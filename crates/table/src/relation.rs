@@ -88,6 +88,20 @@ impl Relation {
             rows: n,
         }
     }
+
+    /// Returns the sub-relation holding rows `lo..hi` (tid-range
+    /// partitioning for sharded builds). Row `lo + i` of `self` becomes
+    /// local tid `i`; callers that need global tids add `lo` back.
+    pub fn range(&self, lo: usize, hi: usize) -> Relation {
+        let hi = hi.min(self.rows);
+        let lo = lo.min(hi);
+        Relation {
+            schema: self.schema.clone(),
+            selection_cols: self.selection_cols.iter().map(|c| c[lo..hi].to_vec()).collect(),
+            ranking_cols: self.ranking_cols.iter().map(|c| c[lo..hi].to_vec()).collect(),
+            rows: hi - lo,
+        }
+    }
 }
 
 /// Row-at-a-time builder for [`Relation`].

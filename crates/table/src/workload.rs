@@ -126,6 +126,120 @@ impl QueryGen {
     }
 }
 
+/// A Zipf(s) sampler over ranks `1..=n`: rank `r` is drawn with
+/// probability proportional to `1 / r^s`. Deterministic given the RNG;
+/// `s = 0` degenerates to uniform.
+///
+/// Implemented as a precomputed CDF + binary search — exact (no
+/// rejection), O(n) setup, O(log n) per draw, plenty for workload
+/// generation where `n` is a dimension cardinality.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a 0-based rank (0 is the hottest).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Zipf-skewed query generator: selection *values* are drawn from a
+/// Zipf(`value_skew`) distribution over each dimension's domain instead
+/// of uniformly, so a few hot cells receive most of the traffic — the
+/// access pattern real serving workloads show. Everything else (dimension
+/// choice, ranking weights) follows [`QueryGen`]'s rules. Seeded and
+/// deterministic: two generators with equal params emit equal batches.
+#[derive(Debug)]
+pub struct ZipfQueryGen {
+    params: WorkloadParams,
+    value_skew: f64,
+    rng: StdRng,
+    /// One sampler per distinct cardinality seen, built lazily.
+    samplers: std::collections::BTreeMap<usize, Zipf>,
+}
+
+impl ZipfQueryGen {
+    /// `value_skew` is the Zipf exponent over each dimension's values
+    /// (1.0 ≈ classic web-traffic skew; 0.0 = uniform).
+    pub fn new(params: WorkloadParams, value_skew: f64) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        Self { params, value_skew, rng, samplers: std::collections::BTreeMap::new() }
+    }
+
+    /// Draws the next query against `rel`'s schema.
+    pub fn next_query(&mut self, rel: &Relation) -> QuerySpec {
+        let schema = rel.schema();
+        let s_total = schema.num_selection();
+        let r_total = schema.num_ranking();
+        let s = self.params.num_conditions.min(s_total);
+        let r = self.params.num_ranking.min(r_total);
+
+        let mut sel_dims: Vec<usize> = (0..s_total).collect();
+        sel_dims.shuffle(&mut self.rng);
+        sel_dims.truncate(s);
+        let skew = self.value_skew;
+        let mut conds = Vec::with_capacity(s);
+        for d in sel_dims {
+            let card = schema.selection_dim(d).cardinality() as usize;
+            let zipf = self.samplers.entry(card).or_insert_with(|| Zipf::new(card.max(1), skew));
+            // Hot rank 0 maps to value 0, so skew is visible in the raw
+            // condition values (and shard benches can count hot cells).
+            conds.push((d, zipf.sample(&mut self.rng) as u32));
+        }
+
+        let mut rank_dims: Vec<usize> = (0..r_total).collect();
+        rank_dims.shuffle(&mut self.rng);
+        rank_dims.truncate(r);
+        rank_dims.sort_unstable();
+
+        let u = self.params.skewness.max(1.0);
+        let mut weights: Vec<f64> = (0..r)
+            .map(|i| {
+                if i == 0 {
+                    1.0
+                } else if i == r - 1 {
+                    u
+                } else {
+                    self.rng.gen_range(1.0..=u)
+                }
+            })
+            .collect();
+        weights.shuffle(&mut self.rng);
+
+        QuerySpec {
+            selection: Selection::new(conds),
+            ranking_dims: rank_dims,
+            weights,
+            k: self.params.k,
+        }
+    }
+
+    /// A batch of `n` Zipf-skewed queries.
+    pub fn batch(&mut self, rel: &Relation, n: usize) -> Vec<QuerySpec> {
+        (0..n).map(|_| self.next_query(rel)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +292,57 @@ mod tests {
             k: 10,
         };
         assert_eq!(q.full_weights(4), vec![1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(20, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 20];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate the tail decisively under s = 1.2.
+        assert!(counts[0] > counts[10] * 3, "head {} tail {}", counts[0], counts[10]);
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "uniform draw too skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_generator_is_deterministic_and_skewed() {
+        let rel = SyntheticSpec { tuples: 200, ..Default::default() }.generate();
+        let params = WorkloadParams { seed: 11, ..Default::default() };
+        let mut a = ZipfQueryGen::new(params.clone(), 1.1);
+        let mut b = ZipfQueryGen::new(params, 1.1);
+        let qa = a.batch(&rel, 50);
+        let qb = b.batch(&rel, 50);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for (x, y) in qa.iter().zip(&qb) {
+            assert_eq!(x.selection, y.selection);
+            assert_eq!(x.weights, y.weights);
+            for (_, v) in x.selection.conds() {
+                total += 1;
+                if *v == 0 {
+                    zeros += 1;
+                }
+            }
+        }
+        // Under Zipf(1.1) over cardinality-20 domains, value 0 should take
+        // far more than the uniform 1/20 share.
+        assert!(zeros * 5 > total, "value 0 drew {zeros}/{total}");
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! [`Engine::query`] for a batch answer). Routing is a static preference
 //! order over the paths that can answer the plan:
 //!
-//! 1. **Grid ranking cube** — covering cuboids over the selection, the
+//! 1. **Partitioned cube set** — tid-range shards merged by the
+//!    bound-driven scatter-gather cursor (`rcube_core::shard`), preferred
+//!    when registered because its shards pull in parallel;
+//! 2. **Grid ranking cube** — covering cuboids over the selection, the
 //!    paper's primary engine;
-//! 2. **Ranking fragments** — the linear-space variant for high selection
+//! 3. **Ranking fragments** — the linear-space variant for high selection
 //!    dimensionality;
-//! 3. **Signature cube** — hierarchical partition + top-down search;
-//! 4. **Table scan** — the always-applicable fallback (built implicitly,
+//! 4. **Signature cube** — hierarchical partition + top-down search;
+//! 5. **Table scan** — the always-applicable fallback (built implicitly,
 //!    so every well-formed query is answerable).
 //!
 //! # Graceful degradation
@@ -32,6 +35,12 @@
 //!   queries skip it until [`Engine::clear_quarantine`] (after a repair
 //!   such as `SignatureCube::scrub_path`). The scan is never quarantined.
 //!   [`Engine::quarantined`] lists the paths taken down and why.
+//! * On the sharded route the degradation unit is the **shard**: a
+//!   failed shard quarantines the route with one entry *per condemned
+//!   shard* (`"shard 2: checksum mismatch…"`), and
+//!   [`Engine::repair_shard`] reopens just that shard's cube file and
+//!   lifts just its entries — the other shards' warm buffer pools are
+//!   untouched, and the route returns to service once no entry remains.
 //!
 //! Degradation changes *which path* computes the answer, never the
 //! answer: every route returns the same certified top-k.
@@ -45,6 +54,7 @@ use rcube_baseline::TableScan;
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
 use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
+use rcube_core::shard::{ShardedCube, ShardedCubeConfig};
 use rcube_core::sigcube::{ScrubOutcome, SignatureCube, SignatureCubeConfig};
 use rcube_core::{MaintenanceConfig, MaintenanceScheduler, TopKResult};
 use rcube_index::rtree::{RTree, RTreeConfig};
@@ -76,6 +86,8 @@ const SLOW_LOG_OFF: u64 = u64::MAX;
 /// tests and demos).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
+    /// The partitioned cube set answered via the scatter-gather merge.
+    Sharded,
     /// The grid ranking cube answered.
     Grid,
     /// The ranking fragments answered.
@@ -88,11 +100,13 @@ pub enum Route {
 
 impl Route {
     /// Every route, in the engine's preference order.
-    pub const ALL: [Route; 4] = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan];
+    pub const ALL: [Route; 5] =
+        [Route::Sharded, Route::Grid, Route::Fragments, Route::Signature, Route::Scan];
 
     /// The metric-series name for this route (`query.<name>.…`).
     pub fn name(self) -> &'static str {
         match self {
+            Route::Sharded => "sharded",
             Route::Grid => "grid",
             Route::Fragments => "fragments",
             Route::Signature => "signature",
@@ -102,10 +116,11 @@ impl Route {
 
     fn index(self) -> usize {
         match self {
-            Route::Grid => 0,
-            Route::Fragments => 1,
-            Route::Signature => 2,
-            Route::Scan => 3,
+            Route::Sharded => 0,
+            Route::Grid => 1,
+            Route::Fragments => 2,
+            Route::Signature => 3,
+            Route::Scan => 4,
         }
     }
 }
@@ -153,6 +168,7 @@ impl RouteMetricSet {
 pub struct Engine {
     rel: Relation,
     disk: DiskSim,
+    sharded: Option<ShardedCube>,
     grid: Option<GridRankingCube>,
     fragments: Option<RankingFragments>,
     signature: Option<(RTree, SignatureCube)>,
@@ -166,7 +182,7 @@ pub struct Engine {
     metrics: Metrics,
     /// Pre-resolved per-route query instruments, indexed by
     /// [`Route::index`].
-    route_metrics: [RouteMetricSet; 4],
+    route_metrics: [RouteMetricSet; 5],
     retries_total: Counter,
     fallbacks_total: Counter,
     quarantines_total: Counter,
@@ -197,8 +213,7 @@ impl Engine {
     pub fn with_disk_and_metrics(rel: Relation, disk: DiskSim, metrics: Metrics) -> Self {
         disk.attach_metrics(&metrics);
         let scan = TableScan::new(&rel, &disk);
-        let route_metrics = [Route::Grid, Route::Fragments, Route::Signature, Route::Scan]
-            .map(|r| RouteMetricSet::for_route(&metrics, r));
+        let route_metrics = Route::ALL.map(|r| RouteMetricSet::for_route(&metrics, r));
         let retries_total = metrics.counter("query.retries");
         let fallbacks_total = metrics.counter("query.fallbacks");
         let quarantines_total = metrics.counter("query.quarantines");
@@ -206,6 +221,7 @@ impl Engine {
         Self {
             rel,
             disk,
+            sharded: None,
             grid: None,
             fragments: None,
             signature: None,
@@ -220,6 +236,25 @@ impl Engine {
             slow_threshold_ns: AtomicU64::new(SLOW_LOG_OFF),
             slow_log: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Builds a partitioned cube set over the relation (tid-range shards,
+    /// each with its own pool and meter) and registers it as the
+    /// most-preferred route. Per-shard activity lands in this engine's
+    /// registry under `sharded.shard<i>.…`.
+    pub fn with_sharded_cube(mut self, config: ShardedCubeConfig) -> Self {
+        let cube = ShardedCube::build_in_memory(&self.rel, &config);
+        cube.attach_metrics(&self.metrics);
+        self.sharded = Some(cube);
+        self
+    }
+
+    /// Registers an already-materialized partitioned cube set (e.g.
+    /// reopened from its shard manifest via `ShardedCube::open_from`).
+    pub fn with_prebuilt_sharded(mut self, cube: ShardedCube) -> Self {
+        cube.attach_metrics(&self.metrics);
+        self.sharded = Some(cube);
+        self
     }
 
     /// Materializes a grid ranking cube (charging construction I/O to the
@@ -283,6 +318,11 @@ impl Engine {
         &self.disk
     }
 
+    /// The registered partitioned cube set, if any.
+    pub fn sharded_cube(&self) -> Option<&ShardedCube> {
+        self.sharded.as_ref()
+    }
+
     /// The registered grid cube, if any.
     pub fn grid_cube(&self) -> Option<&GridRankingCube> {
         self.grid.as_ref()
@@ -331,9 +371,10 @@ impl Engine {
         }
         let down = self.quarantine.lock().unwrap();
         let mut chosen_yet = false;
-        let mut rows = Vec::with_capacity(4);
+        let mut rows = Vec::with_capacity(Route::ALL.len());
         for route in Route::ALL {
             let registered = match route {
+                Route::Sharded => self.sharded.is_some(),
                 Route::Grid => self.grid.is_some(),
                 Route::Fragments => self.fragments.is_some(),
                 Route::Signature => self.signature.is_some(),
@@ -341,6 +382,10 @@ impl Engine {
             };
             let eligible = registered
                 && match route {
+                    Route::Sharded => self
+                        .sharded
+                        .as_ref()
+                        .is_some_and(|c| c.can_answer(plan.selection, plan.ranking_dims)),
                     Route::Grid => self
                         .grid
                         .as_ref()
@@ -405,6 +450,7 @@ impl Engine {
         plan: &QueryPlan<'e>,
     ) -> Result<TopKCursor<'e>, StorageError> {
         match route {
+            Route::Sharded => self.sharded.as_ref().expect("routed to sharded").source().open(plan),
             Route::Grid => {
                 self.grid.as_ref().expect("routed to grid").source(&self.disk).open(plan)
             }
@@ -510,7 +556,24 @@ impl Engine {
                         }
                         // Persistent (or retry-exhausted) fault: take the
                         // route out of service and degrade to the next.
-                        self.quarantine.lock().unwrap().push((route, e.to_string()));
+                        // On the sharded route the condemnation is per
+                        // shard — one entry per failed shard, so repair
+                        // can lift them one shard at a time.
+                        let failed = match route {
+                            Route::Sharded => {
+                                self.sharded.as_ref().map(|c| c.failed_shards()).unwrap_or_default()
+                            }
+                            _ => Vec::new(),
+                        };
+                        let mut down = self.quarantine.lock().unwrap();
+                        if failed.is_empty() {
+                            down.push((route, e.to_string()));
+                        } else {
+                            for (i, msg) in failed {
+                                down.push((route, format!("shard {i}: {msg}")));
+                            }
+                        }
+                        drop(down);
                         self.quarantines_total.inc();
                         fallbacks += 1;
                         last_err = Some(e);
@@ -584,6 +647,26 @@ impl Engine {
         let outcome = SignatureCube::scrub_path(path)?;
         self.quarantine.lock().unwrap().retain(|(q, _)| *q != route);
         Ok(outcome)
+    }
+
+    /// Repairs one failed shard of the registered partitioned cube set:
+    /// reopens just that shard's cube file (verifying its integrity),
+    /// clears its health entry, and lifts *its* quarantine entries —
+    /// other condemned shards stay down until their own repair, and the
+    /// healthy shards' warm buffer pools are untouched. The sharded
+    /// route returns to service once no entry remains.
+    pub fn repair_shard(&mut self, shard: usize) -> Result<(), StorageError> {
+        let cube = self
+            .sharded
+            .as_mut()
+            .ok_or(StorageError::Malformed("no sharded cube set is registered"))?;
+        cube.repair_shard(shard)?;
+        let prefix = format!("shard {shard}:");
+        let healthy = cube.failed_shards().is_empty();
+        self.quarantine.lock().unwrap().retain(|(route, why)| {
+            *route != Route::Sharded || (!healthy && !why.starts_with(&prefix))
+        });
+        Ok(())
     }
 
     /// Replaces the registered signature pair with a fresh open of
@@ -666,6 +749,12 @@ impl Engine {
         let (res, executed) = self.run_traced(query, Some(&trace))?;
         let wall = start.elapsed();
         self.record_query(executed, wall, &res);
+        // The sharded cursor records its fan-out on drop (inside
+        // run_traced), so the freshest report is exactly this query's.
+        let fanout = match executed {
+            Route::Sharded => self.sharded.as_ref().and_then(|c| c.last_fanout()),
+            _ => None,
+        };
         Ok(AnalyzeReport {
             plan,
             executed,
@@ -673,6 +762,7 @@ impl Engine {
             stats: res.stats,
             wall,
             events: trace.events(),
+            fanout,
         })
     }
 
@@ -706,6 +796,8 @@ impl Engine {
     pub fn stats_snapshot(&self) -> EngineStats {
         EngineStats {
             io: self.disk.stats().snapshot(),
+            sharded_shards: self.sharded.as_ref().map(|c| c.num_shards()),
+            sharded_failed: self.sharded.as_ref().map(|c| c.failed_shards()).unwrap_or_default(),
             grid_pool: self.grid.as_ref().and_then(|g| g.pool_stats()),
             fragments_pool: self.fragments.as_ref().and_then(|fr| fr.cube().pool_stats()),
             signature_pool: self.signature.as_ref().and_then(|(_, c)| c.pool_stats()),
@@ -758,6 +850,36 @@ mod tests {
         let qc = Query::select([(0, 1)]).rank(Linear::uniform(2)).via_cuboids(vec![vec![0]]).top(5);
         assert_eq!(eng.route(&qc), Route::Grid);
         assert_eq!(eng.query(&qc).items, eng.query(&q).items, "cover {{0}} answers identically");
+    }
+
+    #[test]
+    fn sharded_route_is_preferred_and_answers_identically() {
+        use rcube_core::shard::ShardedCubeConfig;
+
+        let rel = SyntheticSpec { tuples: 1_200, cardinality: 5, ..Default::default() }.generate();
+        let unsharded = Engine::new(rel.clone())
+            .with_grid_cube(GridCubeConfig { block_size: 64, ..Default::default() });
+        let eng = Engine::new(rel)
+            .with_grid_cube(GridCubeConfig { block_size: 64, ..Default::default() })
+            .with_sharded_cube(ShardedCubeConfig { shards: 3, ..Default::default() });
+
+        let q = Query::select([(0, 2)]).rank(Linear::uniform(2)).top(9);
+        assert_eq!(eng.route(&q), Route::Sharded, "the shard set outranks the grid");
+        let got = eng.query(&q);
+        assert_eq!(got.items, unsharded.query(&q).items, "scatter-gather changes nothing");
+        assert_eq!(got.stats.shards_opened, 3, "fan-out surfaces in the stats");
+
+        // EXPLAIN ANALYZE reports the fan-out alongside the trace.
+        let report = eng.explain_analyze(&q).expect("healthy engine");
+        assert_eq!(report.executed, Route::Sharded);
+        let fanout = report.fanout.as_ref().expect("sharded run records a fan-out");
+        assert_eq!(fanout.shards.len(), 3);
+        assert_eq!(fanout.opened(), 3);
+        assert!(report.to_string().contains("fan-out"), "Display renders the fan-out");
+
+        // An explicit cuboid cover still pins the grid, not the shard set.
+        let qc = Query::select([(0, 2)]).rank(Linear::uniform(2)).via_cuboids(vec![vec![0]]).top(9);
+        assert_eq!(eng.route(&qc), Route::Grid);
     }
 
     #[test]

@@ -69,6 +69,36 @@
 //! assert_eq!(result.tids(), vec![1, 0]);
 //! ```
 //!
+//! ## Scale out: partitioned cube sets
+//!
+//! A [`cube::shard::ShardedCube`] splits the relation by tid range into
+//! N self-contained cube files (one buffer pool and I/O meter each,
+//! bound together by a CRC-stamped manifest) and serves them as one
+//! `RankedSource`: the scatter-gather cursor merges per-shard frontiers
+//! with a bound-driven k-way selection that never pulls a shard past
+//! the global threshold, so sharded answers are byte-identical to an
+//! unsharded cube. Register one on the engine and it becomes the
+//! most-preferred route; see `examples/sharded_topk.rs` for the
+//! build-to-disk / reopen / paginate walkthrough.
+//!
+//! ```
+//! use ranking_cube::cube::shard::{ShardedCube, ShardedCubeConfig};
+//! use ranking_cube::prelude::*;
+//!
+//! # let mut b = RelationBuilder::new(
+//! #     Schema::new(vec![Dim::cat("type", 3)], vec!["price", "mileage"]));
+//! # for i in 0..40 { b.push(&[i % 3], &[0.01 * i as f64, 0.4]); }
+//! # let relation = b.finish();
+//! let engine = Engine::new(relation)
+//!     .with_sharded_cube(ShardedCubeConfig { shards: 4, ..Default::default() });
+//! let query = Query::select([(0, 0)]).rank(Linear::uniform(2)).top(3);
+//! assert_eq!(engine.route(&query), Route::Sharded);
+//! let result = engine.query(&query);
+//! assert_eq!(result.stats.shards_opened, 4);
+//! let fanout = engine.sharded_cube().unwrap().last_fanout().unwrap();
+//! assert_eq!(fanout.opened(), 4); // per-shard pulls/answers/blocks inside
+//! ```
+//!
 //! ## Observability
 //!
 //! Every engine carries a metric registry ([`obs::Metrics`]): buffer-pool
@@ -132,6 +162,7 @@ pub mod prelude {
     pub use rcube_core::fragments::{FragmentConfig, RankingFragments};
     pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
     pub use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
+    pub use rcube_core::shard::{FanoutReport, ShardEngineConfig, ShardedCube, ShardedCubeConfig};
     pub use rcube_core::sigcube::{SignatureCube, SignatureCubeConfig};
     pub use rcube_core::{
         vacuum_into_place, MaintenanceConfig, MaintenanceScheduler, QueryStats, TopKQuery,

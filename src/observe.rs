@@ -11,6 +11,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use rcube_core::shard::FanoutReport;
 use rcube_core::QueryStats;
 use rcube_obs::{MetricsSnapshot, TraceEvent};
 use rcube_storage::{IoSnapshot, PoolStats};
@@ -18,8 +19,8 @@ use rcube_storage::{IoSnapshot, PoolStats};
 use crate::engine::Route;
 
 /// One access path's standing for a query: why the router did (or did
-/// not) pick it. Rows appear in preference order (grid, fragments,
-/// signature, scan).
+/// not) pick it. Rows appear in preference order (sharded, grid,
+/// fragments, signature, scan).
 #[derive(Debug, Clone)]
 pub struct CandidatePlan {
     /// The access path under consideration.
@@ -107,6 +108,10 @@ pub struct AnalyzeReport {
     /// (`cursor.attach` carries open-sunk cost; each `cursor.next`
     /// carries the pull's delta).
     pub events: Vec<TraceEvent>,
+    /// The scatter-gather fan-out when the sharded route answered:
+    /// per-shard pulls, answers, blocks, and whether the bound pruned
+    /// the shard. `None` on unsharded routes.
+    pub fanout: Option<FanoutReport>,
 }
 
 impl AnalyzeReport {
@@ -143,6 +148,11 @@ impl fmt::Display for AnalyzeReport {
             "  {:<22} {:>12} {:>12}",
             "shared_node_hits", "-", self.stats.shared_node_hits
         )?;
+        if let Some(fan) = &self.fanout {
+            for line in fan.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
         write!(f, "  trace: {} events", self.events.len())
     }
 }
@@ -188,6 +198,11 @@ impl fmt::Display for SlowQueryRecord {
 pub struct EngineStats {
     /// Cumulative device I/O counters.
     pub io: IoSnapshot,
+    /// Shard count of the registered partitioned cube set, if any.
+    pub sharded_shards: Option<usize>,
+    /// Shards of the partitioned set currently failed, with the
+    /// condemning error (empty when healthy or unregistered).
+    pub sharded_failed: Vec<(usize, String)>,
     /// Grid cube buffer-pool stats (file-backed stores only).
     pub grid_pool: Option<PoolStats>,
     /// Fragments buffer-pool stats (file-backed stores only).
@@ -211,6 +226,9 @@ impl fmt::Display for EngineStats {
             "io: {} logical reads, {} disk reads, {} writes",
             self.io.logical_reads, self.io.disk_reads, self.io.writes
         )?;
+        if let Some(n) = self.sharded_shards {
+            writeln!(f, "sharded: {} shards, {} failed", n, self.sharded_failed.len())?;
+        }
         for (name, pool) in [
             ("grid", &self.grid_pool),
             ("fragments", &self.fragments_pool),

@@ -1,0 +1,219 @@
+//! The partitioned cube set, proven end to end:
+//!
+//! * **Sharded ≡ unsharded.** The scatter-gather merge is byte-identical
+//!   to one cube over the same relation — full top-k, every cursor
+//!   prefix, and `take(j) + extend_k(k−j) + take(k−j)` vs a fresh
+//!   `take(k)` — checked by proptest in memory (random relations, shard
+//!   counts, queries) and against a set reopened from its manifest and
+//!   shard files.
+//! * **The shard is the degradation unit.** Corrupting one shard's cube
+//!   file surfaces as a typed error naming that shard; the engine
+//!   quarantines per shard, keeps answering through the scan fallback
+//!   with identical items, and `repair_shard` restores just the repaired
+//!   shard's entries.
+//! * **The manifest rejects corruption** with a typed error, byte by
+//!   byte, like every other file in the repo.
+
+use std::sync::OnceLock;
+
+use ranking_cube::cube::gridcube::{GridCubeConfig, GridRankingCube};
+use ranking_cube::cube::query::{Query, RankedSource, TopKCursor};
+use ranking_cube::cube::shard::{ShardEngineConfig, ShardedCube, ShardedCubeConfig};
+use ranking_cube::func::Linear;
+use ranking_cube::storage::{DiskSim, ShardManifest, StorageError};
+use ranking_cube::table::gen::SyntheticSpec;
+use ranking_cube::table::Relation;
+use ranking_cube::{Engine, Route};
+
+fn rel(tuples: usize, seed: u64) -> Relation {
+    SyntheticSpec { tuples, cardinality: 4, seed, ..Default::default() }.generate()
+}
+
+fn take(cursor: &mut TopKCursor<'_>, n: usize) -> Vec<(u32, f64)> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match cursor.next() {
+            Some(item) => out.push(item),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Full parity check for one (query, k, j): unsharded batch vs sharded
+/// batch, every cursor prefix, and split-at-j resume vs fresh run.
+fn check_parity(rel: &Relation, cube: &ShardedCube, query: &Query, k: usize, j: usize) {
+    let j = j.min(k);
+    let disk = DiskSim::with_defaults();
+    let unsharded = GridRankingCube::build(rel, &disk, GridCubeConfig::default());
+    let mut plan = query.plan();
+    plan.k = k;
+    let expect = unsharded.source(&disk).query(&plan).expect("unsharded").items;
+
+    let got = cube.source().query(&plan).expect("sharded batch");
+    assert_eq!(got.items, expect, "batch answers must be byte-identical");
+
+    // Every prefix of the sharded cursor is a prefix of the answer.
+    let mut cursor = cube.source().open(&plan).expect("open sharded");
+    let streamed = take(&mut cursor, k);
+    assert_eq!(streamed, expect, "streamed answers must equal the batch");
+    drop(cursor);
+
+    // Resume ≡ restart, shard-wise: j answers, pause, extend, drain.
+    let mut split_plan = query.plan();
+    split_plan.k = j;
+    let mut split = cube.source().open(&split_plan).expect("open split");
+    let mut items = take(&mut split, j);
+    split.extend_k(k - j);
+    items.extend(take(&mut split, k - j));
+    assert_eq!(items, expect, "split at {j} + extend must equal a fresh top-{k}");
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+    /// In-memory parity over random relations, shard counts and queries.
+    #[test]
+    fn proptest_sharded_matches_unsharded_in_memory(
+        tuples in 150usize..700,
+        shards in 1usize..6,
+        seed in 0u64..200,
+        d0 in 0u32..4,
+        k in 1usize..25,
+        j in 0usize..25,
+    ) {
+        let relation = rel(tuples, seed);
+        let cfg = ShardedCubeConfig { shards, ..Default::default() };
+        let cube = ShardedCube::build_in_memory(&relation, &cfg);
+        let query = Query::select([(0, d0)]).rank(Linear::uniform(2)).top(k);
+        check_parity(&relation, &cube, &query, k, j);
+    }
+}
+
+/// The file-backed set every reopened-parity case runs against, built
+/// once: relation + manifest + three shard cube files in the temp dir.
+fn file_set() -> &'static (Relation, ShardedCube) {
+    static SET: OnceLock<(Relation, ShardedCube)> = OnceLock::new();
+    SET.get_or_init(|| {
+        let relation = rel(900, 77);
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!("rcube_sharded_parity_{}.manifest", std::process::id()));
+        let cfg = ShardedCubeConfig { shards: 3, ..Default::default() };
+        ShardedCube::build_to(&relation, &manifest, &cfg).expect("build shard set to disk");
+        // Reopen from scratch: the parity below runs over buffer-pool
+        // frames, not the in-memory build.
+        let cube = ShardedCube::open_from(&manifest).expect("reopen from manifest");
+        assert_eq!(cube.num_shards(), 3);
+        (relation, cube)
+    })
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+    /// The same parity properties against the set reopened from files.
+    #[test]
+    fn proptest_sharded_matches_unsharded_reopened(
+        d0 in 0u32..4,
+        d1 in 0u32..4,
+        k in 1usize..30,
+        j in 0usize..30,
+    ) {
+        let (relation, cube) = file_set();
+        let query = Query::select([(0, d0), (1, d1)]).rank(Linear::uniform(2)).top(k);
+        check_parity(relation, cube, &query, k, j);
+    }
+}
+
+#[test]
+fn corrupted_shard_degrades_per_shard_and_repairs() {
+    let relation = rel(700, 9);
+    let dir = std::env::temp_dir().join(format!("rcube_shard_fault_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("set.manifest");
+    let cfg = ShardedCubeConfig { shards: 3, ..Default::default() };
+    let built = ShardedCube::build_to(&relation, &manifest, &cfg).expect("build to disk");
+    assert!(built.shards()[1].tid_range().0 > 0, "shard 1 starts past tid 0");
+    drop(built);
+
+    // Damage shard 1's data pages, sparing the superblocks at the front
+    // and the catalog at the tail: the file still *opens*, and the page
+    // checksums catch the rot only when a query pulls a damaged page.
+    let shard1 = dir.join("set.shard1");
+    let pristine = std::fs::read(&shard1).expect("read shard file");
+    let mut bad = pristine.clone();
+    let (lo, hi) = (8192, bad.len() - 16 * 4096);
+    for b in &mut bad[lo..hi] {
+        *b ^= 0x55;
+    }
+    std::fs::write(&shard1, &bad).expect("write damaged shard");
+
+    let cube = ShardedCube::open_from(&manifest).expect("superblocks still elect");
+    let err = cube.verify_integrity().expect_err("scrub must catch the damage");
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. } | StorageError::Malformed(_)),
+        "typed error, got {err:?}"
+    );
+    let failed = cube.failed_shards();
+    assert_eq!(failed.len(), 1, "exactly the damaged shard is condemned");
+    assert_eq!(failed[0].0, 1, "the error names shard 1");
+    drop(cube);
+
+    // Behind the engine: a *fresh* open knows nothing yet, so the fault
+    // surfaces mid-query — the sharded route is quarantined per shard,
+    // the scan fallback answers identically, and targeted repair
+    // restores it.
+    let cube = ShardedCube::open_from(&manifest).expect("reopen for serving");
+    let eng = Engine::new(relation.clone()).with_prebuilt_sharded(cube);
+    let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(8);
+    let degraded = eng.try_query(&q).expect("scan fallback must answer");
+    assert_eq!(degraded.stats.path_fallbacks, 1, "one route abandoned");
+    let quarantined = eng.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, Route::Sharded);
+    assert!(quarantined[0].1.contains("shard 1"), "reason names the shard: {}", quarantined[0].1);
+    assert_eq!(eng.route(&q), Route::Scan, "subsequent queries skip the condemned set");
+
+    // Degradation changed the path, never the answer.
+    let scan_only = Engine::new(relation.clone());
+    assert_eq!(degraded.items, scan_only.query(&q).items);
+
+    // Repair: restore the pristine bytes, reopen just shard 1.
+    std::fs::write(&shard1, &pristine).expect("restore shard file");
+    let mut eng = eng;
+    eng.repair_shard(1).expect("repair reopens the healed shard");
+    assert!(eng.quarantined().is_empty(), "the shard's entries are lifted");
+    assert_eq!(eng.route(&q), Route::Sharded, "the set serves again");
+    let healed = eng.query(&q);
+    assert_eq!(healed.items, degraded.items, "repair changed the path, not the answer");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_manifest_is_a_typed_error() {
+    let relation = rel(300, 5);
+    let dir = std::env::temp_dir().join(format!("rcube_manifest_fault_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("set.manifest");
+    let cfg = ShardedCubeConfig {
+        shards: 2,
+        engine: ShardEngineConfig::Grid(GridCubeConfig::default()),
+        ..Default::default()
+    };
+    drop(ShardedCube::build_to(&relation, &manifest, &cfg).expect("build to disk"));
+
+    let bytes = std::fs::read(&manifest).expect("read manifest");
+    for i in (0..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        assert!(ShardManifest::decode(&bad).is_err(), "manifest flip at byte {i} went undetected");
+    }
+    let mut bad = bytes.clone();
+    bad[0] ^= 0x40;
+    std::fs::write(&manifest, &bad).expect("write damaged manifest");
+    let err = ShardedCube::open_from(&manifest).expect_err("open must reject");
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. }),
+        "CRC catches the flip before the magic field, got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
