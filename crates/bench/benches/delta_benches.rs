@@ -1,0 +1,405 @@
+//! LSM delta cube benchmark: ingest-while-serving. Reader threads pin
+//! cursors on a quiesced state, then keep draining while the writer
+//! runs whole ingest→flush→merge→swap cycles underneath them — WAL
+//! appends, memtable folds into the base cube via COW commit, WAL
+//! compaction by atomic rename, generation swap.
+//!
+//! The run writes `BENCH_delta.json` at the workspace root. Gates:
+//!
+//! * **Deterministic (always hard):** every answer a pinned reader
+//!   produces across the cycles is byte-identical to the state its
+//!   cursor opened on (`inconsistent_answers` must be exactly zero);
+//!   at every checked point the merged base+overlay view is
+//!   byte-identical to a signature cube built from scratch over the
+//!   logical relation (tid-exact on insert-only points, score-exact
+//!   once deletes shift tids); a reopen replays the WAL with *exact*
+//!   counts (pending == appends since the last flush, applied == live
+//!   delta tuples, no torn tail) and answers identically to the
+//!   pre-shutdown state; the obs instruments saw every append and
+//!   every flush.
+//! * **Clock (reported, never load-bearing):** ingest ops/sec during
+//!   the cycles and mixed read/write ops/sec from the Zipf-skewed
+//!   `MixedWorkloadGen` stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, RwLock};
+use std::time::Instant;
+
+use ranking_cube::cube::delta::{wal_path_for, DeltaCube, DeltaOptions};
+use ranking_cube::cube::query::{Query, RankedSource};
+use ranking_cube::cube::sigcube::{SignatureCube, SignatureCubeConfig};
+use ranking_cube::func::Linear;
+use ranking_cube::index::rtree::{RTree, RTreeConfig};
+use ranking_cube::obs::Metrics;
+use ranking_cube::storage::DiskSim;
+use ranking_cube::table::gen::SyntheticSpec;
+use ranking_cube::table::workload::{
+    MixedWorkloadGen, MixedWorkloadParams, QuerySpec, WorkloadOp, WorkloadParams,
+};
+use ranking_cube::table::{Relation, RelationBuilder, Tid};
+
+const PAGE: usize = 4096;
+const POOL: usize = 2048;
+const READERS: usize = 4;
+const CARDINALITY: u32 = 8;
+const BASE: usize = 5_700;
+const TOTAL: usize = 6_000;
+/// Insert cycles during the pinned-reader storm; each ingests `STEP`
+/// tuples and flushes. A fourth round deletes base tuples instead.
+const CYCLES: usize = 3;
+const STEP: usize = 100;
+const ROUNDS: usize = CYCLES + 1;
+const DELETED: [Tid; 12] = [5, 40, 77, 123, 250, 391, 512, 777, 1024, 2048, 3000, 4321];
+const MIXED_OPS: usize = 600;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rcube_delta_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(wal_path_for(&p));
+    p
+}
+
+fn render(items: &[(Tid, f64)]) -> String {
+    items.iter().map(|(t, s)| format!("{t}:{:016x}", s.to_bits())).collect::<Vec<_>>().join(",")
+}
+
+fn render_scores(items: &[(Tid, f64)]) -> String {
+    items.iter().map(|(_, s)| format!("{:016x}", s.to_bits())).collect::<Vec<_>>().join(",")
+}
+
+fn workload() -> Vec<(Vec<(usize, u32)>, usize)> {
+    vec![(vec![(0, 1)], 10), (vec![(1, 2)], 8), (vec![(0, 0), (1, 1)], 10), (vec![(2, 3)], 6)]
+}
+
+/// Fresh-cursor answers over the shared workload: the quiesced truth.
+fn answers(delta: &DeltaCube) -> Vec<String> {
+    workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = Query::select(conds).rank(Linear::uniform(2)).top(k);
+            let items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+            render(&items)
+        })
+        .collect()
+}
+
+/// The same workload against a from-scratch in-memory cube over `rel`:
+/// `(tid-exact render, score-only render)` per query.
+fn rebuilt_answers(rel: &Relation) -> Vec<(String, String)> {
+    let disk = DiskSim::with_defaults();
+    let rtree = RTree::over_relation(&disk, rel, &[], RTreeConfig::small(16));
+    let cube = SignatureCube::build(rel, &rtree, &disk, SignatureCubeConfig::default());
+    workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = Query::select(conds).rank(Linear::uniform(2)).top(k);
+            let plan = q.plan();
+            let items = cube.source(&rtree, &disk).open(&plan).unwrap().try_drain().unwrap().items;
+            (render(&items), render_scores(&items))
+        })
+        .collect()
+}
+
+fn sel_of(rel: &Relation, tid: Tid) -> Vec<u32> {
+    (0..rel.schema().num_selection()).map(|d| rel.selection_value(tid, d)).collect()
+}
+
+fn query_of(spec: &QuerySpec) -> Query {
+    Query::select(spec.selection.conds().to_vec())
+        .rank_on(spec.ranking_dims.clone(), Linear::new(spec.weights.clone()))
+        .top(spec.k)
+}
+
+fn main() {
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let full =
+        SyntheticSpec { tuples: TOTAL, cardinality: CARDINALITY, ..Default::default() }.generate();
+    let base_rel = full.prefix(BASE);
+    let path = temp_path("live");
+    {
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, &base_rel, &[], RTreeConfig::small(16));
+        let cube = SignatureCube::build(&base_rel, &rtree, &disk, SignatureCubeConfig::default());
+        cube.save_to_with(&rtree, &path, PAGE, POOL).expect("save base cube");
+    }
+    let metrics = Metrics::new();
+    let delta = DeltaCube::open(
+        &path,
+        base_rel.clone(),
+        DeltaOptions { pool_pages: POOL, metrics: metrics.clone(), ..Default::default() },
+    )
+    .expect("open delta");
+
+    let mut appends_total = 0u64;
+    let mut identity_checks = 0u64;
+    let mut flush_us: Vec<u64> = Vec::new();
+    let expected: RwLock<Vec<String>> = RwLock::new(Vec::new());
+    let barrier = Barrier::new(READERS + 1);
+    let inconsistent = AtomicU64::new(0);
+    let pinned_answers = AtomicU64::new(0);
+    let mut ingest_secs = 0.0f64;
+
+    // Tid-exact identity on the insert-only checkpoints: the delta
+    // allocates tids densely from the base length, so the merged view
+    // must match a cube rebuilt over the longer prefix *including* tids.
+    let verify_insert_checkpoint = |delta: &DeltaCube, upto: usize, label: &str| {
+        let got = answers(delta);
+        let want: Vec<String> =
+            rebuilt_answers(&full.prefix(upto)).into_iter().map(|(f, _)| f).collect();
+        assert_eq!(got, want, "{label}: merged view != rebuilt cube over prefix({upto})");
+        got
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let (barrier, expected, inconsistent, pinned_answers) =
+                (&barrier, &expected, &inconsistent, &pinned_answers);
+            let delta = &delta;
+            s.spawn(move || {
+                for _round in 0..ROUNDS {
+                    barrier.wait(); // A: state quiesced, expected published
+                    let exp = expected.read().unwrap().clone();
+                    // Pin one cursor per workload query and drain half.
+                    // The queries outlive the cursors borrowing them.
+                    let queries: Vec<(Query, usize)> = workload()
+                        .into_iter()
+                        .map(|(conds, k)| (Query::select(conds).rank(Linear::uniform(2)).top(k), k))
+                        .collect();
+                    let mut pins = Vec::new();
+                    for (i, (q, k)) in queries.iter().enumerate() {
+                        let mut cursor = delta.source().open(&q.plan()).unwrap();
+                        let mut items: Vec<(Tid, f64)> = Vec::new();
+                        for _ in 0..k / 2 {
+                            if let Some(it) = cursor.try_next().unwrap() {
+                                items.push(it);
+                            }
+                        }
+                        pins.push((cursor, items, i));
+                    }
+                    barrier.wait(); // B: everyone pinned — writer starts mutating
+                    // Finish the drains *while* the ingest+flush cycle
+                    // runs: the cursor must answer its open-time state.
+                    for (mut cursor, mut items, i) in pins {
+                        while let Some(it) = cursor.try_next().unwrap() {
+                            items.push(it);
+                        }
+                        if render(&items) != exp[i] {
+                            inconsistent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        pinned_answers.fetch_add(items.len() as u64, Ordering::Relaxed);
+                    }
+                    barrier.wait(); // C: round over
+                }
+            });
+        }
+
+        // Writer: publish the quiesced truth, let readers pin, then run
+        // the cycle underneath them.
+        for round in 0..ROUNDS {
+            let upto = BASE + round * STEP;
+            let exp = verify_insert_checkpoint(&delta, upto, &format!("checkpoint {round}"));
+            identity_checks += 1;
+            *expected.write().unwrap() = exp;
+            barrier.wait(); // A
+            barrier.wait(); // B
+            let t = Instant::now();
+            if round < CYCLES {
+                for tid in upto as Tid..(upto + STEP) as Tid {
+                    let got = delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+                    assert_eq!(got, tid, "dense tid allocation");
+                    appends_total += 1;
+                }
+                let report = delta.flush().expect("cycle flush");
+                assert_eq!(report.applied_ops, STEP);
+                flush_us.push(report.duration.as_micros() as u64);
+            } else {
+                for &tid in &DELETED {
+                    delta.delete(tid).unwrap();
+                    appends_total += 1;
+                }
+                let report = delta.flush().expect("delete-round flush");
+                assert_eq!(report.applied_ops, DELETED.len());
+                flush_us.push(report.duration.as_micros() as u64);
+            }
+            ingest_secs += t.elapsed().as_secs_f64();
+            barrier.wait(); // C
+        }
+    });
+    let bad = inconsistent.load(Ordering::Relaxed);
+    let ingest_ops = (CYCLES * STEP + DELETED.len()) as f64;
+    let ingest_ops_per_sec = ingest_ops / ingest_secs.max(f64::MIN_POSITIVE);
+
+    // Post-delete checkpoint: tids shift in the rebuild, identity moves
+    // to the score bit patterns.
+    let logical_after_deletes = {
+        let mut b = RelationBuilder::new(full.schema().clone());
+        for t in 0..TOTAL as Tid {
+            if !DELETED.contains(&t) {
+                b.push(&sel_of(&full, t), &full.ranking_point(t));
+            }
+        }
+        b.finish()
+    };
+    let got_scores: Vec<String> = answers(&delta)
+        .iter()
+        .map(|r| {
+            r.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|i| i.split(':').nth(1).unwrap())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let want_scores: Vec<String> =
+        rebuilt_answers(&logical_after_deletes).into_iter().map(|(_, s)| s).collect();
+    assert_eq!(got_scores, want_scores, "post-delete merged view != rebuilt logical cube");
+    identity_checks += 1;
+
+    // Zipf-skewed mixed read/write stream against the quiesced delta:
+    // the sustained ingest+serve shape, measured not gated.
+    let mut gen = MixedWorkloadGen::new(MixedWorkloadParams {
+        query: WorkloadParams { num_conditions: 2, num_ranking: 2, k: 8, skewness: 2.0, seed: 11 },
+        value_skew: 1.1,
+        insert_fraction: 0.25,
+        delete_fraction: 0.05,
+    });
+    let mut live: Vec<(Tid, Vec<u32>, Vec<f64>)> = Vec::new();
+    let mut deleted_delta: Vec<Tid> = Vec::new();
+    let t = Instant::now();
+    let (mut mixed_done, mut mixed_answers) = (0u64, 0u64);
+    for op in gen.stream(&base_rel, MIXED_OPS) {
+        match op {
+            WorkloadOp::Insert { sel, point } => {
+                let tid = delta.insert(&sel, &point).unwrap();
+                live.push((tid, sel, point));
+                appends_total += 1;
+            }
+            WorkloadOp::Delete { victim_rank } => {
+                if victim_rank < live.len() {
+                    let (tid, _, _) = live.remove(live.len() - 1 - victim_rank);
+                    delta.delete(tid).unwrap();
+                    deleted_delta.push(tid);
+                    appends_total += 1;
+                }
+            }
+            WorkloadOp::Query(spec) => {
+                let q = query_of(&spec);
+                mixed_answers +=
+                    delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items.len() as u64;
+            }
+        }
+        mixed_done += 1;
+    }
+    let mixed_ops_per_sec = mixed_done as f64 / t.elapsed().as_secs_f64();
+    let report = delta.flush().expect("post-mixed flush");
+    flush_us.push(report.duration.as_micros() as u64);
+
+    // Mixed checkpoint: rebuild the logical relation (base minus deleted
+    // base tuples, plus the surviving mixed inserts) and re-check the
+    // score-bit identity.
+    let logical_mixed = {
+        let mut b = RelationBuilder::new(full.schema().clone());
+        for t in 0..TOTAL as Tid {
+            if !DELETED.contains(&t) {
+                b.push(&sel_of(&full, t), &full.ranking_point(t));
+            }
+        }
+        for (_, sel, point) in &live {
+            b.push(sel, point);
+        }
+        b.finish()
+    };
+    let got_scores: Vec<String> = answers(&delta)
+        .iter()
+        .map(|r| {
+            r.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|i| i.split(':').nth(1).unwrap())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let want_scores: Vec<String> =
+        rebuilt_answers(&logical_mixed).into_iter().map(|(_, s)| s).collect();
+    assert_eq!(got_scores, want_scores, "post-mixed merged view != rebuilt logical cube");
+    identity_checks += 1;
+
+    // Exact replay accounting: a handful of un-flushed appends, then a
+    // "crash" (drop) and reopen. The replay must recover precisely the
+    // durable tail — counts and answers.
+    const TAIL: u64 = 7;
+    for i in 0..TAIL {
+        let sel = vec![(i % CARDINALITY as u64) as u32; full.schema().num_selection()];
+        delta.insert(&sel, &[0.3 + i as f64 * 0.01, 0.4]).unwrap();
+        appends_total += 1;
+    }
+    let stats_before = delta.stats();
+    let before = answers(&delta);
+    let flushes_done = delta.flushes_completed();
+    drop(delta);
+    let reopened =
+        DeltaCube::open(&path, base_rel.clone(), DeltaOptions::default()).expect("reopen");
+    let replay = reopened.last_replay();
+    assert_eq!(replay.pending, TAIL, "pending must equal appends since the last flush");
+    assert_eq!(
+        replay.applied, stats_before.applied_tuples as u64,
+        "applied records must equal the pre-shutdown live delta tuples"
+    );
+    assert_eq!(replay.records, replay.pending + replay.applied);
+    assert!(!replay.torn_tail, "clean shutdown must not classify as torn");
+    assert_eq!(answers(&reopened), before, "reopen answers the pre-shutdown state");
+    let replay_exact = true;
+
+    // Obs instruments saw everything.
+    assert_eq!(metrics.counter("delta.appends").get(), appends_total);
+    assert_eq!(metrics.counter("delta.flushes").get(), flushes_done);
+    assert_eq!(metrics.histogram("delta.flush_duration_us").count(), flushes_done);
+
+    // --- Hard deterministic gates ---------------------------------------
+    assert_eq!(bad, 0, "a pinned reader observed an answer from a foreign state mid-cycle");
+    assert_eq!(identity_checks, ROUNDS as u64 + 2);
+
+    let mean_flush_us = flush_us.iter().sum::<u64>() as f64 / flush_us.len().max(1) as f64;
+    println!(
+        "delta: {READERS} pinned readers, {ROUNDS} ingest→flush→swap rounds, {bad} inconsistent \
+         of {} pinned answers; {identity_checks} byte-identity checkpoints; ingest \
+         {ingest_ops_per_sec:.0} ops/s, mixed {mixed_ops_per_sec:.0} ops/s ({mixed_answers} \
+         answers), mean flush {mean_flush_us:.0}us; replay {}+{} records exact",
+        pinned_answers.load(Ordering::Relaxed),
+        replay.pending,
+        replay.applied,
+    );
+
+    // --- BENCH_delta.json ------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"delta\",\n");
+    json.push_str(&rcube_bench::bench_env_json());
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!(
+        "  \"readers\": {READERS},\n  \"cycles\": {ROUNDS},\n  \"mixed_ops\": {MIXED_OPS},\n"
+    ));
+    json.push_str(&format!("  \"inconsistent_answers\": {bad},\n"));
+    json.push_str(&format!(
+        "  \"pinned_answers\": {},\n",
+        pinned_answers.load(Ordering::Relaxed)
+    ));
+    json.push_str(&format!("  \"byte_identity_checkpoints\": {identity_checks},\n"));
+    json.push_str(&format!("  \"identity_mismatches\": 0,\n"));
+    json.push_str(&format!(
+        "  \"replay_records\": {},\n  \"replay_pending\": {},\n  \"replay_applied\": {},\n  \
+         \"replay_exact\": {replay_exact},\n  \"torn_tail\": {},\n",
+        replay.records, replay.pending, replay.applied, replay.torn_tail
+    ));
+    json.push_str(&format!(
+        "  \"appends_total\": {appends_total},\n  \"flushes\": {flushes_done},\n"
+    ));
+    json.push_str(&format!(
+        "  \"ingest_ops_per_sec\": {ingest_ops_per_sec:.1},\n  \"mixed_ops_per_sec\": \
+         {mixed_ops_per_sec:.1},\n  \"flush_duration_us_mean\": {mean_flush_us:.0}\n}}\n"
+    ));
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+    std::fs::write(out, &json).expect("write BENCH_delta.json");
+    println!("wrote {out}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(wal_path_for(&path)).ok();
+}

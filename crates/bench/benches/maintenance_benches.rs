@@ -138,6 +138,7 @@ fn main() {
         poll_interval: Duration::from_millis(10),
         page_size: PAGE,
         pool_pages: POOL,
+        ..MaintenanceConfig::default()
     };
     let metrics = Metrics::new();
     let phase = AtomicU64::new(PHASE_STEADY);

@@ -1,0 +1,1340 @@
+//! The LSM delta cube: ingest-while-serving over a persistent base cube.
+//!
+//! The paper materializes its ranking cube offline; the ROADMAP's
+//! production north star needs one process to **ingest tuples and answer
+//! certified top-k queries at the same time**. [`DeltaCube`] closes that
+//! gap with a classic LSM split, built entirely from primitives the
+//! workspace already ships:
+//!
+//! * **Memtable** — an in-memory overlay of inserted/deleted tuples
+//!   (latest op per tid), readable concurrently with appends. At query
+//!   time the matching overlay tuples are scored and drained in
+//!   ascending `(score, tid)` order, so the overlay is itself a
+//!   certified answer stream.
+//! * **WAL** — a crash-safe append-only sibling file (`<cube>.wal`) of
+//!   CRC-framed records, replayed on open. A torn tail (a crash mid
+//!   append) replays the clean prefix and truncates; corruption *inside*
+//!   the valid body surfaces as a typed [`StorageError`] — never a wrong
+//!   answer. Every append and flush boundary is crash-scriptable through
+//!   the same [`rcube_storage::fault`] machinery the vacuum sweep uses.
+//! * **Flush/merge** — [`DeltaCube::flush`] folds the memtable into the
+//!   base cube through the existing incremental-maintenance path
+//!   (R-tree insert/delete → [`crate::maintain::apply_path_updates`] →
+//!   COW `replace_cell` + crash-atomic `commit`), then compacts the WAL
+//!   via the same fsync + atomic-rename publish protocol the vacuum
+//!   uses ([`rcube_storage::FileBackend::publish_swap`]), all under the
+//!   cube file's advisory writer lock. Readers are never blocked: they
+//!   serve the generation they opened until their cursors drain.
+//!
+//! # Serving: the three-way certified merge
+//!
+//! [`DeltaCube`] implements [`RankedSource`]. An open cursor k-way
+//! merges two certified ascending streams — the base cube's
+//! bound-driven search and the memtable overlay drain — while **masking**
+//! every base answer whose tid has a memtable op (deleted tuples vanish,
+//! updated tuples are answered from the overlay). The merged stream is
+//! byte-identical to a cube rebuilt from scratch over the current
+//! logical relation at any point between flushes, and
+//! [`TopKCursor::extend_k`] composes across a flush that happens
+//! mid-session: the cursor pins the base generation and the memtable
+//! snapshot it opened with (the same contract pinned readers get from
+//! the vacuum swap), so pagination keeps answering the state it started
+//! from.
+//!
+//! # Crash safety
+//!
+//! The flush ordering makes every boundary idempotent:
+//!
+//! 1. apply ops to a writable base handle, `commit` (crash-atomic
+//!    superblock publish — a crash before the commit leaves the old
+//!    generation, and the untouched WAL replays everything);
+//! 2. rewrite the WAL (temp + fsync + rename): flushed ops move from
+//!    the *pending* section to compact *applied* records that persist
+//!    each delta tuple's selection values — a crash between commit and
+//!    rename replays the flushed ops back into the memtable, where they
+//!    shadow the identical base data and the next flush re-applies them
+//!    as a no-op (delete-then-insert on the R-tree);
+//! 3. only then swap the serving handle and prune the memtable, atomic
+//!    under the memtable lock, so a concurrent open sees either
+//!    (old generation + full overlay) or (new generation + pruned
+//!    overlay) — the same logical relation either way.
+//!
+//! Appends block for the duration of a flush (they share the writer
+//! mutex); readers never do.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use rcube_index::rtree::RTree;
+use rcube_obs::{Counter, Gauge, Histogram, Metrics};
+use rcube_storage::format::crc32;
+use rcube_storage::{
+    DiskSim, FaultPlan, FileBackend, PageStore, StorageError, SwapStage, WriteOutcome,
+    DEFAULT_POOL_PAGES,
+};
+use rcube_table::{Relation, Tid};
+
+use crate::maintain::apply_path_updates;
+use crate::query::{ProgressiveSearch, QueryPlan, RankedSource, TopKCursor};
+use crate::sigcube::SignatureCube;
+use crate::QueryStats;
+
+/// WAL file magic (8 bytes, distinct from the cube-file magic).
+const WAL_MAGIC: &[u8; 8] = b"RCUBWAL1";
+/// WAL format version this build reads and writes.
+const WAL_VERSION: u16 = 1;
+/// Header bytes: magic + version + flags + flushed_seq + crc.
+const WAL_HEADER_LEN: usize = 8 + 2 + 2 + 8 + 4;
+/// Upper bound on one record's payload; a parsed length past this is
+/// structural damage, not a big tuple.
+const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Record kinds inside the WAL.
+const KIND_UPSERT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+/// A flushed-but-live delta tuple retained after compaction: the cube
+/// file stores its signatures and R-tree point but not its selection
+/// values, so the WAL keeps them for future incremental maintenance.
+const KIND_APPLIED: u8 = 3;
+
+/// The sibling WAL path for a cube file: `<path>.wal`.
+pub fn wal_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// Knobs for [`DeltaCube::open`].
+#[derive(Debug, Clone)]
+pub struct DeltaOptions {
+    /// Buffer-pool capacity (pages) for the serving base handles.
+    pub pool_pages: usize,
+    /// Metric registry the delta instruments land in.
+    pub metrics: Metrics,
+    /// Crash-point script armed on WAL appends (write-level) and the
+    /// flush boundaries (page writes + swap stages). `None` in
+    /// production.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for DeltaOptions {
+    fn default() -> Self {
+        Self { pool_pages: DEFAULT_POOL_PAGES, metrics: Metrics::disabled(), faults: None }
+    }
+}
+
+/// One logical write against the delta layer: the latest op per tid.
+#[derive(Debug, Clone)]
+enum MemOp {
+    /// Insert (or re-insert after a crash replay) of a delta tuple.
+    Upsert { sel: Vec<u32>, point: Vec<f64> },
+    /// Tombstone: masks a base (or previously flushed delta) tuple.
+    Delete,
+}
+
+impl MemOp {
+    fn bytes(&self) -> usize {
+        16 + match self {
+            MemOp::Upsert { sel, point } => sel.len() * 4 + point.len() * 8,
+            MemOp::Delete => 0,
+        }
+    }
+}
+
+/// The concurrently-readable overlay: latest op per tid plus a byte
+/// tally for the depth gauge.
+#[derive(Debug, Default)]
+struct Memtable {
+    ops: BTreeMap<Tid, MemOp>,
+    bytes: usize,
+}
+
+impl Memtable {
+    fn put(&mut self, tid: Tid, op: MemOp) {
+        if let Some(old) = self.ops.remove(&tid) {
+            self.bytes -= old.bytes();
+        }
+        self.bytes += op.bytes();
+        self.ops.insert(tid, op);
+    }
+}
+
+/// What replaying the WAL on open found.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayReport {
+    /// Valid frames decoded (pending + applied).
+    pub records: u64,
+    /// Pending ops re-entered into the memtable.
+    pub pending: u64,
+    /// Applied-tuple records loaded (flushed delta tuples still live).
+    pub applied: u64,
+    /// Whether a torn tail (crash mid-append) was truncated away.
+    pub torn_tail: bool,
+    /// Bytes dropped by the torn-tail truncation.
+    pub truncated_bytes: u64,
+}
+
+/// One decoded WAL record.
+enum WalRecord {
+    Upsert { seq: u64, tid: Tid, sel: Vec<u32>, point: Vec<f64> },
+    Delete { seq: u64, tid: Tid },
+    Applied { tid: Tid, sel: Vec<u32>, point: Vec<f64> },
+}
+
+fn encode_upsert(buf: &mut Vec<u8>, kind: u8, seq: u64, tid: Tid, sel: &[u32], point: &[f64]) {
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&tid.to_le_bytes());
+    buf.extend_from_slice(&(sel.len() as u16).to_le_bytes());
+    for v in sel {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&(point.len() as u16).to_le_bytes());
+    for p in point {
+        buf.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+}
+
+fn encode_delete(buf: &mut Vec<u8>, seq: u64, tid: Tid) {
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(KIND_DELETE);
+    buf.extend_from_slice(&tid.to_le_bytes());
+}
+
+/// Frames a payload: `[len u32][crc u32][payload]`, CRC over the payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(8 + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&crc32(payload).to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+fn wal_header(flushed_seq: u64) -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[0..8].copy_from_slice(WAL_MAGIC);
+    h[8..10].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    // bytes 10..12: flags, reserved zero.
+    h[12..20].copy_from_slice(&flushed_seq.to_le_bytes());
+    let crc = crc32(&h[0..20]);
+    h[20..24].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+fn decode_payload(payload: &[u8], at_frame: u64) -> Result<WalRecord, StorageError> {
+    let bad = |_: &'static str| StorageError::ChecksumMismatch { page: at_frame };
+    let need = |n: usize, pos: usize| {
+        if pos + n > payload.len() {
+            Err(bad("short payload"))
+        } else {
+            Ok(())
+        }
+    };
+    need(13, 0)?;
+    let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let kind = payload[8];
+    let tid = Tid::from_le_bytes(payload[9..13].try_into().unwrap());
+    match kind {
+        KIND_DELETE => Ok(WalRecord::Delete { seq, tid }),
+        KIND_UPSERT | KIND_APPLIED => {
+            let mut pos = 13;
+            need(2, pos)?;
+            let nsel = u16::from_le_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            need(nsel * 4, pos)?;
+            let mut sel = Vec::with_capacity(nsel);
+            for _ in 0..nsel {
+                sel.push(u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()));
+                pos += 4;
+            }
+            need(2, pos)?;
+            let npt = u16::from_le_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            need(npt * 8, pos)?;
+            let mut point = Vec::with_capacity(npt);
+            for _ in 0..npt {
+                point.push(f64::from_bits(u64::from_le_bytes(
+                    payload[pos..pos + 8].try_into().unwrap(),
+                )));
+                pos += 8;
+            }
+            if kind == KIND_APPLIED {
+                Ok(WalRecord::Applied { tid, sel, point })
+            } else {
+                Ok(WalRecord::Upsert { seq, tid, sel, point })
+            }
+        }
+        _ => Err(bad("unknown record kind")),
+    }
+}
+
+/// Everything replay reconstructs from the WAL bytes.
+struct WalState {
+    flushed_seq: u64,
+    mem: Memtable,
+    applied: BTreeMap<Tid, (Vec<u32>, Vec<f64>)>,
+    next_seq: u64,
+    max_tid: Option<Tid>,
+    valid_len: u64,
+    report: ReplayReport,
+}
+
+/// Replays WAL `bytes`: a clean prefix plus, possibly, a torn tail.
+///
+/// Classification: a frame that *extends to or past end-of-file*, or
+/// whose CRC fails *at* end-of-file, is a torn tail — the crash-mid-append
+/// case — and replay succeeds with the prefix (`valid_len` marks the
+/// truncation point). A CRC/structure failure with more data *behind* it
+/// cannot be a torn append and surfaces as a typed error instead: that is
+/// body corruption, and serving a guess would be a wrong answer.
+fn replay_wal(bytes: &[u8]) -> Result<WalState, StorageError> {
+    let mut report = ReplayReport::default();
+    let state = |flushed_seq: u64| WalState {
+        flushed_seq,
+        mem: Memtable::default(),
+        applied: BTreeMap::new(),
+        next_seq: flushed_seq + 1,
+        max_tid: None,
+        valid_len: WAL_HEADER_LEN as u64,
+        report: ReplayReport::default(),
+    };
+    if bytes.len() < WAL_HEADER_LEN {
+        // Crash during WAL creation: nothing was ever logged. Treat the
+        // stub as a torn tail and start fresh.
+        report.torn_tail = true;
+        report.truncated_bytes = bytes.len() as u64;
+        let mut s = state(0);
+        s.valid_len = 0;
+        s.report = report;
+        return Ok(s);
+    }
+    if &bytes[0..8] != WAL_MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    let stored = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    if crc32(&bytes[0..20]) != stored {
+        return Err(StorageError::ChecksumMismatch { page: 0 });
+    }
+    let flushed_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let mut s = state(flushed_seq);
+
+    let mut pos = WAL_HEADER_LEN;
+    let mut frame_index = 0u64;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        // A frame head or body reaching past EOF is a torn append.
+        let torn = |s: &mut WalState, pos: usize, bytes: &[u8]| {
+            s.report.torn_tail = true;
+            s.report.truncated_bytes = (bytes.len() - pos) as u64;
+            s.valid_len = pos as u64;
+        };
+        if remaining < 8 {
+            torn(&mut s, pos, bytes);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > remaining.saturating_sub(8) {
+            // The declared body runs past EOF. Either a torn append or a
+            // corrupted length field — indistinguishable, but both leave
+            // no decodable data behind, so the prefix is all there is.
+            torn(&mut s, pos, bytes);
+            break;
+        }
+        if len > MAX_RECORD_LEN {
+            return Err(StorageError::BadLength { page: frame_index + 1, len, max: MAX_RECORD_LEN });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let last_frame = pos + 8 + len == bytes.len();
+        if crc32(payload) != crc {
+            if last_frame {
+                torn(&mut s, pos, bytes);
+                break;
+            }
+            return Err(StorageError::ChecksumMismatch { page: frame_index + 1 });
+        }
+        let record = match decode_payload(payload, frame_index + 1) {
+            Ok(r) => r,
+            Err(e) if last_frame => {
+                // CRC matched but the structure is short: only possible
+                // on the final frame if the CRC collision landed on a
+                // torn write — truncate rather than guess.
+                let _ = e;
+                torn(&mut s, pos, bytes);
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        match record {
+            WalRecord::Applied { tid, sel, point } => {
+                s.report.applied += 1;
+                s.max_tid = Some(s.max_tid.map_or(tid, |m: Tid| m.max(tid)));
+                s.applied.insert(tid, (sel, point));
+            }
+            WalRecord::Upsert { seq, tid, sel, point } => {
+                s.report.pending += 1;
+                s.next_seq = s.next_seq.max(seq + 1);
+                s.max_tid = Some(s.max_tid.map_or(tid, |m: Tid| m.max(tid)));
+                s.mem.put(tid, MemOp::Upsert { sel, point });
+            }
+            WalRecord::Delete { seq, tid } => {
+                s.report.pending += 1;
+                s.next_seq = s.next_seq.max(seq + 1);
+                s.mem.put(tid, MemOp::Delete);
+            }
+        }
+        s.report.records += 1;
+        pos += 8 + len;
+        s.valid_len = pos as u64;
+        frame_index += 1;
+    }
+    s.report.records = s.report.pending + s.report.applied;
+    s.report.torn_tail |= report.torn_tail;
+    Ok(s)
+}
+
+/// Writer-side state, serialized by the writer mutex: the WAL append
+/// handle plus everything only the single writer touches.
+struct DeltaWriter {
+    file: File,
+    /// Valid end of the WAL file (appends land here).
+    offset: u64,
+    next_seq: u64,
+    next_tid: Tid,
+    /// Flushed-but-live delta tuples (tid → selection values + point):
+    /// the side data incremental maintenance needs when a later R-tree
+    /// split moves one of them. Persisted as `KIND_APPLIED` records in
+    /// the compacted WAL.
+    applied: BTreeMap<Tid, (Vec<u32>, Vec<f64>)>,
+}
+
+impl DeltaWriter {
+    /// Appends one framed record, honoring the fault script: `Persist`
+    /// writes and syncs the whole frame, `Prefix` tears it (the bytes a
+    /// dying kernel got to flush), `Drop` loses it entirely. Torn and
+    /// dropped appends still advance the in-process sequence — the
+    /// "process" only discovers the loss when the crash sweep reopens.
+    fn append(&mut self, payload: &[u8], faults: Option<&Arc<FaultPlan>>) -> Result<u64, StorageError> {
+        let framed = frame(payload);
+        let outcome = match faults {
+            Some(plan) => plan.on_write().map_err(StorageError::Io)?,
+            None => WriteOutcome::Persist,
+        };
+        let keep = match outcome {
+            WriteOutcome::Persist => framed.len(),
+            WriteOutcome::Prefix(frac) => frac.min(framed.len()),
+            WriteOutcome::Drop => 0,
+        };
+        if keep > 0 {
+            self.file.seek(SeekFrom::Start(self.offset))?;
+            self.file.write_all(&framed[..keep])?;
+            self.file.sync_data()?;
+            self.offset += keep as u64;
+        }
+        Ok(framed.len() as u64)
+    }
+}
+
+/// One pinned base generation: a read-only cube handle plus its R-tree.
+/// Nodes chain append-only through [`OnceLock`], so a cursor holding
+/// `&BaseHandle` stays valid for the [`DeltaCube`]'s whole lifetime —
+/// flushes append a new node, they never drop an old one.
+struct BaseHandle {
+    cube: SignatureCube,
+    rtree: RTree,
+    generation: u64,
+}
+
+struct GenNode {
+    handle: BaseHandle,
+    next: OnceLock<Box<GenNode>>,
+}
+
+impl std::fmt::Debug for GenNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenNode").field("generation", &self.handle.generation).finish()
+    }
+}
+
+/// What one [`DeltaCube::flush`] cycle accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushReport {
+    /// Memtable ops folded into the base cube.
+    pub applied_ops: usize,
+    /// Base-cube generation now serving.
+    pub generation: u64,
+    /// Wall time of the whole cycle.
+    pub duration: Duration,
+    /// Delta tuples alive in the base after the flush (applied WAL
+    /// records retained for future maintenance).
+    pub live_delta_tuples: usize,
+}
+
+/// Point-in-time delta-layer state for `Engine::stats_snapshot`.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaStats {
+    /// Distinct tids with a pending memtable op.
+    pub memtable_ops: usize,
+    /// Approximate memtable bytes.
+    pub memtable_bytes: usize,
+    /// Valid WAL bytes on disk.
+    pub wal_bytes: u64,
+    /// Flushed-but-live delta tuples retained in the compacted WAL.
+    pub applied_tuples: usize,
+    /// Flush cycles completed since open.
+    pub flushes: u64,
+    /// Base-cube generation new cursors serve.
+    pub serving_generation: u64,
+    /// What replay found when this handle opened.
+    pub last_replay: ReplayReport,
+}
+
+/// An ingest-while-serving wrapper over a persistent signature cube
+/// file: memtable + WAL + background-mergeable base (module docs).
+///
+/// `base_rel` is the relation the base cube was built over — incremental
+/// maintenance resolves *base* tuples' selection values through it when
+/// an R-tree rebalance moves them (delta tuples carry their own values
+/// through the WAL). Tids for inserted tuples are allocated from
+/// `base_rel.len()` upward.
+pub struct DeltaCube {
+    path: PathBuf,
+    wal_path: PathBuf,
+    base_rel: Relation,
+    pool_pages: usize,
+    disk: DiskSim,
+    head: Box<GenNode>,
+    mem: RwLock<Memtable>,
+    writer: Mutex<DeltaWriter>,
+    faults: Option<Arc<FaultPlan>>,
+    metrics: Metrics,
+    last_replay: ReplayReport,
+    flushes: AtomicU64,
+    /// Mirrors of writer-guarded state for lock-free stats.
+    wal_len: AtomicU64,
+    applied_count: AtomicU64,
+    mem_depth: Gauge,
+    wal_bytes_ctr: Counter,
+    appends_ctr: Counter,
+    flush_hist: Histogram,
+    flushes_ctr: Counter,
+}
+
+impl std::fmt::Debug for DeltaCube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaCube")
+            .field("path", &self.path)
+            .field("serving_generation", &self.serving_generation())
+            .field("memtable_ops", &self.memtable_len())
+            .finish()
+    }
+}
+
+impl DeltaCube {
+    /// Opens the delta layer over the cube file at `path` (which must
+    /// already hold a committed signature cube, e.g. via
+    /// [`SignatureCube::save_to_with`]). Replays `<path>.wal` — creating
+    /// it when absent, truncating a torn tail, surfacing body corruption
+    /// as a typed error — and begins serving the merged view.
+    pub fn open(
+        path: impl AsRef<Path>,
+        base_rel: Relation,
+        opts: DeltaOptions,
+    ) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let wal_path = wal_path_for(&path);
+        let (cube, rtree) = SignatureCube::open_from_with(&path, opts.pool_pages)?;
+        let generation = FileBackend::peek_superblock(&path)?.generation;
+        let head =
+            Box::new(GenNode { handle: BaseHandle { cube, rtree, generation }, next: OnceLock::new() });
+
+        // Replay (or create) the WAL.
+        let mut state = if wal_path.exists() {
+            let mut bytes = Vec::new();
+            File::open(&wal_path)?.read_to_end(&mut bytes)?;
+            replay_wal(&bytes)?
+        } else {
+            let mut s = replay_wal(&[])?;
+            s.report.torn_tail = false; // a missing WAL is a fresh start, not a tear
+            s.report.truncated_bytes = 0;
+            s
+        };
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(&wal_path)?;
+        if state.valid_len < WAL_HEADER_LEN as u64 {
+            // Fresh (or torn-at-creation) WAL: stamp a clean header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&wal_header(state.flushed_seq))?;
+            file.sync_data()?;
+            state.valid_len = WAL_HEADER_LEN as u64;
+        } else if state.report.torn_tail {
+            // Drop the torn tail so future appends extend a clean prefix.
+            file.set_len(state.valid_len)?;
+            file.sync_data()?;
+        }
+
+        let metrics = opts.metrics;
+        metrics.counter("delta.replay.records").add(state.report.records);
+        metrics.counter("delta.replay.pending").add(state.report.pending);
+        if state.report.torn_tail {
+            metrics.counter("delta.replay.torn_tails").inc();
+        }
+        let mem_depth = metrics.gauge("delta.memtable_depth");
+        mem_depth.set(state.mem.ops.len() as u64);
+
+        let next_tid =
+            state.max_tid.map_or(base_rel.len() as Tid, |m| m.max(base_rel.len() as Tid - 1) + 1);
+        let writer = DeltaWriter {
+            file,
+            offset: state.valid_len,
+            next_seq: state.next_seq,
+            next_tid,
+            applied: state.applied,
+        };
+        Ok(Self {
+            wal_len: AtomicU64::new(writer.offset),
+            applied_count: AtomicU64::new(writer.applied.len() as u64),
+            path,
+            wal_path,
+            base_rel,
+            pool_pages: opts.pool_pages,
+            disk: DiskSim::with_defaults(),
+            head,
+            mem: RwLock::new(state.mem),
+            writer: Mutex::new(writer),
+            faults: opts.faults,
+            last_replay: state.report,
+            flushes: AtomicU64::new(0),
+            mem_depth,
+            wal_bytes_ctr: metrics.counter("delta.wal_bytes"),
+            appends_ctr: metrics.counter("delta.appends"),
+            flush_hist: metrics.histogram("delta.flush_duration_us"),
+            flushes_ctr: metrics.counter("delta.flushes"),
+            metrics,
+        })
+    }
+
+    /// The cube file this delta layer wraps.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The WAL sibling file.
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// The metering device serving cursors charge.
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// What replaying the WAL found when this handle opened.
+    pub fn last_replay(&self) -> ReplayReport {
+        self.last_replay
+    }
+
+    /// Distinct tids with a pending memtable op.
+    pub fn memtable_len(&self) -> usize {
+        self.mem.read().unwrap().ops.len()
+    }
+
+    /// Flush cycles completed by this handle.
+    pub fn flushes_completed(&self) -> u64 {
+        self.flushes.load(Ordering::SeqCst)
+    }
+
+    /// The base-cube generation new cursors serve.
+    pub fn serving_generation(&self) -> u64 {
+        self.current().generation
+    }
+
+    /// Point-in-time delta-layer state.
+    pub fn stats(&self) -> DeltaStats {
+        let mem = self.mem.read().unwrap();
+        DeltaStats {
+            memtable_ops: mem.ops.len(),
+            memtable_bytes: mem.bytes,
+            wal_bytes: self.wal_len.load(Ordering::SeqCst),
+            applied_tuples: self.applied_count.load(Ordering::SeqCst) as usize,
+            flushes: self.flushes.load(Ordering::SeqCst),
+            serving_generation: self.serving_generation(),
+            last_replay: self.last_replay,
+        }
+    }
+
+    /// Walks the generation chain to the newest node. Safe to call
+    /// concurrently with a flush: the chain is append-only and nodes are
+    /// never dropped before the `DeltaCube` itself.
+    fn current(&self) -> &BaseHandle {
+        let mut node: &GenNode = &self.head;
+        while let Some(next) = node.next.get() {
+            node = next;
+        }
+        &node.handle
+    }
+
+    fn push_generation(&self, handle: BaseHandle) {
+        let mut boxed = Box::new(GenNode { handle, next: OnceLock::new() });
+        let mut node: &GenNode = &self.head;
+        loop {
+            match node.next.get() {
+                Some(next) => node = next,
+                None => match node.next.set(boxed) {
+                    Ok(()) => return,
+                    // Lost a (theoretical) race: keep walking.
+                    Err(b) => boxed = b,
+                },
+            }
+        }
+    }
+
+    /// True when the merged view can answer the plan — delegated to the
+    /// serving base cube (the memtable overlay answers anything the base
+    /// can).
+    pub fn can_answer(&self, selection: &rcube_table::Selection, ranking_dims: &[usize]) -> bool {
+        let h = self.current();
+        h.cube.can_answer(&h.rtree, selection, ranking_dims)
+    }
+
+    /// Binds the merged view as a [`RankedSource`].
+    pub fn source(&self) -> DeltaSource<'_> {
+        DeltaSource { delta: self }
+    }
+
+    /// Inserts a tuple (selection values + full ranking point), returning
+    /// its allocated tid. Durable in the WAL before it is visible to new
+    /// cursors; visible to every cursor opened afterwards, invisible to
+    /// cursors already open (they pin their snapshot).
+    pub fn insert(&self, sel: &[u32], point: &[f64]) -> Result<Tid, StorageError> {
+        let schema = self.base_rel.schema();
+        if sel.len() != schema.num_selection() {
+            return Err(StorageError::Malformed("insert: wrong selection arity"));
+        }
+        if point.len() != schema.num_ranking() {
+            return Err(StorageError::Malformed("insert: wrong ranking arity"));
+        }
+        for (d, &v) in sel.iter().enumerate() {
+            if v >= schema.selection_dim(d).cardinality() {
+                return Err(StorageError::Malformed("insert: selection value out of domain"));
+            }
+        }
+        let mut w = self.writer.lock().unwrap();
+        let seq = w.next_seq;
+        let tid = w.next_tid;
+        let mut payload = Vec::new();
+        encode_upsert(&mut payload, KIND_UPSERT, seq, tid, sel, point);
+        let appended = w.append(&payload, self.faults.as_ref())?;
+        w.next_seq += 1;
+        w.next_tid += 1;
+        self.wal_len.store(w.offset, Ordering::SeqCst);
+        self.wal_bytes_ctr.add(appended);
+        self.appends_ctr.inc();
+        let mut mem = self.mem.write().unwrap();
+        mem.put(tid, MemOp::Upsert { sel: sel.to_vec(), point: point.to_vec() });
+        self.mem_depth.set(mem.ops.len() as u64);
+        Ok(tid)
+    }
+
+    /// Deletes a tuple by tid — a base tuple, a flushed delta tuple, or
+    /// a pending insert. Idempotent; deleting a tid that was never
+    /// allocated is a typed error.
+    pub fn delete(&self, tid: Tid) -> Result<(), StorageError> {
+        let mut w = self.writer.lock().unwrap();
+        if tid >= w.next_tid {
+            return Err(StorageError::Malformed("delete: tid was never allocated"));
+        }
+        let seq = w.next_seq;
+        let mut payload = Vec::new();
+        encode_delete(&mut payload, seq, tid);
+        let appended = w.append(&payload, self.faults.as_ref())?;
+        w.next_seq += 1;
+        self.wal_len.store(w.offset, Ordering::SeqCst);
+        self.wal_bytes_ctr.add(appended);
+        self.appends_ctr.inc();
+        let mut mem = self.mem.write().unwrap();
+        mem.put(tid, MemOp::Delete);
+        self.mem_depth.set(mem.ops.len() as u64);
+        Ok(())
+    }
+
+    /// Selection values for any tid the maintenance closure may ask
+    /// about: the flush snapshot first, then flushed delta tuples, then
+    /// the base relation.
+    fn selection_values_for(
+        &self,
+        tid: Tid,
+        snapshot: &BTreeMap<Tid, MemOp>,
+        applied: &BTreeMap<Tid, (Vec<u32>, Vec<f64>)>,
+    ) -> Vec<u32> {
+        if let Some(MemOp::Upsert { sel, .. }) = snapshot.get(&tid) {
+            return sel.clone();
+        }
+        if let Some((sel, _)) = applied.get(&tid) {
+            return sel.clone();
+        }
+        if (tid as usize) < self.base_rel.len() {
+            let n = self.base_rel.schema().num_selection();
+            return (0..n).map(|d| self.base_rel.selection_value(tid, d)).collect();
+        }
+        panic!("delta flush: no selection values for tid {tid}");
+    }
+
+    /// Folds the current memtable into the base cube and compacts the
+    /// WAL — one LSM merge cycle (module docs list the crash-ordering
+    /// argument). Appends block for the duration; readers do not, and
+    /// cursors already open keep serving the generation they pinned.
+    ///
+    /// Fails with [`StorageError::WriterLocked`] when another writer
+    /// (e.g. a concurrent vacuum) holds the cube file's advisory lock —
+    /// the scheduler counts that as contention and retries later.
+    pub fn flush(&self) -> Result<FlushReport, StorageError> {
+        let start = Instant::now();
+        let mut w = self.writer.lock().unwrap();
+        let snapshot: BTreeMap<Tid, MemOp> = self.mem.read().unwrap().ops.clone();
+        if snapshot.is_empty() {
+            return Ok(FlushReport {
+                applied_ops: 0,
+                generation: self.serving_generation(),
+                duration: start.elapsed(),
+                live_delta_tuples: w.applied.len(),
+            });
+        }
+
+        // 1. Fold the snapshot into the base via incremental maintenance
+        //    on a writable handle (acquires the advisory writer lock).
+        let store = match &self.faults {
+            Some(plan) => PageStore::with_backend(Arc::new(FileBackend::open_writable_faulted(
+                &self.path,
+                self.pool_pages,
+                Arc::clone(plan),
+            )?)),
+            None => PageStore::open_file_writable(&self.path, self.pool_pages)?,
+        };
+        let (mut cube, mut rtree) = SignatureCube::open_store(store)?;
+        cube.set_metrics(self.metrics.clone());
+        let mut applied_ops = 0usize;
+        for (&tid, op) in &snapshot {
+            let updates = match op {
+                MemOp::Upsert { point, .. } => {
+                    // Replayed ops may already be in the base (a crash
+                    // between commit and WAL rewrite): delete-then-insert
+                    // makes the re-apply idempotent.
+                    let mut u = if rtree.tuple_path(tid).is_some() {
+                        rtree.delete(&self.disk, tid)
+                    } else {
+                        Vec::new()
+                    };
+                    u.extend(rtree.insert(&self.disk, tid, point.clone()));
+                    u
+                }
+                MemOp::Delete => rtree.delete(&self.disk, tid),
+            };
+            if updates.is_empty() {
+                continue; // delete of an already-absent tuple
+            }
+            apply_path_updates(
+                &mut cube,
+                &updates,
+                |t| self.selection_values_for(t, &snapshot, &w.applied),
+                &self.disk,
+            );
+            applied_ops += 1;
+        }
+        let generation = cube.commit(&rtree)?;
+        if self.faults.as_ref().is_some_and(|p| p.crashed()) {
+            // The scripted page-level crash hit during the fold: the
+            // in-process state is a lie, the disk kept the old
+            // generation. Die like the process would.
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected crash during delta flush",
+            )));
+        }
+        drop((cube, rtree)); // releases the cube file's writer lock
+
+        // 2. Compact the WAL: flushed upserts become applied records,
+        //    flushed deletes evict their applied record, pending section
+        //    empties (appends were blocked the whole flush).
+        let flushed_seq = w.next_seq - 1;
+        let mut new_applied = w.applied.clone();
+        for (&tid, op) in &snapshot {
+            match op {
+                MemOp::Upsert { sel, point } => {
+                    new_applied.insert(tid, (sel.clone(), point.clone()));
+                }
+                MemOp::Delete => {
+                    new_applied.remove(&tid);
+                }
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.on_swap(SwapStage::TempWrite).map_err(StorageError::Io)?;
+        }
+        let temp = {
+            let mut os = self.wal_path.as_os_str().to_os_string();
+            os.push(".new");
+            PathBuf::from(os)
+        };
+        {
+            let mut tf = File::create(&temp)?;
+            tf.write_all(&wal_header(flushed_seq))?;
+            for (tid, (sel, point)) in &new_applied {
+                let mut payload = Vec::new();
+                encode_upsert(&mut payload, KIND_APPLIED, 0, *tid, sel, point);
+                tf.write_all(&frame(&payload))?;
+            }
+            tf.sync_data()?;
+        }
+        // fsync + atomic rename + dir fsync, with the scripted
+        // TempSync/Rename crash points — the vacuum's publish protocol.
+        FileBackend::publish_swap(&temp, &self.wal_path, self.faults.as_ref())?;
+        w.file = OpenOptions::new().read(true).write(true).open(&self.wal_path)?;
+        w.offset = w.file.metadata()?.len();
+        w.applied = new_applied;
+        self.wal_len.store(w.offset, Ordering::SeqCst);
+        self.applied_count.store(w.applied.len() as u64, Ordering::SeqCst);
+
+        // 3. Swap the serving generation and prune the memtable in one
+        //    critical section: a concurrent open sees old+full or
+        //    new+empty, never a mix. Open cursors ride their pinned node.
+        let (new_cube, new_rtree) = SignatureCube::open_from_with(&self.path, self.pool_pages)?;
+        {
+            let mut mem = self.mem.write().unwrap();
+            self.push_generation(BaseHandle { cube: new_cube, rtree: new_rtree, generation });
+            mem.ops.clear();
+            mem.bytes = 0;
+            self.mem_depth.set(0);
+        }
+        self.flushes.fetch_add(1, Ordering::SeqCst);
+        self.flushes_ctr.inc();
+        let duration = start.elapsed();
+        self.flush_hist.record(duration.as_micros() as u64);
+        Ok(FlushReport {
+            applied_ops,
+            generation,
+            duration,
+            live_delta_tuples: self.applied_count.load(Ordering::SeqCst) as usize,
+        })
+    }
+}
+
+/// The merged base+overlay view bound as a [`RankedSource`] — `Copy`
+/// per-query handle, like every other engine's source.
+#[derive(Clone, Copy)]
+pub struct DeltaSource<'a> {
+    delta: &'a DeltaCube,
+}
+
+impl std::fmt::Debug for DeltaSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaSource").finish()
+    }
+}
+
+impl<'a> RankedSource<'a> for DeltaSource<'a> {
+    fn open(&self, plan: &QueryPlan<'a>) -> Result<TopKCursor<'a>, StorageError> {
+        let delta = self.delta;
+        // Snapshot overlay + generation under the memtable read lock:
+        // flush swaps both inside the write lock, so the pair is
+        // consistent — the pin this cursor keeps for its lifetime.
+        let (mem_items, mask, handle) = {
+            let mem = delta.mem.read().unwrap();
+            let handle = delta.current();
+            let conds = plan.selection.conds();
+            let mut items: Vec<(Tid, f64)> = Vec::new();
+            let mut mask: HashSet<Tid> = HashSet::with_capacity(mem.ops.len());
+            for (&tid, op) in &mem.ops {
+                mask.insert(tid);
+                if let MemOp::Upsert { sel, point } = op {
+                    if conds.iter().all(|&(d, v)| sel.get(d) == Some(&v)) {
+                        let pt: Vec<f64> = plan.ranking_dims.iter().map(|&d| point[d]).collect();
+                        items.push((tid, plan.func.score(&pt)));
+                    }
+                }
+            }
+            items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            (items, mask, handle)
+        };
+        let base = handle.cube.source(&handle.rtree, &delta.disk).open(plan)?;
+        let mem_scored = mem_items.len() as u64;
+        let search = DeltaSearch {
+            base,
+            base_done: false,
+            pending_base: None,
+            mem: mem_items,
+            mem_pos: 0,
+            mask,
+            mem_scored,
+            mem_emitted: 0,
+            base_emitted: 0,
+            masked: 0,
+        };
+        Ok(TopKCursor::new(Box::new(search), plan.k))
+    }
+}
+
+/// The three-way certified merge: base cursor + overlay drain, masking
+/// deleted/superseded base tids. Both inputs emit ascending `(score,
+/// tid)`, so the merge emits certified answers in the same order — and
+/// because the overlay snapshot and the base generation are pinned at
+/// open, `extend_k` keeps answering the open-time state across flushes.
+struct DeltaSearch<'a> {
+    base: TopKCursor<'a>,
+    base_done: bool,
+    pending_base: Option<(Tid, f64)>,
+    mem: Vec<(Tid, f64)>,
+    mem_pos: usize,
+    /// Every tid with a memtable op at open: base answers carrying one
+    /// are superseded (updated or deleted) and must not surface.
+    mask: HashSet<Tid>,
+    mem_scored: u64,
+    mem_emitted: u64,
+    base_emitted: u64,
+    masked: u64,
+}
+
+impl DeltaSearch<'_> {
+    /// Refills the one-answer base lookahead, skipping masked tids. The
+    /// inner cursor pausing on its own answer limit is not exhaustion —
+    /// extend it and keep pulling (the frontier resumes, nothing is
+    /// re-read).
+    fn refill_base(&mut self) -> Result<(), StorageError> {
+        while self.pending_base.is_none() && !self.base_done {
+            match self.base.try_next()? {
+                Some((tid, score)) => {
+                    if self.mask.contains(&tid) {
+                        self.masked += 1;
+                    } else {
+                        self.pending_base = Some((tid, score));
+                    }
+                }
+                None if self.base.emitted() >= self.base.k() => self.base.extend_k(1),
+                None => self.base_done = true,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ProgressiveSearch for DeltaSearch<'_> {
+    fn advance(&mut self) -> Result<Option<(Tid, f64)>, StorageError> {
+        self.refill_base()?;
+        let mem_head = self.mem.get(self.mem_pos).copied();
+        match (self.pending_base, mem_head) {
+            (Some((bt, bs)), Some((mt, ms))) => {
+                if bs.total_cmp(&ms).then(bt.cmp(&mt)).is_le() {
+                    self.pending_base = None;
+                    self.base_emitted += 1;
+                    Ok(Some((bt, bs)))
+                } else {
+                    self.mem_pos += 1;
+                    self.mem_emitted += 1;
+                    Ok(Some((mt, ms)))
+                }
+            }
+            (Some((bt, bs)), None) => {
+                self.pending_base = None;
+                self.base_emitted += 1;
+                Ok(Some((bt, bs)))
+            }
+            (None, Some((mt, ms))) => {
+                self.mem_pos += 1;
+                self.mem_emitted += 1;
+                Ok(Some((mt, ms)))
+            }
+            (None, None) => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut s = self.base.stats();
+        s.tuples_scored += self.mem_scored;
+        s.delta_mem_answers = self.mem_emitted;
+        s.delta_base_answers = self.base_emitted;
+        s.delta_masked = self.masked;
+        s
+    }
+
+    fn reserve(&mut self, k: usize) {
+        // The base cursor is extended lazily on demand (refill_base), so
+        // the only job here is to let an early extension through.
+        if k > self.base.k() {
+            let delta = k - self.base.k();
+            self.base.extend_k(delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::sigcube::SignatureCubeConfig;
+    use rcube_func::Linear;
+    use rcube_index::rtree::RTreeConfig;
+    use rcube_table::gen::SyntheticSpec;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rcube_delta_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(wal_path_for(&p));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    }
+
+    fn build_base(rel: &Relation, path: &Path) {
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, rel, &[], RTreeConfig::small(16));
+        let cube = SignatureCube::build(rel, &rtree, &disk, SignatureCubeConfig::default());
+        cube.save_to_with(&rtree, path, 512, 64).expect("save base cube");
+    }
+
+    fn render(items: &[(Tid, f64)]) -> Vec<String> {
+        items.iter().map(|(t, s)| format!("{t}:{:016x}", s.to_bits())).collect()
+    }
+
+    /// Top-k answers from a from-scratch signature cube over `rel`.
+    fn rebuilt_answers(rel: &Relation, q: &Query) -> Vec<(Tid, f64)> {
+        let disk = DiskSim::with_defaults();
+        let rtree = RTree::over_relation(&disk, rel, &[], RTreeConfig::small(16));
+        let cube = SignatureCube::build(rel, &rtree, &disk, SignatureCubeConfig::default());
+        let plan = q.plan();
+        let items = cube.source(&rtree, &disk).open(&plan).unwrap().try_drain().unwrap().items;
+        items
+    }
+
+    #[test]
+    fn merged_view_matches_rebuilt_cube() {
+        let full = SyntheticSpec { tuples: 360, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(300);
+        let path = temp_path("merge");
+        build_base(&base, &path);
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+
+        // Insert the remaining 60 tuples and delete 10 base tuples.
+        for tid in 300..360u32 {
+            let sel: Vec<u32> = (0..full.schema().num_selection())
+                .map(|d| full.selection_value(tid, d))
+                .collect();
+            let got = delta.insert(&sel, &full.ranking_point(tid)).unwrap();
+            assert_eq!(got, tid, "tids allocate densely from the base length");
+        }
+        for tid in 0..10u32 {
+            delta.delete(tid).unwrap();
+        }
+
+        // Logical relation after the ops: tuples 10..360.
+        let logical = {
+            let mut b = rcube_table::RelationBuilder::new(full.schema().clone());
+            for t in 0..360u32 {
+                if t >= 10 {
+                    let sel: Vec<u32> = (0..full.schema().num_selection())
+                        .map(|d| full.selection_value(t, d))
+                        .collect();
+                    b.push(&sel, &full.ranking_point(t));
+                }
+            }
+            b.finish()
+        };
+        // Tids shift in the rebuilt relation; compare scores only (the
+        // full tid-level identity is covered by the masked-set check).
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(15);
+        let merged = delta.source().open(&q.plan()).unwrap().try_drain().unwrap();
+        let rebuilt = rebuilt_answers(&logical, &q);
+        let ms: Vec<u64> = merged.items.iter().map(|(_, s)| s.to_bits()).collect();
+        let rs: Vec<u64> = rebuilt.iter().map(|(_, s)| s.to_bits()).collect();
+        assert_eq!(ms, rs, "merged scores must be byte-identical to a rebuilt cube");
+        // No deleted tid may surface anywhere in a deep drain.
+        let deep = Query::select([]).rank(Linear::uniform(2)).top(400);
+        let all = delta.source().open(&deep.plan()).unwrap().try_drain().unwrap();
+        assert_eq!(all.items.len(), 350);
+        assert!(all.items.iter().all(|&(t, _)| t >= 10), "deleted tids masked");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn flush_preserves_answers_and_empties_memtable() {
+        let full = SyntheticSpec { tuples: 340, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(300);
+        let path = temp_path("flush");
+        build_base(&base, &path);
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        for tid in 300..340u32 {
+            let sel: Vec<u32> = (0..full.schema().num_selection())
+                .map(|d| full.selection_value(tid, d))
+                .collect();
+            delta.insert(&sel, &full.ranking_point(tid)).unwrap();
+        }
+        delta.delete(5).unwrap();
+        let q = Query::select([(0, 2)]).rank(Linear::uniform(2)).top(12);
+        let before = delta.source().open(&q.plan()).unwrap().try_drain().unwrap();
+
+        let report = delta.flush().unwrap();
+        assert_eq!(report.applied_ops, 41);
+        assert_eq!(delta.memtable_len(), 0, "flush empties the memtable");
+        assert_eq!(delta.flushes_completed(), 1);
+        assert_eq!(report.live_delta_tuples, 40);
+
+        let after = delta.source().open(&q.plan()).unwrap().try_drain().unwrap();
+        assert_eq!(render(&before.items), render(&after.items), "flush is answer-neutral");
+        // All answers now come from the base, none from the overlay.
+        assert_eq!(after.stats.delta_mem_answers, 0);
+        assert!(after.stats.delta_base_answers > 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn cursor_pins_its_generation_across_a_flush() {
+        let full = SyntheticSpec { tuples: 330, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(300);
+        let path = temp_path("pin");
+        build_base(&base, &path);
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        for tid in 300..330u32 {
+            let sel: Vec<u32> = (0..full.schema().num_selection())
+                .map(|d| full.selection_value(tid, d))
+                .collect();
+            delta.insert(&sel, &full.ranking_point(tid)).unwrap();
+        }
+        let q = Query::select([]).rank(Linear::uniform(2)).top(6);
+        let q12 = Query::select([]).rank(Linear::uniform(2)).top(12);
+        let fresh12 = delta.source().open(&q12.plan()).unwrap().try_drain().unwrap().items;
+
+        let mut cursor = delta.source().open(&q.plan()).unwrap();
+        let first: Vec<_> = std::iter::from_fn(|| cursor.try_next().unwrap()).collect();
+        assert_eq!(first.len(), 6);
+
+        // Flush mid-session (same thread: both are shared borrows), then
+        // ingest more — the paused cursor must not see any of it.
+        delta.flush().unwrap();
+        for tid in 0..3u32 {
+            delta.delete(tid).unwrap();
+        }
+        cursor.extend_k(6);
+        let rest: Vec<_> = std::iter::from_fn(|| cursor.try_next().unwrap()).collect();
+        let mut both = first;
+        both.extend(rest);
+        assert_eq!(
+            render(&both),
+            render(&fresh12),
+            "extend_k across a flush answers the open-time state"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_replay_restores_the_memtable() {
+        let full = SyntheticSpec { tuples: 320, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(300);
+        let path = temp_path("replay");
+        build_base(&base, &path);
+        let q = Query::select([]).rank(Linear::uniform(2)).top(10);
+        let before = {
+            let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+            for tid in 300..320u32 {
+                let sel: Vec<u32> = (0..full.schema().num_selection())
+                    .map(|d| full.selection_value(tid, d))
+                    .collect();
+                delta.insert(&sel, &full.ranking_point(tid)).unwrap();
+            }
+            delta.delete(7).unwrap();
+            let items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+            items
+        };
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        let replay = delta.last_replay();
+        assert_eq!(replay.pending, 21, "every append replays");
+        assert_eq!(replay.applied, 0);
+        assert!(!replay.torn_tail);
+        assert_eq!(delta.memtable_len(), 21);
+        let after = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+        assert_eq!(render(&before), render(&after), "replay restores the merged view");
+
+        // Flush, reopen: pending drains into applied records.
+        delta.flush().unwrap();
+        drop(delta);
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        let replay = delta.last_replay();
+        assert_eq!(replay.pending, 0);
+        assert_eq!(replay.applied, 20, "live delta tuples persist as applied records");
+        assert_eq!(delta.memtable_len(), 0);
+        let final_items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+        assert_eq!(render(&before), render(&final_items));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_body_corruption_errors() {
+        let full = SyntheticSpec { tuples: 310, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(300);
+        let path = temp_path("torn");
+        build_base(&base, &path);
+        {
+            let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+            for tid in 300..310u32 {
+                let sel: Vec<u32> = (0..full.schema().num_selection())
+                    .map(|d| full.selection_value(tid, d))
+                    .collect();
+                delta.insert(&sel, &full.ranking_point(tid)).unwrap();
+            }
+        }
+        let wal = wal_path_for(&path);
+        let bytes = std::fs::read(&wal).unwrap();
+
+        // Torn tail: drop the last 5 bytes — replay keeps 9 of 10 ops.
+        std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        assert!(delta.last_replay().torn_tail);
+        assert_eq!(delta.last_replay().pending, 9);
+        assert_eq!(delta.memtable_len(), 9);
+        drop(delta);
+
+        // Body corruption: flip a byte inside the *first* record's
+        // payload (more data follows) — typed error, never a guess.
+        let mut corrupt = bytes.clone();
+        corrupt[WAL_HEADER_LEN + 12] ^= 0x40;
+        std::fs::write(&wal, &corrupt).unwrap();
+        match DeltaCube::open(&path, base.clone(), DeltaOptions::default()) {
+            Err(StorageError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stats_and_validation() {
+        let rel = SyntheticSpec { tuples: 100, cardinality: 4, ..Default::default() }.generate();
+        let path = temp_path("stats");
+        build_base(&rel, &path);
+        let delta = DeltaCube::open(&path, rel.clone(), DeltaOptions::default()).unwrap();
+        assert!(matches!(
+            delta.insert(&[0], &[0.1, 0.2]),
+            Err(StorageError::Malformed("insert: wrong selection arity"))
+        ));
+        assert!(matches!(
+            delta.insert(&[0, 0, 0], &[0.1]),
+            Err(StorageError::Malformed("insert: wrong ranking arity"))
+        ));
+        assert!(matches!(delta.delete(500), Err(StorageError::Malformed(_))));
+        delta.insert(&[1, 2, 3], &[0.5, 0.5]).unwrap();
+        let stats = delta.stats();
+        assert_eq!(stats.memtable_ops, 1);
+        assert!(stats.wal_bytes > WAL_HEADER_LEN as u64);
+        assert_eq!(stats.flushes, 0);
+        cleanup(&path);
+    }
+}

@@ -38,6 +38,7 @@
 //! [`sigcube::SignatureCube::save_to`].
 
 pub mod coding;
+pub mod delta;
 pub mod fragments;
 pub mod gridcube;
 pub mod idlist;
@@ -50,6 +51,7 @@ pub mod sigcube;
 pub mod signature;
 pub mod sigquery;
 
+pub use delta::{DeltaCube, DeltaOptions, DeltaSource, DeltaStats, FlushReport, ReplayReport};
 pub use gridcube::{GridCubeConfig, GridRankingCube};
 pub use nodecache::{NodeCacheStats, SharedNodeCache};
 pub use query::{ProgressiveSearch, Query, QueryPlan, RankedSource, TopKCursor};
@@ -147,6 +149,16 @@ pub struct QueryStats {
     /// needs, so the bound pruned further pulls from them. Point-in-time,
     /// like every other counter here.
     pub shards_pruned: u64,
+    /// Answers served from the delta layer's in-memory overlay (pending
+    /// inserts not yet flushed into the base cube). Zero off the delta
+    /// route.
+    pub delta_mem_answers: u64,
+    /// Answers served from the delta layer's pinned base generation.
+    pub delta_base_answers: u64,
+    /// Base answers suppressed by the delta merge because the tuple was
+    /// deleted or superseded in the overlay — work the LSM split pays to
+    /// stay byte-identical with a rebuilt cube.
+    pub delta_masked: u64,
 }
 
 /// An answered top-k query: `(tid, score)` pairs in ascending score order.

@@ -52,6 +52,11 @@ pub struct MaintenanceConfig {
     pub page_size: usize,
     /// Buffer-pool capacity for the vacuum's read-only source handle.
     pub pool_pages: usize,
+    /// Memtable-depth watermark for delta-aware schedulers
+    /// ([`MaintenanceScheduler::start_with_delta`]): a poll that sees
+    /// this many pending ops triggers a flush/merge cycle. Ignored by
+    /// vacuum-only schedulers.
+    pub flush_watermark_ops: u64,
 }
 
 impl Default for MaintenanceConfig {
@@ -61,6 +66,7 @@ impl Default for MaintenanceConfig {
             poll_interval: Duration::from_millis(200),
             page_size: DEFAULT_PAGE_SIZE,
             pool_pages: DEFAULT_POOL_PAGES,
+            flush_watermark_ops: 256,
         }
     }
 }
@@ -151,6 +157,7 @@ pub fn vacuum_into_place(
 struct SchedulerState {
     vacuums: AtomicU64,
     pages_reclaimed: AtomicU64,
+    flushes: AtomicU64,
     lock_conflicts: AtomicU64,
     errors: AtomicU64,
     last_error: Mutex<Option<String>>,
@@ -216,9 +223,83 @@ impl MaintenanceScheduler {
         Self { stop, state, handle: Some(handle) }
     }
 
+    /// Starts a delta-aware daemon: on top of the vacuum watermark, each
+    /// poll checks the [`DeltaCube`](crate::delta::DeltaCube)'s memtable
+    /// depth and runs a flush/merge cycle once it reaches
+    /// `config.flush_watermark_ops` — the LSM background-merge half of
+    /// ingest-while-serving. Flush lock contention (e.g. with a
+    /// concurrent vacuum of the same file) is counted and retried on a
+    /// later poll, exactly like vacuum contention.
+    pub fn start_with_delta(
+        path: impl Into<PathBuf>,
+        config: MaintenanceConfig,
+        metrics: Metrics,
+        delta: Arc<crate::delta::DeltaCube>,
+    ) -> Self {
+        let path = path.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(SchedulerState::default());
+        let (t_stop, t_state) = (Arc::clone(&stop), Arc::clone(&state));
+        let handle = std::thread::Builder::new()
+            .name("rcube-maintenance".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::SeqCst) {
+                    if delta.memtable_len() as u64 >= config.flush_watermark_ops {
+                        match delta.flush() {
+                            Ok(_) => {
+                                t_state.flushes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(StorageError::WriterLocked { .. }) => {
+                                t_state.lock_conflicts.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(e) => {
+                                t_state.errors.fetch_add(1, Ordering::SeqCst);
+                                *t_state.last_error.lock().unwrap() = Some(e.to_string());
+                            }
+                        }
+                    }
+                    let due = match FileBackend::peek_superblock(&path) {
+                        Ok(sb) => sb.retired_pages >= config.watermark_pages,
+                        Err(_) => false,
+                    };
+                    if due {
+                        match vacuum_into_place(&path, &config, &metrics, None) {
+                            Ok(report) => {
+                                t_state.vacuums.fetch_add(1, Ordering::SeqCst);
+                                t_state
+                                    .pages_reclaimed
+                                    .fetch_add(report.reclaimed_pages, Ordering::SeqCst);
+                            }
+                            Err(StorageError::WriterLocked { .. }) => {
+                                t_state.lock_conflicts.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(e) => {
+                                t_state.errors.fetch_add(1, Ordering::SeqCst);
+                                *t_state.last_error.lock().unwrap() = Some(e.to_string());
+                            }
+                        }
+                    }
+                    let mut remaining = config.poll_interval;
+                    while !t_stop.load(Ordering::SeqCst) && remaining > Duration::ZERO {
+                        let slice = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn maintenance scheduler thread");
+        Self { stop, state, handle: Some(handle) }
+    }
+
     /// Vacuum cycles completed since start.
     pub fn vacuums_completed(&self) -> u64 {
         self.state.vacuums.load(Ordering::SeqCst)
+    }
+
+    /// Delta flush/merge cycles completed since start (delta-aware
+    /// schedulers only; always zero for [`MaintenanceScheduler::start`]).
+    pub fn flushes_completed(&self) -> u64 {
+        self.state.flushes.load(Ordering::SeqCst)
     }
 
     /// Total pages reclaimed across completed cycles.

@@ -230,6 +230,51 @@
 //!   shard file fails its own open/verify with a typed error while the
 //!   remaining shards keep serving — the serving layer quarantines
 //!   per-(route, shard), not per-route.
+//!
+//! # WAL & delta merge protocol
+//!
+//! The LSM delta layer (`rcube_core::delta`) pairs a cube file with an
+//! append-only write-ahead log at the sibling path `<path>.wal`. The WAL
+//! is *not* a paged file: it is a flat CRC-framed record stream, because
+//! appends must be cheap (one write + `fdatasync`) and torn tails must
+//! be distinguishable from body corruption.
+//!
+//! **Header** (24 bytes): magic `b"RCUBWAL1"` (8) · version `u16` LE ·
+//! flags `u16` (reserved zero) · `flushed_seq u64` LE (the highest
+//! sequence number folded into the cube file by a completed flush) ·
+//! CRC-32 over bytes 0..20. Bad magic, unknown version, or a header CRC
+//! mismatch are typed errors ([`StorageError::BadMagic`],
+//! [`StorageError::UnsupportedVersion`],
+//! [`StorageError::ChecksumMismatch`]).
+//!
+//! **Records**: each frame is `[len u32][crc u32][payload]`, CRC-32 over
+//! the payload. Payloads start `seq u64 · kind u8 · tid u32`; kinds are
+//! *pending upsert* (1, followed by `nsel u16 · u32×nsel · npt u16 ·
+//! f64-bits u64×npt`), *pending delete* (2), and *applied upsert* (3,
+//! same body as 1) — a flushed-but-live delta tuple whose selection
+//! values the cube file does not store, retained so later incremental
+//! maintenance can re-derive its cuboid cells after an R-tree
+//! rebalance.
+//!
+//! **Replay classification** (the single load-bearing rule): a frame
+//! whose declared body runs to or past end-of-file, or whose CRC fails
+//! on the *last* frame, is a **torn tail** — the crash-mid-append case —
+//! and replay succeeds with the clean prefix (the writable open
+//! truncates the tail). A CRC or structure failure with more valid data
+//! *behind* it cannot be a torn append and surfaces as a typed error
+//! instead: that is body corruption, and the delta layer refuses to
+//! serve a guess.
+//!
+//! **Flush compaction** reuses the vacuum's publish protocol verbatim: a
+//! new WAL image (header with the advanced `flushed_seq` + the live
+//! applied records, no pending section) is written to `<path>.wal.new`,
+//! fsynced, and renamed over `<path>.wal` — crash-scriptable at the same
+//! [`crate::fault::SwapStage`] boundaries. The flush orders cube-commit
+//! *before* WAL-rewrite, so every crash point is idempotent: before the
+//! commit the old generation plus the full WAL replay; between commit
+//! and rename the replayed pending ops shadow identical base data and
+//! the next flush re-applies them as a no-op; after the rename both
+//! files agree.
 
 use crate::backend::StorageError;
 

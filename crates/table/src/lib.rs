@@ -22,4 +22,6 @@ pub mod workload;
 pub use relation::{Relation, RelationBuilder, Tid};
 pub use schema::{Dim, Schema};
 pub use selection::Selection;
-pub use workload::{QueryGen, QuerySpec, WorkloadParams};
+pub use workload::{
+    MixedWorkloadGen, MixedWorkloadParams, QueryGen, QuerySpec, WorkloadOp, WorkloadParams,
+};

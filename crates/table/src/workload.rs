@@ -240,6 +240,112 @@ impl ZipfQueryGen {
     }
 }
 
+/// Knobs for a mixed read/write stream ([`MixedWorkloadGen`]).
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadParams {
+    /// Query-side knobs (conditions, ranking dims, k, weight skew, seed).
+    pub query: WorkloadParams,
+    /// Zipf exponent over selection values (queries *and* inserted
+    /// tuples draw from the same skewed hot set, like per-user traffic).
+    pub value_skew: f64,
+    /// Fraction of ops that are inserts, in `[0, 1]`.
+    pub insert_fraction: f64,
+    /// Fraction of ops that are deletes, in `[0, 1]`
+    /// (`insert_fraction + delete_fraction ≤ 1`; the rest are queries).
+    pub delete_fraction: f64,
+}
+
+impl Default for MixedWorkloadParams {
+    fn default() -> Self {
+        Self {
+            query: WorkloadParams::default(),
+            value_skew: 1.0,
+            insert_fraction: 0.2,
+            delete_fraction: 0.05,
+        }
+    }
+}
+
+/// One operation in a mixed read/write stream.
+#[derive(Debug, Clone)]
+pub enum WorkloadOp {
+    /// A top-k query (same shape [`ZipfQueryGen`] emits).
+    Query(QuerySpec),
+    /// Ingest one tuple: selection values (Zipf-hot) + ranking point.
+    Insert { sel: Vec<u32>, point: Vec<f64> },
+    /// Delete the `victim_rank`-th *most recently inserted* live tuple
+    /// (0 = newest), Zipf-skewed toward recent inserts. The caller maps
+    /// ranks to tids — the generator has no view of allocation — and
+    /// skips the op while nothing has been inserted yet.
+    Delete { victim_rank: usize },
+}
+
+/// Seeded mixed read/write generator: interleaves [`ZipfQueryGen`]
+/// queries with Zipf-hot inserts and recency-skewed deletes, so delta
+/// benches measure skewed ingest+query interleavings instead of uniform
+/// batches. Deterministic: equal params ⇒ equal streams.
+#[derive(Debug)]
+pub struct MixedWorkloadGen {
+    params: MixedWorkloadParams,
+    queries: ZipfQueryGen,
+    rng: StdRng,
+    samplers: std::collections::BTreeMap<usize, Zipf>,
+    /// Live inserted-tuple count, maintained so delete victims rank over
+    /// a real population.
+    live_inserts: usize,
+}
+
+impl MixedWorkloadGen {
+    pub fn new(params: MixedWorkloadParams) -> Self {
+        assert!(
+            params.insert_fraction >= 0.0
+                && params.delete_fraction >= 0.0
+                && params.insert_fraction + params.delete_fraction <= 1.0,
+            "op fractions must be non-negative and sum to at most 1"
+        );
+        // Offset the op-mix RNG from the query RNG so interleaving
+        // decisions don't perturb query shapes between parameterizations.
+        let rng = StdRng::seed_from_u64(params.query.seed.wrapping_add(0x9E37_79B9));
+        let queries = ZipfQueryGen::new(params.query.clone(), params.value_skew);
+        Self { params, queries, rng, samplers: std::collections::BTreeMap::new(), live_inserts: 0 }
+    }
+
+    /// Draws the next op against `rel`'s schema.
+    pub fn next_op(&mut self, rel: &Relation) -> WorkloadOp {
+        let schema = rel.schema();
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        if roll < self.params.insert_fraction {
+            let skew = self.params.value_skew;
+            let sel: Vec<u32> = (0..schema.num_selection())
+                .map(|d| {
+                    let card = schema.selection_dim(d).cardinality() as usize;
+                    let zipf =
+                        self.samplers.entry(card).or_insert_with(|| Zipf::new(card.max(1), skew));
+                    zipf.sample(&mut self.rng) as u32
+                })
+                .collect();
+            let point: Vec<f64> =
+                (0..schema.num_ranking()).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+            self.live_inserts += 1;
+            WorkloadOp::Insert { sel, point }
+        } else if roll < self.params.insert_fraction + self.params.delete_fraction
+            && self.live_inserts > 0
+        {
+            let zipf = Zipf::new(self.live_inserts, self.params.value_skew.max(0.5));
+            let victim_rank = zipf.sample(&mut self.rng);
+            self.live_inserts -= 1;
+            WorkloadOp::Delete { victim_rank }
+        } else {
+            WorkloadOp::Query(self.queries.next_query(rel))
+        }
+    }
+
+    /// A stream of `n` interleaved ops.
+    pub fn stream(&mut self, rel: &Relation, n: usize) -> Vec<WorkloadOp> {
+        (0..n).map(|_| self.next_op(rel)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +449,64 @@ mod tests {
         // Under Zipf(1.1) over cardinality-20 domains, value 0 should take
         // far more than the uniform 1/20 share.
         assert!(zeros * 5 > total, "value 0 drew {zeros}/{total}");
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_and_mixes_ops() {
+        let rel = SyntheticSpec { tuples: 100, ..Default::default() }.generate();
+        let params = MixedWorkloadParams {
+            insert_fraction: 0.3,
+            delete_fraction: 0.1,
+            ..Default::default()
+        };
+        let sa = MixedWorkloadGen::new(params.clone()).stream(&rel, 300);
+        let sb = MixedWorkloadGen::new(params).stream(&rel, 300);
+        assert_eq!(sa.len(), sb.len());
+        let (mut q, mut i, mut d) = (0usize, 0usize, 0usize);
+        for (a, b) in sa.iter().zip(&sb) {
+            match (a, b) {
+                (WorkloadOp::Query(x), WorkloadOp::Query(y)) => {
+                    assert_eq!(x.selection, y.selection);
+                    assert_eq!(x.weights, y.weights);
+                    q += 1;
+                }
+                (WorkloadOp::Insert { sel: x, point: px }, WorkloadOp::Insert { sel: y, point: py }) => {
+                    assert_eq!(x, y);
+                    assert_eq!(px, py);
+                    assert_eq!(x.len(), rel.schema().num_selection());
+                    assert_eq!(px.len(), rel.schema().num_ranking());
+                    i += 1;
+                }
+                (WorkloadOp::Delete { victim_rank: x }, WorkloadOp::Delete { victim_rank: y }) => {
+                    assert_eq!(x, y);
+                    d += 1;
+                }
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
+        assert!(q > 100 && i > 40 && d > 5, "mix off: q={q} i={i} d={d}");
+    }
+
+    #[test]
+    fn mixed_stream_never_deletes_before_inserting() {
+        let rel = SyntheticSpec { tuples: 50, ..Default::default() }.generate();
+        let params = MixedWorkloadParams {
+            insert_fraction: 0.05,
+            delete_fraction: 0.9,
+            ..Default::default()
+        };
+        let mut live = 0usize;
+        for op in MixedWorkloadGen::new(params).stream(&rel, 200) {
+            match op {
+                WorkloadOp::Insert { .. } => live += 1,
+                WorkloadOp::Delete { victim_rank } => {
+                    assert!(live > 0, "delete emitted with no live inserts");
+                    assert!(victim_rank < live, "victim rank out of range");
+                    live -= 1;
+                }
+                WorkloadOp::Query(_) => {}
+            }
+        }
     }
 
     #[test]

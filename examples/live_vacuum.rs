@@ -92,6 +92,7 @@ fn main() {
             poll_interval: Duration::from_millis(20),
             page_size: PAGE,
             pool_pages: 256,
+            ..MaintenanceConfig::default()
         },
     );
     while daemon.vacuums_completed() == 0 {

@@ -8,15 +8,20 @@
 //! [`Engine::query`] for a batch answer). Routing is a static preference
 //! order over the paths that can answer the plan:
 //!
-//! 1. **Partitioned cube set** — tid-range shards merged by the
+//! 1. **Delta cube** — the LSM ingest-while-serving layer
+//!    (`rcube_core::delta`): base cube + in-memory overlay of pending
+//!    writes, preferred when registered because it is the only route
+//!    that sees un-flushed inserts/deletes ([`Engine::insert`] /
+//!    [`Engine::delete`]);
+//! 2. **Partitioned cube set** — tid-range shards merged by the
 //!    bound-driven scatter-gather cursor (`rcube_core::shard`), preferred
-//!    when registered because its shards pull in parallel;
-//! 2. **Grid ranking cube** — covering cuboids over the selection, the
+//!    over single cubes because its shards pull in parallel;
+//! 3. **Grid ranking cube** — covering cuboids over the selection, the
 //!    paper's primary engine;
-//! 3. **Ranking fragments** — the linear-space variant for high selection
+//! 4. **Ranking fragments** — the linear-space variant for high selection
 //!    dimensionality;
-//! 4. **Signature cube** — hierarchical partition + top-down search;
-//! 5. **Table scan** — the always-applicable fallback (built implicitly,
+//! 5. **Signature cube** — hierarchical partition + top-down search;
+//! 6. **Table scan** — the always-applicable fallback (built implicitly,
 //!    so every well-formed query is answerable).
 //!
 //! # Graceful degradation
@@ -51,6 +56,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rcube_baseline::TableScan;
+use rcube_core::delta::DeltaCube;
 use rcube_core::fragments::{FragmentConfig, RankingFragments};
 use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
 use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};
@@ -86,6 +92,8 @@ const SLOW_LOG_OFF: u64 = u64::MAX;
 /// tests and demos).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
+    /// The LSM delta cube answered via the base+overlay certified merge.
+    Delta,
     /// The partitioned cube set answered via the scatter-gather merge.
     Sharded,
     /// The grid ranking cube answered.
@@ -100,12 +108,19 @@ pub enum Route {
 
 impl Route {
     /// Every route, in the engine's preference order.
-    pub const ALL: [Route; 5] =
-        [Route::Sharded, Route::Grid, Route::Fragments, Route::Signature, Route::Scan];
+    pub const ALL: [Route; 6] = [
+        Route::Delta,
+        Route::Sharded,
+        Route::Grid,
+        Route::Fragments,
+        Route::Signature,
+        Route::Scan,
+    ];
 
     /// The metric-series name for this route (`query.<name>.…`).
     pub fn name(self) -> &'static str {
         match self {
+            Route::Delta => "delta",
             Route::Sharded => "sharded",
             Route::Grid => "grid",
             Route::Fragments => "fragments",
@@ -116,11 +131,12 @@ impl Route {
 
     fn index(self) -> usize {
         match self {
-            Route::Sharded => 0,
-            Route::Grid => 1,
-            Route::Fragments => 2,
-            Route::Signature => 3,
-            Route::Scan => 4,
+            Route::Delta => 0,
+            Route::Sharded => 1,
+            Route::Grid => 2,
+            Route::Fragments => 3,
+            Route::Signature => 4,
+            Route::Scan => 5,
         }
     }
 }
@@ -168,6 +184,7 @@ impl RouteMetricSet {
 pub struct Engine {
     rel: Relation,
     disk: DiskSim,
+    delta: Option<Arc<DeltaCube>>,
     sharded: Option<ShardedCube>,
     grid: Option<GridRankingCube>,
     fragments: Option<RankingFragments>,
@@ -182,7 +199,7 @@ pub struct Engine {
     metrics: Metrics,
     /// Pre-resolved per-route query instruments, indexed by
     /// [`Route::index`].
-    route_metrics: [RouteMetricSet; 5],
+    route_metrics: [RouteMetricSet; 6],
     retries_total: Counter,
     fallbacks_total: Counter,
     quarantines_total: Counter,
@@ -221,6 +238,7 @@ impl Engine {
         Self {
             rel,
             disk,
+            delta: None,
             sharded: None,
             grid: None,
             fragments: None,
@@ -236,6 +254,17 @@ impl Engine {
             slow_threshold_ns: AtomicU64::new(SLOW_LOG_OFF),
             slow_log: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Registers an opened [`DeltaCube`] (the LSM ingest-while-serving
+    /// layer over a persistent cube file) as the most-preferred route and
+    /// enables the writer API ([`Self::insert`] / [`Self::delete`]). The
+    /// `Arc` is shared with whoever drives background flushes — typically
+    /// a delta-aware maintenance scheduler
+    /// ([`Self::start_maintenance_with_delta`]).
+    pub fn with_delta(mut self, delta: Arc<DeltaCube>) -> Self {
+        self.delta = Some(delta);
+        self
     }
 
     /// Builds a partitioned cube set over the relation (tid-range shards,
@@ -318,6 +347,33 @@ impl Engine {
         &self.disk
     }
 
+    /// The registered delta cube, if any.
+    pub fn delta_cube(&self) -> Option<&Arc<DeltaCube>> {
+        self.delta.as_ref()
+    }
+
+    /// Ingests one tuple through the registered delta cube: durable in
+    /// its WAL before returning, visible to every query opened
+    /// afterwards (cursors already open keep their snapshot). Returns
+    /// the allocated tid; fails with a typed error when no delta cube is
+    /// registered.
+    pub fn insert(&self, sel: &[u32], point: &[f64]) -> Result<rcube_table::Tid, StorageError> {
+        self.delta
+            .as_ref()
+            .ok_or(StorageError::Malformed("no delta cube is registered"))?
+            .insert(sel, point)
+    }
+
+    /// Deletes a tuple by tid through the registered delta cube — a base
+    /// tuple, a flushed delta tuple, or a pending insert. Same
+    /// durability/visibility contract as [`Self::insert`].
+    pub fn delete(&self, tid: rcube_table::Tid) -> Result<(), StorageError> {
+        self.delta
+            .as_ref()
+            .ok_or(StorageError::Malformed("no delta cube is registered"))?
+            .delete(tid)
+    }
+
     /// The registered partitioned cube set, if any.
     pub fn sharded_cube(&self) -> Option<&ShardedCube> {
         self.sharded.as_ref()
@@ -374,6 +430,7 @@ impl Engine {
         let mut rows = Vec::with_capacity(Route::ALL.len());
         for route in Route::ALL {
             let registered = match route {
+                Route::Delta => self.delta.is_some(),
                 Route::Sharded => self.sharded.is_some(),
                 Route::Grid => self.grid.is_some(),
                 Route::Fragments => self.fragments.is_some(),
@@ -382,6 +439,10 @@ impl Engine {
             };
             let eligible = registered
                 && match route {
+                    Route::Delta => self
+                        .delta
+                        .as_ref()
+                        .is_some_and(|d| d.can_answer(plan.selection, plan.ranking_dims)),
                     Route::Sharded => self
                         .sharded
                         .as_ref()
@@ -450,6 +511,7 @@ impl Engine {
         plan: &QueryPlan<'e>,
     ) -> Result<TopKCursor<'e>, StorageError> {
         match route {
+            Route::Delta => self.delta.as_ref().expect("routed to delta").source().open(plan),
             Route::Sharded => self.sharded.as_ref().expect("routed to sharded").source().open(plan),
             Route::Grid => {
                 self.grid.as_ref().expect("routed to grid").source(&self.disk).open(plan)
@@ -702,6 +764,21 @@ impl Engine {
         MaintenanceScheduler::start(path, config, self.metrics.clone())
     }
 
+    /// [`Self::start_maintenance`] for an engine serving a registered
+    /// delta cube: the daemon additionally polls the memtable depth and
+    /// folds pending writes into the base cube past
+    /// `config.flush_watermark_ops` — the LSM background merge. Panics
+    /// when no delta cube is registered.
+    pub fn start_maintenance_with_delta(
+        &self,
+        config: MaintenanceConfig,
+    ) -> MaintenanceScheduler {
+        let delta =
+            Arc::clone(self.delta.as_ref().expect("start_maintenance_with_delta needs a delta cube"));
+        let path = delta.path().to_path_buf();
+        MaintenanceScheduler::start_with_delta(path, config, self.metrics.clone(), delta)
+    }
+
     /// This engine's metric registry — snapshot it for Prometheus/JSON
     /// export, or hand it to components built outside the engine.
     pub fn metrics(&self) -> &Metrics {
@@ -755,6 +832,12 @@ impl Engine {
             Route::Sharded => self.sharded.as_ref().and_then(|c| c.last_fanout()),
             _ => None,
         };
+        // The delta cursor's stats carry the memtable-vs-base split.
+        let delta = (executed == Route::Delta).then(|| crate::observe::DeltaContribution {
+            memtable_answers: res.stats.delta_mem_answers,
+            base_answers: res.stats.delta_base_answers,
+            masked: res.stats.delta_masked,
+        });
         Ok(AnalyzeReport {
             plan,
             executed,
@@ -763,6 +846,7 @@ impl Engine {
             wall,
             events: trace.events(),
             fanout,
+            delta,
         })
     }
 
@@ -796,6 +880,7 @@ impl Engine {
     pub fn stats_snapshot(&self) -> EngineStats {
         EngineStats {
             io: self.disk.stats().snapshot(),
+            delta: self.delta.as_ref().map(|d| d.stats()),
             sharded_shards: self.sharded.as_ref().map(|c| c.num_shards()),
             sharded_failed: self.sharded.as_ref().map(|c| c.failed_shards()).unwrap_or_default(),
             grid_pool: self.grid.as_ref().and_then(|g| g.pool_stats()),
@@ -1062,6 +1147,81 @@ mod tests {
         let (eng, _) = faulted_signature_engine(600);
         let clean = eng.try_query(&q).expect("clean run");
         assert_eq!(clean.stats.backoff_ns, 0);
+    }
+
+    #[test]
+    fn delta_route_serves_writes_and_reports_contribution() {
+        use rcube_core::delta::{DeltaCube, DeltaOptions};
+        use rcube_index::rtree::RTree;
+
+        let rel = SyntheticSpec { tuples: 400, cardinality: 4, ..Default::default() }.generate();
+        let mut path = std::env::temp_dir();
+        path.push(format!("rcube_engine_delta_{}", std::process::id()));
+        let wal = rcube_core::delta::wal_path_for(&path);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+        {
+            let disk = DiskSim::with_defaults();
+            let rtree = RTree::over_relation(&disk, &rel, &[], RTreeConfig::small(16));
+            let cube = SignatureCube::build(&rel, &rtree, &disk, SignatureCubeConfig::default());
+            cube.save_to_with(&rtree, &path, 512, 64).expect("save base cube");
+        }
+        let delta =
+            Arc::new(DeltaCube::open(&path, rel.clone(), DeltaOptions::default()).unwrap());
+        let eng = Engine::new(rel)
+            .with_grid_cube(GridCubeConfig { block_size: 64, ..Default::default() })
+            .with_delta(Arc::clone(&delta));
+
+        // The delta outranks every other route: it alone sees writes.
+        let q = Query::select([(0, 1)]).rank(Linear::uniform(2)).top(5);
+        assert_eq!(eng.route(&q), Route::Delta);
+
+        // Writer API: a better-scoring insert shows up at rank 1.
+        let tid = eng.insert(&[1, 0, 0], &[0.0001, 0.0001]).expect("insert through engine");
+        let res = eng.query(&q);
+        assert_eq!(res.items[0].0, tid, "fresh insert must win the top-k");
+        assert!(res.stats.delta_mem_answers >= 1, "overlay contribution surfaces in stats");
+
+        // EXPLAIN ANALYZE renders the memtable-vs-base split.
+        let report = eng.explain_analyze(&q).expect("healthy engine");
+        assert_eq!(report.executed, Route::Delta);
+        let contrib = report.delta.expect("delta run records its contribution");
+        assert!(contrib.memtable_answers >= 1);
+        assert!(report.to_string().contains("from memtable"));
+
+        // Deleting the insert removes it again; deleting a *base* tuple
+        // that ranks (the current runner-up) must mask it in the merge.
+        let base_winner = res.items[1].0;
+        eng.delete(tid).expect("delete through engine");
+        eng.delete(base_winner).expect("delete base tuple through engine");
+        let after = eng.query(&q);
+        assert!(after.items.iter().all(|&(t, _)| t != tid && t != base_winner));
+        assert!(after.stats.delta_masked >= 1, "masked base answers are counted");
+
+        // stats_snapshot surfaces the delta block and Display renders it.
+        let stats = eng.stats_snapshot();
+        let d = stats.delta.expect("delta registered");
+        // Latest op per tid: the insert+delete of `tid` collapse to one
+        // entry, plus the base tuple's tombstone.
+        assert_eq!(d.memtable_ops, 2);
+        assert_eq!(d.flushes, 0);
+        assert!(stats.to_string().contains("memtable ops"));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn writer_api_without_delta_is_a_typed_error() {
+        let eng = engine(100);
+        assert!(matches!(
+            eng.insert(&[0, 0, 0], &[0.5, 0.5]),
+            Err(StorageError::Malformed("no delta cube is registered"))
+        ));
+        assert!(matches!(
+            eng.delete(0),
+            Err(StorageError::Malformed("no delta cube is registered"))
+        ));
     }
 
     #[test]

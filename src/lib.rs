@@ -99,6 +99,58 @@
 //! assert_eq!(fanout.opened(), 4); // per-shard pulls/answers/blocks inside
 //! ```
 //!
+//! ## Serve under writes: the LSM delta cube
+//!
+//! A [`cube::delta::DeltaCube`] wraps a persistent cube file with an
+//! in-memory memtable and a crash-safe WAL, so one process can **ingest
+//! tuples and answer certified top-k queries at the same time**. Register
+//! it and the engine grows a writer API: [`Engine::insert`] /
+//! [`Engine::delete`] are durable in the WAL before they return and
+//! visible to every query opened afterwards; a background flush
+//! ([`cube::delta::DeltaCube::flush`], or the delta-aware maintenance
+//! daemon via [`Engine::start_maintenance_with_delta`]) folds pending
+//! writes into the base cube without ever blocking readers — cursors pin
+//! the generation they opened, and answers are byte-identical to a cube
+//! rebuilt from scratch at every point.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ranking_cube::cube::delta::{DeltaCube, DeltaOptions};
+//! use ranking_cube::prelude::*;
+//!
+//! # let mut b = RelationBuilder::new(
+//! #     Schema::new(vec![Dim::cat("type", 3)], vec!["price", "mileage"]));
+//! # for i in 0..40 { b.push(&[i % 3], &[0.01 * i as f64 + 0.05, 0.4]); }
+//! # let relation = b.finish();
+//! # let path = std::env::temp_dir().join(format!("rcube_doc_delta_{}", std::process::id()));
+//! # std::fs::remove_file(&path).ok();
+//! # std::fs::remove_file(path.with_extension("wal")).ok();
+//! # {
+//! #     let disk = DiskSim::with_defaults();
+//! #     let rtree = RTree::over_relation(&disk, &relation, &[], RTreeConfig::small(16));
+//! #     let cube = SignatureCube::build(&relation, &rtree, &disk, SignatureCubeConfig::default());
+//! #     cube.save_to_with(&rtree, &path, 512, 64).unwrap();
+//! # }
+//! // The base cube lives in a file; the delta layer wraps it.
+//! let delta = Arc::new(DeltaCube::open(&path, relation.clone(), DeltaOptions::default()).unwrap());
+//! let engine = Engine::new(relation).with_delta(Arc::clone(&delta));
+//!
+//! // Ingest while serving: durable (WAL) before visible.
+//! let tid = engine.insert(&[0], &[0.01, 0.01]).unwrap();
+//! let query = Query::select([(0, 0)]).rank(Linear::uniform(2)).top(1);
+//! assert_eq!(engine.route(&query), Route::Delta);
+//! assert_eq!(engine.query(&query).tids(), vec![tid]); // the new tuple wins
+//!
+//! // Background merge: answers are unchanged, the memtable empties.
+//! delta.flush().unwrap();
+//! assert_eq!(engine.query(&query).tids(), vec![tid]);
+//! assert_eq!(engine.stats_snapshot().delta.unwrap().memtable_ops, 0);
+//! # let wal = delta.wal_path().to_path_buf();
+//! # drop(engine); drop(delta);
+//! # std::fs::remove_file(&path).ok();
+//! # std::fs::remove_file(&wal).ok();
+//! ```
+//!
 //! ## Observability
 //!
 //! Every engine carries a metric registry ([`obs::Metrics`]): buffer-pool
@@ -152,13 +204,18 @@ mod engine;
 mod observe;
 
 pub use engine::{Engine, Route};
-pub use observe::{AnalyzeReport, CandidatePlan, EngineStats, PlanReport, SlowQueryRecord};
+pub use observe::{
+    AnalyzeReport, CandidatePlan, DeltaContribution, EngineStats, PlanReport, SlowQueryRecord,
+};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::engine::{Engine, Route};
-    pub use crate::observe::{AnalyzeReport, EngineStats, PlanReport, SlowQueryRecord};
+    pub use crate::observe::{
+        AnalyzeReport, DeltaContribution, EngineStats, PlanReport, SlowQueryRecord,
+    };
     pub use rcube_baseline::{BooleanFirst, RankMapping, RankingFirst, TableScan};
+    pub use rcube_core::delta::{DeltaCube, DeltaOptions, DeltaStats, FlushReport, ReplayReport};
     pub use rcube_core::fragments::{FragmentConfig, RankingFragments};
     pub use rcube_core::gridcube::{GridCubeConfig, GridRankingCube};
     pub use rcube_core::query::{Query, QueryPlan, RankedSource, TopKCursor};

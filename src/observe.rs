@@ -11,6 +11,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use rcube_core::delta::DeltaStats;
 use rcube_core::shard::FanoutReport;
 use rcube_core::QueryStats;
 use rcube_obs::{MetricsSnapshot, TraceEvent};
@@ -112,6 +113,24 @@ pub struct AnalyzeReport {
     /// per-shard pulls, answers, blocks, and whether the bound pruned
     /// the shard. `None` on unsharded routes.
     pub fanout: Option<FanoutReport>,
+    /// The memtable-vs-base split when the delta route answered: how
+    /// many answers came from the in-memory overlay vs the pinned base
+    /// generation, and how many base answers the overlay masked. `None`
+    /// off the delta route.
+    pub delta: Option<DeltaContribution>,
+}
+
+/// Where a delta-route answer set came from
+/// ([`AnalyzeReport::delta`]): the LSM split made visible per query.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaContribution {
+    /// Answers served from the in-memory overlay (pending writes).
+    pub memtable_answers: u64,
+    /// Answers served from the pinned base-cube generation.
+    pub base_answers: u64,
+    /// Base answers suppressed because the overlay deleted or superseded
+    /// their tuples.
+    pub masked: u64,
 }
 
 impl AnalyzeReport {
@@ -152,6 +171,13 @@ impl fmt::Display for AnalyzeReport {
             for line in fan.to_string().lines() {
                 writeln!(f, "  {line}")?;
             }
+        }
+        if let Some(d) = &self.delta {
+            writeln!(
+                f,
+                "  delta: {} answers from memtable, {} from base, {} masked",
+                d.memtable_answers, d.base_answers, d.masked
+            )?;
         }
         write!(f, "  trace: {} events", self.events.len())
     }
@@ -198,6 +224,9 @@ impl fmt::Display for SlowQueryRecord {
 pub struct EngineStats {
     /// Cumulative device I/O counters.
     pub io: IoSnapshot,
+    /// Delta-layer state when an LSM delta cube is registered: memtable
+    /// depth/bytes, WAL length, flushes completed, last replay outcome.
+    pub delta: Option<DeltaStats>,
     /// Shard count of the registered partitioned cube set, if any.
     pub sharded_shards: Option<usize>,
     /// Shards of the partitioned set currently failed, with the
@@ -226,6 +255,21 @@ impl fmt::Display for EngineStats {
             "io: {} logical reads, {} disk reads, {} writes",
             self.io.logical_reads, self.io.disk_reads, self.io.writes
         )?;
+        if let Some(d) = &self.delta {
+            writeln!(
+                f,
+                "delta: {} memtable ops ({} bytes), {} WAL bytes, {} applied tuples, \
+                 {} flushes, generation {}, last replay: {} records{}",
+                d.memtable_ops,
+                d.memtable_bytes,
+                d.wal_bytes,
+                d.applied_tuples,
+                d.flushes,
+                d.serving_generation,
+                d.last_replay.records,
+                if d.last_replay.torn_tail { " (torn tail truncated)" } else { "" }
+            )?;
+        }
         if let Some(n) = self.sharded_shards {
             writeln!(f, "sharded: {} shards, {} failed", n, self.sharded_failed.len())?;
         }

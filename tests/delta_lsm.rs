@@ -1,0 +1,546 @@
+//! The LSM delta cube's crash-safety contract, end to end:
+//!
+//! * any single WAL bit flip is either caught typed (`ChecksumMismatch`
+//!   / `BadLength` / `BadMagic`) or truncated as a torn tail — and a
+//!   torn-tail reopen answers exactly like some clean prefix of the
+//!   appended ops, never a hybrid;
+//! * a crash-point sweep over *every* WAL append (dropped and torn):
+//!   reopening recovers precisely the durable prefix, then keeps
+//!   accepting writes and flushes;
+//! * a crash-point sweep over *every* flush boundary — each cube-file
+//!   page write (dropped and torn) plus the WAL-compaction swap stages
+//!   (temp write, temp sync, rename) — always reopens to the full
+//!   logical post-ops state, and a subsequent clean flush is
+//!   answer-neutral (the delete-then-insert re-apply is idempotent even
+//!   when the crash landed *between* the cube commit and the WAL
+//!   rewrite);
+//! * the merged base+overlay view stays byte-identical to a cube built
+//!   from scratch over the logical relation across ≥3
+//!   ingest→flush→serve cycles, inserts and deletes alike;
+//! * WAL replay counters are exact across sessions, and a cursor opened
+//!   mid-stream extends on its pinned generation across a flush.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use ranking_cube::cube::delta::{wal_path_for, DeltaCube, DeltaOptions};
+use ranking_cube::cube::query::{Query, RankedSource};
+use ranking_cube::cube::sigcube::{SignatureCube, SignatureCubeConfig};
+use ranking_cube::func::Linear;
+use ranking_cube::index::rtree::{RTree, RTreeConfig};
+use ranking_cube::storage::{CrashMode, DiskSim, FaultPlan, StorageError, SwapStage};
+use ranking_cube::table::gen::SyntheticSpec;
+use ranking_cube::table::{Relation, RelationBuilder, Tid};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!("rcube_dlsm_{tag}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(wal_path_for(&p));
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(wal_path_for(p));
+    let mut os = wal_path_for(p).into_os_string();
+    os.push(".new");
+    let _ = std::fs::remove_file(PathBuf::from(os));
+}
+
+/// Exact score bit patterns: equality is byte-identity of the top-k.
+fn render(items: &[(Tid, f64)]) -> String {
+    items.iter().map(|(t, s)| format!("{t}:{:016x}", s.to_bits())).collect::<Vec<_>>().join(",")
+}
+
+/// Scores only — for comparisons against a rebuilt relation whose tids
+/// shifted because tuples were deleted.
+fn render_scores(items: &[(Tid, f64)]) -> String {
+    items.iter().map(|(_, s)| format!("{:016x}", s.to_bits())).collect::<Vec<_>>().join(",")
+}
+
+fn workload() -> Vec<(Vec<(usize, u32)>, usize)> {
+    vec![(vec![], 12), (vec![(0, 1)], 10), (vec![(1, 2)], 8), (vec![(0, 2), (1, 1)], 10)]
+}
+
+/// The delta's merged answers over the shared query workload.
+fn answers(delta: &DeltaCube) -> Vec<String> {
+    workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = Query::select(conds).rank(Linear::uniform(2)).top(k);
+            let items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+            render(&items)
+        })
+        .collect()
+}
+
+/// The same workload against a from-scratch in-memory cube over `rel`.
+fn rebuilt_answers(rel: &Relation) -> Vec<(String, String)> {
+    let disk = DiskSim::with_defaults();
+    let rtree = RTree::over_relation(&disk, rel, &[], RTreeConfig::small(16));
+    let cube = SignatureCube::build(rel, &rtree, &disk, SignatureCubeConfig::default());
+    workload()
+        .into_iter()
+        .map(|(conds, k)| {
+            let q = Query::select(conds).rank(Linear::uniform(2)).top(k);
+            let plan = q.plan();
+            let items = cube.source(&rtree, &disk).open(&plan).unwrap().try_drain().unwrap().items;
+            (render(&items), render_scores(&items))
+        })
+        .collect()
+}
+
+fn build_base(rel: &Relation, path: &Path) {
+    let disk = DiskSim::with_defaults();
+    let rtree = RTree::over_relation(&disk, rel, &[], RTreeConfig::small(16));
+    let cube = SignatureCube::build(rel, &rtree, &disk, SignatureCubeConfig::default());
+    cube.save_to_with(&rtree, path, 512, 64).expect("save base cube");
+}
+
+fn sel_of(rel: &Relation, tid: Tid) -> Vec<u32> {
+    (0..rel.schema().num_selection()).map(|d| rel.selection_value(tid, d)).collect()
+}
+
+/// The logical relation after deleting `dropped` and keeping `0..n`.
+fn logical_relation(full: &Relation, n: u32, dropped: &[Tid]) -> Relation {
+    let mut b = RelationBuilder::new(full.schema().clone());
+    for t in 0..n {
+        if !dropped.contains(&t) {
+            b.push(&sel_of(full, t), &full.ranking_point(t));
+        }
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------
+// 1. WAL bit-flip proptest: typed error or clean-prefix truncation.
+// ---------------------------------------------------------------------
+
+/// Shared fixture for the bit-flip cases: pristine base + WAL bytes and
+/// the expected answers after every clean prefix of the appended ops.
+struct FlipFixture {
+    base_bytes: Vec<u8>,
+    wal_bytes: Vec<u8>,
+    base: Relation,
+    /// `expected[p]` = deep-drain answers with exactly the first `p`
+    /// inserts live.
+    expected: Vec<Vec<String>>,
+}
+
+const FLIP_OPS: u32 = 10;
+
+fn flip_fixture() -> &'static FlipFixture {
+    static FIX: OnceLock<FlipFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let full = SyntheticSpec { tuples: 130, cardinality: 4, ..Default::default() }.generate();
+        let base = full.prefix(120);
+        let path = temp_path("flip_fixture");
+        build_base(&base, &path);
+        let base_bytes = std::fs::read(&path).unwrap();
+        {
+            let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+            for tid in 120..120 + FLIP_OPS {
+                delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+            }
+        }
+        let wal_bytes = std::fs::read(wal_path_for(&path)).unwrap();
+        assert!(wal_bytes.len() > 100, "fixture WAL holds {FLIP_OPS} framed records");
+        // Expected answers per clean prefix length.
+        let mut expected = Vec::new();
+        for p in 0..=FLIP_OPS {
+            std::fs::write(&path, &base_bytes).unwrap();
+            let _ = std::fs::remove_file(wal_path_for(&path));
+            let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+            for tid in 120..120 + p {
+                delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+            }
+            expected.push(answers(&delta));
+        }
+        cleanup(&path);
+        FlipFixture { base_bytes, wal_bytes, base, expected }
+    })
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+    #[test]
+    fn wal_bit_flip_is_caught_or_truncates_to_a_clean_prefix(
+        pos_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let fix = flip_fixture();
+        let offset = ((pos_frac * fix.wal_bytes.len() as f64) as usize)
+            .min(fix.wal_bytes.len() - 1);
+        let mut corrupt = fix.wal_bytes.clone();
+        corrupt[offset] ^= 1u8 << bit;
+
+        let path = temp_path("flip");
+        std::fs::write(&path, &fix.base_bytes).unwrap();
+        std::fs::write(wal_path_for(&path), &corrupt).unwrap();
+        match DeltaCube::open(&path, fix.base.clone(), DeltaOptions::default()) {
+            // A flip with valid data behind it must surface typed — the
+            // replay refuses to guess past provably-lost records.
+            Err(
+                StorageError::ChecksumMismatch { .. }
+                | StorageError::BadLength { .. }
+                | StorageError::BadMagic
+                | StorageError::UnsupportedVersion(_),
+            ) => {}
+            Err(other) => panic!("flip at {offset} bit {bit}: untyped error {other:?}"),
+            // A flip the replay survives (torn tail, or a length-field
+            // flip that pushes the frame past EOF) must land on a clean
+            // prefix of the ops — never wrong answers.
+            Ok(delta) => {
+                let replay = delta.last_replay();
+                let p = replay.pending as usize;
+                proptest::prop_assert!(
+                    p <= FLIP_OPS as usize,
+                    "flip at {} bit {}: replayed {} ops, only {} were appended",
+                    offset, bit, p, FLIP_OPS
+                );
+                proptest::prop_assert_eq!(
+                    &answers(&delta),
+                    &fix.expected[p],
+                    "flip at {} bit {}: survivors must answer like the {}-op prefix",
+                    offset, bit, p
+                );
+            }
+        }
+        cleanup(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. WAL append crash sweep: every append boundary, both crash modes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_append_crash_sweep_recovers_the_durable_prefix() {
+    let full = SyntheticSpec { tuples: 130, cardinality: 4, ..Default::default() }.generate();
+    let base = full.prefix(120);
+    let pristine = temp_path("append_pristine");
+    build_base(&base, &pristine);
+    let base_bytes = std::fs::read(&pristine).unwrap();
+    cleanup(&pristine);
+
+    const OPS: u64 = 8;
+    // Expected answers per durable-prefix length.
+    let mut expected = Vec::new();
+    for p in 0..=OPS as u32 {
+        let path = temp_path("append_expect");
+        std::fs::write(&path, &base_bytes).unwrap();
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        for tid in 120..120 + p {
+            delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+        }
+        expected.push(answers(&delta));
+        drop(delta);
+        cleanup(&path);
+    }
+
+    // keep=20 tears every record kind mid-frame (upsert frames are
+    // longer, delete frames are 21 bytes).
+    for mode in [CrashMode::Dropped, CrashMode::Torn { keep: 20 }] {
+        for n in 0..OPS {
+            let path = temp_path("append_sweep");
+            std::fs::write(&path, &base_bytes).unwrap();
+            let plan = FaultPlan::new();
+            plan.crash_after_page_writes(n, mode);
+            {
+                let delta = DeltaCube::open(
+                    &path,
+                    base.clone(),
+                    DeltaOptions { faults: Some(Arc::clone(&plan)), ..Default::default() },
+                )
+                .unwrap();
+                // Appends past the crash point are silently lost — the
+                // process "dies" with them in memory only.
+                for tid in 120..120 + OPS as u32 {
+                    let _ = delta.insert(&sel_of(&full, tid), &full.ranking_point(tid));
+                }
+            }
+            assert!(plan.crashed(), "append crash point {n} ({mode:?}) never reached");
+
+            let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+            let replay = delta.last_replay();
+            assert_eq!(
+                replay.pending, n,
+                "crash at append {n} ({mode:?}): exactly the durable prefix replays"
+            );
+            let torn = matches!(mode, CrashMode::Torn { .. });
+            assert_eq!(
+                replay.torn_tail, torn,
+                "crash at append {n} ({mode:?}): torn-tail classification"
+            );
+            assert_eq!(delta.memtable_len(), n as usize);
+            assert_eq!(
+                answers(&delta),
+                expected[n as usize],
+                "crash at append {n} ({mode:?}): answers match the durable prefix"
+            );
+
+            // The survivor keeps working: new writes and a flush land.
+            let tid = delta.insert(&[1, 1, 1], &[0.5, 0.5]).unwrap();
+            assert!(tid >= 120);
+            let report = delta.flush().unwrap();
+            assert_eq!(report.applied_ops, n as usize + 1);
+            assert_eq!(delta.memtable_len(), 0);
+            drop(delta);
+            cleanup(&path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Flush crash sweep: every cube page write + every WAL swap stage.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flush_crash_sweep_reopens_to_the_logical_state_at_every_boundary() {
+    let full = SyntheticSpec { tuples: 184, cardinality: 4, ..Default::default() }.generate();
+    let base = full.prefix(160);
+    let deletes: [Tid; 2] = [3, 17];
+
+    // Durable ops, fault-free: 24 inserts + 2 deletes in the WAL.
+    let pristine = temp_path("flush_pristine");
+    build_base(&base, &pristine);
+    {
+        let delta = DeltaCube::open(&pristine, base.clone(), DeltaOptions::default()).unwrap();
+        for tid in 160..184u32 {
+            delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+        }
+        for &tid in &deletes {
+            delta.delete(tid).unwrap();
+        }
+    }
+    let base_bytes = std::fs::read(&pristine).unwrap();
+    let wal_bytes = std::fs::read(wal_path_for(&pristine)).unwrap();
+
+    // The expected post-ops answers, and their byte-identity with a
+    // from-scratch cube over the logical relation (scores: tids shift).
+    let expected = {
+        let delta = DeltaCube::open(&pristine, base.clone(), DeltaOptions::default()).unwrap();
+        answers(&delta)
+    };
+    let rebuilt = rebuilt_answers(&logical_relation(&full, 184, &deletes));
+    for (got, (_, want_scores)) in expected.iter().zip(&rebuilt) {
+        let got_scores =
+            got.split(',').map(|i| i.split(':').nth(1).unwrap_or("")).collect::<Vec<_>>().join(",");
+        assert_eq!(got_scores, *want_scores, "fixture merged view matches a rebuilt cube");
+    }
+    cleanup(&pristine);
+
+    let run_case = |plan: Arc<FaultPlan>, label: String| {
+        let path = temp_path("flush_sweep");
+        std::fs::write(&path, &base_bytes).unwrap();
+        std::fs::write(wal_path_for(&path), &wal_bytes).unwrap();
+        let res = {
+            let delta = DeltaCube::open(
+                &path,
+                base.clone(),
+                DeltaOptions { faults: Some(Arc::clone(&plan)), ..Default::default() },
+            )
+            .unwrap();
+            catch_unwind(AssertUnwindSafe(|| delta.flush()))
+        };
+        assert!(plan.crashed(), "{label}: crash point never reached");
+        assert!(!matches!(res, Ok(Ok(_))), "{label}: a crashed flush must not report success");
+
+        // Reopen clean: the full logical state survives, whichever side
+        // of the cube-commit/WAL-rewrite boundary the crash landed on.
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        assert_eq!(answers(&delta), expected, "{label}: reopen after crashed flush");
+        // And the re-applied flush is idempotent and answer-neutral.
+        delta.flush().unwrap();
+        assert_eq!(answers(&delta), expected, "{label}: clean flush after the crash");
+        assert_eq!(delta.memtable_len(), 0, "{label}: clean flush drains the memtable");
+        drop(delta);
+        cleanup(&path);
+    };
+
+    // Dry run on a twin to count the cube-file page writes one flush
+    // performs (WAL rewrites are covered by the swap stages below).
+    let writes = {
+        let path = temp_path("flush_twin");
+        std::fs::write(&path, &base_bytes).unwrap();
+        std::fs::write(wal_path_for(&path), &wal_bytes).unwrap();
+        let counter = FaultPlan::new();
+        let delta = DeltaCube::open(
+            &path,
+            base.clone(),
+            DeltaOptions { faults: Some(Arc::clone(&counter)), ..Default::default() },
+        )
+        .unwrap();
+        delta.flush().expect("clean counted flush");
+        assert_eq!(answers(&delta), expected, "counted flush is answer-neutral");
+        drop(delta);
+        cleanup(&path);
+        counter.writes_observed()
+    };
+    assert!(writes > 3, "a flush commits data + alloc + superblock pages, saw {writes}");
+
+    for mode in [CrashMode::Dropped, CrashMode::Torn { keep: 170 }] {
+        for n in 0..writes {
+            let plan = FaultPlan::new();
+            plan.crash_after_page_writes(n, mode);
+            run_case(plan, format!("page write {n} ({mode:?})"));
+        }
+    }
+    for stage in [SwapStage::TempWrite, SwapStage::TempSync, SwapStage::Rename] {
+        let plan = FaultPlan::new();
+        plan.crash_at_swap(stage);
+        run_case(plan, format!("WAL swap {stage:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Byte-identity with a rebuilt cube across ingest→flush cycles.
+// ---------------------------------------------------------------------
+
+#[test]
+fn merged_view_stays_byte_identical_to_a_rebuilt_cube_across_cycles() {
+    let full = SyntheticSpec { tuples: 420, cardinality: 4, ..Default::default() }.generate();
+    let base = full.prefix(300);
+    let path = temp_path("cycles");
+    build_base(&base, &path);
+    let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+
+    // Three insert-only cycles: tids allocate densely from the base
+    // length, so the merged view must be *tid-exactly* identical to a
+    // cube rebuilt over the longer prefix — before AND after the flush.
+    for cycle in 0..3u32 {
+        let lo = 300 + cycle * 30;
+        let hi = lo + 30;
+        for tid in lo..hi {
+            let got = delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+            assert_eq!(got, tid);
+        }
+        let want: Vec<String> =
+            rebuilt_answers(&full.prefix(hi as usize)).into_iter().map(|(f, _)| f).collect();
+        assert_eq!(answers(&delta), want, "cycle {cycle}: memtable-served view");
+        delta.flush().unwrap();
+        assert_eq!(answers(&delta), want, "cycle {cycle}: flushed view");
+    }
+    assert_eq!(delta.flushes_completed(), 3);
+
+    // A fourth cycle with deletes: tids shift in the rebuild, so the
+    // identity is on the score bit patterns.
+    let dropped: Vec<Tid> = (0..8).collect();
+    for &tid in &dropped {
+        delta.delete(tid).unwrap();
+    }
+    let want: Vec<String> = rebuilt_answers(&logical_relation(&full, 390, &dropped))
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let scores = |delta: &DeltaCube| -> Vec<String> {
+        workload()
+            .into_iter()
+            .map(|(conds, k)| {
+                let q = Query::select(conds).rank(Linear::uniform(2)).top(k);
+                let items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+                render_scores(&items)
+            })
+            .collect()
+    };
+    assert_eq!(scores(&delta), want, "delete cycle: memtable-served view");
+    delta.flush().unwrap();
+    assert_eq!(scores(&delta), want, "delete cycle: flushed view");
+
+    // No deleted tid survives a deep drain.
+    let deep = Query::select([]).rank(Linear::uniform(2)).top(500);
+    let all = delta.source().open(&deep.plan()).unwrap().try_drain().unwrap().items;
+    assert_eq!(all.len(), 382);
+    assert!(all.iter().all(|&(t, _)| t >= 8), "deleted tids stay masked after their flush");
+    drop(delta);
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------
+// 5. Exact replay accounting + pinned-generation pagination.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replay_counts_are_exact_and_extend_k_rides_its_pinned_generation() {
+    let full = SyntheticSpec { tuples: 320, cardinality: 4, ..Default::default() }.generate();
+    let base = full.prefix(300);
+    let path = temp_path("accounting");
+    build_base(&base, &path);
+
+    // Session 1: 14 inserts, one base delete, one delete of a fresh
+    // insert (same-tid ops collapse in the memtable, not in the WAL).
+    {
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        for tid in 300..314u32 {
+            delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+        }
+        delta.delete(2).unwrap();
+        delta.delete(300).unwrap();
+        assert_eq!(delta.memtable_len(), 15, "insert+delete of tid 300 collapses");
+    }
+
+    // Session 2: every append replays as pending, nothing applied yet.
+    {
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        let r = delta.last_replay();
+        assert_eq!((r.records, r.pending, r.applied), (16, 16, 0));
+        assert!(!r.torn_tail);
+        assert_eq!(delta.memtable_len(), 15);
+
+        // Pin a cursor, then flush and keep writing underneath it: the
+        // extension must answer the open-time state, not the new one.
+        let q = Query::select([]).rank(Linear::uniform(2)).top(12);
+        let at_open = {
+            let items = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+            render(&items)
+        };
+        let q6 = Query::select([]).rank(Linear::uniform(2)).top(6);
+        let mut cursor = delta.source().open(&q6.plan()).unwrap();
+        let mut pinned: Vec<(Tid, f64)> =
+            std::iter::from_fn(|| cursor.try_next().unwrap()).collect();
+        assert_eq!(pinned.len(), 6);
+        let report = delta.flush().unwrap();
+        // 13 surviving upserts + the base delete; the tombstone for tid
+        // 300 finds nothing in the base (it never flushed) and is a
+        // no-op in the fold.
+        assert_eq!(report.applied_ops, 14);
+        assert_eq!(report.live_delta_tuples, 13, "14 inserts minus the deleted one");
+        delta.insert(&[0, 0, 0], &[0.0001, 0.0001]).unwrap();
+        cursor.extend_k(6);
+        pinned.extend(std::iter::from_fn(|| cursor.try_next().unwrap()));
+        assert_eq!(
+            render(&pinned),
+            at_open,
+            "extend_k across the flush answers the open-time state"
+        );
+        drop(cursor);
+        // The new insert is visible to fresh cursors…
+        let fresh = delta.source().open(&q.plan()).unwrap().try_drain().unwrap().items;
+        assert_ne!(render(&fresh), at_open, "fresh cursors see the post-flush write");
+    }
+
+    // Session 3: pending drained into applied records, then new writes
+    // stack pending on top of them.
+    {
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        let r = delta.last_replay();
+        assert_eq!((r.records, r.pending, r.applied), (14, 1, 13));
+        assert_eq!(delta.memtable_len(), 1, "the post-flush insert replays as pending");
+        for tid in 314..319u32 {
+            delta.insert(&sel_of(&full, tid), &full.ranking_point(tid)).unwrap();
+        }
+    }
+    {
+        let delta = DeltaCube::open(&path, base.clone(), DeltaOptions::default()).unwrap();
+        let r = delta.last_replay();
+        assert_eq!((r.records, r.pending, r.applied), (19, 6, 13));
+        assert_eq!(delta.memtable_len(), 6);
+    }
+    cleanup(&path);
+}

@@ -127,6 +127,7 @@ fn config() -> MaintenanceConfig {
         poll_interval: Duration::from_millis(30),
         page_size: PAGE,
         pool_pages: 64,
+        ..MaintenanceConfig::default()
     }
 }
 

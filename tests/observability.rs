@@ -158,11 +158,12 @@ fn explain_charges_no_io_and_reports_candidates() {
     assert_eq!(before, after, "EXPLAIN must not execute (no I/O charged)");
 
     assert_eq!(plan.route, Route::Grid);
-    assert_eq!(plan.candidates.len(), 5, "every route gets a row");
-    assert!(!plan.candidates[0].registered, "sharded set not registered");
-    assert!(plan.candidates[1].chosen, "grid is the best registered path");
-    assert!(!plan.candidates[2].registered, "fragments not registered");
-    assert!(plan.candidates[4].eligible, "the scan is always eligible");
+    assert_eq!(plan.candidates.len(), 6, "every route gets a row");
+    assert!(!plan.candidates[0].registered, "delta cube not registered");
+    assert!(!plan.candidates[1].registered, "sharded set not registered");
+    assert!(plan.candidates[2].chosen, "grid is the best registered path");
+    assert!(!plan.candidates[3].registered, "fragments not registered");
+    assert!(plan.candidates[5].eligible, "the scan is always eligible");
     assert_eq!(plan.selection, vec![(0, 1), (1, 2)]);
     assert!(plan.estimated_selectivity > 0.0 && plan.estimated_selectivity <= 1.0);
     let rendered = plan.to_string();
